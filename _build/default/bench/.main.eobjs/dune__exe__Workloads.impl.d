@@ -1,0 +1,1 @@
+bench/workloads.ml: Cfq_core Cfq_itembase Cfq_quest Dist Exec Int64 Item_gen Itemset List Parser Planted Printf Query Quest_gen Splitmix Sys

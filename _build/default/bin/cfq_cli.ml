@@ -1,0 +1,326 @@
+(* cfq — run constrained frequent set queries against synthetic market-basket
+   data from the command line.
+
+     cfq explain 'sum(S.Price) <= sum(T.Price)'
+     cfq run --tx 20000 --items 500 '{(S,T) | freq(S) >= 0.01 & S.Type = T.Type}'
+     cfq run --strategy apriori+ --pairs 10 'max(S.Price) <= min(T.Price)'
+     cfq gen --tx 1000 --items 100 *)
+
+open Cmdliner
+open Cfq_quest
+open Cfq_core
+
+(* ------------------------------------------------------------------ *)
+(* shared options *)
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ] ~doc:"Enable debug logging of the engines.")
+
+let setup_logs verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end
+
+let tx_arg =
+  Arg.(value & opt int 10_000 & info [ "tx" ] ~docv:"N" ~doc:"Number of transactions.")
+
+let items_arg =
+  Arg.(value & opt int 500 & info [ "items" ] ~docv:"N" ~doc:"Item universe size.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let types_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "types" ] ~docv:"N" ~doc:"Number of distinct item types (Type attribute).")
+
+let strategy_arg =
+  let strategies =
+    [
+      ("apriori+", Plan.Apriori_plus);
+      ("cap", Plan.Cap_one_var);
+      ("optimized", Plan.Optimized);
+      ("sequential", Plan.Sequential_t_first);
+      ("fm", Plan.Full_materialize);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum strategies) Plan.Optimized
+    & info [ "strategy" ] ~docv:"STRATEGY"
+        ~doc:"Execution strategy: $(b,apriori+), $(b,cap) (1-var pushing only), \
+              $(b,optimized), $(b,sequential) (T lattice first, exact bounds) or \
+              $(b,fm) (full materialization; tiny universes only).")
+
+let query_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"QUERY" ~doc:"CFQ in the textual syntax.")
+
+let pairs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "pairs" ] ~docv:"N" ~doc:"Print the first N answer pairs.")
+
+let data_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "data" ] ~docv:"FILE" ~doc:"Load transactions from a FIMI file instead of generating.")
+
+let iteminfo_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "iteminfo" ] ~docv:"FILE"
+        ~doc:"Load the itemInfo table from a CSV file (header: item,Attr[,Attr:cat...]). \
+              Requires $(b,--data).")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE" ~doc:"Also write the transactions to a FIMI file.")
+
+let info_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "info-out" ] ~docv:"FILE" ~doc:"Also write the itemInfo table to a CSV file.")
+
+(* ------------------------------------------------------------------ *)
+
+let build_data ~tx ~items ~types ~seed =
+  let rng = Splitmix.create ~seed:(Int64.of_int seed) in
+  let params = { (Quest_gen.scaled tx) with Quest_gen.n_items = items } in
+  let db = Quest_gen.generate rng params in
+  let prices = Item_gen.uniform_prices rng ~n:items ~lo:0. ~hi:1000. in
+  let type_col = Array.init items (fun _ -> float_of_int (Splitmix.int rng types)) in
+  let info = Item_gen.item_info ~prices ~types:type_col () in
+  (db, info)
+
+let parse_query text =
+  match Parser.parse_result text with
+  | Ok q -> Ok q
+  | Error msg -> Error (`Msg ("query: " ^ msg))
+
+let load_or_generate ~tx ~items ~types ~seed ~data ~iteminfo =
+  match data with
+  | None -> Ok (build_data ~tx ~items ~types ~seed)
+  | Some path -> (
+      match Cfq_data.Fimi.read path with
+      | exception Cfq_data.Fimi.Bad_format msg -> Error (`Msg msg)
+      | db -> (
+          let universe_size =
+            match Cfq_data.Fimi.max_item db with Some m -> m + 1 | None -> 1
+          in
+          match iteminfo with
+          | None ->
+              (* no attribute table: constraints over Item still work *)
+              Ok (db, Cfq_itembase.Item_info.create ~universe_size)
+          | Some info_path -> (
+              match Cfq_data.Item_csv.read info_path ~universe_size with
+              | exception Cfq_data.Item_csv.Bad_format msg -> Error (`Msg msg)
+              | info -> Ok (db, info))))
+
+let run_cmd verbose tx items types seed strategy n_pairs data iteminfo pairs_out text =
+  setup_logs verbose;
+  match parse_query text with
+  | Error e -> Error e
+  | Ok q -> (
+      match load_or_generate ~tx ~items ~types ~seed ~data ~iteminfo with
+      | Error e -> Error e
+      | Ok (db, info) ->
+      (match Validate.check ~s_info:info ~t_info:info q with
+      | Ok () -> ()
+      | Error errors ->
+          List.iter
+            (fun e -> Format.eprintf "error: %a@." Validate.pp_error e)
+            errors;
+          exit 1);
+      Printf.printf "database: %d transactions (%d pages)\n"
+        (Cfq_txdb.Tx_db.size db) (Cfq_txdb.Tx_db.pages db);
+      Printf.printf "query: %s\n\n" (Query.to_string q);
+      let ctx = Exec.context db info in
+      let collect = n_pairs > 0 || pairs_out <> None in
+      let r = Exec.run ~strategy ~collect_pairs:collect ctx q in
+      print_endline (Explain.result_to_string r);
+      if n_pairs > 0 then begin
+        Printf.printf "\nfirst %d pairs:\n" n_pairs;
+        List.iteri
+          (fun i (s, t) ->
+            if i < n_pairs then
+              Printf.printf "  %s => %s\n"
+                (Cfq_itembase.Itemset.to_string s.Cfq_mining.Frequent.set)
+                (Cfq_itembase.Itemset.to_string t.Cfq_mining.Frequent.set))
+          r.Exec.pairs
+      end;
+      (match pairs_out with
+      | Some path ->
+          Cfq_data.Result_csv.write_pairs path r.Exec.pairs;
+          Printf.printf "wrote %d pairs to %s\n" (List.length r.Exec.pairs) path
+      | None -> ());
+      Ok ())
+
+let advise_cmd tx items types seed data iteminfo text =
+  match parse_query text with
+  | Error e -> Error e
+  | Ok q -> (
+      match load_or_generate ~tx ~items ~types ~seed ~data ~iteminfo with
+      | Error e -> Error e
+      | Ok (db, info) ->
+          let estimate = Advisor.advise (Exec.context db info) q in
+          Format.printf "%a@." Advisor.pp estimate;
+          Ok ())
+
+let pairs_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "pairs-out" ] ~docv:"FILE" ~doc:"Write the answer pairs to a CSV file.")
+
+let rules_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE" ~doc:"Write the rules to a CSV file.")
+
+let rules_cmd tx items types seed data iteminfo min_conf min_lift top rules_out text =
+  match parse_query text with
+  | Error e -> Error e
+  | Ok q -> (
+      match load_or_generate ~tx ~items ~types ~seed ~data ~iteminfo with
+      | Error e -> Error e
+      | Ok (db, info) ->
+          let rules, r =
+            Cfq_rules.Rule.mine ~min_confidence:min_conf ~min_lift (Exec.context db info) q
+          in
+          Printf.printf "%d pairs -> %d rules (conf >= %.2f, lift >= %.2f)\n"
+            r.Exec.pair_stats.Pairs.n_pairs (List.length rules) min_conf min_lift;
+          List.iteri
+            (fun i rule ->
+              if i < top then Format.printf "%a@." Cfq_rules.Rule.pp rule)
+            rules;
+          (match rules_out with
+          | Some path ->
+              Cfq_data.Result_csv.write_rules path rules;
+              Printf.printf "wrote %d rules to %s\n" (List.length rules) path
+          | None -> ());
+          Ok ())
+
+let explain_cmd text =
+  match parse_query text with
+  | Error e -> Error e
+  | Ok q ->
+      let plan = Optimizer.plan ~nonneg:true q in
+      print_endline (Explain.plan_to_string q plan);
+      Ok ()
+
+let repl_cmd () =
+  let session = Cfq_shell.Shell.create () in
+  print_endline "cfq interactive shell; 'help' lists commands, 'quit' leaves.";
+  let rec loop () =
+    print_string "cfq> ";
+    match read_line () with
+    | exception End_of_file -> ()
+    | line ->
+        let r = Cfq_shell.Shell.eval session line in
+        if r.Cfq_shell.Shell.output <> "" then print_endline r.Cfq_shell.Shell.output;
+        if not r.Cfq_shell.Shell.quit then loop ()
+  in
+  loop ();
+  Ok ()
+
+let gen_cmd tx items types seed out info_out =
+  let db, info = build_data ~tx ~items ~types ~seed in
+  Printf.printf "transactions: %d\nitems: %d\navg length: %.2f\npages (4K): %d\n"
+    (Cfq_txdb.Tx_db.size db) items (Cfq_txdb.Tx_db.avg_tx_len db)
+    (Cfq_txdb.Tx_db.pages db);
+  (match out with
+  | Some path ->
+      Cfq_data.Fimi.write path db;
+      Printf.printf "wrote transactions to %s\n" path
+  | None -> ());
+  (match info_out with
+  | Some path ->
+      Cfq_data.Item_csv.write path info;
+      Printf.printf "wrote itemInfo to %s\n" path
+  | None -> ());
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+
+let run_t =
+  Term.(
+    term_result
+      (const run_cmd $ verbose_arg $ tx_arg $ items_arg $ types_arg $ seed_arg
+     $ strategy_arg $ pairs_arg $ data_arg $ iteminfo_arg $ pairs_out_arg
+     $ query_arg))
+
+let explain_t = Term.(term_result (const explain_cmd $ query_arg))
+
+let advise_t =
+  Term.(
+    term_result
+      (const advise_cmd $ tx_arg $ items_arg $ types_arg $ seed_arg $ data_arg
+     $ iteminfo_arg $ query_arg))
+
+let min_conf_arg =
+  Arg.(value & opt float 0.5 & info [ "min-conf" ] ~docv:"C" ~doc:"Minimum confidence.")
+
+let min_lift_arg =
+  Arg.(value & opt float 0. & info [ "min-lift" ] ~docv:"L" ~doc:"Minimum lift.")
+
+let top_arg =
+  Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Print at most N rules.")
+
+let rules_t =
+  Term.(
+    term_result
+      (const rules_cmd $ tx_arg $ items_arg $ types_arg $ seed_arg $ data_arg
+     $ iteminfo_arg $ min_conf_arg $ min_lift_arg $ top_arg $ rules_out_arg
+     $ query_arg))
+let gen_t =
+  Term.(
+    term_result
+      (const gen_cmd $ tx_arg $ items_arg $ types_arg $ seed_arg $ out_arg
+     $ info_out_arg))
+
+let run_cmd_info =
+  Cmd.info "run" ~doc:"Execute a CFQ against generated market-basket data."
+
+let explain_cmd_info =
+  Cmd.info "explain" ~doc:"Show the query optimizer's plan for a CFQ."
+
+let gen_cmd_info = Cmd.info "gen" ~doc:"Generate a database and print its statistics."
+
+let advise_cmd_info =
+  Cmd.info "advise" ~doc:"Probe the data and recommend an execution strategy."
+
+let rules_cmd_info =
+  Cmd.info "rules" ~doc:"Run the full two-phase pipeline and print rules S => T."
+
+let repl_t = Term.(term_result (const repl_cmd $ const ()))
+
+let repl_cmd_info =
+  Cmd.info "repl" ~doc:"Interactive exploratory-mining session."
+
+let main =
+  Cmd.group
+    (Cmd.info "cfq" ~version:"1.0.0"
+       ~doc:"Constrained frequent set queries with 2-variable constraints.")
+    [
+      Cmd.v run_cmd_info run_t;
+      Cmd.v explain_cmd_info explain_t;
+      Cmd.v gen_cmd_info gen_t;
+      Cmd.v advise_cmd_info advise_t;
+      Cmd.v rules_cmd_info rules_t;
+      Cmd.v repl_cmd_info repl_t;
+    ]
+
+let () = exit (Cmd.eval main)

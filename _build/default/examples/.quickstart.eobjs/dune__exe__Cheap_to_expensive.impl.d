@@ -1,0 +1,1 @@
+examples/cheap_to_expensive.ml: Cfq_core Cfq_itembase Cfq_mining Cfq_quest Dist Exec Explain Item_gen Itemset List Optimizer Pairs Parser Plan Planted Printf Query Splitmix

@@ -1,0 +1,1 @@
+examples/cheap_to_expensive.mli:

@@ -1,0 +1,1 @@
+examples/explain_plan.ml: Cfq_core Explain List Optimizer Parser Printf

@@ -1,0 +1,1 @@
+examples/exploration.ml: Cfq_shell List Printf

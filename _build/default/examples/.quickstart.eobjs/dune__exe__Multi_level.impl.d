@@ -1,0 +1,1 @@
+examples/multi_level.ml: Cfq_core Cfq_itembase Cfq_mining Cfq_quest Exec Explain Item_gen Item_info Itemset List Option Pairs Parser Printf Query Quest_gen Splitmix Taxonomy

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cfq_core Cfq_itembase Cfq_mining Cfq_quest Cfq_txdb Exec Explain Item_gen List Parser Plan Printf Query Quest_gen Splitmix

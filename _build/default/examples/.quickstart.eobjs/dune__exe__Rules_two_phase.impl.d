@@ -1,0 +1,1 @@
+examples/rules_two_phase.ml: Cfq_core Cfq_itembase Cfq_quest Cfq_rules Exec Item_gen Item_info Itemset List Metric Pairs Parser Printf Query Quest_gen Rule Splitmix String

@@ -1,0 +1,1 @@
+examples/rules_two_phase.mli:

@@ -1,0 +1,1 @@
+examples/snacks_beers.ml: Array Cfq_core Cfq_itembase Cfq_mining Cfq_quest Dist Exec Item_gen Item_info Itemset List Pairs Parser Plan Printf Query Quest_gen Splitmix String

@@ -1,0 +1,1 @@
+examples/snacks_beers.mli:

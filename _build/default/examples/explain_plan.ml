@@ -1,0 +1,34 @@
+(* EXPLAIN: what the Figure 7 query optimizer decides for various CFQs —
+   which 2-var constraints are quasi-succinct, which get induced weaker
+   constraints, where the iterative Jmax filter goes, and when the plan is
+   certified ccc-optimal.
+
+     dune exec examples/explain_plan.exe *)
+
+open Cfq_core
+
+let explain text =
+  let q = Parser.parse text in
+  let plan = Optimizer.plan ~nonneg:true q in
+  Printf.printf "%s\n%s\n\n" text (Explain.plan_to_string q plan)
+
+let () =
+  List.iter explain
+    [
+      (* quasi-succinct: tight reduction, ccc-optimal *)
+      "{(S,T) | max(S.Price) <= min(T.Price)}";
+      (* all-domain constraints are quasi-succinct *)
+      "{(S,T) | S.Type disjoint T.Type}";
+      (* induced weaker constraint (Figure 4) *)
+      "{(S,T) | sum(S.Price) <= max(T.Price)}";
+      (* the hardest case: iterative Jmax/V^k pruning on the S lattice *)
+      "{(S,T) | sum(S.Price) <= sum(T.Price)}";
+      (* mirrored: the filter lands on the T lattice *)
+      "{(S,T) | sum(T.Price) <= sum(S.Price)}";
+      (* avg-vs-sum: V^k exists but cannot be used as a candidate filter *)
+      "{(S,T) | avg(S.Price) <= sum(T.Price)}";
+      (* mixed query with 1-var constraints *)
+      "{(S,T) | S.Price >= 400 & T.Price <= 600 & S.Type = T.Type}";
+      (* not certifiable: non-succinct 1-var constraint in the mix *)
+      "{(S,T) | sum(S.Price) <= 100 & S.Type = T.Type}";
+    ]

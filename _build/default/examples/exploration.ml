@@ -1,0 +1,32 @@
+(* The exploratory-mining workflow the paper's introduction argues for:
+   generate (or load) data, ask the advisor what a query would cost, refine
+   the constraints, and only then run — all through the same session object
+   that backs `cfq repl`.
+
+     dune exec examples/exploration.exe *)
+
+let step session line =
+  Printf.printf "cfq> %s\n" line;
+  let r = Cfq_shell.Shell.eval session line in
+  if r.Cfq_shell.Shell.output <> "" then print_endline r.Cfq_shell.Shell.output;
+  print_newline ()
+
+let () =
+  let session = Cfq_shell.Shell.create () in
+  List.iter (step session)
+    [
+      (* attach data *)
+      "gen 4000 300";
+      "stats";
+      (* a first, vague idea: expensive things implied by cheap things *)
+      "explain max(S.Price) <= min(T.Price)";
+      (* what would it cost? what does the optimizer recommend? *)
+      "advise freq(S) >= 0.01 & freq(T) >= 0.01 & max(S.Price) <= min(T.Price)";
+      (* refine: focus the antecedent on cheap items only *)
+      "run freq(S) >= 0.01 & freq(T) >= 0.01 & S.Price <= 200 & max(S.Price) <= min(T.Price)";
+      "pairs 5";
+      (* phase 2: turn the interesting pairs into ranked rules *)
+      "set minconf 0.6";
+      "rules freq(S) >= 0.01 & freq(T) >= 0.01 & S.Price <= 200 & max(S.Price) <= min(T.Price)";
+      "quit";
+    ]

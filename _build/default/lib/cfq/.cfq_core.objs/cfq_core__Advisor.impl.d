@@ -1,0 +1,1 @@
+lib/cfq/advisor.ml: Array Bundle Cfq_constr Cfq_itembase Cfq_txdb Exec Format Io_stats Item_info Itemset List Optimizer Option Plan Printf Query Reduce Tx_db

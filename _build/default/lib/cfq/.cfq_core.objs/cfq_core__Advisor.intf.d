@@ -1,0 +1,1 @@
+lib/cfq/advisor.mli: Cfq_txdb Exec Format Io_stats Plan Query

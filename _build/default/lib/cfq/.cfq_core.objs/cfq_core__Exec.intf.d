@@ -1,0 +1,1 @@
+lib/cfq/exec.mli: Cfq_itembase Cfq_mining Cfq_txdb Counters Frequent Io_stats Item_info Level_stats Pairs Plan Query Tx_db

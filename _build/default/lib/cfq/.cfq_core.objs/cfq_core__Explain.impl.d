@@ -1,0 +1,1 @@
+lib/cfq/explain.ml: Array Cfq_mining Cfq_txdb Counters Exec Format Frequent Io_stats Level_stats List Pairs Plan Query

@@ -1,0 +1,1 @@
+lib/cfq/explain.mli: Exec Format Plan Query

@@ -1,0 +1,1 @@
+lib/cfq/optimizer.ml: Agg Cfq_constr Classify Cmp Induce List One_var Plan Query Two_var

@@ -1,0 +1,1 @@
+lib/cfq/optimizer.mli: Plan Query

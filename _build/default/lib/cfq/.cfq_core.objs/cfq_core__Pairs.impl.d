@@ -1,0 +1,1 @@
+lib/cfq/pairs.ml: Agg Array Cfq_constr Cfq_itembase Cfq_mining Cmp Float Frequent Hashtbl List Option Printf Seq String Two_var

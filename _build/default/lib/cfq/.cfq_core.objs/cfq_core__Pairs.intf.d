@@ -1,0 +1,1 @@
+lib/cfq/pairs.mli: Cfq_constr Cfq_itembase Cfq_mining Frequent Item_info Two_var

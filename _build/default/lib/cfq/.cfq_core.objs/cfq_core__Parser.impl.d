@@ -1,0 +1,1 @@
+lib/cfq/parser.ml: Agg Array Attr Cfq_constr Cfq_itembase Cmp Format List One_var Option Query String Two_var Value_set

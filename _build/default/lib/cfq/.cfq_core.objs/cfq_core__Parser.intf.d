@@ -1,0 +1,1 @@
+lib/cfq/parser.mli: Query

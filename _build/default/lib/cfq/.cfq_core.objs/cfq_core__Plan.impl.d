@@ -1,0 +1,1 @@
+lib/cfq/plan.ml: Cfq_constr Format List Two_var

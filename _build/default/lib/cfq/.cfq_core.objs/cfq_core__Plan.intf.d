@@ -1,0 +1,1 @@
+lib/cfq/plan.mli: Cfq_constr Format Two_var

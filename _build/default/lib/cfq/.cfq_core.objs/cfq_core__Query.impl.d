@@ -1,0 +1,1 @@
+lib/cfq/query.ml: Cfq_constr Format List One_var Two_var

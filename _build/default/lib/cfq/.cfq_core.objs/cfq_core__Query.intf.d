@@ -1,0 +1,1 @@
+lib/cfq/query.mli: Cfq_constr Format One_var Two_var

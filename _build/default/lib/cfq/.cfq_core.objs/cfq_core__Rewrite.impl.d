@@ -1,0 +1,1 @@
+lib/cfq/rewrite.ml: Agg Attr Cfq_constr Cfq_itembase Cmp Format List One_var Printf Query Value_set

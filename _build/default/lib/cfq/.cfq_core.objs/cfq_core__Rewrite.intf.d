@@ -1,0 +1,1 @@
+lib/cfq/rewrite.mli: Query

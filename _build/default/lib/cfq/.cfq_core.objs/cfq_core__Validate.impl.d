@@ -1,0 +1,1 @@
+lib/cfq/validate.ml: Agg Attr Cfq_constr Cfq_itembase Format Item_info List One_var Printf Query Two_var

@@ -1,0 +1,1 @@
+lib/cfq/validate.mli: Cfq_itembase Format Item_info Query

@@ -1,0 +1,124 @@
+open Cfq_itembase
+open Cfq_txdb
+open Cfq_constr
+
+type estimate = {
+  strategy : Plan.strategy;
+  s_l1 : int;
+  t_l1 : int;
+  s_after : int;
+  t_after : int;
+  l2_baseline : int;
+  l2_optimized : int;
+  reasons : string list;
+}
+
+let pp ppf e =
+  Format.fprintf ppf
+    "@[<v>recommended strategy: %s@,\
+     frequent items: S %d -> %d after reduction, T %d -> %d@,\
+     level-2 candidates: baseline %d vs optimized %d"
+    (Plan.strategy_name e.strategy) e.s_l1 e.s_after e.t_l1 e.t_after e.l2_baseline
+    e.l2_optimized;
+  List.iter (fun r -> Format.fprintf ppf "@,- %s" r) e.reasons;
+  Format.fprintf ppf "@]"
+
+let pairs n = n * (n - 1) / 2
+
+let advise ?io ctx (q : Query.t) =
+  let io = Option.value ~default:(Io_stats.create ()) io in
+  let universe_s = Item_info.universe_size ctx.Exec.s_info in
+  let universe_t = Item_info.universe_size ctx.Exec.t_info in
+  (* one probe scan: global item frequencies (both sides share the db) *)
+  let freqs =
+    Tx_db.item_frequencies ctx.Exec.db io ~universe_size:(max universe_s universe_t)
+  in
+  let minsup_s = Tx_db.absolute_support ctx.Exec.db q.Query.s_minsup in
+  let minsup_t = Tx_db.absolute_support ctx.Exec.db q.Query.t_minsup in
+  let side info cs minsup universe =
+    let bundle = Bundle.compile ~nonneg:ctx.Exec.nonneg info cs in
+    let l1 = ref [] in
+    for i = universe - 1 downto 0 do
+      if freqs.(i) >= minsup && Bundle.permits_item bundle i then l1 := i :: !l1
+    done;
+    (bundle, Itemset.of_list !l1)
+  in
+  let s_bundle, l1_s = side ctx.Exec.s_info q.Query.s_constraints minsup_s universe_s in
+  let t_bundle, l1_t = side ctx.Exec.t_info q.Query.t_constraints minsup_t universe_t in
+  (* simulate the reduction and re-filter both item pools *)
+  let reductions =
+    List.map
+      (fun c -> Reduce.reduce ~s_info:ctx.Exec.s_info ~t_info:ctx.Exec.t_info ~l1_s ~l1_t c)
+      q.Query.two_var
+  in
+  let after bundle l1 conds_of =
+    let bundle =
+      List.fold_left
+        (fun b red -> Bundle.add ~nonneg:ctx.Exec.nonneg b (conds_of red))
+        bundle reductions
+    in
+    Itemset.count (fun i -> Bundle.permits_item bundle i) l1
+  in
+  let s_after = after s_bundle l1_s (fun r -> r.Reduce.s_conds) in
+  let t_after = after t_bundle l1_t (fun r -> r.Reduce.t_conds) in
+  (* the unconstrained baseline mines one lattice over all frequent items *)
+  let baseline_l1 =
+    let minsup = min minsup_s minsup_t in
+    let n = ref 0 in
+    Array.iter (fun f -> if f >= minsup then incr n) freqs;
+    !n
+  in
+  let l2_baseline = pairs baseline_l1 in
+  let l2_optimized = pairs s_after + pairs t_after in
+  let n_constraints =
+    List.length q.Query.s_constraints + List.length q.Query.t_constraints
+    + List.length q.Query.two_var
+  in
+  let plan = Optimizer.plan ~nonneg:ctx.Exec.nonneg q in
+  let has_jmax_s = List.exists (fun h -> h.Plan.jmax_on_s) plan.Plan.handlings in
+  let has_jmax_t = List.exists (fun h -> h.Plan.jmax_on_t) plan.Plan.handlings in
+  let strategy, reasons =
+    if n_constraints = 0 then
+      ( Plan.Apriori_plus,
+        [ "no constraints: both variables share one lattice; mine it once" ] )
+    else if has_jmax_s && t_after * 2 <= s_after then
+      ( Plan.Sequential_t_first,
+        [
+          "iterative sum pruning filters the S lattice";
+          Printf.sprintf
+            "the bounding T lattice is much smaller (%d vs %d items): completing it \
+             first buys the exact bound cheaply"
+            t_after s_after;
+        ] )
+    else if l2_optimized >= l2_baseline then
+      ( Plan.Apriori_plus,
+        [
+          Printf.sprintf
+            "constraints prune too little (level-2: %d constrained vs %d shared): the \
+             single baseline lattice is cheaper, with 2-var constraints checked at \
+             pair formation"
+            l2_optimized l2_baseline;
+        ] )
+    else
+      ( Plan.Optimized,
+        [
+          Printf.sprintf "reduction shrinks level 2 to %d candidates (baseline %d)"
+            l2_optimized l2_baseline;
+          "dovetailing shares every scan between the two lattices";
+        ] )
+  in
+  let reasons =
+    if has_jmax_t && strategy = Plan.Optimized then
+      reasons @ [ "a sum constraint also filters the T lattice; dovetailing feeds it" ]
+    else reasons
+  in
+  {
+    strategy;
+    s_l1 = Itemset.cardinal l1_s;
+    t_l1 = Itemset.cardinal l1_t;
+    s_after;
+    t_after;
+    l2_baseline;
+    l2_optimized;
+    reasons;
+  }

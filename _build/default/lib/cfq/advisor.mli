@@ -1,0 +1,36 @@
+(** A first cost model for choosing between computation strategies — the
+    paper's open problem (2) ("developing more detailed cost models for
+    CFQs, as well as optimizers incorporating such models").
+
+    The advisor pays one probe scan to learn the level-1 frequency profile,
+    simulates the quasi-succinct reduction on it, and estimates the level-2
+    candidate volume of each strategy (levelwise computations are typically
+    dominated by level 2).  Selection rules:
+
+    {ul
+    {- no constraints at all: the two lattices coincide, so the baseline's
+       single shared lattice wins ([Apriori_plus], cf. the Section 6.2
+       remark on when Apriori+ is ccc-optimal);}
+    {- an iterative-sum constraint whose bounding side is much cheaper than
+       the filtered side: complete the bounding lattice first
+       ([Sequential_t_first], the Section 5.2 "global maximum M" strategy);}
+    {- otherwise: dovetailed [Optimized].}} *)
+
+open Cfq_txdb
+
+type estimate = {
+  strategy : Plan.strategy;  (** the recommendation *)
+  s_l1 : int;  (** frequent S items before reduction *)
+  t_l1 : int;
+  s_after : int;  (** ... after applying the reduced universe conditions *)
+  t_after : int;
+  l2_baseline : int;  (** level-2 candidates of the shared baseline lattice *)
+  l2_optimized : int;  (** level-2 candidates of the two reduced lattices *)
+  reasons : string list;
+}
+
+val pp : Format.formatter -> estimate -> unit
+
+(** [advise ctx q] probes the database (one scan, charged to [io]) and
+    recommends a strategy. *)
+val advise : ?io:Io_stats.t -> Exec.ctx -> Query.t -> estimate

@@ -1,0 +1,62 @@
+open Cfq_constr
+
+(* Is an anti-monotone iterative filter [agg(X.attr) ≤ V^k] available on the
+   side whose aggregate must stay small?  This needs (i) the bound to come
+   from a [sum] on the other side, so the V^k series actually tightens, and
+   (ii) the filtered aggregate to make [agg ≤ c] anti-monotone. *)
+let jmax_filterable ~nonneg small_agg large_agg =
+  nonneg && Agg.equal large_agg Agg.Sum
+  && (match small_agg with
+     | Agg.Sum | Agg.Max | Agg.Count -> true
+     | Agg.Min | Agg.Avg -> false)
+
+let handle_two_var ~nonneg c =
+  let quasi_succinct = Classify.quasi_succinct c in
+  let induced = Induce.weaken ~nonneg c in
+  let jmax_on_s, jmax_on_t =
+    match c with
+    | Two_var.Agg2 (agg1, _, op, agg2, _) -> (
+        match Cmp.direction op with
+        | `Upper -> (jmax_filterable ~nonneg agg1 agg2, false)
+        | `Lower -> (false, jmax_filterable ~nonneg agg2 agg1)
+        | `Equal ->
+            (jmax_filterable ~nonneg agg1 agg2, jmax_filterable ~nonneg agg2 agg1)
+        | `Distinct -> (false, false))
+    | Two_var.Set2 _ -> (false, false)
+  in
+  { Plan.constr = c; quasi_succinct; induced; jmax_on_s; jmax_on_t }
+
+let plan ?(strategy = Plan.Optimized) ~nonneg q =
+  let handlings =
+    match strategy with
+    | Plan.Apriori_plus | Plan.Cap_one_var | Plan.Full_materialize -> []
+    | Plan.Optimized | Plan.Sequential_t_first ->
+        List.map (handle_two_var ~nonneg) q.Query.two_var
+  in
+  let one_var_succinct =
+    List.for_all One_var.is_succinct (q.Query.s_constraints @ q.Query.t_constraints)
+  in
+  let two_var_qs = List.for_all Classify.quasi_succinct q.Query.two_var in
+  let ccc_optimal =
+    match strategy with
+    | Plan.Optimized -> one_var_succinct && two_var_qs
+    | Plan.Cap_one_var -> one_var_succinct && q.Query.two_var = []
+    | Plan.Apriori_plus | Plan.Full_materialize -> false
+    | Plan.Sequential_t_first ->
+        (* same counting/checking profile as Optimized; the trade-off is in
+           scans, which ccc-optimality does not measure *)
+        one_var_succinct && two_var_qs
+  in
+  let notes =
+    List.concat_map
+      (fun h ->
+        match (h.Plan.constr, h.Plan.quasi_succinct) with
+        | Two_var.Agg2 (Agg.Avg, _, (Cmp.Le | Cmp.Lt), Agg.Sum, _), false ->
+            [
+              "avg-vs-sum: the V^k series exists but [avg <= V] is not \
+               anti-monotone, so no iterative candidate filter is installed";
+            ]
+        | _ -> [])
+      handlings
+  in
+  { Plan.strategy; handlings; ccc_optimal; notes }

@@ -1,0 +1,13 @@
+(** The CFQ query optimizer (Section 6, Figure 7).
+
+    Given a CFQ, the optimizer separates 1-var from 2-var constraints,
+    splits the 2-var constraints into quasi-succinct and
+    non-quasi-succinct, decides how each is pushed (tight reduction, sound
+    bound reduction subsuming the Figure 4 induction, iterative [Jmax]/[V^k]
+    filtering), and certifies ccc-optimality for the class of 1-var
+    succinct + 2-var quasi-succinct constraints (Theorem 4, Corollary 2). *)
+
+(** [plan ?strategy ~nonneg q] produces the computation plan.  [strategy]
+    defaults to {!Plan.Optimized}; [nonneg] states that all aggregated
+    attribute values are non-negative (required by the [sum] rules). *)
+val plan : ?strategy:Plan.strategy -> nonneg:bool -> Query.t -> Plan.t

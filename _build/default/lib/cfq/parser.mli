@@ -1,0 +1,37 @@
+(** Textual syntax for CFQs.
+
+    Example queries:
+
+    {v
+    {(S, T) | freq(S) >= 0.01 & freq(T) >= 0.01 &
+              sum(S.Price) <= 100 & avg(T.Price) >= 200}
+    {(S, T) | max(S.Price) <= min(T.Price)}
+    {(S, T) | S.Type = {2} & T.Type = {5} & S.Type disjoint T.Type}
+    {(S, T) | count(S.Type) = 1 & S.Type != T.Type}
+    v}
+
+    Grammar (informally): a query is an optional [{(S,T) | ... }] wrapper
+    around a ['&']-separated conjunction of atoms.  Atoms are:
+
+    {ul
+    {- [freq(S) >= f] / [freq(T) >= f] — support thresholds;}
+    {- [agg(V.A) cmp x] with [agg ∈ min,max,sum,avg,count] and [x] a number
+       or another [agg(V'.A')] (2-var when [V' ≠ V]);}
+    {- [V.A cmp c] — domain shorthand: [S.Price >= 400] abbreviates
+       [min(S.Price) >= 400], [S.Price <= 400] abbreviates
+       [max(S.Price) <= 400], and [S.A = c] abbreviates [S.A = {c}];}
+    {- [V.A setop {v1, ...}] with [setop ∈ subset, superset, disjoint,
+       intersects, =, !=] — 1-var domain constraints;}
+    {- [V.A setop V'.A'] — 2-var domain constraints;}
+    {- [|V| cmp n] — cardinality.}}
+
+    All 2-var atoms are normalised so that [S] appears on the left. *)
+
+exception Parse_error of string
+
+(** [parse ?defaults text] parses a query, starting from [defaults]
+    (default thresholds 1%) and adding every parsed atom. *)
+val parse : ?defaults:Query.t -> string -> Query.t
+
+(** [parse_result] is [parse] wrapped in a [result]. *)
+val parse_result : ?defaults:Query.t -> string -> (Query.t, string) result

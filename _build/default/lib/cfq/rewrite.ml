@@ -1,0 +1,180 @@
+open Cfq_itembase
+open Cfq_constr
+
+type outcome = {
+  query : Query.t;
+  s_unsat : bool;
+  t_unsat : bool;
+  notes : string list;
+}
+
+(* key for mergeable aggregate atoms: aggregate, attribute, bound direction *)
+type agg_key = {
+  agg : Agg.t;
+  attr_name : string;
+  upper : bool;
+}
+
+type side_state = {
+  mutable uppers : (agg_key * (Cmp.t * float)) list;  (* tightest upper per key *)
+  mutable lowers : (agg_key * (Cmp.t * float)) list;
+  mutable subsets : (string * Attr.t * Value_set.t) list;  (* intersected *)
+  mutable supersets : (string * Attr.t * Value_set.t) list;  (* unioned *)
+  mutable disjoints : (string * Attr.t * Value_set.t) list;  (* unioned *)
+  mutable others : One_var.t list;  (* kept verbatim *)
+  mutable unsat : bool;
+  mutable notes : string list;
+}
+
+let new_state () =
+  {
+    uppers = [];
+    lowers = [];
+    subsets = [];
+    supersets = [];
+    disjoints = [];
+    others = [];
+    unsat = false;
+    notes = [];
+  }
+
+let note st fmt = Format.kasprintf (fun s -> st.notes <- s :: st.notes) fmt
+
+(* (op1, c1) tighter-or-equal than (op2, c2) as an upper bound *)
+let tighter_upper (op1, c1) (op2, c2) =
+  c1 < c2 || (c1 = c2 && (op1 = Cmp.Lt || op2 = Cmp.Le))
+
+let tighter_lower (op1, c1) (op2, c2) =
+  c1 > c2 || (c1 = c2 && (op1 = Cmp.Gt || op2 = Cmp.Ge))
+
+let merge_assoc st key bound current ~tighter ~what =
+  match List.assoc_opt key current with
+  | None -> (key, bound) :: current
+  | Some existing ->
+      if tighter bound existing then begin
+        note st "tightened %s bound on %s(%s)" what (Agg.to_string key.agg) key.attr_name;
+        (key, bound) :: List.remove_assoc key current
+      end
+      else begin
+        note st "dropped redundant %s bound on %s(%s)" what (Agg.to_string key.agg)
+          key.attr_name;
+        current
+      end
+
+let merge_valueset st var kind combine l (name, attr, vs) =
+  match List.find_opt (fun (n, _, _) -> n = name) l with
+  | None -> (name, attr, vs) :: l
+  | Some (_, _, existing) ->
+      note st "merged %s constraints on %s.%s" kind var name;
+      (name, attr, combine existing vs)
+      :: List.filter (fun (n, _, _) -> n <> name) l
+
+let add_atom st var (c : One_var.t) =
+  match c with
+  | One_var.Nonempty ->
+      note st "dropped trivial |%s| >= 1" var
+  | One_var.Card_cmp ((Cmp.Ge | Cmp.Gt), k) when k <= 0 ->
+      note st "dropped trivial cardinality bound on %s" var
+  | One_var.Card_cmp (Cmp.Ge, 1) -> note st "dropped trivial |%s| >= 1" var
+  | One_var.Card_cmp ((Cmp.Le | Cmp.Lt), k) when k <= 0 ->
+      st.unsat <- true;
+      note st "%s requires at most %d items: unsatisfiable for non-empty sets" var k
+  | One_var.Agg_cmp (agg, a, ((Cmp.Le | Cmp.Lt) as op), cst) ->
+      let key = { agg; attr_name = a.Attr.name; upper = true } in
+      st.uppers <- merge_assoc st key (op, cst) st.uppers ~tighter:tighter_upper ~what:"upper"
+  | One_var.Agg_cmp (agg, a, ((Cmp.Ge | Cmp.Gt) as op), cst) ->
+      let key = { agg; attr_name = a.Attr.name; upper = false } in
+      st.lowers <- merge_assoc st key (op, cst) st.lowers ~tighter:tighter_lower ~what:"lower"
+  | One_var.Dom_subset (a, vs) ->
+      st.subsets <- merge_valueset st var "subset" Value_set.inter st.subsets (a.Attr.name, a, vs)
+  | One_var.Dom_superset (a, vs) ->
+      st.supersets <-
+        merge_valueset st var "superset" Value_set.union st.supersets (a.Attr.name, a, vs)
+  | One_var.Dom_disjoint (a, vs) ->
+      st.disjoints <-
+        merge_valueset st var "disjoint" Value_set.union st.disjoints (a.Attr.name, a, vs)
+  | One_var.Agg_cmp _ | One_var.Dom_intersect _ | One_var.Dom_not_superset _
+  | One_var.Card_cmp _ ->
+      st.others <- c :: st.others
+
+let check_contradictions st var =
+  (* crossing aggregate bounds on the same key *)
+  List.iter
+    (fun (key, (op_u, c_u)) ->
+      match List.assoc_opt { key with upper = false } st.lowers with
+      | Some (op_l, c_l) ->
+          let crossing =
+            c_l > c_u
+            || (c_l = c_u && (op_u = Cmp.Lt || op_l = Cmp.Gt))
+          in
+          if crossing then begin
+            st.unsat <- true;
+            note st "%s: %s(%s) bounded %s %g and %s %g simultaneously" var
+              (Agg.to_string key.agg) key.attr_name (Cmp.to_string op_u) c_u
+              (Cmp.to_string op_l) c_l
+          end
+      | None -> ())
+    st.uppers;
+  (* subset of the empty set *)
+  List.iter
+    (fun (name, _, vs) ->
+      if Value_set.is_empty vs then begin
+        st.unsat <- true;
+        note st "%s.%s must be a subset of the empty set" var name
+      end)
+    st.subsets;
+  (* superset vs subset / disjoint *)
+  List.iter
+    (fun (name, _, required) ->
+      (match List.find_opt (fun (n, _, _) -> n = name) st.subsets with
+      | Some (_, _, allowed) when not (Value_set.subset required allowed) ->
+          st.unsat <- true;
+          note st "%s.%s must contain values outside its allowed set" var name
+      | Some _ | None -> ());
+      match List.find_opt (fun (n, _, _) -> n = name) st.disjoints with
+      | Some (_, _, banned) when not (Value_set.disjoint required banned) ->
+          st.unsat <- true;
+          note st "%s.%s must contain a banned value" var name
+      | Some _ | None -> ())
+    st.supersets
+
+let atoms_of st =
+  List.rev st.others
+  @ List.rev_map (fun (key, (op, c)) ->
+        One_var.Agg_cmp (key.agg, Attr.make key.attr_name Attr.Numeric, op, c))
+      (st.uppers @ st.lowers)
+  @ List.rev_map (fun (_, a, vs) -> One_var.Dom_subset (a, vs)) st.subsets
+  @ List.rev_map (fun (_, a, vs) -> One_var.Dom_superset (a, vs)) st.supersets
+  @ List.rev_map (fun (_, a, vs) -> One_var.Dom_disjoint (a, vs)) st.disjoints
+
+let simplify (q : Query.t) =
+  let side var atoms =
+    let st = new_state () in
+    List.iter (add_atom st var) atoms;
+    check_contradictions st var;
+    st
+  in
+  let s = side "S" q.Query.s_constraints in
+  let t = side "T" q.Query.t_constraints in
+  let two_var, dropped =
+    List.fold_left
+      (fun (kept, dropped) c ->
+        if List.mem c kept then (kept, dropped + 1) else (kept @ [ c ], dropped))
+      ([], 0) q.Query.two_var
+  in
+  let dup_note =
+    if dropped > 0 then [ Printf.sprintf "dropped %d duplicate 2-var constraints" dropped ]
+    else []
+  in
+  {
+    query =
+      {
+        q with
+        Query.s_constraints = atoms_of s;
+        t_constraints = atoms_of t;
+        two_var;
+      };
+    s_unsat = s.unsat;
+    t_unsat = t.unsat;
+    notes = List.rev s.notes @ List.rev t.notes @ dup_note;
+  }

@@ -1,0 +1,27 @@
+(** Constraint normalisation ahead of planning.
+
+    A CFQ arrives as a raw conjunction; this pass merges redundant atoms,
+    drops trivial ones, and detects contradictions, so the optimizer plans
+    over a minimal constraint set and provably empty queries never touch
+    the database:
+
+    {ul
+    {- aggregate bounds over the same (aggregate, attribute) merge to the
+       tightest constant, and opposite bounds that cross mark the side
+       unsatisfiable;}
+    {- [S.A ⊆ V] atoms intersect their value sets ([⊆ ∅] on a non-empty
+       set is unsatisfiable), [V ⊆ S.A] and disjointness atoms union
+       theirs;}
+    {- [V ⊆ S.A] clashing with [S.A ⊆ W] ([V ⊄ W]) or with
+       [S.A ∩ W = ∅] ([V ∩ W ≠ ∅]) is unsatisfiable;}
+    {- trivial atoms ([S ≠ ∅], [|S| ≥ 0/1]) are dropped; duplicate 2-var
+       constraints are deduplicated.}} *)
+
+type outcome = {
+  query : Query.t;  (** the simplified query *)
+  s_unsat : bool;  (** the S side admits no non-empty set *)
+  t_unsat : bool;
+  notes : string list;  (** human-readable log of applied rewrites *)
+}
+
+val simplify : Query.t -> outcome

@@ -1,0 +1,85 @@
+open Cfq_itembase
+open Cfq_constr
+
+type error = {
+  where : string;
+  reason : string;
+}
+
+let pp_error ppf e = Format.fprintf ppf "%s: %s" e.where e.reason
+
+let resolve info attr =
+  if Attr.is_self attr then Some Attr.self else Item_info.find_attr info attr.Attr.name
+
+let check_attr info ~where ~numeric attr errors =
+  match resolve info attr with
+  | None ->
+      { where; reason = Printf.sprintf "unknown attribute %S" attr.Attr.name } :: errors
+  | Some resolved ->
+      (* item ids are ordered integers: aggregating the Item pseudo-attribute
+         is meaningful even though it is nominally categorical *)
+      if numeric && resolved.Attr.kind <> Attr.Numeric && not (Attr.is_self resolved) then
+        {
+          where;
+          reason =
+            Printf.sprintf "attribute %S is categorical; min/max/sum/avg need a numeric attribute"
+              attr.Attr.name;
+        }
+        :: errors
+      else errors
+
+let numeric_agg = function
+  | Agg.Min | Agg.Max | Agg.Sum | Agg.Avg -> true
+  | Agg.Count -> false
+
+let check_one_var info var c errors =
+  let where = Format.asprintf "%a" (One_var.pp_with_var var) c in
+  match c with
+  | One_var.Dom_subset (a, _)
+  | One_var.Dom_superset (a, _)
+  | One_var.Dom_disjoint (a, _)
+  | One_var.Dom_intersect (a, _)
+  | One_var.Dom_not_superset (a, _) ->
+      check_attr info ~where ~numeric:false a errors
+  | One_var.Agg_cmp (agg, a, _, _) ->
+      check_attr info ~where ~numeric:(numeric_agg agg) a errors
+  | One_var.Card_cmp _ | One_var.Nonempty -> errors
+
+let kind_of info attr =
+  match resolve info attr with
+  | Some a -> Some a.Attr.kind
+  | None -> None
+
+let check_two_var s_info t_info c errors =
+  let where = Two_var.to_string c in
+  match c with
+  | Two_var.Set2 (a, _, b) -> (
+      let errors = check_attr s_info ~where ~numeric:false a errors in
+      let errors = check_attr t_info ~where ~numeric:false b errors in
+      match (kind_of s_info a, kind_of t_info b) with
+      | Some ka, Some kb when ka <> kb ->
+          {
+            where;
+            reason =
+              Printf.sprintf "attributes %S and %S have different kinds" a.Attr.name
+                b.Attr.name;
+          }
+          :: errors
+      | Some _, Some _ | None, _ | _, None -> errors)
+  | Two_var.Agg2 (agg1, a, _, agg2, b) ->
+      errors
+      |> check_attr s_info ~where ~numeric:(numeric_agg agg1) a
+      |> check_attr t_info ~where ~numeric:(numeric_agg agg2) b
+
+let check ~s_info ~t_info (q : Query.t) =
+  let errors = [] in
+  let errors =
+    List.fold_left (fun acc c -> check_one_var s_info "S" c acc) errors q.Query.s_constraints
+  in
+  let errors =
+    List.fold_left (fun acc c -> check_one_var t_info "T" c acc) errors q.Query.t_constraints
+  in
+  let errors =
+    List.fold_left (fun acc c -> check_two_var s_info t_info c acc) errors q.Query.two_var
+  in
+  match errors with [] -> Ok () | es -> Error (List.rev es)

@@ -1,0 +1,24 @@
+(** Static validation of a CFQ against the attribute schema.
+
+    Executed before mining so that a typo'd attribute or a meaningless
+    aggregation fails with a message instead of an exception mid-run:
+
+    {ul
+    {- every referenced attribute must exist in the corresponding side's
+       {!Cfq_itembase.Item_info} (or be the [Item] pseudo-attribute);}
+    {- [min]/[max]/[sum]/[avg] require numeric attributes; [count] and
+       domain (set) constraints accept either kind;}
+    {- 2-var set comparisons require both attributes to have the same
+       kind.}} *)
+
+open Cfq_itembase
+
+type error = {
+  where : string;  (** e.g. ["S constraint sum(S.Price) <= 100"] *)
+  reason : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [check ~s_info ~t_info q] is [Ok ()] or the list of all problems. *)
+val check : s_info:Item_info.t -> t_info:Item_info.t -> Query.t -> (unit, error list) result

@@ -1,0 +1,1 @@
+lib/constr/agg.ml: Cfq_itembase Format Item_info Itemset

@@ -1,0 +1,1 @@
+lib/constr/agg.mli: Attr Cfq_itembase Format Item_info Itemset

@@ -1,0 +1,1 @@
+lib/constr/bundle.ml: Cfq_itembase Format Item_info List Mgf One_var Sel

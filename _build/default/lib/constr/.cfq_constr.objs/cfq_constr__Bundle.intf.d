@@ -1,0 +1,1 @@
+lib/constr/bundle.mli: Cfq_itembase Format Item Item_info Itemset Mgf One_var Sel

@@ -1,0 +1,1 @@
+lib/constr/classify.ml: Agg Cmp Two_var

@@ -1,0 +1,1 @@
+lib/constr/classify.mli: Two_var

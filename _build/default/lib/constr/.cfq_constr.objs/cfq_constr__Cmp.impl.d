@@ -1,0 +1,1 @@
+lib/constr/cmp.ml: Format

@@ -1,0 +1,1 @@
+lib/constr/induce.ml: Agg Classify Cmp Two_var

@@ -1,0 +1,1 @@
+lib/constr/induce.mli: Two_var

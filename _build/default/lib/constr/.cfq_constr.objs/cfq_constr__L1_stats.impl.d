@@ -1,0 +1,1 @@
+lib/constr/l1_stats.ml: Agg Attr Cfq_itembase Item_info Itemset Value_set

@@ -1,0 +1,1 @@
+lib/constr/l1_stats.mli: Agg Attr Cfq_itembase Item_info Itemset Value_set

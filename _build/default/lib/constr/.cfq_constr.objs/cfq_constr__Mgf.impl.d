@@ -1,0 +1,1 @@
+lib/constr/mgf.ml: Agg Cfq_itembase Cmp Format Itemset List One_var Sel Value_set

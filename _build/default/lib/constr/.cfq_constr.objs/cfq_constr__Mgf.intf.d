@@ -1,0 +1,1 @@
+lib/constr/mgf.mli: Cfq_itembase Format Item Item_info Itemset One_var Sel

@@ -1,0 +1,1 @@
+lib/constr/one_var.ml: Agg Attr Cfq_itembase Cmp Format Item_info Itemset Value_set

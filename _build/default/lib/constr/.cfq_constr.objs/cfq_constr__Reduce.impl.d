@@ -1,0 +1,1 @@
+lib/constr/reduce.ml: Agg Cfq_itembase Cmp Format Itemset L1_stats One_var Option Two_var Value_set

@@ -1,0 +1,1 @@
+lib/constr/reduce.mli: Cfq_itembase Format Item_info Itemset One_var Two_var

@@ -1,0 +1,1 @@
+lib/constr/sel.ml: Attr Cfq_itembase Cmp Format Item_info List Value_set

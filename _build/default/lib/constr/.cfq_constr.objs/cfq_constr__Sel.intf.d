@@ -1,0 +1,1 @@
+lib/constr/sel.mli: Attr Cfq_itembase Cmp Format Item Item_info Value_set

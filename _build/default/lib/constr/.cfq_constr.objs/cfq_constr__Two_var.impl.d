@@ -1,0 +1,1 @@
+lib/constr/two_var.ml: Agg Attr Cfq_itembase Cmp Format Item_info Value_set

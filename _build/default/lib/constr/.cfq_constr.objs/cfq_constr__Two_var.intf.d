@@ -1,0 +1,1 @@
+lib/constr/two_var.mli: Agg Attr Cfq_itembase Cmp Format Item_info Itemset

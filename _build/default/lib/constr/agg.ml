@@ -1,0 +1,37 @@
+open Cfq_itembase
+
+type t =
+  | Min
+  | Max
+  | Sum
+  | Avg
+  | Count
+
+let equal a b = a = b
+
+let to_string = function
+  | Min -> "min"
+  | Max -> "max"
+  | Sum -> "sum"
+  | Avg -> "avg"
+  | Count -> "count"
+
+let of_string = function
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | "sum" -> Some Sum
+  | "avg" -> Some Avg
+  | "count" -> Some Count
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let apply t info attr s =
+  if Itemset.is_empty s then None
+  else
+    match t with
+    | Min -> Item_info.min_of info attr s
+    | Max -> Item_info.max_of info attr s
+    | Sum -> Some (Item_info.sum_of info attr s)
+    | Avg -> Item_info.avg_of info attr s
+    | Count -> Some (float_of_int (Item_info.count_distinct info attr s))

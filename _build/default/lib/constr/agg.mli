@@ -1,0 +1,23 @@
+(** SQL-style aggregation functions of the CFQ constraint language.
+
+    [Count] is the number of distinct attribute values, as in the paper's
+    [count(S.Type) = 1]; the other four aggregate the multiset of attribute
+    values of the items in the set. *)
+
+open Cfq_itembase
+
+type t =
+  | Min
+  | Max
+  | Sum
+  | Avg
+  | Count
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val of_string : string -> t option
+
+(** [apply agg info attr s] evaluates the aggregate over a non-empty set;
+    [None] on the empty set (SQL NULL). *)
+val apply : t -> Item_info.t -> Attr.t -> Itemset.t -> float option

@@ -1,0 +1,14 @@
+let anti_monotone_s = function
+  | Two_var.Set2 (_, Two_var.Disjoint, _) -> true
+  | Two_var.Set2 _ -> false
+  | Two_var.Agg2 (Agg.Max, _, (Cmp.Le | Cmp.Lt), Agg.Min, _) -> true
+  | Two_var.Agg2 (Agg.Min, _, (Cmp.Ge | Cmp.Gt), Agg.Max, _) -> true
+  | Two_var.Agg2 _ -> false
+
+let anti_monotone_t c = anti_monotone_s (Two_var.swap c)
+let anti_monotone c = anti_monotone_s c && anti_monotone_t c
+
+let quasi_succinct = function
+  | Two_var.Set2 _ -> true
+  | Two_var.Agg2 ((Agg.Min | Agg.Max), _, _, (Agg.Min | Agg.Max), _) -> true
+  | Two_var.Agg2 _ -> false

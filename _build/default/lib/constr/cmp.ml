@@ -1,0 +1,57 @@
+type t =
+  | Le
+  | Lt
+  | Ge
+  | Gt
+  | Eq
+  | Ne
+
+let eval t a b =
+  match t with
+  | Le -> a <= b
+  | Lt -> a < b
+  | Ge -> a >= b
+  | Gt -> a > b
+  | Eq -> a = b
+  | Ne -> a <> b
+
+let flip = function
+  | Le -> Ge
+  | Lt -> Gt
+  | Ge -> Le
+  | Gt -> Lt
+  | Eq -> Eq
+  | Ne -> Ne
+
+let negate = function
+  | Le -> Gt
+  | Lt -> Ge
+  | Ge -> Lt
+  | Gt -> Le
+  | Eq -> Ne
+  | Ne -> Eq
+
+let direction = function
+  | Le | Lt -> `Upper
+  | Ge | Gt -> `Lower
+  | Eq -> `Equal
+  | Ne -> `Distinct
+
+let to_string = function
+  | Le -> "<="
+  | Lt -> "<"
+  | Ge -> ">="
+  | Gt -> ">"
+  | Eq -> "="
+  | Ne -> "!="
+
+let of_string = function
+  | "<=" -> Some Le
+  | "<" -> Some Lt
+  | ">=" -> Some Ge
+  | ">" -> Some Gt
+  | "=" | "==" -> Some Eq
+  | "!=" | "<>" -> Some Ne
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

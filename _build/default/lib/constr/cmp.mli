@@ -1,0 +1,24 @@
+(** Comparison operators of the constraint language. *)
+
+type t =
+  | Le
+  | Lt
+  | Ge
+  | Gt
+  | Eq
+  | Ne
+
+val eval : t -> float -> float -> bool
+
+(** [flip t] swaps the operand roles: [a t b <=> b (flip t) a]. *)
+val flip : t -> t
+
+(** [negate t] is the complement: [a t b <=> not (a (negate t) b)]. *)
+val negate : t -> t
+
+(** Direction of an ordering comparison, if any. *)
+val direction : t -> [ `Upper | `Lower | `Equal | `Distinct ]
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val of_string : string -> t option

@@ -1,0 +1,53 @@
+(* Replace the aggregate on the side that must be small (the lower side of
+   the comparison) by an aggregate it dominates. *)
+let lower_side ~nonneg = function
+  | Agg.Avg -> Some Agg.Min (* min ≤ avg *)
+  | Agg.Sum -> if nonneg then Some Agg.Max (* max ≤ sum *) else None
+  | Agg.Min | Agg.Max | Agg.Count -> None
+
+(* ... and on the side that must be large, by an aggregate dominating it. *)
+let upper_side = function
+  | Agg.Avg -> Some Agg.Max (* avg ≤ max *)
+  | Agg.Sum | Agg.Min | Agg.Max | Agg.Count -> None
+
+let weaken ~nonneg c =
+  match c with
+  | Two_var.Set2 _ -> None
+  | Two_var.Agg2 (agg1, a, op, agg2, b) -> (
+      if Classify.quasi_succinct c then None
+      else
+        let rewrite small large =
+          (* [small] must end up ≤ [large]; each side keeps its aggregate
+             when already min/max *)
+          let small' =
+            match small with
+            | Agg.Min | Agg.Max -> Some small
+            | Agg.Avg | Agg.Sum | Agg.Count -> lower_side ~nonneg small
+          in
+          let large' =
+            match large with
+            | Agg.Min | Agg.Max -> Some large
+            | Agg.Avg | Agg.Sum | Agg.Count -> upper_side large
+          in
+          match (small', large') with
+          | Some x, Some y -> Some (x, y)
+          | _ -> None
+        in
+        match Cmp.direction op with
+        | `Upper -> (
+            match rewrite agg1 agg2 with
+            | Some (agg1', agg2') -> Some (Two_var.Agg2 (agg1', a, op, agg2', b))
+            | None -> None)
+        | `Lower -> (
+            match rewrite agg2 agg1 with
+            | Some (agg2', agg1') -> Some (Two_var.Agg2 (agg1', a, op, agg2', b))
+            | None -> None)
+        | `Equal -> (
+            (* agg1 = agg2 implies both ≤ and ≥; weaken each and keep the
+               conjunction only if both directions survive — we return the ≤
+               direction when available, which is where the pruning power
+               lies *)
+            match rewrite agg1 agg2 with
+            | Some (agg1', agg2') -> Some (Two_var.Agg2 (agg1', a, Cmp.Le, agg2', b))
+            | None -> None)
+        | `Distinct -> None)

@@ -1,0 +1,14 @@
+(** Induced weaker 2-var constraints (Section 5.1, Figure 4).
+
+    A non-quasi-succinct constraint (one involving [sum] or [avg]) implies a
+    weaker quasi-succinct constraint obtained by replacing, on the side that
+    must be {e small}, [avg] by [min] and [sum] by [max] (assuming
+    non-negative values), and on the side that must be {e large}, [avg] by
+    [max].  [sum] on the large side admits no such replacement; those
+    constraints are handled by the iterative [Jmax]/[V^k] pruning of
+    Section 5.2 instead (and by the direct bound reduction of {!Reduce}). *)
+
+(** [weaken ~nonneg c] is [Some c'] where [c'] is a quasi-succinct
+    constraint implied by [c], when the Figure 4 rules produce one; [None]
+    if [c] is already quasi-succinct or no rule applies. *)
+val weaken : nonneg:bool -> Two_var.t -> Two_var.t option

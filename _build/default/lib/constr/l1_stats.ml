@@ -1,0 +1,41 @@
+open Cfq_itembase
+
+type t = {
+  attr : Attr.t;
+  values : Value_set.t;
+  vmin : float option;
+  vmax : float option;
+  sum_pos : float;
+  sum_neg : float;
+}
+
+let make info attr l1 =
+  let values = Item_info.project info attr l1 in
+  let sum_pos, sum_neg =
+    Itemset.fold
+      (fun (p, n) e ->
+        let v = Item_info.value info attr e in
+        if v > 0. then (p +. v, n) else (p, n +. v))
+      (0., 0.) l1
+  in
+  { attr; values; vmin = Value_set.min_value values; vmax = Value_set.max_value values; sum_pos; sum_neg }
+
+let achievable_ub agg t =
+  match agg with
+  | Agg.Min | Agg.Max | Agg.Avg -> t.vmax
+  | Agg.Sum -> (
+      match t.vmax with
+      | None -> None
+      | Some vmax -> Some (if t.sum_pos > 0. then t.sum_pos else vmax))
+  | Agg.Count ->
+      if Value_set.is_empty t.values then None
+      else Some (float_of_int (Value_set.cardinal t.values))
+
+let achievable_lb agg t =
+  match agg with
+  | Agg.Min | Agg.Max | Agg.Avg -> t.vmin
+  | Agg.Sum -> (
+      match t.vmin with
+      | None -> None
+      | Some vmin -> Some (if t.sum_neg < 0. then t.sum_neg else vmin))
+  | Agg.Count -> if Value_set.is_empty t.values then None else Some 1.

@@ -1,0 +1,30 @@
+(** Summaries of the level-1 frequent sets used by the quasi-succinct
+    reduction.
+
+    The reduction constants of Figures 2–4 are all functions of [L1.A] — the
+    attribute values of the frequent singletons.  These are computed anyway
+    during the first counting iteration, which is why decoupling a 2-var
+    constraint "requires little extra cost" (Section 4.1). *)
+
+open Cfq_itembase
+
+type t = {
+  attr : Attr.t;
+  values : Value_set.t;  (** the distinct values [L1.A] *)
+  vmin : float option;  (** [min(L1.A)], [None] when L1 is empty *)
+  vmax : float option;
+  sum_pos : float;  (** sum of the positive per-item values (multiset) *)
+  sum_neg : float;  (** sum of the negative per-item values (multiset) *)
+}
+
+(** [make info attr l1] summarises the frequent items [l1]. *)
+val make : Item_info.t -> Attr.t -> Itemset.t -> t
+
+(** [achievable_ub agg t] is an upper bound on [agg(T.B)] over non-empty
+    frequent [T]-sets, given that every element of such a [T] is in [L1]:
+    [vmax] for min/max/avg, the positive-value sum for [sum], the number of
+    distinct values for [count].  [None] when L1 is empty. *)
+val achievable_ub : Agg.t -> t -> float option
+
+(** Lower-bound counterpart. *)
+val achievable_lb : Agg.t -> t -> float option

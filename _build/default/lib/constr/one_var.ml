@@ -1,0 +1,105 @@
+open Cfq_itembase
+
+type t =
+  | Dom_subset of Attr.t * Value_set.t
+  | Dom_superset of Attr.t * Value_set.t
+  | Dom_disjoint of Attr.t * Value_set.t
+  | Dom_intersect of Attr.t * Value_set.t
+  | Dom_not_superset of Attr.t * Value_set.t
+  | Agg_cmp of Agg.t * Attr.t * Cmp.t * float
+  | Card_cmp of Cmp.t * int
+  | Nonempty
+
+let pp ppf = function
+  | Dom_subset (a, v) -> Format.fprintf ppf "%a subset %a" Attr.pp a Value_set.pp v
+  | Dom_superset (a, v) -> Format.fprintf ppf "%a superset %a" Attr.pp a Value_set.pp v
+  | Dom_disjoint (a, v) -> Format.fprintf ppf "%a disjoint %a" Attr.pp a Value_set.pp v
+  | Dom_intersect (a, v) -> Format.fprintf ppf "%a intersects %a" Attr.pp a Value_set.pp v
+  | Dom_not_superset (a, v) ->
+      Format.fprintf ppf "%a not-superset %a" Attr.pp a Value_set.pp v
+  | Agg_cmp (agg, a, op, c) ->
+      Format.fprintf ppf "%a(%a) %a %g" Agg.pp agg Attr.pp a Cmp.pp op c
+  | Card_cmp (op, n) -> Format.fprintf ppf "card %a %d" Cmp.pp op n
+  | Nonempty -> Format.pp_print_string ppf "nonempty"
+
+let to_string c = Format.asprintf "%a" pp c
+
+let pp_with_var var ppf = function
+  | Dom_subset (a, v) -> Format.fprintf ppf "%s.%a subset %a" var Attr.pp a Value_set.pp v
+  | Dom_superset (a, v) ->
+      Format.fprintf ppf "%s.%a superset %a" var Attr.pp a Value_set.pp v
+  | Dom_disjoint (a, v) ->
+      Format.fprintf ppf "%s.%a disjoint %a" var Attr.pp a Value_set.pp v
+  | Dom_intersect (a, v) ->
+      Format.fprintf ppf "%s.%a intersects %a" var Attr.pp a Value_set.pp v
+  | Dom_not_superset (a, v) ->
+      (* no user-level syntax: produced only by the reduction *)
+      Format.fprintf ppf "%s.%a not-superset %a" var Attr.pp a Value_set.pp v
+  | Agg_cmp (agg, a, op, c) ->
+      Format.fprintf ppf "%a(%s.%a) %a %g" Agg.pp agg var Attr.pp a Cmp.pp op c
+  | Card_cmp (op, n) -> Format.fprintf ppf "|%s| %a %d" var Cmp.pp op n
+  | Nonempty -> Format.fprintf ppf "|%s| >= 1" var
+
+let eval info c s =
+  match c with
+  | Dom_subset (a, v) -> Value_set.subset (Item_info.project info a s) v
+  | Dom_superset (a, v) -> Value_set.subset v (Item_info.project info a s)
+  | Dom_disjoint (a, v) -> Value_set.disjoint (Item_info.project info a s) v
+  | Dom_intersect (a, v) -> not (Value_set.disjoint (Item_info.project info a s) v)
+  | Dom_not_superset (a, v) -> not (Value_set.subset v (Item_info.project info a s))
+  | Agg_cmp (agg, a, op, c) -> (
+      match Agg.apply agg info a s with
+      | Some x -> Cmp.eval op x c
+      | None -> op = Cmp.Ne)
+  | Card_cmp (op, n) -> Cmp.eval op (float_of_int (Itemset.cardinal s)) (float_of_int n)
+  | Nonempty -> not (Itemset.is_empty s)
+
+(* Classification, following the tables of the CAP paper [15]. *)
+
+let is_anti_monotone ~nonneg = function
+  | Dom_subset _ | Dom_disjoint _ | Dom_not_superset _ -> true
+  | Dom_superset _ | Dom_intersect _ | Nonempty -> false
+  | Agg_cmp (Agg.Min, _, (Cmp.Ge | Cmp.Gt), _) -> true
+  | Agg_cmp (Agg.Max, _, (Cmp.Le | Cmp.Lt), _) -> true
+  | Agg_cmp (Agg.Sum, _, (Cmp.Le | Cmp.Lt), _) -> nonneg
+  | Agg_cmp (Agg.Count, _, (Cmp.Le | Cmp.Lt), _) -> true
+  | Agg_cmp _ -> false
+  | Card_cmp ((Cmp.Le | Cmp.Lt), _) -> true
+  | Card_cmp _ -> false
+
+let is_monotone ~nonneg = function
+  | Dom_superset _ | Dom_intersect _ | Nonempty -> true
+  | Dom_subset _ | Dom_disjoint _ | Dom_not_superset _ -> false
+  | Agg_cmp (Agg.Min, _, (Cmp.Le | Cmp.Lt), _) -> true
+  | Agg_cmp (Agg.Max, _, (Cmp.Ge | Cmp.Gt), _) -> true
+  | Agg_cmp (Agg.Sum, _, (Cmp.Ge | Cmp.Gt), _) -> nonneg
+  | Agg_cmp (Agg.Count, _, (Cmp.Ge | Cmp.Gt), _) -> true
+  | Agg_cmp _ -> false
+  | Card_cmp ((Cmp.Ge | Cmp.Gt), _) -> true
+  | Card_cmp _ -> false
+
+let is_succinct = function
+  | Dom_subset _ | Dom_superset _ | Dom_disjoint _ | Dom_intersect _ | Dom_not_superset _
+  | Nonempty ->
+      true
+  | Agg_cmp ((Agg.Min | Agg.Max), _, _, _) -> true
+  | Agg_cmp ((Agg.Sum | Agg.Avg | Agg.Count), _, _, _) -> false
+  | Card_cmp _ -> false
+
+let induce_weaker ~nonneg = function
+  | Agg_cmp (Agg.Sum, a, ((Cmp.Le | Cmp.Lt) as op), c) when nonneg ->
+      (* each value is at most the sum *)
+      [ Agg_cmp (Agg.Max, a, op, c) ]
+  | Agg_cmp (Agg.Sum, a, Cmp.Eq, c) when nonneg ->
+      [ Agg_cmp (Agg.Max, a, Cmp.Le, c); Agg_cmp (Agg.Sum, a, Cmp.Le, c) ]
+  | Agg_cmp (Agg.Avg, a, ((Cmp.Le | Cmp.Lt) as op), c) ->
+      (* min ≤ avg *)
+      [ Agg_cmp (Agg.Min, a, op, c) ]
+  | Agg_cmp (Agg.Avg, a, ((Cmp.Ge | Cmp.Gt) as op), c) ->
+      (* max ≥ avg *)
+      [ Agg_cmp (Agg.Max, a, op, c) ]
+  | Agg_cmp (Agg.Avg, a, Cmp.Eq, c) ->
+      [ Agg_cmp (Agg.Min, a, Cmp.Le, c); Agg_cmp (Agg.Max, a, Cmp.Ge, c) ]
+  | Dom_subset _ | Dom_superset _ | Dom_disjoint _ | Dom_intersect _ | Dom_not_superset _
+  | Agg_cmp _ | Card_cmp _ | Nonempty ->
+      []

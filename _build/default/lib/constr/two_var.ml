@@ -1,0 +1,84 @@
+open Cfq_itembase
+
+type setop =
+  | Disjoint
+  | Intersect
+  | Subset
+  | Not_subset
+  | Superset
+  | Not_superset
+  | Set_eq
+  | Set_ne
+
+type t =
+  | Set2 of Attr.t * setop * Attr.t
+  | Agg2 of Agg.t * Attr.t * Cmp.t * Agg.t * Attr.t
+
+let setop_to_string = function
+  | Disjoint -> "disjoint"
+  | Intersect -> "intersects"
+  | Subset -> "subset"
+  | Not_subset -> "not_subset"
+  | Superset -> "superset"
+  | Not_superset -> "not_superset"
+  | Set_eq -> "="
+  | Set_ne -> "!="
+
+let pp ppf = function
+  | Set2 (a, op, b) ->
+      Format.fprintf ppf "S.%a %s T.%a" Attr.pp a (setop_to_string op) Attr.pp b
+  | Agg2 (agg1, a, op, agg2, b) ->
+      Format.fprintf ppf "%a(S.%a) %a %a(T.%a)" Agg.pp agg1 Attr.pp a Cmp.pp op Agg.pp
+        agg2 Attr.pp b
+
+let to_string c = Format.asprintf "%a" pp c
+
+let eval ~s_info ~t_info c s t =
+  match c with
+  | Set2 (a, op, b) -> (
+      let sa = Item_info.project s_info a s in
+      let tb = Item_info.project t_info b t in
+      match op with
+      | Disjoint -> Value_set.disjoint sa tb
+      | Intersect -> not (Value_set.disjoint sa tb)
+      | Subset -> Value_set.subset sa tb
+      | Not_subset -> not (Value_set.subset sa tb)
+      | Superset -> Value_set.subset tb sa
+      | Not_superset -> not (Value_set.subset tb sa)
+      | Set_eq -> Value_set.equal sa tb
+      | Set_ne -> not (Value_set.equal sa tb))
+  | Agg2 (agg1, a, op, agg2, b) -> (
+      match (Agg.apply agg1 s_info a s, Agg.apply agg2 t_info b t) with
+      | Some x, Some y -> Cmp.eval op x y
+      | None, _ | _, None -> op = Cmp.Ne)
+
+let swap_setop = function
+  | Disjoint -> Disjoint
+  | Intersect -> Intersect
+  | Subset -> Superset
+  | Not_subset -> Not_superset
+  | Superset -> Subset
+  | Not_superset -> Not_subset
+  | Set_eq -> Set_eq
+  | Set_ne -> Set_ne
+
+let swap = function
+  | Set2 (a, op, b) -> Set2 (b, swap_setop op, a)
+  | Agg2 (agg1, a, op, agg2, b) -> Agg2 (agg2, b, Cmp.flip op, agg1, a)
+
+let figure1_rows =
+  let a = Attr.make "Price" Attr.Numeric in
+  [
+    (Set2 (a, Disjoint, a), true, true);
+    (Set2 (a, Intersect, a), false, true);
+    (Set2 (a, Subset, a), false, true);
+    (Set2 (a, Not_subset, a), false, true);
+    (Set2 (a, Set_eq, a), false, true);
+    (Agg2 (Agg.Max, a, Cmp.Le, Agg.Min, a), true, true);
+    (Agg2 (Agg.Min, a, Cmp.Le, Agg.Min, a), false, true);
+    (Agg2 (Agg.Max, a, Cmp.Le, Agg.Max, a), false, true);
+    (Agg2 (Agg.Min, a, Cmp.Le, Agg.Max, a), false, true);
+    (Agg2 (Agg.Sum, a, Cmp.Le, Agg.Max, a), false, false);
+    (Agg2 (Agg.Sum, a, Cmp.Le, Agg.Sum, a), false, false);
+    (Agg2 (Agg.Avg, a, Cmp.Le, Agg.Avg, a), false, false);
+  ]

@@ -1,0 +1,40 @@
+(** 2-variable constraints [C(S, T)] of the CFQ language.
+
+    A 2-var constraint relates the two set variables of a CFQ jointly: a
+    domain (set-comparison) constraint between the value sets [S.A] and
+    [T.B], or an aggregation comparison [agg1(S.A) θ agg2(T.B)].  This is
+    the constraint family of Figure 1 of the paper. *)
+
+open Cfq_itembase
+
+type setop =
+  | Disjoint  (** [S.A ∩ T.B = ∅] *)
+  | Intersect  (** [S.A ∩ T.B ≠ ∅] *)
+  | Subset  (** [S.A ⊆ T.B] *)
+  | Not_subset  (** [S.A ⊄ T.B] *)
+  | Superset  (** [S.A ⊇ T.B] *)
+  | Not_superset  (** [S.A ⊉ T.B] *)
+  | Set_eq  (** [S.A = T.B] *)
+  | Set_ne  (** [S.A ≠ T.B] *)
+
+type t =
+  | Set2 of Attr.t * setop * Attr.t
+  | Agg2 of Agg.t * Attr.t * Cmp.t * Agg.t * Attr.t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [eval ~s_info ~t_info c s t] decides whether the pair [(s, t)] satisfies
+    [c]; [s] draws attributes from [s_info] and [t] from [t_info] (the two
+    variables may range over different domains, cf. Section 3 of the
+    paper). *)
+val eval : s_info:Item_info.t -> t_info:Item_info.t -> t -> Itemset.t -> Itemset.t -> bool
+
+(** [swap c] is the same constraint with the roles of [S] and [T]
+    exchanged, i.e. [eval (swap c) t s = eval c s t]. *)
+val swap : t -> t
+
+(** The 12 rows of Figure 1, in paper order, for table-driven tests and
+    documentation. *)
+val figure1_rows : (t * bool * bool) list
+(** [(constraint, anti_monotone, quasi_succinct)] with [A = B = "Price"]. *)

@@ -1,0 +1,1 @@
+lib/data/fimi.ml: Array Cfq_itembase Cfq_txdb Format Itemset List Printf String Transaction Tx_db

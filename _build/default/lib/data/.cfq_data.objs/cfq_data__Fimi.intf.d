@@ -1,0 +1,1 @@
+lib/data/fimi.mli: Cfq_itembase Cfq_txdb Item Tx_db

@@ -1,0 +1,1 @@
+lib/data/item_csv.ml: Array Attr Cfq_itembase Format Item_info List Printf String

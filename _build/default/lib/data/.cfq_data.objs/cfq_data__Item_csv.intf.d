@@ -1,0 +1,1 @@
+lib/data/item_csv.mli: Cfq_itembase Item_info

@@ -1,0 +1,1 @@
+lib/data/result_csv.ml: Cfq_itembase Cfq_mining Cfq_rules Frequent Itemset List Printf String

@@ -1,0 +1,1 @@
+lib/data/result_csv.mli: Cfq_mining Cfq_rules Frequent

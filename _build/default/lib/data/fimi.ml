@@ -1,0 +1,77 @@
+open Cfq_itembase
+open Cfq_txdb
+
+exception Bad_format of string
+
+let fail name line fmt =
+  Format.kasprintf (fun s -> raise (Bad_format (Printf.sprintf "%s:%d: %s" name line s))) fmt
+
+let parse_line name lineno line =
+  let fields =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  let items =
+    List.map
+      (fun tok ->
+        match int_of_string_opt tok with
+        | Some i when i >= 0 -> i
+        | Some _ -> fail name lineno "negative item id %S" tok
+        | None -> fail name lineno "not an item id: %S" tok)
+      fields
+  in
+  Itemset.of_list items
+
+let read_lines name lines =
+  let txs = ref [] in
+  List.iteri
+    (fun i line ->
+      let line = String.trim line in
+      if line <> "" then txs := parse_line name (i + 1) line :: !txs)
+    lines;
+  Tx_db.create (Array.of_list (List.rev !txs))
+
+let read_string ?(name = "<string>") data = read_lines name (String.split_on_char '\n' data)
+
+let read path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     let rec loop () =
+       lines := input_line ic :: !lines;
+       loop ()
+     in
+     loop ()
+   with End_of_file -> close_in ic);
+  read_lines path (List.rev !lines)
+
+let write path db =
+  let oc = open_out path in
+  (try
+     for tid = 0 to Tx_db.size db - 1 do
+       let items = (Tx_db.get db tid).Transaction.items in
+       let first = ref true in
+       Itemset.iter
+         (fun i ->
+           if !first then first := false else output_char oc ' ';
+           output_string oc (string_of_int i))
+         items;
+       output_char oc '\n'
+     done
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc
+
+let max_item db =
+  let best = ref None in
+  for tid = 0 to Tx_db.size db - 1 do
+    match Itemset.max_item (Tx_db.get db tid).Transaction.items with
+    | Some m -> (
+        match !best with
+        | Some b when b >= m -> ()
+        | Some _ | None -> best := Some m)
+    | None -> ()
+  done;
+  !best

@@ -1,0 +1,25 @@
+(** FIMI-format transaction files.
+
+    The standard interchange format of the frequent-itemset-mining
+    repository: one transaction per line, items as whitespace-separated
+    decimal ids.  Blank lines are ignored; items are deduplicated and
+    sorted on read. *)
+
+open Cfq_itembase
+open Cfq_txdb
+
+exception Bad_format of string
+(** Raised with a ["<file>:<line>: <reason>"] message. *)
+
+(** [read path] loads a transaction database. *)
+val read : string -> Tx_db.t
+
+(** [read_string data] parses in-memory content (for tests). *)
+val read_string : ?name:string -> string -> Tx_db.t
+
+(** [write path db] writes the database in FIMI format. *)
+val write : string -> Tx_db.t -> unit
+
+(** [max_item db] is the largest item id (useful to size an
+    {!Item_info.t}); [None] on an empty database. *)
+val max_item : Tx_db.t -> Item.t option

@@ -1,0 +1,25 @@
+(** CSV-backed [itemInfo] tables.
+
+    Format: a header line naming the columns, first column the item id,
+    remaining columns attributes.  A column is categorical if its header
+    ends in [":cat"], numeric otherwise:
+
+    {v
+    item,Price,Type:cat
+    0,12.5,3
+    1,99,1
+    v}
+
+    Missing items default to value 0 for every attribute. *)
+
+open Cfq_itembase
+
+exception Bad_format of string
+
+(** [read path ~universe_size] loads the table. *)
+val read : string -> universe_size:int -> Item_info.t
+
+val read_string : ?name:string -> string -> universe_size:int -> Item_info.t
+
+(** [write path info] dumps all registered attributes. *)
+val write : string -> Item_info.t -> unit

@@ -1,0 +1,45 @@
+open Cfq_itembase
+open Cfq_mining
+
+let items_cell set =
+  String.concat "|" (List.map string_of_int (Itemset.to_list set))
+
+let with_out path f =
+  let oc = open_out path in
+  (try f oc
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc
+
+let write_frequent path frequent =
+  with_out path (fun oc ->
+      output_string oc "size,support,items\n";
+      Frequent.iter
+        (fun e ->
+          Printf.fprintf oc "%d,%d,%s\n" (Itemset.cardinal e.Frequent.set)
+            e.Frequent.support (items_cell e.Frequent.set))
+        frequent)
+
+let write_pairs path pairs =
+  with_out path (fun oc ->
+      output_string oc "s_items,s_support,t_items,t_support\n";
+      List.iter
+        (fun (s, t) ->
+          Printf.fprintf oc "%s,%d,%s,%d\n" (items_cell s.Frequent.set)
+            s.Frequent.support (items_cell t.Frequent.set) t.Frequent.support)
+        pairs)
+
+let write_rules path rules =
+  with_out path (fun oc ->
+      output_string oc "antecedent,consequent,support,confidence,lift,leverage,conviction\n";
+      List.iter
+        (fun r ->
+          let m = r.Cfq_rules.Rule.metric in
+          Printf.fprintf oc "%s,%s,%g,%g,%g,%g,%g\n"
+            (items_cell r.Cfq_rules.Rule.antecedent)
+            (items_cell r.Cfq_rules.Rule.consequent)
+            m.Cfq_rules.Metric.support m.Cfq_rules.Metric.confidence
+            m.Cfq_rules.Metric.lift m.Cfq_rules.Metric.leverage
+            m.Cfq_rules.Metric.conviction)
+        rules)

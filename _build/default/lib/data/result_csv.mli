@@ -1,0 +1,14 @@
+(** CSV export of mining results: frequent sets, answer pairs, rules. *)
+
+open Cfq_mining
+
+(** [write_frequent path f] — columns [size,support,items], items as a
+    ['|']-separated id list. *)
+val write_frequent : string -> Frequent.t -> unit
+
+(** [write_pairs path pairs] — columns [s_items,s_support,t_items,t_support]. *)
+val write_pairs : string -> (Frequent.entry * Frequent.entry) list -> unit
+
+(** [write_rules path rules] — columns
+    [antecedent,consequent,support,confidence,lift,leverage,conviction]. *)
+val write_rules : string -> Cfq_rules.Rule.t list -> unit

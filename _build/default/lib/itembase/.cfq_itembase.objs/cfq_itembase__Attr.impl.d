@@ -1,0 +1,1 @@
+lib/itembase/attr.ml: Format String

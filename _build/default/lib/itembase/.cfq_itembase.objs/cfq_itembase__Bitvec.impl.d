@@ -1,0 +1,1 @@
+lib/itembase/bitvec.ml: Array Itemset

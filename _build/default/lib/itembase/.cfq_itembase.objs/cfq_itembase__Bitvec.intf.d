@@ -1,0 +1,1 @@
+lib/itembase/bitvec.mli: Format Item Itemset

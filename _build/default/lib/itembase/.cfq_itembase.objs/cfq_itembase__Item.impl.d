@@ -1,0 +1,1 @@
+lib/itembase/item.ml: Format Int

@@ -1,0 +1,1 @@
+lib/itembase/item.mli: Format

@@ -1,0 +1,1 @@
+lib/itembase/item_info.ml: Array Attr Float Hashtbl Itemset List String Value_set

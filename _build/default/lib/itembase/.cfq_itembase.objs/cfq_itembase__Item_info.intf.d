@@ -1,0 +1,1 @@
+lib/itembase/item_info.mli: Attr Item Itemset Value_set

@@ -1,0 +1,1 @@
+lib/itembase/itemset.ml: Array Format Hashtbl Int Item Map Seq Set

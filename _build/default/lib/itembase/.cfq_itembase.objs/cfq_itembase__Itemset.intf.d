@@ -1,0 +1,1 @@
+lib/itembase/itemset.mli: Format Hashtbl Item Map Set

@@ -1,0 +1,1 @@
+lib/itembase/taxonomy.ml: Array Attr Item_info List

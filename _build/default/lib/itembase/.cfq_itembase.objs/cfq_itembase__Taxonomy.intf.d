@@ -1,0 +1,1 @@
+lib/itembase/taxonomy.mli: Item Item_info

@@ -1,0 +1,1 @@
+lib/itembase/value_set.ml: Float Format Set

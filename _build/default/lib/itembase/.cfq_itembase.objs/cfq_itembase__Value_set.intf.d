@@ -1,0 +1,1 @@
+lib/itembase/value_set.mli: Format

@@ -1,0 +1,16 @@
+(** Items of the active domain.
+
+    An item is a small non-negative integer identifier into the item universe
+    [0 .. universe_size - 1].  All attribute tables ({!Item_info}) and
+    transaction databases are indexed by these identifiers. *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** [to_string i] is the canonical textual form ["i<n>"]. *)
+val to_string : t -> string

@@ -1,0 +1,62 @@
+type t = {
+  universe_size : int;
+  columns : (string, Attr.t * float array) Hashtbl.t;
+}
+
+let create ~universe_size = { universe_size; columns = Hashtbl.create 8 }
+let universe_size t = t.universe_size
+
+let add_column t attr values =
+  if Array.length values <> t.universe_size then
+    invalid_arg "Item_info.add_column: column size mismatch";
+  if Attr.is_self attr then invalid_arg "Item_info.add_column: reserved name";
+  if Hashtbl.mem t.columns attr.Attr.name then
+    invalid_arg ("Item_info.add_column: duplicate attribute " ^ attr.Attr.name);
+  Hashtbl.replace t.columns attr.Attr.name (attr, values)
+
+let attrs t =
+  Hashtbl.fold (fun _ (attr, _) acc -> attr :: acc) t.columns []
+  |> List.sort (fun a b -> String.compare a.Attr.name b.Attr.name)
+
+let find_attr t name =
+  if String.equal name Attr.self.Attr.name then Some Attr.self
+  else
+    match Hashtbl.find_opt t.columns name with
+    | Some (attr, _) -> Some attr
+    | None -> None
+
+let value t attr item =
+  if Attr.is_self attr then float_of_int item
+  else
+    match Hashtbl.find_opt t.columns attr.Attr.name with
+    | Some (_, col) -> col.(item)
+    | None -> raise Not_found
+
+let project t attr s =
+  Itemset.fold (fun acc e -> Value_set.union acc (Value_set.singleton (value t attr e))) Value_set.empty s
+
+let min_of t attr s =
+  Itemset.fold
+    (fun acc e ->
+      let v = value t attr e in
+      match acc with
+      | None -> Some v
+      | Some m -> Some (Float.min m v))
+    None s
+
+let max_of t attr s =
+  Itemset.fold
+    (fun acc e ->
+      let v = value t attr e in
+      match acc with
+      | None -> Some v
+      | Some m -> Some (Float.max m v))
+    None s
+
+let sum_of t attr s = Itemset.fold (fun acc e -> acc +. value t attr e) 0. s
+
+let avg_of t attr s =
+  let n = Itemset.cardinal s in
+  if n = 0 then None else Some (sum_of t attr s /. float_of_int n)
+
+let count_distinct t attr s = Value_set.cardinal (project t attr s)

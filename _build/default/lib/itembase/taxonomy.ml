@@ -1,0 +1,66 @@
+type t = {
+  parent : int array;
+  item_category : int array;
+  (* root-first path per category, precomputed *)
+  paths : int list array;
+}
+
+let make ~parent ~item_category =
+  let m = Array.length parent in
+  Array.iter
+    (fun p -> if p <> -1 && (p < 0 || p >= m) then invalid_arg "Taxonomy.make: bad parent")
+    parent;
+  Array.iter
+    (fun c -> if c < 0 || c >= m then invalid_arg "Taxonomy.make: bad item category")
+    item_category;
+  let paths = Array.make m [] in
+  let rec path_of seen c =
+    if List.mem c seen then invalid_arg "Taxonomy.make: cycle";
+    match paths.(c) with
+    | _ :: _ as p -> p
+    | [] ->
+        let p =
+          if parent.(c) = -1 then [ c ] else path_of (c :: seen) parent.(c) @ [ c ]
+        in
+        paths.(c) <- p;
+        p
+  in
+  for c = 0 to m - 1 do
+    ignore (path_of [] c)
+  done;
+  { parent; item_category; paths }
+
+let n_categories t = Array.length t.parent
+let n_items t = Array.length t.item_category
+
+let path_from_root t c =
+  if c < 0 || c >= Array.length t.parent then invalid_arg "Taxonomy.path_from_root";
+  t.paths.(c)
+
+let ancestors t c = List.rev (path_from_root t c)
+
+let is_under t ~category item =
+  if item < 0 || item >= Array.length t.item_category then
+    invalid_arg "Taxonomy.is_under";
+  List.mem category t.paths.(t.item_category.(item))
+
+let depth t =
+  Array.fold_left
+    (fun acc leaf -> max acc (List.length t.paths.(leaf)))
+    1 t.item_category
+
+let level_column t ~level =
+  if level < 1 then invalid_arg "Taxonomy.level_column";
+  Array.map
+    (fun leaf ->
+      let path = t.paths.(leaf) in
+      let n = List.length path in
+      float_of_int (List.nth path (min level n - 1)))
+    t.item_category
+
+let add_columns t info ~prefix =
+  for level = 1 to depth t do
+    Item_info.add_column info
+      (Attr.make (prefix ^ string_of_int level) Attr.Categorical)
+      (level_column t ~level)
+  done

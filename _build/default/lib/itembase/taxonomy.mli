@@ -1,0 +1,48 @@
+(** Item taxonomies for class constraints.
+
+    The CFQ language includes "class constraints" (Section 1); with a
+    concept hierarchy over the items (cf. multi-level association mining,
+    reference [8] of the paper) a class is a node of the taxonomy and a
+    constraint like "all of [S] under {\i Beverages}" becomes a domain
+    constraint over a materialised ancestor attribute.
+
+    A taxonomy is a forest of categories plus a leaf category per item.
+    {!add_columns} materialises one categorical column per depth
+    ([<prefix>1] = the root-level ancestor, [<prefix>2] the next level, ...,
+    clamped at the leaf), after which the ordinary constraint language and
+    all pruning machinery apply unchanged:
+
+    {v  S.Cat1 = {2} & T.Cat2 subset {7, 8}  v} *)
+
+type t
+
+(** [make ~parent ~item_category] with [parent.(c)] the parent category of
+    [c] (or [-1] for roots) and [item_category.(i)] the leaf category of
+    item [i].  Raises [Invalid_argument] on out-of-range references or
+    cycles. *)
+val make : parent:int array -> item_category:int array -> t
+
+val n_categories : t -> int
+val n_items : t -> int
+
+(** [ancestors t c] lists [c] and its ancestors, root last. *)
+val ancestors : t -> int -> int list
+
+(** [path_from_root t c] is the same path, root first. *)
+val path_from_root : t -> int -> int list
+
+(** [is_under t ~category item]: does [item]'s ancestry contain
+    [category]? *)
+val is_under : t -> category:int -> Item.t -> bool
+
+(** Depth of the deepest leaf (roots have depth 1). *)
+val depth : t -> int
+
+(** [level_column t ~level] gives, per item, its ancestor at [level]
+    (1 = root level); items whose path is shorter keep their leaf
+    category. *)
+val level_column : t -> level:int -> float array
+
+(** [add_columns t info ~prefix] registers [<prefix>1 .. <prefix>depth]
+    categorical columns on [info]. *)
+val add_columns : t -> Item_info.t -> prefix:string -> unit

@@ -1,0 +1,1 @@
+lib/mining/apriori.ml: Array Bundle Cap Cfq_constr Cfq_itembase Cfq_txdb Counters Frequent Hashtbl Itemset Level_stats List Option Transaction Tx_db

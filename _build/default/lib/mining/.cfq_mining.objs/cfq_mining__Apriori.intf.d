@@ -1,0 +1,1 @@
+lib/mining/apriori.mli: Cfq_itembase Cfq_txdb Counters Frequent Io_stats Item_info Level_stats Tx_db

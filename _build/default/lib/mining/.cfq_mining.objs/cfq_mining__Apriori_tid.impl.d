@@ -1,0 +1,1 @@
+lib/mining/apriori_tid.ml: Array Cfq_itembase Cfq_txdb Frequent Hashtbl Int Itemset List Seq Transaction Tx_db

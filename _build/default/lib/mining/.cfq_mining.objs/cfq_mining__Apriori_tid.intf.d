@@ -1,0 +1,1 @@
+lib/mining/apriori_tid.mli: Cfq_txdb Frequent Io_stats Tx_db

@@ -1,0 +1,1 @@
+lib/mining/candidate.ml: Array Cfq_itembase Item Itemset

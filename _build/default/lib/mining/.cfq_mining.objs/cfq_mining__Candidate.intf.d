@@ -1,0 +1,1 @@
+lib/mining/candidate.mli: Cfq_itembase Item Itemset

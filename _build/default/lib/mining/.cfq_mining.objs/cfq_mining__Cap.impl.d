@@ -1,0 +1,1 @@
+lib/mining/cap.ml: Array Bundle Candidate Cfq_constr Cfq_itembase Cfq_txdb Counters Counting Frequent Item Item_info Itemset Level_stats List Logs Sel Seq Tx_db

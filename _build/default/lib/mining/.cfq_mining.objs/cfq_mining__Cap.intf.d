@@ -1,0 +1,1 @@
+lib/mining/cap.mli: Bundle Cfq_constr Cfq_itembase Cfq_txdb Counters Frequent Io_stats Item Item_info Itemset Level_stats One_var Tx_db

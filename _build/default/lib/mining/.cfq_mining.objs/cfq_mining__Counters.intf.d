@@ -1,0 +1,1 @@
+lib/mining/counters.mli: Format

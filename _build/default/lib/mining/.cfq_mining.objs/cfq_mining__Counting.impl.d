@@ -1,0 +1,1 @@
+lib/mining/counting.ml: Array Cfq_itembase Cfq_txdb Counters Domain Io_stats List Transaction Trie Tx_db

@@ -1,0 +1,1 @@
+lib/mining/counting.mli: Cfq_itembase Cfq_txdb Counters Io_stats Itemset Tx_db

@@ -1,0 +1,1 @@
+lib/mining/dhp.ml: Array Candidate Cfq_itembase Cfq_txdb Counters Counting Frequent Itemset List Transaction Tx_db

@@ -1,0 +1,1 @@
+lib/mining/dovetail.ml: Array Cap Cfq_itembase Counting Frequent Itemset List Option

@@ -1,0 +1,1 @@
+lib/mining/dovetail.mli: Cap Cfq_itembase Cfq_txdb Frequent Io_stats Itemset

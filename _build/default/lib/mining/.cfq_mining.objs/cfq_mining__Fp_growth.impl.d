@@ -1,0 +1,1 @@
+lib/mining/fp_growth.ml: Array Cfq_itembase Cfq_txdb Frequent Hashtbl Int Item Itemset List Option Transaction Tx_db

@@ -1,0 +1,1 @@
+lib/mining/frequent.ml: Array Cfq_itembase Itemset List Seq

@@ -1,0 +1,1 @@
+lib/mining/frequent.mli: Cfq_itembase Itemset

@@ -1,0 +1,1 @@
+lib/mining/full_mat.ml: Array Bundle Cfq_constr Cfq_itembase Counters Counting Frequent Hashtbl Item_info Itemset List Option

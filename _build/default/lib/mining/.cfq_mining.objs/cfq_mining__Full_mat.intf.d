@@ -1,0 +1,1 @@
+lib/mining/full_mat.mli: Bundle Cfq_constr Cfq_txdb Counters Frequent Io_stats Tx_db

@@ -1,0 +1,1 @@
+lib/mining/incremental.ml: Array Cfq_itembase Cfq_txdb Float Frequent Hashtbl Io_stats Itemset List Option Transaction Trie Tx_db Vertical

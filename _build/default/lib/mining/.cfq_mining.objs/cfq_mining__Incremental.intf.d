@@ -1,0 +1,1 @@
+lib/mining/incremental.mli: Cfq_txdb Frequent Io_stats Tx_db

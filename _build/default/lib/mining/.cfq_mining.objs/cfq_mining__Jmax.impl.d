@@ -1,0 +1,1 @@
+lib/mining/jmax.ml: Array Attr Cfq_itembase Float Frequent Hashtbl Item Item_info Itemset List Option

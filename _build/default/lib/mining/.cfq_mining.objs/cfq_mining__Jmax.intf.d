@@ -1,0 +1,1 @@
+lib/mining/jmax.mli: Attr Cfq_itembase Frequent Item Item_info

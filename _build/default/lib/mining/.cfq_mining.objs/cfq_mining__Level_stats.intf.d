@@ -1,0 +1,1 @@
+lib/mining/level_stats.mli: Format

@@ -1,0 +1,1 @@
+lib/mining/partition.ml: Array Cfq_itembase Cfq_txdb Frequent Hashtbl Io_stats Itemset List Option Transaction Trie Tx_db

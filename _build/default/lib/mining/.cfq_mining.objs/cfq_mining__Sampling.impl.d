@@ -1,0 +1,1 @@
+lib/mining/sampling.ml: Array Candidate Cfq_itembase Cfq_txdb Float Frequent Hashtbl Io_stats Itemset List Option Transaction Trie Tx_db Vertical

@@ -1,0 +1,1 @@
+lib/mining/sampling.mli: Cfq_itembase Cfq_txdb Frequent Io_stats Tx_db

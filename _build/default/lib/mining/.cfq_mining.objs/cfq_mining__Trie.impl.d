@@ -1,0 +1,1 @@
+lib/mining/trie.ml: Array Cfq_itembase Hashtbl Int Itemset List

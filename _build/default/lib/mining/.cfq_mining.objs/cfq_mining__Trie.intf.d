@@ -1,0 +1,1 @@
+lib/mining/trie.mli: Cfq_itembase Item Itemset

@@ -1,0 +1,1 @@
+lib/mining/vertical.ml: Array Cfq_itembase Cfq_txdb Frequent Hashtbl Itemset List Option Transaction Tx_db

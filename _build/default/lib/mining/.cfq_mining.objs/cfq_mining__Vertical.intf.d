@@ -1,0 +1,1 @@
+lib/mining/vertical.mli: Cfq_itembase Cfq_txdb Frequent Io_stats Item Itemset Tx_db

@@ -1,0 +1,19 @@
+(** Plain frequent-set mining: the Apriori algorithm, as the unconstrained
+    special case of the {!Cap} engine. *)
+
+open Cfq_itembase
+open Cfq_txdb
+
+type outcome = {
+  frequent : Frequent.t;
+  counters : Counters.t;
+  stats : Level_stats.t;
+}
+
+(** [mine db info io ~minsup] computes all frequent itemsets. *)
+val mine : Tx_db.t -> Item_info.t -> Io_stats.t -> ?max_level:int -> minsup:int -> unit -> outcome
+
+(** [mine_brute db io ~minsup ~universe_size] is the exponential reference
+    implementation over the item universe — only for tests on tiny
+    universes (≤ 20 items). *)
+val mine_brute : Tx_db.t -> Io_stats.t -> minsup:int -> universe_size:int -> Frequent.t

@@ -1,0 +1,106 @@
+open Cfq_itembase
+
+let pairs_all items =
+  let n = Array.length items in
+  let sorted = Array.copy items in
+  Array.sort Item.compare sorted;
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      out := Itemset.of_sorted_array [| sorted.(i); sorted.(j) |] :: !out
+    done
+  done;
+  Array.of_list !out
+
+let pairs_with_witness ~witnesses ~items =
+  let seen = Itemset.Hashtbl.create 256 in
+  Array.iter
+    (fun w ->
+      Array.iter
+        (fun x ->
+          if x <> w then begin
+            let pair = Itemset.of_array [| w; x |] in
+            if not (Itemset.Hashtbl.mem seen pair) then Itemset.Hashtbl.replace seen pair ()
+          end)
+        items)
+    witnesses;
+  Array.of_seq (Itemset.Hashtbl.to_seq_keys seen)
+
+let all_level_subsets_ok candidate ~check =
+  let ok = ref true in
+  Itemset.iter_delete_one candidate (fun sub -> if !ok && not (check sub) then ok := false);
+  !ok
+
+let apriori_gen ~prev ~prev_mem =
+  let prev = Array.copy prev in
+  Array.sort Itemset.compare prev;
+  let n = Array.length prev in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    let continue = ref true in
+    let j = ref (i + 1) in
+    while !continue && !j < n do
+      (match Itemset.prefix_join prev.(i) prev.(!j) with
+      | Some cand ->
+          if all_level_subsets_ok cand ~check:prev_mem then out := cand :: !out
+      | None ->
+          (* sorted order: once the shared prefix breaks, no later join *)
+          continue := false);
+      incr j
+    done
+  done;
+  Array.of_list !out
+
+let extension_gen ~prev ~prev_mem ~ext_items ~is_witness =
+  let ext_items = Array.copy ext_items in
+  Array.sort Item.compare ext_items;
+  let pool_eligible sub = Itemset.exists is_witness sub in
+  let check sub = (not (pool_eligible sub)) || prev_mem sub in
+  let out = ref [] in
+  let emit s e =
+    let cand = Itemset.add e s in
+    if all_level_subsets_ok cand ~check then out := cand :: !out
+  in
+  (* iterate the sorted extension items from the first index exceeding a
+     threshold *)
+  let from_above threshold =
+    let n = Array.length ext_items in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if ext_items.(mid) <= threshold then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  Array.iter
+    (fun s ->
+      let witnesses = Itemset.count is_witness s in
+      let max_s = match Itemset.max_item s with Some m -> m | None -> -1 in
+      if witnesses >= 2 then begin
+        (* canonical parent of the candidate drops its maximum *)
+        let start = from_above max_s in
+        for i = start to Array.length ext_items - 1 do
+          emit s ext_items.(i)
+        done
+      end
+      else begin
+        (* single witness w: non-witness extensions only need to clear the
+           non-witness maximum; witness extensions must clear the overall
+           maximum (the candidate then has two witnesses and must be the
+           upward extension of its canonical parent) *)
+        let w =
+          match Itemset.to_list (Itemset.filter is_witness s) with
+          | [ w ] -> w
+          | _ -> assert false
+        in
+        let max_nonwitness =
+          Itemset.fold (fun acc i -> if i <> w then max acc i else acc) (-1) s
+        in
+        let start = from_above max_nonwitness in
+        for i = start to Array.length ext_items - 1 do
+          let e = ext_items.(i) in
+          if e <> w && ((not (is_witness e)) || e > max_s) then emit s e
+        done
+      end)
+    prev;
+  Array.of_list !out

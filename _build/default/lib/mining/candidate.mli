@@ -1,0 +1,40 @@
+(** Candidate generation for the levelwise engines.
+
+    Two generation modes are provided.  [apriori_gen] is the classical
+    join-and-prune of the Apriori algorithm.  [extension_gen] is the
+    generation used by CAP when a succinct-but-not-anti-monotone constraint
+    is pushed: the pool then only contains sets with a required witness
+    item, so candidates are produced by single-item extension and the prune
+    step may only consult subsets that are themselves pool-eligible. *)
+
+open Cfq_itembase
+
+(** [pairs_all items] is every 2-set over [items]. *)
+val pairs_all : Item.t array -> Itemset.t array
+
+(** [pairs_with_witness ~witnesses ~items] is every 2-set containing at
+    least one witness ([witnesses ⊆ items]); duplicates removed. *)
+val pairs_with_witness : witnesses:Item.t array -> items:Item.t array -> Itemset.t array
+
+(** [apriori_gen ~prev ~prev_mem] joins the size-[k] sets of [prev] (sorted
+    internally) into size-[k+1] candidates and prunes any candidate with a
+    size-[k] subset missing from [prev_mem]. *)
+val apriori_gen : prev:Itemset.t array -> prev_mem:(Itemset.t -> bool) -> Itemset.t array
+
+(** [extension_gen ~prev ~prev_mem ~ext_items ~is_witness] extends each
+    pool set by one item of [ext_items] and prunes any candidate having a
+    size-[k] subset that is pool-eligible (contains a witness) but absent
+    from [prev_mem].
+
+    Generation is canonical — every candidate is produced from exactly one
+    parent, so no deduplication pass is needed: a parent with two or more
+    witnesses extends only upward (items above its maximum), while a
+    single-witness parent additionally accepts non-witness items above the
+    maximum of its non-witness part (the witness itself may sit anywhere in
+    the order). *)
+val extension_gen :
+  prev:Itemset.t array ->
+  prev_mem:(Itemset.t -> bool) ->
+  ext_items:Item.t array ->
+  is_witness:(Item.t -> bool) ->
+  Itemset.t array

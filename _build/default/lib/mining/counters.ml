@@ -1,0 +1,29 @@
+type t = {
+  mutable support_counted : int;
+  mutable constraint_checks : int;
+  mutable candidates_generated : int;
+}
+
+let create () = { support_counted = 0; constraint_checks = 0; candidates_generated = 0 }
+
+let reset t =
+  t.support_counted <- 0;
+  t.constraint_checks <- 0;
+  t.candidates_generated <- 0
+
+let add_support_counted t n = t.support_counted <- t.support_counted + n
+let add_constraint_checks t n = t.constraint_checks <- t.constraint_checks + n
+let add_candidates_generated t n = t.candidates_generated <- t.candidates_generated + n
+
+let support_counted t = t.support_counted
+let constraint_checks t = t.constraint_checks
+let candidates_generated t = t.candidates_generated
+
+let merge dst src =
+  dst.support_counted <- dst.support_counted + src.support_counted;
+  dst.constraint_checks <- dst.constraint_checks + src.constraint_checks;
+  dst.candidates_generated <- dst.candidates_generated + src.candidates_generated
+
+let pp ppf t =
+  Format.fprintf ppf "support-counted=%d constraint-checks=%d candidates=%d"
+    t.support_counted t.constraint_checks t.candidates_generated

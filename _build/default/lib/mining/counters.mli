@@ -1,0 +1,21 @@
+(** The two fundamental cost counters of ccc-optimality (Definition 6):
+    how many sets were counted for support, and how many times the
+    constraint-checking operation was invoked. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val add_support_counted : t -> int -> unit
+val add_constraint_checks : t -> int -> unit
+val add_candidates_generated : t -> int -> unit
+
+val support_counted : t -> int
+val constraint_checks : t -> int
+val candidates_generated : t -> int
+
+(** [merge dst src] accumulates [src] into [dst]. *)
+val merge : t -> t -> unit
+
+val pp : Format.formatter -> t -> unit

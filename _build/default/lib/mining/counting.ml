@@ -1,0 +1,50 @@
+open Cfq_txdb
+
+let count_shared db io families =
+  let tries =
+    List.map
+      (fun (counters, cands) ->
+        Counters.add_support_counted counters (Array.length cands);
+        Trie.build cands)
+      families
+  in
+  (match tries with
+  | [] -> ()
+  | _ ->
+      Tx_db.iter_scan db io (fun tx ->
+          let items = Cfq_itembase.Itemset.unsafe_to_array tx.Transaction.items in
+          List.iter (fun trie -> Trie.count_tx trie items) tries));
+  List.map Trie.counts tries
+
+let count_level db io counters cands =
+  match count_shared db io [ (counters, cands) ] with
+  | [ counts ] -> counts
+  | _ -> assert false
+
+let count_level_parallel db io counters cands ~domains =
+  if domains <= 1 then count_level db io counters cands
+  else begin
+    Counters.add_support_counted counters (Array.length cands);
+    let trie = Trie.build cands in
+    let n = Tx_db.size db in
+    Io_stats.record_scan io ~pages:(Tx_db.pages db) ~tuples:n;
+    let slice d =
+      let lo = d * n / domains and hi = ((d + 1) * n / domains) - 1 in
+      let local = Array.make (Array.length cands) 0 in
+      for tid = lo to hi do
+        Trie.count_tx_into trie local
+          (Cfq_itembase.Itemset.unsafe_to_array (Tx_db.get db tid).Transaction.items)
+      done;
+      local
+    in
+    let workers =
+      List.init (domains - 1) (fun d -> Domain.spawn (fun () -> slice (d + 1)))
+    in
+    let total = slice 0 in
+    List.iter
+      (fun w ->
+        let local = Domain.join w in
+        Array.iteri (fun i v -> total.(i) <- total.(i) + v) local)
+      workers;
+    total
+  end

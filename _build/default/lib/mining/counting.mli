@@ -1,0 +1,27 @@
+(** Support counting passes over the transaction database.
+
+    [count_shared] is the dovetailing primitive (Section 5.2): several
+    candidate families — typically one for the [S] lattice and one for the
+    [T] lattice — are counted in a {e single} scan, so the I/O cost of the
+    pass is shared between them. *)
+
+open Cfq_itembase
+open Cfq_txdb
+
+(** [count_level db io counters cands] counts all candidates in one scan and
+    charges [Array.length cands] to the support-counted ccc counter. *)
+val count_level :
+  Tx_db.t -> Io_stats.t -> Counters.t -> Itemset.t array -> int array
+
+(** [count_shared db io families] counts each family in the same scan;
+    each family carries its own ccc counters. *)
+val count_shared :
+  Tx_db.t -> Io_stats.t -> (Counters.t * Itemset.t array) list -> int array list
+
+(** [count_level_parallel db io counters cands ~domains] is
+    {!count_level} with the transaction range split across [domains]
+    OCaml 5 domains, each walking the shared (immutable) candidate trie
+    into its own counter array.  Exactly one scan is charged.  Results are
+    identical to the sequential pass. *)
+val count_level_parallel :
+  Tx_db.t -> Io_stats.t -> Counters.t -> Itemset.t array -> domains:int -> int array

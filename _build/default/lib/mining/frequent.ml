@@ -1,0 +1,87 @@
+open Cfq_itembase
+
+type entry = {
+  set : Itemset.t;
+  support : int;
+}
+
+type t = {
+  levels : entry array array;  (* levels.(k-1) = size-k entries *)
+  table : int Itemset.Hashtbl.t;
+}
+
+let build levels =
+  let table = Itemset.Hashtbl.create 1024 in
+  Array.iter
+    (Array.iter (fun e -> Itemset.Hashtbl.replace table e.set e.support))
+    levels;
+  { levels; table }
+
+let empty = build [||]
+
+let of_levels ls =
+  (* drop trailing empty levels *)
+  let arr = Array.of_list ls in
+  let last = ref (Array.length arr) in
+  while !last > 0 && Array.length arr.(!last - 1) = 0 do
+    decr last
+  done;
+  build (Array.sub arr 0 !last)
+
+let max_level t = Array.length t.levels
+let level t k = if k >= 1 && k <= Array.length t.levels then t.levels.(k - 1) else [||]
+let n_sets t = Itemset.Hashtbl.length t.table
+let support t s = Itemset.Hashtbl.find_opt t.table s
+let mem t s = Itemset.Hashtbl.mem t.table s
+
+let l1_items t =
+  let l1 = level t 1 in
+  Itemset.of_array
+    (Array.map
+       (fun e ->
+         match Itemset.min_item e.set with
+         | Some i -> i
+         | None -> invalid_arg "Frequent.l1_items: empty set at level 1")
+       l1)
+
+let iter f t = Array.iter (Array.iter f) t.levels
+let fold f acc t = Array.fold_left (Array.fold_left f) acc t.levels
+let to_list t = List.rev (fold (fun acc e -> e :: acc) [] t)
+
+let filter_entries p t =
+  (* trailing levels may empty out: rebuild through of_levels *)
+  of_levels
+    (Array.to_list
+       (Array.map (fun lvl -> Array.of_seq (Seq.filter p (Array.to_seq lvl))) t.levels))
+
+let filter p t = filter_entries (fun e -> p e.set) t
+
+let closed t =
+  let l1 = l1_items t in
+  fold
+    (fun acc e ->
+      let absorbed =
+        Itemset.exists
+          (fun i ->
+            (not (Itemset.mem i e.set))
+            && support t (Itemset.add i e.set) = Some e.support)
+          l1
+      in
+      if absorbed then acc else e :: acc)
+    [] t
+  |> List.rev
+
+let maximal t =
+  (* a set is maximal iff none of its single-item extensions within L1 is
+     frequent; checking against the next level suffices *)
+  let l1 = l1_items t in
+  fold
+    (fun acc e ->
+      let extendable =
+        Itemset.exists
+          (fun i -> (not (Itemset.mem i e.set)) && mem t (Itemset.add i e.set))
+          l1
+      in
+      if extendable then acc else e :: acc)
+    [] t
+  |> List.rev

@@ -1,0 +1,22 @@
+(** The "full materialization" (FM) strategy of Section 6.2 — the paper's
+    counterexample showing why ccc-optimality needs its second condition.
+
+    FM first enumerates {e every} subset of the item universe and checks the
+    constraints on each (up to [2^N] constraint-check invocations), then
+    counts support only for the valid sets, in ascending cardinality.  It
+    therefore counts very few sets (condition 1) while checking absurdly
+    many (violating condition 2).  Only usable on small universes; provided
+    for completeness, teaching and tests. *)
+
+open Cfq_txdb
+open Cfq_constr
+
+(** [run db info io counters ~bundle ~minsup] mines the frequent valid sets.
+    Raises [Invalid_argument] when the universe exceeds 20 items. *)
+val run :
+  Tx_db.t ->
+  Io_stats.t ->
+  Counters.t ->
+  bundle:Bundle.t ->
+  minsup:int ->
+  Frequent.t

@@ -1,0 +1,89 @@
+open Cfq_itembase
+open Cfq_txdb
+
+type outcome = {
+  frequent : Frequent.t;
+  old_scans : int;
+  counted_against_old : int;
+}
+
+let ceil_frac frac n = max 1 (int_of_float (Float.ceil (frac *. float_of_int n)))
+
+let count_in db io cands =
+  if Array.length cands = 0 then [||]
+  else begin
+    let trie = Trie.build cands in
+    Tx_db.iter_scan db io (fun tx ->
+        Trie.count_tx trie (Itemset.unsafe_to_array tx.Transaction.items));
+    Trie.counts trie
+  end
+
+let to_frequent entries =
+  let by_level = Hashtbl.create 16 in
+  List.iter
+    (fun (set, support) ->
+      let k = Itemset.cardinal set in
+      Hashtbl.replace by_level k
+        ({ Frequent.set; support }
+        :: Option.value ~default:[] (Hashtbl.find_opt by_level k)))
+    entries;
+  let max_k = Hashtbl.fold (fun k _ acc -> max k acc) by_level 0 in
+  Frequent.of_levels
+    (List.init max_k (fun i ->
+         let level =
+           Array.of_list (Option.value ~default:[] (Hashtbl.find_opt by_level (i + 1)))
+         in
+         Array.sort (fun a b -> Itemset.compare a.Frequent.set b.Frequent.set) level;
+         level))
+
+let update ~old_db ~old_frequent ~delta io ~minsup_frac ~universe_size =
+  let n_old = Tx_db.size old_db and n_delta = Tx_db.size delta in
+  let old_minsup = ceil_frac minsup_frac n_old in
+  let minsup_union = ceil_frac minsup_frac (n_old + n_delta) in
+  (* 1. update every old frequent set with its count in the increment *)
+  let old_sets =
+    Array.of_list (List.map (fun e -> e.Frequent.set) (Frequent.to_list old_frequent))
+  in
+  let delta_counts = count_in delta io old_sets in
+  let winners = ref [] in
+  Array.iteri
+    (fun i set ->
+      let total =
+        delta_counts.(i)
+        + Option.value ~default:0 (Frequent.support old_frequent set)
+      in
+      if total >= minsup_union then winners := (set, total) :: !winners)
+    old_sets;
+  (* 2. a set that was not frequent in the old database needs at least this
+     much support inside the increment to be frequent overall *)
+  let threshold_delta = max 1 (minsup_union - (old_minsup - 1)) in
+  let delta_io = Io_stats.create () in
+  let delta_frequent =
+    Vertical.mine (Vertical.build delta delta_io ~universe_size) ~minsup:threshold_delta
+  in
+  let new_cands =
+    Frequent.fold
+      (fun acc e ->
+        if Frequent.mem old_frequent e.Frequent.set then acc else e.Frequent.set :: acc)
+      [] delta_frequent
+    |> Array.of_list
+  in
+  let old_scans = ref 0 in
+  if Array.length new_cands > 0 then begin
+    incr old_scans;
+    let old_counts = count_in old_db io new_cands in
+    (* the delta supports of the new candidates are exact in delta_frequent *)
+    Array.iteri
+      (fun i set ->
+        let total =
+          old_counts.(i)
+          + Option.value ~default:0 (Frequent.support delta_frequent set)
+        in
+        if total >= minsup_union then winners := (set, total) :: !winners)
+      new_cands
+  end;
+  {
+    frequent = to_frequent !winners;
+    old_scans = !old_scans;
+    counted_against_old = Array.length new_cands;
+  }

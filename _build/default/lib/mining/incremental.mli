@@ -1,0 +1,35 @@
+(** Incremental maintenance of frequent sets under insertions — the FUP
+    idea (Cheung, Han, Ng & Wong, ICDE'96; reference [6] of the paper).
+
+    Given the frequent sets of a database [DB] and a batch of new
+    transactions [db], the frequent sets of [DB ∪ db] are computed by
+    scanning mostly the {e increment}:
+
+    {ul
+    {- every old frequent set is updated with its count in [db] alone —
+       winners and losers among them are decided without touching [DB];}
+    {- a candidate that was {e not} frequent in [DB] can only become
+       frequent overall if it is frequent inside [db] (proportionally), so
+       new candidates are seeded from the increment and only they are
+       counted against the old database.}} *)
+
+open Cfq_txdb
+
+type outcome = {
+  frequent : Frequent.t;  (** exact frequent sets of the union *)
+  old_scans : int;  (** scans of the old database (the expensive ones) *)
+  counted_against_old : int;  (** candidate sets counted against [DB] *)
+}
+
+(** [update ~old_db ~old_frequent ~delta io ~minsup_frac ~universe_size]
+    where [old_frequent] must be the exact frequent collection of [old_db]
+    at relative threshold [minsup_frac].  The result is exact for
+    [old_db ∪ delta] at the same relative threshold. *)
+val update :
+  old_db:Tx_db.t ->
+  old_frequent:Frequent.t ->
+  delta:Tx_db.t ->
+  Io_stats.t ->
+  minsup_frac:float ->
+  universe_size:int ->
+  outcome

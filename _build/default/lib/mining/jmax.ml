@@ -1,0 +1,143 @@
+open Cfq_itembase
+
+let cap = max_int / 2
+
+let binom n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    (* multiplicative formula; each prefix product is an exact binomial *)
+    let acc = ref 1 in
+    (try
+       for i = 1 to k do
+         if !acc > cap / (n - k + i) then begin
+           acc := cap;
+           raise Exit
+         end;
+         acc := !acc * (n - k + i) / i
+       done
+     with Exit -> ());
+    min !acc cap
+  end
+
+let element_counts level =
+  let tbl = Hashtbl.create 256 in
+  Array.iter
+    (fun e ->
+      Itemset.iter
+        (fun i ->
+          let n = Option.value ~default:0 (Hashtbl.find_opt tbl i) in
+          Hashtbl.replace tbl i (n + 1))
+        e.Frequent.set)
+    level;
+  tbl
+
+let j_for ~k n_i =
+  (* largest j with n_i ≥ C(k+j-1, k-1); a set of size k+j containing t_i
+     has that many size-k subsets containing t_i, all frequent *)
+  let rec loop j =
+    if binom (k + j) (k - 1) <= n_i then loop (j + 1) else j
+  in
+  loop 0
+
+let per_element_j ~k level =
+  if k < 2 then invalid_arg "Jmax.per_element_j: k must be >= 2";
+  if Array.length level = 0 then invalid_arg "Jmax.per_element_j: empty level";
+  Hashtbl.fold (fun i n acc -> (i, j_for ~k n) :: acc) (element_counts level) []
+
+let jmax ~k level =
+  List.fold_left (fun acc (_, j) -> max acc j) 0 (per_element_j ~k level)
+
+module Sum_bound = struct
+  type t = {
+    info : Item_info.t;
+    attr : Attr.t;
+    mutable observed_max : float;
+    mutable bound : float;
+    mutable saw_level1 : bool;
+  }
+
+  let create info attr =
+    { info; attr; observed_max = neg_infinity; bound = infinity; saw_level1 = false }
+
+  let set_sum t s = Item_info.sum_of t.info t.attr s
+
+  let projected_bound t ~k level =
+    (* Figure 6, with the tighter per-element J_i in place of the global
+       Jmax^k (sound: the largest frequent set containing t_i has at most
+       k + J_i elements) *)
+    let js = per_element_j ~k level in
+    let value i = Item_info.value t.info t.attr i in
+    (* per element: best-sum set containing it, and its co-occurring items *)
+    let best : (Item.t, float * Itemset.t) Hashtbl.t = Hashtbl.create 256 in
+    Array.iter
+      (fun e ->
+        let s = set_sum t e.Frequent.set in
+        Itemset.iter
+          (fun i ->
+            match Hashtbl.find_opt best i with
+            | Some (m, _) when m >= s -> ()
+            | Some _ | None -> Hashtbl.replace best i (s, e.Frequent.set))
+          e.Frequent.set)
+      level;
+    let cooc : (Item.t, (Item.t, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 256 in
+    Array.iter
+      (fun e ->
+        Itemset.iter
+          (fun i ->
+            let set =
+              match Hashtbl.find_opt cooc i with
+              | Some s -> s
+              | None ->
+                  let s = Hashtbl.create 8 in
+                  Hashtbl.replace cooc i s;
+                  s
+            in
+            Itemset.iter (fun j -> if j <> i then Hashtbl.replace set j ()) e.Frequent.set)
+          e.Frequent.set)
+      level;
+    List.fold_left
+      (fun acc (i, j_i) ->
+        match Hashtbl.find_opt best i with
+        | None -> acc
+        | Some (sum_i, t_i) ->
+            let extras =
+              Hashtbl.fold
+                (fun e () l -> if Itemset.mem e t_i then l else value e :: l)
+                (Option.value ~default:(Hashtbl.create 0) (Hashtbl.find_opt cooc i))
+                []
+            in
+            let extras = List.sort (fun a b -> Float.compare b a) extras in
+            let rec take n = function
+              | v :: rest when n > 0 && v > 0. -> v +. take (n - 1) rest
+              | _ -> 0.
+            in
+            Float.max acc (sum_i +. take j_i extras))
+      neg_infinity js
+
+  let observe_level t ~k level =
+    Array.iter
+      (fun e -> t.observed_max <- Float.max t.observed_max (set_sum t e.Frequent.set))
+      level;
+    if Array.length level = 0 then
+      (* the lattice produced nothing at this size: no larger set exists,
+         the exact observed maximum is the final bound *)
+      t.bound <- Float.min t.bound t.observed_max
+    else if k = 1 then begin
+      t.saw_level1 <- true;
+      (* V^1: sum of the positive values of the frequent items *)
+      let total =
+        Array.fold_left
+          (fun acc e ->
+            let v = set_sum t e.Frequent.set in
+            if v > 0. then acc +. v else acc)
+          0. level
+      in
+      t.bound <- Float.min t.bound (Float.max t.observed_max total)
+    end
+    else if k >= 2 then
+      t.bound <- Float.min t.bound (Float.max t.observed_max (projected_bound t ~k level))
+
+  let bound t = t.bound
+  let observed_max t = t.observed_max
+end

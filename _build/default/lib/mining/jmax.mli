@@ -1,0 +1,52 @@
+(** Iterative pruning for [sum]/[avg] constraints (Section 5.2).
+
+    {!jmax} is the Figure 5 bound: given all frequent sets of size [k], an
+    upper bound [J] such that no frequent set larger than [k + J] can exist
+    (an element appearing in a frequent set of size [k+j] must appear in at
+    least [C(k+j-1, k-1)] frequent sets of size [k]).
+
+    {!Sum_bound} is the Figure 6 series [V^2 ≥ V^3 ≥ ...]: after observing
+    level [k] of a lattice, [bound] is an upper limit on [sum(T.B)] over
+    {e every} frequent set [T] of that lattice — past or future.  Feeding
+    it the [T]-side levels lets the [S] side install the anti-monotone
+    candidate filter [sum(CS.A) ≤ V^k] for a constraint
+    [sum(S.A) ≤ sum(T.B)].
+
+    Soundness requires the observed lattice to be {e subset-complete}: every
+    frequent set of the lattice's universe that satisfies its anti-monotone
+    constraints is enumerated.  This holds for universe-filter and
+    anti-monotone pruning but {e not} for witness-requiring (succinct
+    non-anti-monotone) generation; the query optimizer only enables the
+    filter in the former case. *)
+
+open Cfq_itembase
+
+(** [binom n k] with saturation at [max_int / 2]. *)
+val binom : int -> int -> int
+
+(** [jmax ~k level] for [k ≥ 2]; raises [Invalid_argument] on [k < 2] or an
+    empty level. *)
+val jmax : k:int -> Frequent.entry array -> int
+
+(** [per_element_j ~k level] is the [J_i] bound for each element of [L_k],
+    as an association list. *)
+val per_element_j : k:int -> Frequent.entry array -> (Item.t * int) list
+
+module Sum_bound : sig
+  type t
+
+  (** [create info attr] tracks an upper bound on [sum(X.attr)] over the
+      frequent sets of one lattice.  Attribute values must be
+      non-negative. *)
+  val create : Item_info.t -> Attr.t -> t
+
+  (** [observe_level t ~k level] incorporates a {e complete} level [k]. *)
+  val observe_level : t -> k:int -> Frequent.entry array -> unit
+
+  (** Current [V^k]; [infinity] until a level with [k ≥ 2] was observed. *)
+  val bound : t -> float
+
+  (** Exact maximum of [sum] over the sets observed so far ([neg_infinity]
+      initially). *)
+  val observed_max : t -> float
+end

@@ -1,0 +1,24 @@
+type row = {
+  level : int;
+  candidates : int;
+  counted : int;
+  frequent : int;
+}
+
+type t = { mutable rows : row list (* reverse order *) }
+
+let create () = { rows = [] }
+let record t r = t.rows <- r :: t.rows
+let rows t = List.rev t.rows
+
+let frequent_at t k =
+  match List.find_opt (fun r -> r.level = k) t.rows with
+  | Some r -> r.frequent
+  | None -> 0
+
+let pp ppf t =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "L%d: cand=%d counted=%d freq=%d@." r.level r.candidates
+        r.counted r.frequent)
+    (rows t)

@@ -1,0 +1,21 @@
+(** Per-level bookkeeping of a levelwise run, used for the paper's §7.1
+    per-level table ([a/b] = sets computed by the optimized strategy vs all
+    frequent sets). *)
+
+type row = {
+  level : int;
+  candidates : int;  (** sets generated for this level *)
+  counted : int;  (** sets actually counted for support *)
+  frequent : int;  (** sets found frequent *)
+}
+
+type t
+
+val create : unit -> t
+val record : t -> row -> unit
+val rows : t -> row list
+
+(** [frequent_at t k] is 0 when level [k] was never reached. *)
+val frequent_at : t -> int -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+open Cfq_itembase
+open Cfq_txdb
+
+(* local Eclat over one partition's tid lists *)
+let mine_partition tid_lists ~local_minsup ~universe_size collect =
+  let intersect a b =
+    let na = Array.length a and nb = Array.length b in
+    let out = Array.make (min na nb) 0 in
+    let rec loop ia ib w =
+      if ia >= na || ib >= nb then w
+      else
+        let x = a.(ia) and y = b.(ib) in
+        if x < y then loop (ia + 1) ib w
+        else if y < x then loop ia (ib + 1) w
+        else begin
+          out.(w) <- x;
+          loop (ia + 1) (ib + 1) (w + 1)
+        end
+    in
+    let n = loop 0 0 0 in
+    if n = Array.length out then out else Array.sub out 0 n
+  in
+  let rec grow set tids last =
+    for i = last + 1 to universe_size - 1 do
+      let next = intersect tids tid_lists.(i) in
+      if Array.length next >= local_minsup then begin
+        let set' = Itemset.add i set in
+        collect set';
+        grow set' next i
+      end
+    done
+  in
+  for i = 0 to universe_size - 1 do
+    if Array.length tid_lists.(i) >= local_minsup then begin
+      let set = Itemset.singleton i in
+      collect set;
+      grow set tid_lists.(i) i
+    end
+  done
+
+let mine db io ~minsup ~n_partitions ~universe_size =
+  if n_partitions <= 0 then invalid_arg "Partition.mine: n_partitions";
+  let n = Tx_db.size db in
+  let n_partitions = max 1 (min n_partitions (max 1 n)) in
+  let candidates = Itemset.Hashtbl.create 1024 in
+  (* pass 1: mine each partition at the proportional local threshold *)
+  let bounds =
+    Array.init n_partitions (fun p ->
+        (p * n / n_partitions, ((p + 1) * n / n_partitions) - 1))
+  in
+  Io_stats.record_scan io ~pages:(Tx_db.pages db) ~tuples:n;
+  Array.iter
+    (fun (lo, hi) ->
+      if hi >= lo then begin
+        let size = hi - lo + 1 in
+        (* ceil: a globally frequent set must reach the proportional share
+           in at least one partition *)
+        let local_minsup = max 1 (((minsup * size) + n - 1) / n) in
+        let tid_lists = Array.make universe_size [] in
+        for tid = lo to hi do
+          Itemset.iter
+            (fun i -> tid_lists.(i) <- tid :: tid_lists.(i))
+            (Tx_db.get db tid).Transaction.items
+        done;
+        let tid_lists = Array.map (fun l -> Array.of_list (List.rev l)) tid_lists in
+        mine_partition tid_lists ~local_minsup ~universe_size (fun s ->
+            if not (Itemset.Hashtbl.mem candidates s) then
+              Itemset.Hashtbl.replace candidates s ())
+      end)
+    bounds;
+  (* pass 2: exact global counts for the candidate union *)
+  let cands = Array.of_seq (Itemset.Hashtbl.to_seq_keys candidates) in
+  let trie = Trie.build cands in
+  Tx_db.iter_scan db io (fun tx ->
+      Trie.count_tx trie (Itemset.unsafe_to_array tx.Transaction.items));
+  let counts = Trie.counts trie in
+  let by_level = Hashtbl.create 16 in
+  Array.iteri
+    (fun i s ->
+      if counts.(i) >= minsup then begin
+        let k = Itemset.cardinal s in
+        let cur = Option.value ~default:[] (Hashtbl.find_opt by_level k) in
+        Hashtbl.replace by_level k ({ Frequent.set = s; support = counts.(i) } :: cur)
+      end)
+    cands;
+  let max_k = Hashtbl.fold (fun k _ acc -> max k acc) by_level 0 in
+  Frequent.of_levels
+    (List.init max_k (fun i ->
+         let entries =
+           Array.of_list (Option.value ~default:[] (Hashtbl.find_opt by_level (i + 1)))
+         in
+         Array.sort (fun a b -> Itemset.compare a.Frequent.set b.Frequent.set) entries;
+         entries))

@@ -1,0 +1,103 @@
+open Cfq_itembase
+
+(* mutable build-time representation *)
+type bnode = {
+  children : (int, bnode) Hashtbl.t;
+  mutable bcand : int;
+}
+
+(* frozen counting representation, no allocation on the counting path and
+   safely shareable across domains: high-fanout nodes become dense jump
+   tables over their key span, the rest sorted key/child arrays *)
+type node = {
+  keys : int array;  (* sorted; unused when dense *)
+  kids : node array;
+  dense_base : int;  (* -1 when sparse *)
+  dense : node option array;  (* empty when sparse *)
+  cand : int;
+}
+
+type t = {
+  root : node;
+  counts : int array;
+}
+
+let new_bnode () = { children = Hashtbl.create 4; bcand = -1 }
+
+let rec freeze b =
+  let pairs =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) b.children []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let keys = Array.of_list (List.map fst pairs) in
+  let kids = Array.of_list (List.map (fun (_, v) -> freeze v) pairs) in
+  let fanout = Array.length keys in
+  let span = if fanout = 0 then 0 else keys.(fanout - 1) - keys.(0) + 1 in
+  if fanout >= 8 && span <= 16 * fanout then begin
+    let dense = Array.make span None in
+    Array.iteri (fun i k -> dense.(k - keys.(0)) <- Some kids.(i)) keys;
+    { keys = [||]; kids = [||]; dense_base = keys.(0); dense; cand = b.bcand }
+  end
+  else { keys; kids; dense_base = -1; dense = [||]; cand = b.bcand }
+
+let build cands =
+  let root = new_bnode () in
+  Array.iteri
+    (fun idx set ->
+      let node = ref root in
+      Itemset.iter
+        (fun item ->
+          let next =
+            match Hashtbl.find_opt !node.children item with
+            | Some n -> n
+            | None ->
+                let n = new_bnode () in
+                Hashtbl.replace !node.children item n;
+                n
+          in
+          node := next)
+        set;
+      !node.bcand <- idx)
+    cands;
+  { root = freeze root; counts = Array.make (Array.length cands) 0 }
+
+let n_candidates t = Array.length t.counts
+
+(* binary search in a sorted key array; -1 when absent *)
+let find_key keys item =
+  let lo = ref 0 and hi = ref (Array.length keys - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let k = Array.unsafe_get keys mid in
+    if k = item then found := mid
+    else if k < item then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let count_tx_into t counts items =
+  let n = Array.length items in
+  let rec walk node pos =
+    if node.cand >= 0 then counts.(node.cand) <- counts.(node.cand) + 1;
+    if node.dense_base >= 0 then begin
+      let base = node.dense_base in
+      let span = Array.length node.dense in
+      for j = pos to n - 1 do
+        let off = Array.unsafe_get items j - base in
+        if off >= 0 && off < span then
+          match Array.unsafe_get node.dense off with
+          | Some child -> walk child (j + 1)
+          | None -> ()
+      done
+    end
+    else if Array.length node.keys > 0 then
+      for j = pos to n - 1 do
+        let idx = find_key node.keys (Array.unsafe_get items j) in
+        if idx >= 0 then walk node.kids.(idx) (j + 1)
+      done
+  in
+  walk t.root 0
+
+let count_tx t items = count_tx_into t t.counts items
+let counts t = t.counts

@@ -1,0 +1,29 @@
+(** Candidate prefix trie for support counting.
+
+    The counting analogue of the Apriori hash tree: all candidates of one
+    level are inserted into a trie keyed by their (sorted) items, and each
+    transaction is walked through the trie once, incrementing the counter of
+    every candidate it contains. *)
+
+open Cfq_itembase
+
+type t
+
+(** [build cands] indexes the candidates (all of the same size, though this
+    is not required). *)
+val build : Itemset.t array -> t
+
+val n_candidates : t -> int
+
+(** [count_tx t items] registers one transaction given as a strictly
+    increasing item array. *)
+val count_tx : t -> Item.t array -> unit
+
+(** Counters aligned with the candidate array passed to {!build}. *)
+val counts : t -> int array
+
+(** [count_tx_into t out items] is {!count_tx} writing into a caller-owned
+    array instead of the trie's internal counters — the trie structure
+    itself is never mutated, so one trie can serve several threads, each
+    with its own output array. *)
+val count_tx_into : t -> int array -> Item.t array -> unit

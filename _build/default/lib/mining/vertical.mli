@@ -1,0 +1,36 @@
+(** Vertical (tid-list) support counting — an Eclat-style alternative
+    substrate to the horizontal trie counting.
+
+    One scan materialises, for every item, the sorted list of transaction
+    ids containing it; the support of any itemset is then the length of the
+    intersection of its items' tid lists, with no further database access.
+    Useful for ad-hoc support probes (the CLI, rule metrics over few sets)
+    and as an independent oracle in tests; the levelwise engines keep the
+    horizontal representation, which the paper's I/O model is built
+    around. *)
+
+open Cfq_itembase
+open Cfq_txdb
+
+type t
+
+(** [build db io ~universe_size] runs the one materialisation scan. *)
+val build : Tx_db.t -> Io_stats.t -> universe_size:int -> t
+
+val n_transactions : t -> int
+
+(** [tids t item] is the sorted tid array of one item ([[||]] for items
+    never seen). *)
+val tids : t -> Item.t -> int array
+
+(** [support t s] intersects the tid lists; the empty set has support
+    [n_transactions]. *)
+val support : t -> Itemset.t -> int
+
+(** [supports t cands] batches {!support}. *)
+val supports : t -> Itemset.t array -> int array
+
+(** [mine t ~minsup] runs a depth-first Eclat over the tid lists and
+    returns all frequent itemsets — an independent mining implementation
+    used to cross-check Apriori. *)
+val mine : t -> minsup:int -> Frequent.t

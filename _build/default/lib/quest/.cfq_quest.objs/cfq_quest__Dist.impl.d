@@ -1,0 +1,1 @@
+lib/quest/dist.ml: Array Float Hashtbl Splitmix

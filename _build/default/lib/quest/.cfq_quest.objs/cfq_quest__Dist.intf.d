@@ -1,0 +1,1 @@
+lib/quest/dist.mli: Splitmix

@@ -1,0 +1,1 @@
+lib/quest/item_gen.ml: Array Attr Cfq_itembase Dist Float Item_info Splitmix Taxonomy

@@ -1,0 +1,1 @@
+lib/quest/item_gen.mli: Attr Cfq_itembase Item_info Splitmix Taxonomy

@@ -1,0 +1,1 @@
+lib/quest/planted.ml: Array Cfq_itembase Cfq_txdb Dist Hashtbl Itemset List Splitmix Tx_db

@@ -1,0 +1,1 @@
+lib/quest/quest_gen.ml: Array Cfq_itembase Cfq_txdb Dist Float Hashtbl Itemset Splitmix Tx_db

@@ -1,0 +1,1 @@
+lib/quest/quest_gen.mli: Cfq_itembase Cfq_txdb Itemset Splitmix Tx_db

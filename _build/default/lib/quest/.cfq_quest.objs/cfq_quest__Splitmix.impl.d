@@ -1,0 +1,1 @@
+lib/quest/splitmix.ml: Int64

@@ -1,0 +1,36 @@
+open Cfq_itembase
+open Cfq_txdb
+
+type pattern = {
+  items : Itemset.t;
+  prob : float;
+  partial_prob : float;
+}
+
+let pattern ?(partial_prob = 0.) ~prob items = { items; prob; partial_prob }
+
+let generate rng ~n_transactions ~universe:(lo, hi) ~noise_len patterns =
+  if hi <= lo then invalid_arg "Planted.generate: empty universe";
+  let txs =
+    Array.init n_transactions (fun _ ->
+        let acc = Hashtbl.create 16 in
+        List.iter
+          (fun p ->
+            let u = Splitmix.float rng in
+            if u < p.prob then Itemset.iter (fun e -> Hashtbl.replace acc e ()) p.items
+            else if u < p.prob +. p.partial_prob then begin
+              (* embed a uniformly sized random subset *)
+              let arr = Itemset.to_array p.items in
+              let k = Splitmix.int rng (Array.length arr + 1) in
+              let idx = Dist.sample_without_replacement rng ~n:(Array.length arr) ~k in
+              Array.iter (fun j -> Hashtbl.replace acc arr.(j) ()) idx
+            end)
+          patterns;
+        let n_noise = Dist.poisson rng ~mean:noise_len in
+        for _ = 1 to n_noise do
+          Hashtbl.replace acc (lo + Splitmix.int rng (hi - lo)) ()
+        done;
+        if Hashtbl.length acc = 0 then Hashtbl.replace acc (lo + Splitmix.int rng (hi - lo)) ();
+        Itemset.of_list (Hashtbl.fold (fun e () l -> e :: l) acc []))
+  in
+  Tx_db.create txs

@@ -1,0 +1,30 @@
+(** Transaction generator with planted long patterns.
+
+    The §7.3 experiment needs frequent sets of high cardinality (the paper
+    reports a largest frequent set of size 14 on the [S] side under a low
+    support threshold).  This generator plants explicit patterns: each
+    transaction embeds every pattern independently with its own probability
+    (keeping a random subset when partially embedded) and pads with noise
+    items, so the maximal frequent set sizes are directly controllable. *)
+
+open Cfq_itembase
+open Cfq_txdb
+
+type pattern = {
+  items : Itemset.t;
+  prob : float;  (** probability that a transaction contains the full pattern *)
+  partial_prob : float;  (** probability of a partial (random-subset) embedding *)
+}
+
+val pattern : ?partial_prob:float -> prob:float -> Itemset.t -> pattern
+
+(** [generate rng ~n_transactions ~universe ~noise_len patterns] builds the
+    database.  Noise items are drawn uniformly from [universe] (an item
+    range given as [lo, hi) bounds). *)
+val generate :
+  Splitmix.t ->
+  n_transactions:int ->
+  universe:int * int ->
+  noise_len:float ->
+  pattern list ->
+  Tx_db.t

@@ -1,0 +1,23 @@
+(** SplitMix64 pseudo-random number generator.
+
+    A small, fast, deterministic PRNG (Steele, Lea & Flood 2014) so that
+    every generated database is reproducible from its seed across runs and
+    platforms, independent of the stdlib [Random] implementation. *)
+
+type t
+
+val create : seed:int64 -> t
+
+(** An independent stream split off the current state. *)
+val split : t -> t
+
+(** Uniform over all 64-bit values. *)
+val next_int64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound), [bound > 0]. *)
+val int : t -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool

@@ -1,0 +1,1 @@
+lib/report/cost_model.ml: Cfq_core Cfq_txdb Io_stats

@@ -1,0 +1,1 @@
+lib/report/cost_model.mli: Cfq_core Cfq_txdb Io_stats

@@ -1,0 +1,1 @@
+lib/report/profile.ml: Array Cfq_mining Format Frequent Int List

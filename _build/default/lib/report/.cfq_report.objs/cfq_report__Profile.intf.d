@@ -1,0 +1,1 @@
+lib/report/profile.mli: Cfq_mining Format Frequent

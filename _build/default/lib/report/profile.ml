@@ -1,0 +1,60 @@
+open Cfq_mining
+
+type t = {
+  n_sets : int;
+  max_size : int;
+  per_level : (int * int) list;
+  support_min : int;
+  support_median : int;
+  support_max : int;
+  n_maximal : int;
+  n_closed : int;
+}
+
+let of_frequent f =
+  let n_sets = Frequent.n_sets f in
+  if n_sets = 0 then
+    {
+      n_sets = 0;
+      max_size = 0;
+      per_level = [];
+      support_min = 0;
+      support_median = 0;
+      support_max = 0;
+      n_maximal = 0;
+      n_closed = 0;
+    }
+  else begin
+    let max_size = Frequent.max_level f in
+    let per_level =
+      List.init max_size (fun i -> (i + 1, Array.length (Frequent.level f (i + 1))))
+      |> List.filter (fun (_, n) -> n > 0)
+    in
+    let supports =
+      Frequent.fold (fun acc e -> e.Frequent.support :: acc) [] f
+      |> List.sort Int.compare |> Array.of_list
+    in
+    {
+      n_sets;
+      max_size;
+      per_level;
+      support_min = supports.(0);
+      support_median = supports.(Array.length supports / 2);
+      support_max = supports.(Array.length supports - 1);
+      n_maximal = List.length (Frequent.maximal f);
+      n_closed = List.length (Frequent.closed f);
+    }
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d frequent sets, largest of size %d" t.n_sets t.max_size;
+  if t.per_level <> [] then begin
+    Format.fprintf ppf "@,per level:";
+    List.iter (fun (k, n) -> Format.fprintf ppf " L%d=%d" k n) t.per_level
+  end;
+  if t.n_sets > 0 then begin
+    Format.fprintf ppf "@,support min/median/max: %d/%d/%d" t.support_min
+      t.support_median t.support_max;
+    Format.fprintf ppf "@,maximal: %d, closed: %d" t.n_maximal t.n_closed
+  end;
+  Format.fprintf ppf "@]"

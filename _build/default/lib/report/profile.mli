@@ -1,0 +1,20 @@
+(** Summaries of a mined frequent-set collection, for reports and the
+    interactive shell. *)
+
+open Cfq_mining
+
+type t = {
+  n_sets : int;
+  max_size : int;
+  per_level : (int * int) list;  (** (size, count) for each non-empty level *)
+  support_min : int;
+  support_median : int;
+  support_max : int;
+  n_maximal : int;
+  n_closed : int;
+}
+
+(** [of_frequent f]; all-zero profile for an empty collection. *)
+val of_frequent : Frequent.t -> t
+
+val pp : Format.formatter -> t -> unit

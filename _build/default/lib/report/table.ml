@@ -1,0 +1,51 @@
+type t = {
+  headers : string list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create headers = { headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then invalid_arg "Table.add_row: arity";
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let n = List.length t.headers in
+  let widths = Array.make n 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 256 in
+  let line ch =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) ch);
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let row cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' ');
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  line '-';
+  row t.headers;
+  line '=';
+  List.iter row rows;
+  line '-';
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fcell f = Printf.sprintf "%.2f" f
+let speedup_cell f = Printf.sprintf "%.2fx" f

@@ -1,0 +1,18 @@
+(** Minimal ASCII table rendering for the benchmark harness. *)
+
+type t
+
+(** [create headers] starts a table. *)
+val create : string list -> t
+
+val add_row : t -> string list -> unit
+
+(** Render with column widths fitted to content. *)
+val render : t -> string
+
+val print : t -> unit
+
+(** Convenience cell formatters. *)
+val fcell : float -> string
+
+val speedup_cell : float -> string

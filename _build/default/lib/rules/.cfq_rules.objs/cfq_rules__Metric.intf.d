@@ -1,0 +1,1 @@
+lib/rules/metric.mli: Format

@@ -1,0 +1,1 @@
+lib/rules/rule.ml: Array Candidate Cfq_core Cfq_itembase Cfq_mining Cfq_txdb Float Format Frequent Itemset List Metric Transaction Trie Tx_db

@@ -1,0 +1,1 @@
+lib/rules/rule.mli: Cfq_core Cfq_itembase Cfq_mining Cfq_txdb Format Frequent Io_stats Itemset Metric Tx_db

@@ -1,0 +1,27 @@
+type t = {
+  support : float;
+  confidence : float;
+  lift : float;
+  leverage : float;
+  conviction : float;
+}
+
+let compute ~n ~n_s ~n_t ~n_st =
+  if n <= 0 then invalid_arg "Metric.compute: empty database";
+  if n_s <= 0 || n_t <= 0 then invalid_arg "Metric.compute: unsupported sides";
+  if n_st > min n_s n_t || n_st < 0 then invalid_arg "Metric.compute: inconsistent counts";
+  let f = float_of_int in
+  let p_s = f n_s /. f n and p_t = f n_t /. f n in
+  let support = f n_st /. f n in
+  let confidence = f n_st /. f n_s in
+  let lift = if p_t = 0. then infinity else confidence /. p_t in
+  let leverage = support -. (p_s *. p_t) in
+  let conviction =
+    if confidence >= 1. then infinity else (1. -. p_t) /. (1. -. confidence)
+  in
+  { support; confidence; lift; leverage; conviction }
+
+let pp ppf t =
+  Format.fprintf ppf "sup=%.4f conf=%.3f lift=%.2f lev=%.4f conv=%.2f" t.support
+    t.confidence t.lift t.leverage
+    (if Float.is_finite t.conviction then t.conviction else 99.99)

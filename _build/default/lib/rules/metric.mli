@@ -1,0 +1,22 @@
+(** Rule quality metrics.
+
+    The paper's two-phase architecture computes constrained frequent pairs
+    first and forms rules [S ⇒ T] second, because "frequent sets represent a
+    common denominator for many kinds of rules" (Section 1).  This module
+    provides the standard metrics computed from the three supports
+    [n(S)], [n(T)], [n(S ∪ T)] over a database of [n] transactions. *)
+
+type t = {
+  support : float;  (** relative support of [S ∪ T] *)
+  confidence : float;  (** [n(S∪T) / n(S)] *)
+  lift : float;  (** [conf / P(T)]; 1 = independence *)
+  leverage : float;  (** [P(S∪T) - P(S)P(T)] *)
+  conviction : float;  (** [(1 - P(T)) / (1 - conf)]; [infinity] at conf 1 *)
+}
+
+(** [compute ~n ~n_s ~n_t ~n_st] from absolute counts.
+    Raises [Invalid_argument] if counts are inconsistent
+    ([n_st > min n_s n_t], zero database, ...). *)
+val compute : n:int -> n_s:int -> n_t:int -> n_st:int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+(** Phase 2 of the architecture: forming rules [S ⇒ T] from the constrained
+    frequent pairs.
+
+    The pair phase guarantees [S] and [T] are individually frequent and
+    jointly satisfy the constraints; rule metrics additionally need the
+    support of [S ∪ T], which this module counts in a single extra scan
+    over all distinct unions. *)
+
+open Cfq_itembase
+open Cfq_txdb
+open Cfq_mining
+
+type t = {
+  antecedent : Itemset.t;
+  consequent : Itemset.t;
+  metric : Metric.t;
+}
+
+val pp : Format.formatter -> t -> unit
+
+(** [of_pairs db io pairs] computes one rule per pair, in one scan.
+    [min_confidence] / [min_lift] filter the output (defaults 0 — keep
+    everything). Rules are returned sorted by descending confidence, then
+    lift. *)
+val of_pairs :
+  Tx_db.t ->
+  Io_stats.t ->
+  ?min_confidence:float ->
+  ?min_lift:float ->
+  (Frequent.entry * Frequent.entry) list ->
+  t list
+
+(** [of_frequent frequent ~n ~min_confidence] is the classical single-set
+    rule generation (Agrawal–Srikant's ap-genrules): for every frequent set
+    [Z] and partition [Z = X ∪ Y], emit [X ⇒ Y] when confident.  All
+    supports come from the mined collection — no database access.  Uses the
+    confidence-monotonicity pruning: if [X ⇒ Z∖X] fails, no rule with a
+    consequent ⊇ [Z∖X] from [Z] can pass. *)
+val of_frequent : Frequent.t -> n:int -> min_confidence:float -> t list
+
+(** [mine ctx query] runs the CFQ (optimized strategy) and forms the rules:
+    the full two-phase pipeline. Returns the rules and the underlying
+    execution result. *)
+val mine :
+  ?strategy:Cfq_core.Plan.strategy ->
+  ?min_confidence:float ->
+  ?min_lift:float ->
+  Cfq_core.Exec.ctx ->
+  Cfq_core.Query.t ->
+  t list * Cfq_core.Exec.result

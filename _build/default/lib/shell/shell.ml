@@ -1,0 +1,239 @@
+open Cfq_itembase
+open Cfq_txdb
+open Cfq_quest
+open Cfq_core
+
+type t = {
+  mutable ctx : Exec.ctx option;
+  mutable strategy : Plan.strategy;
+  mutable min_conf : float;
+  mutable last : Exec.result option;
+  mutable last_rules : Cfq_rules.Rule.t list;
+}
+
+type response = {
+  output : string;
+  quit : bool;
+}
+
+let create ?ctx () =
+  { ctx; strategy = Plan.Optimized; min_conf = 0.5; last = None; last_rules = [] }
+
+let say fmt = Format.kasprintf (fun output -> { output; quit = false }) fmt
+
+let help_text =
+  String.concat "\n"
+    [
+      "commands:";
+      "  load <tx.fimi> [<items.csv>]   attach a database (and itemInfo table)";
+      "  gen <n_tx> <n_items> [seed]    generate a synthetic Quest database";
+      "  set strategy <name>            apriori+ | cap | optimized | sequential | fm";
+      "  set minconf <float>            rule confidence threshold";
+      "  explain <query>                show the optimizer's plan, run nothing";
+      "  advise <query>                 probe the data, recommend a strategy";
+      "  run <query>                    execute and summarise";
+      "  pairs <n>                      show n answer pairs of the last run";
+      "  rules <query>                  two-phase run: rules with metrics";
+      "  export pairs <file.csv>        write the last run's pairs to CSV";
+      "  export rules <file.csv>        write the last rules to CSV";
+      "  profile                        lattice profile of the last run";
+      "  stats                          database statistics";
+      "  help | quit";
+    ]
+
+let strategies =
+  [
+    ("apriori+", Plan.Apriori_plus);
+    ("cap", Plan.Cap_one_var);
+    ("optimized", Plan.Optimized);
+    ("sequential", Plan.Sequential_t_first);
+    ("fm", Plan.Full_materialize);
+  ]
+
+let with_ctx t f =
+  match t.ctx with
+  | Some ctx -> f ctx
+  | None -> say "no database attached; use 'load' or 'gen' first"
+
+let parse_query t ctx text f =
+  match Parser.parse_result text with
+  | Error msg -> say "parse error: %s" msg
+  | Ok q -> (
+      match Validate.check ~s_info:ctx.Exec.s_info ~t_info:ctx.Exec.t_info q with
+      | Error errors ->
+          say "%s"
+            (String.concat "\n"
+               (List.map (Format.asprintf "error: %a" Validate.pp_error) errors))
+      | Ok () -> f (t, q))
+
+let do_load t path info_path =
+  match Cfq_data.Fimi.read path with
+  | exception Cfq_data.Fimi.Bad_format msg -> say "load failed: %s" msg
+  | exception Sys_error msg -> say "load failed: %s" msg
+  | db -> (
+      let universe_size =
+        match Cfq_data.Fimi.max_item db with Some m -> m + 1 | None -> 1
+      in
+      let info_result =
+        match info_path with
+        | None -> Ok (Item_info.create ~universe_size)
+        | Some p -> (
+            match Cfq_data.Item_csv.read p ~universe_size with
+            | info -> Ok info
+            | exception Cfq_data.Item_csv.Bad_format msg -> Error msg
+            | exception Sys_error msg -> Error msg)
+      in
+      match info_result with
+      | Error msg -> say "load failed: %s" msg
+      | Ok info ->
+          t.ctx <- Some (Exec.context db info);
+          t.last <- None;
+          say "loaded %d transactions over %d items" (Tx_db.size db) universe_size)
+
+let do_gen t n_tx n_items seed =
+  let rng = Splitmix.create ~seed:(Int64.of_int seed) in
+  let params = { (Quest_gen.scaled n_tx) with Quest_gen.n_items = n_items } in
+  let db = Quest_gen.generate rng params in
+  let prices = Item_gen.uniform_prices rng ~n:n_items ~lo:0. ~hi:1000. in
+  let types = Array.init n_items (fun _ -> float_of_int (Splitmix.int rng 20)) in
+  t.ctx <- Some (Exec.context db (Item_gen.item_info ~prices ~types ()));
+  t.last <- None;
+  say "generated %d transactions over %d items (avg length %.1f; Price, Type attributes)"
+    (Tx_db.size db) n_items (Tx_db.avg_tx_len db)
+
+let do_run t ctx q =
+  let r = Exec.run ~strategy:t.strategy ~collect_pairs:true ctx q in
+  t.last <- Some r;
+  say "%s" (Explain.result_to_string r)
+
+let do_pairs t n =
+  match t.last with
+  | None -> say "no previous run; use 'run <query>' first"
+  | Some r ->
+      let shown = ref [] in
+      List.iteri
+        (fun i (s, p) ->
+          if i < n then
+            shown :=
+              Printf.sprintf "  %s => %s"
+                (Itemset.to_string s.Cfq_mining.Frequent.set)
+                (Itemset.to_string p.Cfq_mining.Frequent.set)
+              :: !shown)
+        r.Exec.pairs;
+      if !shown = [] then say "the last run produced no pairs (or none were collected)"
+      else
+        say "%d of %d pairs:\n%s" (min n (List.length r.Exec.pairs))
+          r.Exec.pair_stats.Pairs.n_pairs
+          (String.concat "\n" (List.rev !shown))
+
+let do_rules t ctx q =
+  let rules, r = Cfq_rules.Rule.mine ~strategy:t.strategy ~min_confidence:t.min_conf ctx q in
+  t.last <- Some r;
+  t.last_rules <- rules;
+  let shown =
+    List.filteri (fun i _ -> i < 15) rules
+    |> List.map (Format.asprintf "  %a" Cfq_rules.Rule.pp)
+  in
+  say "%d pairs -> %d rules at confidence >= %.2f%s%s" r.Exec.pair_stats.Pairs.n_pairs
+    (List.length rules) t.min_conf
+    (if shown = [] then "" else "\n")
+    (String.concat "\n" shown)
+
+let do_stats ctx =
+  let db = ctx.Exec.db in
+  let attrs =
+    Item_info.attrs ctx.Exec.s_info
+    |> List.map (fun a -> a.Attr.name)
+    |> String.concat ", "
+  in
+  say "transactions: %d\navg length: %.2f\npages (4K): %d\nattributes: %s"
+    (Tx_db.size db) (Tx_db.avg_tx_len db) (Tx_db.pages db)
+    (if attrs = "" then "(none)" else attrs)
+
+let split_words line =
+  String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+
+(* first word = command, rest = argument text *)
+let split_command line =
+  let line = String.trim line in
+  match String.index_opt line ' ' with
+  | None -> (String.lowercase_ascii line, "")
+  | Some i ->
+      ( String.lowercase_ascii (String.sub line 0 i),
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let eval t line =
+  let cmd, rest = split_command line in
+  match cmd with
+  | "" -> { output = ""; quit = false }
+  | "quit" | "exit" -> { output = "bye"; quit = true }
+  | "help" -> { output = help_text; quit = false }
+  | "load" -> (
+      match split_words rest with
+      | [ path ] -> do_load t path None
+      | [ path; info ] -> do_load t path (Some info)
+      | _ -> say "usage: load <tx.fimi> [<items.csv>]")
+  | "gen" -> (
+      match List.map int_of_string_opt (split_words rest) with
+      | [ Some n_tx; Some n_items ] -> do_gen t n_tx n_items 42
+      | [ Some n_tx; Some n_items; Some seed ] -> do_gen t n_tx n_items seed
+      | _ -> say "usage: gen <n_tx> <n_items> [seed]")
+  | "set" -> (
+      match split_words rest with
+      | [ "strategy"; name ] -> (
+          match List.assoc_opt name strategies with
+          | Some s ->
+              t.strategy <- s;
+              say "strategy set to %s" (Plan.strategy_name s)
+          | None ->
+              say "unknown strategy %S; one of: %s" name
+                (String.concat ", " (List.map fst strategies)))
+      | [ "minconf"; v ] -> (
+          match float_of_string_opt v with
+          | Some f when f >= 0. && f <= 1. ->
+              t.min_conf <- f;
+              say "minimum confidence set to %.2f" f
+          | Some _ | None -> say "minconf must be a float in [0, 1]")
+      | _ -> say "usage: set strategy <name> | set minconf <float>")
+  | "explain" ->
+      with_ctx t (fun ctx ->
+          parse_query t ctx rest (fun (t, q) ->
+              let plan = Optimizer.plan ~strategy:t.strategy ~nonneg:ctx.Exec.nonneg q in
+              say "%s" (Explain.plan_to_string q plan)))
+  | "advise" ->
+      with_ctx t (fun ctx ->
+          parse_query t ctx rest (fun (_, q) ->
+              say "%s" (Format.asprintf "%a" Advisor.pp (Advisor.advise ctx q))))
+  | "run" -> with_ctx t (fun ctx -> parse_query t ctx rest (fun (t, q) -> do_run t ctx q))
+  | "rules" ->
+      with_ctx t (fun ctx -> parse_query t ctx rest (fun (t, q) -> do_rules t ctx q))
+  | "pairs" -> (
+      match int_of_string_opt (String.trim rest) with
+      | Some n when n > 0 -> do_pairs t n
+      | Some _ | None -> say "usage: pairs <n>")
+  | "export" -> (
+      match split_words rest with
+      | [ "pairs"; path ] -> (
+          match t.last with
+          | None -> say "no previous run; use 'run <query>' first"
+          | Some r -> (
+              match Cfq_data.Result_csv.write_pairs path r.Exec.pairs with
+              | () -> say "wrote %d pairs to %s" (List.length r.Exec.pairs) path
+              | exception Sys_error msg -> say "export failed: %s" msg))
+      | [ "rules"; path ] -> (
+          if t.last_rules = [] then say "no rules yet; use 'rules <query>' first"
+          else
+            match Cfq_data.Result_csv.write_rules path t.last_rules with
+            | () -> say "wrote %d rules to %s" (List.length t.last_rules) path
+            | exception Sys_error msg -> say "export failed: %s" msg)
+      | _ -> say "usage: export pairs <file.csv> | export rules <file.csv>")
+  | "profile" -> (
+      match t.last with
+      | None -> say "no previous run; use 'run <query>' first"
+      | Some r ->
+          say "S: %a@\nT: %a" Cfq_report.Profile.pp
+            (Cfq_report.Profile.of_frequent r.Exec.s.Exec.frequent)
+            Cfq_report.Profile.pp
+            (Cfq_report.Profile.of_frequent r.Exec.t.Exec.frequent))
+  | "stats" -> with_ctx t do_stats
+  | other -> say "unknown command %S; try 'help'" other

@@ -1,0 +1,1 @@
+lib/txdb/io_stats.ml: Format

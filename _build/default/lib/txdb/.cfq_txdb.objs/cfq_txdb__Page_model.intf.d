@@ -1,0 +1,1 @@
+lib/txdb/page_model.mli:

@@ -1,0 +1,1 @@
+lib/txdb/transaction.ml: Cfq_itembase Format Itemset

@@ -1,0 +1,1 @@
+lib/txdb/transaction.mli: Cfq_itembase Format Itemset

@@ -1,0 +1,1 @@
+lib/txdb/tx_db.mli: Cfq_itembase Io_stats Itemset Page_model Transaction

@@ -1,0 +1,29 @@
+type t = {
+  mutable scans : int;
+  mutable pages_read : int;
+  mutable tuples_read : int;
+}
+
+let create () = { scans = 0; pages_read = 0; tuples_read = 0 }
+
+let reset t =
+  t.scans <- 0;
+  t.pages_read <- 0;
+  t.tuples_read <- 0
+
+let record_scan t ~pages ~tuples =
+  t.scans <- t.scans + 1;
+  t.pages_read <- t.pages_read + pages;
+  t.tuples_read <- t.tuples_read + tuples
+
+let scans t = t.scans
+let pages_read t = t.pages_read
+let tuples_read t = t.tuples_read
+
+let add dst src =
+  dst.scans <- dst.scans + src.scans;
+  dst.pages_read <- dst.pages_read + src.pages_read;
+  dst.tuples_read <- dst.tuples_read + src.tuples_read
+
+let pp ppf t =
+  Format.fprintf ppf "scans=%d pages=%d tuples=%d" t.scans t.pages_read t.tuples_read

@@ -1,0 +1,21 @@
+(** I/O accounting for the transaction store.
+
+    Every full scan of the database records the number of pages it touched;
+    mining strategies that share a scan between the [S] and [T] lattices
+    (dovetailing, Section 5.2 of the paper) therefore pay for it once. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val record_scan : t -> pages:int -> tuples:int -> unit
+
+val scans : t -> int
+val pages_read : t -> int
+val tuples_read : t -> int
+
+(** [add dst src] accumulates [src] into [dst]. *)
+val add : t -> t -> unit
+
+val pp : Format.formatter -> t -> unit

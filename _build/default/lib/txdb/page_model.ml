@@ -1,0 +1,33 @@
+type t = {
+  page_size_bytes : int;
+  tid_bytes : int;
+  item_bytes : int;
+}
+
+let make ?(page_size_bytes = 4096) ?(tid_bytes = 8) ?(item_bytes = 4) () =
+  if page_size_bytes <= 0 || tid_bytes < 0 || item_bytes <= 0 then
+    invalid_arg "Page_model.make";
+  { page_size_bytes; tid_bytes; item_bytes }
+
+let default = make ()
+
+let tx_bytes t n_items = t.tid_bytes + (n_items * t.item_bytes)
+
+let pages_for t sizes =
+  let pages = ref 0 in
+  let free = ref 0 in
+  Array.iter
+    (fun n ->
+      let b = tx_bytes t n in
+      if b > t.page_size_bytes then begin
+        (* oversized transaction: spans dedicated pages *)
+        pages := !pages + ((b + t.page_size_bytes - 1) / t.page_size_bytes);
+        free := 0
+      end
+      else if b <= !free then free := !free - b
+      else begin
+        incr pages;
+        free := t.page_size_bytes - b
+      end)
+    sizes;
+  !pages

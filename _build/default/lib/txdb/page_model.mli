@@ -1,0 +1,26 @@
+(** Disk-page layout model for the transaction store.
+
+    The paper's experiments use a 4 KB page size and report combined
+    CPU + I/O cost; since this reproduction keeps the database in memory, the
+    page model computes how many pages a sequential scan of the stored
+    transactions would touch, so that the cost model can charge a per-page
+    I/O cost. *)
+
+type t = {
+  page_size_bytes : int;  (** default 4096, as in the paper *)
+  tid_bytes : int;  (** per-transaction header: TID + length *)
+  item_bytes : int;  (** bytes per stored item id *)
+}
+
+val default : t
+
+val make : ?page_size_bytes:int -> ?tid_bytes:int -> ?item_bytes:int -> unit -> t
+
+(** [tx_bytes t n_items] is the stored size of one transaction. *)
+val tx_bytes : t -> int -> int
+
+(** [pages_for t sizes] is the number of pages used when transactions with
+    the given item counts are packed sequentially (no transaction spans a
+    page unless larger than a page, in which case it takes
+    [ceil(bytes/page)] contiguous pages). *)
+val pages_for : t -> int array -> int

@@ -1,0 +1,10 @@
+open Cfq_itembase
+
+type t = {
+  tid : int;
+  items : Itemset.t;
+}
+
+let make ~tid ~items = { tid; items }
+let cardinal t = Itemset.cardinal t.items
+let pp ppf t = Format.fprintf ppf "#%d:%a" t.tid Itemset.pp t.items

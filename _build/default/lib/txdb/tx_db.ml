@@ -1,0 +1,43 @@
+open Cfq_itembase
+
+type t = {
+  txs : Transaction.t array;
+  page_model : Page_model.t;
+  pages : int;
+}
+
+let create ?(page_model = Page_model.default) itemsets =
+  let txs = Array.mapi (fun tid items -> Transaction.make ~tid ~items) itemsets in
+  let sizes = Array.map Itemset.cardinal itemsets in
+  { txs; page_model; pages = Page_model.pages_for page_model sizes }
+
+let size t = Array.length t.txs
+let pages t = t.pages
+let page_model t = t.page_model
+let get t tid = t.txs.(tid)
+
+let iter_scan t stats f =
+  Io_stats.record_scan stats ~pages:t.pages ~tuples:(Array.length t.txs);
+  Array.iter f t.txs
+
+let absolute_support t frac =
+  if frac < 0. || frac > 1. then invalid_arg "Tx_db.absolute_support";
+  max 1 (int_of_float (ceil (frac *. float_of_int (Array.length t.txs))))
+
+let support t stats s =
+  let n = ref 0 in
+  iter_scan t stats (fun tx -> if Itemset.subset s tx.Transaction.items then incr n);
+  !n
+
+let item_frequencies t stats ~universe_size =
+  let freq = Array.make universe_size 0 in
+  iter_scan t stats (fun tx ->
+      Itemset.iter (fun i -> freq.(i) <- freq.(i) + 1) tx.Transaction.items);
+  freq
+
+let avg_tx_len t =
+  let n = Array.length t.txs in
+  if n = 0 then 0.
+  else
+    let total = Array.fold_left (fun acc tx -> acc + Transaction.cardinal tx) 0 t.txs in
+    float_of_int total /. float_of_int n

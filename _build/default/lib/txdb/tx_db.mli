@@ -1,0 +1,41 @@
+(** The transaction database [trans(TID, Itemset)].
+
+    An immutable, in-memory store of transactions with a {!Page_model}
+    attached for I/O cost accounting.  Scans go through {!iter_scan} so that
+    every pass over the data is charged to the given {!Io_stats}. *)
+
+open Cfq_itembase
+
+type t
+
+(** [create ?page_model txs] stores the given itemsets as transactions with
+    TIDs [0, 1, ...]. *)
+val create : ?page_model:Page_model.t -> Itemset.t array -> t
+
+val size : t -> int
+
+(** Number of pages a full sequential scan touches. *)
+val pages : t -> int
+
+val page_model : t -> Page_model.t
+
+(** [get t tid] is transaction [tid]. *)
+val get : t -> int -> Transaction.t
+
+(** [iter_scan t stats f] runs [f] over every transaction and charges one
+    full scan to [stats]. *)
+val iter_scan : t -> Io_stats.t -> (Transaction.t -> unit) -> unit
+
+(** [absolute_support t frac] converts a relative support threshold in
+    [0, 1] to an absolute count (at least 1). *)
+val absolute_support : t -> float -> int
+
+(** [support t stats s] counts the transactions containing [s] (one scan). *)
+val support : t -> Io_stats.t -> Itemset.t -> int
+
+(** [item_frequencies t stats ~universe_size] is one scan computing, for
+    every item, the number of transactions containing it. *)
+val item_frequencies : t -> Io_stats.t -> universe_size:int -> int array
+
+(** Average transaction length, for reporting. *)
+val avg_tx_len : t -> float

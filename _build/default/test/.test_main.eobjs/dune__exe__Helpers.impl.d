@@ -1,0 +1,1 @@
+test/helpers.ml: Agg Array Buffer Cfq_constr Cfq_core Cfq_itembase Cfq_quest Cfq_txdb Cmp Io_stats Item_info Itemset List One_var Printf QCheck2 QCheck_alcotest Transaction Two_var Tx_db Value_set

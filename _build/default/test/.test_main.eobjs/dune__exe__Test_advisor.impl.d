@@ -1,0 +1,1 @@
+test/test_advisor.ml: Advisor Alcotest Cfq_core Cfq_mining Cfq_txdb Exec Helpers List Pairs Parser Plan QCheck2 Query

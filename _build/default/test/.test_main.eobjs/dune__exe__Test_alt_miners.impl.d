@@ -1,0 +1,1 @@
+test/test_alt_miners.ml: Alcotest Apriori Apriori_tid Cfq_itembase Cfq_mining Cfq_txdb Dhp Fp_growth Frequent Helpers Io_stats Itemset List Sampling Tx_db

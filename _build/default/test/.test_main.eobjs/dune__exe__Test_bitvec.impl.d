@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Bitvec Cfq_itembase Helpers Itemset List QCheck2

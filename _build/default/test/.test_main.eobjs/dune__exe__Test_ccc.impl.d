@@ -1,0 +1,1 @@
+test/test_ccc.ml: Agg Apriori Bundle Cap Cfq_constr Cfq_itembase Cfq_mining Cfq_txdb Cmp Counters Frequent Helpers Io_stats Item_info Itemset List One_var Tx_db

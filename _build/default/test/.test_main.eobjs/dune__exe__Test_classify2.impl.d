@@ -1,0 +1,1 @@
+test/test_classify2.ml: Agg Alcotest Cfq_constr Cfq_itembase Cfq_txdb Classify Cmp Helpers Item_info Itemset List QCheck2 Two_var Tx_db

@@ -1,0 +1,1 @@
+test/test_constr.ml: Agg Alcotest Cfq_constr Cfq_itembase Cmp Helpers Itemset List One_var Printf QCheck2 Sel Value_set

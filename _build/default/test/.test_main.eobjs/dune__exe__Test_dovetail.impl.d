@@ -1,0 +1,1 @@
+test/test_dovetail.ml: Alcotest Attr Bundle Cap Cfq_constr Cfq_itembase Cfq_mining Cfq_txdb Dovetail Frequent Helpers Io_stats Itemset List One_var Tx_db Value_set

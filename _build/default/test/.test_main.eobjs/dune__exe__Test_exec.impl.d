@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Astring_contains Cfq_core Cfq_itembase Cfq_mining Exec Explain Helpers Item_info Itemset List Pairs Parser Plan QCheck2 Query

@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Apriori Array Cfq_itembase Cfq_mining Cfq_txdb Counters Counting Frequent Helpers Incremental Io_stats Itemset List Printf QCheck2 Transaction Tx_db

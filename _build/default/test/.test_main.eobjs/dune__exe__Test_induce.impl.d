@@ -1,0 +1,1 @@
+test/test_induce.ml: Agg Alcotest Cfq_constr Cfq_itembase Classify Cmp Helpers Induce Itemset QCheck2 Two_var

@@ -1,0 +1,1 @@
+test/test_integration.ml: Advisor Alcotest Astring_contains Cfq_core Cfq_quest Cfq_txdb Exec Item_gen List Pairs Parser Plan Printf Quest_gen Splitmix

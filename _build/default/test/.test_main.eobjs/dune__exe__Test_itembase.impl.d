@@ -1,0 +1,1 @@
+test/test_itembase.ml: Alcotest Attr Cfq_itembase Item_info Itemset List Value_set

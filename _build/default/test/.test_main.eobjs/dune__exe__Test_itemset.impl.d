@@ -1,0 +1,1 @@
+test/test_itemset.ml: Alcotest Array Cfq_itembase Cfq_mining Fun Helpers Int Itemset List QCheck2 Set

@@ -1,0 +1,1 @@
+test/test_jmax.ml: Alcotest Array Cfq_itembase Cfq_mining Cfq_txdb Float Frequent Helpers Item_info Itemset Jmax List Tx_db

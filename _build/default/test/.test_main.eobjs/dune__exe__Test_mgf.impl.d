@@ -1,0 +1,1 @@
+test/test_mgf.ml: Agg Alcotest Cfq_constr Cfq_itembase Cmp Helpers Itemset List Mgf One_var Option QCheck2 String

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Agg Alcotest Astring_contains Cfq_constr Cfq_core Cmp Format Helpers List Optimizer Parser Plan Two_var

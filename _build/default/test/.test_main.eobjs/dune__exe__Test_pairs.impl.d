@@ -1,0 +1,1 @@
+test/test_pairs.ml: Agg Alcotest Array Cfq_constr Cfq_core Cfq_itembase Cfq_mining Cmp Frequent Helpers Itemset List Pairs Printf QCheck2 String Two_var

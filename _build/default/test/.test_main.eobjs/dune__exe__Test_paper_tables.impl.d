@@ -1,0 +1,1 @@
+test/test_paper_tables.ml: Agg Alcotest Cfq_constr Cfq_itembase Cmp Helpers Induce Item_info Itemset List One_var Printf Reduce Two_var Value_set

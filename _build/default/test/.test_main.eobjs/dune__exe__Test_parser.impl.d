@@ -1,0 +1,1 @@
+test/test_parser.ml: Agg Alcotest Cfq_constr Cfq_core Cfq_itembase Cmp Helpers List One_var Parser QCheck2 Query Two_var

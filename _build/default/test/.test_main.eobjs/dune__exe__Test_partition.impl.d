@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Apriori Cfq_itembase Cfq_mining Cfq_txdb Frequent Helpers Io_stats Itemset List Partition Tx_db

@@ -1,0 +1,1 @@
+test/test_quest.ml: Alcotest Array Cfq_itembase Cfq_quest Cfq_txdb Dist Float Fun Io_stats Item_gen Itemset Planted Printf Quest_gen Splitmix Tx_db Value_set

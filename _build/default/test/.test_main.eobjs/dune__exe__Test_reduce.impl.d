@@ -1,0 +1,1 @@
+test/test_reduce.ml: Agg Alcotest Attr Cfq_constr Cfq_itembase Cfq_txdb Cmp Helpers Itemset List One_var QCheck2 Reduce Two_var Tx_db Value_set

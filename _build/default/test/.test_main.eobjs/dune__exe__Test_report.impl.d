@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Astring_contains Cfq_mining Cfq_report Cfq_txdb Cost_model Format Helpers Io_stats List Profile String Table

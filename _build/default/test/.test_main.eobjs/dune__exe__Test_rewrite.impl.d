@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Agg Alcotest Astring_contains Cfq_constr Cfq_core Cfq_itembase Cfq_txdb Cmp Exec Helpers Itemset List One_var Pairs Parser QCheck2 Query Rewrite String Two_var Value_set

@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Apriori Cfq_constr Cfq_core Cfq_itembase Cfq_mining Cfq_rules Cfq_txdb Exec Float Frequent Helpers Itemset List Metric Pairs QCheck2 Query Rule

@@ -1,0 +1,1 @@
+test/test_shell.ml: Alcotest Astring_contains Cfq_core Cfq_shell Exec Filename Fun Helpers In_channel List Shell Sys

@@ -1,0 +1,1 @@
+test/test_strategies.ml: Alcotest Cfq_constr Cfq_core Cfq_itembase Cfq_mining Cfq_txdb Counters Exec Frequent Full_mat Helpers Itemset List Pairs Parser Plan QCheck2 Query

@@ -1,0 +1,1 @@
+test/test_txdb.ml: Alcotest Cfq_itembase Cfq_txdb Helpers Io_stats Itemset Page_model Transaction Tx_db

@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Astring_contains Cfq_constr Cfq_core Helpers List Parser Query Two_var Validate

@@ -1,0 +1,1 @@
+test/test_vertical.ml: Alcotest Apriori Cfq_itembase Cfq_mining Cfq_txdb Frequent Helpers Io_stats Itemset QCheck2 Tx_db Vertical

@@ -1,0 +1,12 @@
+(* tiny substring search used by tests (no external string library) *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else begin
+    let found = ref false in
+    for i = 0 to nh - nn do
+      if (not !found) && String.sub haystack i nn = needle then found := true
+    done;
+    !found
+  end

@@ -1,0 +1,64 @@
+open Cfq_core
+
+let unit name f = Alcotest.test_case name `Quick f
+
+(* two clusters: S items {0,1,2} frequent together, T items {3,4} *)
+let db () =
+  Helpers.db_of_lists
+    [
+      [ 0; 1; 2 ]; [ 0; 1; 2 ]; [ 0; 1; 2 ]; [ 0; 1 ]; [ 0; 2 ];
+      [ 3; 4 ]; [ 3; 4 ]; [ 3 ]; [ 4 ]; [ 5 ];
+    ]
+
+let ctx () = Exec.context (db ()) (Helpers.small_info 6)
+
+let suite =
+  [
+    unit "unconstrained queries get the shared baseline lattice" (fun () ->
+        let e = Advisor.advise (ctx ()) (Parser.parse "freq(S) >= 0.2 & freq(T) >= 0.2") in
+        Alcotest.(check string) "apriori+" "apriori+" (Plan.strategy_name e.Advisor.strategy));
+    unit "constrained queries get the optimizer" (fun () ->
+        let e =
+          Advisor.advise (ctx ())
+            (Parser.parse
+               "freq(S) >= 0.2 & freq(T) >= 0.2 & S.Price <= 10 & T.Price <= 40 & S.Type = T.Type")
+        in
+        Alcotest.(check string) "optimized" "optimized"
+          (Plan.strategy_name e.Advisor.strategy));
+    unit "sum constraint with a small bounding side goes sequential" (fun () ->
+        (* T restricted to two items, S unrestricted: completing T first is cheap *)
+        let e =
+          Advisor.advise (ctx ())
+            (Parser.parse
+               "freq(S) >= 0.2 & freq(T) >= 0.2 & T.Item >= 3 & sum(S.Price) <= sum(T.Price)")
+        in
+        Alcotest.(check string) "sequential" "sequential-t-first"
+          (Plan.strategy_name e.Advisor.strategy));
+    unit "probe matches the actual level-1 profile" (fun () ->
+        let q = Parser.parse "freq(S) >= 0.2 & freq(T) >= 0.2 & S.Price <= 40" in
+        let e = Advisor.advise (ctx ()) q in
+        let r = Exec.run ~strategy:Plan.Optimized (ctx ()) q in
+        let l1_frequent rows =
+          match
+            List.find_opt (fun row -> row.Cfq_mining.Level_stats.level = 1) rows
+          with
+          | Some row -> row.Cfq_mining.Level_stats.frequent
+          | None -> 0
+        in
+        Alcotest.(check int) "S L1" (l1_frequent r.Exec.s.Exec.levels) e.Advisor.s_l1;
+        Alcotest.(check int) "T L1" (l1_frequent r.Exec.t.Exec.levels) e.Advisor.t_l1);
+    unit "advice costs exactly one probe scan" (fun () ->
+        let io = Cfq_txdb.Io_stats.create () in
+        let _ = Advisor.advise ~io (ctx ()) (Parser.parse "freq(S) >= 0.2") in
+        Alcotest.(check int) "one scan" 1 (Cfq_txdb.Io_stats.scans io));
+    Helpers.qtest ~count:60 "the recommended strategy computes the correct answer"
+      (QCheck2.Gen.pair Helpers.gen_query Helpers.gen_db)
+      (fun (q, db) -> Query.to_string q ^ " on " ^ Helpers.print_db db)
+      (fun (q, (n, db)) ->
+        let info = Helpers.small_info n in
+        let ctx = Exec.context db info in
+        let e = Advisor.advise ctx q in
+        let r = Exec.run ~strategy:e.Advisor.strategy ctx q in
+        let brute = Helpers.brute_answer db ~n ~s_info:info ~t_info:info q in
+        r.Exec.pair_stats.Pairs.n_pairs = List.length brute);
+  ]

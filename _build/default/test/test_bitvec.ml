@@ -1,0 +1,57 @@
+open Cfq_itembase
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let n = 100
+let gen_set = Helpers.gen_itemset 9
+let bv s = Bitvec.of_itemset ~universe_size:n s
+let pair_print (a, b) = Itemset.to_string a ^ " / " ^ Itemset.to_string b
+
+let agree name bop iop =
+  Helpers.qtest name (QCheck2.Gen.pair gen_set gen_set) pair_print (fun (a, b) ->
+      Itemset.equal (Bitvec.to_itemset (bop (bv a) (bv b))) (iop a b))
+
+let suite =
+  [
+    Helpers.qtest "of_itemset/to_itemset round-trip" gen_set Itemset.to_string (fun s ->
+        Itemset.equal (Bitvec.to_itemset (bv s)) s);
+    agree "union agrees with itemset" Bitvec.union Itemset.union;
+    agree "inter agrees with itemset" Bitvec.inter Itemset.inter;
+    agree "diff agrees with itemset" Bitvec.diff Itemset.diff;
+    Helpers.qtest "subset/disjoint/equal agree" (QCheck2.Gen.pair gen_set gen_set)
+      pair_print (fun (a, b) ->
+        Bitvec.subset (bv a) (bv b) = Itemset.subset a b
+        && Bitvec.disjoint (bv a) (bv b) = Itemset.disjoint a b
+        && Bitvec.equal (bv a) (bv b) = Itemset.equal a b);
+    Helpers.qtest "cardinal and inter_cardinal" (QCheck2.Gen.pair gen_set gen_set)
+      pair_print (fun (a, b) ->
+        Bitvec.cardinal (bv a) = Itemset.cardinal a
+        && Bitvec.inter_cardinal (bv a) (bv b) = Itemset.cardinal (Itemset.inter a b));
+    unit "mutation and bounds" (fun () ->
+        let t = Bitvec.create ~universe_size:70 in
+        Alcotest.(check bool) "empty" true (Bitvec.is_empty t);
+        Bitvec.add t 0;
+        Bitvec.add t 69;
+        (* crosses the 62-bit word boundary *)
+        Alcotest.(check bool) "mem 69" true (Bitvec.mem t 69);
+        Alcotest.(check int) "card" 2 (Bitvec.cardinal t);
+        Bitvec.remove t 0;
+        Alcotest.(check bool) "removed" false (Bitvec.mem t 0);
+        Alcotest.check_raises "oob" (Invalid_argument "Bitvec: item out of range")
+          (fun () -> Bitvec.add t 70));
+    unit "universe mismatch" (fun () ->
+        let a = Bitvec.create ~universe_size:10 in
+        let b = Bitvec.create ~universe_size:11 in
+        Alcotest.check_raises "mismatch" (Invalid_argument "Bitvec: universe mismatch")
+          (fun () -> ignore (Bitvec.union a b)));
+    unit "iter visits in order" (fun () ->
+        let t = bv (Itemset.of_list [ 3; 1; 7 ]) in
+        let seen = ref [] in
+        Bitvec.iter (fun i -> seen := i :: !seen) t;
+        Alcotest.(check (list int)) "order" [ 1; 3; 7 ] (List.rev !seen));
+    unit "copy is independent" (fun () ->
+        let a = bv (Itemset.of_list [ 1 ]) in
+        let b = Bitvec.copy a in
+        Bitvec.add b 2;
+        Alcotest.(check bool) "a unchanged" false (Bitvec.mem a 2));
+  ]

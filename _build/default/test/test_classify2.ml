@@ -1,0 +1,88 @@
+open Cfq_itembase
+open Cfq_constr
+open Cfq_txdb
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    unit "Figure 1: anti-monotonicity and quasi-succinctness" (fun () ->
+        List.iter
+          (fun (c, am, qs) ->
+            Alcotest.(check bool)
+              (Two_var.to_string c ^ " anti-monotone")
+              am (Classify.anti_monotone c);
+            Alcotest.(check bool)
+              (Two_var.to_string c ^ " quasi-succinct")
+              qs (Classify.quasi_succinct c))
+          Two_var.figure1_rows);
+    unit "mirror of max<=min is anti-monotone" (fun () ->
+        let a = Helpers.price in
+        Alcotest.(check bool) "min>=max" true
+          (Classify.anti_monotone (Two_var.Agg2 (Agg.Min, a, Cmp.Ge, Agg.Max, a)));
+        Alcotest.(check bool) "swap preserves" true
+          (Classify.anti_monotone
+             (Two_var.swap (Two_var.Agg2 (Agg.Max, a, Cmp.Le, Agg.Min, a)))));
+    unit "swap exchanges variable roles" (fun () ->
+        let info = Helpers.small_info 8 in
+        let s = Itemset.of_list [ 0; 1 ] in
+        let t = Itemset.of_list [ 2; 3 ] in
+        List.iter
+          (fun (c, _, _) ->
+            Alcotest.(check bool) (Two_var.to_string c)
+              (Two_var.eval ~s_info:info ~t_info:info c s t)
+              (Two_var.eval ~s_info:info ~t_info:info (Two_var.swap c) t s))
+          Two_var.figure1_rows);
+    (* Empirical soundness of the anti-monotone pruning rule: if S0 violates
+       C against every frequent singleton, no superset of S0 is a valid
+       S-set (Definition 4 with j = 1).  Checked for every constraint the
+       classifier calls anti-monotone w.r.t. S. *)
+    Helpers.qtest ~count:100 "anti-monotone 2-var pruning is sound"
+      (QCheck2.Gen.pair Helpers.gen_two_var Helpers.gen_db)
+      (fun (c, db) -> Two_var.to_string c ^ " on " ^ Helpers.print_db db)
+      (fun (c, (n, db)) ->
+        (not (Classify.anti_monotone_s c))
+        ||
+        let info = Helpers.small_info n in
+        let minsup = max 1 (Tx_db.size db / 5) in
+        let freq = Helpers.brute_frequent db ~n ~minsup in
+        let freq_singletons = List.filter (fun t -> Itemset.cardinal t = 1) freq in
+        let valid_s =
+          Helpers.brute_valid_s db ~n ~minsup ~s_info:info ~t_info:info c
+        in
+        List.for_all
+          (fun s0 ->
+            let fails_all_singletons =
+              List.for_all
+                (fun t -> not (Two_var.eval ~s_info:info ~t_info:info c s0 t))
+                freq_singletons
+            in
+            (not fails_all_singletons)
+            || freq_singletons = []
+            || List.for_all
+                 (fun s -> not (Itemset.subset s0 s))
+                 valid_s)
+          (Helpers.all_subsets n));
+    unit "non-anti-monotone rows admit counterexamples" (fun () ->
+        (* min(S.A) <= min(T.B): the Theorem 1 proof-sketch scenario.
+           Items: prices from small_info; build a db where a small S fails
+           against all frequent T but a superset succeeds. *)
+        let info =
+          let i = Item_info.create ~universe_size:3 in
+          Item_info.add_column i Helpers.price [| 50.; 5.; 10. |];
+          i
+        in
+        let db = Helpers.db_of_lists [ [ 2 ]; [ 2 ]; [ 0; 1 ] ] in
+        let c = Two_var.Agg2 (Agg.Min, Helpers.price, Cmp.Le, Agg.Min, Helpers.price) in
+        let minsup = 2 in
+        let valid_s = Helpers.brute_valid_s db ~n:3 ~minsup ~s_info:info ~t_info:info c in
+        let s0 = Itemset.of_list [ 0 ] in
+        let s1 = Itemset.of_list [ 0; 1 ] in
+        (* {0} (min 50) fails against the only frequent T {2} (min 10), but
+           {0,1} (min 5) succeeds: violation is not inherited upward *)
+        Alcotest.(check bool) "s0 invalid" false (List.exists (Itemset.equal s0) valid_s);
+        Alcotest.(check bool) "superset valid" true
+          (List.exists (Itemset.equal s1) valid_s);
+        Alcotest.(check bool) "classified not anti-monotone" false
+          (Classify.anti_monotone c));
+  ]

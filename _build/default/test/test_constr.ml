@@ -1,0 +1,168 @@
+open Cfq_itembase
+open Cfq_constr
+
+let unit name f = Alcotest.test_case name `Quick f
+let info = Helpers.small_info 8
+let price = Helpers.price
+let typ = Helpers.typ
+let set l = Itemset.of_list l
+
+let check_eval name c s expected =
+  Alcotest.(check bool) name expected (One_var.eval info c s)
+
+let gen_set = Helpers.gen_itemset 8
+
+let print_cs (c, s) = One_var.to_string c ^ " on " ^ Itemset.to_string s
+
+let suite =
+  [
+    unit "cmp eval" (fun () ->
+        Alcotest.(check bool) "le" true (Cmp.eval Cmp.Le 1. 1.);
+        Alcotest.(check bool) "lt" false (Cmp.eval Cmp.Lt 1. 1.);
+        Alcotest.(check bool) "ne" true (Cmp.eval Cmp.Ne 1. 2.);
+        Alcotest.(check bool) "flip" true (Cmp.eval (Cmp.flip Cmp.Le) 2. 1.));
+    Helpers.qtest "cmp negate complements" (QCheck2.Gen.pair Helpers.gen_cmp
+      (QCheck2.Gen.pair QCheck2.Gen.(map float_of_int (int_range 0 5))
+         QCheck2.Gen.(map float_of_int (int_range 0 5))))
+      (fun (op, (a, b)) -> Printf.sprintf "%s %g %g" (Cmp.to_string op) a b)
+      (fun (op, (a, b)) -> Cmp.eval op a b = not (Cmp.eval (Cmp.negate op) a b));
+    Helpers.qtest "cmp flip swaps operands" (QCheck2.Gen.pair Helpers.gen_cmp
+      (QCheck2.Gen.pair QCheck2.Gen.(map float_of_int (int_range 0 5))
+         QCheck2.Gen.(map float_of_int (int_range 0 5))))
+      (fun (op, (a, b)) -> Printf.sprintf "%s %g %g" (Cmp.to_string op) a b)
+      (fun (op, (a, b)) -> Cmp.eval op a b = Cmp.eval (Cmp.flip op) b a);
+    unit "cmp string round trip" (fun () ->
+        List.iter
+          (fun op ->
+            Alcotest.(check bool) "round trip" true
+              (Cmp.of_string (Cmp.to_string op) = Some op))
+          [ Cmp.Le; Cmp.Lt; Cmp.Ge; Cmp.Gt; Cmp.Eq; Cmp.Ne ]);
+    unit "agg string round trip" (fun () ->
+        List.iter
+          (fun agg ->
+            Alcotest.(check bool) "round trip" true
+              (Agg.of_string (Agg.to_string agg) = Some agg))
+          [ Agg.Min; Agg.Max; Agg.Sum; Agg.Avg; Agg.Count ]);
+    unit "agg apply" (fun () ->
+        (* prices in small_info: item i -> 10 * ((3i mod 7) + 1) *)
+        let s = set [ 0; 1 ] in
+        (* prices 10 and 40 *)
+        Alcotest.(check (option (float 1e-9))) "min" (Some 10.)
+          (Agg.apply Agg.Min info price s);
+        Alcotest.(check (option (float 1e-9))) "max" (Some 40.)
+          (Agg.apply Agg.Max info price s);
+        Alcotest.(check (option (float 1e-9))) "sum" (Some 50.)
+          (Agg.apply Agg.Sum info price s);
+        Alcotest.(check (option (float 1e-9))) "avg" (Some 25.)
+          (Agg.apply Agg.Avg info price s);
+        Alcotest.(check (option (float 1e-9))) "count types" (Some 2.)
+          (Agg.apply Agg.Count info typ s);
+        Alcotest.(check (option (float 1e-9))) "empty" None
+          (Agg.apply Agg.Sum info price Itemset.empty));
+    unit "one_var domain eval" (fun () ->
+        let v01 = Value_set.of_list [ 0.; 1. ] in
+        check_eval "subset yes" (One_var.Dom_subset (typ, v01)) (set [ 0; 1; 4; 5 ]) true;
+        check_eval "subset no" (One_var.Dom_subset (typ, v01)) (set [ 0; 2 ]) false;
+        check_eval "superset yes" (One_var.Dom_superset (typ, v01)) (set [ 0; 1; 2 ]) true;
+        check_eval "superset no" (One_var.Dom_superset (typ, v01)) (set [ 0 ]) false;
+        check_eval "disjoint yes" (One_var.Dom_disjoint (typ, v01)) (set [ 2; 3 ]) true;
+        check_eval "disjoint no" (One_var.Dom_disjoint (typ, v01)) (set [ 0; 2 ]) false;
+        check_eval "intersect" (One_var.Dom_intersect (typ, v01)) (set [ 1; 2 ]) true;
+        check_eval "not_superset yes" (One_var.Dom_not_superset (typ, v01)) (set [ 0 ]) true;
+        check_eval "not_superset no" (One_var.Dom_not_superset (typ, v01))
+          (set [ 0; 1 ]) false);
+    unit "one_var card and nonempty" (fun () ->
+        check_eval "card le" (One_var.Card_cmp (Cmp.Le, 2)) (set [ 1; 2 ]) true;
+        check_eval "card lt" (One_var.Card_cmp (Cmp.Lt, 2)) (set [ 1; 2 ]) false;
+        check_eval "nonempty" One_var.Nonempty (set [ 1 ]) true;
+        Alcotest.(check bool) "empty fails nonempty" false
+          (One_var.eval info One_var.Nonempty Itemset.empty));
+    unit "classification: CAP tables" (fun () ->
+        let am c = One_var.is_anti_monotone ~nonneg:true c in
+        let mono c = One_var.is_monotone ~nonneg:true c in
+        let succ = One_var.is_succinct in
+        let vs = Value_set.of_list [ 1. ] in
+        (* domain constraints: all succinct *)
+        Alcotest.(check bool) "subset am" true (am (One_var.Dom_subset (typ, vs)));
+        Alcotest.(check bool) "superset mono" true (mono (One_var.Dom_superset (typ, vs)));
+        Alcotest.(check bool) "superset not am" false (am (One_var.Dom_superset (typ, vs)));
+        Alcotest.(check bool) "disjoint am" true (am (One_var.Dom_disjoint (typ, vs)));
+        Alcotest.(check bool) "intersect mono" true (mono (One_var.Dom_intersect (typ, vs)));
+        Alcotest.(check bool) "not_superset am" true (am (One_var.Dom_not_superset (typ, vs)));
+        List.iter
+          (fun c -> Alcotest.(check bool) (One_var.to_string c ^ " succinct") true (succ c))
+          [
+            One_var.Dom_subset (typ, vs);
+            One_var.Dom_superset (typ, vs);
+            One_var.Dom_disjoint (typ, vs);
+            One_var.Dom_intersect (typ, vs);
+            One_var.Dom_not_superset (typ, vs);
+          ];
+        (* Lemma 1: min/max succinct, sum/avg not *)
+        Alcotest.(check bool) "min succinct" true
+          (succ (One_var.Agg_cmp (Agg.Min, price, Cmp.Le, 5.)));
+        Alcotest.(check bool) "max succinct" true
+          (succ (One_var.Agg_cmp (Agg.Max, price, Cmp.Ge, 5.)));
+        Alcotest.(check bool) "sum not succinct" false
+          (succ (One_var.Agg_cmp (Agg.Sum, price, Cmp.Le, 5.)));
+        Alcotest.(check bool) "avg not succinct" false
+          (succ (One_var.Agg_cmp (Agg.Avg, price, Cmp.Le, 5.)));
+        (* aggregate anti-monotonicity *)
+        Alcotest.(check bool) "min>=c am" true
+          (am (One_var.Agg_cmp (Agg.Min, price, Cmp.Ge, 5.)));
+        Alcotest.(check bool) "max<=c am" true
+          (am (One_var.Agg_cmp (Agg.Max, price, Cmp.Le, 5.)));
+        Alcotest.(check bool) "sum<=c am (nonneg)" true
+          (am (One_var.Agg_cmp (Agg.Sum, price, Cmp.Le, 5.)));
+        Alcotest.(check bool) "sum<=c not am when values may be negative" false
+          (One_var.is_anti_monotone ~nonneg:false
+             (One_var.Agg_cmp (Agg.Sum, price, Cmp.Le, 5.)));
+        Alcotest.(check bool) "avg<=c not am" false
+          (am (One_var.Agg_cmp (Agg.Avg, price, Cmp.Le, 5.)));
+        Alcotest.(check bool) "count<=c am" true
+          (am (One_var.Agg_cmp (Agg.Count, typ, Cmp.Le, 1.))));
+    Helpers.qtest "anti-monotone constraints propagate violation to supersets"
+      (QCheck2.Gen.pair Helpers.gen_one_var gen_set) print_cs (fun (c, s) ->
+        (not (One_var.is_anti_monotone ~nonneg:true c))
+        || One_var.eval info c s
+        ||
+        (* find any superset and confirm it also violates *)
+        let ok = ref true in
+        for extra = 0 to 7 do
+          if not (Itemset.mem extra s) then
+            if One_var.eval info c (Itemset.add extra s) then ok := false
+        done;
+        !ok);
+    Helpers.qtest "monotone constraints propagate satisfaction to supersets"
+      (QCheck2.Gen.pair Helpers.gen_one_var gen_set) print_cs (fun (c, s) ->
+        (not (One_var.is_monotone ~nonneg:true c))
+        || (not (One_var.eval info c s))
+        ||
+        let ok = ref true in
+        for extra = 0 to 7 do
+          if not (Itemset.mem extra s) then
+            if not (One_var.eval info c (Itemset.add extra s)) then ok := false
+        done;
+        !ok);
+    Helpers.qtest "induced weaker constraints are implied"
+      (QCheck2.Gen.pair Helpers.gen_one_var gen_set) print_cs (fun (c, s) ->
+        (not (One_var.eval info c s))
+        || List.for_all
+             (fun w -> One_var.eval info w s)
+             (One_var.induce_weaker ~nonneg:true c));
+    unit "induced weaker forms" (fun () ->
+        (* sum <= c induces max <= c; avg <= c induces min <= c *)
+        Alcotest.(check bool) "sum" true
+          (One_var.induce_weaker ~nonneg:true (One_var.Agg_cmp (Agg.Sum, price, Cmp.Le, 9.))
+          = [ One_var.Agg_cmp (Agg.Max, price, Cmp.Le, 9.) ]);
+        Alcotest.(check bool) "avg" true
+          (One_var.induce_weaker ~nonneg:true (One_var.Agg_cmp (Agg.Avg, price, Cmp.Le, 9.))
+          = [ One_var.Agg_cmp (Agg.Min, price, Cmp.Le, 9.) ]);
+        Alcotest.(check bool) "sum not induced when negative allowed" true
+          (One_var.induce_weaker ~nonneg:false (One_var.Agg_cmp (Agg.Sum, price, Cmp.Le, 9.))
+          = []));
+    unit "sel conj" (fun () ->
+        let a = Sel.Cmp (price, Cmp.Ge, 10.) in
+        Alcotest.(check bool) "true dropped" true (Sel.conj [ Sel.True; a ] = a);
+        Alcotest.(check bool) "empty is true" true (Sel.conj [] = Sel.True));
+  ]

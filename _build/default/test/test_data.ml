@@ -1,0 +1,150 @@
+open Cfq_itembase
+open Cfq_txdb
+open Cfq_mining
+open Cfq_data
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let with_tmp f =
+  let path = Filename.temp_file "cfq_test" ".dat" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let db_equal a b =
+  Tx_db.size a = Tx_db.size b
+  &&
+  let ok = ref true in
+  for i = 0 to Tx_db.size a - 1 do
+    if not (Itemset.equal (Tx_db.get a i).Transaction.items (Tx_db.get b i).Transaction.items)
+    then ok := false
+  done;
+  !ok
+
+let suite =
+  [
+    unit "fimi read_string basics" (fun () ->
+        let db = Fimi.read_string "1 2 3\n\n5 4\n7\n" in
+        Alcotest.(check int) "3 txs" 3 (Tx_db.size db);
+        Alcotest.(check bool) "sorted" true
+          (Itemset.equal (Tx_db.get db 1).Transaction.items (Itemset.of_list [ 4; 5 ])));
+    unit "fimi dedupes and handles tabs" (fun () ->
+        let db = Fimi.read_string "1\t2 2  1\n" in
+        Alcotest.(check int) "card" 2
+          (Itemset.cardinal (Tx_db.get db 0).Transaction.items));
+    unit "fimi rejects garbage" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match Fimi.read_string "1 x 3\n" with
+          | exception Fimi.Bad_format msg ->
+              Astring_contains.contains msg "not an item id"
+          | _ -> false);
+        Alcotest.(check bool) "negative" true
+          (match Fimi.read_string "-4\n" with
+          | exception Fimi.Bad_format _ -> true
+          | _ -> false));
+    unit "fimi write/read round-trip" (fun () ->
+        let db = Helpers.db_of_lists [ [ 0; 3; 7 ]; [ 2 ]; [ 1; 5 ] ] in
+        with_tmp (fun path ->
+            Fimi.write path db;
+            let back = Fimi.read path in
+            Alcotest.(check bool) "equal" true (db_equal db back)));
+    Helpers.qtest ~count:60 "fimi round-trips any database" Helpers.gen_db
+      Helpers.print_db (fun (_, db) ->
+        with_tmp (fun path ->
+            Fimi.write path db;
+            db_equal db (Fimi.read path)));
+    unit "fimi max_item" (fun () ->
+        let db = Helpers.db_of_lists [ [ 0; 3 ]; [ 9; 1 ] ] in
+        Alcotest.(check (option int)) "9" (Some 9) (Fimi.max_item db);
+        Alcotest.(check (option int)) "empty" None
+          (Fimi.max_item (Tx_db.create [||])));
+    unit "item_csv read basics" (fun () ->
+        let info =
+          Item_csv.read_string "item,Price,Type:cat\n0,12.5,3\n2,99,1\n" ~universe_size:3
+        in
+        let price = Option.get (Item_info.find_attr info "Price") in
+        let typ = Option.get (Item_info.find_attr info "Type") in
+        Alcotest.(check bool) "type is categorical" true
+          (typ.Attr.kind = Attr.Categorical);
+        Alcotest.(check (float 1e-9)) "price 0" 12.5 (Item_info.value info price 0);
+        Alcotest.(check (float 1e-9)) "missing defaults to 0" 0.
+          (Item_info.value info price 1);
+        Alcotest.(check (float 1e-9)) "price 2" 99. (Item_info.value info price 2));
+    unit "item_csv rejects bad input" (fun () ->
+        let bad data =
+          match Item_csv.read_string data ~universe_size:2 with
+          | exception Item_csv.Bad_format _ -> ()
+          | _ -> Alcotest.fail ("expected Bad_format for " ^ data)
+        in
+        bad "";
+        bad "item\n0\n";
+        bad "item,Price\n5,1\n";
+        bad "item,Price\n0,abc\n";
+        bad "item,Price,Type\n0,1\n");
+    unit "item_csv write/read round-trip" (fun () ->
+        let info = Helpers.small_info 5 in
+        with_tmp (fun path ->
+            Item_csv.write path info;
+            let back = Item_csv.read path ~universe_size:5 in
+            List.iter
+              (fun a ->
+                let a' = Option.get (Item_info.find_attr back a.Attr.name) in
+                Alcotest.(check bool) ("kind " ^ a.Attr.name) true
+                  (a.Attr.kind = a'.Attr.kind);
+                for i = 0 to 4 do
+                  Alcotest.(check (float 1e-9)) "value" (Item_info.value info a i)
+                    (Item_info.value back a' i)
+                done)
+              (Item_info.attrs info)));
+    unit "result CSV exports" (fun () ->
+        let f =
+          Frequent.of_levels
+            [
+              [| { Frequent.set = Itemset.of_list [ 1 ]; support = 3 } |];
+              [| { Frequent.set = Itemset.of_list [ 1; 4 ]; support = 2 } |];
+            ]
+        in
+        with_tmp (fun path ->
+            Result_csv.write_frequent path f;
+            let content =
+              In_channel.with_open_text path In_channel.input_all
+            in
+            Alcotest.(check bool) "header" true
+              (Astring_contains.contains content "size,support,items");
+            Alcotest.(check bool) "row" true
+              (Astring_contains.contains content "2,2,1|4"));
+        let e set support = { Frequent.set = Itemset.of_list set; support } in
+        with_tmp (fun path ->
+            Result_csv.write_pairs path [ (e [ 0 ] 4, e [ 1; 2 ] 3) ];
+            let content = In_channel.with_open_text path In_channel.input_all in
+            Alcotest.(check bool) "pair row" true
+              (Astring_contains.contains content "0,4,1|2,3"));
+        with_tmp (fun path ->
+            let metric = Cfq_rules.Metric.compute ~n:10 ~n_s:4 ~n_t:3 ~n_st:2 in
+            Result_csv.write_rules path
+              [
+                {
+                  Cfq_rules.Rule.antecedent = Itemset.of_list [ 0 ];
+                  consequent = Itemset.of_list [ 1 ];
+                  metric;
+                };
+              ];
+            let content = In_channel.with_open_text path In_channel.input_all in
+            Alcotest.(check bool) "rule header" true
+              (Astring_contains.contains content "confidence");
+            Alcotest.(check bool) "rule row" true
+              (Astring_contains.contains content "0,1,0.2,0.5")));
+    unit "end-to-end: mine a query on data loaded from files" (fun () ->
+        let db = Helpers.db_of_lists [ [ 0; 1 ]; [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] in
+        with_tmp (fun tx_path ->
+            with_tmp (fun info_path ->
+                Fimi.write tx_path db;
+                Item_csv.write info_path (Helpers.small_info 3);
+                let db' = Fimi.read tx_path in
+                let n = 1 + Option.get (Fimi.max_item db') in
+                let info = Item_csv.read info_path ~universe_size:n in
+                let q =
+                  Cfq_core.Parser.parse "{(S,T) | freq(S) >= 0.5 & freq(T) >= 0.5}"
+                in
+                let r = Cfq_core.Exec.run (Cfq_core.Exec.context db' info) q in
+                Alcotest.(check bool) "some pairs" true
+                  (r.Cfq_core.Exec.pair_stats.Cfq_core.Pairs.n_pairs > 0))));
+  ]

@@ -1,0 +1,105 @@
+open Cfq_itembase
+open Cfq_txdb
+open Cfq_constr
+open Cfq_mining
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let frequent_sets f =
+  Itemset.Set.of_list (List.map (fun e -> e.Frequent.set) (Frequent.to_list f))
+
+let suite =
+  [
+    Helpers.qtest ~count:80 "dovetailed lattices equal two solo runs" Helpers.gen_db
+      Helpers.print_db (fun (n, db) ->
+        let info = Helpers.small_info n in
+        let minsup_s = max 1 (Tx_db.size db / 4) in
+        let minsup_t = max 1 (Tx_db.size db / 6) in
+        let bundle () = Bundle.unconstrained info in
+        let io = Io_stats.create () in
+        let s = Cap.create db info ~minsup:minsup_s (bundle ()) in
+        let t = Cap.create db info ~minsup:minsup_t (bundle ()) in
+        let fs, ft = Dovetail.run io ~s ~t () in
+        let io2 = Io_stats.create () in
+        let solo_s = Cap.run (Cap.create db info ~minsup:minsup_s (bundle ())) io2 in
+        let solo_t = Cap.run (Cap.create db info ~minsup:minsup_t (bundle ())) io2 in
+        Itemset.Set.equal (frequent_sets fs) (frequent_sets solo_s)
+        && Itemset.Set.equal (frequent_sets ft) (frequent_sets solo_t));
+    Helpers.qtest ~count:80 "dovetailing shares scans between the lattices"
+      Helpers.gen_db Helpers.print_db (fun (n, db) ->
+        let info = Helpers.small_info n in
+        let minsup = max 1 (Tx_db.size db / 4) in
+        let io = Io_stats.create () in
+        let s = Cap.create db info ~minsup (Bundle.unconstrained info) in
+        let t = Cap.create db info ~minsup (Bundle.unconstrained info) in
+        let fs, ft = Dovetail.run io ~s ~t () in
+        (* identical sides advance in lock step: one scan per level, not two *)
+        Io_stats.scans io = max (Frequent.max_level fs + 1) 1
+        || Io_stats.scans io = Frequent.max_level fs
+        || Io_stats.scans io = Frequent.max_level ft);
+    unit "after_l1 fires exactly once with both L1s" (fun () ->
+        let db = Helpers.db_of_lists [ [ 0; 1 ]; [ 0; 1 ]; [ 1; 2 ] ] in
+        let info = Helpers.small_info 3 in
+        let io = Io_stats.create () in
+        let s = Cap.create db info ~minsup:2 (Bundle.unconstrained info) in
+        let t = Cap.create db info ~minsup:2 (Bundle.unconstrained info) in
+        let fired = ref 0 in
+        let seen = ref (Itemset.empty, Itemset.empty) in
+        let _ =
+          Dovetail.run io ~s ~t
+            ~after_l1:(fun ~l1_s ~l1_t ->
+              incr fired;
+              seen := (l1_s, l1_t))
+            ()
+        in
+        Alcotest.(check int) "once" 1 !fired;
+        let l1_s, l1_t = !seen in
+        Alcotest.(check bool) "l1 = {0,1}" true
+          (Itemset.equal l1_s (Itemset.of_list [ 0; 1 ]) && Itemset.equal l1_t l1_s));
+    unit "level hooks observe every absorbed level" (fun () ->
+        let db = Helpers.db_of_lists [ [ 0; 1; 2 ]; [ 0; 1; 2 ]; [ 0; 1 ] ] in
+        let info = Helpers.small_info 3 in
+        let io = Io_stats.create () in
+        let s = Cap.create db info ~minsup:2 (Bundle.unconstrained info) in
+        let t = Cap.create db info ~minsup:2 (Bundle.unconstrained info) in
+        let s_levels = ref [] and t_levels = ref [] in
+        let _ =
+          Dovetail.run io ~s ~t
+            ~on_s_level:(fun k _ -> s_levels := k :: !s_levels)
+            ~on_t_level:(fun k _ -> t_levels := k :: !t_levels)
+            ()
+        in
+        Alcotest.(check (list int)) "s levels" [ 1; 2; 3 ] (List.rev !s_levels);
+        Alcotest.(check (list int)) "t levels" [ 1; 2; 3 ] (List.rev !t_levels));
+    unit "constraints injected after level 1 prune the other levels" (fun () ->
+        let db =
+          Helpers.db_of_lists [ [ 0; 1 ]; [ 0; 1 ]; [ 2; 3 ]; [ 2; 3 ]; [ 0; 2 ] ]
+        in
+        let info = Helpers.small_info 4 in
+        let io = Io_stats.create () in
+        let s = Cap.create db info ~minsup:2 (Bundle.unconstrained info) in
+        let t = Cap.create db info ~minsup:2 (Bundle.unconstrained info) in
+        let fs, _ =
+          Dovetail.run io ~s ~t
+            ~after_l1:(fun ~l1_s:_ ~l1_t:_ ->
+              (* keep only items 0 and 1 on the S side *)
+              Cap.add_constraints ~nonneg:true s
+                [ One_var.Dom_subset (Attr.self, Value_set.of_list [ 0.; 1. ]) ])
+            ()
+        in
+        Frequent.iter
+          (fun e ->
+            if Itemset.cardinal e.Frequent.set >= 2 then
+              Alcotest.(check bool) "only 01 pair survives" true
+                (Itemset.equal e.Frequent.set (Itemset.of_list [ 0; 1 ])))
+          fs);
+    unit "different databases are rejected" (fun () ->
+        let db1 = Helpers.db_of_lists [ [ 0 ] ] in
+        let db2 = Helpers.db_of_lists [ [ 0 ] ] in
+        let info = Helpers.small_info 2 in
+        let s = Cap.create db1 info ~minsup:1 (Bundle.unconstrained info) in
+        let t = Cap.create db2 info ~minsup:1 (Bundle.unconstrained info) in
+        Alcotest.check_raises "invalid"
+          (Invalid_argument "Dovetail.run: the two lattices must share one database")
+          (fun () -> ignore (Dovetail.run (Io_stats.create ()) ~s ~t ())));
+  ]

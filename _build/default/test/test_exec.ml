@@ -1,0 +1,170 @@
+(* The golden equivalence property: all three strategies compute the same
+   CFQ answer — checked against a brute-force evaluation of the query
+   semantics on random databases and random constraint mixes. *)
+
+open Cfq_itembase
+open Cfq_core
+
+let answer_of_result (r : Exec.result) =
+  Helpers.sorted_pairs
+    (List.map
+       (fun (a, b) -> (a.Cfq_mining.Frequent.set, b.Cfq_mining.Frequent.set))
+       r.Exec.pairs)
+
+let run_strategy ctx q strategy =
+  answer_of_result (Exec.run ~strategy ~collect_pairs:true ctx q)
+
+let gen_case = QCheck2.Gen.pair Helpers.gen_query Helpers.gen_db
+
+let print_case (q, db) = Query.to_string q ^ " on " ^ Helpers.print_db db
+
+let pairs_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (s1, t1) (s2, t2) -> Itemset.equal s1 s2 && Itemset.equal t1 t2)
+       a b
+
+let suite =
+  [
+    Helpers.qtest ~count:250 "optimized answer equals the brute-force semantics"
+      gen_case print_case (fun (q, (n, db)) ->
+        let info = Helpers.small_info n in
+        let ctx = Exec.context db info in
+        let brute =
+          Helpers.sorted_pairs (Helpers.brute_answer db ~n ~s_info:info ~t_info:info q)
+        in
+        pairs_equal (run_strategy ctx q Plan.Optimized) brute);
+    Helpers.qtest ~count:150 "apriori+ answer equals the brute-force semantics"
+      gen_case print_case (fun (q, (n, db)) ->
+        let info = Helpers.small_info n in
+        let ctx = Exec.context db info in
+        let brute =
+          Helpers.sorted_pairs (Helpers.brute_answer db ~n ~s_info:info ~t_info:info q)
+        in
+        pairs_equal (run_strategy ctx q Plan.Apriori_plus) brute);
+    Helpers.qtest ~count:150 "cap-1var answer equals the brute-force semantics"
+      gen_case print_case (fun (q, (n, db)) ->
+        let info = Helpers.small_info n in
+        let ctx = Exec.context db info in
+        let brute =
+          Helpers.sorted_pairs (Helpers.brute_answer db ~n ~s_info:info ~t_info:info q)
+        in
+        pairs_equal (run_strategy ctx q Plan.Cap_one_var) brute);
+    Helpers.qtest ~count:150
+      "optimized strategy never counts more sets than the baseline's two sides"
+      gen_case print_case (fun (q, (n, db)) ->
+        let info = Helpers.small_info n in
+        let ctx = Exec.context db info in
+        let a = Exec.run ~strategy:Plan.Apriori_plus ctx q in
+        let o = Exec.run ~strategy:Plan.Optimized ctx q in
+        (* the baseline mines one full lattice; the optimized strategy mines
+           two pruned ones, so compare against twice the baseline *)
+        Exec.total_counted o <= (2 * Exec.total_counted a) + 2 * n);
+    Helpers.qtest ~count:100 "optimized valid sets are a subset of the baseline's"
+      gen_case print_case (fun (q, (n, db)) ->
+        let info = Helpers.small_info n in
+        let ctx = Exec.context db info in
+        let a = Exec.run ~strategy:Plan.Apriori_plus ctx q in
+        let o = Exec.run ~strategy:Plan.Optimized ctx q in
+        let sets side =
+          Itemset.Set.of_list
+            (Array.to_list (Array.map (fun e -> e.Cfq_mining.Frequent.set) side))
+        in
+        Itemset.Set.subset (sets o.Exec.s.Exec.valid) (sets a.Exec.s.Exec.valid)
+        && Itemset.Set.subset (sets o.Exec.t.Exec.valid) (sets a.Exec.t.Exec.valid));
+    Alcotest.test_case "variables over different domains (Section 3)" `Quick
+      (fun () ->
+        (* S ranges over all ten items, T only over the first four; each
+           domain carries its own Price column *)
+        let db =
+          Helpers.db_of_lists
+            [ [ 0; 1; 5 ]; [ 0; 1; 6 ]; [ 2; 3; 7 ]; [ 2; 3; 8 ]; [ 0; 2; 9 ] ]
+        in
+        let open Cfq_itembase in
+        let s_info = Item_info.create ~universe_size:10 in
+        Item_info.add_column s_info Helpers.price (Array.init 10 (fun i -> float_of_int (100 * i)));
+        let t_info = Item_info.create ~universe_size:4 in
+        Item_info.add_column t_info Helpers.price (Array.init 4 (fun i -> float_of_int (10 * i)));
+        let ctx = { Exec.db; s_info; t_info; nonneg = true } in
+        let q =
+          Parser.parse
+            "{(S,T) | freq(S) >= 0.4 & freq(T) >= 0.4 & max(T.Price) <= min(S.Price)}"
+        in
+        let results =
+          List.map
+            (fun s -> Exec.run ~strategy:s ~collect_pairs:true ctx q)
+            [ Plan.Apriori_plus; Plan.Cap_one_var; Plan.Optimized; Plan.Sequential_t_first ]
+        in
+        (match results with
+        | base :: rest ->
+            List.iter
+              (fun r ->
+                Alcotest.(check int) "pair count" base.Exec.pair_stats.Pairs.n_pairs
+                  r.Exec.pair_stats.Pairs.n_pairs)
+              rest
+        | [] -> assert false);
+        List.iter
+          (fun r ->
+            List.iter
+              (fun (_, t) ->
+                Alcotest.(check bool) "T within its domain" true
+                  (Itemset.for_all (fun i -> i < 4) t.Cfq_mining.Frequent.set))
+              r.Exec.pairs)
+          results);
+    Helpers.qtest ~count:80 "max_level caps the answer identically across strategies"
+      (QCheck2.Gen.pair Helpers.gen_query Helpers.gen_db)
+      (fun (q, db) -> Query.to_string q ^ " on " ^ Helpers.print_db db)
+      (fun (q, (n, db)) ->
+        let q = { q with Query.max_level = Some 2 } in
+        let info = Helpers.small_info n in
+        let ctx = Exec.context db info in
+        let brute =
+          Helpers.brute_answer db ~n ~s_info:info ~t_info:info q
+          |> List.filter (fun (s, t) ->
+                 Itemset.cardinal s <= 2 && Itemset.cardinal t <= 2)
+        in
+        List.for_all
+          (fun strategy ->
+            (Exec.run ~strategy ctx q).Exec.pair_stats.Pairs.n_pairs
+            = List.length brute)
+          [ Plan.Apriori_plus; Plan.Optimized; Plan.Sequential_t_first ]);
+    Alcotest.test_case "shared-lattice fast path is taken and noted" `Quick
+      (fun () ->
+        let db = Helpers.db_of_lists [ [ 0; 1 ]; [ 0; 1 ]; [ 1; 2 ] ] in
+        let ctx = Exec.context db (Helpers.small_info 3) in
+        (* symmetric sides, no reduction: one lattice *)
+        let q = Parser.parse "freq(S) >= 0.3 & freq(T) >= 0.3" in
+        let r = Exec.run ~strategy:Plan.Optimized ctx q in
+        Alcotest.(check bool) "note present" true
+          (List.exists
+             (fun n -> Astring_contains.contains n "mined once")
+             r.Exec.notes);
+        (* asymmetric sides: no such note *)
+        let q2 = Parser.parse "freq(S) >= 0.3 & freq(T) >= 0.3 & S.Price <= 40" in
+        let r2 = Exec.run ~strategy:Plan.Optimized ctx q2 in
+        Alcotest.(check bool) "no note" false
+          (List.exists
+             (fun n -> Astring_contains.contains n "mined once")
+             r2.Exec.notes));
+    Alcotest.test_case "explain renders every report section" `Quick (fun () ->
+        let db = Helpers.db_of_lists [ [ 0; 1 ]; [ 0; 1 ]; [ 1; 2 ] ] in
+        let ctx = Exec.context db (Helpers.small_info 3) in
+        let q =
+          Parser.parse "freq(S) >= 0.3 & freq(T) >= 0.3 & max(S.Price) <= min(T.Price)"
+        in
+        let r = Exec.run ctx q in
+        let o = Explain.result_to_string r in
+        List.iter
+          (fun part ->
+            Alcotest.(check bool) part true (Astring_contains.contains o part))
+          [ "S lattice"; "T lattice"; "pairs:"; "io:"; "ccc:"; "time:" ];
+        let p = Explain.plan_to_string q r.Exec.plan in
+        Alcotest.(check bool) "plan mentions query" true
+          (Astring_contains.contains p "max(S.Price)"));
+    Helpers.qtest ~count:100 "pair statistics are consistent with collected pairs"
+      gen_case print_case (fun (q, (n, db)) ->
+        let info = Helpers.small_info n in
+        let ctx = Exec.context db info in
+        let r = Exec.run ~strategy:Plan.Optimized ~collect_pairs:true ctx q in
+        r.Exec.pair_stats.Pairs.n_pairs = List.length r.Exec.pairs);
+  ]

@@ -1,0 +1,63 @@
+open Cfq_itembase
+open Cfq_constr
+
+let unit name f = Alcotest.test_case name `Quick f
+let info = Helpers.small_info 8
+let price = Helpers.price
+
+let gen_case =
+  QCheck2.Gen.(
+    pair Helpers.gen_two_var (pair (Helpers.gen_itemset 8) (Helpers.gen_itemset 8)))
+
+let print_case (c, (s, t)) =
+  Two_var.to_string c ^ " on " ^ Itemset.to_string s ^ "," ^ Itemset.to_string t
+
+let suite =
+  [
+    Helpers.qtest ~count:300 "induced weaker 2-var constraints are implied" gen_case
+      print_case (fun (c, (s, t)) ->
+        match Induce.weaken ~nonneg:true c with
+        | None -> QCheck2.assume_fail ()
+        | Some c' ->
+            (not (Two_var.eval ~s_info:info ~t_info:info c s t))
+            || Two_var.eval ~s_info:info ~t_info:info c' s t);
+    Helpers.qtest "induced constraints are quasi-succinct" Helpers.gen_two_var
+      Two_var.to_string (fun c ->
+        match Induce.weaken ~nonneg:true c with
+        | None -> true
+        | Some c' -> Classify.quasi_succinct c');
+    Helpers.qtest "quasi-succinct constraints are not weakened" Helpers.gen_two_var
+      Two_var.to_string (fun c ->
+        (not (Classify.quasi_succinct c)) || Induce.weaken ~nonneg:true c = None);
+    unit "Figure 4 rules" (fun () ->
+        let check name c expected =
+          Alcotest.(check bool) name true (Induce.weaken ~nonneg:true c = expected)
+        in
+        check "avg <= min  ~>  min <= min"
+          (Two_var.Agg2 (Agg.Avg, price, Cmp.Le, Agg.Min, price))
+          (Some (Two_var.Agg2 (Agg.Min, price, Cmp.Le, Agg.Min, price)));
+        check "sum <= max  ~>  max <= max"
+          (Two_var.Agg2 (Agg.Sum, price, Cmp.Le, Agg.Max, price))
+          (Some (Two_var.Agg2 (Agg.Max, price, Cmp.Le, Agg.Max, price)));
+        check "avg <= avg  ~>  min <= max"
+          (Two_var.Agg2 (Agg.Avg, price, Cmp.Le, Agg.Avg, price))
+          (Some (Two_var.Agg2 (Agg.Min, price, Cmp.Le, Agg.Max, price)));
+        check "sum <= sum has no quasi-succinct weakening"
+          (Two_var.Agg2 (Agg.Sum, price, Cmp.Le, Agg.Sum, price))
+          None;
+        (* mirrored direction *)
+        check "min >= avg  ~>  min >= ... (upper side weakened)"
+          (Two_var.Agg2 (Agg.Min, price, Cmp.Ge, Agg.Avg, price))
+          (Some (Two_var.Agg2 (Agg.Min, price, Cmp.Ge, Agg.Min, price)));
+        check "sum on the large side cannot be weakened"
+          (Two_var.Agg2 (Agg.Sum, price, Cmp.Ge, Agg.Max, price))
+          None;
+        (* sum on the small side of >= is the mirrored Figure 4 rule *)
+        check "max >= sum  ~>  max >= max"
+          (Two_var.Agg2 (Agg.Max, price, Cmp.Ge, Agg.Sum, price))
+          (Some (Two_var.Agg2 (Agg.Max, price, Cmp.Ge, Agg.Max, price))));
+    unit "negative values disable the sum rule" (fun () ->
+        Alcotest.(check bool) "sum <= max not weakened" true
+          (Induce.weaken ~nonneg:false (Two_var.Agg2 (Agg.Sum, price, Cmp.Le, Agg.Max, price))
+          = None));
+  ]

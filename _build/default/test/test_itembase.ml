@@ -1,0 +1,74 @@
+open Cfq_itembase
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let info_fixture () =
+  let info = Item_info.create ~universe_size:4 in
+  Item_info.add_column info (Attr.make "Price" Attr.Numeric) [| 10.; 20.; 30.; 20. |];
+  Item_info.add_column info (Attr.make "Type" Attr.Categorical) [| 0.; 1.; 1.; 2. |];
+  info
+
+let price = Attr.make "Price" Attr.Numeric
+let typ = Attr.make "Type" Attr.Categorical
+
+let suite =
+  [
+    unit "value_set algebra" (fun () ->
+        let a = Value_set.of_list [ 1.; 2.; 3. ] in
+        let b = Value_set.of_list [ 2.; 3.; 4. ] in
+        Alcotest.(check int) "union" 4 (Value_set.cardinal (Value_set.union a b));
+        Alcotest.(check int) "inter" 2 (Value_set.cardinal (Value_set.inter a b));
+        Alcotest.(check int) "diff" 1 (Value_set.cardinal (Value_set.diff a b));
+        Alcotest.(check bool) "subset" true
+          (Value_set.subset (Value_set.of_list [ 2. ]) a);
+        Alcotest.(check bool) "disjoint" false (Value_set.disjoint a b);
+        Alcotest.(check (option (float 0.0))) "min" (Some 1.) (Value_set.min_value a);
+        Alcotest.(check (option (float 0.0))) "max" (Some 3.) (Value_set.max_value a);
+        Alcotest.(check (float 1e-9)) "sum" 6. (Value_set.sum a));
+    unit "value_set dedupes" (fun () ->
+        Alcotest.(check int) "card" 2
+          (Value_set.cardinal (Value_set.of_list [ 1.; 1.; 2. ])));
+    unit "item_info lookup and projection" (fun () ->
+        let info = info_fixture () in
+        Alcotest.(check (float 0.)) "price of 2" 30. (Item_info.value info price 2);
+        let s = Itemset.of_list [ 1; 2; 3 ] in
+        let types = Item_info.project info typ s in
+        Alcotest.(check int) "distinct types" 2 (Value_set.cardinal types);
+        Alcotest.(check int) "count_distinct" 2 (Item_info.count_distinct info typ s));
+    unit "item_info aggregates are multiset aggregates" (fun () ->
+        let info = info_fixture () in
+        let s = Itemset.of_list [ 1; 3 ] in
+        (* two items with the same price 20: sum counts both *)
+        Alcotest.(check (float 1e-9)) "sum" 40. (Item_info.sum_of info price s);
+        Alcotest.(check (option (float 1e-9))) "avg" (Some 20.)
+          (Item_info.avg_of info price s);
+        Alcotest.(check (option (float 1e-9))) "min" (Some 20.)
+          (Item_info.min_of info price s);
+        Alcotest.(check (option (float 1e-9))) "max" (Some 20.)
+          (Item_info.max_of info price s));
+    unit "item_info empty set aggregates" (fun () ->
+        let info = info_fixture () in
+        Alcotest.(check (option (float 0.))) "min empty" None
+          (Item_info.min_of info price Itemset.empty);
+        Alcotest.(check (float 0.)) "sum empty" 0.
+          (Item_info.sum_of info price Itemset.empty));
+    unit "self attribute" (fun () ->
+        let info = info_fixture () in
+        Alcotest.(check (float 0.)) "identity" 3. (Item_info.value info Attr.self 3);
+        Alcotest.(check bool) "find Item" true
+          (Item_info.find_attr info "Item" = Some Attr.self));
+    unit "add_column validations" (fun () ->
+        let info = info_fixture () in
+        Alcotest.check_raises "size" (Invalid_argument
+          "Item_info.add_column: column size mismatch") (fun () ->
+            Item_info.add_column info (Attr.make "X" Attr.Numeric) [| 1. |]);
+        Alcotest.check_raises "dup" (Invalid_argument
+          "Item_info.add_column: duplicate attribute Price") (fun () ->
+            Item_info.add_column info price [| 1.; 2.; 3.; 4. |]));
+    unit "find_attr" (fun () ->
+        let info = info_fixture () in
+        Alcotest.(check bool) "price" true (Item_info.find_attr info "Price" <> None);
+        Alcotest.(check bool) "missing" true (Item_info.find_attr info "Nope" = None);
+        Alcotest.(check (list string)) "attrs" [ "Price"; "Type" ]
+          (List.map (fun a -> a.Attr.name) (Item_info.attrs info)));
+  ]

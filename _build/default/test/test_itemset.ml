@@ -1,0 +1,103 @@
+open Cfq_itembase
+
+module IS = Set.Make (Int)
+
+let model s = IS.of_list (Itemset.to_list s)
+let of_model m = Itemset.of_list (IS.elements m)
+
+let gen_set =
+  QCheck2.Gen.(
+    let* l = list_size (int_range 0 12) (int_range 0 30) in
+    return (Itemset.of_list l))
+
+let gen_pair = QCheck2.Gen.pair gen_set gen_set
+let print_pair (a, b) = Itemset.to_string a ^ " / " ^ Itemset.to_string b
+
+let eq_model name op model_op =
+  Helpers.qtest name gen_pair print_pair (fun (a, b) ->
+      Itemset.equal (op a b) (of_model (model_op (model a) (model b))))
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let suite =
+  [
+    eq_model "union agrees with model" Itemset.union IS.union;
+    eq_model "inter agrees with model" Itemset.inter IS.inter;
+    eq_model "diff agrees with model" Itemset.diff IS.diff;
+    Helpers.qtest "subset agrees with model" gen_pair print_pair (fun (a, b) ->
+        Itemset.subset a b = IS.subset (model a) (model b));
+    Helpers.qtest "disjoint agrees with model" gen_pair print_pair (fun (a, b) ->
+        Itemset.disjoint a b = IS.disjoint (model a) (model b));
+    Helpers.qtest "mem agrees with model" gen_set Itemset.to_string (fun s ->
+        List.for_all (fun i -> Itemset.mem i s = IS.mem i (model s)) (List.init 32 Fun.id));
+    Helpers.qtest "add/remove round-trip" gen_set Itemset.to_string (fun s ->
+        let s' = Itemset.add 99 s in
+        Itemset.mem 99 s' && Itemset.equal (Itemset.remove 99 s') s);
+    Helpers.qtest "add is idempotent on members" gen_set Itemset.to_string (fun s ->
+        Itemset.is_empty s
+        ||
+        let i = Itemset.get s 0 in
+        Itemset.equal (Itemset.add i s) s);
+    Helpers.qtest "of_array sorts and dedupes" gen_set Itemset.to_string (fun s ->
+        let doubled = Array.append (Itemset.to_array s) (Itemset.to_array s) in
+        Itemset.equal (Itemset.of_array doubled) s);
+    Helpers.qtest "compare is a total order consistent with equal" gen_pair print_pair
+      (fun (a, b) -> Itemset.compare a b = 0 = Itemset.equal a b);
+    Helpers.qtest "hash respects equality" gen_set Itemset.to_string (fun s ->
+        Itemset.hash s = Itemset.hash (Itemset.of_list (Itemset.to_list s)));
+    unit "empty properties" (fun () ->
+        check_bool "is_empty" true (Itemset.is_empty Itemset.empty);
+        check_int "cardinal" 0 (Itemset.cardinal Itemset.empty);
+        check_bool "subset of anything" true
+          (Itemset.subset Itemset.empty (Itemset.of_list [ 1; 2 ])));
+    unit "min/max item" (fun () ->
+        let s = Itemset.of_list [ 5; 2; 9 ] in
+        Alcotest.(check (option int)) "min" (Some 2) (Itemset.min_item s);
+        Alcotest.(check (option int)) "max" (Some 9) (Itemset.max_item s);
+        Alcotest.(check (option int)) "empty" None (Itemset.min_item Itemset.empty));
+    unit "of_sorted_array rejects unsorted" (fun () ->
+        Alcotest.check_raises "unsorted" (Invalid_argument
+          "Itemset.of_sorted_array: not strictly increasing") (fun () ->
+            ignore (Itemset.of_sorted_array [| 2; 1 |]));
+        Alcotest.check_raises "duplicate" (Invalid_argument
+          "Itemset.of_sorted_array: not strictly increasing") (fun () ->
+            ignore (Itemset.of_sorted_array [| 1; 1 |])));
+    unit "prefix_join basics" (fun () ->
+        let j a b = Itemset.prefix_join (Itemset.of_list a) (Itemset.of_list b) in
+        (match j [ 1; 2 ] [ 1; 3 ] with
+        | Some s -> check_bool "join 12/13" true (Itemset.equal s (Itemset.of_list [ 1; 2; 3 ]))
+        | None -> Alcotest.fail "expected join");
+        check_bool "no join different prefix" true (j [ 1; 2 ] [ 2; 3 ] = None);
+        check_bool "no join wrong order" true (j [ 1; 3 ] [ 1; 2 ] = None);
+        check_bool "no join same set" true (j [ 1; 2 ] [ 1; 2 ] = None));
+    Helpers.qtest "iter_subsets_k enumerates C(n,k) distinct subsets" gen_set
+      Itemset.to_string (fun s ->
+        let n = Itemset.cardinal s in
+        List.for_all
+          (fun k ->
+            let seen = ref Itemset.Set.empty in
+            Itemset.iter_subsets_k s k (fun sub ->
+                assert (Itemset.cardinal sub = k);
+                assert (Itemset.subset sub s);
+                seen := Itemset.Set.add sub !seen);
+            Itemset.Set.cardinal !seen = Cfq_mining.Jmax.binom n k)
+          [ 0; 1; 2; min 3 n ]);
+    Helpers.qtest "iter_delete_one yields all (n-1)-subsets" gen_set Itemset.to_string
+      (fun s ->
+        let seen = ref Itemset.Set.empty in
+        Itemset.iter_delete_one s (fun sub -> seen := Itemset.Set.add sub !seen);
+        Itemset.Set.cardinal !seen = Itemset.cardinal s
+        && Itemset.Set.for_all
+             (fun sub -> Itemset.cardinal sub = Itemset.cardinal s - 1)
+             !seen);
+    unit "powerset counts" (fun () ->
+        let s = Itemset.of_list [ 1; 2; 3 ] in
+        let n = ref 0 in
+        Itemset.powerset s (fun _ -> incr n);
+        check_int "2^3" 8 !n);
+    Helpers.qtest "subset_of_array matches subset" gen_pair print_pair (fun (a, b) ->
+        Itemset.subset_of_array a (Itemset.unsafe_to_array b) = Itemset.subset a b);
+  ]

@@ -1,0 +1,109 @@
+open Cfq_itembase
+open Cfq_txdb
+open Cfq_mining
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let entries_of_level db ~n ~minsup ~k =
+  Helpers.brute_frequent db ~n ~minsup
+  |> List.filter (fun s -> Itemset.cardinal s = k)
+  |> List.map (fun s -> { Frequent.set = s; support = Helpers.support_of db s })
+  |> Array.of_list
+
+let largest_frequent db ~n ~minsup =
+  List.fold_left
+    (fun acc s -> max acc (Itemset.cardinal s))
+    0
+    (Helpers.brute_frequent db ~n ~minsup)
+
+let suite =
+  [
+    unit "binomial coefficients" (fun () ->
+        Alcotest.(check int) "C(5,2)" 10 (Jmax.binom 5 2);
+        Alcotest.(check int) "C(6,3)" 20 (Jmax.binom 6 3);
+        Alcotest.(check int) "C(7,0)" 1 (Jmax.binom 7 0);
+        Alcotest.(check int) "C(7,7)" 1 (Jmax.binom 7 7);
+        Alcotest.(check int) "C(3,5)" 0 (Jmax.binom 3 5);
+        Alcotest.(check int) "C(50,25) saturates sanely" (Jmax.binom 50 25)
+          (Jmax.binom 50 25);
+        Alcotest.(check bool) "C(200,100) capped positive" true (Jmax.binom 200 100 > 0));
+    unit "paper's numerical example" (fun () ->
+        (* 17 frequent 4-sets containing t1: no frequent 7-set since
+           C(6,3) = 20 > 17, so J = 2 (size at most 6) *)
+        let j = ref 0 in
+        while Jmax.binom (4 + !j) 3 <= 17 do
+          incr j
+        done;
+        Alcotest.(check int) "J1 = 2" 2 !j);
+    Helpers.qtest ~count:100 "k + Jmax bounds the largest frequent set" Helpers.gen_db
+      Helpers.print_db (fun (n, db) ->
+        let minsup = max 1 (Tx_db.size db / 6) in
+        let biggest = largest_frequent db ~n ~minsup in
+        List.for_all
+          (fun k ->
+            let level = entries_of_level db ~n ~minsup ~k in
+            Array.length level = 0 || k + Jmax.jmax ~k level >= biggest)
+          (List.filter (fun k -> k <= biggest) [ 2; 3 ]));
+    Helpers.qtest ~count:100 "per-element J bounds sets containing the element"
+      Helpers.gen_db Helpers.print_db (fun (n, db) ->
+        let minsup = max 1 (Tx_db.size db / 6) in
+        let freq = Helpers.brute_frequent db ~n ~minsup in
+        let k = 2 in
+        let level = entries_of_level db ~n ~minsup ~k in
+        Array.length level = 0
+        || List.for_all
+             (fun (i, j_i) ->
+               List.for_all
+                 (fun s -> (not (Itemset.mem i s)) || Itemset.cardinal s <= k + j_i)
+                 freq)
+             (Jmax.per_element_j ~k level));
+    Helpers.qtest ~count:100 "V^k bounds the sum of every frequent set" Helpers.gen_db
+      Helpers.print_db (fun (n, db) ->
+        let minsup = max 1 (Tx_db.size db / 6) in
+        let info = Helpers.small_info n in
+        let freq = Helpers.brute_frequent db ~n ~minsup in
+        let sb = Jmax.Sum_bound.create info Helpers.price in
+        let max_k = largest_frequent db ~n ~minsup in
+        let sound = ref true in
+        for k = 1 to max_k + 1 do
+          Jmax.Sum_bound.observe_level sb ~k (entries_of_level db ~n ~minsup ~k);
+          let b = Jmax.Sum_bound.bound sb in
+          List.iter
+            (fun s ->
+              if Item_info.sum_of info Helpers.price s > b +. 1e-9 then sound := false)
+            freq
+        done;
+        !sound);
+    Helpers.qtest ~count:60 "V^k tightens monotonically (Lemma 7)" Helpers.gen_db
+      Helpers.print_db (fun (n, db) ->
+        let minsup = max 1 (Tx_db.size db / 6) in
+        let info = Helpers.small_info n in
+        let sb = Jmax.Sum_bound.create info Helpers.price in
+        let max_k = largest_frequent db ~n ~minsup in
+        let prev = ref infinity in
+        let ok = ref true in
+        for k = 1 to max_k do
+          Jmax.Sum_bound.observe_level sb ~k (entries_of_level db ~n ~minsup ~k);
+          let b = Jmax.Sum_bound.bound sb in
+          if b > !prev +. 1e-9 then ok := false;
+          prev := b
+        done;
+        !ok);
+    unit "exhausted lattice collapses the bound to the observed max" (fun () ->
+        let db = Helpers.db_of_lists [ [ 0; 1 ]; [ 0; 1 ]; [ 2 ] ] in
+        let info = Helpers.small_info 3 in
+        let sb = Jmax.Sum_bound.create info Helpers.price in
+        let minsup = 2 in
+        for k = 1 to 3 do
+          Jmax.Sum_bound.observe_level sb ~k (entries_of_level db ~n:3 ~minsup ~k)
+        done;
+        (* level 3 empty: bound = exact max over frequent sets *)
+        Alcotest.(check (float 1e-9)) "exact"
+          (Jmax.Sum_bound.observed_max sb)
+          (Jmax.Sum_bound.bound sb));
+    unit "bound is infinite before any level" (fun () ->
+        let info = Helpers.small_info 3 in
+        let sb = Jmax.Sum_bound.create info Helpers.price in
+        Alcotest.(check bool) "infinite" true
+          (not (Float.is_finite (Jmax.Sum_bound.bound sb))));
+  ]

@@ -1,0 +1,37 @@
+let () =
+  Alcotest.run "cfq"
+    [
+      ("itemset", Test_itemset.suite);
+      ("itembase", Test_itembase.suite);
+      ("bitvec", Test_bitvec.suite);
+      ("taxonomy", Test_taxonomy.suite);
+      ("txdb", Test_txdb.suite);
+      ("quest", Test_quest.suite);
+      ("constr", Test_constr.suite);
+      ("mgf", Test_mgf.suite);
+      ("classify2", Test_classify2.suite);
+      ("reduce", Test_reduce.suite);
+      ("paper_tables", Test_paper_tables.suite);
+      ("induce", Test_induce.suite);
+      ("jmax", Test_jmax.suite);
+      ("mining", Test_mining.suite);
+      ("vertical", Test_vertical.suite);
+      ("partition", Test_partition.suite);
+      ("alt_miners", Test_alt_miners.suite);
+      ("incremental", Test_incremental.suite);
+      ("ccc", Test_ccc.suite);
+      ("dovetail", Test_dovetail.suite);
+      ("parser", Test_parser.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("pairs", Test_pairs.suite);
+      ("exec", Test_exec.suite);
+      ("report", Test_report.suite);
+      ("rules", Test_rules.suite);
+      ("strategies", Test_strategies.suite);
+      ("data", Test_data.suite);
+      ("integration", Test_integration.suite);
+      ("validate", Test_validate.suite);
+      ("advisor", Test_advisor.suite);
+      ("rewrite", Test_rewrite.suite);
+      ("shell", Test_shell.suite);
+    ]

@@ -1,0 +1,89 @@
+open Cfq_itembase
+open Cfq_constr
+
+let unit name f = Alcotest.test_case name `Quick f
+let info = Helpers.small_info 8
+let price = Helpers.price
+let typ = Helpers.typ
+
+(* succinct constraints whose MGF must coincide exactly with eval *)
+let gen_exact_mgf =
+  QCheck2.Gen.(
+    oneof
+      [
+        (let* vs = Helpers.gen_value_set in
+         oneofl
+           [
+             One_var.Dom_subset (typ, vs);
+             One_var.Dom_superset (typ, vs);
+             One_var.Dom_disjoint (typ, vs);
+             One_var.Dom_intersect (typ, vs);
+           ]);
+        (let* agg = Helpers.gen_minmax in
+         let* op = oneofl [ Cmp.Le; Cmp.Lt; Cmp.Ge; Cmp.Gt; Cmp.Eq ] in
+         let* c = Helpers.gen_price_const in
+         return (One_var.Agg_cmp (agg, price, op, c)));
+      ])
+
+let print_cs (c, s) = One_var.to_string c ^ " on " ^ Itemset.to_string s
+
+let suite =
+  [
+    Helpers.qtest ~count:500 "MGF satisfaction coincides with constraint evaluation"
+      (QCheck2.Gen.pair gen_exact_mgf (Helpers.gen_itemset 8))
+      print_cs
+      (fun (c, s) ->
+        match Mgf.of_one_var c with
+        | None -> QCheck2.assume_fail ()
+        | Some m -> Mgf.satisfied info m s = One_var.eval info c s);
+    Helpers.qtest "every succinct min/max or domain constraint except \
+                   not-superset has an MGF" Helpers.gen_one_var One_var.to_string
+      (fun c ->
+        match c with
+        | One_var.Dom_not_superset _ -> Mgf.of_one_var c = None
+        | One_var.Agg_cmp (_, _, Cmp.Ne, _) -> Mgf.of_one_var c = None
+        | _ -> not (One_var.is_succinct c) || Mgf.of_one_var c <> None);
+    Helpers.qtest "non-succinct constraints have no MGF" Helpers.gen_one_var
+      One_var.to_string (fun c ->
+        One_var.is_succinct c || Mgf.of_one_var c = None);
+    unit "combine intersects universes and joins requirements" (fun () ->
+        let m1 =
+          Option.get (Mgf.of_one_var (One_var.Agg_cmp (Agg.Max, price, Cmp.Le, 40.)))
+        in
+        let m2 =
+          Option.get (Mgf.of_one_var (One_var.Agg_cmp (Agg.Min, price, Cmp.Le, 20.)))
+        in
+        let m = Mgf.combine m1 m2 in
+        Alcotest.(check int) "one requirement" 1 (List.length m.Mgf.requires);
+        (* universe: price <= 40 *)
+        Alcotest.(check bool) "item 0 permitted (price 10)" true
+          (Mgf.permits_item info m 0);
+        (* item 2 has price 10*((6 mod 7)+1) = 70 *)
+        Alcotest.(check bool) "item 2 rejected (price 70)" false
+          (Mgf.permits_item info m 2));
+    unit "requires_witness" (fun () ->
+        let m =
+          Option.get (Mgf.of_one_var (One_var.Agg_cmp (Agg.Min, price, Cmp.Le, 10.)))
+        in
+        (* price 10 is item 0's *)
+        Alcotest.(check bool) "with witness" true
+          (Mgf.requires_witness info m (Itemset.of_list [ 0; 1 ]));
+        Alcotest.(check bool) "without witness" false
+          (Mgf.requires_witness info m (Itemset.of_list [ 1 ])));
+    unit "trivial mgf" (fun () ->
+        Alcotest.(check bool) "is_trivial" true (Mgf.is_trivial Mgf.trivial);
+        Alcotest.(check bool) "permits anything" true (Mgf.permits_item info Mgf.trivial 3);
+        Alcotest.(check bool) "nonempty has trivial mgf" true
+          (Mgf.of_one_var One_var.Nonempty = Some Mgf.trivial));
+    Helpers.qtest "combine_all equals iterated combine"
+      (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 3) gen_exact_mgf)
+      (fun cs -> String.concat " & " (List.map One_var.to_string cs))
+      (fun cs ->
+        let ms = List.filter_map Mgf.of_one_var cs in
+        let m = Mgf.combine_all ms in
+        List.for_all
+          (fun s ->
+            Mgf.satisfied info m s
+            = List.for_all (fun mi -> Mgf.satisfied info mi s) ms)
+          (Helpers.all_subsets 6));
+  ]

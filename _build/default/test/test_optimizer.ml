@@ -1,0 +1,84 @@
+open Cfq_constr
+open Cfq_core
+
+let unit name f = Alcotest.test_case name `Quick f
+let price = Helpers.price
+
+let plan ?strategy s = Optimizer.plan ?strategy ~nonneg:true (Parser.parse s)
+
+let suite =
+  [
+    unit "quasi-succinct constraints get the tight reduction" (fun () ->
+        let p = plan "max(S.Price) <= min(T.Price)" in
+        match p.Plan.handlings with
+        | [ h ] ->
+            Alcotest.(check bool) "qs" true h.Plan.quasi_succinct;
+            Alcotest.(check bool) "no jmax" true
+              ((not h.Plan.jmax_on_s) && not h.Plan.jmax_on_t);
+            Alcotest.(check bool) "ccc-optimal" true p.Plan.ccc_optimal
+        | _ -> Alcotest.fail "one handling expected");
+    unit "sum-vs-sum gets the iterative filter on S" (fun () ->
+        let p = plan "sum(S.Price) <= sum(T.Price)" in
+        match p.Plan.handlings with
+        | [ h ] ->
+            Alcotest.(check bool) "not qs" false h.Plan.quasi_succinct;
+            Alcotest.(check bool) "jmax on S" true h.Plan.jmax_on_s;
+            Alcotest.(check bool) "no jmax on T" false h.Plan.jmax_on_t;
+            Alcotest.(check bool) "not ccc-optimal" false p.Plan.ccc_optimal
+        | _ -> Alcotest.fail "one handling expected");
+    unit "mirrored sum constraint filters T" (fun () ->
+        let p = plan "sum(T.Price) <= sum(S.Price)" in
+        (* normalised as sum(S) >= sum(T) *)
+        match p.Plan.handlings with
+        | [ h ] ->
+            Alcotest.(check bool) "jmax on T" true h.Plan.jmax_on_t;
+            Alcotest.(check bool) "no jmax on S" false h.Plan.jmax_on_s
+        | _ -> Alcotest.fail "one handling expected");
+    unit "max-vs-sum is filterable, min-vs-sum is not" (fun () ->
+        let p1 = plan "max(S.Price) <= sum(T.Price)" in
+        let p2 = plan "min(S.Price) <= sum(T.Price)" in
+        Alcotest.(check bool) "max filterable" true
+          (List.exists (fun h -> h.Plan.jmax_on_s) p1.Plan.handlings);
+        Alcotest.(check bool) "min not (monotone, unsound to prune)" false
+          (List.exists (fun h -> h.Plan.jmax_on_s) p2.Plan.handlings));
+    unit "avg-vs-sum records the note about the missing filter" (fun () ->
+        let p = plan "avg(S.Price) <= sum(T.Price)" in
+        Alcotest.(check bool) "no filter" false
+          (List.exists (fun h -> h.Plan.jmax_on_s) p.Plan.handlings);
+        Alcotest.(check bool) "note" true (p.Plan.notes <> []));
+    unit "sum-vs-max induces Figure 4's weaker constraint" (fun () ->
+        let p = plan "sum(S.Price) <= max(T.Price)" in
+        match p.Plan.handlings with
+        | [ h ] ->
+            Alcotest.(check bool) "induced" true
+              (h.Plan.induced
+              = Some (Two_var.Agg2 (Agg.Max, price, Cmp.Le, Agg.Max, price)))
+        | _ -> Alcotest.fail "one handling expected");
+    unit "negative values disable the sum filter" (fun () ->
+        let p =
+          Optimizer.plan ~nonneg:false (Parser.parse "sum(S.Price) <= sum(T.Price)")
+        in
+        Alcotest.(check bool) "no filter" false
+          (List.exists (fun h -> h.Plan.jmax_on_s) p.Plan.handlings));
+    unit "ccc-optimality certification" (fun () ->
+        (* succinct 1-var + quasi-succinct 2-var: certified *)
+        Alcotest.(check bool) "certified" true
+          (plan "S.Price >= 400 & T.Price <= 600 & S.Type = T.Type").Plan.ccc_optimal;
+        (* sum 1-var constraint: not succinct, not certified *)
+        Alcotest.(check bool) "sum 1-var" false
+          (plan "sum(S.Price) <= 100 & S.Type = T.Type").Plan.ccc_optimal;
+        (* baseline never certified *)
+        Alcotest.(check bool) "apriori+" false
+          (plan ~strategy:Plan.Apriori_plus "S.Type = T.Type").Plan.ccc_optimal;
+        (* CAP certified only without 2-var constraints *)
+        Alcotest.(check bool) "cap no 2var" true
+          (plan ~strategy:Plan.Cap_one_var "S.Price >= 400").Plan.ccc_optimal;
+        Alcotest.(check bool) "cap with 2var" false
+          (plan ~strategy:Plan.Cap_one_var "S.Type = T.Type").Plan.ccc_optimal);
+    unit "plan pretty-printing mentions the strategy" (fun () ->
+        let p = plan "sum(S.Price) <= sum(T.Price)" in
+        let s = Format.asprintf "%a" Plan.pp p in
+        Alcotest.(check bool) "mentions optimized" true
+          (Astring_contains.contains s "optimized");
+        Alcotest.(check bool) "mentions Jmax" true (Astring_contains.contains s "Jmax"));
+  ]

@@ -1,0 +1,149 @@
+open Cfq_itembase
+open Cfq_constr
+open Cfq_mining
+open Cfq_core
+
+let unit name f = Alcotest.test_case name `Quick f
+let info = Helpers.small_info 6
+
+let entry l = { Frequent.set = Itemset.of_list l; support = 1 }
+
+(* reference: evaluate the conjunction on the full product *)
+let brute_pairs two_var vs vt =
+  let out = ref [] in
+  Array.iter
+    (fun es ->
+      Array.iter
+        (fun et ->
+          if
+            List.for_all
+              (fun c -> Two_var.eval ~s_info:info ~t_info:info c es.Frequent.set et.Frequent.set)
+              two_var
+          then out := (es.Frequent.set, et.Frequent.set) :: !out)
+        vt)
+    vs;
+  Helpers.sorted_pairs !out
+
+let collected_pairs two_var vs vt =
+  let got = ref [] in
+  let stats =
+    Pairs.form ~s_info:info ~t_info:info ~valid_s:vs ~valid_t:vt ~two_var
+      ~on_pair:(fun a b -> got := (a.Frequent.set, b.Frequent.set) :: !got)
+      ()
+  in
+  (stats, Helpers.sorted_pairs !got)
+
+let gen_entries =
+  QCheck2.Gen.(
+    map
+      (fun sets ->
+        Array.of_list
+          (List.map (fun s -> { Frequent.set = s; support = 1 }) (List.sort_uniq Itemset.compare sets)))
+      (list_size (int_range 0 10) (Helpers.gen_itemset 6)))
+
+let gen_case = QCheck2.Gen.pair Helpers.gen_two_var (QCheck2.Gen.pair gen_entries gen_entries)
+
+let print_case (c, (vs, vt)) =
+  Printf.sprintf "%s |S|=%d |T|=%d" (Two_var.to_string c) (Array.length vs)
+    (Array.length vt)
+
+let suite =
+  [
+    unit "pairs with no 2-var constraint form the full product" (fun () ->
+        let vs = [| entry [ 0 ]; entry [ 1 ] |] in
+        let vt = [| entry [ 2 ]; entry [ 3 ]; entry [ 4 ] |] in
+        let st = Pairs.form ~s_info:info ~t_info:info ~valid_s:vs ~valid_t:vt ~two_var:[] () in
+        Alcotest.(check int) "pairs" 6 st.Pairs.n_pairs;
+        Alcotest.(check int) "paired s" 2 st.Pairs.n_paired_s;
+        Alcotest.(check int) "paired t" 3 st.Pairs.n_paired_t;
+        Alcotest.(check int) "no checks" 0 st.Pairs.checks;
+        Alcotest.(check string) "nested" "nested-loop"
+          (Pairs.join_method_name st.Pairs.join));
+    unit "a single aggregate comparison becomes a sort join with zero checks"
+      (fun () ->
+        (* prices: 10 40 70 30 60 20 *)
+        let vs = [| entry [ 0 ]; entry [ 2 ] |] in
+        let vt = [| entry [ 1 ]; entry [ 5 ] |] in
+        let c = Two_var.Agg2 (Agg.Max, Helpers.price, Cmp.Le, Agg.Min, Helpers.price) in
+        let st =
+          Pairs.form ~s_info:info ~t_info:info ~valid_s:vs ~valid_t:vt ~two_var:[ c ] ()
+        in
+        Alcotest.(check int) "pairs" 2 st.Pairs.n_pairs;
+        Alcotest.(check int) "paired s" 1 st.Pairs.n_paired_s;
+        Alcotest.(check int) "paired t" 2 st.Pairs.n_paired_t;
+        Alcotest.(check int) "no residual checks" 0 st.Pairs.checks;
+        Alcotest.(check string) "sort join" "sort-join"
+          (Pairs.join_method_name st.Pairs.join));
+    unit "set equality becomes a hash join" (fun () ->
+        (* types: i mod 4 *)
+        let vs = [| entry [ 0 ]; entry [ 1 ] |] in
+        let vt = [| entry [ 4 ]; entry [ 5 ]; entry [ 2 ] |] in
+        let c = Two_var.Set2 (Helpers.typ, Two_var.Set_eq, Helpers.typ) in
+        let st =
+          Pairs.form ~s_info:info ~t_info:info ~valid_s:vs ~valid_t:vt ~two_var:[ c ] ()
+        in
+        (* type({0}) = {0} matches type({4}) = {0}; type({1}) = {1} matches {5} *)
+        Alcotest.(check int) "pairs" 2 st.Pairs.n_pairs;
+        Alcotest.(check string) "hash join" "hash-join"
+          (Pairs.join_method_name st.Pairs.join));
+    unit "residual constraints are verified per candidate pair" (fun () ->
+        let vs = [| entry [ 0 ] |] in
+        let vt = [| entry [ 1 ]; entry [ 5 ] |] in
+        let c1 = Two_var.Agg2 (Agg.Max, Helpers.price, Cmp.Le, Agg.Min, Helpers.price) in
+        let c2 = Two_var.Set2 (Helpers.typ, Two_var.Disjoint, Helpers.typ) in
+        let st =
+          Pairs.form ~s_info:info ~t_info:info ~valid_s:vs ~valid_t:vt
+            ~two_var:[ c1; c2 ] ()
+        in
+        (* driver keeps both T-sets; residual disjointness check runs twice *)
+        Alcotest.(check int) "residual checks" 2 st.Pairs.checks;
+        Alcotest.(check int) "pairs" 2 st.Pairs.n_pairs);
+    unit "on_pair callback fires per pair" (fun () ->
+        let vs = [| entry [ 0 ] |] in
+        let vt = [| entry [ 1 ] |] in
+        let got = ref [] in
+        let _ =
+          Pairs.form ~s_info:info ~t_info:info ~valid_s:vs ~valid_t:vt ~two_var:[]
+            ~on_pair:(fun a b -> got := (a.Frequent.set, b.Frequent.set) :: !got)
+            ()
+        in
+        Alcotest.(check int) "one" 1 (List.length !got));
+    unit "empty sides give zero pairs" (fun () ->
+        let st =
+          Pairs.form ~s_info:info ~t_info:info ~valid_s:[||] ~valid_t:[| entry [ 0 ] |]
+            ~two_var:[] ()
+        in
+        Alcotest.(check int) "zero" 0 st.Pairs.n_pairs);
+    Helpers.qtest ~count:400 "every join method agrees with the nested-loop semantics"
+      gen_case print_case (fun (c, (vs, vt)) ->
+        let stats, got = collected_pairs [ c ] vs vt in
+        let expected = brute_pairs [ c ] vs vt in
+        stats.Pairs.n_pairs = List.length expected
+        && List.length got = List.length expected
+        && List.for_all2
+             (fun (a1, b1) (a2, b2) -> Itemset.equal a1 a2 && Itemset.equal b1 b2)
+             got expected);
+    Helpers.qtest ~count:200 "conjunctions agree with the nested-loop semantics"
+      (QCheck2.Gen.pair
+         (QCheck2.Gen.list_size (QCheck2.Gen.int_range 2 3) Helpers.gen_two_var)
+         (QCheck2.Gen.pair gen_entries gen_entries))
+      (fun (cs, (vs, vt)) ->
+        Printf.sprintf "%s |S|=%d |T|=%d"
+          (String.concat " & " (List.map Two_var.to_string cs))
+          (Array.length vs) (Array.length vt))
+      (fun (cs, (vs, vt)) ->
+        let stats, _ = collected_pairs cs vs vt in
+        stats.Pairs.n_pairs = List.length (brute_pairs cs vs vt));
+    Helpers.qtest ~count:200 "sort join on strict and Ne comparisons"
+      (QCheck2.Gen.pair
+         QCheck2.Gen.(
+           let* op = oneofl [ Cmp.Lt; Cmp.Gt; Cmp.Ne; Cmp.Eq ] in
+           let* agg1 = Helpers.gen_minmax in
+           let* agg2 = Helpers.gen_minmax in
+           return (Two_var.Agg2 (agg1, Helpers.price, op, agg2, Helpers.price)))
+         (QCheck2.Gen.pair gen_entries gen_entries))
+      print_case
+      (fun (c, (vs, vt)) ->
+        let stats, _ = collected_pairs [ c ] vs vt in
+        stats.Pairs.n_pairs = List.length (brute_pairs [ c ] vs vt));
+  ]

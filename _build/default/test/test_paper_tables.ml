@@ -1,0 +1,202 @@
+(* Row-by-row verification of the paper's tables: the CAP classification of
+   1-var constraints, Figure 2 (domain reductions), Figure 3 (min/max
+   reductions in all four combinations and both directions), and Figure 4
+   (induced weaker constraints).  These tests pin the published spec, while
+   the property tests elsewhere check the semantic properties behind it. *)
+
+open Cfq_itembase
+open Cfq_constr
+
+let unit name f = Alcotest.test_case name `Quick f
+let price = Helpers.price
+let typ = Helpers.typ
+let vs l = Value_set.of_list l
+
+(* classification expectations: (constraint, anti-monotone, succinct, monotone) *)
+let one_var_rows =
+  [
+    (One_var.Dom_subset (typ, vs [ 1. ]), true, true, false);
+    (One_var.Dom_superset (typ, vs [ 1. ]), false, true, true);
+    (One_var.Dom_disjoint (typ, vs [ 1. ]), true, true, false);
+    (One_var.Dom_intersect (typ, vs [ 1. ]), false, true, true);
+    (One_var.Dom_not_superset (typ, vs [ 1. ]), true, true, false);
+    (One_var.Agg_cmp (Agg.Min, price, Cmp.Ge, 5.), true, true, false);
+    (One_var.Agg_cmp (Agg.Min, price, Cmp.Gt, 5.), true, true, false);
+    (One_var.Agg_cmp (Agg.Min, price, Cmp.Le, 5.), false, true, true);
+    (One_var.Agg_cmp (Agg.Min, price, Cmp.Lt, 5.), false, true, true);
+    (One_var.Agg_cmp (Agg.Min, price, Cmp.Eq, 5.), false, true, false);
+    (One_var.Agg_cmp (Agg.Max, price, Cmp.Le, 5.), true, true, false);
+    (One_var.Agg_cmp (Agg.Max, price, Cmp.Lt, 5.), true, true, false);
+    (One_var.Agg_cmp (Agg.Max, price, Cmp.Ge, 5.), false, true, true);
+    (One_var.Agg_cmp (Agg.Max, price, Cmp.Gt, 5.), false, true, true);
+    (One_var.Agg_cmp (Agg.Max, price, Cmp.Eq, 5.), false, true, false);
+    (One_var.Agg_cmp (Agg.Sum, price, Cmp.Le, 5.), true, false, false);
+    (One_var.Agg_cmp (Agg.Sum, price, Cmp.Ge, 5.), false, false, true);
+    (One_var.Agg_cmp (Agg.Sum, price, Cmp.Eq, 5.), false, false, false);
+    (One_var.Agg_cmp (Agg.Avg, price, Cmp.Le, 5.), false, false, false);
+    (One_var.Agg_cmp (Agg.Avg, price, Cmp.Ge, 5.), false, false, false);
+    (One_var.Agg_cmp (Agg.Avg, price, Cmp.Eq, 5.), false, false, false);
+    (One_var.Agg_cmp (Agg.Count, typ, Cmp.Le, 2.), true, false, false);
+    (One_var.Agg_cmp (Agg.Count, typ, Cmp.Ge, 2.), false, false, true);
+    (One_var.Card_cmp (Cmp.Le, 3), true, false, false);
+    (One_var.Card_cmp (Cmp.Ge, 3), false, false, true);
+    (One_var.Nonempty, false, true, true);
+  ]
+
+(* Figure 3 as published, plus the mirrored (>=) direction: for each
+   (agg1, op, agg2), the expected (C1 comparison constant source,
+   C2 comparison constant source) given L1S.A = {10, 40, 70} and
+   L1T.B = {20, 30, 60} *)
+let fig3_cases =
+  (* (agg1, op, agg2, expected C1, expected C2) *)
+  [
+    (Agg.Min, Cmp.Le, Agg.Min,
+     One_var.Agg_cmp (Agg.Min, price, Cmp.Le, 60.),
+     One_var.Agg_cmp (Agg.Min, price, Cmp.Ge, 10.));
+    (Agg.Min, Cmp.Le, Agg.Max,
+     One_var.Agg_cmp (Agg.Min, price, Cmp.Le, 60.),
+     One_var.Agg_cmp (Agg.Max, price, Cmp.Ge, 10.));
+    (Agg.Max, Cmp.Le, Agg.Min,
+     One_var.Agg_cmp (Agg.Max, price, Cmp.Le, 60.),
+     One_var.Agg_cmp (Agg.Min, price, Cmp.Ge, 10.));
+    (Agg.Max, Cmp.Le, Agg.Max,
+     One_var.Agg_cmp (Agg.Max, price, Cmp.Le, 60.),
+     One_var.Agg_cmp (Agg.Max, price, Cmp.Ge, 10.));
+    (* mirrored direction: lower bounds come from min(L1T.B) = 20 and upper
+       bounds from max(L1S.A) = 70 *)
+    (Agg.Min, Cmp.Ge, Agg.Min,
+     One_var.Agg_cmp (Agg.Min, price, Cmp.Ge, 20.),
+     One_var.Agg_cmp (Agg.Min, price, Cmp.Le, 70.));
+    (Agg.Max, Cmp.Ge, Agg.Max,
+     One_var.Agg_cmp (Agg.Max, price, Cmp.Ge, 20.),
+     One_var.Agg_cmp (Agg.Max, price, Cmp.Le, 70.));
+    (Agg.Min, Cmp.Gt, Agg.Max,
+     One_var.Agg_cmp (Agg.Min, price, Cmp.Gt, 20.),
+     One_var.Agg_cmp (Agg.Max, price, Cmp.Lt, 70.));
+    (Agg.Max, Cmp.Lt, Agg.Min,
+     One_var.Agg_cmp (Agg.Max, price, Cmp.Lt, 60.),
+     One_var.Agg_cmp (Agg.Min, price, Cmp.Gt, 10.));
+  ]
+
+(* fixture with controlled attribute values: items 0,1,2 are the S side
+   (prices 10,40,70), items 3,4,5 the T side (prices 20,30,60) *)
+let fig_info () =
+  let info = Item_info.create ~universe_size:6 in
+  Item_info.add_column info price [| 10.; 40.; 70.; 20.; 30.; 60. |];
+  Item_info.add_column info typ [| 0.; 1.; 2.; 1.; 2.; 3. |];
+  info
+
+let l1_s = Itemset.of_list [ 0; 1; 2 ]
+let l1_t = Itemset.of_list [ 3; 4; 5 ]
+
+let reduce c =
+  let info = fig_info () in
+  Reduce.reduce ~s_info:info ~t_info:info ~l1_s ~l1_t c
+
+let suite =
+  [
+    unit "CAP classification of every 1-var constraint form" (fun () ->
+        List.iter
+          (fun (c, am, succ, mono) ->
+            let name = One_var.to_string c in
+            Alcotest.(check bool) (name ^ " anti-monotone") am
+              (One_var.is_anti_monotone ~nonneg:true c);
+            Alcotest.(check bool) (name ^ " succinct") succ (One_var.is_succinct c);
+            Alcotest.(check bool) (name ^ " monotone") mono
+              (One_var.is_monotone ~nonneg:true c))
+          one_var_rows);
+    unit "anti-monotone and monotone are mutually exclusive here" (fun () ->
+        List.iter
+          (fun (c, am, _, mono) ->
+            Alcotest.(check bool) (One_var.to_string c) false (am && mono))
+          one_var_rows);
+    unit "Figure 2: all five domain rows" (fun () ->
+        (* S types: {0,1,2}; T types: {1,2,3} *)
+        let check name op s_expect t_expect =
+          let red = reduce (Two_var.Set2 (typ, op, typ)) in
+          Alcotest.(check bool) (name ^ " C1") true (red.Reduce.s_conds = s_expect);
+          Alcotest.(check bool) (name ^ " C2") true (red.Reduce.t_conds = t_expect)
+        in
+        let s_types = vs [ 0.; 1.; 2. ] and t_types = vs [ 1.; 2.; 3. ] in
+        check "disjoint" Two_var.Disjoint
+          [ One_var.Dom_not_superset (typ, t_types) ]
+          [ One_var.Dom_not_superset (typ, s_types) ];
+        check "intersects" Two_var.Intersect
+          [ One_var.Dom_intersect (typ, t_types) ]
+          [ One_var.Dom_intersect (typ, s_types) ];
+        check "subset" Two_var.Subset
+          [ One_var.Dom_subset (typ, t_types) ]
+          [ One_var.Dom_intersect (typ, s_types) ];
+        check "not-subset" Two_var.Not_subset
+          [ One_var.Nonempty ]
+          [ One_var.Dom_not_superset (typ, s_types) ];
+        check "set-eq" Two_var.Set_eq
+          [ One_var.Dom_subset (typ, t_types) ]
+          [ One_var.Dom_subset (typ, s_types) ]);
+    unit "Figure 3: every min/max combination, both directions" (fun () ->
+        List.iter
+          (fun (agg1, op, agg2, c1, c2) ->
+            let red = reduce (Two_var.Agg2 (agg1, price, op, agg2, price)) in
+            let name =
+              Printf.sprintf "%s %s %s" (Agg.to_string agg1) (Cmp.to_string op)
+                (Agg.to_string agg2)
+            in
+            Alcotest.(check bool) (name ^ " C1") true (red.Reduce.s_conds = [ c1 ]);
+            Alcotest.(check bool) (name ^ " C2") true (red.Reduce.t_conds = [ c2 ]);
+            Alcotest.(check bool) (name ^ " tight") true
+              (red.Reduce.s_tight && red.Reduce.t_tight))
+          fig3_cases);
+    unit "Figure 4: all three published rows produce their induced forms" (fun () ->
+        let check name c expect_s_cond expect_induced =
+          let red = reduce c in
+          Alcotest.(check bool) (name ^ " direct bound") true
+            (red.Reduce.s_conds = [ expect_s_cond ]);
+          Alcotest.(check bool) (name ^ " induced 2-var") true
+            (Induce.weaken ~nonneg:true c = Some expect_induced)
+        in
+        (* avg(S.A) <= min(T.B): C1 = avg(CS) <= max(L1T) = 60; Figure 4's
+           published succinct form min(CS) <= 60 is implied via induce_weaker *)
+        check "avg<=min"
+          (Two_var.Agg2 (Agg.Avg, price, Cmp.Le, Agg.Min, price))
+          (One_var.Agg_cmp (Agg.Avg, price, Cmp.Le, 60.))
+          (Two_var.Agg2 (Agg.Min, price, Cmp.Le, Agg.Min, price));
+        check "sum<=max"
+          (Two_var.Agg2 (Agg.Sum, price, Cmp.Le, Agg.Max, price))
+          (One_var.Agg_cmp (Agg.Sum, price, Cmp.Le, 60.))
+          (Two_var.Agg2 (Agg.Max, price, Cmp.Le, Agg.Max, price));
+        check "avg<=avg"
+          (Two_var.Agg2 (Agg.Avg, price, Cmp.Le, Agg.Avg, price))
+          (One_var.Agg_cmp (Agg.Avg, price, Cmp.Le, 60.))
+          (Two_var.Agg2 (Agg.Min, price, Cmp.Le, Agg.Max, price)));
+    unit "Figure 4 S-conditions recover the published succinct forms" (fun () ->
+        let published =
+          [
+            (Two_var.Agg2 (Agg.Avg, price, Cmp.Le, Agg.Min, price),
+             One_var.Agg_cmp (Agg.Min, price, Cmp.Le, 60.));
+            (Two_var.Agg2 (Agg.Sum, price, Cmp.Le, Agg.Max, price),
+             One_var.Agg_cmp (Agg.Max, price, Cmp.Le, 60.));
+            (Two_var.Agg2 (Agg.Avg, price, Cmp.Le, Agg.Avg, price),
+             One_var.Agg_cmp (Agg.Min, price, Cmp.Le, 60.));
+          ]
+        in
+        List.iter
+          (fun (c, expected) ->
+            let red = reduce c in
+            let induced =
+              List.concat_map (One_var.induce_weaker ~nonneg:true) red.Reduce.s_conds
+            in
+            Alcotest.(check bool) (Two_var.to_string c) true (induced = [ expected ]))
+          published);
+    unit "sum bound on the providing side uses the positive sum" (fun () ->
+        (* sum on the right: achievable upper bound is 20+30+60 = 110 *)
+        let red = reduce (Two_var.Agg2 (Agg.Max, price, Cmp.Le, Agg.Sum, price)) in
+        Alcotest.(check bool) "C1 = max(CS) <= 110" true
+          (red.Reduce.s_conds = [ One_var.Agg_cmp (Agg.Max, price, Cmp.Le, 110.) ]));
+    unit "count reduction bounds by distinct values" (fun () ->
+        (* count(S.Type) <= count(T.Type): T can offer at most 3 distinct *)
+        let red = reduce (Two_var.Agg2 (Agg.Count, typ, Cmp.Le, Agg.Count, typ)) in
+        Alcotest.(check bool) "C1 = count(CS.Type) <= 3" true
+          (red.Reduce.s_conds = [ One_var.Agg_cmp (Agg.Count, typ, Cmp.Le, 3.) ]);
+        Alcotest.(check bool) "C2 = count(CT.Type) >= 1" true
+          (red.Reduce.t_conds = [ One_var.Agg_cmp (Agg.Count, typ, Cmp.Ge, 1.) ]));
+  ]

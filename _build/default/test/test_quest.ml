@@ -1,0 +1,171 @@
+open Cfq_itembase
+open Cfq_txdb
+open Cfq_quest
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    unit "splitmix is deterministic" (fun () ->
+        let a = Splitmix.create ~seed:123L in
+        let b = Splitmix.create ~seed:123L in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "same stream" (Splitmix.next_int64 a)
+            (Splitmix.next_int64 b)
+        done);
+    unit "splitmix split decorrelates" (fun () ->
+        let a = Splitmix.create ~seed:123L in
+        let c = Splitmix.split a in
+        Alcotest.(check bool) "different" true
+          (Splitmix.next_int64 a <> Splitmix.next_int64 c));
+    unit "splitmix int range" (fun () ->
+        let rng = Splitmix.create ~seed:5L in
+        for _ = 1 to 1000 do
+          let v = Splitmix.int rng 7 in
+          Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+        done);
+    unit "splitmix float range" (fun () ->
+        let rng = Splitmix.create ~seed:5L in
+        for _ = 1 to 1000 do
+          let v = Splitmix.float rng in
+          Alcotest.(check bool) "in [0,1)" true (v >= 0. && v < 1.)
+        done);
+    unit "uniform respects bounds" (fun () ->
+        let rng = Splitmix.create ~seed:9L in
+        for _ = 1 to 500 do
+          let v = Dist.uniform rng ~lo:400. ~hi:1000. in
+          Alcotest.(check bool) "bounds" true (v >= 400. && v < 1000.)
+        done);
+    unit "normal has roughly the right mean" (fun () ->
+        let rng = Splitmix.create ~seed:10L in
+        let n = 5000 in
+        let total = ref 0. in
+        for _ = 1 to n do
+          total := !total +. Dist.normal rng ~mean:100. ~stddev:10.
+        done;
+        let mean = !total /. float_of_int n in
+        Alcotest.(check bool) "mean near 100" true (Float.abs (mean -. 100.) < 1.));
+    unit "poisson has roughly the right mean" (fun () ->
+        let rng = Splitmix.create ~seed:11L in
+        let n = 5000 in
+        let total = ref 0 in
+        for _ = 1 to n do
+          total := !total + Dist.poisson rng ~mean:4.
+        done;
+        let mean = float_of_int !total /. float_of_int n in
+        Alcotest.(check bool) "mean near 4" true (Float.abs (mean -. 4.) < 0.3));
+    unit "exponential is positive with right mean" (fun () ->
+        let rng = Splitmix.create ~seed:12L in
+        let n = 5000 in
+        let total = ref 0. in
+        for _ = 1 to n do
+          let v = Dist.exponential rng ~mean:2. in
+          assert (v >= 0.);
+          total := !total +. v
+        done;
+        let mean = !total /. float_of_int n in
+        Alcotest.(check bool) "mean near 2" true (Float.abs (mean -. 2.) < 0.2));
+    unit "sample_without_replacement is sorted and distinct" (fun () ->
+        let rng = Splitmix.create ~seed:13L in
+        for _ = 1 to 100 do
+          let a = Dist.sample_without_replacement rng ~n:20 ~k:7 in
+          Alcotest.(check int) "k" 7 (Array.length a);
+          for i = 1 to 6 do
+            Alcotest.(check bool) "strictly increasing" true (a.(i - 1) < a.(i))
+          done;
+          Array.iter (fun v -> Alcotest.(check bool) "range" true (v >= 0 && v < 20)) a
+        done);
+    unit "shuffle is a permutation" (fun () ->
+        let rng = Splitmix.create ~seed:14L in
+        let a = Array.init 50 Fun.id in
+        Dist.shuffle rng a;
+        let sorted = Array.copy a in
+        Array.sort compare sorted;
+        Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted);
+    unit "pick_weighted respects mass" (fun () ->
+        let rng = Splitmix.create ~seed:15L in
+        (* weights 1, 0, 9: index 1 must never be drawn *)
+        let cumulative = [| 1.; 1.; 10. |] in
+        let counts = Array.make 3 0 in
+        for _ = 1 to 2000 do
+          let i = Dist.pick_weighted rng cumulative in
+          counts.(i) <- counts.(i) + 1
+        done;
+        Alcotest.(check int) "zero-weight never drawn" 0 counts.(1);
+        Alcotest.(check bool) "heavy drawn most" true (counts.(2) > counts.(0)));
+    unit "quest generator is deterministic" (fun () ->
+        let p = { (Quest_gen.scaled 200) with Quest_gen.n_items = 50 } in
+        let a = Quest_gen.generate_itemsets (Splitmix.create ~seed:1L) p in
+        let b = Quest_gen.generate_itemsets (Splitmix.create ~seed:1L) p in
+        Alcotest.(check int) "same size" (Array.length a) (Array.length b);
+        Array.iteri
+          (fun i s -> Alcotest.(check bool) "same tx" true (Itemset.equal s b.(i)))
+          a);
+    unit "quest transactions respect the universe" (fun () ->
+        let p = { (Quest_gen.scaled 300) with Quest_gen.n_items = 40 } in
+        let txs = Quest_gen.generate_itemsets (Splitmix.create ~seed:2L) p in
+        Alcotest.(check int) "count" 300 (Array.length txs);
+        Array.iter
+          (fun s ->
+            Alcotest.(check bool) "non-empty" false (Itemset.is_empty s);
+            Itemset.iter
+              (fun i -> Alcotest.(check bool) "universe" true (i >= 0 && i < 40))
+              s)
+          txs);
+    unit "quest average length near |T|" (fun () ->
+        let p = { (Quest_gen.scaled 2000) with Quest_gen.n_items = 200 } in
+        let db = Quest_gen.generate (Splitmix.create ~seed:3L) p in
+        let avg = Tx_db.avg_tx_len db in
+        Alcotest.(check bool)
+          (Printf.sprintf "avg %.2f within [5, 15]" avg)
+          true
+          (avg > 5. && avg < 15.));
+    unit "quest produces skewed co-occurrence" (fun () ->
+        (* some pair must be much more frequent than independence predicts *)
+        let p = { (Quest_gen.scaled 1000) with Quest_gen.n_items = 100 } in
+        let db = Quest_gen.generate (Splitmix.create ~seed:4L) p in
+        let io = Io_stats.create () in
+        let freq = Tx_db.item_frequencies db io ~universe_size:100 in
+        let best = Array.fold_left max 0 freq in
+        Alcotest.(check bool) "some item frequent" true (best > 50));
+    unit "pattern table has requested cardinality" (fun () ->
+        let p = { (Quest_gen.scaled 200) with Quest_gen.n_items = 50 } in
+        let pats = Quest_gen.patterns (Splitmix.create ~seed:6L) p in
+        Alcotest.(check int) "n_patterns" p.Quest_gen.n_patterns (Array.length pats);
+        Array.iter
+          (fun (s, w) ->
+            Alcotest.(check bool) "non-empty pattern" false (Itemset.is_empty s);
+            Alcotest.(check bool) "weights cumulative" true (w > 0.))
+          pats);
+    unit "planted pattern appears at about its probability" (fun () ->
+        let rng = Splitmix.create ~seed:21L in
+        let pat = Planted.pattern ~prob:0.3 (Itemset.of_list [ 1; 2; 3 ]) in
+        let db = Planted.generate rng ~n_transactions:3000 ~universe:(0, 20) ~noise_len:2. [ pat ] in
+        let io = Io_stats.create () in
+        let sup = Tx_db.support db io (Itemset.of_list [ 1; 2; 3 ]) in
+        let frac = float_of_int sup /. 3000. in
+        Alcotest.(check bool)
+          (Printf.sprintf "support %.3f near 0.3" frac)
+          true
+          (frac > 0.25 && frac < 0.36));
+    unit "banded types control the overlap window" (fun () ->
+        let rng = Splitmix.create ~seed:22L in
+        let prices = Array.init 1000 (fun i -> float_of_int i) in
+        let types =
+          Item_gen.banded_types rng ~prices ~s_lo:400. ~t_hi:600. ~n_types_per_side:50
+            ~overlap:0.4
+        in
+        let s_types = ref (Value_set.of_list []) in
+        let t_types = ref (Value_set.of_list []) in
+        Array.iteri
+          (fun i ty ->
+            if prices.(i) >= 400. then s_types := Value_set.union !s_types (Value_set.singleton ty);
+            if prices.(i) <= 600. then t_types := Value_set.union !t_types (Value_set.singleton ty))
+          types;
+        let inter = Value_set.inter !s_types !t_types in
+        (* overlap window is k = 20 types *)
+        Alcotest.(check bool) "overlap near 20" true
+          (Value_set.cardinal inter >= 15 && Value_set.cardinal inter <= 20);
+        Alcotest.(check bool) "s types within [0,50)" true
+          (Value_set.for_all (fun v -> v >= 0. && v < 50.) !s_types));
+  ]

@@ -1,0 +1,171 @@
+open Cfq_itembase
+open Cfq_constr
+open Cfq_txdb
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let l1_of db ~n ~minsup =
+  Itemset.of_list
+    (List.filter_map
+       (fun s ->
+         if Itemset.cardinal s = 1 && Helpers.support_of db s >= minsup then
+           Itemset.min_item s
+         else None)
+       (Helpers.all_subsets n))
+
+let reduction_env (n, db) c =
+  let info = Helpers.small_info n in
+  let minsup = max 1 (Tx_db.size db / 5) in
+  let l1 = l1_of db ~n ~minsup in
+  let red = Reduce.reduce ~s_info:info ~t_info:info ~l1_s:l1 ~l1_t:l1 c in
+  (info, minsup, red)
+
+let print_case (c, db) = Two_var.to_string c ^ " on " ^ Helpers.print_db db
+
+(* Soundness (Definition 5 / Lemma 2): no valid S-set is pruned by C1 *)
+let sound_s (c, (n, db)) =
+  let info, minsup, red = reduction_env (n, db) c in
+  let valid = Helpers.brute_valid_s db ~n ~minsup ~s_info:info ~t_info:info c in
+  List.for_all
+    (fun s -> List.for_all (fun cond -> One_var.eval info cond s) red.Reduce.s_conds)
+    valid
+
+let sound_t (c, (n, db)) =
+  let info, minsup, red = reduction_env (n, db) c in
+  let valid = Helpers.brute_valid_t db ~n ~minsup ~s_info:info ~t_info:info c in
+  List.for_all
+    (fun t -> List.for_all (fun cond -> One_var.eval info cond t) red.Reduce.t_conds)
+    valid
+
+(* Tightness (Lemma 3): when flagged, every set passing C1 is valid *)
+let tight_s (c, (n, db)) =
+  let info, minsup, red = reduction_env (n, db) c in
+  (not red.Reduce.s_tight)
+  ||
+  let valid = Helpers.brute_valid_s db ~n ~minsup ~s_info:info ~t_info:info c in
+  List.for_all
+    (fun s ->
+      (not (List.for_all (fun cond -> One_var.eval info cond s) red.Reduce.s_conds))
+      || List.exists (Itemset.equal s) valid)
+    (Helpers.all_subsets n)
+
+let tight_t (c, (n, db)) =
+  let info, minsup, red = reduction_env (n, db) c in
+  (not red.Reduce.t_tight)
+  ||
+  let valid = Helpers.brute_valid_t db ~n ~minsup ~s_info:info ~t_info:info c in
+  List.for_all
+    (fun t ->
+      (not (List.for_all (fun cond -> One_var.eval info cond t) red.Reduce.t_conds))
+      || List.exists (Itemset.equal t) valid)
+    (Helpers.all_subsets n)
+
+let gen_case = QCheck2.Gen.pair Helpers.gen_two_var Helpers.gen_db
+let gen_case_minmax = QCheck2.Gen.pair Helpers.gen_two_var_minmax Helpers.gen_db
+
+let price = Helpers.price
+let typ = Helpers.typ
+
+let suite =
+  [
+    Helpers.qtest ~count:150 "reduction C1(S) is sound for every 2-var constraint"
+      gen_case print_case sound_s;
+    Helpers.qtest ~count:150 "reduction C2(T) is sound for every 2-var constraint"
+      gen_case print_case sound_t;
+    Helpers.qtest ~count:150 "reduction C1(S) is tight when flagged" gen_case
+      print_case tight_s;
+    Helpers.qtest ~count:150 "reduction C2(T) is tight when flagged" gen_case
+      print_case tight_t;
+    Helpers.qtest ~count:100 "min/max reductions are tight both sides (Theorem 3)"
+      gen_case_minmax print_case (fun ((c, _) as case) ->
+        let _, _, red = reduction_env (snd case) c in
+        red.Reduce.s_tight && red.Reduce.t_tight && tight_s case && tight_t case);
+    unit "Figure 2 row: non-overlapping constraint (Lemmas 2-3)" (fun () ->
+        (* S.Type ∩ T.Type = ∅ reduces to CS.Type ⊉ L1T.Type both sides *)
+        let info = Helpers.small_info 6 in
+        let l1 = Itemset.of_list [ 0; 1; 2 ] in
+        let red =
+          Reduce.reduce ~s_info:info ~t_info:info ~l1_s:l1 ~l1_t:l1
+            (Two_var.Set2 (typ, Two_var.Disjoint, typ))
+        in
+        (match red.Reduce.s_conds with
+        | [ One_var.Dom_not_superset (a, vs) ] ->
+            Alcotest.(check string) "attr" "Type" a.Attr.name;
+            (* types of items 0,1,2 are 0,1,2 *)
+            Alcotest.(check int) "value set" 3 (Value_set.cardinal vs)
+        | _ -> Alcotest.fail "expected a single not-superset condition");
+        Alcotest.(check bool) "tight" true (red.Reduce.s_tight && red.Reduce.t_tight));
+    unit "Figure 3 row: max(S) <= min(T)" (fun () ->
+        let info = Helpers.small_info 6 in
+        let l1 = Itemset.of_list [ 0; 1; 2; 3 ] in
+        (* prices of items 0..3: 10,40,70,30 *)
+        let red =
+          Reduce.reduce ~s_info:info ~t_info:info ~l1_s:l1 ~l1_t:l1
+            (Two_var.Agg2 (Agg.Max, price, Cmp.Le, Agg.Min, price))
+        in
+        Alcotest.(check bool) "C1 = max(CS) <= max(L1T)" true
+          (red.Reduce.s_conds = [ One_var.Agg_cmp (Agg.Max, price, Cmp.Le, 70.) ]);
+        Alcotest.(check bool) "C2 = min(CT) >= min(L1S)" true
+          (red.Reduce.t_conds = [ One_var.Agg_cmp (Agg.Min, price, Cmp.Ge, 10.) ]));
+    unit "Figure 3 row: min(S) <= min(T)" (fun () ->
+        let info = Helpers.small_info 6 in
+        let l1 = Itemset.of_list [ 0; 1; 2; 3 ] in
+        let red =
+          Reduce.reduce ~s_info:info ~t_info:info ~l1_s:l1 ~l1_t:l1
+            (Two_var.Agg2 (Agg.Min, price, Cmp.Le, Agg.Min, price))
+        in
+        Alcotest.(check bool) "C1 = min(CS) <= max(L1T)" true
+          (red.Reduce.s_conds = [ One_var.Agg_cmp (Agg.Min, price, Cmp.Le, 70.) ]);
+        Alcotest.(check bool) "C2 = min(CT) >= min(L1S)" true
+          (red.Reduce.t_conds = [ One_var.Agg_cmp (Agg.Min, price, Cmp.Ge, 10.) ]));
+    unit "Figure 4 rows: sum/avg reduce to sound bound conditions" (fun () ->
+        let info = Helpers.small_info 6 in
+        let l1 = Itemset.of_list [ 0; 1; 2; 3 ] in
+        (* sum(S) <= max(T): our direct reduction bounds sum by max(L1T) = 70,
+           which is strictly stronger than Figure 4's max(CS) <= max(L1T);
+           the succinct Figure 4 form is recovered by One_var.induce_weaker *)
+        let red =
+          Reduce.reduce ~s_info:info ~t_info:info ~l1_s:l1 ~l1_t:l1
+            (Two_var.Agg2 (Agg.Sum, price, Cmp.Le, Agg.Max, price))
+        in
+        Alcotest.(check bool) "C1 = sum(CS) <= max(L1T)" true
+          (red.Reduce.s_conds = [ One_var.Agg_cmp (Agg.Sum, price, Cmp.Le, 70.) ]);
+        (match red.Reduce.s_conds with
+        | [ c1 ] ->
+            Alcotest.(check bool) "induces Figure 4's max <= 70" true
+              (One_var.induce_weaker ~nonneg:true c1
+              = [ One_var.Agg_cmp (Agg.Max, price, Cmp.Le, 70.) ])
+        | _ -> Alcotest.fail "single condition expected");
+        Alcotest.(check bool) "not tight" true
+          ((not red.Reduce.s_tight) && not red.Reduce.t_tight));
+    unit "sum bound uses positive sum of L1" (fun () ->
+        let info = Helpers.small_info 6 in
+        let l1 = Itemset.of_list [ 0; 1 ] in
+        (* prices 10, 40: achievable sum upper bound 50 *)
+        let red =
+          Reduce.reduce ~s_info:info ~t_info:info ~l1_s:l1 ~l1_t:l1
+            (Two_var.Agg2 (Agg.Max, price, Cmp.Le, Agg.Sum, price))
+        in
+        Alcotest.(check bool) "C1 = max(CS) <= 50" true
+          (red.Reduce.s_conds = [ One_var.Agg_cmp (Agg.Max, price, Cmp.Le, 50.) ]));
+    unit "empty L1 on either side yields the absurd condition" (fun () ->
+        let info = Helpers.small_info 6 in
+        let l1 = Itemset.of_list [ 0 ] in
+        let red =
+          Reduce.reduce ~s_info:info ~t_info:info ~l1_s:Itemset.empty ~l1_t:l1
+            (Two_var.Set2 (typ, Two_var.Disjoint, typ))
+        in
+        Alcotest.(check bool) "unsatisfiable" false
+          (List.for_all
+             (fun c -> One_var.eval info c (Itemset.of_list [ 0 ]))
+             red.Reduce.s_conds));
+    unit "set-ne reduction prunes nothing" (fun () ->
+        let info = Helpers.small_info 6 in
+        let l1 = Itemset.of_list [ 0; 1 ] in
+        let red =
+          Reduce.reduce ~s_info:info ~t_info:info ~l1_s:l1 ~l1_t:l1
+            (Two_var.Set2 (typ, Two_var.Set_ne, typ))
+        in
+        Alcotest.(check bool) "no conds" true
+          (red.Reduce.s_conds = [] && red.Reduce.t_conds = []));
+  ]

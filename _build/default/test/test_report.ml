@@ -1,0 +1,58 @@
+open Cfq_txdb
+open Cfq_report
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let profile_fixture () =
+  let db =
+    Helpers.db_of_lists [ [ 0; 1 ]; [ 0; 1 ]; [ 0; 1 ]; [ 0 ]; [ 2 ]; [ 2 ] ]
+  in
+  let io = Io_stats.create () in
+  (Cfq_mining.Apriori.mine db (Helpers.small_info 3) io ~minsup:2 ()).Cfq_mining.Apriori.frequent
+
+let suite =
+  [
+    unit "profile of a small collection" (fun () ->
+        let p = Profile.of_frequent (profile_fixture ()) in
+        (* frequent: {0}:4 {1}:3 {2}:2 {0,1}:3 *)
+        Alcotest.(check int) "n_sets" 4 p.Profile.n_sets;
+        Alcotest.(check int) "max size" 2 p.Profile.max_size;
+        Alcotest.(check bool) "levels" true (p.Profile.per_level = [ (1, 3); (2, 1) ]);
+        Alcotest.(check int) "min" 2 p.Profile.support_min;
+        Alcotest.(check int) "max" 4 p.Profile.support_max;
+        Alcotest.(check int) "maximal" 2 p.Profile.n_maximal;
+        (* {1} absorbed by {0,1} (support 3); closed: {0},{2},{0,1} *)
+        Alcotest.(check int) "closed" 3 p.Profile.n_closed);
+    unit "profile of an empty collection" (fun () ->
+        let p = Profile.of_frequent Cfq_mining.Frequent.empty in
+        Alcotest.(check int) "zero" 0 p.Profile.n_sets;
+        Alcotest.(check bool) "renders" true
+          (String.length (Format.asprintf "%a" Profile.pp p) > 0));
+    unit "cost model arithmetic" (fun () ->
+        let cm = Cost_model.make ~seconds_per_page:0.01 () in
+        let io = Io_stats.create () in
+        Io_stats.record_scan io ~pages:100 ~tuples:1000;
+        Alcotest.(check (float 1e-9)) "io" 1.0 (Cost_model.io_seconds cm io);
+        Alcotest.(check (float 1e-9)) "total" 3.0 (Cost_model.total cm ~cpu:2.0 io));
+    unit "default cost model charges 100us per page" (fun () ->
+        let io = Io_stats.create () in
+        Io_stats.record_scan io ~pages:10 ~tuples:1;
+        Alcotest.(check (float 1e-9)) "1ms" 0.001
+          (Cost_model.io_seconds Cost_model.default io));
+    unit "table renders all cells" (fun () ->
+        let t = Table.create [ "a"; "longer" ] in
+        Table.add_row t [ "1"; "2" ];
+        Table.add_row t [ "333"; "4" ];
+        let s = Table.render t in
+        List.iter
+          (fun cell ->
+            Alcotest.(check bool) (cell ^ " present") true (Astring_contains.contains s cell))
+          [ "a"; "longer"; "1"; "2"; "333"; "4" ]);
+    unit "table rejects ragged rows" (fun () ->
+        let t = Table.create [ "a" ] in
+        Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity")
+          (fun () -> Table.add_row t [ "1"; "2" ]));
+    unit "cell formatters" (fun () ->
+        Alcotest.(check string) "fcell" "1.50" (Table.fcell 1.5);
+        Alcotest.(check string) "speedup" "2.25x" (Table.speedup_cell 2.25));
+  ]

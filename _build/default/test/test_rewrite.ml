@@ -1,0 +1,97 @@
+open Cfq_itembase
+open Cfq_constr
+open Cfq_core
+
+let unit name f = Alcotest.test_case name `Quick f
+let price = Helpers.price
+let typ = Helpers.typ
+
+let simplify text = Rewrite.simplify (Parser.parse text)
+
+let suite =
+  [
+    unit "redundant aggregate bounds merge to the tightest" (fun () ->
+        let r = simplify "sum(S.Price) <= 100 & sum(S.Price) <= 50 & sum(S.Price) <= 70" in
+        Alcotest.(check int) "one atom" 1 (List.length r.Rewrite.query.Query.s_constraints);
+        Alcotest.(check bool) "kept 50" true
+          (List.exists
+             (function
+               | One_var.Agg_cmp (Agg.Sum, _, Cmp.Le, 50.) -> true
+               | _ -> false)
+             r.Rewrite.query.Query.s_constraints));
+    unit "strict beats non-strict at the same constant" (fun () ->
+        let r = simplify "min(S.Price) < 10 & min(S.Price) <= 10" in
+        Alcotest.(check bool) "kept <" true
+          (r.Rewrite.query.Query.s_constraints
+          = [ One_var.Agg_cmp (Agg.Min, price, Cmp.Lt, 10.) ]));
+    unit "crossing bounds are unsatisfiable" (fun () ->
+        let r = simplify "max(S.Price) <= 10 & max(S.Price) >= 20" in
+        Alcotest.(check bool) "s unsat" true r.Rewrite.s_unsat;
+        Alcotest.(check bool) "t fine" false r.Rewrite.t_unsat);
+    unit "touching strict bounds are unsatisfiable" (fun () ->
+        let r = simplify "avg(T.Price) < 10 & avg(T.Price) >= 10" in
+        Alcotest.(check bool) "t unsat" true r.Rewrite.t_unsat);
+    unit "compatible bounds are kept" (fun () ->
+        let r = simplify "max(S.Price) >= 10 & max(S.Price) <= 20" in
+        Alcotest.(check bool) "sat" false r.Rewrite.s_unsat;
+        Alcotest.(check int) "two atoms" 2
+          (List.length r.Rewrite.query.Query.s_constraints));
+    unit "subset value sets intersect" (fun () ->
+        let r = simplify "S.Type subset {1, 2} & S.Type subset {2, 3}" in
+        match r.Rewrite.query.Query.s_constraints with
+        | [ One_var.Dom_subset (_, vs) ] ->
+            Alcotest.(check bool) "= {2}" true
+              (Value_set.equal vs (Value_set.singleton 2.))
+        | _ -> Alcotest.fail "expected one merged subset");
+    unit "disjoint subset sets are unsatisfiable" (fun () ->
+        let r = simplify "S.Type subset {1} & S.Type subset {2}" in
+        Alcotest.(check bool) "unsat" true r.Rewrite.s_unsat);
+    unit "superset clashing with subset is unsatisfiable" (fun () ->
+        let r = simplify "S.Type superset {5} & S.Type subset {1, 2}" in
+        Alcotest.(check bool) "unsat" true r.Rewrite.s_unsat);
+    unit "superset clashing with disjoint is unsatisfiable" (fun () ->
+        let r = simplify "S.Type superset {3} & S.Type disjoint {3, 4}" in
+        Alcotest.(check bool) "unsat" true r.Rewrite.s_unsat);
+    unit "supersets union" (fun () ->
+        let r = simplify "S.Type superset {1} & S.Type superset {2}" in
+        match r.Rewrite.query.Query.s_constraints with
+        | [ One_var.Dom_superset (_, vs) ] ->
+            Alcotest.(check int) "two values" 2 (Value_set.cardinal vs)
+        | _ -> Alcotest.fail "expected one merged superset");
+    unit "duplicate 2-var constraints are deduplicated" (fun () ->
+        let q =
+          Query.make
+            ~two_var:
+              [
+                Two_var.Set2 (typ, Two_var.Set_eq, typ);
+                Two_var.Set2 (typ, Two_var.Set_eq, typ);
+              ]
+            ()
+        in
+        let r = Rewrite.simplify q in
+        Alcotest.(check int) "one left" 1 (List.length r.Rewrite.query.Query.two_var);
+        Alcotest.(check bool) "note" true (r.Rewrite.notes <> []));
+    unit "unsatisfiable query short-circuits execution" (fun () ->
+        let db = Helpers.db_of_lists [ [ 0; 1 ]; [ 0; 1 ] ] in
+        let ctx = Exec.context db (Helpers.small_info 2) in
+        let r =
+          Exec.run ctx (Parser.parse "max(S.Price) <= 1 & max(S.Price) >= 100")
+        in
+        Alcotest.(check int) "no pairs" 0 r.Exec.pair_stats.Pairs.n_pairs;
+        Alcotest.(check int) "no scans" 0 (Cfq_txdb.Io_stats.scans r.Exec.io);
+        Alcotest.(check bool) "note says unsatisfiable" true
+          (List.exists (fun n -> Astring_contains.contains n "unsatisfiable") r.Exec.notes));
+    Helpers.qtest ~count:200 "simplification preserves semantics"
+      (QCheck2.Gen.pair
+         (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 4) Helpers.gen_one_var)
+         (Helpers.gen_itemset 8))
+      (fun (cs, s) ->
+        String.concat " & " (List.map One_var.to_string cs) ^ " on " ^ Itemset.to_string s)
+      (fun (cs, s) ->
+        let info = Helpers.small_info 8 in
+        let q = Query.make ~s_constraints:cs () in
+        let r = Rewrite.simplify q in
+        let eval cs = List.for_all (fun c -> One_var.eval info c s) cs in
+        if r.Rewrite.s_unsat then not (eval cs)
+        else eval cs = eval r.Rewrite.query.Query.s_constraints);
+  ]

@@ -1,0 +1,147 @@
+open Cfq_itembase
+open Cfq_mining
+open Cfq_core
+open Cfq_rules
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    unit "metric arithmetic" (fun () ->
+        let m = Metric.compute ~n:100 ~n_s:20 ~n_t:50 ~n_st:10 in
+        Alcotest.(check (float 1e-9)) "support" 0.1 m.Metric.support;
+        Alcotest.(check (float 1e-9)) "confidence" 0.5 m.Metric.confidence;
+        Alcotest.(check (float 1e-9)) "lift" 1.0 m.Metric.lift;
+        Alcotest.(check (float 1e-9)) "leverage" 0.0 m.Metric.leverage;
+        Alcotest.(check (float 1e-9)) "conviction" 1.0 m.Metric.conviction);
+    unit "metric perfect implication" (fun () ->
+        let m = Metric.compute ~n:100 ~n_s:20 ~n_t:50 ~n_st:20 in
+        Alcotest.(check (float 1e-9)) "confidence" 1.0 m.Metric.confidence;
+        Alcotest.(check bool) "conviction infinite" true
+          (m.Metric.conviction = infinity));
+    unit "metric validations" (fun () ->
+        Alcotest.check_raises "inconsistent"
+          (Invalid_argument "Metric.compute: inconsistent counts") (fun () ->
+            ignore (Metric.compute ~n:10 ~n_s:2 ~n_t:3 ~n_st:5));
+        Alcotest.check_raises "empty db"
+          (Invalid_argument "Metric.compute: empty database") (fun () ->
+            ignore (Metric.compute ~n:0 ~n_s:1 ~n_t:1 ~n_st:1)));
+    unit "rules from a hand-built database" (fun () ->
+        (* {0} appears 4x, {1} appears 3x, together 2x *)
+        let db =
+          Helpers.db_of_lists [ [ 0; 1 ]; [ 0; 1 ]; [ 0 ]; [ 0 ]; [ 1 ]; [ 2 ] ]
+        in
+        let io = Cfq_txdb.Io_stats.create () in
+        let e set support = { Frequent.set = Itemset.of_list set; support } in
+        let rules = Rule.of_pairs db io [ (e [ 0 ] 4, e [ 1 ] 3) ] in
+        match rules with
+        | [ r ] ->
+            Alcotest.(check (float 1e-9)) "confidence" 0.5 r.Rule.metric.Metric.confidence;
+            Alcotest.(check (float 1e-9)) "support" (2. /. 6.) r.Rule.metric.Metric.support;
+            Alcotest.(check bool) "lift 0.5/(3/6) = 1" true
+              (Float.abs (r.Rule.metric.Metric.lift -. 1.0) < 1e-9)
+        | _ -> Alcotest.fail "expected one rule");
+    unit "min_confidence filters" (fun () ->
+        let db = Helpers.db_of_lists [ [ 0; 1 ]; [ 0 ]; [ 0 ]; [ 0 ] ] in
+        let io = Cfq_txdb.Io_stats.create () in
+        let e set support = { Frequent.set = Itemset.of_list set; support } in
+        let pairs = [ (e [ 0 ] 4, e [ 1 ] 1) ] in
+        Alcotest.(check int) "kept" 1 (List.length (Rule.of_pairs db io pairs));
+        Alcotest.(check int) "filtered" 0
+          (List.length (Rule.of_pairs db io ~min_confidence:0.5 pairs)));
+    unit "overlapping antecedent and consequent share the union count" (fun () ->
+        let db = Helpers.db_of_lists [ [ 0; 1; 2 ]; [ 0; 1 ]; [ 1; 2 ] ] in
+        let io = Cfq_txdb.Io_stats.create () in
+        let e set support = { Frequent.set = Itemset.of_list set; support } in
+        (* S = {0,1}, T = {1,2}: union {0,1,2} appears once *)
+        let rules = Rule.of_pairs db io [ (e [ 0; 1 ] 2, e [ 1; 2 ] 2) ] in
+        match rules with
+        | [ r ] ->
+            Alcotest.(check (float 1e-9)) "conf" 0.5 r.Rule.metric.Metric.confidence
+        | _ -> Alcotest.fail "expected one rule");
+    unit "one extra scan for any number of pairs" (fun () ->
+        let db = Helpers.db_of_lists [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] in
+        let io = Cfq_txdb.Io_stats.create () in
+        let e set support = { Frequent.set = Itemset.of_list set; support } in
+        let pairs =
+          [ (e [ 0 ] 2, e [ 1 ] 2); (e [ 0 ] 2, e [ 2 ] 2); (e [ 1 ] 2, e [ 2 ] 2) ]
+        in
+        let _ = Rule.of_pairs db io pairs in
+        Alcotest.(check int) "one scan" 1 (Cfq_txdb.Io_stats.scans io));
+    unit "no pairs, no scan" (fun () ->
+        let db = Helpers.db_of_lists [ [ 0 ] ] in
+        let io = Cfq_txdb.Io_stats.create () in
+        let _ = Rule.of_pairs db io [] in
+        Alcotest.(check int) "zero scans" 0 (Cfq_txdb.Io_stats.scans io));
+    unit "classic single-set rule generation" (fun () ->
+        (* {0,1} support 3, {0} support 4, {1} support 3, n = 5 *)
+        let db =
+          Helpers.db_of_lists [ [ 0; 1 ]; [ 0; 1 ]; [ 0; 1 ]; [ 0 ]; [ 2 ] ]
+        in
+        let io = Cfq_txdb.Io_stats.create () in
+        let f = (Apriori.mine db (Helpers.small_info 3) io ~minsup:2 ()).Apriori.frequent in
+        let rules = Rule.of_frequent f ~n:5 ~min_confidence:0.9 in
+        (* 1 => 0 has conf 1.0; 0 => 1 has conf 0.75 < 0.9 *)
+        Alcotest.(check int) "one rule" 1 (List.length rules);
+        let r = List.hd rules in
+        Alcotest.(check bool) "antecedent {1}" true
+          (Itemset.equal r.Rule.antecedent (Itemset.of_list [ 1 ]));
+        Alcotest.(check (float 1e-9)) "conf" 1.0 r.Rule.metric.Metric.confidence);
+    Helpers.qtest ~count:60 "ap-genrules equals brute-force enumeration"
+      Helpers.gen_db Helpers.print_db (fun (n, db) ->
+        let minsup = max 1 (Cfq_txdb.Tx_db.size db / 4) in
+        let io = Cfq_txdb.Io_stats.create () in
+        let f = (Apriori.mine db (Helpers.small_info n) io ~minsup ()).Apriori.frequent in
+        let n_tx = Cfq_txdb.Tx_db.size db in
+        let got = Rule.of_frequent f ~n:n_tx ~min_confidence:0.6 in
+        (* brute force: every frequent Z, every non-trivial split *)
+        let expected = ref 0 in
+        Frequent.iter
+          (fun e ->
+            let z = e.Frequent.set in
+            Itemset.powerset z (fun consequent ->
+                if
+                  (not (Itemset.is_empty consequent))
+                  && Itemset.cardinal consequent < Itemset.cardinal z
+                then begin
+                  let antecedent = Itemset.diff z consequent in
+                  match Frequent.support f antecedent with
+                  | Some n_s ->
+                      if
+                        float_of_int e.Frequent.support /. float_of_int n_s
+                        >= 0.6 -. 1e-12
+                      then incr expected
+                  | None -> ()
+                end))
+          f;
+        List.length got = !expected);
+    Helpers.qtest ~count:60 "two-phase mine: every rule's pair satisfies the query"
+      (QCheck2.Gen.pair Helpers.gen_query Helpers.gen_db)
+      (fun (q, db) -> Query.to_string q ^ " on " ^ Helpers.print_db db)
+      (fun (q, (n, db)) ->
+        let info = Helpers.small_info n in
+        let ctx = Exec.context db info in
+        let rules, r = Rule.mine ctx q in
+        List.length rules = r.Exec.pair_stats.Pairs.n_pairs
+        && List.for_all
+             (fun rule ->
+               List.for_all
+                 (fun c ->
+                   Cfq_constr.Two_var.eval ~s_info:info ~t_info:info c
+                     rule.Rule.antecedent rule.Rule.consequent)
+                 q.Query.two_var)
+             rules);
+    Helpers.qtest ~count:60 "rules are sorted by descending confidence"
+      (QCheck2.Gen.pair Helpers.gen_query Helpers.gen_db)
+      (fun (q, db) -> Query.to_string q ^ " on " ^ Helpers.print_db db)
+      (fun (q, (n, db)) ->
+        let info = Helpers.small_info n in
+        let rules, _ = Rule.mine (Exec.context db info) q in
+        let rec sorted = function
+          | a :: (b :: _ as rest) ->
+              a.Rule.metric.Metric.confidence >= b.Rule.metric.Metric.confidence
+              && sorted rest
+          | _ -> true
+        in
+        sorted rules);
+  ]

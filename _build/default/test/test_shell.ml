@@ -1,0 +1,116 @@
+open Cfq_core
+open Cfq_shell
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let contains = Astring_contains.contains
+
+let session_with_db () =
+  let db =
+    Helpers.db_of_lists
+      [ [ 0; 1 ]; [ 0; 1 ]; [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 0; 2 ] ]
+  in
+  Shell.create ~ctx:(Exec.context db (Helpers.small_info 4)) ()
+
+let out t line = (Shell.eval t line).Shell.output
+
+let suite =
+  [
+    unit "help lists the commands" (fun () ->
+        let t = Shell.create () in
+        let o = out t "help" in
+        List.iter
+          (fun cmd -> Alcotest.(check bool) cmd true (contains o cmd))
+          [ "load"; "run"; "rules"; "advise"; "explain"; "set strategy" ]);
+    unit "quit terminates" (fun () ->
+        let t = Shell.create () in
+        Alcotest.(check bool) "quit" true (Shell.eval t "quit").Shell.quit;
+        Alcotest.(check bool) "exit" true (Shell.eval t "exit").Shell.quit;
+        Alcotest.(check bool) "run does not" false (Shell.eval t "help").Shell.quit);
+    unit "empty lines are ignored" (fun () ->
+        let t = Shell.create () in
+        Alcotest.(check string) "silent" "" (out t "   "));
+    unit "commands needing data complain without a database" (fun () ->
+        let t = Shell.create () in
+        List.iter
+          (fun line ->
+            Alcotest.(check bool) line true (contains (out t line) "no database"))
+          [ "run freq(S) >= 0.5"; "stats"; "advise freq(S) >= 0.5"; "explain S.Price >= 1" ]);
+    unit "gen attaches a database" (fun () ->
+        let t = Shell.create () in
+        Alcotest.(check bool) "generated" true (contains (out t "gen 100 20") "100 transactions");
+        Alcotest.(check bool) "stats work" true (contains (out t "stats") "transactions: 100"));
+    unit "run executes and remembers the result" (fun () ->
+        let t = session_with_db () in
+        let o = out t "run freq(S) >= 0.3 & freq(T) >= 0.3" in
+        Alcotest.(check bool) "pairs reported" true (contains o "pairs:");
+        let p = out t "pairs 2" in
+        Alcotest.(check bool) "pairs shown" true (contains p "=>"));
+    unit "pairs before any run" (fun () ->
+        let t = session_with_db () in
+        Alcotest.(check bool) "complains" true (contains (out t "pairs 3") "no previous run"));
+    unit "set strategy is respected and reported" (fun () ->
+        let t = session_with_db () in
+        Alcotest.(check bool) "set" true
+          (contains (out t "set strategy apriori+") "apriori+");
+        let o = out t "run freq(S) >= 0.3" in
+        Alcotest.(check bool) "strategy in output" true (contains o "apriori+");
+        Alcotest.(check bool) "unknown rejected" true
+          (contains (out t "set strategy bogus") "unknown strategy"));
+    unit "explain does not execute" (fun () ->
+        let t = session_with_db () in
+        let o = out t "explain max(S.Price) <= min(T.Price)" in
+        Alcotest.(check bool) "mentions reduction" true (contains o "quasi-succinct");
+        Alcotest.(check bool) "no pairs yet" true
+          (contains (out t "pairs 1") "no previous run"));
+    unit "advise answers" (fun () ->
+        let t = session_with_db () in
+        Alcotest.(check bool) "recommends" true
+          (contains (out t "advise freq(S) >= 0.3 & S.Price <= 40") "recommended strategy"));
+    unit "rules honour minconf" (fun () ->
+        let t = session_with_db () in
+        let _ = out t "set minconf 0.0" in
+        let all = out t "rules freq(S) >= 0.3 & freq(T) >= 0.3" in
+        let _ = out t "set minconf 1.0" in
+        let strict = out t "rules freq(S) >= 0.3 & freq(T) >= 0.3" in
+        Alcotest.(check bool) "loose has rules" true (contains all "conf=");
+        Alcotest.(check bool) "reported thresholds differ" true (all <> strict));
+    unit "parse and validation errors are reported, not raised" (fun () ->
+        let t = session_with_db () in
+        Alcotest.(check bool) "parse error" true
+          (contains (out t "run freq(X) >= 1") "parse error");
+        Alcotest.(check bool) "validation error" true
+          (contains (out t "run sum(S.Nope) <= 3") "unknown attribute"));
+    unit "load reports missing files gracefully" (fun () ->
+        let t = Shell.create () in
+        Alcotest.(check bool) "load failed" true
+          (contains (out t "load /nonexistent/file.fimi") "load failed"));
+    unit "export pairs and rules" (fun () ->
+        let t = session_with_db () in
+        let tmp = Filename.temp_file "cfq_shell" ".csv" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+          (fun () ->
+            Alcotest.(check bool) "needs a run first" true
+              (contains (out t ("export pairs " ^ tmp)) "no previous run");
+            let _ = out t "run freq(S) >= 0.3 & freq(T) >= 0.3" in
+            Alcotest.(check bool) "export ok" true
+              (contains (out t ("export pairs " ^ tmp)) "wrote");
+            let content = In_channel.with_open_text tmp In_channel.input_all in
+            Alcotest.(check bool) "csv header" true (contains content "s_items");
+            let _ = out t "set minconf 0.0" in
+            let _ = out t "rules freq(S) >= 0.3 & freq(T) >= 0.3" in
+            Alcotest.(check bool) "rules export ok" true
+              (contains (out t ("export rules " ^ tmp)) "wrote")));
+    unit "profile summarises the last run" (fun () ->
+        let t = session_with_db () in
+        Alcotest.(check bool) "needs a run" true
+          (contains (out t "profile") "no previous run");
+        let _ = out t "run freq(S) >= 0.3 & freq(T) >= 0.3" in
+        let o = out t "profile" in
+        Alcotest.(check bool) "mentions frequent sets" true
+          (contains o "frequent sets"));
+    unit "unknown commands point at help" (fun () ->
+        let t = Shell.create () in
+        Alcotest.(check bool) "hint" true (contains (out t "frobnicate") "help"));
+  ]

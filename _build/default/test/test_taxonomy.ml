@@ -1,0 +1,137 @@
+open Cfq_itembase
+open Cfq_quest
+open Cfq_core
+
+let unit name f = Alcotest.test_case name `Quick f
+
+(* a small grocery-style taxonomy:
+   0 = Food (root), 1 = Drinks (root)
+   2 = Snacks <- 0, 3 = Dairy <- 0, 4 = Beer <- 1
+   items: 0,1 -> Snacks; 2 -> Dairy; 3,4 -> Beer *)
+let grocery () =
+  Taxonomy.make ~parent:[| -1; -1; 0; 0; 1 |] ~item_category:[| 2; 2; 3; 4; 4 |]
+
+let suite =
+  [
+    unit "paths and ancestors" (fun () ->
+        let t = grocery () in
+        Alcotest.(check (list int)) "snacks path" [ 0; 2 ] (Taxonomy.path_from_root t 2);
+        Alcotest.(check (list int)) "ancestors root-last" [ 2; 0 ] (Taxonomy.ancestors t 2);
+        Alcotest.(check (list int)) "root path" [ 1 ] (Taxonomy.path_from_root t 1);
+        Alcotest.(check int) "depth" 2 (Taxonomy.depth t));
+    unit "is_under" (fun () ->
+        let t = grocery () in
+        Alcotest.(check bool) "item 0 under Food" true (Taxonomy.is_under t ~category:0 0);
+        Alcotest.(check bool) "item 0 under Snacks" true (Taxonomy.is_under t ~category:2 0);
+        Alcotest.(check bool) "item 0 not under Drinks" false
+          (Taxonomy.is_under t ~category:1 0);
+        Alcotest.(check bool) "item 3 under Drinks" true (Taxonomy.is_under t ~category:1 3));
+    unit "level columns" (fun () ->
+        let t = grocery () in
+        Alcotest.(check (array (float 0.))) "level 1 = root ancestors"
+          [| 0.; 0.; 0.; 1.; 1. |]
+          (Taxonomy.level_column t ~level:1);
+        Alcotest.(check (array (float 0.))) "level 2 = leaf categories"
+          [| 2.; 2.; 3.; 4.; 4. |]
+          (Taxonomy.level_column t ~level:2);
+        (* deeper levels clamp at the leaf *)
+        Alcotest.(check (array (float 0.))) "level 5 clamps"
+          [| 2.; 2.; 3.; 4.; 4. |]
+          (Taxonomy.level_column t ~level:5));
+    unit "validation" (fun () ->
+        Alcotest.check_raises "cycle" (Invalid_argument "Taxonomy.make: cycle")
+          (fun () -> ignore (Taxonomy.make ~parent:[| 1; 0 |] ~item_category:[| 0 |]));
+        Alcotest.check_raises "bad parent" (Invalid_argument "Taxonomy.make: bad parent")
+          (fun () -> ignore (Taxonomy.make ~parent:[| 5 |] ~item_category:[| 0 |]));
+        Alcotest.check_raises "bad leaf"
+          (Invalid_argument "Taxonomy.make: bad item category") (fun () ->
+            ignore (Taxonomy.make ~parent:[| -1 |] ~item_category:[| 3 |])));
+    unit "multi-level class constraints end to end" (fun () ->
+        (* S must be all Food, T all Drinks, via the materialised columns *)
+        let t = grocery () in
+        let db =
+          Helpers.db_of_lists
+            [ [ 0; 1; 3 ]; [ 0; 1; 4 ]; [ 0; 2; 3 ]; [ 1; 3; 4 ]; [ 0; 1; 2 ] ]
+        in
+        let info = Item_info.create ~universe_size:5 in
+        Item_info.add_column info (Attr.make "Price" Attr.Numeric)
+          [| 10.; 20.; 30.; 40.; 50. |];
+        Taxonomy.add_columns t info ~prefix:"Cat";
+        let q =
+          Parser.parse
+            "{(S,T) | freq(S) >= 0.3 & freq(T) >= 0.3 & S.Cat1 = {0} & T.Cat1 = {1}}"
+        in
+        (match Validate.check ~s_info:info ~t_info:info q with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "taxonomy columns should validate");
+        let r = Exec.run ~collect_pairs:true (Exec.context db info) q in
+        Alcotest.(check bool) "some pairs" true (r.Exec.pair_stats.Pairs.n_pairs > 0);
+        List.iter
+          (fun (s, p) ->
+            Itemset.iter
+              (fun i ->
+                Alcotest.(check bool) "S all food" true (Taxonomy.is_under t ~category:0 i))
+              s.Cfq_mining.Frequent.set;
+            Itemset.iter
+              (fun i ->
+                Alcotest.(check bool) "T all drinks" true
+                  (Taxonomy.is_under t ~category:1 i))
+              p.Cfq_mining.Frequent.set)
+          r.Exec.pairs);
+    unit "2-var class constraint across taxonomy levels" (fun () ->
+        (* same root category: S.Cat1 = T.Cat1 as a 2-var set equality *)
+        let t = grocery () in
+        let db = Helpers.db_of_lists [ [ 0; 1 ]; [ 0; 1 ]; [ 3; 4 ]; [ 3; 4 ] ] in
+        let info = Item_info.create ~universe_size:5 in
+        Taxonomy.add_columns t info ~prefix:"Cat";
+        let q = Parser.parse "{(S,T) | freq(S) >= 0.4 & freq(T) >= 0.4 & S.Cat1 = T.Cat1}" in
+        let r = Exec.run ~collect_pairs:true (Exec.context db info) q in
+        List.iter
+          (fun (s, p) ->
+            let cat set =
+              Item_info.project info (Option.get (Item_info.find_attr info "Cat1")) set
+            in
+            Alcotest.(check bool) "same root category" true
+              (Value_set.equal (cat s.Cfq_mining.Frequent.set) (cat p.Cfq_mining.Frequent.set)))
+          r.Exec.pairs);
+    Helpers.qtest ~count:80 "class-constraint queries match brute force"
+      (QCheck2.Gen.pair Helpers.gen_db
+         (QCheck2.Gen.pair (QCheck2.Gen.int_range 1 2) (QCheck2.Gen.int_range 0 2)))
+      (fun ((n, db), (lvl, cat)) ->
+        Helpers.print_db (n, db) ^ Printf.sprintf " Cat%d={%d}" lvl cat)
+      (fun ((n, db), (lvl, cat)) ->
+        (* taxonomy: root 0; departments 1,2; items alternate departments *)
+        let parent = [| -1; 0; 0 |] in
+        let item_category = Array.init n (fun i -> 1 + (i mod 2)) in
+        let taxonomy = Taxonomy.make ~parent ~item_category in
+        let info = Item_info.create ~universe_size:n in
+        Item_info.add_column info (Attr.make "Price" Attr.Numeric)
+          (Array.init n (fun i -> float_of_int (10 * (i + 1))));
+        Taxonomy.add_columns taxonomy info ~prefix:"Cat";
+        let q =
+          Parser.parse
+            (Printf.sprintf
+               "{(S,T) | freq(S) >= 0.2 & freq(T) >= 0.2 & S.Cat%d = {%d} & S.Cat2 \
+                disjoint T.Cat2}"
+               lvl cat)
+        in
+        let ctx = { Exec.db; s_info = info; t_info = info; nonneg = true } in
+        let r = Exec.run ~collect_pairs:true ctx q in
+        let brute = Helpers.brute_answer db ~n ~s_info:info ~t_info:info q in
+        r.Exec.pair_stats.Cfq_core.Pairs.n_pairs = List.length brute);
+    unit "random taxonomy is well-formed" (fun () ->
+        let rng = Splitmix.create ~seed:33L in
+        let t = Item_gen.random_taxonomy rng ~n_items:50 ~branching:3 ~depth:3 in
+        Alcotest.(check int) "1 + 3 + 9 categories" 13 (Taxonomy.n_categories t);
+        Alcotest.(check int) "items" 50 (Taxonomy.n_items t);
+        Alcotest.(check int) "depth" 3 (Taxonomy.depth t);
+        for i = 0 to 49 do
+          (* every item sits under exactly one root-level child *)
+          let under = ref 0 in
+          for c = 1 to 3 do
+            if Taxonomy.is_under t ~category:c i then incr under
+          done;
+          Alcotest.(check int) "one branch" 1 !under;
+          Alcotest.(check bool) "under the root" true (Taxonomy.is_under t ~category:0 i)
+        done);
+  ]

@@ -1,0 +1,60 @@
+open Cfq_itembase
+open Cfq_txdb
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let db_fixture () =
+  Helpers.db_of_lists [ [ 0; 1; 2 ]; [ 1; 2 ]; [ 0; 2 ]; [ 2 ]; [ 0; 1; 2; 3 ] ]
+
+let suite =
+  [
+    unit "page model packing" (fun () ->
+        let pm = Page_model.make ~page_size_bytes:100 ~tid_bytes:10 ~item_bytes:10 () in
+        (* each tx of 4 items = 50 bytes: two per page *)
+        Alcotest.(check int) "pairs" 2 (Page_model.pages_for pm [| 4; 4; 4 |]);
+        Alcotest.(check int) "empty" 0 (Page_model.pages_for pm [||]);
+        (* oversized tx takes dedicated pages *)
+        Alcotest.(check int) "oversize" 3 (Page_model.pages_for pm [| 25 |]));
+    unit "page model default is 4K" (fun () ->
+        Alcotest.(check int) "4096" 4096 Page_model.default.Page_model.page_size_bytes);
+    unit "io stats accumulate" (fun () ->
+        let io = Io_stats.create () in
+        Io_stats.record_scan io ~pages:10 ~tuples:100;
+        Io_stats.record_scan io ~pages:10 ~tuples:100;
+        Alcotest.(check int) "scans" 2 (Io_stats.scans io);
+        Alcotest.(check int) "pages" 20 (Io_stats.pages_read io);
+        let io2 = Io_stats.create () in
+        Io_stats.record_scan io2 ~pages:1 ~tuples:1;
+        Io_stats.add io io2;
+        Alcotest.(check int) "added" 21 (Io_stats.pages_read io);
+        Io_stats.reset io;
+        Alcotest.(check int) "reset" 0 (Io_stats.scans io));
+    unit "support counting" (fun () ->
+        let db = db_fixture () in
+        let io = Io_stats.create () in
+        Alcotest.(check int) "support {2}" 5 (Tx_db.support db io (Itemset.of_list [ 2 ]));
+        Alcotest.(check int) "support {0,1}" 2
+          (Tx_db.support db io (Itemset.of_list [ 0; 1 ]));
+        Alcotest.(check int) "support {3}" 1 (Tx_db.support db io (Itemset.of_list [ 3 ]));
+        Alcotest.(check int) "three scans recorded" 3 (Io_stats.scans io));
+    unit "item_frequencies" (fun () ->
+        let db = db_fixture () in
+        let io = Io_stats.create () in
+        let freq = Tx_db.item_frequencies db io ~universe_size:4 in
+        Alcotest.(check (array int)) "freqs" [| 3; 3; 5; 1 |] freq);
+    unit "absolute_support" (fun () ->
+        let db = db_fixture () in
+        Alcotest.(check int) "60%" 3 (Tx_db.absolute_support db 0.6);
+        Alcotest.(check int) "0 -> at least 1" 1 (Tx_db.absolute_support db 0.);
+        Alcotest.(check int) "100%" 5 (Tx_db.absolute_support db 1.);
+        Alcotest.check_raises "range" (Invalid_argument "Tx_db.absolute_support")
+          (fun () -> ignore (Tx_db.absolute_support db 1.5)));
+    unit "avg_tx_len and size" (fun () ->
+        let db = db_fixture () in
+        Alcotest.(check int) "size" 5 (Tx_db.size db);
+        Alcotest.(check (float 1e-9)) "avg" 2.4 (Tx_db.avg_tx_len db));
+    unit "get preserves tids" (fun () ->
+        let db = db_fixture () in
+        Alcotest.(check int) "tid 3" 3 (Tx_db.get db 3).Transaction.tid;
+        Alcotest.(check int) "card" 1 (Transaction.cardinal (Tx_db.get db 3)));
+  ]

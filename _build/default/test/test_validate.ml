@@ -1,0 +1,63 @@
+open Cfq_constr
+open Cfq_core
+
+let unit name f = Alcotest.test_case name `Quick f
+let info = Helpers.small_info 6
+
+let check q = Validate.check ~s_info:info ~t_info:info q
+
+let errors_of q = match check q with Ok () -> [] | Error es -> es
+
+let q_of_text text = Parser.parse text
+
+let suite =
+  [
+    unit "well-formed queries validate" (fun () ->
+        List.iter
+          (fun text ->
+            Alcotest.(check bool) text true (check (q_of_text text) = Ok ()))
+          [
+            "{(S,T) | freq(S) >= 0.1}";
+            "sum(S.Price) <= 100 & avg(T.Price) >= 200";
+            "S.Type = T.Type & max(S.Price) <= min(T.Price)";
+            "count(S.Type) <= 1 & |T| <= 4";
+            "S.Item <= 3 & T.Item >= 4";
+          ]);
+    unit "unknown attributes are reported" (fun () ->
+        let es = errors_of (q_of_text "sum(S.Cost) <= 100") in
+        Alcotest.(check int) "one error" 1 (List.length es);
+        Alcotest.(check bool) "mentions Cost" true
+          (Astring_contains.contains (List.hd es).Validate.reason "Cost"));
+    unit "numeric aggregation over a categorical attribute is rejected" (fun () ->
+        let es = errors_of (q_of_text "sum(S.Type) <= 3") in
+        Alcotest.(check int) "one error" 1 (List.length es);
+        Alcotest.(check bool) "mentions categorical" true
+          (Astring_contains.contains (List.hd es).Validate.reason "categorical"));
+    unit "count over a categorical attribute is fine" (fun () ->
+        Alcotest.(check bool) "ok" true (check (q_of_text "count(S.Type) = 1") = Ok ()));
+    unit "mixed-kind set comparison is rejected" (fun () ->
+        let q =
+          Query.make
+            ~two_var:[ Two_var.Set2 (Helpers.price, Two_var.Set_eq, Helpers.typ) ]
+            ()
+        in
+        let es = errors_of q in
+        Alcotest.(check bool) "kind error present" true
+          (List.exists
+             (fun e -> Astring_contains.contains e.Validate.reason "different kinds")
+             es));
+    unit "all errors are collected, not just the first" (fun () ->
+        let es = errors_of (q_of_text "sum(S.Cost) <= 1 & avg(T.Weight) >= 2") in
+        Alcotest.(check int) "two errors" 2 (List.length es));
+    unit "Item pseudo-attribute always resolves" (fun () ->
+        Alcotest.(check bool) "ok" true
+          (check (q_of_text "S.Item disjoint T.Item") = Ok ()));
+    unit "error order follows the query" (fun () ->
+        match errors_of (q_of_text "min(S.Bad1) >= 1 & max(T.Bad2) <= 2") with
+        | [ e1; e2 ] ->
+            Alcotest.(check bool) "first is S" true
+              (Astring_contains.contains e1.Validate.where "Bad1");
+            Alcotest.(check bool) "second is T" true
+              (Astring_contains.contains e2.Validate.where "Bad2")
+        | _ -> Alcotest.fail "expected two errors");
+  ]

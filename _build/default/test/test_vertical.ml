@@ -1,0 +1,49 @@
+open Cfq_itembase
+open Cfq_txdb
+open Cfq_mining
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let build db n =
+  let io = Io_stats.create () in
+  let v = Vertical.build db io ~universe_size:n in
+  (v, io)
+
+let suite =
+  [
+    unit "tid lists are sorted and correct" (fun () ->
+        let db = Helpers.db_of_lists [ [ 0; 1 ]; [ 1 ]; [ 0; 2 ]; [ 1; 2 ] ] in
+        let v, io = build db 3 in
+        Alcotest.(check (array int)) "item 0" [| 0; 2 |] (Vertical.tids v 0);
+        Alcotest.(check (array int)) "item 1" [| 0; 1; 3 |] (Vertical.tids v 1);
+        Alcotest.(check (array int)) "item 2" [| 2; 3 |] (Vertical.tids v 2);
+        Alcotest.(check (array int)) "unseen item" [||] (Vertical.tids v 5);
+        Alcotest.(check int) "one scan" 1 (Io_stats.scans io));
+    unit "empty set has full support" (fun () ->
+        let db = Helpers.db_of_lists [ [ 0 ]; [ 1 ] ] in
+        let v, _ = build db 2 in
+        Alcotest.(check int) "n" 2 (Vertical.support v Itemset.empty));
+    Helpers.qtest ~count:150 "vertical support equals horizontal counting"
+      (QCheck2.Gen.pair Helpers.gen_db (Helpers.gen_itemset 9))
+      (fun ((n, db), s) -> Helpers.print_db (n, db) ^ " set=" ^ Itemset.to_string s)
+      (fun ((n, db), s) ->
+        let v, _ = build db (max n 9) in
+        Vertical.support v s = Helpers.support_of db s);
+    Helpers.qtest ~count:100 "eclat mining equals apriori" Helpers.gen_db
+      Helpers.print_db (fun (n, db) ->
+        let minsup = max 1 (Tx_db.size db / 5) in
+        let v, _ = build db n in
+        let eclat = Vertical.mine v ~minsup in
+        let io = Io_stats.create () in
+        let apriori = (Apriori.mine db (Helpers.small_info n) io ~minsup ()).Apriori.frequent in
+        Frequent.n_sets eclat = Frequent.n_sets apriori
+        && Frequent.fold
+             (fun acc e -> acc && Frequent.support apriori e.Frequent.set = Some e.Frequent.support)
+             true eclat);
+    unit "supports batches" (fun () ->
+        let db = Helpers.db_of_lists [ [ 0; 1 ]; [ 0; 1 ]; [ 1 ] ] in
+        let v, _ = build db 2 in
+        Alcotest.(check (array int)) "batch" [| 2; 3; 2 |]
+          (Vertical.supports v
+             [| Itemset.of_list [ 0 ]; Itemset.of_list [ 1 ]; Itemset.of_list [ 0; 1 ] |]));
+  ]
