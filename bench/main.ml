@@ -4,7 +4,8 @@
    Usage:  dune exec bench/main.exe            (scaled-down workloads)
            FULL=1 dune exec bench/main.exe     (paper scale: 100k transactions)
            dune exec bench/main.exe -- micro   (microbenchmarks only)
-           dune exec bench/main.exe -- fig8a   (one experiment) *)
+           dune exec bench/main.exe -- fig8a   (one experiment)
+           dune exec bench/main.exe -- session (service cache vs cold replay) *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -25,8 +26,9 @@ let () =
   | [ "cap_1var" ] -> Experiments.cap_1var (scale ())
   | [ "maintenance" ] -> Experiments.maintenance (scale ())
   | [ "parallel" ] -> Experiments.parallel (scale ())
+  | [ "session" ] -> Session.run (scale ())
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [micro|fig8a|tab71_levels|tab71_ranges|fig8b|tab72_ranges|tab73_jmax|ablation|miners|cap_1var|maintenance|parallel]";
+         [micro|fig8a|tab71_levels|tab71_ranges|fig8b|tab72_ranges|tab73_jmax|ablation|miners|cap_1var|maintenance|parallel|session]";
       exit 2

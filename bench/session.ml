@@ -1,0 +1,134 @@
+(* Replay of an exploratory refinement session through the query service.
+
+   A 50-query script models the paper's intended workload (Section 1): an
+   analyst starts broad, tightens price bands and support step by step, and
+   re-issues earlier queries while comparing.  Every query is run twice —
+   cold (a fresh Exec.run per query, the pre-service behaviour) and through
+   one warm Cfq_service instance — asserting identical answer pairs and
+   comparing the total ccc cost. *)
+
+open Cfq_itembase
+open Cfq_quest
+open Cfq_core
+open Cfq_service
+
+let sorted_pairs l =
+  List.sort
+    (fun (a1, b1) (a2, b2) ->
+      match Itemset.compare a1 a2 with 0 -> Itemset.compare b1 b2 | c -> c)
+    (List.map
+       (fun (s, t) -> (s.Cfq_mining.Frequent.set, t.Cfq_mining.Frequent.set))
+       l)
+
+(* fifty queries: five rounds over a sliding S-side price band, tightening
+   within each round (subsumption reuse), each round closing by re-issuing
+   its first query (answer-cache reuse); the type-equality join keeps the
+   answers selective so pair formation stays small next to mining *)
+let session_queries () =
+  let queries = ref [] in
+  let push fmt = Printf.ksprintf (fun s -> queries := s :: !queries) fmt in
+  for round = 0 to 4 do
+    let minsup = 0.008 +. (0.002 *. float_of_int round) in
+    let lo0 = 300. +. (40. *. float_of_int round) in
+    for step = 0 to 8 do
+      (* the analyst narrows the S price band and trims the T budget *)
+      let lo = lo0 +. (15. *. float_of_int step) in
+      let t_hi = 700. -. (25. *. float_of_int step) in
+      push
+        "{(S,T) | freq(S) >= %g & freq(T) >= %g & S.Price >= %g & T.Price <= %g & \
+         S.Type = T.Type}"
+        minsup minsup lo t_hi
+    done;
+    (* ...and goes back to the round's starting point to compare *)
+    push
+      "{(S,T) | freq(S) >= %g & freq(T) >= %g & S.Price >= %g & T.Price <= %g & \
+       S.Type = T.Type}"
+      minsup minsup lo0 700.
+  done;
+  List.rev !queries
+
+let run (scale : Workloads.scale) =
+  (* a session-sized database: a fraction of the harness scale keeps the
+     2x50 executions in benchmark territory *)
+  let scale = { scale with Workloads.n_tx = max 1000 (scale.Workloads.n_tx / 8) } in
+  let db = Workloads.quest_db scale in
+  let rng = Splitmix.create ~seed:(Int64.add scale.Workloads.seed 7L) in
+  let n = scale.Workloads.n_items in
+  let prices = Item_gen.uniform_prices rng ~n ~lo:0. ~hi:1000. in
+  let types = Array.init n (fun _ -> float_of_int (Splitmix.int rng 20)) in
+  let info = Item_gen.item_info ~prices ~types () in
+  let ctx = Exec.context db info in
+  let texts = session_queries () in
+  let queries = List.map Parser.parse texts in
+  Printf.printf "refinement session: %d queries over %d transactions\n%!"
+    (List.length queries) (Cfq_txdb.Tx_db.size db);
+
+  (* cold: every query pays for its own mining (1-var CAP + pair formation,
+     the same discipline the service uses, so the comparison is fair) *)
+  let t0 = Unix.gettimeofday () in
+  let cold =
+    List.map
+      (fun q -> Exec.run ~strategy:Plan.Cap_one_var ~collect_pairs:true ctx q)
+      queries
+  in
+  let cold_seconds = Unix.gettimeofday () -. t0 in
+  let cold_counted = List.fold_left (fun acc r -> acc + Exec.total_counted r) 0 cold in
+  let cold_checks = List.fold_left (fun acc r -> acc + Exec.total_checks r) 0 cold in
+  let cold_scans =
+    List.fold_left (fun acc r -> acc + Cfq_txdb.Io_stats.scans r.Exec.io) 0 cold
+  in
+
+  (* warm: one service, cross-query reuse *)
+  let service = Service.create ~config:{ Service.default_config with domains = 2 } ctx in
+  let t1 = Unix.gettimeofday () in
+  let served = Service.run_many service queries in
+  let warm_seconds = Unix.gettimeofday () -. t1 in
+  let m = Service.metrics service in
+  Service.shutdown service;
+
+  (* identical answers, query by query *)
+  let mismatches = ref 0 in
+  List.iteri
+    (fun i (cold_r, served_r) ->
+      match served_r with
+      | Error e ->
+          incr mismatches;
+          Printf.printf "query %d failed in the service: %s\n" i (Service.error_to_string e)
+      | Ok a ->
+          if sorted_pairs cold_r.Exec.pairs <> sorted_pairs a.Service.pairs then begin
+            incr mismatches;
+            Printf.printf "query %d: answer mismatch (%d cold pairs vs %d served)\n" i
+              (List.length cold_r.Exec.pairs)
+              (List.length a.Service.pairs)
+          end)
+    (List.combine cold served);
+
+  let tbl = Cfq_report.Table.create [ "metric"; "cold"; "service (warm)" ] in
+  let row name a b = Cfq_report.Table.add_row tbl [ name; a; b ] in
+  row "support counted (ccc)" (string_of_int cold_counted)
+    (string_of_int m.Metrics.support_counted);
+  row "constraint checks (ccc)" (string_of_int cold_checks)
+    (string_of_int m.Metrics.constraint_checks);
+  row "db scans" (string_of_int cold_scans) (string_of_int m.Metrics.scans);
+  row "total seconds" (Cfq_report.Table.fcell cold_seconds)
+    (Cfq_report.Table.fcell warm_seconds);
+  row "answer-cache hits" "-" (string_of_int m.Metrics.answer_hits);
+  row "subsumption hits (sides)" "-" (string_of_int m.Metrics.subsumption_hits);
+  row "sides mined" "-" (string_of_int m.Metrics.sides_mined);
+  Cfq_report.Table.print tbl;
+
+  if !mismatches > 0 then begin
+    Printf.printf "\nFAIL: %d of %d queries disagreed with cold execution\n" !mismatches
+      (List.length queries);
+    exit 1
+  end;
+  if m.Metrics.support_counted >= cold_counted then begin
+    Printf.printf
+      "\nFAIL: warm service counted %d sets, not fewer than cold execution's %d\n"
+      m.Metrics.support_counted cold_counted;
+    exit 1
+  end;
+  Printf.printf
+    "\nOK: identical answers; warm service counted %.1fx fewer sets (%d vs %d)\n"
+    (float_of_int cold_counted /. float_of_int (max 1 m.Metrics.support_counted))
+    m.Metrics.support_counted cold_counted

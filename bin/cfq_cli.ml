@@ -221,6 +221,68 @@ let explain_cmd text =
       print_endline (Explain.plan_to_string q plan);
       Ok ()
 
+let domains_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "domains" ] ~docv:"N" ~doc:"Worker domains of the query service.")
+
+let cache_mb_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "cache-mb" ] ~docv:"MB" ~doc:"Cache memory budget in MiB.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Per-query wall-clock deadline.")
+
+let repeat_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "repeat" ] ~docv:"N"
+        ~doc:"Replay the batch N times (passes after the first serve from the warm cache).")
+
+let batch_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Batch file: one CFQ per line; '#' comments.")
+
+let serve_cmd verbose tx items types seed data iteminfo domains cache_mb deadline repeat
+    file =
+  setup_logs verbose;
+  match load_or_generate ~tx ~items ~types ~seed ~data ~iteminfo with
+  | Error e -> Error e
+  | Ok (db, info) ->
+      Printf.printf "database: %d transactions (%d pages)\n\n"
+        (Cfq_txdb.Tx_db.size db) (Cfq_txdb.Tx_db.pages db);
+      let config =
+        {
+          Cfq_service.Service.default_config with
+          Cfq_service.Service.domains;
+          cache_budget = cache_mb * 1024 * 1024;
+          default_deadline = deadline;
+        }
+      in
+      let service = Cfq_service.Service.create ~config (Exec.context db info) in
+      let rec passes n =
+        if n > repeat then Ok ()
+        else begin
+          if repeat > 1 then Printf.printf "=== pass %d/%d ===\n" n repeat;
+          match Cfq_service.Batch.run_file service file with
+          | Error msg ->
+              Cfq_service.Service.shutdown service;
+              Error (`Msg msg)
+          | Ok report ->
+              print_endline report;
+              passes (n + 1)
+        end
+      in
+      let result = passes 1 in
+      Cfq_service.Service.shutdown service;
+      result
+
 let repl_cmd () =
   let session = Cfq_shell.Shell.create () in
   print_endline "cfq interactive shell; 'help' lists commands, 'quit' leaves.";
@@ -310,6 +372,19 @@ let repl_t = Term.(term_result (const repl_cmd $ const ()))
 let repl_cmd_info =
   Cmd.info "repl" ~doc:"Interactive exploratory-mining session."
 
+let serve_t =
+  Term.(
+    term_result
+      (const serve_cmd $ verbose_arg $ tx_arg $ items_arg $ types_arg $ seed_arg
+     $ data_arg $ iteminfo_arg $ domains_arg $ cache_mb_arg $ deadline_arg
+     $ repeat_arg $ batch_file_arg))
+
+let serve_cmd_info =
+  Cmd.info "serve"
+    ~doc:
+      "Execute a batch file of CFQs through the concurrent caching query service \
+       and print per-query outcomes plus cache metrics."
+
 let main =
   Cmd.group
     (Cmd.info "cfq" ~version:"1.0.0"
@@ -321,6 +396,7 @@ let main =
       Cmd.v advise_cmd_info advise_t;
       Cmd.v rules_cmd_info rules_t;
       Cmd.v repl_cmd_info repl_t;
+      Cmd.v serve_cmd_info serve_t;
     ]
 
 let () = exit (Cmd.eval main)

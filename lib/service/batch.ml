@@ -1,0 +1,96 @@
+open Cfq_core
+
+type item = {
+  line : int;
+  text : string;
+  outcome : (Service.answer, Service.error) result;
+}
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let items = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let raw = input_line ic in
+           incr lineno;
+           let text = String.trim raw in
+           if text <> "" && not (String.length text > 0 && text.[0] = '#') then
+             items := (!lineno, text) :: !items
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Ok (List.rev !items)
+
+let run service ?deadline items =
+  let ctx = Service.ctx service in
+  (* parse + validate up front; only well-formed queries reach the pool *)
+  let prepared =
+    List.map
+      (fun (line, text) ->
+        match Parser.parse_result text with
+        | Error msg -> (line, text, Error (Service.Failed ("parse error: " ^ msg)))
+        | Ok q -> (
+            match
+              Validate.check ~s_info:ctx.Exec.s_info ~t_info:ctx.Exec.t_info q
+            with
+            | Error errors ->
+                let msg =
+                  String.concat "; "
+                    (List.map (Format.asprintf "%a" Validate.pp_error) errors)
+                in
+                (line, text, Error (Service.Failed msg))
+            | Ok () -> (line, text, Ok q)))
+      items
+  in
+  let runnable =
+    List.filter_map (function _, _, Ok q -> Some q | _, _, Error _ -> None) prepared
+  in
+  let answers = ref (Service.run_many service ?deadline runnable) in
+  List.map
+    (fun (line, text, prep) ->
+      match prep with
+      | Error e -> { line; text; outcome = Error e }
+      | Ok _ -> (
+          match !answers with
+          | a :: rest ->
+              answers := rest;
+              { line; text; outcome = a }
+          | [] -> { line; text; outcome = Error (Service.Failed "missing answer") }))
+    prepared
+
+let report_lines items =
+  List.map
+    (fun { line; text; outcome } ->
+      match outcome with
+      | Ok a ->
+          Printf.sprintf "%3d  %-60s %6d pairs  %8d counted  %8d checks  %.3fs  [%s]"
+            line
+            (if String.length text > 60 then String.sub text 0 57 ^ "..." else text)
+            a.Service.n_pairs a.Service.support_counted a.Service.constraint_checks
+            a.Service.latency_seconds
+            (Service.served_from_name a.Service.served_from)
+      | Error e ->
+          Printf.sprintf "%3d  %-60s ERROR: %s" line
+            (if String.length text > 60 then String.sub text 0 57 ^ "..." else text)
+            (Service.error_to_string e))
+    items
+
+let run_file service ?deadline path =
+  match load path with
+  | Error msg -> Error msg
+  | Ok items ->
+      let results = run service ?deadline items in
+      let ok, err =
+        List.fold_left
+          (fun (ok, err) i ->
+            match i.outcome with Ok _ -> (ok + 1, err) | Error _ -> (ok, err + 1))
+          (0, 0) results
+      in
+      let body = String.concat "\n" (report_lines results) in
+      let table = Cfq_report.Table.render (Service.metrics_table service) in
+      Ok
+        (Printf.sprintf "%s\n\n%d queries: %d ok, %d errors\n\n%s" body
+           (List.length results) ok err table)

@@ -1,0 +1,27 @@
+(** Syntactic entailment between 1-var constraints, for subsumption reuse.
+
+    [implies c1 c2] is a {e sound, incomplete} test that every itemset
+    satisfying [c1] satisfies [c2] (over any attribute table).  It covers
+    the forms that matter for query refinement: equal atoms, aggregate and
+    cardinality bounds tightening their constant, and the monotone
+    value-set relations (a smaller [⊆]-bound implies a larger one, etc.).
+    [false] never breaks soundness of a cache reuse — it only forfeits it.
+
+    This is the session-level counterpart of the per-query reasoning in
+    {!Cfq_core.Rewrite} (which merges comparable atoms within one
+    conjunction) and {!Cfq_constr.One_var.induce_weaker} (which derives
+    weaker consequences of one atom). *)
+
+open Cfq_constr
+
+(** [implies c1 c2]: satisfying [c1] guarantees satisfying [c2]. *)
+val implies : One_var.t -> One_var.t -> bool
+
+(** [conj_implies cs c]: the conjunction of [cs] entails [c] — some atom of
+    [cs] implies [c], or [c] is trivially true. *)
+val conj_implies : One_var.t list -> One_var.t -> bool
+
+(** [subsumes ~cached ~requested]: a frequent collection mined under the
+    conjunction [cached] contains every set satisfying the conjunction
+    [requested], i.e. [requested] entails each atom of [cached]. *)
+val subsumes : cached:One_var.t list -> requested:One_var.t list -> bool

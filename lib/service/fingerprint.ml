@@ -1,0 +1,53 @@
+open Cfq_itembase
+open Cfq_txdb
+open Cfq_constr
+open Cfq_core
+
+(* Physical-identity registries.  A service holds its database and tables
+   alive anyway, so pinning registered values is harmless; the tables stay
+   short (one entry per loaded database/table). *)
+
+let registry_mutex = Mutex.create ()
+let db_registry : (Tx_db.t * int) list ref = ref []
+let info_registry : (Item_info.t * int) list ref = ref []
+let next_id = ref 0
+
+let identify registry v =
+  Mutex.lock registry_mutex;
+  let id =
+    match List.find_opt (fun (v', _) -> v' == v) !registry with
+    | Some (_, id) -> id
+    | None ->
+        incr next_id;
+        registry := (v, !next_id) :: !registry;
+        !next_id
+  in
+  Mutex.unlock registry_mutex;
+  id
+
+let db_id db = identify db_registry db
+let info_id info = identify info_registry info
+
+let sorted_unique strings = List.sort_uniq String.compare strings
+
+let side_constraints cs =
+  String.concat " & " (sorted_unique (List.map One_var.to_string cs))
+
+let side_key ~info ~minsup_abs ~max_level cs =
+  Printf.sprintf "side|info=%d|minsup=%d|maxlvl=%s|%s" (info_id info) minsup_abs
+    (match max_level with None -> "-" | Some l -> string_of_int l)
+    (side_constraints cs)
+
+let query_key (ctx : Exec.ctx) (q : Query.t) =
+  let two =
+    String.concat " & " (sorted_unique (List.map Two_var.to_string q.Query.two_var))
+  in
+  Printf.sprintf "query|db=%d|S<%s>|T<%s>|2<%s>"
+    (db_id ctx.Exec.db)
+    (side_key ~info:ctx.Exec.s_info
+       ~minsup_abs:(Tx_db.absolute_support ctx.Exec.db q.Query.s_minsup)
+       ~max_level:q.Query.max_level q.Query.s_constraints)
+    (side_key ~info:ctx.Exec.t_info
+       ~minsup_abs:(Tx_db.absolute_support ctx.Exec.db q.Query.t_minsup)
+       ~max_level:q.Query.max_level q.Query.t_constraints)
+    two

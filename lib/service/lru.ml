@@ -1,0 +1,109 @@
+(* Doubly-linked recency list threaded through a hashtable: O(1) find,
+   insert, bump and evict. *)
+
+type 'b node = {
+  key : string;
+  mutable value : 'b;
+  mutable node_weight : int;
+  mutable prev : 'b node option;  (* towards most recently used *)
+  mutable next : 'b node option;  (* towards least recently used *)
+}
+
+type 'b t = {
+  cache_budget : int;
+  table : (string, 'b node) Hashtbl.t;
+  mutable head : 'b node option;  (* most recently used *)
+  mutable tail : 'b node option;  (* least recently used *)
+  mutable total_weight : int;
+  mutable n_evictions : int;
+}
+
+let create ~budget =
+  if budget < 0 then invalid_arg "Lru.create: negative budget";
+  {
+    cache_budget = budget;
+    table = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    total_weight = 0;
+    n_evictions = 0;
+  }
+
+let budget t = t.cache_budget
+let length t = Hashtbl.length t.table
+let weight t = t.total_weight
+let evictions t = t.n_evictions
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some n ->
+      unlink t n;
+      push_front t n;
+      Some n.value
+
+let mem t k = Hashtbl.mem t.table k
+
+let drop t n =
+  unlink t n;
+  Hashtbl.remove t.table n.key;
+  t.total_weight <- t.total_weight - n.node_weight
+
+let evict_until_fits t =
+  while t.total_weight > t.cache_budget do
+    match t.tail with
+    | None -> t.total_weight <- 0 (* unreachable: weight without entries *)
+    | Some lru ->
+        drop t lru;
+        t.n_evictions <- t.n_evictions + 1
+  done
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with None -> () | Some n -> drop t n
+
+let insert t k ~weight v =
+  if weight > t.cache_budget then begin
+    remove t k;
+    false
+  end
+  else begin
+    (match Hashtbl.find_opt t.table k with
+    | Some n ->
+        unlink t n;
+        push_front t n;
+        n.value <- v;
+        t.total_weight <- t.total_weight - n.node_weight + weight;
+        n.node_weight <- weight
+    | None ->
+        let n = { key = k; value = v; node_weight = weight; prev = None; next = None } in
+        Hashtbl.replace t.table k n;
+        push_front t n;
+        t.total_weight <- t.total_weight + weight);
+    evict_until_fits t;
+    true
+  end
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.total_weight <- 0
+
+let fold f acc t =
+  let rec go acc = function
+    | None -> acc
+    | Some n -> go (f acc ~key:n.key ~value:n.value) n.next
+  in
+  go acc t.head

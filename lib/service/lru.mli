@@ -1,0 +1,43 @@
+(** A string-keyed LRU cache with per-entry weights and a total budget.
+
+    Entries carry a caller-supplied weight (an approximate byte count);
+    inserting beyond the budget evicts least-recently-used entries until the
+    cache fits again.  A single entry heavier than the whole budget is
+    refused outright.
+
+    The structure itself is not thread-safe; {!Cfq_service.Service} guards
+    all access with its own lock. *)
+
+type 'a t
+
+(** [create ~budget] is an empty cache holding at most [budget] weight
+    units.  Raises [Invalid_argument] when [budget < 0]. *)
+val create : budget:int -> 'a t
+
+val budget : 'a t -> int
+
+(** Number of live entries. *)
+val length : 'a t -> int
+
+(** Total weight of the live entries. *)
+val weight : 'a t -> int
+
+(** Evictions performed since creation. *)
+val evictions : 'a t -> int
+
+(** [find t k] is the value bound to [k], bumped to most-recently-used. *)
+val find : 'a t -> string -> 'a option
+
+val mem : 'a t -> string -> bool
+
+(** [insert t k ~weight v] binds [k] to [v] (replacing any previous
+    binding), evicting LRU entries as needed.  Returns [false] — and stores
+    nothing — when [weight] alone exceeds the budget. *)
+val insert : 'a t -> string -> weight:int -> 'a -> bool
+
+val remove : 'a t -> string -> unit
+val clear : 'a t -> unit
+
+(** [fold f acc t] folds over the live entries, most recently used first.
+    [f] must not mutate the cache. *)
+val fold : ('a -> key:string -> value:'b -> 'a) -> 'a -> 'b t -> 'a

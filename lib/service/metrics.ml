@@ -1,0 +1,156 @@
+type snapshot = {
+  queries : int;
+  answer_hits : int;
+  subsumption_hits : int;
+  sides_mined : int;
+  answer_misses : int;
+  deadline_expired : int;
+  rejected : int;
+  failures : int;
+  support_counted : int;
+  constraint_checks : int;
+  scans : int;
+  pages_read : int;
+  total_latency : float;
+  max_latency : float;
+  queue_high_water : int;
+  answer_entries : int;
+  answer_bytes : int;
+  side_entries : int;
+  side_bytes : int;
+  evictions : int;
+}
+
+type t = {
+  mutable queries : int;
+  mutable answer_hits : int;
+  mutable answer_misses : int;
+  mutable subsumption_hits : int;
+  mutable sides_mined : int;
+  mutable deadline_expired : int;
+  mutable rejected : int;
+  mutable failures : int;
+  mutable support_counted : int;
+  mutable constraint_checks : int;
+  mutable scans : int;
+  mutable pages_read : int;
+  mutable total_latency : float;
+  mutable max_latency : float;
+  mutable queue_high_water : int;
+}
+
+let create () =
+  {
+    queries = 0;
+    answer_hits = 0;
+    answer_misses = 0;
+    subsumption_hits = 0;
+    sides_mined = 0;
+    deadline_expired = 0;
+    rejected = 0;
+    failures = 0;
+    support_counted = 0;
+    constraint_checks = 0;
+    scans = 0;
+    pages_read = 0;
+    total_latency = 0.;
+    max_latency = 0.;
+    queue_high_water = 0;
+  }
+
+let reset t =
+  t.queries <- 0;
+  t.answer_hits <- 0;
+  t.answer_misses <- 0;
+  t.subsumption_hits <- 0;
+  t.sides_mined <- 0;
+  t.deadline_expired <- 0;
+  t.rejected <- 0;
+  t.failures <- 0;
+  t.support_counted <- 0;
+  t.constraint_checks <- 0;
+  t.scans <- 0;
+  t.pages_read <- 0;
+  t.total_latency <- 0.;
+  t.max_latency <- 0.;
+  t.queue_high_water <- 0
+
+let record_query t ~latency ~support_counted ~constraint_checks ~scans ~pages_read =
+  t.queries <- t.queries + 1;
+  t.support_counted <- t.support_counted + support_counted;
+  t.constraint_checks <- t.constraint_checks + constraint_checks;
+  t.scans <- t.scans + scans;
+  t.pages_read <- t.pages_read + pages_read;
+  t.total_latency <- t.total_latency +. latency;
+  if latency > t.max_latency then t.max_latency <- latency
+
+let record_answer_hit t = t.answer_hits <- t.answer_hits + 1
+let record_answer_miss t = t.answer_misses <- t.answer_misses + 1
+let record_subsumption_hit t = t.subsumption_hits <- t.subsumption_hits + 1
+let record_side_mined t = t.sides_mined <- t.sides_mined + 1
+let record_deadline_expired t = t.deadline_expired <- t.deadline_expired + 1
+let record_rejected t = t.rejected <- t.rejected + 1
+let record_failure t = t.failures <- t.failures + 1
+
+let observe_queue_depth t d =
+  if d > t.queue_high_water then t.queue_high_water <- d
+
+let snapshot t ~answer_entries ~answer_bytes ~side_entries ~side_bytes ~evictions :
+    snapshot =
+  {
+    queries = t.queries;
+    answer_hits = t.answer_hits;
+    answer_misses = t.answer_misses;
+    subsumption_hits = t.subsumption_hits;
+    sides_mined = t.sides_mined;
+    deadline_expired = t.deadline_expired;
+    rejected = t.rejected;
+    failures = t.failures;
+    support_counted = t.support_counted;
+    constraint_checks = t.constraint_checks;
+    scans = t.scans;
+    pages_read = t.pages_read;
+    total_latency = t.total_latency;
+    max_latency = t.max_latency;
+    queue_high_water = t.queue_high_water;
+    answer_entries;
+    answer_bytes;
+    side_entries;
+    side_bytes;
+    evictions;
+  }
+
+let table (s : snapshot) =
+  let tbl = Cfq_report.Table.create [ "metric"; "value" ] in
+  let row k v = Cfq_report.Table.add_row tbl [ k; v ] in
+  let int k v = row k (string_of_int v) in
+  int "queries served" s.queries;
+  int "answer-cache hits" s.answer_hits;
+  int "answer-cache misses" s.answer_misses;
+  int "subsumption hits (sides)" s.subsumption_hits;
+  int "sides mined cold" s.sides_mined;
+  int "deadline expired" s.deadline_expired;
+  int "rejected (queue full)" s.rejected;
+  int "failures" s.failures;
+  int "support counted (ccc)" s.support_counted;
+  int "constraint checks (ccc)" s.constraint_checks;
+  int "db scans" s.scans;
+  int "pages read" s.pages_read;
+  row "total latency (s)" (Printf.sprintf "%.3f" s.total_latency);
+  row "max latency (s)" (Printf.sprintf "%.3f" s.max_latency);
+  row "avg latency (s)"
+    (if s.queries = 0 then "-"
+     else Printf.sprintf "%.4f" (s.total_latency /. float_of_int s.queries));
+  int "queue high water" s.queue_high_water;
+  int "answer cache entries" s.answer_entries;
+  row "answer cache bytes" (Printf.sprintf "%d" s.answer_bytes);
+  int "side cache entries" s.side_entries;
+  row "side cache bytes" (Printf.sprintf "%d" s.side_bytes);
+  int "evictions" s.evictions;
+  tbl
+
+let pp ppf (s : snapshot) =
+  Format.fprintf ppf
+    "queries=%d hits=%d subsumed=%d mined=%d expired=%d rejected=%d counted=%d checks=%d"
+    s.queries s.answer_hits s.subsumption_hits s.sides_mined s.deadline_expired
+    s.rejected s.support_counted s.constraint_checks

@@ -1,0 +1,68 @@
+(** Service counters: cache effectiveness, queue pressure, latency, and the
+    aggregated ccc cost (support counts + constraint checks) of everything
+    served.
+
+    The mutable accumulator is owned by {!Service} and mutated only under
+    its lock; [snapshot] copies it out for lock-free reading. *)
+
+type t
+
+type snapshot = {
+  queries : int;  (** queries answered (including errors) *)
+  answer_hits : int;  (** served verbatim from the answer cache *)
+  subsumption_hits : int;  (** sides served by filtering a cached collection *)
+  sides_mined : int;  (** sides that had to run the mining engine *)
+  answer_misses : int;  (** queries not found in the answer cache *)
+  deadline_expired : int;
+  rejected : int;  (** refused at admission (queue full) *)
+  failures : int;
+  support_counted : int;  (** aggregated over all served queries *)
+  constraint_checks : int;
+  scans : int;
+  pages_read : int;
+  total_latency : float;  (** wall-clock seconds, summed *)
+  max_latency : float;
+  queue_high_water : int;
+  answer_entries : int;
+  answer_bytes : int;
+  side_entries : int;
+  side_bytes : int;
+  evictions : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val record_query :
+  t ->
+  latency:float ->
+  support_counted:int ->
+  constraint_checks:int ->
+  scans:int ->
+  pages_read:int ->
+  unit
+
+val record_answer_hit : t -> unit
+val record_answer_miss : t -> unit
+val record_subsumption_hit : t -> unit
+val record_side_mined : t -> unit
+val record_deadline_expired : t -> unit
+val record_rejected : t -> unit
+val record_failure : t -> unit
+val observe_queue_depth : t -> int -> unit
+
+(** [snapshot t ~answer_entries ... ~evictions] copies the counters,
+    attaching the current cache occupancy figures. *)
+val snapshot :
+  t ->
+  answer_entries:int ->
+  answer_bytes:int ->
+  side_entries:int ->
+  side_bytes:int ->
+  evictions:int ->
+  snapshot
+
+(** Render as a two-column report table. *)
+val table : snapshot -> Cfq_report.Table.t
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,41 @@
+(** A fixed pool of OCaml 5 domains draining a bounded work queue.
+
+    Jobs are closures; submitting returns a promise that [await] blocks on.
+    The queue is bounded: when [queue_capacity] jobs are already waiting,
+    {!submit} refuses instead of queueing unboundedly (admission control for
+    the serving layer).
+
+    Exceptions raised by a job are captured and re-raised by [await] in the
+    caller, so a crashing query never takes a worker domain down. *)
+
+type t
+
+type 'a promise
+
+(** [create ~domains ~queue_capacity ()] spawns [domains] worker domains
+    (at least 1; default [Domain.recommended_domain_count () - 1], at least
+    1) with a queue of at most [queue_capacity] waiting jobs (default
+    1024). *)
+val create : ?domains:int -> ?queue_capacity:int -> unit -> t
+
+(** Number of worker domains. *)
+val size : t -> int
+
+(** Jobs currently waiting (excludes running ones). *)
+val queue_depth : t -> int
+
+(** [submit t job] enqueues [job]; [None] when the queue is full or the
+    pool is shut down. *)
+val submit : t -> (unit -> 'a) -> 'a promise option
+
+(** [run t job] is [submit] that falls back to running [job] in the calling
+    domain when the queue is full, so it always yields a result. *)
+val run : t -> (unit -> 'a) -> 'a
+
+(** [await p] blocks until the job finishes, returning its result or
+    re-raising its exception. *)
+val await : 'a promise -> 'a
+
+(** Drain nothing further: running jobs finish, queued jobs are still
+    executed, then the workers exit and are joined.  Idempotent. *)
+val shutdown : t -> unit

@@ -1,0 +1,423 @@
+open Cfq_itembase
+open Cfq_txdb
+open Cfq_constr
+open Cfq_mining
+open Cfq_core
+
+let log_src = Logs.Src.create "cfq.service" ~doc:"CFQ query service"
+
+module Log = (val Logs.src_log log_src)
+
+type config = {
+  domains : int;
+  queue_capacity : int;
+  cache_budget : int;
+  default_deadline : float option;
+}
+
+let default_config =
+  { domains = 2; queue_capacity = 1024; cache_budget = 64 * 1024 * 1024; default_deadline = None }
+
+type served_from =
+  | Cold
+  | Answer_cache
+  | Subsumed
+
+let served_from_name = function
+  | Cold -> "cold"
+  | Answer_cache -> "answer-cache"
+  | Subsumed -> "subsumed"
+
+type answer = {
+  pairs : (Frequent.entry * Frequent.entry) list;
+  n_pairs : int;
+  served_from : served_from;
+  support_counted : int;
+  constraint_checks : int;
+  scans : int;
+  pages_read : int;
+  latency_seconds : float;
+  notes : string list;
+}
+
+type error =
+  | Rejected
+  | Deadline_exceeded
+  | Failed of string
+
+let error_to_string = function
+  | Rejected -> "rejected: admission queue full"
+  | Deadline_exceeded -> "deadline exceeded"
+  | Failed msg -> "failed: " ^ msg
+
+(* one side's cached frequent collection, as mined *)
+type side_entry = {
+  se_info_id : int;
+  se_minsup : int;  (* absolute support it was mined at *)
+  se_max_level : int option;
+  se_constraints : One_var.t list;  (* normalised 1-var conjunction it was mined under *)
+  se_frequent : Frequent.t;
+}
+
+type t = {
+  service_ctx : Exec.ctx;
+  service_config : config;
+  pool : Pool.t;
+  lock : Mutex.t;
+  answers : answer Lru.t;
+  sides : side_entry Lru.t;
+  service_metrics : Metrics.t;
+}
+
+type ticket = (answer, error) result Pool.promise
+
+let create ?(config = default_config) ctx =
+  (* answers are small relative to collections: 1/4 vs 3/4 of the budget *)
+  let budget = max 0 config.cache_budget in
+  {
+    service_ctx = ctx;
+    service_config = config;
+    pool = Pool.create ~domains:config.domains ~queue_capacity:config.queue_capacity ();
+    lock = Mutex.create ();
+    answers = Lru.create ~budget:(budget / 4);
+    sides = Lru.create ~budget:(budget - (budget / 4));
+    service_metrics = Metrics.create ();
+  }
+
+let ctx t = t.service_ctx
+let config t = t.service_config
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+      Mutex.unlock t.lock;
+      v
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+
+(* ------------------------------------------------------------------ *)
+(* weights (approximate bytes, for the cache budget) *)
+
+let itemset_weight s = 24 + (8 * Itemset.cardinal s)
+let entry_weight (e : Frequent.entry) = 32 + itemset_weight e.Frequent.set
+
+let frequent_weight freq =
+  Frequent.fold (fun acc e -> acc + entry_weight e) 128 freq
+
+let answer_weight a =
+  List.fold_left (fun acc (s, p) -> acc + 16 + entry_weight s + entry_weight p) 256 a.pairs
+
+(* ------------------------------------------------------------------ *)
+(* deadline handling *)
+
+exception Expired
+
+let check_deadline = function
+  | Some d when Unix.gettimeofday () > d -> raise Expired
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* side resolution: cached collection via subsumption, or cold CAP mining *)
+
+type side_spec = {
+  sp_info : Item_info.t;
+  sp_minsup : int;
+  sp_max_level : int option;
+  sp_constraints : One_var.t list;
+}
+
+let side_spec_of (ctx : Exec.ctx) (q : Query.t) = function
+  | `S ->
+      {
+        sp_info = ctx.Exec.s_info;
+        sp_minsup = Tx_db.absolute_support ctx.Exec.db q.Query.s_minsup;
+        sp_max_level = q.Query.max_level;
+        sp_constraints = q.Query.s_constraints;
+      }
+  | `T ->
+      {
+        sp_info = ctx.Exec.t_info;
+        sp_minsup = Tx_db.absolute_support ctx.Exec.db q.Query.t_minsup;
+        sp_max_level = q.Query.max_level;
+        sp_constraints = q.Query.t_constraints;
+      }
+
+(* cached [entry] answers [spec]: same attribute table, mined at least as
+   deep and at most as high a threshold, under an entailed constraint set *)
+let entry_answers entry spec =
+  entry.se_info_id = Fingerprint.info_id spec.sp_info
+  && entry.se_minsup <= spec.sp_minsup
+  && (match entry.se_max_level with
+     | None -> true
+     | Some cached_cap -> (
+         match spec.sp_max_level with
+         | Some requested_cap -> cached_cap >= requested_cap
+         | None -> false))
+  && Entail.subsumes ~cached:entry.se_constraints ~requested:spec.sp_constraints
+
+let find_subsuming t spec =
+  locked t (fun () ->
+      let best =
+        Lru.fold
+          (fun best ~key ~value ->
+            if not (entry_answers value spec) then best
+            else
+              match best with
+              | Some (_, b) when Frequent.n_sets b.se_frequent <= Frequent.n_sets value.se_frequent
+                -> best
+              | _ -> Some (key, value))
+          None t.sides
+      in
+      match best with
+      | None -> None
+      | Some (key, entry) ->
+          ignore (Lru.find t.sides key : side_entry option) (* bump recency *);
+          Metrics.record_subsumption_hit t.service_metrics;
+          Some entry)
+
+(* the mined collection may exceed the request (lower threshold, weaker
+   constraints, deferred atoms): filter down to exactly the valid sets,
+   counting every 1-var evaluation as a constraint check *)
+let filter_valid spec freq checks =
+  let out = ref [] in
+  Frequent.iter
+    (fun e ->
+      let ok =
+        e.Frequent.support >= spec.sp_minsup
+        && (match spec.sp_max_level with
+           | Some cap -> Itemset.cardinal e.Frequent.set <= cap
+           | None -> true)
+        && List.for_all
+             (fun c ->
+               incr checks;
+               One_var.eval spec.sp_info c e.Frequent.set)
+             spec.sp_constraints
+      in
+      if ok then out := e :: !out)
+    freq;
+  Array.of_list (List.rev !out)
+
+(* drive the CAP state machine one level at a time so the deadline is
+   honoured between scans *)
+let mine_side ~deadline (ctx : Exec.ctx) spec io =
+  let bundle = Bundle.compile ~nonneg:ctx.Exec.nonneg spec.sp_info spec.sp_constraints in
+  let state =
+    Cap.create ctx.Exec.db spec.sp_info ?max_level:spec.sp_max_level
+      ~minsup:spec.sp_minsup bundle
+  in
+  let rec loop () =
+    check_deadline deadline;
+    match Cap.next_candidates state with
+    | None -> ()
+    | Some cands ->
+        let counts = Counting.count_level ctx.Exec.db io (Cap.counters state) cands in
+        let (_ : Frequent.entry array) = Cap.absorb state counts in
+        loop ()
+  in
+  loop ();
+  (Cap.result state, Cap.counters state)
+
+let resolve_side t ~deadline spec io counters checks =
+  check_deadline deadline;
+  match find_subsuming t spec with
+  | Some entry -> (filter_valid spec entry.se_frequent checks, true)
+  | None ->
+      let freq, side_counters = mine_side ~deadline t.service_ctx spec io in
+      Counters.merge counters side_counters;
+      let entry =
+        {
+          se_info_id = Fingerprint.info_id spec.sp_info;
+          se_minsup = spec.sp_minsup;
+          se_max_level = spec.sp_max_level;
+          se_constraints = spec.sp_constraints;
+          se_frequent = freq;
+        }
+      in
+      let key =
+        Fingerprint.side_key ~info:spec.sp_info ~minsup_abs:spec.sp_minsup
+          ~max_level:spec.sp_max_level spec.sp_constraints
+      in
+      locked t (fun () ->
+          Metrics.record_side_mined t.service_metrics;
+          ignore (Lru.insert t.sides key ~weight:(frequent_weight freq) entry : bool));
+      (filter_valid spec freq checks, false)
+
+(* ------------------------------------------------------------------ *)
+(* one query, in a worker domain *)
+
+let execute t ~deadline (q : Query.t) =
+  let t0 = Unix.gettimeofday () in
+  let ctx = t.service_ctx in
+  let rw = Rewrite.simplify q in
+  let q = rw.Rewrite.query in
+  let key = Fingerprint.query_key ctx q in
+  let cached =
+    locked t (fun () ->
+        match Lru.find t.answers key with
+        | Some a ->
+            Metrics.record_answer_hit t.service_metrics;
+            Some a
+        | None ->
+            Metrics.record_answer_miss t.service_metrics;
+            None)
+  in
+  match cached with
+  | Some a ->
+      let latency = Unix.gettimeofday () -. t0 in
+      locked t (fun () ->
+          Metrics.record_query t.service_metrics ~latency ~support_counted:0
+            ~constraint_checks:0 ~scans:0 ~pages_read:0);
+      {
+        a with
+        served_from = Answer_cache;
+        support_counted = 0;
+        constraint_checks = 0;
+        scans = 0;
+        pages_read = 0;
+        latency_seconds = latency;
+      }
+  | None ->
+      let io = Io_stats.create () in
+      let counters = Counters.create () in
+      let checks = ref 0 in
+      let answer =
+        if rw.Rewrite.s_unsat || rw.Rewrite.t_unsat then
+          {
+            pairs = [];
+            n_pairs = 0;
+            served_from = Cold;
+            support_counted = 0;
+            constraint_checks = 0;
+            scans = 0;
+            pages_read = 0;
+            latency_seconds = 0.;
+            notes = rw.Rewrite.notes @ [ "query is unsatisfiable; nothing was mined" ];
+          }
+        else begin
+          let valid_s, s_cached =
+            resolve_side t ~deadline (side_spec_of ctx q `S) io counters checks
+          in
+          let valid_t, t_cached =
+            resolve_side t ~deadline (side_spec_of ctx q `T) io counters checks
+          in
+          check_deadline deadline;
+          let collected = ref [] in
+          let pair_stats =
+            Pairs.form ~s_info:ctx.Exec.s_info ~t_info:ctx.Exec.t_info ~valid_s ~valid_t
+              ~two_var:q.Query.two_var
+              ~on_pair:(fun es et -> collected := (es, et) :: !collected)
+              ()
+          in
+          let served_from = if s_cached && t_cached then Subsumed else Cold in
+          {
+            pairs = List.rev !collected;
+            n_pairs = pair_stats.Pairs.n_pairs;
+            served_from;
+            support_counted = Counters.support_counted counters;
+            constraint_checks = !checks + pair_stats.Pairs.checks;
+            scans = Io_stats.scans io;
+            pages_read = Io_stats.pages_read io;
+            latency_seconds = 0.;
+            notes = rw.Rewrite.notes;
+          }
+        end
+      in
+      let latency = Unix.gettimeofday () -. t0 in
+      let answer = { answer with latency_seconds = latency } in
+      locked t (fun () ->
+          ignore (Lru.insert t.answers key ~weight:(answer_weight answer) answer : bool);
+          Metrics.record_query t.service_metrics ~latency
+            ~support_counted:answer.support_counted
+            ~constraint_checks:answer.constraint_checks ~scans:answer.scans
+            ~pages_read:answer.pages_read);
+      Log.debug (fun m ->
+          m "served %s: %d pairs, %d counted (%s)" key answer.n_pairs
+            answer.support_counted
+            (served_from_name answer.served_from));
+      answer
+
+let guarded t ~deadline q () =
+  match execute t ~deadline q with
+  | a -> Ok a
+  | exception Expired ->
+      locked t (fun () ->
+          Metrics.record_deadline_expired t.service_metrics;
+          Metrics.record_query t.service_metrics
+            ~latency:(0. (* not meaningfully attributable *))
+            ~support_counted:0 ~constraint_checks:0 ~scans:0 ~pages_read:0);
+      Error Deadline_exceeded
+  | exception e ->
+      locked t (fun () -> Metrics.record_failure t.service_metrics);
+      Error (Failed (Printexc.to_string e))
+
+let absolute_deadline t deadline =
+  match (deadline, t.service_config.default_deadline) with
+  | Some d, _ | None, Some d -> Some (Unix.gettimeofday () +. d)
+  | None, None -> None
+
+let submit t ?deadline q =
+  let deadline = absolute_deadline t deadline in
+  locked t (fun () ->
+      Metrics.observe_queue_depth t.service_metrics (Pool.queue_depth t.pool));
+  match Pool.submit t.pool (guarded t ~deadline q) with
+  | Some p -> Ok p
+  | None ->
+      locked t (fun () -> Metrics.record_rejected t.service_metrics);
+      Error Rejected
+
+let await ticket = Pool.await ticket
+
+let run t ?deadline q =
+  match submit t ?deadline q with
+  | Ok ticket -> await ticket
+  | Error Rejected ->
+      (* sync caller: execute inline rather than bouncing *)
+      guarded t ~deadline:(absolute_deadline t deadline) q ()
+  | Error e -> Error e
+
+let run_many t ?deadline qs =
+  (* submit everything, draining the oldest ticket whenever admission is
+     refused, so arbitrarily long batches respect the bounded queue *)
+  let results = ref [] (* (index, result) *) in
+  let pending = Queue.create () (* (index, ticket) in submission order *) in
+  let drain_one () =
+    match Queue.take_opt pending with
+    | None -> ()
+    | Some (i, ticket) -> results := (i, await ticket) :: !results
+  in
+  List.iteri
+    (fun i q ->
+      let rec try_submit () =
+        match submit t ?deadline q with
+        | Ok ticket -> Queue.add (i, ticket) pending
+        | Error Rejected when Queue.length pending > 0 ->
+            drain_one ();
+            try_submit ()
+        | Error e -> results := (i, Error e) :: !results
+      in
+      try_submit ())
+    qs;
+  while Queue.length pending > 0 do
+    drain_one ()
+  done;
+  List.map snd (List.sort (fun (i, _) (j, _) -> compare i j) !results)
+
+let metrics t =
+  locked t (fun () ->
+      Metrics.snapshot t.service_metrics
+        ~answer_entries:(Lru.length t.answers)
+        ~answer_bytes:(Lru.weight t.answers)
+        ~side_entries:(Lru.length t.sides)
+        ~side_bytes:(Lru.weight t.sides)
+        ~evictions:(Lru.evictions t.answers + Lru.evictions t.sides))
+
+let metrics_table t = Metrics.table (metrics t)
+
+let cache_clear t =
+  locked t (fun () ->
+      Lru.clear t.answers;
+      Lru.clear t.sides)
+
+let shutdown t = Pool.shutdown t.pool

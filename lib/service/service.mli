@@ -1,0 +1,109 @@
+(** A concurrent CFQ query service with cross-query result caching.
+
+    The service sits above {!Cfq_core.Exec}'s machinery and serves many
+    CFQs against one database, exploiting the exploratory-session workload
+    the paper targets (Section 1): users refine a query repeatedly, so
+    consecutive queries overlap heavily.  Three levels of reuse apply, in
+    order:
+
+    {ol
+    {- {e answer cache} — a query whose canonical {!Fingerprint} was served
+       before returns its pairs verbatim, zero mining;}
+    {- {e subsumption reuse} — a side whose frequent collection was mined
+       at support ≤ the requested threshold under 1-var constraints entailed
+       by the requested ones ({!Entail.subsumes}) is answered by filtering
+       that cached collection and re-forming pairs, no mining (the reuse
+       rule of Goethals & Van den Bussche, {e Interactive Constrained
+       Association Rule Mining});}
+    {- {e cold mining} — remaining sides run the CAP engine, and the mined
+       collections enter the cache for later queries.}}
+
+    Cold sides mine with 1-var CAP pruning only (the {!Plan.Cap_one_var}
+    discipline): a collection pruned by 2-var machinery would be specific
+    to one query and useless for reuse.  2-var constraints are enforced at
+    pair formation, so answers equal {!Exec.run}'s under every strategy.
+
+    Queries run on a fixed pool of worker domains with a bounded admission
+    queue and a per-query wall-clock deadline, checked between mining
+    levels (cooperative cancellation).  All shared state (caches, metrics)
+    is guarded by one service lock; the mining itself runs lock-free on
+    immutable inputs. *)
+
+open Cfq_mining
+open Cfq_core
+
+type config = {
+  domains : int;  (** worker domains (≥ 1) *)
+  queue_capacity : int;  (** max queries waiting for a worker *)
+  cache_budget : int;  (** total cache memory budget, approximate bytes *)
+  default_deadline : float option;  (** seconds, when [submit] gives none *)
+}
+
+(** 2 domains, queue 1024, 64 MiB budget, no deadline. *)
+val default_config : config
+
+type served_from =
+  | Cold  (** at least one side ran the mining engine *)
+  | Answer_cache  (** verbatim answer-cache hit *)
+  | Subsumed  (** both sides filtered from cached collections *)
+
+val served_from_name : served_from -> string
+
+type answer = {
+  pairs : (Frequent.entry * Frequent.entry) list;
+  n_pairs : int;
+  served_from : served_from;
+  support_counted : int;  (** sets support-counted {e for this query} *)
+  constraint_checks : int;  (** 1-var validations + 2-var pair checks *)
+  scans : int;
+  pages_read : int;
+  latency_seconds : float;
+  notes : string list;
+}
+
+type error =
+  | Rejected  (** admission queue full *)
+  | Deadline_exceeded
+  | Failed of string
+
+val error_to_string : error -> string
+
+type t
+
+(** [create ?config ctx] starts the worker domains.  The service owns no
+    I/O: [ctx]'s database and tables are shared, immutable. *)
+val create : ?config:config -> Exec.ctx -> t
+
+val ctx : t -> Exec.ctx
+val config : t -> config
+
+type ticket
+
+(** [submit t ?deadline q] enqueues [q]; [Error Rejected] when the
+    admission queue is full.  [deadline] is a wall-clock budget in seconds
+    from now (overrides [config.default_deadline]); a query still queued or
+    between mining levels past its deadline completes with
+    [Error Deadline_exceeded]. *)
+val submit : t -> ?deadline:float -> Query.t -> (ticket, error) result
+
+(** Blocks until the submitted query finishes. *)
+val await : ticket -> (answer, error) result
+
+(** [run t ?deadline q] is submit-and-await, executing inline in the
+    calling domain when the queue is full (sync callers always get an
+    answer). *)
+val run : t -> ?deadline:float -> Query.t -> (answer, error) result
+
+(** [run_many t qs] submits everything (awaiting oldest tickets when the
+    queue fills) and returns the answers in input order. *)
+val run_many : t -> ?deadline:float -> Query.t list -> (answer, error) result list
+
+val metrics : t -> Metrics.snapshot
+val metrics_table : t -> Cfq_report.Table.t
+
+(** Drop both caches (metrics keep accumulating). *)
+val cache_clear : t -> unit
+
+(** Finish running work and join the worker domains.  Idempotent; the
+    caches survive, so a shut-down service can still [run] inline. *)
+val shutdown : t -> unit

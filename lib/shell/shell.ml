@@ -9,6 +9,7 @@ type t = {
   mutable min_conf : float;
   mutable last : Exec.result option;
   mutable last_rules : Cfq_rules.Rule.t list;
+  mutable service : Cfq_service.Service.t option;
 }
 
 type response = {
@@ -17,7 +18,32 @@ type response = {
 }
 
 let create ?ctx () =
-  { ctx; strategy = Plan.Optimized; min_conf = 0.5; last = None; last_rules = [] }
+  {
+    ctx;
+    strategy = Plan.Optimized;
+    min_conf = 0.5;
+    last = None;
+    last_rules = [];
+    service = None;
+  }
+
+(* the serving layer is bound to one database: (re)create it lazily and
+   retire it when the session attaches a different context *)
+let drop_service t =
+  match t.service with
+  | None -> ()
+  | Some s ->
+      Cfq_service.Service.shutdown s;
+      t.service <- None
+
+let service_for t ctx =
+  match t.service with
+  | Some s when Cfq_service.Service.ctx s == ctx -> s
+  | _ ->
+      drop_service t;
+      let s = Cfq_service.Service.create ctx in
+      t.service <- Some s;
+      s
 
 let say fmt = Format.kasprintf (fun output -> { output; quit = false }) fmt
 
@@ -37,6 +63,8 @@ let help_text =
       "  export pairs <file.csv>        write the last run's pairs to CSV";
       "  export rules <file.csv>        write the last rules to CSV";
       "  profile                        lattice profile of the last run";
+      "  serve <queries.txt>            run a batch file through the caching service";
+      "  cachestats                     service cache / queue / ccc metrics";
       "  stats                          database statistics";
       "  help | quit";
     ]
@@ -88,6 +116,7 @@ let do_load t path info_path =
       | Ok info ->
           t.ctx <- Some (Exec.context db info);
           t.last <- None;
+          drop_service t;
           say "loaded %d transactions over %d items" (Tx_db.size db) universe_size)
 
 let do_gen t n_tx n_items seed =
@@ -98,6 +127,7 @@ let do_gen t n_tx n_items seed =
   let types = Array.init n_items (fun _ -> float_of_int (Splitmix.int rng 20)) in
   t.ctx <- Some (Exec.context db (Item_gen.item_info ~prices ~types ()));
   t.last <- None;
+  drop_service t;
   say "generated %d transactions over %d items (avg length %.1f; Price, Type attributes)"
     (Tx_db.size db) n_items (Tx_db.avg_tx_len db)
 
@@ -235,5 +265,17 @@ let eval t line =
             (Cfq_report.Profile.of_frequent r.Exec.s.Exec.frequent)
             Cfq_report.Profile.pp
             (Cfq_report.Profile.of_frequent r.Exec.t.Exec.frequent))
+  | "serve" ->
+      if rest = "" then say "usage: serve <queries.txt>"
+      else
+        with_ctx t (fun ctx ->
+            match Cfq_service.Batch.run_file (service_for t ctx) rest with
+            | Ok report -> say "%s" report
+            | Error msg -> say "serve failed: %s" msg)
+  | "cachestats" ->
+      with_ctx t (fun ctx ->
+          say "%s"
+            (Cfq_report.Table.render
+               (Cfq_service.Service.metrics_table (service_for t ctx))))
   | "stats" -> with_ctx t do_stats
   | other -> say "unknown command %S; try 'help'" other

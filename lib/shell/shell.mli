@@ -19,6 +19,8 @@
     run <query>                    execute and summarise
     pairs <n>                      show n answer pairs of the last run
     rules <query>                  two-phase run: rules with metrics
+    serve <queries.txt>            run a batch file through the caching service
+    cachestats                     service cache / queue / ccc metrics
     stats                          database statistics
     help | quit
     v} *)

@@ -1,0 +1,322 @@
+(* The query service: LRU cache mechanics, constraint entailment,
+   fingerprint canonicalisation, and the three serving paths (cold,
+   answer-cache, subsumption) against brute-force and Exec references. *)
+
+open Cfq_itembase
+open Cfq_constr
+open Cfq_mining
+open Cfq_core
+open Cfq_service
+
+let price = Helpers.price
+let typ = Helpers.typ
+
+(* ------------------------------------------------------------------ *)
+(* Lru *)
+
+let lru_evicts_at_budget () =
+  let c = Lru.create ~budget:10 in
+  Alcotest.(check bool) "a fits" true (Lru.insert c "a" ~weight:4 1);
+  Alcotest.(check bool) "b fits" true (Lru.insert c "b" ~weight:4 2);
+  Alcotest.(check bool) "c fits, evicting" true (Lru.insert c "c" ~weight:4 3);
+  Alcotest.(check int) "two entries survive" 2 (Lru.length c);
+  Alcotest.(check int) "weight back under budget" 8 (Lru.weight c);
+  Alcotest.(check bool) "oldest gone" false (Lru.mem c "a");
+  Alcotest.(check bool) "newest present" true (Lru.mem c "c");
+  Alcotest.(check int) "one eviction" 1 (Lru.evictions c)
+
+let lru_find_bumps_recency () =
+  let c = Lru.create ~budget:10 in
+  ignore (Lru.insert c "a" ~weight:4 1 : bool);
+  ignore (Lru.insert c "b" ~weight:4 2 : bool);
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find c "a");
+  ignore (Lru.insert c "c" ~weight:4 3 : bool);
+  (* "a" was touched after "b", so "b" is the LRU victim *)
+  Alcotest.(check bool) "bumped entry survives" true (Lru.mem c "a");
+  Alcotest.(check bool) "stale entry evicted" false (Lru.mem c "b")
+
+let lru_oversized_refused () =
+  let c = Lru.create ~budget:10 in
+  Alcotest.(check bool) "refused" false (Lru.insert c "x" ~weight:11 1);
+  Alcotest.(check int) "nothing stored" 0 (Lru.length c);
+  ignore (Lru.insert c "a" ~weight:4 1 : bool);
+  (* re-binding a live key to an oversized value drops the stale binding *)
+  Alcotest.(check bool) "refused again" false (Lru.insert c "a" ~weight:11 2);
+  Alcotest.(check bool) "stale binding dropped" false (Lru.mem c "a");
+  Alcotest.(check int) "empty" 0 (Lru.weight c)
+
+let lru_replace_updates_weight () =
+  let c = Lru.create ~budget:10 in
+  ignore (Lru.insert c "a" ~weight:4 1 : bool);
+  ignore (Lru.insert c "a" ~weight:6 2 : bool);
+  Alcotest.(check int) "one entry" 1 (Lru.length c);
+  Alcotest.(check int) "new weight" 6 (Lru.weight c);
+  Alcotest.(check (option int)) "new value" (Some 2) (Lru.find c "a")
+
+let lru_fold_mru_first () =
+  let c = Lru.create ~budget:100 in
+  List.iter (fun k -> ignore (Lru.insert c k ~weight:1 0 : bool)) [ "a"; "b"; "c" ];
+  let keys () = List.rev (Lru.fold (fun acc ~key ~value:_ -> key :: acc) [] c) in
+  Alcotest.(check (list string)) "insertion recency" [ "c"; "b"; "a" ] (keys ());
+  ignore (Lru.find c "a" : int option);
+  Alcotest.(check (list string)) "after bump" [ "a"; "c"; "b" ] (keys ())
+
+(* ------------------------------------------------------------------ *)
+(* Entail *)
+
+let check_implies msg expected c1 c2 =
+  Alcotest.(check bool) msg expected (Entail.implies c1 c2)
+
+let entail_bounds () =
+  let minp op k = One_var.Agg_cmp (Agg.Min, price, op, k) in
+  let sump op k = One_var.Agg_cmp (Agg.Sum, price, op, k) in
+  check_implies "min >= 50 -> min >= 40" true (minp Cmp.Ge 50.) (minp Cmp.Ge 40.);
+  check_implies "min >= 40 -/-> min >= 50" false (minp Cmp.Ge 40.) (minp Cmp.Ge 50.);
+  check_implies "sum <= 30 -> sum <= 50" true (sump Cmp.Le 30.) (sump Cmp.Le 50.);
+  check_implies "sum <= 50 -/-> sum <= 30" false (sump Cmp.Le 50.) (sump Cmp.Le 30.);
+  check_implies "eq -> le" true (minp Cmp.Eq 40.) (minp Cmp.Le 40.);
+  check_implies "gt -> ge" true (minp Cmp.Gt 40.) (minp Cmp.Ge 40.);
+  check_implies "min bound says nothing about max" false (minp Cmp.Ge 50.)
+    (One_var.Agg_cmp (Agg.Max, price, Cmp.Ge, 40.));
+  check_implies "card <= 2 -> card <= 3" true
+    (One_var.Card_cmp (Cmp.Le, 2))
+    (One_var.Card_cmp (Cmp.Le, 3))
+
+let entail_value_sets () =
+  let vs l = Value_set.of_list l in
+  check_implies "subset of smaller -> subset of larger" true
+    (One_var.Dom_subset (typ, vs [ 1. ]))
+    (One_var.Dom_subset (typ, vs [ 1.; 2. ]));
+  check_implies "subset of larger -/-> subset of smaller" false
+    (One_var.Dom_subset (typ, vs [ 1.; 2. ]))
+    (One_var.Dom_subset (typ, vs [ 1. ]));
+  check_implies "superset of larger -> superset of smaller" true
+    (One_var.Dom_superset (typ, vs [ 1.; 2. ]))
+    (One_var.Dom_superset (typ, vs [ 2. ]));
+  check_implies "disjoint from larger -> disjoint from smaller" true
+    (One_var.Dom_disjoint (typ, vs [ 1.; 2. ]))
+    (One_var.Dom_disjoint (typ, vs [ 1. ]))
+
+let entail_conjunction () =
+  let minp k = One_var.Agg_cmp (Agg.Min, price, Cmp.Ge, k) in
+  Alcotest.(check bool) "conjunction entails a weaker atom" true
+    (Entail.conj_implies [ minp 50.; One_var.Card_cmp (Cmp.Le, 3) ] (minp 40.));
+  Alcotest.(check bool) "nonempty is trivially entailed" true
+    (Entail.conj_implies [] One_var.Nonempty);
+  Alcotest.(check bool) "tightened request reuses broad cache" true
+    (Entail.subsumes ~cached:[ minp 40. ]
+       ~requested:[ minp 50.; One_var.Card_cmp (Cmp.Le, 3) ]);
+  Alcotest.(check bool) "broadened request cannot" false
+    (Entail.subsumes ~cached:[ minp 50. ] ~requested:[ minp 40. ])
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint *)
+
+let fixture () =
+  let txs = List.init 40 (fun i -> [ i mod 6; ((i * 2) + 1) mod 6; ((i * 3) + 2) mod 6 ]) in
+  let db = Helpers.db_of_lists txs in
+  let info = Helpers.small_info 6 in
+  Exec.context db info
+
+let fingerprint_canonical () =
+  let ctx = fixture () in
+  let c1 = One_var.Agg_cmp (Agg.Min, price, Cmp.Ge, 20.) in
+  let c2 = One_var.Card_cmp (Cmp.Le, 3) in
+  let q cs = Query.make ~s_minsup:0.1 ~t_minsup:0.1 ~s_constraints:cs () in
+  Alcotest.(check string) "conjunction order is irrelevant"
+    (Fingerprint.query_key ctx (q [ c1; c2 ]))
+    (Fingerprint.query_key ctx (q [ c2; c1 ]));
+  Alcotest.(check bool) "threshold is part of the key" true
+    (Fingerprint.query_key ctx (Query.make ~s_minsup:0.1 ())
+    <> Fingerprint.query_key ctx (Query.make ~s_minsup:0.2 ()))
+
+let fingerprint_physical_identity () =
+  let db1 = Helpers.db_of_lists [ [ 0; 1 ]; [ 1; 2 ] ] in
+  let db2 = Helpers.db_of_lists [ [ 0; 1 ]; [ 1; 2 ] ] in
+  Alcotest.(check int) "same value, same id" (Fingerprint.db_id db1)
+    (Fingerprint.db_id db1);
+  Alcotest.(check bool) "distinct loads never alias" true
+    (Fingerprint.db_id db1 <> Fingerprint.db_id db2)
+
+(* ------------------------------------------------------------------ *)
+(* Service paths *)
+
+let set_pairs answer_pairs =
+  Helpers.sorted_pairs
+    (List.map (fun (s, t) -> (s.Frequent.set, t.Frequent.set)) answer_pairs)
+
+let pairs_str l =
+  String.concat "; "
+    (List.map (fun (s, t) -> Itemset.to_string s ^ "," ^ Itemset.to_string t) l)
+
+let expect_ok = function
+  | Ok a -> a
+  | Error e -> Alcotest.failf "service error: %s" (Service.error_to_string e)
+
+let check_against_exec ctx service msg q =
+  let cold = Exec.run ~collect_pairs:true ctx q in
+  let a = expect_ok (Service.run service q) in
+  Alcotest.(check string) msg
+    (pairs_str (Helpers.sorted_pairs (List.map (fun (s, t) -> (s.Frequent.set, t.Frequent.set)) cold.Exec.pairs)))
+    (pairs_str (set_pairs a.Service.pairs));
+  a
+
+let broad_query =
+  Query.make ~s_minsup:0.1 ~t_minsup:0.1
+    ~s_constraints:[ One_var.Agg_cmp (Agg.Min, price, Cmp.Ge, 20.) ]
+    ~t_constraints:[ One_var.Agg_cmp (Agg.Max, price, Cmp.Le, 60.) ]
+    ~two_var:[ Two_var.Set2 (typ, Two_var.Intersect, typ) ]
+    ()
+
+let service_answer_cache_hit () =
+  let ctx = fixture () in
+  let service = Service.create ~config:{ Service.default_config with domains = 1 } ctx in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  let r1 = check_against_exec ctx service "cold run matches Exec" broad_query in
+  Alcotest.(check string) "first run is cold" "cold"
+    (Service.served_from_name r1.Service.served_from);
+  let r2 = expect_ok (Service.run service broad_query) in
+  Alcotest.(check string) "second run hits the answer cache" "answer-cache"
+    (Service.served_from_name r2.Service.served_from);
+  Alcotest.(check string) "verbatim pairs"
+    (pairs_str (set_pairs r1.Service.pairs))
+    (pairs_str (set_pairs r2.Service.pairs));
+  Alcotest.(check int) "no counting on a hit" 0 r2.Service.support_counted;
+  Alcotest.(check int) "no checking on a hit" 0 r2.Service.constraint_checks;
+  let m = Service.metrics service in
+  Alcotest.(check int) "metrics: one hit" 1 m.Metrics.answer_hits;
+  Alcotest.(check int) "metrics: both queries served" 2 m.Metrics.queries
+
+let service_subsumption_reuse () =
+  let ctx = fixture () in
+  let service = Service.create ~config:{ Service.default_config with domains = 1 } ctx in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  ignore (check_against_exec ctx service "broad query matches Exec" broad_query : Service.answer);
+  (* the analyst tightens: higher thresholds, strictly stronger constraints *)
+  let tightened =
+    Query.make ~s_minsup:0.15 ~t_minsup:0.2
+      ~s_constraints:
+        [ One_var.Agg_cmp (Agg.Min, price, Cmp.Ge, 30.); One_var.Card_cmp (Cmp.Le, 3) ]
+      ~t_constraints:[ One_var.Agg_cmp (Agg.Max, price, Cmp.Le, 50.) ]
+      ~two_var:[ Two_var.Set2 (typ, Two_var.Intersect, typ) ]
+      ()
+  in
+  let r = check_against_exec ctx service "tightened query matches Exec" tightened in
+  Alcotest.(check string) "served by filtering cached collections" "subsumed"
+    (Service.served_from_name r.Service.served_from);
+  Alcotest.(check int) "no mining on a subsumed query" 0 r.Service.support_counted;
+  Alcotest.(check int) "no scans either" 0 r.Service.scans;
+  let m = Service.metrics service in
+  Alcotest.(check bool) "metrics saw subsumption hits" true (m.Metrics.subsumption_hits > 0)
+
+let service_deadline_clean_error () =
+  let ctx = fixture () in
+  let service = Service.create ~config:{ Service.default_config with domains = 1 } ctx in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  (match Service.run service ~deadline:(-1.) broad_query with
+  | Error Service.Deadline_exceeded -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Service.error_to_string e)
+  | Ok _ -> Alcotest.fail "expired query produced an answer");
+  let m = Service.metrics service in
+  Alcotest.(check int) "metrics: one expiry" 1 m.Metrics.deadline_expired;
+  Alcotest.(check int) "expired query cached nothing" 0 m.Metrics.answer_entries;
+  (* the service is unharmed: the same query without a deadline succeeds *)
+  ignore (check_against_exec ctx service "after expiry, still correct" broad_query : Service.answer)
+
+let service_eviction_at_budget () =
+  let ctx = fixture () in
+  (* depth-1 collections are a few hundred bytes each; a ~2 KiB budget holds
+     only a couple, so a descending-threshold sweep (no reuse possible: every
+     cached collection sits above the requested threshold) must evict *)
+  let config = { Service.default_config with domains = 1; cache_budget = 2048 } in
+  let service = Service.create ~config ctx in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  let thresholds = [ 0.9; 0.7; 0.5; 0.3; 0.2; 0.15; 0.1; 0.05 ] in
+  List.iter
+    (fun minsup ->
+      let q = Query.make ~s_minsup:minsup ~t_minsup:minsup ~max_level:1 () in
+      ignore
+        (check_against_exec ctx service
+           (Printf.sprintf "correct under eviction at minsup %g" minsup)
+           q
+          : Service.answer))
+    thresholds;
+  let m = Service.metrics service in
+  let side_budget = config.Service.cache_budget - (config.Service.cache_budget / 4) in
+  Alcotest.(check bool) "evictions happened" true (m.Metrics.evictions > 0);
+  Alcotest.(check bool) "side cache within budget" true (m.Metrics.side_bytes <= side_budget);
+  Alcotest.(check bool) "answer cache within budget" true
+    (m.Metrics.answer_bytes <= config.Service.cache_budget / 4)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: a (possibly cache-served) refinement returns exactly the
+   brute-force answer *)
+
+let gen_refinement =
+  QCheck2.Gen.(
+    let* n_db = Helpers.gen_db in
+    let* q1 = Helpers.gen_query in
+    let* extra = Helpers.gen_one_var in
+    let* bump = int_range 0 10 in
+    return (n_db, q1, extra, bump))
+
+let print_refinement ((n, db), q1, extra, bump) =
+  Printf.sprintf "%s q1=%s extra=%s bump=%d" (Helpers.print_db (n, db))
+    (Query.to_string q1) (One_var.to_string extra) bump
+
+let prop_refinement ((n, db), q1, extra, bump) =
+  let info = Helpers.small_info n in
+  let ctx = Exec.context db info in
+  (* q2 refines q1: threshold no lower, one more S-side atom — the shape
+     subsumption reuse targets, though reuse itself is never assumed *)
+  let q2 =
+    {
+      q1 with
+      Query.s_minsup = min 1. (q1.Query.s_minsup +. (float_of_int bump /. 100.));
+      s_constraints = extra :: q1.Query.s_constraints;
+    }
+  in
+  let service = Service.create ~config:{ Service.default_config with domains = 1 } ctx in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  let check_one label q =
+    let expected =
+      Helpers.sorted_pairs (Helpers.brute_answer db ~n ~s_info:info ~t_info:info q)
+    in
+    match Service.run service q with
+    | Error e -> QCheck2.Test.fail_reportf "%s: %s" label (Service.error_to_string e)
+    | Ok a ->
+        let got = set_pairs a.Service.pairs in
+        if got <> expected then
+          QCheck2.Test.fail_reportf "%s served %s: got [%s], brute [%s]" label
+            (Service.served_from_name a.Service.served_from)
+            (pairs_str got) (pairs_str expected);
+        (* a query served purely from cache must not have counted anything *)
+        (match a.Service.served_from with
+        | Service.Answer_cache | Service.Subsumed ->
+            if a.Service.support_counted <> 0 then
+              QCheck2.Test.fail_reportf "%s: cache-served but counted %d" label
+                a.Service.support_counted
+        | Service.Cold -> ());
+        true
+  in
+  check_one "q1" q1 && check_one "q2 (refinement)" q2
+
+let suite =
+  [
+    Alcotest.test_case "lru: evicts at budget" `Quick lru_evicts_at_budget;
+    Alcotest.test_case "lru: find bumps recency" `Quick lru_find_bumps_recency;
+    Alcotest.test_case "lru: oversized entry refused" `Quick lru_oversized_refused;
+    Alcotest.test_case "lru: replace updates weight" `Quick lru_replace_updates_weight;
+    Alcotest.test_case "lru: fold is mru-first" `Quick lru_fold_mru_first;
+    Alcotest.test_case "entail: aggregate and card bounds" `Quick entail_bounds;
+    Alcotest.test_case "entail: value-set monotonicity" `Quick entail_value_sets;
+    Alcotest.test_case "entail: conjunction subsumption" `Quick entail_conjunction;
+    Alcotest.test_case "fingerprint: canonical constraint order" `Quick fingerprint_canonical;
+    Alcotest.test_case "fingerprint: physical identity" `Quick fingerprint_physical_identity;
+    Alcotest.test_case "service: answer-cache hit" `Quick service_answer_cache_hit;
+    Alcotest.test_case "service: subsumption reuse" `Quick service_subsumption_reuse;
+    Alcotest.test_case "service: deadline is a clean error" `Quick service_deadline_clean_error;
+    Alcotest.test_case "service: eviction at the memory budget" `Quick service_eviction_at_budget;
+    Helpers.qtest ~count:60 "service: refinement equals brute force" gen_refinement
+      print_refinement prop_refinement;
+  ]

@@ -1,0 +1,130 @@
+(* Concurrent serving: batches over the worker pool and submissions from
+   multiple client domains must produce exactly the sequential answers, and
+   the per-query counters must aggregate consistently (each query observes
+   its own cost, not a global accumulator). *)
+
+open Cfq_itembase
+open Cfq_constr
+open Cfq_mining
+open Cfq_core
+open Cfq_service
+
+let price = Helpers.price
+let typ = Helpers.typ
+
+let fixture () =
+  let txs =
+    List.init 120 (fun i ->
+        [ i mod 8; ((i * 3) + 1) mod 8; ((i * 5) + 2) mod 8; ((i * 7) + 3) mod 8 ])
+  in
+  Exec.context (Helpers.db_of_lists txs) (Helpers.small_info 8)
+
+(* a small session: overlapping refinements plus exact repeats, so the
+   concurrent run exercises cold, subsumed and answer-cache paths at once *)
+let queries =
+  let q ?(s_cs = []) ?(t_cs = []) ?(two = []) s_minsup t_minsup =
+    Query.make ~s_minsup ~t_minsup ~s_constraints:s_cs ~t_constraints:t_cs ~two_var:two ()
+  in
+  let minp k = One_var.Agg_cmp (Agg.Min, price, Cmp.Ge, k) in
+  let maxp k = One_var.Agg_cmp (Agg.Max, price, Cmp.Le, k) in
+  let join = Two_var.Set2 (typ, Two_var.Intersect, typ) in
+  let base =
+    [
+      q 0.05 0.05;
+      q 0.05 0.05 ~s_cs:[ minp 20. ] ~two:[ join ];
+      q 0.08 0.05 ~s_cs:[ minp 30. ] ~two:[ join ];
+      q 0.08 0.08 ~s_cs:[ minp 30. ] ~t_cs:[ maxp 60. ] ~two:[ join ];
+      q 0.1 0.1 ~s_cs:[ minp 40.; One_var.Card_cmp (Cmp.Le, 3) ] ~t_cs:[ maxp 50. ];
+      q 0.12 0.12 ~t_cs:[ maxp 40. ] ~two:[ Two_var.Set2 (typ, Two_var.Disjoint, typ) ];
+    ]
+  in
+  base @ base (* exact repeats *)
+
+let set_pairs answer_pairs =
+  Helpers.sorted_pairs
+    (List.map (fun (s, t) -> (s.Frequent.set, t.Frequent.set)) answer_pairs)
+
+let pairs_str l =
+  String.concat "; "
+    (List.map (fun (s, t) -> Itemset.to_string s ^ "," ^ Itemset.to_string t) l)
+
+let sequential_reference ctx =
+  List.map
+    (fun q ->
+      let r = Exec.run ~collect_pairs:true ctx q in
+      Helpers.sorted_pairs
+        (List.map (fun (s, t) -> (s.Frequent.set, t.Frequent.set)) r.Exec.pairs))
+    queries
+
+let check_answers label expected results =
+  List.iteri
+    (fun i (want, got) ->
+      match got with
+      | Error e ->
+          Alcotest.failf "%s: query %d errored: %s" label i (Service.error_to_string e)
+      | Ok a ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s: query %d answers match" label i)
+            (pairs_str want)
+            (pairs_str (set_pairs a.Service.pairs)))
+    (List.combine expected results)
+
+let batch_matches_sequential () =
+  let ctx = fixture () in
+  let expected = sequential_reference ctx in
+  let service = Service.create ~config:{ Service.default_config with domains = 4 } ctx in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  let results = Service.run_many service queries in
+  check_answers "run_many" expected results;
+  let m = Service.metrics service in
+  Alcotest.(check int) "every query accounted for" (List.length queries) m.Metrics.queries
+
+let counters_are_per_query () =
+  let ctx = fixture () in
+  let service = Service.create ~config:{ Service.default_config with domains = 4 } ctx in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  let results = Service.run_many service queries in
+  let answers = List.filter_map Result.to_option results in
+  Alcotest.(check int) "no errors" (List.length queries) (List.length answers);
+  (* the service totals must be exactly the sum of what each answer reports:
+     a worker bleeding its cost into another query's counters (or into a
+     global) breaks this identity *)
+  let sum f = List.fold_left (fun acc a -> acc + f a) 0 answers in
+  let m = Service.metrics service in
+  Alcotest.(check int) "support counts aggregate"
+    (sum (fun a -> a.Service.support_counted))
+    m.Metrics.support_counted;
+  Alcotest.(check int) "constraint checks aggregate"
+    (sum (fun a -> a.Service.constraint_checks))
+    m.Metrics.constraint_checks;
+  Alcotest.(check int) "scans aggregate" (sum (fun a -> a.Service.scans)) m.Metrics.scans
+
+let multi_domain_submitters () =
+  let ctx = fixture () in
+  let expected = sequential_reference ctx in
+  let service = Service.create ~config:{ Service.default_config with domains = 2 } ctx in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  let indexed = List.mapi (fun i q -> (i, q)) queries in
+  (* three client domains share one service, each submitting a slice *)
+  let slice r = List.filter (fun (i, _) -> i mod 3 = r) indexed in
+  let workers =
+    List.init 3 (fun r ->
+        Domain.spawn (fun () ->
+            List.map (fun (i, q) -> (i, Service.run service q)) (slice r)))
+  in
+  let results =
+    List.concat_map Domain.join workers
+    |> List.sort (fun (i, _) (j, _) -> compare i j)
+    |> List.map snd
+  in
+  check_answers "multi-domain clients" expected results;
+  let m = Service.metrics service in
+  Alcotest.(check int) "every query accounted for" (List.length queries) m.Metrics.queries;
+  Alcotest.(check int) "nothing failed" 0 m.Metrics.failures
+
+let suite =
+  [
+    Alcotest.test_case "batch equals sequential execution" `Quick batch_matches_sequential;
+    Alcotest.test_case "per-query counters aggregate exactly" `Quick counters_are_per_query;
+    Alcotest.test_case "submitters from multiple domains" `Quick multi_domain_submitters;
+  ]
