@@ -1,0 +1,192 @@
+(* Chaos replay: the refinement session of [Session] served under
+   deterministic fault injection, in two phases.
+
+   Phase A replays the 50-query session while the store fails the first two
+   page reads unconditionally ([fail_first]) and sleeps on a fraction of
+   scans: the cold query is retried past the transients and every answer
+   must equal the fault-free reference.
+
+   Phase B is a fault storm: the mined side collections are dropped
+   ([cache_drop_sides]), the injector is swapped for one that tampers pages
+   (bounded, detected by the per-page checksums), crashes scans, and fails
+   page reads — then ten fresh refinements of the broadest cached query are
+   issued.  Each must mine cold, so each runs into the storm; the service
+   must serve every one of them anyway — retried, or degraded from an
+   entailed cached superset answer (exact pairs, since the store is
+   immutable and cached pairs carry absolute supports), with the circuit
+   breaker tripping on the consecutive failures.
+
+   The whole run is deterministic: one worker domain, sequential
+   submission, fixed fault seeds, and no wall-clock-dependent output, so
+   two invocations print byte-identical reports (CI diffs them). *)
+
+open Cfq_itembase
+open Cfq_quest
+open Cfq_core
+open Cfq_service
+
+let sorted_pairs l =
+  List.sort
+    (fun (a1, b1) (a2, b2) ->
+      match Itemset.compare a1 a2 with 0 -> Itemset.compare b1 b2 | c -> c)
+    (List.map
+       (fun (s, t) -> (s.Cfq_mining.Frequent.set, t.Cfq_mining.Frequent.set))
+       l)
+
+(* phase A: deterministic transients (the first two page reads fail, so the
+   cold query retries exactly twice) plus latency spikes *)
+let calm_faults =
+  {
+    Cfq_txdb.Fault.default_config with
+    Cfq_txdb.Fault.seed = 0xC4A05L;
+    fail_first = 2;
+    spike_p = 0.05;
+    spike_seconds = 0.0005;
+  }
+
+(* phase B: the storm — bounded page corruption, scan crashes, transient
+   page-read errors *)
+let storm_faults =
+  {
+    Cfq_txdb.Fault.default_config with
+    Cfq_txdb.Fault.seed = 0x57042L;
+    transient_p = 0.01;
+    corrupt_p = 0.3;
+    max_corrupt = 2;
+    crash_p = 0.1;
+  }
+
+(* ten refinements never issued in phase A, all inside the coverage of the
+   session's broadest query (minsup 0.008, S.Price >= 300, T.Price <= 700),
+   so a cached superset answer exists for every one of them *)
+let storm_queries () =
+  List.init 10 (fun k ->
+      Printf.sprintf
+        "{(S,T) | freq(S) >= 0.009 & freq(T) >= 0.009 & S.Price >= %g & T.Price <= %g \
+         & S.Type = T.Type}"
+        (305. +. (10. *. float_of_int k))
+        (690. -. (20. *. float_of_int k)))
+
+let pct n total = 100. *. float_of_int n /. float_of_int (max 1 total)
+
+let run (scale : Workloads.scale) =
+  (* same session-sized database as the [Session] bench *)
+  let scale = { scale with Workloads.n_tx = max 1000 (scale.Workloads.n_tx / 8) } in
+  let db = Workloads.quest_db scale in
+  let rng = Splitmix.create ~seed:(Int64.add scale.Workloads.seed 7L) in
+  let n = scale.Workloads.n_items in
+  let prices = Item_gen.uniform_prices rng ~n ~lo:0. ~hi:1000. in
+  let types = Array.init n (fun _ -> float_of_int (Splitmix.int rng 20)) in
+  let info = Item_gen.item_info ~prices ~types () in
+  let ctx = Exec.context db info in
+  let session = List.map Parser.parse (Session.session_queries ()) in
+  let storm = List.map Parser.parse (storm_queries ()) in
+  Printf.printf "chaos replay: %d + %d queries over %d transactions (%d pages)\n%!"
+    (List.length session) (List.length storm) (Cfq_txdb.Tx_db.size db)
+    (Cfq_txdb.Tx_db.pages db);
+
+  (* fault-free reference for both phases, the same mining discipline the
+     service uses *)
+  let reference qs =
+    List.map
+      (fun q ->
+        sorted_pairs
+          (Exec.run ~strategy:Plan.Cap_one_var ~collect_pairs:true ctx q).Exec.pairs)
+      qs
+  in
+  let session_ref = reference session in
+  let storm_ref = reference storm in
+  print_endline "fault-free reference computed";
+
+  let config =
+    {
+      Service.default_config with
+      Service.domains = 1;
+      retries = 3;
+      backoff_base = 0.0005;
+      breaker_threshold = 3;
+      breaker_cooldown = 2;
+      degrade = true;
+    }
+  in
+  let service = Service.create ~config ctx in
+
+  let aborted = ref 0 and degraded = ref 0 and mismatches = ref 0 in
+  let check phase i expected = function
+    | Error e ->
+        incr aborted;
+        Printf.printf "%s query %d ABORTED: %s\n" phase i (Service.error_to_string e)
+    | Ok a ->
+        if a.Service.served_from = Service.Degraded then incr degraded;
+        if sorted_pairs a.Service.pairs <> expected then begin
+          incr mismatches;
+          Printf.printf "%s query %d MISMATCH (%s): %d pairs vs %d in the reference\n"
+            phase i
+            (Service.served_from_name a.Service.served_from)
+            (List.length a.Service.pairs) (List.length expected)
+        end
+  in
+
+  (* ---- phase A ---- *)
+  let calm = Cfq_txdb.Fault.create calm_faults in
+  Cfq_txdb.Tx_db.set_faults db (Some calm);
+  let served = List.map (fun q -> Service.run service q) session in
+  List.iteri
+    (fun i (expected, r) -> check "session" i expected r)
+    (List.combine session_ref served);
+  let cs = Cfq_txdb.Fault.stats calm in
+  Printf.printf
+    "phase A (calm): injected transient=%d spikes=%d; %d degraded so far\n%!"
+    cs.Cfq_txdb.Fault.transient cs.Cfq_txdb.Fault.spikes !degraded;
+
+  (* ---- phase B ---- *)
+  Service.cache_drop_sides service;
+  let injector = Cfq_txdb.Fault.create storm_faults in
+  Cfq_txdb.Tx_db.set_faults db (Some injector);
+  let served = List.map (fun q -> Service.run service q) storm in
+  List.iteri
+    (fun i (expected, r) -> check "storm" i expected r)
+    (List.combine storm_ref served);
+  let ss = Cfq_txdb.Fault.stats injector in
+  Printf.printf
+    "phase B (storm): injected transient=%d crashes=%d tampered=%d \
+     checksum_failures=%d\n"
+    ss.Cfq_txdb.Fault.transient ss.Cfq_txdb.Fault.crashes ss.Cfq_txdb.Fault.tampered
+    ss.Cfq_txdb.Fault.checksum_failures;
+  (match Cfq_txdb.Tx_db.verify db with
+  | Error e -> Printf.printf "verify under storm faults: %s\n" (Cfq_txdb.Cfq_error.to_string e)
+  | Ok () -> Printf.printf "verify under storm faults: ok (no page tampered)\n");
+  Cfq_txdb.Tx_db.set_faults db None;
+  (match Cfq_txdb.Tx_db.verify db with
+  | Ok () -> Printf.printf "verify after clearing faults: ok\n"
+  | Error e ->
+      Printf.printf "verify after clearing faults: %s\n" (Cfq_txdb.Cfq_error.to_string e));
+
+  let m = Service.metrics service in
+  Service.shutdown service;
+  let total = List.length session + List.length storm in
+  Printf.printf
+    "\nservice: retries=%d degraded=%d breaker_trips=%d shed=%d failures=%d \
+     deadline_expired=%d\n"
+    m.Metrics.retries m.Metrics.degraded m.Metrics.breaker_trips m.Metrics.shed
+    m.Metrics.failures m.Metrics.deadline_expired;
+  Printf.printf "reuse: answer_hits=%d subsumption_hits=%d sides_mined=%d\n"
+    m.Metrics.answer_hits m.Metrics.subsumption_hits m.Metrics.sides_mined;
+  Printf.printf "aborted: %d / %d   degraded: %d (%.0f%%)   mismatches: %d\n" !aborted
+    total !degraded (pct !degraded total) !mismatches;
+
+  if !aborted > 0 || !mismatches > 0 then begin
+    Printf.printf "\nFAIL: chaos replay aborted %d queries, %d answers diverged\n"
+      !aborted !mismatches;
+    exit 1
+  end;
+  if m.Metrics.retries = 0 || m.Metrics.degraded = 0 || m.Metrics.breaker_trips = 0
+  then begin
+    Printf.printf
+      "\nFAIL: the fault machinery was not exercised (retries=%d degraded=%d trips=%d)\n"
+      m.Metrics.retries m.Metrics.degraded m.Metrics.breaker_trips;
+    exit 1
+  end;
+  Printf.printf
+    "\nOK: all %d queries answered under faults; every answer equals the fault-free run\n"
+    total

@@ -5,7 +5,8 @@
            FULL=1 dune exec bench/main.exe     (paper scale: 100k transactions)
            dune exec bench/main.exe -- micro   (microbenchmarks only)
            dune exec bench/main.exe -- fig8a   (one experiment)
-           dune exec bench/main.exe -- session (service cache vs cold replay) *)
+           dune exec bench/main.exe -- session (service cache vs cold replay)
+           dune exec bench/main.exe -- chaos   (session under injected faults) *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -27,8 +28,9 @@ let () =
   | [ "maintenance" ] -> Experiments.maintenance (scale ())
   | [ "parallel" ] -> Experiments.parallel (scale ())
   | [ "session" ] -> Session.run (scale ())
+  | [ "chaos" ] -> Chaos.run (scale ())
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [micro|fig8a|tab71_levels|tab71_ranges|fig8b|tab72_ranges|tab73_jmax|ablation|miners|cap_1var|maintenance|parallel|session]";
+         [micro|fig8a|tab71_levels|tab71_ranges|fig8b|tab72_ranges|tab73_jmax|ablation|miners|cap_1var|maintenance|parallel|session|chaos]";
       exit 2

@@ -243,6 +243,40 @@ let repeat_arg =
     & info [ "repeat" ] ~docv:"N"
         ~doc:"Replay the batch N times (passes after the first serve from the warm cache).")
 
+let fault_transient_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "fault-transient" ] ~docv:"P"
+        ~doc:"Inject transient page-read errors with probability P per page.")
+
+let fault_corrupt_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "fault-corrupt" ] ~docv:"P"
+        ~doc:"Tamper pages with probability P per read (bounded; detected by \
+              checksums).")
+
+let fault_spike_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "fault-spike" ] ~docv:"P" ~doc:"Inject a latency spike per scan with probability P.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 0x5EED
+    & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Seed of the deterministic fault stream.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "retries" ] ~docv:"N" ~doc:"Max retries of a transiently failed query.")
+
+let breaker_threshold_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "breaker-threshold" ] ~docv:"N"
+        ~doc:"Consecutive failures that trip the circuit breaker (0 disables).")
+
 let batch_file_arg =
   Arg.(
     required
@@ -250,19 +284,36 @@ let batch_file_arg =
     & info [] ~docv:"FILE" ~doc:"Batch file: one CFQ per line; '#' comments.")
 
 let serve_cmd verbose tx items types seed data iteminfo domains cache_mb deadline repeat
-    file =
+    fault_transient fault_corrupt fault_spike fault_seed retries breaker_threshold file =
   setup_logs verbose;
   match load_or_generate ~tx ~items ~types ~seed ~data ~iteminfo with
   | Error e -> Error e
   | Ok (db, info) ->
       Printf.printf "database: %d transactions (%d pages)\n\n"
         (Cfq_txdb.Tx_db.size db) (Cfq_txdb.Tx_db.pages db);
+      let fault_config =
+        {
+          Cfq_txdb.Fault.default_config with
+          Cfq_txdb.Fault.transient_p = fault_transient;
+          corrupt_p = fault_corrupt;
+          spike_p = fault_spike;
+          seed = Int64.of_int fault_seed;
+        }
+      in
+      if Cfq_txdb.Fault.is_active fault_config then begin
+        Cfq_txdb.Tx_db.set_faults db (Some (Cfq_txdb.Fault.create fault_config));
+        Printf.printf
+          "fault injection: transient-p=%g corrupt-p=%g spike-p=%g seed=%d\n\n"
+          fault_transient fault_corrupt fault_spike fault_seed
+      end;
       let config =
         {
           Cfq_service.Service.default_config with
           Cfq_service.Service.domains;
           cache_budget = cache_mb * 1024 * 1024;
           default_deadline = deadline;
+          retries;
+          breaker_threshold;
         }
       in
       let service = Cfq_service.Service.create ~config (Exec.context db info) in
@@ -377,7 +428,8 @@ let serve_t =
     term_result
       (const serve_cmd $ verbose_arg $ tx_arg $ items_arg $ types_arg $ seed_arg
      $ data_arg $ iteminfo_arg $ domains_arg $ cache_mb_arg $ deadline_arg
-     $ repeat_arg $ batch_file_arg))
+     $ repeat_arg $ fault_transient_arg $ fault_corrupt_arg $ fault_spike_arg
+     $ fault_seed_arg $ retries_arg $ breaker_threshold_arg $ batch_file_arg))
 
 let serve_cmd_info =
   Cmd.info "serve"

@@ -399,3 +399,10 @@ let run ?(strategy = Plan.Optimized) ?(collect_pairs = false) ctx (q : Query.t) 
     notes = List.rev !notes;
   }
   end
+
+let run_result ?strategy ?collect_pairs ctx q =
+  match run ?strategy ?collect_pairs ctx q with
+  | r -> Ok r
+  | exception Cfq_error.Error e -> Error e
+  | exception Stack_overflow -> Error (Cfq_error.Query_crash "stack overflow")
+  | exception Out_of_memory -> Error (Cfq_error.Query_crash "out of memory")

@@ -62,3 +62,15 @@ val total_counted : result -> int
     [collect_pairs] (default false) materialises the answer pairs in
     [pairs]; otherwise only [pair_stats] is produced. *)
 val run : ?strategy:Plan.strategy -> ?collect_pairs:bool -> ctx -> Query.t -> result
+
+(** [run_result] is {!run} with injected faults surfaced as values: a
+    [Cfq_error.Error] raised by the (possibly fault-wrapped) transaction
+    store becomes [Error e], and a resource crash ([Stack_overflow],
+    [Out_of_memory]) becomes [Error (Query_crash _)].  Other exceptions
+    (programming errors) still propagate. *)
+val run_result :
+  ?strategy:Plan.strategy ->
+  ?collect_pairs:bool ->
+  ctx ->
+  Query.t ->
+  (result, Cfq_error.t) Stdlib.result

@@ -14,6 +14,14 @@ type snapshot = {
   total_latency : float;
   max_latency : float;
   queue_high_water : int;
+  retries : int;
+  degraded : int;
+  breaker_trips : int;
+  shed : int;
+  inline_runs : int;
+  fault_transient : int;
+  fault_corrupt : int;
+  fault_crash : int;
   answer_entries : int;
   answer_bytes : int;
   side_entries : int;
@@ -37,6 +45,14 @@ type t = {
   mutable total_latency : float;
   mutable max_latency : float;
   mutable queue_high_water : int;
+  mutable retries : int;
+  mutable degraded : int;
+  mutable breaker_trips : int;
+  mutable shed : int;
+  mutable inline_runs : int;
+  mutable fault_transient : int;
+  mutable fault_corrupt : int;
+  mutable fault_crash : int;
 }
 
 let create () =
@@ -56,6 +72,14 @@ let create () =
     total_latency = 0.;
     max_latency = 0.;
     queue_high_water = 0;
+    retries = 0;
+    degraded = 0;
+    breaker_trips = 0;
+    shed = 0;
+    inline_runs = 0;
+    fault_transient = 0;
+    fault_corrupt = 0;
+    fault_crash = 0;
   }
 
 let reset t =
@@ -73,7 +97,15 @@ let reset t =
   t.pages_read <- 0;
   t.total_latency <- 0.;
   t.max_latency <- 0.;
-  t.queue_high_water <- 0
+  t.queue_high_water <- 0;
+  t.retries <- 0;
+  t.degraded <- 0;
+  t.breaker_trips <- 0;
+  t.shed <- 0;
+  t.inline_runs <- 0;
+  t.fault_transient <- 0;
+  t.fault_corrupt <- 0;
+  t.fault_crash <- 0
 
 let record_query t ~latency ~support_counted ~constraint_checks ~scans ~pages_read =
   t.queries <- t.queries + 1;
@@ -91,6 +123,19 @@ let record_side_mined t = t.sides_mined <- t.sides_mined + 1
 let record_deadline_expired t = t.deadline_expired <- t.deadline_expired + 1
 let record_rejected t = t.rejected <- t.rejected + 1
 let record_failure t = t.failures <- t.failures + 1
+
+let record_retry t = t.retries <- t.retries + 1
+let record_degraded t = t.degraded <- t.degraded + 1
+let record_breaker_trip t = t.breaker_trips <- t.breaker_trips + 1
+let record_shed t = t.shed <- t.shed + 1
+let record_inline_run t = t.inline_runs <- t.inline_runs + 1
+
+let record_fault t (e : Cfq_txdb.Cfq_error.t) =
+  match e with
+  | Transient_io _ -> t.fault_transient <- t.fault_transient + 1
+  | Corrupt_page _ -> t.fault_corrupt <- t.fault_corrupt + 1
+  | Query_crash _ -> t.fault_crash <- t.fault_crash + 1
+  | Deadline | Overload -> ()
 
 let observe_queue_depth t d =
   if d > t.queue_high_water then t.queue_high_water <- d
@@ -113,6 +158,14 @@ let snapshot t ~answer_entries ~answer_bytes ~side_entries ~side_bytes ~eviction
     total_latency = t.total_latency;
     max_latency = t.max_latency;
     queue_high_water = t.queue_high_water;
+    retries = t.retries;
+    degraded = t.degraded;
+    breaker_trips = t.breaker_trips;
+    shed = t.shed;
+    inline_runs = t.inline_runs;
+    fault_transient = t.fault_transient;
+    fault_corrupt = t.fault_corrupt;
+    fault_crash = t.fault_crash;
     answer_entries;
     answer_bytes;
     side_entries;
@@ -142,6 +195,14 @@ let table (s : snapshot) =
     (if s.queries = 0 then "-"
      else Printf.sprintf "%.4f" (s.total_latency /. float_of_int s.queries));
   int "queue high water" s.queue_high_water;
+  int "retries" s.retries;
+  int "degraded answers" s.degraded;
+  int "breaker trips" s.breaker_trips;
+  int "shed (breaker open)" s.shed;
+  int "inline runs (queue full)" s.inline_runs;
+  int "faults: transient io" s.fault_transient;
+  int "faults: corrupt page" s.fault_corrupt;
+  int "faults: query crash" s.fault_crash;
   int "answer cache entries" s.answer_entries;
   row "answer cache bytes" (Printf.sprintf "%d" s.answer_bytes);
   int "side cache entries" s.side_entries;

@@ -23,6 +23,14 @@ type snapshot = {
   total_latency : float;  (** wall-clock seconds, summed *)
   max_latency : float;
   queue_high_water : int;
+  retries : int;  (** transient-fault retries performed *)
+  degraded : int;  (** answers served from an entailed cached superset *)
+  breaker_trips : int;  (** circuit breaker Closed→Open transitions *)
+  shed : int;  (** submissions shed while the breaker was open *)
+  inline_runs : int;  (** queue-full fallbacks run in the calling domain *)
+  fault_transient : int;  (** [Transient_io] faults that reached the service *)
+  fault_corrupt : int;  (** [Corrupt_page] faults that reached the service *)
+  fault_crash : int;  (** [Query_crash] faults that reached the service *)
   answer_entries : int;
   answer_bytes : int;
   side_entries : int;
@@ -49,6 +57,17 @@ val record_side_mined : t -> unit
 val record_deadline_expired : t -> unit
 val record_rejected : t -> unit
 val record_failure : t -> unit
+val record_retry : t -> unit
+val record_degraded : t -> unit
+val record_breaker_trip : t -> unit
+val record_shed : t -> unit
+val record_inline_run : t -> unit
+
+(** Classify a fault that reached the service (after retries, for
+    transients).  [Deadline]/[Overload] are counted by their own
+    dedicated counters, not here. *)
+val record_fault : t -> Cfq_txdb.Cfq_error.t -> unit
+
 val observe_queue_depth : t -> int -> unit
 
 (** [snapshot t ~answer_entries ... ~evictions] copies the counters,

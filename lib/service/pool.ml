@@ -76,7 +76,11 @@ let job_of promise job () =
 let submit t job =
   let promise = { p_mutex = Mutex.create (); p_cond = Condition.create (); state = Pending } in
   Mutex.lock t.mutex;
-  if t.stopping || Queue.length t.jobs >= t.capacity then begin
+  if t.stopping then begin
+    Mutex.unlock t.mutex;
+    Cfq_txdb.Cfq_error.raise_error Cfq_txdb.Cfq_error.Overload
+  end
+  else if Queue.length t.jobs >= t.capacity then begin
     Mutex.unlock t.mutex;
     None
   end
@@ -101,14 +105,32 @@ let await p =
   | Raised e -> raise e
   | Pending -> assert false
 
-let run t job =
-  match submit t job with Some p -> await p | None -> job ()
+let is_stopped t =
+  Mutex.lock t.mutex;
+  let s = t.stopping in
+  Mutex.unlock t.mutex;
+  s
+
+let run ?(on_fallback = fun () -> ()) t job =
+  let inline () =
+    on_fallback ();
+    job ()
+  in
+  match submit t job with
+  | Some p -> await p
+  | None -> inline ()
+  | exception Cfq_txdb.Cfq_error.Error Cfq_txdb.Cfq_error.Overload -> inline ()
 
 let shutdown t =
   Mutex.lock t.mutex;
-  t.stopping <- true;
-  Condition.broadcast t.nonempty;
-  let workers = t.workers in
-  t.workers <- [];
-  Mutex.unlock t.mutex;
-  List.iter Domain.join workers
+  if t.stopping then
+    (* already shut down: a documented no-op *)
+    Mutex.unlock t.mutex
+  else begin
+    t.stopping <- true;
+    Condition.broadcast t.nonempty;
+    let workers = t.workers in
+    t.workers <- [];
+    Mutex.unlock t.mutex;
+    List.iter Domain.join workers
+  end

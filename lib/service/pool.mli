@@ -24,18 +24,27 @@ val size : t -> int
 (** Jobs currently waiting (excludes running ones). *)
 val queue_depth : t -> int
 
-(** [submit t job] enqueues [job]; [None] when the queue is full or the
-    pool is shut down. *)
+(** The pool has been shut down. *)
+val is_stopped : t -> bool
+
+(** [submit t job] enqueues [job]; [None] when the queue is full.
+    Submitting to a shut-down pool raises
+    [Cfq_error.Error Cfq_error.Overload] — callers that outlive the pool
+    get a typed error, not a silent drop. *)
 val submit : t -> (unit -> 'a) -> 'a promise option
 
 (** [run t job] is [submit] that falls back to running [job] in the calling
-    domain when the queue is full, so it always yields a result. *)
-val run : t -> (unit -> 'a) -> 'a
+    domain when the queue is full or the pool is shut down, so it always
+    yields a result.  [on_fallback] is invoked (before [job]) exactly when
+    the fallback path is taken, letting callers count in-caller
+    executions. *)
+val run : ?on_fallback:(unit -> unit) -> t -> (unit -> 'a) -> 'a
 
 (** [await p] blocks until the job finishes, returning its result or
     re-raising its exception. *)
 val await : 'a promise -> 'a
 
 (** Drain nothing further: running jobs finish, queued jobs are still
-    executed, then the workers exit and are joined.  Idempotent. *)
+    executed, then the workers exit and are joined.  Calling [shutdown] a
+    second time is a no-op. *)
 val shutdown : t -> unit

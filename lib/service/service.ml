@@ -13,20 +13,39 @@ type config = {
   queue_capacity : int;
   cache_budget : int;
   default_deadline : float option;
+  retries : int;
+  backoff_base : float;
+  breaker_threshold : int;
+  breaker_cooldown : int;
+  degrade : bool;
+  jitter_seed : int64;
 }
 
 let default_config =
-  { domains = 2; queue_capacity = 1024; cache_budget = 64 * 1024 * 1024; default_deadline = None }
+  {
+    domains = 2;
+    queue_capacity = 1024;
+    cache_budget = 64 * 1024 * 1024;
+    default_deadline = None;
+    retries = 2;
+    backoff_base = 0.002;
+    breaker_threshold = 5;
+    breaker_cooldown = 8;
+    degrade = true;
+    jitter_seed = 0x0DDB1A5EL;
+  }
 
 type served_from =
   | Cold
   | Answer_cache
   | Subsumed
+  | Degraded
 
 let served_from_name = function
   | Cold -> "cold"
   | Answer_cache -> "answer-cache"
   | Subsumed -> "subsumed"
+  | Degraded -> "degraded"
 
 type answer = {
   pairs : (Frequent.entry * Frequent.entry) list;
@@ -42,12 +61,16 @@ type answer = {
 
 type error =
   | Rejected
+  | Overloaded
   | Deadline_exceeded
+  | Fault of Cfq_error.t
   | Failed of string
 
 let error_to_string = function
   | Rejected -> "rejected: admission queue full"
+  | Overloaded -> "overloaded: circuit breaker open"
   | Deadline_exceeded -> "deadline exceeded"
+  | Fault e -> "fault: " ^ Cfq_error.to_string e
   | Failed msg -> "failed: " ^ msg
 
 (* one side's cached frequent collection, as mined *)
@@ -59,17 +82,33 @@ type side_entry = {
   se_frequent : Frequent.t;
 }
 
+(* circuit breaker: [Open n] sheds the next [n] admissions, then half-opens;
+   the cooldown is admission-counted, not wall-clock, so breaker behaviour
+   is deterministic under a deterministic submission order *)
+type breaker_state =
+  | Closed
+  | Open of int
+  | Half_open
+
 type t = {
   service_ctx : Exec.ctx;
   service_config : config;
   pool : Pool.t;
   lock : Mutex.t;
-  answers : answer Lru.t;
+  answers : (Query.t * answer) Lru.t;
+      (* the (simplified) query is kept alongside its answer so degraded
+         serving can test whether a cached answer covers a new query *)
   sides : side_entry Lru.t;
   service_metrics : Metrics.t;
+  mutable breaker : breaker_state;
+  mutable consec_failures : int;
+  mutable consec_rejections : int;
+  jitter : Cfq_quest.Splitmix.t;  (* retry-backoff jitter; draw under lock *)
 }
 
-type ticket = (answer, error) result Pool.promise
+type ticket =
+  | Pooled of (answer, error) result Pool.promise
+  | Immediate of (answer, error) result
 
 let create ?(config = default_config) ctx =
   (* answers are small relative to collections: 1/4 vs 3/4 of the budget *)
@@ -82,6 +121,10 @@ let create ?(config = default_config) ctx =
     answers = Lru.create ~budget:(budget / 4);
     sides = Lru.create ~budget:(budget - (budget / 4));
     service_metrics = Metrics.create ();
+    breaker = Closed;
+    consec_failures = 0;
+    consec_rejections = 0;
+    jitter = Cfq_quest.Splitmix.create ~seed:config.jitter_seed;
   }
 
 let ctx t = t.service_ctx
@@ -256,7 +299,7 @@ let execute t ~deadline (q : Query.t) =
   let cached =
     locked t (fun () ->
         match Lru.find t.answers key with
-        | Some a ->
+        | Some (_, a) ->
             Metrics.record_answer_hit t.service_metrics;
             Some a
         | None ->
@@ -327,7 +370,7 @@ let execute t ~deadline (q : Query.t) =
       let latency = Unix.gettimeofday () -. t0 in
       let answer = { answer with latency_seconds = latency } in
       locked t (fun () ->
-          ignore (Lru.insert t.answers key ~weight:(answer_weight answer) answer : bool);
+          ignore (Lru.insert t.answers key ~weight:(answer_weight answer) (q, answer) : bool);
           Metrics.record_query t.service_metrics ~latency
             ~support_counted:answer.support_counted
             ~constraint_checks:answer.constraint_checks ~scans:answer.scans
@@ -338,43 +381,277 @@ let execute t ~deadline (q : Query.t) =
             (served_from_name answer.served_from));
       answer
 
+(* ------------------------------------------------------------------ *)
+(* graceful degradation: serve a failed query by filtering a cached
+   superset answer.  The database is immutable and cached pairs carry
+   absolute supports, so filtering an entailed superset answer down to the
+   requested thresholds and constraints yields exactly the requested
+   pairs; what degrades is only the per-query cost accounting and notes. *)
+
+let abs_minsup (ctx : Exec.ctx) frac = Tx_db.absolute_support ctx.Exec.db frac
+
+let level_covers ~cached ~requested =
+  match (cached, requested) with
+  | None, _ -> true
+  | Some _, None -> false
+  | Some c, Some r -> c >= r
+
+(* every 2-var atom the cached run enforced is requested too, so no pair
+   the requested query wants was pruned from the cached answer *)
+let two_var_covers ~cached ~requested =
+  List.for_all (fun c -> List.mem c requested) cached
+
+let answer_covers ctx ~(cached_q : Query.t) ~(requested : Query.t) =
+  abs_minsup ctx cached_q.Query.s_minsup <= abs_minsup ctx requested.Query.s_minsup
+  && abs_minsup ctx cached_q.Query.t_minsup <= abs_minsup ctx requested.Query.t_minsup
+  && level_covers ~cached:cached_q.Query.max_level ~requested:requested.Query.max_level
+  && Entail.subsumes ~cached:cached_q.Query.s_constraints
+       ~requested:requested.Query.s_constraints
+  && Entail.subsumes ~cached:cached_q.Query.t_constraints
+       ~requested:requested.Query.t_constraints
+  && two_var_covers ~cached:cached_q.Query.two_var ~requested:requested.Query.two_var
+
+let filter_answer (ctx : Exec.ctx) (requested : Query.t) (a : answer) =
+  let s_min = abs_minsup ctx requested.Query.s_minsup in
+  let t_min = abs_minsup ctx requested.Query.t_minsup in
+  let checks = ref 0 in
+  let keep_level set =
+    match requested.Query.max_level with
+    | Some cap -> Itemset.cardinal set <= cap
+    | None -> true
+  in
+  let one_var info cs set =
+    List.for_all
+      (fun c ->
+        incr checks;
+        One_var.eval info c set)
+      cs
+  in
+  let keep ((es : Frequent.entry), (et : Frequent.entry)) =
+    es.Frequent.support >= s_min
+    && et.Frequent.support >= t_min
+    && keep_level es.Frequent.set && keep_level et.Frequent.set
+    && one_var ctx.Exec.s_info requested.Query.s_constraints es.Frequent.set
+    && one_var ctx.Exec.t_info requested.Query.t_constraints et.Frequent.set
+    && List.for_all
+         (fun c ->
+           incr checks;
+           Two_var.eval ~s_info:ctx.Exec.s_info ~t_info:ctx.Exec.t_info c
+             es.Frequent.set et.Frequent.set)
+         requested.Query.two_var
+  in
+  let pairs = List.filter keep a.pairs in
+  {
+    pairs;
+    n_pairs = List.length pairs;
+    served_from = Degraded;
+    support_counted = 0;
+    constraint_checks = !checks;
+    scans = 0;
+    pages_read = 0;
+    latency_seconds = 0.;
+    notes = [ "degraded: filtered from a cached superset answer" ];
+  }
+
+(* call with [t.lock] held *)
+let degraded_lookup_locked t (q : Query.t) =
+  if not t.service_config.degrade then None
+  else begin
+    let rw = Rewrite.simplify q in
+    let q = rw.Rewrite.query in
+    if rw.Rewrite.s_unsat || rw.Rewrite.t_unsat then None
+    else begin
+      (* MRU-first: the first covering answer is the most recent one *)
+      let hit =
+        Lru.fold
+          (fun best ~key ~value:(cached_q, a) ->
+            match best with
+            | Some _ -> best
+            | None ->
+                if answer_covers t.service_ctx ~cached_q ~requested:q then Some (key, a)
+                else None)
+          None t.answers
+      in
+      match hit with
+      | None -> None
+      | Some (key, a) ->
+          ignore (Lru.find t.answers key : (Query.t * answer) option) (* bump recency *);
+          Metrics.record_degraded t.service_metrics;
+          Some (filter_answer t.service_ctx q a)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* circuit breaker *)
+
+(* call with [t.lock] held *)
+let trip_locked t =
+  Metrics.record_breaker_trip t.service_metrics;
+  t.breaker <- Open (max 1 t.service_config.breaker_cooldown)
+
+(* settle the breaker on the raw (pre-degradation) outcome of an executed
+   query: any success closes it (in particular a half-open probe), any
+   failure while half-open reopens it, and [breaker_threshold] consecutive
+   failures trip it *)
+let breaker_note_outcome t ~ok =
+  if t.service_config.breaker_threshold > 0 then
+    locked t (fun () ->
+        if ok then begin
+          t.consec_failures <- 0;
+          t.breaker <- Closed
+        end
+        else begin
+          t.consec_failures <- t.consec_failures + 1;
+          match t.breaker with
+          | Half_open -> trip_locked t
+          | Closed when t.consec_failures >= t.service_config.breaker_threshold ->
+              trip_locked t
+          | Closed | Open _ -> ()
+        end)
+
+(* ------------------------------------------------------------------ *)
+(* retries and the guarded query wrapper *)
+
+let retry_delay t attempt =
+  let jitter = locked t (fun () -> Cfq_quest.Splitmix.float t.jitter) in
+  t.service_config.backoff_base *. (2. ** float_of_int attempt) *. (0.5 +. jitter)
+
 let guarded t ~deadline q () =
-  match execute t ~deadline q with
-  | a -> Ok a
-  | exception Expired ->
-      locked t (fun () ->
-          Metrics.record_deadline_expired t.service_metrics;
-          Metrics.record_query t.service_metrics
-            ~latency:(0. (* not meaningfully attributable *))
-            ~support_counted:0 ~constraint_checks:0 ~scans:0 ~pages_read:0);
-      Error Deadline_exceeded
-  | exception e ->
-      locked t (fun () -> Metrics.record_failure t.service_metrics);
-      Error (Failed (Printexc.to_string e))
+  let fail e =
+    locked t (fun () ->
+        Metrics.record_fault t.service_metrics e;
+        Metrics.record_failure t.service_metrics);
+    Error (Fault e)
+  in
+  let rec attempt n =
+    match execute t ~deadline q with
+    | a -> Ok a
+    | exception Expired ->
+        locked t (fun () ->
+            Metrics.record_deadline_expired t.service_metrics;
+            Metrics.record_query t.service_metrics
+              ~latency:(0. (* not meaningfully attributable *))
+              ~support_counted:0 ~constraint_checks:0 ~scans:0 ~pages_read:0);
+        Error Deadline_exceeded
+    | exception Cfq_error.Error e ->
+        if Cfq_error.is_transient e && n < t.service_config.retries then begin
+          let delay = retry_delay t n in
+          let in_budget =
+            match deadline with
+            | Some d -> Unix.gettimeofday () +. delay < d
+            | None -> true
+          in
+          if in_budget then begin
+            locked t (fun () -> Metrics.record_retry t.service_metrics);
+            if delay > 0. then Unix.sleepf delay;
+            attempt (n + 1)
+          end
+          else fail e
+        end
+        else fail e
+    | exception e -> fail (Cfq_error.Query_crash (Printexc.to_string e))
+  in
+  let raw = attempt 0 in
+  breaker_note_outcome t ~ok:(match raw with Ok _ -> true | Error _ -> false);
+  match raw with
+  | Ok _ -> raw
+  | Error (Fault _ | Deadline_exceeded) -> (
+      match locked t (fun () -> degraded_lookup_locked t q) with
+      | Some a -> Ok a
+      | None -> raw)
+  | Error _ -> raw
+
+(* ------------------------------------------------------------------ *)
+(* admission *)
 
 let absolute_deadline t deadline =
   match (deadline, t.service_config.default_deadline) with
   | Some d, _ | None, Some d -> Some (Unix.gettimeofday () +. d)
   | None, None -> None
 
-let submit t ?deadline q =
-  let deadline = absolute_deadline t deadline in
-  locked t (fun () ->
-      Metrics.observe_queue_depth t.service_metrics (Pool.queue_depth t.pool));
-  match Pool.submit t.pool (guarded t ~deadline q) with
-  | Some p -> Ok p
-  | None ->
-      locked t (fun () -> Metrics.record_rejected t.service_metrics);
-      Error Rejected
+(* admission decision under the breaker.  While open, queries that the
+   caches can answer without touching the database are still served;
+   everything else is shed, counting down to a half-open probe. *)
+let breaker_admit t (q : Query.t) =
+  if t.service_config.breaker_threshold <= 0 then `Admit
+  else
+    locked t (fun () ->
+        match t.breaker with
+        | Closed | Half_open -> `Admit
+        | Open n -> (
+            (* every admission while open counts toward the cooldown, served
+               from cache or shed alike, so the breaker always half-opens
+               after [breaker_cooldown] admissions *)
+            t.breaker <- (if n <= 1 then Half_open else Open (n - 1));
+            let rw = Rewrite.simplify q in
+            let q' = rw.Rewrite.query in
+            let key = Fingerprint.query_key t.service_ctx q' in
+            match Lru.find t.answers key with
+            | Some (_, a) ->
+                Metrics.record_answer_hit t.service_metrics;
+                Metrics.record_query t.service_metrics ~latency:0. ~support_counted:0
+                  ~constraint_checks:0 ~scans:0 ~pages_read:0;
+                `Serve
+                  {
+                    a with
+                    served_from = Answer_cache;
+                    support_counted = 0;
+                    constraint_checks = 0;
+                    scans = 0;
+                    pages_read = 0;
+                    latency_seconds = 0.;
+                  }
+            | None -> (
+                match degraded_lookup_locked t q' with
+                | Some a -> `Serve a
+                | None ->
+                    Metrics.record_shed t.service_metrics;
+                    `Shed)))
 
-let await ticket = Pool.await ticket
+let submit_abs t ~deadline q =
+  match breaker_admit t q with
+  | `Serve a -> Ok (Immediate (Ok a))
+  | `Shed -> Error Overloaded
+  | `Admit -> (
+      locked t (fun () ->
+          Metrics.observe_queue_depth t.service_metrics (Pool.queue_depth t.pool));
+      match Pool.submit t.pool (guarded t ~deadline q) with
+      | Some p ->
+          locked t (fun () -> t.consec_rejections <- 0);
+          Ok (Pooled p)
+      | None ->
+          locked t (fun () ->
+              Metrics.record_rejected t.service_metrics;
+              t.consec_rejections <- t.consec_rejections + 1;
+              if
+                t.service_config.breaker_threshold > 0
+                && t.breaker = Closed
+                && t.consec_rejections >= t.service_config.breaker_threshold
+              then begin
+                trip_locked t;
+                t.consec_rejections <- 0
+              end);
+          Error Rejected
+      | exception Cfq_error.Error Cfq_error.Overload ->
+          (* pool already shut down: report Rejected so [run] still serves
+             the caller inline *)
+          locked t (fun () -> Metrics.record_rejected t.service_metrics);
+          Error Rejected)
+
+let submit t ?deadline q = submit_abs t ~deadline:(absolute_deadline t deadline) q
+
+let await = function Pooled p -> Pool.await p | Immediate r -> r
 
 let run t ?deadline q =
-  match submit t ?deadline q with
+  (* the deadline is fixed once at admission, so the queue-full fallback
+     below runs under the same budget the pooled path would have had *)
+  let deadline = absolute_deadline t deadline in
+  match submit_abs t ~deadline q with
   | Ok ticket -> await ticket
   | Error Rejected ->
       (* sync caller: execute inline rather than bouncing *)
-      guarded t ~deadline:(absolute_deadline t deadline) q ()
+      locked t (fun () -> Metrics.record_inline_run t.service_metrics);
+      guarded t ~deadline q ()
   | Error e -> Error e
 
 let run_many t ?deadline qs =
@@ -419,5 +696,7 @@ let cache_clear t =
   locked t (fun () ->
       Lru.clear t.answers;
       Lru.clear t.sides)
+
+let cache_drop_sides t = locked t (fun () -> Lru.clear t.sides)
 
 let shutdown t = Pool.shutdown t.pool

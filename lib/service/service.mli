@@ -27,8 +27,34 @@
     queue and a per-query wall-clock deadline, checked between mining
     levels (cooperative cancellation).  All shared state (caches, metrics)
     is guarded by one service lock; the mining itself runs lock-free on
-    immutable inputs. *)
+    immutable inputs.
 
+    {2 Fault tolerance}
+
+    The service expects the transaction store to fail
+    ({!Cfq_txdb.Fault} injection, or a real flaky medium) and degrades in
+    stages rather than falling over:
+
+    {ul
+    {- {e retries} — a query killed by a transient I/O error
+       ([Cfq_error.Transient_io]) is retried up to [config.retries] times
+       with exponential backoff and deterministic jitter, within its
+       deadline;}
+    {- {e graceful degradation} — a query that still fails (or misses its
+       deadline) is served by filtering an {e entailed cached superset
+       answer} when one exists; the pairs are exact (the store is
+       immutable and cached pairs carry absolute supports) and the answer
+       is flagged {!Degraded};}
+    {- {e circuit breaker} — [config.breaker_threshold] consecutive
+       failures (or queue-full rejections) trip the breaker: subsequent
+       queries are served from the caches when possible and otherwise shed
+       with {!Overloaded}, for [config.breaker_cooldown] admissions, after
+       which one probe query is let through (half-open) and its outcome
+       closes or reopens the breaker.  The cooldown is admission-counted,
+       not wall-clock, so breaker behaviour is deterministic under a
+       deterministic submission order.}} *)
+
+open Cfq_txdb
 open Cfq_mining
 open Cfq_core
 
@@ -37,15 +63,28 @@ type config = {
   queue_capacity : int;  (** max queries waiting for a worker *)
   cache_budget : int;  (** total cache memory budget, approximate bytes *)
   default_deadline : float option;  (** seconds, when [submit] gives none *)
+  retries : int;  (** max retries of a [Transient_io]-failed query *)
+  backoff_base : float;  (** seconds; retry [n] waits [base·2ⁿ·(0.5+j)] *)
+  breaker_threshold : int;
+      (** consecutive failures (or rejections) that trip the breaker;
+          [0] disables the breaker *)
+  breaker_cooldown : int;  (** admissions shed while open before a probe *)
+  degrade : bool;  (** serve failed queries from entailed cached answers *)
+  jitter_seed : int64;  (** seed of the deterministic backoff jitter *)
 }
 
-(** 2 domains, queue 1024, 64 MiB budget, no deadline. *)
+(** 2 domains, queue 1024, 64 MiB budget, no deadline; 2 retries from a
+    2 ms base, breaker at 5 failures with an 8-admission cooldown,
+    degradation on. *)
 val default_config : config
 
 type served_from =
   | Cold  (** at least one side ran the mining engine *)
   | Answer_cache  (** verbatim answer-cache hit *)
   | Subsumed  (** both sides filtered from cached collections *)
+  | Degraded
+      (** served by filtering an entailed cached superset answer after the
+          query itself failed; pairs are exact, cost counters are not *)
 
 val served_from_name : served_from -> string
 
@@ -63,7 +102,11 @@ type answer = {
 
 type error =
   | Rejected  (** admission queue full *)
+  | Overloaded  (** shed by the open circuit breaker *)
   | Deadline_exceeded
+  | Fault of Cfq_error.t
+      (** the store faulted (after retries, for transients) and no cached
+          answer could cover the query *)
   | Failed of string
 
 val error_to_string : error -> string
@@ -80,10 +123,12 @@ val config : t -> config
 type ticket
 
 (** [submit t ?deadline q] enqueues [q]; [Error Rejected] when the
-    admission queue is full.  [deadline] is a wall-clock budget in seconds
-    from now (overrides [config.default_deadline]); a query still queued or
-    between mining levels past its deadline completes with
-    [Error Deadline_exceeded]. *)
+    admission queue is full, [Error Overloaded] when the open circuit
+    breaker sheds it (cache-answerable queries are still served while
+    open).  [deadline] is a wall-clock budget in seconds from now
+    (overrides [config.default_deadline]); a query still queued or between
+    mining levels past its deadline completes with
+    [Error Deadline_exceeded] (or a {!Degraded} answer). *)
 val submit : t -> ?deadline:float -> Query.t -> (ticket, error) result
 
 (** Blocks until the submitted query finishes. *)
@@ -91,7 +136,9 @@ val await : ticket -> (answer, error) result
 
 (** [run t ?deadline q] is submit-and-await, executing inline in the
     calling domain when the queue is full (sync callers always get an
-    answer). *)
+    answer).  The deadline is fixed once at admission, so the inline
+    fallback runs under the same budget the pooled path would have had;
+    fallback executions are counted ([inline_runs]). *)
 val run : t -> ?deadline:float -> Query.t -> (answer, error) result
 
 (** [run_many t qs] submits everything (awaiting oldest tickets when the
@@ -103,6 +150,12 @@ val metrics_table : t -> Cfq_report.Table.t
 
 (** Drop both caches (metrics keep accumulating). *)
 val cache_clear : t -> unit
+
+(** Drop the mined side collections but keep cached answers — an
+    administrative recovery hook: when the store starts failing, rebuilding
+    collections is pointless, but validated answers remain servable
+    (degraded). *)
+val cache_drop_sides : t -> unit
 
 (** Finish running work and join the worker domains.  Idempotent; the
     caches survive, so a shut-down service can still [run] inline. *)

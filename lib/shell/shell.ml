@@ -55,6 +55,8 @@ let help_text =
       "  gen <n_tx> <n_items> [seed]    generate a synthetic Quest database";
       "  set strategy <name>            apriori+ | cap | optimized | sequential | fm";
       "  set minconf <float>            rule confidence threshold";
+      "  set fault <p> [<cp> [<seed>]]  inject faults: transient-p, corrupt-p, seed";
+      "  set fault off                  remove fault injection";
       "  explain <query>                show the optimizer's plan, run nothing";
       "  advise <query>                 probe the data, recommend a strategy";
       "  run <query>                    execute and summarise";
@@ -132,9 +134,53 @@ let do_gen t n_tx n_items seed =
     (Tx_db.size db) n_items (Tx_db.avg_tx_len db)
 
 let do_run t ctx q =
-  let r = Exec.run ~strategy:t.strategy ~collect_pairs:true ctx q in
-  t.last <- Some r;
-  say "%s" (Explain.result_to_string r)
+  match Exec.run_result ~strategy:t.strategy ~collect_pairs:true ctx q with
+  | Ok r ->
+      t.last <- Some r;
+      say "%s" (Explain.result_to_string r)
+  | Error e -> say "run failed: %s" (Cfq_error.to_string e)
+
+let do_set_fault ctx args =
+  let db = ctx.Exec.db in
+  match args with
+  | [ "off" ] ->
+      let report =
+        match Tx_db.faults db with
+        | None -> "fault injection was not enabled"
+        | Some fl ->
+            let s = Fault.stats fl in
+            Format.asprintf
+              "fault injection off (injected: %d transient, %d spikes, %d crashes, %d \
+               tampered, %d checksum failures)"
+              s.Fault.transient s.Fault.spikes s.Fault.crashes s.Fault.tampered
+              s.Fault.checksum_failures
+      in
+      Tx_db.set_faults db None;
+      say "%s" report
+  | _ -> (
+      match List.map float_of_string_opt args with
+      | [ Some p ] when p >= 0. && p <= 1. ->
+          Tx_db.set_faults db
+            (Some (Fault.create { Fault.default_config with Fault.transient_p = p }));
+          say "fault injection on: transient-p=%g" p
+      | [ Some p; Some cp ] when p >= 0. && p <= 1. && cp >= 0. && cp <= 1. ->
+          Tx_db.set_faults db
+            (Some
+               (Fault.create
+                  { Fault.default_config with Fault.transient_p = p; corrupt_p = cp }));
+          say "fault injection on: transient-p=%g corrupt-p=%g" p cp
+      | [ Some p; Some cp; Some seed ] when p >= 0. && p <= 1. && cp >= 0. && cp <= 1. ->
+          Tx_db.set_faults db
+            (Some
+               (Fault.create
+                  {
+                    Fault.default_config with
+                    Fault.transient_p = p;
+                    corrupt_p = cp;
+                    seed = Int64.of_float seed;
+                  }));
+          say "fault injection on: transient-p=%g corrupt-p=%g seed=%.0f" p cp seed
+      | _ -> say "usage: set fault <transient-p> [<corrupt-p> [<seed>]] | set fault off")
 
 let do_pairs t n =
   match t.last with
@@ -224,7 +270,8 @@ let eval t line =
               t.min_conf <- f;
               say "minimum confidence set to %.2f" f
           | Some _ | None -> say "minconf must be a float in [0, 1]")
-      | _ -> say "usage: set strategy <name> | set minconf <float>")
+      | "fault" :: args -> with_ctx t (fun ctx -> do_set_fault ctx args)
+      | _ -> say "usage: set strategy <name> | set minconf <float> | set fault ...")
   | "explain" ->
       with_ctx t (fun ctx ->
           parse_query t ctx rest (fun (t, q) ->

@@ -1,0 +1,162 @@
+type config = {
+  seed : int64;
+  transient_p : float;
+  fail_first : int;
+  spike_p : float;
+  spike_seconds : float;
+  corrupt_p : float;
+  max_corrupt : int;
+  crash_p : float;
+}
+
+let default_config =
+  {
+    seed = 0x5EEDL;
+    transient_p = 0.;
+    fail_first = 0;
+    spike_p = 0.;
+    spike_seconds = 0.001;
+    corrupt_p = 0.;
+    max_corrupt = 1;
+    crash_p = 0.;
+  }
+
+let is_active c =
+  c.transient_p > 0. || c.fail_first > 0 || c.spike_p > 0. || c.corrupt_p > 0.
+  || c.crash_p > 0.
+
+type stats = {
+  transient : int;
+  spikes : int;
+  crashes : int;
+  tampered : int;
+  checksum_failures : int;
+}
+
+type t = {
+  cfg : config;
+  mutex : Mutex.t;
+  mutable rng : int64;  (* SplitMix64 state *)
+  mutable remaining_fail_first : int;
+  tampered_pages : (int, unit) Hashtbl.t;
+  mutable n_transient : int;
+  mutable n_spikes : int;
+  mutable n_crashes : int;
+  mutable n_checksum_failures : int;
+}
+
+let create cfg =
+  {
+    cfg;
+    mutex = Mutex.create ();
+    rng = cfg.seed;
+    remaining_fail_first = max 0 cfg.fail_first;
+    tampered_pages = Hashtbl.create 7;
+    n_transient = 0;
+    n_spikes = 0;
+    n_crashes = 0;
+    n_checksum_failures = 0;
+  }
+
+let config t = t.cfg
+
+(* SplitMix64 (Steele, Lea & Flood 2014) — the same stream discipline as
+   Cfq_quest.Splitmix, inlined here because cfq_quest sits above this
+   library in the dependency order. *)
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* call under [t.mutex] *)
+let next_float t =
+  t.rng <- Int64.add t.rng golden_gamma;
+  let v = Int64.to_float (Int64.shift_right_logical (mix64 t.rng) 11) in
+  v *. (1. /. 9007199254740992.)
+
+let locked t f =
+  Mutex.lock t.mutex;
+  match f () with
+  | v ->
+      Mutex.unlock t.mutex;
+      v
+  | exception e ->
+      Mutex.unlock t.mutex;
+      raise e
+
+let stats t =
+  locked t (fun () ->
+      {
+        transient = t.n_transient;
+        spikes = t.n_spikes;
+        crashes = t.n_crashes;
+        tampered = Hashtbl.length t.tampered_pages;
+        checksum_failures = t.n_checksum_failures;
+      })
+
+type scan_outcome = Proceed | Spike | Crash
+
+let on_scan t =
+  let outcome =
+    locked t (fun () ->
+        if t.cfg.crash_p > 0. && next_float t < t.cfg.crash_p then begin
+          t.n_crashes <- t.n_crashes + 1;
+          Crash
+        end
+        else if t.cfg.spike_p > 0. && next_float t < t.cfg.spike_p then begin
+          t.n_spikes <- t.n_spikes + 1;
+          Spike
+        end
+        else Proceed)
+  in
+  match outcome with
+  | Proceed -> ()
+  | Spike -> Unix.sleepf t.cfg.spike_seconds (* outside the lock *)
+  | Crash -> Cfq_error.raise_error (Cfq_error.Query_crash "injected crash")
+
+(* call under [t.mutex]: one transient draw, counting [fail_first] down
+   before the probabilistic regime *)
+let transient_draw t =
+  if t.remaining_fail_first > 0 then begin
+    t.remaining_fail_first <- t.remaining_fail_first - 1;
+    true
+  end
+  else t.cfg.transient_p > 0. && next_float t < t.cfg.transient_p
+
+let on_page t ~page =
+  let fail =
+    locked t (fun () ->
+        if t.cfg.corrupt_p > 0.
+           && (not (Hashtbl.mem t.tampered_pages page))
+           && Hashtbl.length t.tampered_pages < t.cfg.max_corrupt
+           && next_float t < t.cfg.corrupt_p
+        then Hashtbl.replace t.tampered_pages page ();
+        if transient_draw t then begin
+          t.n_transient <- t.n_transient + 1;
+          true
+        end
+        else false)
+  in
+  if fail then Cfq_error.raise_error (Cfq_error.Transient_io { page })
+
+let on_get t ~page =
+  let outcome =
+    locked t (fun () ->
+        if Hashtbl.mem t.tampered_pages page then `Corrupt
+        else if transient_draw t then begin
+          t.n_transient <- t.n_transient + 1;
+          `Transient
+        end
+        else `Ok)
+  in
+  match outcome with
+  | `Ok -> ()
+  | `Transient -> Cfq_error.raise_error (Cfq_error.Transient_io { page })
+  | `Corrupt -> Cfq_error.raise_error (Cfq_error.Corrupt_page { page })
+
+let tampered t ~page = locked t (fun () -> Hashtbl.mem t.tampered_pages page)
+
+let note_checksum_failure t =
+  locked t (fun () -> t.n_checksum_failures <- t.n_checksum_failures + 1)

@@ -1,0 +1,87 @@
+(** Deterministic fault injection for the transaction store.
+
+    A [Fault.t] is installed on a {!Tx_db.t} ({!Tx_db.set_faults}) and is
+    consulted by every scan and point read.  All randomness comes from one
+    SplitMix64 stream seeded by [config.seed] (the same generator
+    [Cfq_quest.Splitmix] uses for database generation), so a fixed seed and
+    a fixed operation order replay the exact same fault sequence — the
+    chaos benchmark and CI rely on this.
+
+    Failure modes, all independently tunable:
+
+    {ul
+    {- {e transient page-read errors} — each page read fails with
+       probability [transient_p], raising
+       [Cfq_error.Transient_io].  [fail_first] additionally fails the
+       first [n] page reads unconditionally (deterministic unit tests);}
+    {- {e stuck-scan latency spikes} — each scan sleeps [spike_seconds]
+       with probability [spike_p];}
+    {- {e bounded page corruption} — each page read tampers the page with
+       probability [corrupt_p], but never more than [max_corrupt]
+       {e distinct} pages ever.  Tampering is simulated at the read layer
+       (the store's data is untouched): {!Tx_db} verifies its per-page
+       checksums against the tampered view and raises
+       [Cfq_error.Corrupt_page];}
+    {- {e injected query crashes} — each scan raises
+       [Cfq_error.Query_crash] with probability [crash_p], modelling a
+       query dying mid-flight.}}
+
+    Thread safety: all state sits behind one mutex, so concurrent worker
+    domains may scan a faulted store; determinism then additionally
+    requires a deterministic operation order (one worker, sequential
+    submission). *)
+
+type config = {
+  seed : int64;
+  transient_p : float;  (** per page read, in [0, 1] *)
+  fail_first : int;  (** first [n] page reads fail unconditionally *)
+  spike_p : float;  (** per scan *)
+  spike_seconds : float;
+  corrupt_p : float;  (** per page read *)
+  max_corrupt : int;  (** distinct pages ever tampered *)
+  crash_p : float;  (** per scan *)
+}
+
+(** All probabilities 0, [fail_first] 0, [max_corrupt] 1,
+    [spike_seconds] 1ms: a no-op injector to build configs from. *)
+val default_config : config
+
+(** Some failure mode is actually enabled. *)
+val is_active : config -> bool
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+(** Injection counters, for reports and assertions. *)
+type stats = {
+  transient : int;  (** transient page-read errors raised *)
+  spikes : int;  (** latency spikes slept *)
+  crashes : int;  (** query crashes raised *)
+  tampered : int;  (** distinct pages tampered (≤ [max_corrupt]) *)
+  checksum_failures : int;  (** corrupt reads detected by {!Tx_db} *)
+}
+
+val stats : t -> stats
+
+(** Hooks called by {!Tx_db}. *)
+
+(** Start of a full scan: may sleep (spike) or raise
+    [Cfq_error.Query_crash]. *)
+val on_scan : t -> unit
+
+(** A page read during a scan: may raise [Cfq_error.Transient_io] and may
+    (boundedly) mark the page tampered. *)
+val on_page : t -> page:int -> unit
+
+(** A point read ({!Tx_db.get}): may raise [Cfq_error.Transient_io] or,
+    if [page] is already tampered, [Cfq_error.Corrupt_page].  Draws no
+    corruption decisions of its own. *)
+val on_get : t -> page:int -> unit
+
+(** The page's stored checksum should read as tampered. *)
+val tampered : t -> page:int -> bool
+
+(** {!Tx_db} reports a detected checksum mismatch. *)
+val note_checksum_failure : t -> unit

@@ -13,21 +13,31 @@ let default = make ()
 
 let tx_bytes t n_items = t.tid_bytes + (n_items * t.item_bytes)
 
-let pages_for t sizes =
+let assign t sizes =
   let pages = ref 0 in
   let free = ref 0 in
-  Array.iter
-    (fun n ->
-      let b = tx_bytes t n in
-      if b > t.page_size_bytes then begin
-        (* oversized transaction: spans dedicated pages *)
-        pages := !pages + ((b + t.page_size_bytes - 1) / t.page_size_bytes);
-        free := 0
-      end
-      else if b <= !free then free := !free - b
-      else begin
-        incr pages;
-        free := t.page_size_bytes - b
-      end)
-    sizes;
-  !pages
+  let page_of =
+    Array.map
+      (fun n ->
+        let b = tx_bytes t n in
+        if b > t.page_size_bytes then begin
+          (* oversized transaction: spans dedicated pages *)
+          let first = !pages in
+          pages := !pages + ((b + t.page_size_bytes - 1) / t.page_size_bytes);
+          free := 0;
+          first
+        end
+        else if b <= !free then begin
+          free := !free - b;
+          !pages - 1
+        end
+        else begin
+          incr pages;
+          free := t.page_size_bytes - b;
+          !pages - 1
+        end)
+      sizes
+  in
+  (page_of, !pages)
+
+let pages_for t sizes = snd (assign t sizes)

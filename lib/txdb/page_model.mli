@@ -24,3 +24,10 @@ val tx_bytes : t -> int -> int
     page unless larger than a page, in which case it takes
     [ceil(bytes/page)] contiguous pages). *)
 val pages_for : t -> int array -> int
+
+(** [assign t sizes] is [(page_of, n_pages)] under the same sequential
+    packing as {!pages_for}: [page_of.(i)] is the (first) page holding
+    transaction [i], and [n_pages = pages_for t sizes].  Page indices are
+    non-decreasing; an oversized transaction owns
+    [ceil(bytes/page)] consecutive page indices starting at its own. *)
+val assign : t -> int array -> int array * int

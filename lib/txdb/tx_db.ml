@@ -4,21 +4,118 @@ type t = {
   txs : Transaction.t array;
   page_model : Page_model.t;
   pages : int;
+  page_of : int array;  (* tx index -> (first) page holding it *)
+  checksums : int array;  (* per page, over the resident transactions *)
+  mutable faults : Fault.t option;
 }
+
+(* ------------------------------------------------------------------ *)
+(* per-page checksums: a cheap rolling hash over (tid, items), fixed at
+   load time and re-derivable from the resident data, so a scan can detect
+   a page whose stored checksum no longer matches what it reads *)
+
+let checksum_seed = 0x2545F491
+
+let checksum_tx h (tx : Transaction.t) =
+  let h = ref ((h * 31) + tx.Transaction.tid + 1) in
+  Itemset.iter (fun i -> h := (!h * 131) + i + 1) tx.Transaction.items;
+  !h land max_int
+
+let compute_checksums ~pages ~page_of txs =
+  let sums = Array.make (max 0 pages) checksum_seed in
+  Array.iteri
+    (fun i tx ->
+      let p = page_of.(i) in
+      sums.(p) <- checksum_tx sums.(p) tx)
+    txs;
+  sums
 
 let create ?(page_model = Page_model.default) itemsets =
   let txs = Array.mapi (fun tid items -> Transaction.make ~tid ~items) itemsets in
   let sizes = Array.map Itemset.cardinal itemsets in
-  { txs; page_model; pages = Page_model.pages_for page_model sizes }
+  let page_of, pages = Page_model.assign page_model sizes in
+  {
+    txs;
+    page_model;
+    pages;
+    page_of;
+    checksums = compute_checksums ~pages ~page_of txs;
+    faults = None;
+  }
 
 let size t = Array.length t.txs
 let pages t = t.pages
 let page_model t = t.page_model
-let get t tid = t.txs.(tid)
+
+let set_faults t faults = t.faults <- faults
+let faults t = t.faults
+let page_of_tx t tid = t.page_of.(tid)
+
+let get t tid =
+  (match t.faults with
+  | None -> ()
+  | Some fl -> Fault.on_get fl ~page:t.page_of.(tid));
+  t.txs.(tid)
+
+(* stored checksum of [page] as the read layer sees it: a tampered page
+   reads back a flipped checksum, so verification fails *)
+let stored_checksum t fl page =
+  if Fault.tampered fl ~page then t.checksums.(page) lxor 1 else t.checksums.(page)
+
+let verify_extent t fl ~page ~lo ~hi =
+  let h = ref checksum_seed in
+  for k = lo to hi do
+    h := checksum_tx !h t.txs.(k)
+  done;
+  if stored_checksum t fl page <> !h then begin
+    Fault.note_checksum_failure fl;
+    Cfq_error.raise_error (Cfq_error.Corrupt_page { page })
+  end
 
 let iter_scan t stats f =
   Io_stats.record_scan stats ~pages:t.pages ~tuples:(Array.length t.txs);
-  Array.iter f t.txs
+  match t.faults with
+  | None -> Array.iter f t.txs
+  | Some fl ->
+      Fault.on_scan fl;
+      (* deliver page by page: consult the injector and verify the page's
+         checksum before any of its tuples reach [f] *)
+      let n = Array.length t.txs in
+      let i = ref 0 in
+      while !i < n do
+        let page = t.page_of.(!i) in
+        Fault.on_page fl ~page;
+        let j = ref !i in
+        while !j < n && t.page_of.(!j) = page do
+          incr j
+        done;
+        verify_extent t fl ~page ~lo:!i ~hi:(!j - 1);
+        for k = !i to !j - 1 do
+          f t.txs.(k)
+        done;
+        i := !j
+      done
+
+let verify t =
+  match t.faults with
+  | None -> Ok ()
+  | Some fl -> (
+      let n = Array.length t.txs in
+      let check () =
+        let i = ref 0 in
+        while !i < n do
+          let page = t.page_of.(!i) in
+          let j = ref !i in
+          while !j < n && t.page_of.(!j) = page do
+            incr j
+          done;
+          verify_extent t fl ~page ~lo:!i ~hi:(!j - 1);
+          i := !j
+        done
+      in
+      match check () with
+      | () -> Ok ()
+      | exception Cfq_error.Error e -> Error e)
 
 let absolute_support t frac =
   if frac < 0. || frac > 1. then invalid_arg "Tx_db.absolute_support";

@@ -19,12 +19,35 @@ val pages : t -> int
 
 val page_model : t -> Page_model.t
 
-(** [get t tid] is transaction [tid]. *)
+(** [get t tid] is transaction [tid].  With faults installed, may raise
+    [Cfq_error.Error]. *)
 val get : t -> int -> Transaction.t
 
 (** [iter_scan t stats f] runs [f] over every transaction and charges one
-    full scan to [stats]. *)
+    full scan to [stats].  With faults installed, delivery is page by page:
+    each page is checked against the injector and its stored checksum
+    before any of its transactions reach [f], and [Cfq_error.Error] is
+    raised on an injected transient error, a checksum mismatch (corrupt
+    page), or an injected crash. *)
 val iter_scan : t -> Io_stats.t -> (Transaction.t -> unit) -> unit
+
+(** {2 Fault injection}
+
+    The store carries per-page checksums computed at {!create}.  Installing
+    a {!Fault.t} makes every scan and point read consult the injector;
+    removing it ([set_faults t None]) restores the untouched fast path. *)
+
+val set_faults : t -> Fault.t option -> unit
+val faults : t -> Fault.t option
+
+(** Page holding transaction [tid] (its first page if it spans several). *)
+val page_of_tx : t -> int -> int
+
+(** [verify t] recomputes every page checksum against the stored data as
+    the current fault layer reads it: [Error (Corrupt_page _)] for the
+    first tampered page, [Ok ()] otherwise (always [Ok] with no faults
+    installed).  Detected mismatches are counted on the injector. *)
+val verify : t -> (unit, Cfq_error.t) result
 
 (** [absolute_support t frac] converts a relative support threshold in
     [0, 1] to an absolute count (at least 1). *)

@@ -1,0 +1,173 @@
+(* The fault-injection layer: seeded determinism, [fail_first] semantics,
+   bounded page corruption caught by the per-page checksums, crash
+   injection, and the untouched fast path when no injector is installed. *)
+
+open Cfq_itembase
+open Cfq_txdb
+
+(* a store spanning several pages: a tiny page size packs ~3 transactions
+   per page, so page-granular faults are observable *)
+let small_db () =
+  let txs =
+    Array.init 32 (fun i ->
+        Itemset.of_list [ i mod 5; (i + 1) mod 5; (i + 2) mod 5 ])
+  in
+  let page_model = Page_model.make ~page_size_bytes:64 () in
+  Tx_db.create ~page_model txs
+
+let scan_result db =
+  let io = Io_stats.create () in
+  let n = ref 0 in
+  match Tx_db.iter_scan db io (fun _ -> incr n) with
+  | () -> Ok !n
+  | exception Cfq_error.Error e -> Error (Cfq_error.to_string e)
+
+let install db config =
+  let f = Fault.create config in
+  Tx_db.set_faults db (Some f);
+  f
+
+(* ------------------------------------------------------------------ *)
+
+let no_faults_scans_everything () =
+  let db = small_db () in
+  Alcotest.(check bool) "several pages" true (Tx_db.pages db > 3);
+  Alcotest.(check (result int string)) "full scan" (Ok 32) (scan_result db);
+  (match Tx_db.verify db with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "verify: %s" (Cfq_error.to_string e));
+  Alcotest.(check bool) "default config inactive" false
+    (Fault.is_active Fault.default_config);
+  Alcotest.(check bool) "fail_first activates" true
+    (Fault.is_active { Fault.default_config with Fault.fail_first = 1 })
+
+let inactive_injector_is_transparent () =
+  let db = small_db () in
+  let f = install db Fault.default_config in
+  Alcotest.(check (result int string)) "full scan" (Ok 32) (scan_result db);
+  Alcotest.(check int) "tid 7 intact" 7 (Tx_db.get db 7).Transaction.tid;
+  let s = Fault.stats f in
+  Alcotest.(check int) "no transients" 0 s.Fault.transient;
+  Alcotest.(check int) "no crashes" 0 s.Fault.crashes;
+  Alcotest.(check int) "nothing tampered" 0 s.Fault.tampered
+
+let fail_first_fails_exactly_n_reads () =
+  let db = small_db () in
+  let f = install db { Fault.default_config with Fault.fail_first = 2 } in
+  (* each aborted scan consumes one unconditional failure on its first
+     page read; the third scan goes clean *)
+  Alcotest.(check (result int string))
+    "scan 1 fails" (Error "transient I/O error reading page 0") (scan_result db);
+  Alcotest.(check (result int string))
+    "scan 2 fails" (Error "transient I/O error reading page 0") (scan_result db);
+  Alcotest.(check (result int string)) "scan 3 clean" (Ok 32) (scan_result db);
+  Alcotest.(check int) "two transients" 2 (Fault.stats f).Fault.transient;
+  Alcotest.(check bool) "Transient_io is transient" true
+    (Cfq_error.is_transient (Cfq_error.Transient_io { page = 0 }))
+
+let same_seed_same_fault_sequence () =
+  let trace () =
+    let db = small_db () in
+    let f =
+      install db
+        { Fault.default_config with Fault.seed = 0xFA17L; transient_p = 0.05 }
+    in
+    let outcomes = List.init 20 (fun _ -> scan_result db) in
+    (outcomes, Fault.stats f)
+  in
+  let o1, s1 = trace () in
+  let o2, s2 = trace () in
+  Alcotest.(check (list (result int string))) "identical outcomes" o1 o2;
+  Alcotest.(check int) "identical stats" s1.Fault.transient s2.Fault.transient;
+  (* the trace actually mixes successes and failures *)
+  Alcotest.(check bool) "some scans fail" true
+    (List.exists (function Error _ -> true | Ok _ -> false) o1);
+  Alcotest.(check bool) "some scans succeed" true
+    (List.exists (function Ok 32 -> true | _ -> false) o1)
+
+let corruption_is_bounded () =
+  let f =
+    Fault.create { Fault.default_config with Fault.corrupt_p = 1.0; max_corrupt = 2 }
+  in
+  (* every read wants to tamper, but only [max_corrupt] distinct pages ever do *)
+  for page = 0 to 4 do
+    Fault.on_page f ~page
+  done;
+  Alcotest.(check bool) "page 0 tampered" true (Fault.tampered f ~page:0);
+  Alcotest.(check bool) "page 1 tampered" true (Fault.tampered f ~page:1);
+  Alcotest.(check bool) "page 2 spared" false (Fault.tampered f ~page:2);
+  Alcotest.(check int) "bound respected" 2 (Fault.stats f).Fault.tampered
+
+let checksums_catch_corruption () =
+  let db = small_db () in
+  let f =
+    install db { Fault.default_config with Fault.corrupt_p = 1.0; max_corrupt = 1 }
+  in
+  Alcotest.(check (result int string))
+    "scan detects the tampered page"
+    (Error "checksum mismatch on page 0") (scan_result db);
+  (match Tx_db.verify db with
+  | Error (Cfq_error.Corrupt_page { page = 0 }) -> ()
+  | Error e -> Alcotest.failf "verify: unexpected %s" (Cfq_error.to_string e)
+  | Ok () -> Alcotest.fail "verify missed the tampered page");
+  Alcotest.(check bool) "detections counted" true
+    ((Fault.stats f).Fault.checksum_failures >= 2);
+  (* tampering is simulated at the read layer: removing the injector
+     restores the intact store *)
+  Tx_db.set_faults db None;
+  (match Tx_db.verify db with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "clean verify: %s" (Cfq_error.to_string e));
+  Alcotest.(check (result int string)) "data untouched" (Ok 32) (scan_result db)
+
+let get_sees_tampered_pages () =
+  let db = small_db () in
+  let f =
+    Fault.create { Fault.default_config with Fault.corrupt_p = 1.0; max_corrupt = 1 }
+  in
+  Fault.on_page f ~page:(Tx_db.page_of_tx db 0);
+  Tx_db.set_faults db (Some f);
+  (match Tx_db.get db 0 with
+  | (_ : Transaction.t) -> Alcotest.fail "expected Corrupt_page"
+  | exception Cfq_error.Error (Cfq_error.Corrupt_page _) -> ());
+  (* a transaction on an untampered page still reads fine *)
+  Alcotest.(check int) "tid 31 intact" 31 (Tx_db.get db 31).Transaction.tid
+
+let crash_injection () =
+  let db = small_db () in
+  let f = install db { Fault.default_config with Fault.crash_p = 1.0 } in
+  (match scan_result db with
+  | Error msg ->
+      Alcotest.(check bool) "crash error" true
+        (String.length msg >= 5 && String.sub msg 0 5 = "query")
+  | Ok _ -> Alcotest.fail "expected a crash");
+  Alcotest.(check int) "crash counted" 1 (Fault.stats f).Fault.crashes;
+  Alcotest.(check bool) "crashes are not transient" false
+    (Cfq_error.is_transient (Cfq_error.Query_crash "x"))
+
+let page_assignment_consistent () =
+  let db = small_db () in
+  let n_pages = Tx_db.pages db in
+  let prev = ref 0 in
+  for tid = 0 to Tx_db.size db - 1 do
+    let p = Tx_db.page_of_tx db tid in
+    if p < !prev || p >= n_pages then
+      Alcotest.failf "tid %d on page %d (prev %d, %d pages)" tid p !prev n_pages;
+    prev := p
+  done
+
+let suite =
+  [
+    Alcotest.test_case "no faults: everything scans" `Quick no_faults_scans_everything;
+    Alcotest.test_case "inactive injector is transparent" `Quick
+      inactive_injector_is_transparent;
+    Alcotest.test_case "fail_first fails exactly n reads" `Quick
+      fail_first_fails_exactly_n_reads;
+    Alcotest.test_case "same seed, same fault sequence" `Quick
+      same_seed_same_fault_sequence;
+    Alcotest.test_case "corruption bounded by max_corrupt" `Quick corruption_is_bounded;
+    Alcotest.test_case "checksums catch corruption" `Quick checksums_catch_corruption;
+    Alcotest.test_case "get sees tampered pages" `Quick get_sees_tampered_pages;
+    Alcotest.test_case "crash injection" `Quick crash_injection;
+    Alcotest.test_case "page assignment consistent" `Quick page_assignment_consistent;
+  ]

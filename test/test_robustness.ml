@@ -1,0 +1,385 @@
+(* Serving under faults: retries, the circuit breaker lifecycle, graceful
+   degradation from cached superset answers, the pool's queue-full and
+   shutdown fallbacks, and a crash-consistency property for the caches. *)
+
+open Cfq_txdb
+open Cfq_constr
+open Cfq_mining
+open Cfq_core
+open Cfq_service
+
+let price = Helpers.price
+
+(* a fixed small database; every query below is brute-force checkable *)
+let fixed_txs =
+  [
+    [ 0; 1 ]; [ 0; 1; 2 ]; [ 1; 2 ]; [ 0; 2; 3 ]; [ 1; 3 ]; [ 0; 1; 3 ];
+    [ 2; 3 ]; [ 0; 1; 2; 3 ]; [ 1; 2; 3 ]; [ 0; 3 ]; [ 0; 1; 2 ]; [ 1; 2 ];
+    [ 0; 1 ]; [ 2; 3; 4 ]; [ 0; 4 ]; [ 1; 2; 4 ]; [ 0; 1; 4 ]; [ 3; 4 ];
+    [ 0; 2; 4 ]; [ 1; 3; 4 ];
+  ]
+
+let n_items = 5
+
+let mk_ctx () =
+  let db = Helpers.db_of_lists fixed_txs in
+  let info = Helpers.small_info n_items in
+  (db, info, Cfq_core.Exec.context db info)
+
+let q_broad = Query.make ~s_minsup:0.1 ~t_minsup:0.1 ()
+let q_narrow = Query.make ~s_minsup:0.2 ~t_minsup:0.2 ()
+
+let base_config =
+  { Service.default_config with Service.domains = 1; queue_capacity = 4 }
+
+let install db config = Tx_db.set_faults db (Some (Fault.create config))
+
+let set_pairs (a : Service.answer) =
+  Helpers.sorted_pairs
+    (List.map
+       (fun (s, t) -> (s.Frequent.set, t.Frequent.set))
+       a.Service.pairs)
+
+(* the reference scans the database directly, so lift any installed
+   injector for its duration *)
+let brute db info q =
+  let injector = Tx_db.faults db in
+  Tx_db.set_faults db None;
+  Fun.protect ~finally:(fun () -> Tx_db.set_faults db injector) @@ fun () ->
+  Helpers.sorted_pairs
+    (Helpers.brute_answer db ~n:n_items ~s_info:info ~t_info:info q)
+
+let check_answer label db info q = function
+  | Error e -> Alcotest.failf "%s: %s" label (Service.error_to_string e)
+  | Ok a ->
+      Alcotest.(check bool)
+        (label ^ ": equals brute force")
+        true
+        (set_pairs a = brute db info q);
+      a
+
+let with_service ?(config = base_config) ctx f =
+  let service = Service.create ~config ctx in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) (fun () -> f service)
+
+(* ------------------------------------------------------------------ *)
+(* retries *)
+
+let transient_fault_is_retried () =
+  let db, info, ctx = mk_ctx () in
+  with_service ~config:{ base_config with Service.retries = 2; degrade = false } ctx
+  @@ fun service ->
+  install db { Fault.default_config with Fault.fail_first = 1 };
+  let a =
+    check_answer "retried query" db info q_broad (Service.run service q_broad)
+  in
+  Alcotest.(check bool) "served cold" true (a.Service.served_from = Service.Cold);
+  let m = Service.metrics service in
+  Alcotest.(check int) "one retry" 1 m.Metrics.retries;
+  Alcotest.(check int) "no failure surfaced" 0 m.Metrics.failures;
+  Tx_db.set_faults db None
+
+let exhausted_retries_surface_the_fault () =
+  let db, _, ctx = mk_ctx () in
+  with_service ~config:{ base_config with Service.retries = 1; degrade = false } ctx
+  @@ fun service ->
+  install db { Fault.default_config with Fault.transient_p = 1.0 };
+  (match Service.run service q_broad with
+  | Error (Service.Fault (Cfq_error.Transient_io _)) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" (Service.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected a fault");
+  let m = Service.metrics service in
+  Alcotest.(check int) "retry budget spent" 1 m.Metrics.retries;
+  Alcotest.(check int) "failure counted" 1 m.Metrics.failures;
+  Alcotest.(check int) "fault classified" 1 m.Metrics.fault_transient;
+  Tx_db.set_faults db None
+
+(* ------------------------------------------------------------------ *)
+(* circuit breaker *)
+
+let breaker_config =
+  {
+    base_config with
+    Service.retries = 0;
+    breaker_threshold = 2;
+    breaker_cooldown = 2;
+    degrade = false;
+  }
+
+let breaker_lifecycle () =
+  let db, info, ctx = mk_ctx () in
+  with_service ~config:breaker_config ctx @@ fun service ->
+  install db { Fault.default_config with Fault.transient_p = 1.0 };
+  let expect label r = function
+    | `Fault -> (
+        match r with
+        | Error (Service.Fault _) -> ()
+        | _ -> Alcotest.failf "%s: expected a fault" label)
+    | `Shed -> (
+        match r with
+        | Error Service.Overloaded -> ()
+        | _ -> Alcotest.failf "%s: expected Overloaded" label)
+  in
+  (* two consecutive failures trip the breaker *)
+  expect "q1" (Service.run service q_broad) `Fault;
+  expect "q2" (Service.run service q_broad) `Fault;
+  (* open: two admissions shed (the cooldown), then a half-open probe *)
+  expect "q3" (Service.run service q_broad) `Shed;
+  expect "q4" (Service.run service q_broad) `Shed;
+  (* the probe still fails, so the breaker re-trips for another cooldown *)
+  expect "q5 (probe)" (Service.run service q_broad) `Fault;
+  expect "q6" (Service.run service q_broad) `Shed;
+  (* the store recovers while the breaker is still open *)
+  Tx_db.set_faults db None;
+  expect "q7" (Service.run service q_broad) `Shed;
+  (* this probe succeeds and closes the breaker *)
+  let a =
+    check_answer "q8 (probe)" db info q_broad (Service.run service q_broad)
+  in
+  Alcotest.(check bool) "probe mined cold" true
+    (a.Service.served_from = Service.Cold);
+  let a2 =
+    check_answer "q9 after close" db info q_broad (Service.run service q_broad)
+  in
+  Alcotest.(check bool) "closed breaker serves the cache" true
+    (a2.Service.served_from = Service.Answer_cache);
+  let m = Service.metrics service in
+  Alcotest.(check int) "two trips" 2 m.Metrics.breaker_trips;
+  Alcotest.(check int) "four shed" 4 m.Metrics.shed;
+  Alcotest.(check int) "three raw failures" 3 m.Metrics.failures
+
+let open_breaker_serves_the_answer_cache () =
+  let db, info, ctx = mk_ctx () in
+  with_service ~config:{ breaker_config with Service.degrade = true } ctx
+  @@ fun service ->
+  (* prime the cache while healthy *)
+  let (_ : Service.answer) =
+    check_answer "prime" db info q_narrow (Service.run service q_narrow)
+  in
+  install db { Fault.default_config with Fault.transient_p = 1.0 };
+  (* q_broad asks for MORE than the cached q_narrow answer covers, so it
+     cannot be served degraded: it fails twice and trips the breaker *)
+  let fail label =
+    match Service.run service q_broad with
+    | Error (Service.Fault _) -> ()
+    | _ -> Alcotest.failf "%s: expected a fault" label
+  in
+  fail "f1";
+  fail "f2";
+  (* breaker open: the cached query is still answered, without a scan *)
+  let a =
+    check_answer "cache hit while open" db info q_narrow
+      (Service.run service q_narrow)
+  in
+  Alcotest.(check bool) "served from the answer cache" true
+    (a.Service.served_from = Service.Answer_cache);
+  Alcotest.(check int) "no counting" 0 a.Service.support_counted;
+  (* the uncacheable query is shed *)
+  (match Service.run service q_broad with
+  | Error Service.Overloaded -> ()
+  | _ -> Alcotest.fail "expected Overloaded");
+  Alcotest.(check int) "one shed" 1 (Service.metrics service).Metrics.shed;
+  Tx_db.set_faults db None
+
+(* ------------------------------------------------------------------ *)
+(* graceful degradation *)
+
+let degraded_answer_is_exact () =
+  let db, info, ctx = mk_ctx () in
+  with_service
+    ~config:
+      {
+        base_config with
+        Service.retries = 0;
+        breaker_threshold = 0;
+        degrade = true;
+      }
+    ctx
+  @@ fun service ->
+  let (_ : Service.answer) =
+    check_answer "prime" db info q_broad (Service.run service q_broad)
+  in
+  (* drop the mined collections so any refinement must rescan — then the
+     store starts failing hard *)
+  Service.cache_drop_sides service;
+  install db { Fault.default_config with Fault.transient_p = 1.0 };
+  let q2 =
+    Query.make ~s_minsup:0.2 ~t_minsup:0.2
+      ~s_constraints:[ One_var.Agg_cmp (Agg.Max, price, Cmp.Ge, 10.) ]
+      ()
+  in
+  let a = check_answer "degraded refinement" db info q2 (Service.run service q2) in
+  Alcotest.(check bool) "flagged degraded" true
+    (a.Service.served_from = Service.Degraded);
+  Alcotest.(check int) "no counting" 0 a.Service.support_counted;
+  (* the primed query itself is still an exact answer-cache hit *)
+  let a2 =
+    check_answer "exact hit under faults" db info q_broad
+      (Service.run service q_broad)
+  in
+  Alcotest.(check bool) "answer cache" true
+    (a2.Service.served_from = Service.Answer_cache);
+  let m = Service.metrics service in
+  Alcotest.(check int) "one degraded answer" 1 m.Metrics.degraded;
+  Tx_db.set_faults db None
+
+(* ------------------------------------------------------------------ *)
+(* pool fallbacks *)
+
+let pool_queue_full_falls_back_inline () =
+  let pool = Pool.create ~domains:1 ~queue_capacity:1 () in
+  let release = Atomic.make false in
+  let blocker =
+    match Pool.submit pool (fun () ->
+        while not (Atomic.get release) do Domain.cpu_relax () done;
+        0)
+    with
+    | Some p -> p
+    | None -> Alcotest.fail "blocker refused"
+  in
+  (* wait until the worker has picked the blocker up, then fill the queue *)
+  while Pool.queue_depth pool > 0 do Domain.cpu_relax () done;
+  let filler =
+    match Pool.submit pool (fun () -> 1) with
+    | Some p -> p
+    | None -> Alcotest.fail "filler refused"
+  in
+  Alcotest.(check (option int)) "queue full" None
+    (Option.map (fun _ -> 0) (Pool.submit pool (fun () -> 2)));
+  let fell_back = ref false in
+  let r = Pool.run ~on_fallback:(fun () -> fell_back := true) pool (fun () -> 2) in
+  Alcotest.(check int) "inline result" 2 r;
+  Alcotest.(check bool) "fallback signalled" true !fell_back;
+  Atomic.set release true;
+  Alcotest.(check int) "blocker result" 0 (Pool.await blocker);
+  Alcotest.(check int) "filler result" 1 (Pool.await filler);
+  Pool.shutdown pool
+
+let pool_shutdown_semantics () =
+  let pool = Pool.create ~domains:1 ~queue_capacity:4 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool (* documented no-op *);
+  Alcotest.(check bool) "stopped" true (Pool.is_stopped pool);
+  (match Pool.submit pool (fun () -> 0) with
+  | _ -> Alcotest.fail "expected a typed Overload"
+  | exception Cfq_error.Error Cfq_error.Overload -> ());
+  let fell_back = ref false in
+  let r = Pool.run ~on_fallback:(fun () -> fell_back := true) pool (fun () -> 7) in
+  Alcotest.(check int) "run still yields inline" 7 r;
+  Alcotest.(check bool) "fallback signalled" true !fell_back
+
+let service_outlives_its_pool () =
+  let db, info, ctx = mk_ctx () in
+  let config =
+    { base_config with Service.retries = 0; breaker_threshold = 0; degrade = false }
+  in
+  let service = Service.create ~config ctx in
+  Service.shutdown service;
+  (* a shut-down service still answers, inline in the caller *)
+  let (_ : Service.answer) =
+    check_answer "inline after shutdown" db info q_broad
+      (Service.run service q_broad)
+  in
+  let m = Service.metrics service in
+  Alcotest.(check int) "inline run counted" 1 m.Metrics.inline_runs;
+  Alcotest.(check int) "rejection counted" 1 m.Metrics.rejected;
+  (* the inline fallback still honours the admission-time deadline *)
+  (match Service.run service ~deadline:(-1.) q_narrow with
+  | Error Service.Deadline_exceeded -> ()
+  | Error e -> Alcotest.failf "unexpected: %s" (Service.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Deadline_exceeded");
+  let m = Service.metrics service in
+  Alcotest.(check int) "second inline run" 2 m.Metrics.inline_runs;
+  Alcotest.(check int) "deadline expiry counted" 1 m.Metrics.deadline_expired
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: a crashing query never leaves a partially-inserted cache entry —
+   after the faults clear, every answer equals brute force *)
+
+let gen_crash =
+  QCheck2.Gen.(
+    let* n_db = Helpers.gen_db in
+    let* q1 = Helpers.gen_query in
+    let* extra = Helpers.gen_one_var in
+    let* bump = int_range 0 10 in
+    let* seed = int_range 0 10_000 in
+    return (n_db, q1, extra, bump, seed))
+
+let print_crash ((n, db), q1, extra, bump, seed) =
+  Printf.sprintf "%s q1=%s extra=%s bump=%d seed=%d" (Helpers.print_db (n, db))
+    (Query.to_string q1) (One_var.to_string extra) bump seed
+
+let prop_crash_consistency ((n, db), q1, extra, bump, seed) =
+  let info = Helpers.small_info n in
+  let ctx = Cfq_core.Exec.context db info in
+  let q2 =
+    {
+      q1 with
+      Query.s_minsup = min 1. (q1.Query.s_minsup +. (float_of_int bump /. 100.));
+      s_constraints = extra :: q1.Query.s_constraints;
+    }
+  in
+  let config =
+    { base_config with Service.retries = 0; breaker_threshold = 0; degrade = false }
+  in
+  let service = Service.create ~config ctx in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  let check_one label q =
+    let expected =
+      Helpers.sorted_pairs
+        (Helpers.brute_answer db ~n ~s_info:info ~t_info:info q)
+    in
+    match Service.run service q with
+    | Error e -> QCheck2.Test.fail_reportf "%s: %s" label (Service.error_to_string e)
+    | Ok a ->
+        if set_pairs a <> expected then
+          QCheck2.Test.fail_reportf "%s served %s: wrong pairs" label
+            (Service.served_from_name a.Service.served_from);
+        true
+  in
+  (* healthy run; the reference for q2 is also computed now, since the
+     brute-force scan cannot run against a faulted store *)
+  let expected2 =
+    Helpers.sorted_pairs (Helpers.brute_answer db ~n ~s_info:info ~t_info:info q2)
+  in
+  let ok1 = check_one "q1 healthy" q1 in
+  (* drop the sides so the refinement must rescan while the store crashes
+     and drops reads *)
+  Service.cache_drop_sides service;
+  Tx_db.set_faults db
+    (Some
+       (Fault.create
+          {
+            Fault.default_config with
+            Fault.seed = Int64.of_int seed;
+            crash_p = 0.5;
+            transient_p = 0.2;
+            fail_first = 1;
+          }));
+  (* under faults the query may fail — but if it answers, it answers right *)
+  let under_faults =
+    Fun.protect ~finally:(fun () -> Tx_db.set_faults db None) @@ fun () ->
+    match Service.run service q2 with
+    | Error _ -> true
+    | Ok a -> set_pairs a = expected2
+  in
+  (* whatever the crashed attempts left in the caches must not poison
+     post-recovery answers *)
+  ok1 && under_faults && check_one "q2 recovered" q2 && check_one "q1 recovered" q1
+
+let suite =
+  [
+    Alcotest.test_case "transient fault is retried" `Quick transient_fault_is_retried;
+    Alcotest.test_case "exhausted retries surface the fault" `Quick
+      exhausted_retries_surface_the_fault;
+    Alcotest.test_case "breaker lifecycle" `Quick breaker_lifecycle;
+    Alcotest.test_case "open breaker serves the answer cache" `Quick
+      open_breaker_serves_the_answer_cache;
+    Alcotest.test_case "degraded answer is exact" `Quick degraded_answer_is_exact;
+    Alcotest.test_case "pool: queue-full falls back inline" `Quick
+      pool_queue_full_falls_back_inline;
+    Alcotest.test_case "pool: shutdown semantics" `Quick pool_shutdown_semantics;
+    Alcotest.test_case "service outlives its pool" `Quick service_outlives_its_pool;
+    Helpers.qtest ~count:40 "crash-consistency: caches never poisoned" gen_crash
+      print_crash prop_crash_consistency;
+  ]

@@ -292,7 +292,7 @@ let prop_refinement ((n, db), q1, extra, bump) =
             (pairs_str got) (pairs_str expected);
         (* a query served purely from cache must not have counted anything *)
         (match a.Service.served_from with
-        | Service.Answer_cache | Service.Subsumed ->
+        | Service.Answer_cache | Service.Subsumed | Service.Degraded ->
             if a.Service.support_counted <> 0 then
               QCheck2.Test.fail_reportf "%s: cache-served but counted %d" label
                 a.Service.support_counted
