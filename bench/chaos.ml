@@ -102,6 +102,11 @@ let run (scale : Workloads.scale) =
     {
       Service.default_config with
       Service.domains = 1;
+      (* chunked parallel counting under faults: the single worker is busy
+         with the query itself, so helper jobs are withdrawn unrun and the
+         replay stays deterministic — but every scan still takes the
+         begin_scan/chunk path this PR adds *)
+      mine_domains = 3;
       retries = 3;
       backoff_base = 0.0005;
       breaker_threshold = 3;

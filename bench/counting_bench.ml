@@ -1,0 +1,167 @@
+(* Counting speedup bench: wall-clock of the parallel counting engine at
+   1/2/4 domains, on (a) one heavy level-2 counting pass (the pair-candidate
+   explosion that dominates early levels) and (b) a full [Exec.run] of a
+   2-var query.  Prints a table and writes the same rows machine-readably to
+   BENCH_counting.json so the perf trajectory is diffable across PRs.
+
+   Every parallel pass is checked against the sequential counts/answers
+   before its timing is reported — a speedup over a wrong answer is not a
+   speedup. *)
+
+open Cfq_itembase
+open Cfq_quest
+open Cfq_mining
+open Cfq_core
+open Cfq_report
+
+let domain_grid = [ 1; 2; 4 ]
+
+type row = {
+  r_domains : int;
+  r_seconds : float;
+  r_speedup : float;
+}
+
+let time_best ~repeats f =
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let rows_of ~repeats run =
+  (* sequential first: it is both the baseline timing and the reference
+     output every parallel run is compared against *)
+  let base = time_best ~repeats (fun () -> run 1) in
+  List.map
+    (fun d ->
+      let dt = if d = 1 then base else time_best ~repeats (fun () -> run d) in
+      { r_domains = d; r_seconds = dt; r_speedup = base /. dt })
+    domain_grid
+
+let print_rows title rows =
+  let tbl = Table.create [ "domains"; "wall(s)"; "speedup" ] in
+  List.iter
+    (fun r ->
+      Table.add_row tbl
+        [ string_of_int r.r_domains; Table.fcell r.r_seconds;
+          Table.speedup_cell r.r_speedup ])
+    rows;
+  Printf.printf "\n%s\n" title;
+  Table.print tbl
+
+let json_rows rows =
+  String.concat ",\n"
+    (List.map
+       (fun r ->
+         Printf.sprintf "      {\"domains\": %d, \"seconds\": %.6f, \"speedup\": %.3f}"
+           r.r_domains r.r_seconds r.r_speedup)
+       rows)
+
+let run (scale : Workloads.scale) =
+  Printf.printf
+    "counting bench: %d transactions, %d items, %d core(s) available\n%!"
+    scale.Workloads.n_tx scale.Workloads.n_items
+    (Domain.recommended_domain_count ());
+
+  (* ---- (a) one heavy level-2 pass: all pairs of frequent items ---- *)
+  let db = Workloads.quest_db scale in
+  let io = Cfq_txdb.Io_stats.create () in
+  let minsup = max 1 (Cfq_txdb.Tx_db.size db / 200) in
+  let freqs =
+    Cfq_txdb.Tx_db.item_frequencies db io ~universe_size:scale.Workloads.n_items
+  in
+  let frequent_items = ref [] in
+  Array.iteri (fun i f -> if f >= minsup then frequent_items := i :: !frequent_items) freqs;
+  let cands = Candidate.pairs_all (Array.of_list !frequent_items) in
+  Printf.printf "level-2 pass: %d pair candidates over %d transactions\n%!"
+    (Array.length cands) (Cfq_txdb.Tx_db.size db);
+  let reference = ref [||] in
+  let level2_run d =
+    let counts =
+      Counting.count_level
+        ~par:{ Counting.domains = d; pool = None }
+        db io (Counters.create ()) cands
+    in
+    if d = 1 then reference := counts
+    else if counts <> !reference then begin
+      Printf.printf "FAIL: level-2 counts at %d domains differ from sequential\n" d;
+      exit 1
+    end
+  in
+  let level2_rows = rows_of ~repeats:3 level2_run in
+  print_rows "heavy level-2 counting pass" level2_rows;
+
+  (* ---- (b) a full Exec.run of a 2-var query ---- *)
+  let rng = Splitmix.create ~seed:(Int64.add scale.Workloads.seed 7L) in
+  let n = scale.Workloads.n_items in
+  let prices = Item_gen.uniform_prices rng ~n ~lo:0. ~hi:1000. in
+  let types = Array.init n (fun _ -> float_of_int (Splitmix.int rng 20)) in
+  let info = Item_gen.item_info ~prices ~types () in
+  let ctx = Exec.context db info in
+  let query_text =
+    "{(S,T) | freq(S) >= 0.005 & freq(T) >= 0.005 & S.Price >= 300 & T.Price <= 700 \
+     & S.Type = T.Type}"
+  in
+  let q = Parser.parse query_text in
+  let ref_pairs = ref [] and ref_counted = ref 0 in
+  let sorted_pairs l =
+    List.sort
+      (fun (a1, b1) (a2, b2) ->
+        match Itemset.compare a1 a2 with 0 -> Itemset.compare b1 b2 | c -> c)
+      (List.map
+         (fun (s, t) -> (s.Cfq_mining.Frequent.set, t.Cfq_mining.Frequent.set))
+         l)
+  in
+  let exec_run d =
+    let r =
+      Exec.run ~collect_pairs:true
+        ~par:{ Counting.domains = d; pool = None }
+        ctx q
+    in
+    let pairs = sorted_pairs r.Exec.pairs in
+    if d = 1 then begin
+      ref_pairs := pairs;
+      ref_counted := Exec.total_counted r
+    end
+    else if pairs <> !ref_pairs || Exec.total_counted r <> !ref_counted then begin
+      Printf.printf "FAIL: Exec.run at %d domains diverged from sequential\n" d;
+      exit 1
+    end
+  in
+  let exec_rows = rows_of ~repeats:2 exec_run in
+  print_rows (Printf.sprintf "full Exec.run: %s" query_text) exec_rows;
+  Printf.printf "\nanswers and counters identical across all domain counts\n";
+
+  (* ---- machine-readable record ---- *)
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        "  \"bench\": \"counting\",";
+        Printf.sprintf "  \"cores\": %d," (Domain.recommended_domain_count ());
+        Printf.sprintf "  \"transactions\": %d," (Cfq_txdb.Tx_db.size db);
+        Printf.sprintf "  \"level2\": {";
+        Printf.sprintf "    \"candidates\": %d," (Array.length cands);
+        "    \"rows\": [";
+        json_rows level2_rows;
+        "    ]";
+        "  },";
+        "  \"exec_run\": {";
+        Printf.sprintf "    \"query\": %S," query_text;
+        "    \"rows\": [";
+        json_rows exec_rows;
+        "    ]";
+        "  }";
+        "}";
+      ]
+  in
+  let oc = open_out "BENCH_counting.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_counting.json"

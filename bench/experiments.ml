@@ -409,7 +409,9 @@ let parallel scale =
     Gc.compact ();
     let t0 = Unix.gettimeofday () in
     let counts =
-      Counting.count_level_parallel db io (Counters.create ()) cands ~domains
+      Counting.count_level
+        ~par:{ Counting.domains; pool = None }
+        db io (Counters.create ()) cands
     in
     ignore counts;
     Unix.gettimeofday () -. t0

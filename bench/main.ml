@@ -27,10 +27,11 @@ let () =
   | [ "cap_1var" ] -> Experiments.cap_1var (scale ())
   | [ "maintenance" ] -> Experiments.maintenance (scale ())
   | [ "parallel" ] -> Experiments.parallel (scale ())
+  | [ "counting" ] -> Counting_bench.run (scale ())
   | [ "session" ] -> Session.run (scale ())
   | [ "chaos" ] -> Chaos.run (scale ())
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [micro|fig8a|tab71_levels|tab71_ranges|fig8b|tab72_ranges|tab73_jmax|ablation|miners|cap_1var|maintenance|parallel|session|chaos]";
+         [micro|fig8a|tab71_levels|tab71_ranges|fig8b|tab72_ranges|tab73_jmax|ablation|miners|cap_1var|maintenance|parallel|counting|session|chaos]";
       exit 2

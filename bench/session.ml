@@ -78,6 +78,32 @@ let run (scale : Workloads.scale) =
     List.fold_left (fun acc r -> acc + Cfq_txdb.Io_stats.scans r.Exec.io) 0 cold
   in
 
+  (* the parallel counting engine must be byte-identical to sequential cold
+     execution: same pairs, same ccc counters, same scan charges, per query *)
+  let par = { Cfq_mining.Counting.domains = 3; pool = None } in
+  let par_mismatches = ref 0 in
+  List.iteri
+    (fun i (q, cold_r) ->
+      let par_r = Exec.run ~strategy:Plan.Cap_one_var ~collect_pairs:true ~par ctx q in
+      if
+        sorted_pairs cold_r.Exec.pairs <> sorted_pairs par_r.Exec.pairs
+        || Exec.total_counted cold_r <> Exec.total_counted par_r
+        || Exec.total_checks cold_r <> Exec.total_checks par_r
+        || Cfq_txdb.Io_stats.scans cold_r.Exec.io
+           <> Cfq_txdb.Io_stats.scans par_r.Exec.io
+      then begin
+        incr par_mismatches;
+        Printf.printf "query %d: parallel counting diverged from sequential\n" i
+      end)
+    (List.combine queries cold);
+  if !par_mismatches > 0 then begin
+    Printf.printf "\nFAIL: parallel counting diverged on %d of %d queries\n"
+      !par_mismatches (List.length queries);
+    exit 1
+  end;
+  Printf.printf "parallel counting (3 domains): identical pairs/ccc/scans on all %d queries\n%!"
+    (List.length queries);
+
   (* warm: one service, cross-query reuse *)
   let service = Service.create ~config:{ Service.default_config with domains = 2 } ctx in
   let t1 = Unix.gettimeofday () in

@@ -67,6 +67,14 @@ let pairs_arg =
     value & opt int 0
     & info [ "pairs" ] ~docv:"N" ~doc:"Print the first N answer pairs.")
 
+let mine_domains_arg ~default_doc ~default =
+  Arg.(
+    value & opt int default
+    & info [ "mine-domains" ] ~docv:"N"
+        ~doc:
+          ("Domains each counting scan fans out over; 1 counts sequentially. "
+         ^ default_doc))
+
 let data_arg =
   Arg.(
     value
@@ -128,7 +136,8 @@ let load_or_generate ~tx ~items ~types ~seed ~data ~iteminfo =
               | exception Cfq_data.Item_csv.Bad_format msg -> Error (`Msg msg)
               | info -> Ok (db, info))))
 
-let run_cmd verbose tx items types seed strategy n_pairs data iteminfo pairs_out text =
+let run_cmd verbose tx items types seed strategy mine_domains n_pairs data iteminfo
+    pairs_out text =
   setup_logs verbose;
   match parse_query text with
   | Error e -> Error e
@@ -148,7 +157,12 @@ let run_cmd verbose tx items types seed strategy n_pairs data iteminfo pairs_out
       Printf.printf "query: %s\n\n" (Query.to_string q);
       let ctx = Exec.context db info in
       let collect = n_pairs > 0 || pairs_out <> None in
-      let r = Exec.run ~strategy ~collect_pairs:collect ctx q in
+      let mine_domains =
+        if mine_domains = 0 then Domain.recommended_domain_count ()
+        else max 1 mine_domains
+      in
+      let par = { Cfq_mining.Counting.domains = mine_domains; pool = None } in
+      let r = Exec.run ~strategy ~collect_pairs:collect ~par ctx q in
       print_endline (Explain.result_to_string r);
       if n_pairs > 0 then begin
         Printf.printf "\nfirst %d pairs:\n" n_pairs;
@@ -283,8 +297,9 @@ let batch_file_arg =
     & pos 0 (some file) None
     & info [] ~docv:"FILE" ~doc:"Batch file: one CFQ per line; '#' comments.")
 
-let serve_cmd verbose tx items types seed data iteminfo domains cache_mb deadline repeat
-    fault_transient fault_corrupt fault_spike fault_seed retries breaker_threshold file =
+let serve_cmd verbose tx items types seed data iteminfo domains mine_domains cache_mb
+    deadline repeat fault_transient fault_corrupt fault_spike fault_seed retries
+    breaker_threshold file =
   setup_logs verbose;
   match load_or_generate ~tx ~items ~types ~seed ~data ~iteminfo with
   | Error e -> Error e
@@ -310,6 +325,7 @@ let serve_cmd verbose tx items types seed data iteminfo domains cache_mb deadlin
         {
           Cfq_service.Service.default_config with
           Cfq_service.Service.domains;
+          mine_domains;
           cache_budget = cache_mb * 1024 * 1024;
           default_deadline = deadline;
           retries;
@@ -372,8 +388,10 @@ let run_t =
   Term.(
     term_result
       (const run_cmd $ verbose_arg $ tx_arg $ items_arg $ types_arg $ seed_arg
-     $ strategy_arg $ pairs_arg $ data_arg $ iteminfo_arg $ pairs_out_arg
-     $ query_arg))
+     $ strategy_arg
+     $ mine_domains_arg ~default:0
+         ~default_doc:"Default 0 = all recommended domains of the machine."
+     $ pairs_arg $ data_arg $ iteminfo_arg $ pairs_out_arg $ query_arg))
 
 let explain_t = Term.(term_result (const explain_cmd $ query_arg))
 
@@ -427,9 +445,14 @@ let serve_t =
   Term.(
     term_result
       (const serve_cmd $ verbose_arg $ tx_arg $ items_arg $ types_arg $ seed_arg
-     $ data_arg $ iteminfo_arg $ domains_arg $ cache_mb_arg $ deadline_arg
-     $ repeat_arg $ fault_transient_arg $ fault_corrupt_arg $ fault_spike_arg
-     $ fault_seed_arg $ retries_arg $ breaker_threshold_arg $ batch_file_arg))
+     $ data_arg $ iteminfo_arg $ domains_arg
+     $ mine_domains_arg ~default:0
+         ~default_doc:
+           "Default 0 = inherit $(b,--domains); helpers are borrowed idle \
+            workers, never extra domains."
+     $ cache_mb_arg $ deadline_arg $ repeat_arg $ fault_transient_arg
+     $ fault_corrupt_arg $ fault_spike_arg $ fault_seed_arg $ retries_arg
+     $ breaker_threshold_arg $ batch_file_arg))
 
 let serve_cmd_info =
   Cmd.info "serve"

@@ -146,7 +146,7 @@ let filters_of_handling ctx h =
       (if h.Plan.jmax_on_s then [ on_s () ] else [])
       @ (if h.Plan.jmax_on_t then [ on_t () ] else [])
 
-let run_lattices ?(notes = ref []) ctx (q : Query.t) (plan : Plan.t) io =
+let run_lattices ?(notes = ref []) ?par ctx (q : Query.t) (plan : Plan.t) io =
   let minsup_s = Tx_db.absolute_support ctx.db q.Query.s_minsup in
   let minsup_t = Tx_db.absolute_support ctx.db q.Query.t_minsup in
   (* when the two variables point at one and the same lattice computation
@@ -163,7 +163,7 @@ let run_lattices ?(notes = ref []) ctx (q : Query.t) (plan : Plan.t) io =
     let state =
       Cap.create ctx.db ctx.s_info ?max_level:q.Query.max_level ~minsup:minsup_s bundle
     in
-    let freq = Cap.run state io in
+    let freq = Cap.run ?par state io in
     let rows = Level_stats.rows (Cap.stats state) in
     ( (freq, Cap.counters state, rows),
       (freq, Counters.create (), rows) )
@@ -231,7 +231,7 @@ let run_lattices ?(notes = ref []) ctx (q : Query.t) (plan : Plan.t) io =
       s_filters
   in
   let s_freq, t_freq =
-    Dovetail.run io ~s:s_state ~t:t_state ~after_l1 ~on_s_level ~on_t_level ()
+    Dovetail.run ?par io ~s:s_state ~t:t_state ~after_l1 ~on_s_level ~on_t_level ()
   in
   ( (s_freq, Cap.counters s_state, Level_stats.rows (Cap.stats s_state)),
     (t_freq, Cap.counters t_state, Level_stats.rows (Cap.stats t_state)) )
@@ -242,7 +242,7 @@ let run_lattices ?(notes = ref []) ctx (q : Query.t) (plan : Plan.t) io =
    the whole T lattice, then prune S against exact bounds (the "global
    maximum M" strategy).  More scans, tighter pruning. *)
 
-let run_sequential ctx (q : Query.t) (plan : Plan.t) io =
+let run_sequential ?par ctx (q : Query.t) (plan : Plan.t) io =
   let minsup_s = Tx_db.absolute_support ctx.db q.Query.s_minsup in
   let minsup_t = Tx_db.absolute_support ctx.db q.Query.t_minsup in
   let s_bundle = Bundle.compile ~nonneg:ctx.nonneg ctx.s_info q.Query.s_constraints in
@@ -257,7 +257,7 @@ let run_sequential ctx (q : Query.t) (plan : Plan.t) io =
     match Cap.next_candidates state with
     | None -> ()
     | Some cands ->
-        let counts = Counting.count_level ctx.db io (Cap.counters state) cands in
+        let counts = Counting.count_level ?par ctx.db io (Cap.counters state) cands in
         let (_ : Frequent.entry array) = Cap.absorb state counts in
         ()
   in
@@ -278,7 +278,7 @@ let run_sequential ctx (q : Query.t) (plan : Plan.t) io =
   List.iter
     (fun red -> Cap.add_constraints ~nonneg:ctx.nonneg t_state red.Reduce.t_conds)
     reductions;
-  let t_freq = Cap.run t_state io in
+  let t_freq = Cap.run ?par t_state io in
   begin
     List.iter
       (fun red -> Cap.add_constraints ~nonneg:ctx.nonneg s_state red.Reduce.s_conds)
@@ -311,7 +311,7 @@ let run_sequential ctx (q : Query.t) (plan : Plan.t) io =
     if exact_filters <> [] then
       Cap.set_extra_filter s_state (fun set -> List.for_all (fun f -> f set) exact_filters)
   end;
-  let s_freq = Cap.run s_state io in
+  let s_freq = Cap.run ?par s_state io in
   ( (s_freq, Cap.counters s_state, Level_stats.rows (Cap.stats s_state)),
     (t_freq, Cap.counters t_state, Level_stats.rows (Cap.stats t_state)) )
 
@@ -347,7 +347,24 @@ let empty_result plan notes =
     notes;
   }
 
-let run ?(strategy = Plan.Optimized) ?(collect_pairs = false) ctx (q : Query.t) =
+(* resolve the user's [par] into one that can be threaded through a whole
+   run: a multi-domain request without a pool to borrow from gets a private
+   pool for the run's lifetime (instead of spawning fresh domains on every
+   level), torn down by [cleanup] *)
+let resolve_par par =
+  match par with
+  | None -> (None, fun () -> ())
+  | Some p when p.Counting.domains <= 1 -> (None, fun () -> ())
+  | Some ({ Counting.pool = Some _; _ } as p) -> (Some p, fun () -> ())
+  | Some { Counting.domains; pool = None } ->
+      let pool =
+        Cfq_exec_pool.Pool.create ~domains:(domains - 1)
+          ~queue_capacity:(4 * domains) ()
+      in
+      ( Some { Counting.domains; pool = Some pool },
+        fun () -> Cfq_exec_pool.Pool.shutdown pool )
+
+let run ?(strategy = Plan.Optimized) ?(collect_pairs = false) ?par ctx (q : Query.t) =
   (* normalise the constraint conjunction first; provably empty queries never
      touch the database *)
   let rw = Rewrite.simplify q in
@@ -362,12 +379,14 @@ let run ?(strategy = Plan.Optimized) ?(collect_pairs = false) ctx (q : Query.t) 
   let io = Io_stats.create () in
   let notes = ref (List.rev rw.Rewrite.notes) in
   let t0 = Sys.time () in
+  let par, cleanup_pool = resolve_par par in
   let (s_freq, s_counters, s_levels), (t_freq, t_counters, t_levels) =
-    match strategy with
-    | Plan.Apriori_plus -> run_apriori_plus ctx q io
-    | Plan.Cap_one_var | Plan.Optimized -> run_lattices ~notes ctx q plan io
-    | Plan.Sequential_t_first -> run_sequential ctx q plan io
-    | Plan.Full_materialize -> run_full_mat ctx q io
+    Fun.protect ~finally:cleanup_pool (fun () ->
+        match strategy with
+        | Plan.Apriori_plus -> run_apriori_plus ctx q io
+        | Plan.Cap_one_var | Plan.Optimized -> run_lattices ~notes ?par ctx q plan io
+        | Plan.Sequential_t_first -> run_sequential ?par ctx q plan io
+        | Plan.Full_materialize -> run_full_mat ctx q io)
   in
   let t1 = Sys.time () in
   let valid_s = validate_side ctx.s_info s_counters q.Query.s_constraints s_freq in
@@ -400,8 +419,8 @@ let run ?(strategy = Plan.Optimized) ?(collect_pairs = false) ctx (q : Query.t) 
   }
   end
 
-let run_result ?strategy ?collect_pairs ctx q =
-  match run ?strategy ?collect_pairs ctx q with
+let run_result ?strategy ?collect_pairs ?par ctx q =
+  match run ?strategy ?collect_pairs ?par ctx q with
   | r -> Ok r
   | exception Cfq_error.Error e -> Error e
   | exception Stack_overflow -> Error (Cfq_error.Query_crash "stack overflow")

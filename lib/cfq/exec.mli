@@ -60,8 +60,21 @@ val total_counted : result -> int
 
 (** [run ?strategy ?collect_pairs ctx q] executes the query.
     [collect_pairs] (default false) materialises the answer pairs in
-    [pairs]; otherwise only [pair_stats] is produced. *)
-val run : ?strategy:Plan.strategy -> ?collect_pairs:bool -> ctx -> Query.t -> result
+    [pairs]; otherwise only [pair_stats] is produced.
+
+    [par] parallelises every counting pass of the lattice strategies
+    (Optimized, Cap_one_var, Sequential_t_first) across
+    [par.Counting.domains] domains — borrowed from [par.Counting.pool]
+    when given (the serving case), otherwise from a private pool created
+    for this run.  Answers, ccc counters, and I/O charges are identical to
+    the sequential execution for every [domains] value. *)
+val run :
+  ?strategy:Plan.strategy ->
+  ?collect_pairs:bool ->
+  ?par:Counting.par ->
+  ctx ->
+  Query.t ->
+  result
 
 (** [run_result] is {!run} with injected faults surfaced as values: a
     [Cfq_error.Error] raised by the (possibly fault-wrapped) transaction
@@ -71,6 +84,7 @@ val run : ?strategy:Plan.strategy -> ?collect_pairs:bool -> ctx -> Query.t -> re
 val run_result :
   ?strategy:Plan.strategy ->
   ?collect_pairs:bool ->
+  ?par:Counting.par ->
   ctx ->
   Query.t ->
   (result, Cfq_error.t) Stdlib.result

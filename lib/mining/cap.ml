@@ -198,12 +198,12 @@ let absorb t counts =
 
 let result t = Frequent.of_levels (List.rev t.levels_rev)
 
-let run t io =
+let run ?par t io =
   let rec loop () =
     match next_candidates t with
     | None -> ()
     | Some cands ->
-        let counts = Counting.count_level t.db io t.counters cands in
+        let counts = Counting.count_level ?par t.db io t.counters cands in
         let (_ : Frequent.entry array) = absorb t counts in
         loop ()
   in

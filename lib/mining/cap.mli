@@ -62,8 +62,10 @@ val next_candidates : t -> Itemset.t array option
 val absorb : t -> int array -> Frequent.entry array
 
 (** [run t io] drives the state machine to exhaustion with one scan per
-    level, returning all counted frequent sets. *)
-val run : t -> Io_stats.t -> Frequent.t
+    level, returning all counted frequent sets.  [par] parallelises every
+    counting pass (see {!Counting.par}); answers and counters are identical
+    to the sequential run. *)
+val run : ?par:Counting.par -> t -> Io_stats.t -> Frequent.t
 
 (** Results accumulated so far. *)
 val result : t -> Frequent.t

@@ -1,6 +1,13 @@
 open Cfq_txdb
 
-let count_shared db io families =
+type par = {
+  domains : int;
+  pool : Cfq_exec_pool.Pool.t option;
+}
+
+let sequential = { domains = 1; pool = None }
+
+let count_shared ?(par = sequential) db io families =
   let tries =
     List.map
       (fun (counters, cands) ->
@@ -8,43 +15,51 @@ let count_shared db io families =
         Trie.build cands)
       families
   in
-  (match tries with
-  | [] -> ()
-  | _ ->
-      Tx_db.iter_scan db io (fun tx ->
-          let items = Cfq_itembase.Itemset.unsafe_to_array tx.Transaction.items in
-          List.iter (fun trie -> Trie.count_tx trie items) tries));
-  List.map Trie.counts tries
+  let n_cands = List.fold_left (fun acc t -> acc + Trie.n_candidates t) 0 tries in
+  if n_cands = 0 then
+    (* nothing to count anywhere: skip the scan and charge no I/O *)
+    List.map Trie.counts tries
+  else if max 1 par.domains = 1 then begin
+    Tx_db.iter_scan db io (fun tx ->
+        let items = Cfq_itembase.Itemset.unsafe_to_array tx.Transaction.items in
+        List.iter (fun trie -> Trie.count_tx trie items) tries);
+    List.map Trie.counts tries
+  end
+  else begin
+    let domains = par.domains in
+    (* one logical scan: the coordinator validates every page here — same
+       fault/checksum walk, same injector draw order as [iter_scan] — then
+       the chunks fan out to participants counting into private arrays *)
+    Tx_db.begin_scan db io;
+    let chunks = Array.of_list (Tx_db.scan_chunks db ~max_chunks:(4 * domains)) in
+    let accs =
+      Cfq_exec_pool.Pool.fan_out ?pool:par.pool ~domains
+        ~n_tasks:(Array.length chunks)
+        ~init:(fun () ->
+          List.map (fun trie -> Array.make (Trie.n_candidates trie) 0) tries)
+        ~work:(fun locals c ->
+          let lo, hi = chunks.(c) in
+          Tx_db.iter_range db ~lo ~hi (fun tx ->
+              let items = Cfq_itembase.Itemset.unsafe_to_array tx.Transaction.items in
+              List.iter2
+                (fun trie local -> Trie.count_tx_into trie local items)
+                tries locals))
+        ()
+    in
+    (* merge in participant-slot order; int addition is order-independent,
+       so the totals equal the sequential pass exactly *)
+    List.iter
+      (fun locals ->
+        List.iter2
+          (fun trie local ->
+            let total = Trie.counts trie in
+            Array.iteri (fun i v -> total.(i) <- total.(i) + v) local)
+          tries locals)
+      accs;
+    List.map Trie.counts tries
+  end
 
-let count_level db io counters cands =
-  match count_shared db io [ (counters, cands) ] with
+let count_level ?par db io counters cands =
+  match count_shared ?par db io [ (counters, cands) ] with
   | [ counts ] -> counts
   | _ -> assert false
-
-let count_level_parallel db io counters cands ~domains =
-  if domains <= 1 then count_level db io counters cands
-  else begin
-    Counters.add_support_counted counters (Array.length cands);
-    let trie = Trie.build cands in
-    let n = Tx_db.size db in
-    Io_stats.record_scan io ~pages:(Tx_db.pages db) ~tuples:n;
-    let slice d =
-      let lo = d * n / domains and hi = ((d + 1) * n / domains) - 1 in
-      let local = Array.make (Array.length cands) 0 in
-      for tid = lo to hi do
-        Trie.count_tx_into trie local
-          (Cfq_itembase.Itemset.unsafe_to_array (Tx_db.get db tid).Transaction.items)
-      done;
-      local
-    in
-    let workers =
-      List.init (domains - 1) (fun d -> Domain.spawn (fun () -> slice (d + 1)))
-    in
-    let total = slice 0 in
-    List.iter
-      (fun w ->
-        let local = Domain.join w in
-        Array.iteri (fun i v -> total.(i) <- total.(i) + v) local)
-      workers;
-    total
-  end

@@ -3,25 +3,42 @@
     [count_shared] is the dovetailing primitive (Section 5.2): several
     candidate families — typically one for the [S] lattice and one for the
     [T] lattice — are counted in a {e single} scan, so the I/O cost of the
-    pass is shared between them. *)
+    pass is shared between them.
+
+    Every pass can run multi-core via {!par}: the coordinator charges and
+    validates one logical scan, then page-aligned chunks fan out to a fixed
+    set of domains (see {!Cfq_exec_pool.Pool.fan_out}), each counting into
+    private per-family arrays merged deterministically at the end.  The
+    answers, ccc counters, I/O charges, and fault behaviour are identical
+    to the sequential pass for every [domains] value. *)
 
 open Cfq_itembase
 open Cfq_txdb
 
+(** How a counting pass parallelises.  [domains <= 1] is the sequential
+    path, bit for bit.  With [domains > 1], up to [domains - 1] helpers are
+    either fresh domains ([pool = None]) or borrowed idle workers of
+    [pool] — the nested case where the query already runs on a service
+    worker and must not oversubscribe the machine. *)
+type par = {
+  domains : int;
+  pool : Cfq_exec_pool.Pool.t option;
+}
+
+(** [{ domains = 1; pool = None }] — the default. *)
+val sequential : par
+
 (** [count_level db io counters cands] counts all candidates in one scan and
     charges [Array.length cands] to the support-counted ccc counter. *)
 val count_level :
-  Tx_db.t -> Io_stats.t -> Counters.t -> Itemset.t array -> int array
+  ?par:par -> Tx_db.t -> Io_stats.t -> Counters.t -> Itemset.t array -> int array
 
 (** [count_shared db io families] counts each family in the same scan;
-    each family carries its own ccc counters. *)
+    each family carries its own ccc counters.  When every family is empty
+    the scan is skipped entirely and no I/O is charged. *)
 val count_shared :
-  Tx_db.t -> Io_stats.t -> (Counters.t * Itemset.t array) list -> int array list
-
-(** [count_level_parallel db io counters cands ~domains] is
-    {!count_level} with the transaction range split across [domains]
-    OCaml 5 domains, each walking the shared (immutable) candidate trie
-    into its own counter array.  Exactly one scan is charged.  Results are
-    identical to the sequential pass. *)
-val count_level_parallel :
-  Tx_db.t -> Io_stats.t -> Counters.t -> Itemset.t array -> domains:int -> int array
+  ?par:par ->
+  Tx_db.t ->
+  Io_stats.t ->
+  (Counters.t * Itemset.t array) list ->
+  int array list

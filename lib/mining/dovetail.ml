@@ -9,8 +9,8 @@ let items_of_level entries =
          | None -> invalid_arg "Dovetail: empty set at level 1")
        entries)
 
-let run io ~s ~t ?(after_l1 = fun ~l1_s:_ ~l1_t:_ -> ()) ?(on_s_level = fun _ _ -> ())
-    ?(on_t_level = fun _ _ -> ()) () =
+let run ?par io ~s ~t ?(after_l1 = fun ~l1_s:_ ~l1_t:_ -> ())
+    ?(on_s_level = fun _ _ -> ()) ?(on_t_level = fun _ _ -> ()) () =
   if Cap.db s != Cap.db t then
     invalid_arg "Dovetail.run: the two lattices must share one database";
   let db = Cap.db s in
@@ -49,7 +49,7 @@ let run io ~s ~t ?(after_l1 = fun ~l1_s:_ ~l1_t:_ -> ()) ?(on_s_level = fun _ _ 
             ]
         in
         let counts =
-          Counting.count_shared db io
+          Counting.count_shared ?par db io
             (List.map (fun (_, counters, c) -> (counters, c)) families)
         in
         List.iter2

@@ -18,8 +18,10 @@ open Cfq_itembase
 open Cfq_txdb
 
 (** [run io ~s ~t ()] drives both lattices to exhaustion and returns both
-    frequent collections. *)
+    frequent collections.  [par] parallelises every shared counting pass
+    (see {!Counting.par}); answers and counters are unchanged. *)
 val run :
+  ?par:Counting.par ->
   Io_stats.t ->
   s:Cap.t ->
   t:Cap.t ->

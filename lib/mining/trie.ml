@@ -6,39 +6,112 @@ type bnode = {
   mutable bcand : int;
 }
 
-(* frozen counting representation, no allocation on the counting path and
-   safely shareable across domains: high-fanout nodes become dense jump
-   tables over their key span, the rest sorted key/child arrays *)
-type node = {
-  keys : int array;  (* sorted; unused when dense *)
-  kids : node array;
-  dense_base : int;  (* -1 when sparse *)
-  dense : node option array;  (* empty when sparse *)
-  cand : int;
-}
-
+(* Frozen counting representation: a flat struct-of-arrays trie.  Nodes are
+   ints; node [i]'s outgoing edges live in the slot range [lo.(i), hi.(i))
+   of the shared edge arrays.  High-fanout nodes are dense jump tables over
+   their key span ([base.(i) >= 0]: slot [lo.(i) + k - base.(i)] holds the
+   child reached on key [k], [-1] for a hole); the rest are sorted
+   key/child pairs searched binarily.  Nodes are laid out in BFS order, so
+   the children of one node are contiguous and counting walks mostly move
+   forward through the arrays — no pointer chasing, no allocation, and the
+   whole structure is immutable after build, safely shared across
+   domains. *)
 type t = {
-  root : node;
+  cand : int array;  (* candidate index closed at this node, -1 if none *)
+  base : int array;  (* dense nodes: first key of the span; sparse: -1 *)
+  lo : int array;
+  hi : int array;
+  edge_key : int array;  (* sparse slots: sorted keys; dense slots: unused *)
+  edge_child : int array;  (* child node id, -1 = dense hole *)
   counts : int array;
 }
 
 let new_bnode () = { children = Hashtbl.create 4; bcand = -1 }
 
-let rec freeze b =
-  let pairs =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) b.children []
-    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-  in
-  let keys = Array.of_list (List.map fst pairs) in
-  let kids = Array.of_list (List.map (fun (_, v) -> freeze v) pairs) in
-  let fanout = Array.length keys in
-  let span = if fanout = 0 then 0 else keys.(fanout - 1) - keys.(0) + 1 in
-  if fanout >= 8 && span <= 16 * fanout then begin
-    let dense = Array.make span None in
-    Array.iteri (fun i k -> dense.(k - keys.(0)) <- Some kids.(i)) keys;
-    { keys = [||]; kids = [||]; dense_base = keys.(0); dense; cand = b.bcand }
-  end
-  else { keys; kids; dense_base = -1; dense = [||]; cand = b.bcand }
+(* growable int array for the single-pass BFS flattening *)
+module Vec = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create () = { a = Array.make 16 0; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.a then begin
+      let b = Array.make (2 * Array.length v.a) 0 in
+      Array.blit v.a 0 b 0 v.len;
+      v.a <- b
+    end;
+    v.a.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let to_array v = Array.sub v.a 0 v.len
+end
+
+let flatten root n_cands =
+  let cand = Vec.create ()
+  and base = Vec.create ()
+  and lo = Vec.create ()
+  and hi = Vec.create ()
+  and edge_key = Vec.create ()
+  and edge_child = Vec.create () in
+  let q = Queue.create () in
+  Queue.add root q;
+  let next_id = ref 1 in
+  (* nodes are processed in id order; a child's id is assigned the moment
+     it is enqueued, so edges can point forward before the child's own row
+     is written *)
+  while not (Queue.is_empty q) do
+    let b = Queue.pop q in
+    let pairs =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) b.children []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    in
+    let fanout = List.length pairs in
+    let first = edge_child.Vec.len in
+    Vec.push cand b.bcand;
+    Vec.push lo first;
+    (match pairs with
+    | [] -> Vec.push base (-1)
+    | (k0, _) :: _ ->
+        let kn = fst (List.nth pairs (fanout - 1)) in
+        let span = kn - k0 + 1 in
+        if fanout >= 8 && span <= 16 * fanout then begin
+          Vec.push base k0;
+          let slot_child = Array.make span (-1) in
+          List.iter
+            (fun (k, child) ->
+              let id = !next_id in
+              incr next_id;
+              Queue.add child q;
+              slot_child.(k - k0) <- id)
+            pairs;
+          Array.iter
+            (fun id ->
+              Vec.push edge_key 0;
+              Vec.push edge_child id)
+            slot_child
+        end
+        else begin
+          Vec.push base (-1);
+          List.iter
+            (fun (k, child) ->
+              let id = !next_id in
+              incr next_id;
+              Queue.add child q;
+              Vec.push edge_key k;
+              Vec.push edge_child id)
+            pairs
+        end);
+    Vec.push hi edge_child.Vec.len
+  done;
+  {
+    cand = Vec.to_array cand;
+    base = Vec.to_array base;
+    lo = Vec.to_array lo;
+    hi = Vec.to_array hi;
+    edge_key = Vec.to_array edge_key;
+    edge_child = Vec.to_array edge_child;
+    counts = Array.make n_cands 0;
+  }
 
 let build cands =
   let root = new_bnode () in
@@ -59,45 +132,51 @@ let build cands =
         set;
       !node.bcand <- idx)
     cands;
-  { root = freeze root; counts = Array.make (Array.length cands) 0 }
+  flatten root (Array.length cands)
 
 let n_candidates t = Array.length t.counts
 
-(* binary search in a sorted key array; -1 when absent *)
-let find_key keys item =
-  let lo = ref 0 and hi = ref (Array.length keys - 1) in
-  let found = ref (-1) in
-  while !found < 0 && !lo <= !hi do
-    let mid = (!lo + !hi) / 2 in
-    let k = Array.unsafe_get keys mid in
-    if k = item then found := mid
-    else if k < item then lo := mid + 1
-    else hi := mid - 1
-  done;
-  !found
-
 let count_tx_into t counts items =
   let n = Array.length items in
-  let rec walk node pos =
-    if node.cand >= 0 then counts.(node.cand) <- counts.(node.cand) + 1;
-    if node.dense_base >= 0 then begin
-      let base = node.dense_base in
-      let span = Array.length node.dense in
-      for j = pos to n - 1 do
-        let off = Array.unsafe_get items j - base in
-        if off >= 0 && off < span then
-          match Array.unsafe_get node.dense off with
-          | Some child -> walk child (j + 1)
-          | None -> ()
-      done
+  let cand = t.cand
+  and base = t.base
+  and lo = t.lo
+  and hi = t.hi
+  and edge_key = t.edge_key
+  and edge_child = t.edge_child in
+  let rec walk id pos =
+    let c = Array.unsafe_get cand id in
+    if c >= 0 then counts.(c) <- counts.(c) + 1;
+    let l = Array.unsafe_get lo id and h = Array.unsafe_get hi id in
+    if h > l then begin
+      let b = Array.unsafe_get base id in
+      if b >= 0 then
+        (* dense: direct slot lookup over the key span *)
+        for j = pos to n - 1 do
+          let slot = l + Array.unsafe_get items j - b in
+          if slot >= l && slot < h then begin
+            let child = Array.unsafe_get edge_child slot in
+            if child >= 0 then walk child (j + 1)
+          end
+        done
+      else
+        (* sparse: binary search the sorted key slots *)
+        for j = pos to n - 1 do
+          let item = Array.unsafe_get items j in
+          let a = ref l and z = ref (h - 1) in
+          let found = ref (-1) in
+          while !found < 0 && !a <= !z do
+            let mid = (!a + !z) / 2 in
+            let k = Array.unsafe_get edge_key mid in
+            if k = item then found := mid
+            else if k < item then a := mid + 1
+            else z := mid - 1
+          done;
+          if !found >= 0 then walk (Array.unsafe_get edge_child !found) (j + 1)
+        done
     end
-    else if Array.length node.keys > 0 then
-      for j = pos to n - 1 do
-        let idx = find_key node.keys (Array.unsafe_get items j) in
-        if idx >= 0 then walk node.kids.(idx) (j + 1)
-      done
   in
-  walk t.root 0
+  walk 0 0
 
 let count_tx t items = count_tx_into t t.counts items
 let counts t = t.counts

@@ -3,7 +3,13 @@
     The counting analogue of the Apriori hash tree: all candidates of one
     level are inserted into a trie keyed by their (sorted) items, and each
     transaction is walked through the trie once, incrementing the counter of
-    every candidate it contains. *)
+    every candidate it contains.
+
+    The frozen structure is a flat struct-of-arrays layout (int-indexed
+    nodes in BFS order, children contiguous), so counting walks are
+    cache-friendly, allocation-free, and the trie can be shared immutably
+    across domains — each domain counting into its own array via
+    {!count_tx_into}. *)
 
 open Cfq_itembase
 

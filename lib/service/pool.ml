@@ -1,136 +1,4 @@
-type 'a state =
-  | Pending
-  | Done of 'a
-  | Raised of exn
-
-type 'a promise = {
-  p_mutex : Mutex.t;
-  p_cond : Condition.t;
-  mutable state : 'a state;
-}
-
-type t = {
-  mutex : Mutex.t;
-  nonempty : Condition.t;
-  jobs : (unit -> unit) Queue.t;
-  capacity : int;
-  mutable stopping : bool;
-  mutable workers : unit Domain.t list;
-}
-
-let worker_loop t =
-  let rec loop () =
-    Mutex.lock t.mutex;
-    while Queue.is_empty t.jobs && not t.stopping do
-      Condition.wait t.nonempty t.mutex
-    done;
-    match Queue.take_opt t.jobs with
-    | Some job ->
-        Mutex.unlock t.mutex;
-        job ();
-        loop ()
-    | None ->
-        (* stopping and drained *)
-        Mutex.unlock t.mutex
-  in
-  loop ()
-
-let create ?domains ?(queue_capacity = 1024) () =
-  let domains =
-    match domains with
-    | Some d -> max 1 d
-    | None -> max 1 (Domain.recommended_domain_count () - 1)
-  in
-  let t =
-    {
-      mutex = Mutex.create ();
-      nonempty = Condition.create ();
-      jobs = Queue.create ();
-      capacity = max 1 queue_capacity;
-      stopping = false;
-      workers = [];
-    }
-  in
-  t.workers <- List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
-  t
-
-let size t = List.length t.workers
-
-let queue_depth t =
-  Mutex.lock t.mutex;
-  let n = Queue.length t.jobs in
-  Mutex.unlock t.mutex;
-  n
-
-let fulfill p outcome =
-  Mutex.lock p.p_mutex;
-  p.state <- outcome;
-  Condition.broadcast p.p_cond;
-  Mutex.unlock p.p_mutex
-
-let job_of promise job () =
-  match job () with
-  | v -> fulfill promise (Done v)
-  | exception e -> fulfill promise (Raised e)
-
-let submit t job =
-  let promise = { p_mutex = Mutex.create (); p_cond = Condition.create (); state = Pending } in
-  Mutex.lock t.mutex;
-  if t.stopping then begin
-    Mutex.unlock t.mutex;
-    Cfq_txdb.Cfq_error.raise_error Cfq_txdb.Cfq_error.Overload
-  end
-  else if Queue.length t.jobs >= t.capacity then begin
-    Mutex.unlock t.mutex;
-    None
-  end
-  else begin
-    Queue.add (job_of promise job) t.jobs;
-    Condition.signal t.nonempty;
-    Mutex.unlock t.mutex;
-    Some promise
-  end
-
-let is_pending p = match p.state with Pending -> true | Done _ | Raised _ -> false
-
-let await p =
-  Mutex.lock p.p_mutex;
-  while is_pending p do
-    Condition.wait p.p_cond p.p_mutex
-  done;
-  let state = p.state in
-  Mutex.unlock p.p_mutex;
-  match state with
-  | Done v -> v
-  | Raised e -> raise e
-  | Pending -> assert false
-
-let is_stopped t =
-  Mutex.lock t.mutex;
-  let s = t.stopping in
-  Mutex.unlock t.mutex;
-  s
-
-let run ?(on_fallback = fun () -> ()) t job =
-  let inline () =
-    on_fallback ();
-    job ()
-  in
-  match submit t job with
-  | Some p -> await p
-  | None -> inline ()
-  | exception Cfq_txdb.Cfq_error.Error Cfq_txdb.Cfq_error.Overload -> inline ()
-
-let shutdown t =
-  Mutex.lock t.mutex;
-  if t.stopping then
-    (* already shut down: a documented no-op *)
-    Mutex.unlock t.mutex
-  else begin
-    t.stopping <- true;
-    Condition.broadcast t.nonempty;
-    let workers = t.workers in
-    t.workers <- [];
-    Mutex.unlock t.mutex;
-    List.iter Domain.join workers
-  end
+(* The pool now lives in [Cfq_exec_pool] so that mining-level code can
+   borrow idle workers for intra-query parallel counting; this alias keeps
+   [Cfq_service.Pool] as the serving-layer name for the same pool. *)
+include Cfq_exec_pool.Pool

@@ -1,50 +1,8 @@
-(** A fixed pool of OCaml 5 domains draining a bounded work queue.
+(** The service worker pool — an alias of {!Cfq_exec_pool.Pool}, where the
+    implementation moved so the mining layer can borrow idle workers for
+    intra-query parallel counting.  The type equalities are exposed:
+    a [Cfq_service.Pool.t] {e is} a [Cfq_exec_pool.Pool.t]. *)
 
-    Jobs are closures; submitting returns a promise that [await] blocks on.
-    The queue is bounded: when [queue_capacity] jobs are already waiting,
-    {!submit} refuses instead of queueing unboundedly (admission control for
-    the serving layer).
-
-    Exceptions raised by a job are captured and re-raised by [await] in the
-    caller, so a crashing query never takes a worker domain down. *)
-
-type t
-
-type 'a promise
-
-(** [create ~domains ~queue_capacity ()] spawns [domains] worker domains
-    (at least 1; default [Domain.recommended_domain_count () - 1], at least
-    1) with a queue of at most [queue_capacity] waiting jobs (default
-    1024). *)
-val create : ?domains:int -> ?queue_capacity:int -> unit -> t
-
-(** Number of worker domains. *)
-val size : t -> int
-
-(** Jobs currently waiting (excludes running ones). *)
-val queue_depth : t -> int
-
-(** The pool has been shut down. *)
-val is_stopped : t -> bool
-
-(** [submit t job] enqueues [job]; [None] when the queue is full.
-    Submitting to a shut-down pool raises
-    [Cfq_error.Error Cfq_error.Overload] — callers that outlive the pool
-    get a typed error, not a silent drop. *)
-val submit : t -> (unit -> 'a) -> 'a promise option
-
-(** [run t job] is [submit] that falls back to running [job] in the calling
-    domain when the queue is full or the pool is shut down, so it always
-    yields a result.  [on_fallback] is invoked (before [job]) exactly when
-    the fallback path is taken, letting callers count in-caller
-    executions. *)
-val run : ?on_fallback:(unit -> unit) -> t -> (unit -> 'a) -> 'a
-
-(** [await p] blocks until the job finishes, returning its result or
-    re-raising its exception. *)
-val await : 'a promise -> 'a
-
-(** Drain nothing further: running jobs finish, queued jobs are still
-    executed, then the workers exit and are joined.  Calling [shutdown] a
-    second time is a no-op. *)
-val shutdown : t -> unit
+include module type of struct
+  include Cfq_exec_pool.Pool
+end

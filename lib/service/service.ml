@@ -10,6 +10,7 @@ module Log = (val Logs.src_log log_src)
 
 type config = {
   domains : int;
+  mine_domains : int;
   queue_capacity : int;
   cache_budget : int;
   default_deadline : float option;
@@ -24,6 +25,7 @@ type config = {
 let default_config =
   {
     domains = 2;
+    mine_domains = 0;
     queue_capacity = 1024;
     cache_budget = 64 * 1024 * 1024;
     default_deadline = None;
@@ -94,6 +96,9 @@ type t = {
   service_ctx : Exec.ctx;
   service_config : config;
   pool : Pool.t;
+  mine_par : Counting.par;
+      (* intra-query counting parallelism: helpers are borrowed from [pool],
+         never spawned, so the service as a whole never oversubscribes *)
   lock : Mutex.t;
   answers : (Query.t * answer) Lru.t;
       (* the (simplified) query is kept alongside its answer so degraded
@@ -113,10 +118,15 @@ type ticket =
 let create ?(config = default_config) ctx =
   (* answers are small relative to collections: 1/4 vs 3/4 of the budget *)
   let budget = max 0 config.cache_budget in
+  let pool = Pool.create ~domains:config.domains ~queue_capacity:config.queue_capacity () in
+  let mine_domains =
+    if config.mine_domains = 0 then config.domains else max 1 config.mine_domains
+  in
   {
     service_ctx = ctx;
     service_config = config;
-    pool = Pool.create ~domains:config.domains ~queue_capacity:config.queue_capacity ();
+    pool;
+    mine_par = { Counting.domains = mine_domains; pool = Some pool };
     lock = Mutex.create ();
     answers = Lru.create ~budget:(budget / 4);
     sides = Lru.create ~budget:(budget - (budget / 4));
@@ -244,7 +254,7 @@ let filter_valid spec freq checks =
 
 (* drive the CAP state machine one level at a time so the deadline is
    honoured between scans *)
-let mine_side ~deadline (ctx : Exec.ctx) spec io =
+let mine_side ~deadline ~par (ctx : Exec.ctx) spec io =
   let bundle = Bundle.compile ~nonneg:ctx.Exec.nonneg spec.sp_info spec.sp_constraints in
   let state =
     Cap.create ctx.Exec.db spec.sp_info ?max_level:spec.sp_max_level
@@ -255,7 +265,7 @@ let mine_side ~deadline (ctx : Exec.ctx) spec io =
     match Cap.next_candidates state with
     | None -> ()
     | Some cands ->
-        let counts = Counting.count_level ctx.Exec.db io (Cap.counters state) cands in
+        let counts = Counting.count_level ~par ctx.Exec.db io (Cap.counters state) cands in
         let (_ : Frequent.entry array) = Cap.absorb state counts in
         loop ()
   in
@@ -267,7 +277,7 @@ let resolve_side t ~deadline spec io counters checks =
   match find_subsuming t spec with
   | Some entry -> (filter_valid spec entry.se_frequent checks, true)
   | None ->
-      let freq, side_counters = mine_side ~deadline t.service_ctx spec io in
+      let freq, side_counters = mine_side ~deadline ~par:t.mine_par t.service_ctx spec io in
       Counters.merge counters side_counters;
       let entry =
         {

@@ -60,6 +60,12 @@ open Cfq_core
 
 type config = {
   domains : int;  (** worker domains (≥ 1) *)
+  mine_domains : int;
+      (** intra-query counting parallelism: each mining scan fans out over
+          this many domains, borrowing {e idle} workers from the same pool
+          (never spawning), so concurrency stays bounded by [domains].
+          [0] inherits [domains]; [1] counts sequentially.  Answers and
+          counters are identical either way. *)
   queue_capacity : int;  (** max queries waiting for a worker *)
   cache_budget : int;  (** total cache memory budget, approximate bytes *)
   default_deadline : float option;  (** seconds, when [submit] gives none *)
@@ -73,9 +79,9 @@ type config = {
   jitter_seed : int64;  (** seed of the deterministic backoff jitter *)
 }
 
-(** 2 domains, queue 1024, 64 MiB budget, no deadline; 2 retries from a
-    2 ms base, breaker at 5 failures with an 8-admission cooldown,
-    degradation on. *)
+(** 2 domains (mining inherits them), queue 1024, 64 MiB budget, no
+    deadline; 2 retries from a 2 ms base, breaker at 5 failures with an
+    8-admission cooldown, degradation on. *)
 val default_config : config
 
 type served_from =

@@ -7,6 +7,7 @@ type t = {
   mutable ctx : Exec.ctx option;
   mutable strategy : Plan.strategy;
   mutable min_conf : float;
+  mutable mine_domains : int;
   mutable last : Exec.result option;
   mutable last_rules : Cfq_rules.Rule.t list;
   mutable service : Cfq_service.Service.t option;
@@ -22,10 +23,13 @@ let create ?ctx () =
     ctx;
     strategy = Plan.Optimized;
     min_conf = 0.5;
+    mine_domains = 1;
     last = None;
     last_rules = [];
     service = None;
   }
+
+let par_of t = { Cfq_mining.Counting.domains = max 1 t.mine_domains; pool = None }
 
 (* the serving layer is bound to one database: (re)create it lazily and
    retire it when the session attaches a different context *)
@@ -55,6 +59,7 @@ let help_text =
       "  gen <n_tx> <n_items> [seed]    generate a synthetic Quest database";
       "  set strategy <name>            apriori+ | cap | optimized | sequential | fm";
       "  set minconf <float>            rule confidence threshold";
+      "  set domains <n>                counting domains per scan (1 = sequential)";
       "  set fault <p> [<cp> [<seed>]]  inject faults: transient-p, corrupt-p, seed";
       "  set fault off                  remove fault injection";
       "  explain <query>                show the optimizer's plan, run nothing";
@@ -134,7 +139,9 @@ let do_gen t n_tx n_items seed =
     (Tx_db.size db) n_items (Tx_db.avg_tx_len db)
 
 let do_run t ctx q =
-  match Exec.run_result ~strategy:t.strategy ~collect_pairs:true ctx q with
+  match
+    Exec.run_result ~strategy:t.strategy ~collect_pairs:true ~par:(par_of t) ctx q
+  with
   | Ok r ->
       t.last <- Some r;
       say "%s" (Explain.result_to_string r)
@@ -271,7 +278,17 @@ let eval t line =
               say "minimum confidence set to %.2f" f
           | Some _ | None -> say "minconf must be a float in [0, 1]")
       | "fault" :: args -> with_ctx t (fun ctx -> do_set_fault ctx args)
-      | _ -> say "usage: set strategy <name> | set minconf <float> | set fault ...")
+      | [ "domains"; n ] -> (
+          match int_of_string_opt n with
+          | Some d when d >= 1 ->
+              t.mine_domains <- d;
+              if d = 1 then say "counting set to sequential"
+              else say "counting fans out over %d domains per scan" d
+          | Some _ | None -> say "domains must be an integer >= 1")
+      | _ ->
+          say
+            "usage: set strategy <name> | set minconf <float> | set domains <n> | \
+             set fault ...")
   | "explain" ->
       with_ctx t (fun ctx ->
           parse_query t ctx rest (fun (t, q) ->

@@ -72,29 +72,76 @@ let verify_extent t fl ~page ~lo ~hi =
     Cfq_error.raise_error (Cfq_error.Corrupt_page { page })
   end
 
+(* the scan-time page walk under faults: consult the injector and verify
+   each page's checksum in ascending page order, handing every validated
+   extent to [deliver].  Both {!iter_scan} and {!begin_scan} go through
+   here, so the injector sees one and the same draw sequence no matter
+   whether the tuples are consumed inline or by parallel workers later. *)
+let fault_page_walk t fl deliver =
+  Fault.on_scan fl;
+  let n = Array.length t.txs in
+  let i = ref 0 in
+  while !i < n do
+    let page = t.page_of.(!i) in
+    Fault.on_page fl ~page;
+    let j = ref !i in
+    while !j < n && t.page_of.(!j) = page do
+      incr j
+    done;
+    verify_extent t fl ~page ~lo:!i ~hi:(!j - 1);
+    deliver ~lo:!i ~hi:(!j - 1);
+    i := !j
+  done
+
 let iter_scan t stats f =
   Io_stats.record_scan stats ~pages:t.pages ~tuples:(Array.length t.txs);
   match t.faults with
   | None -> Array.iter f t.txs
   | Some fl ->
-      Fault.on_scan fl;
       (* deliver page by page: consult the injector and verify the page's
          checksum before any of its tuples reach [f] *)
-      let n = Array.length t.txs in
-      let i = ref 0 in
-      while !i < n do
-        let page = t.page_of.(!i) in
-        Fault.on_page fl ~page;
-        let j = ref !i in
-        while !j < n && t.page_of.(!j) = page do
-          incr j
-        done;
-        verify_extent t fl ~page ~lo:!i ~hi:(!j - 1);
-        for k = !i to !j - 1 do
-          f t.txs.(k)
-        done;
-        i := !j
-      done
+      fault_page_walk t fl (fun ~lo ~hi ->
+          for k = lo to hi do
+            f t.txs.(k)
+          done)
+
+let begin_scan t stats =
+  Io_stats.record_scan stats ~pages:t.pages ~tuples:(Array.length t.txs);
+  match t.faults with
+  | None -> ()
+  | Some fl -> fault_page_walk t fl (fun ~lo:_ ~hi:_ -> ())
+
+let iter_range t ~lo ~hi f =
+  for k = lo to hi do
+    f t.txs.(k)
+  done
+
+let scan_chunks t ~max_chunks =
+  let n = Array.length t.txs in
+  if n = 0 then []
+  else begin
+    (* page run starts in tx order; chunk boundaries only ever sit on them,
+       so no page is split across chunks *)
+    let starts = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      starts := !i :: !starts;
+      let page = t.page_of.(!i) in
+      let j = ref !i in
+      while !j < n && t.page_of.(!j) = page do
+        incr j
+      done;
+      i := !j
+    done;
+    let starts = Array.of_list (List.rev !starts) in
+    let runs = Array.length starts in
+    let k = max 1 (min max_chunks runs) in
+    List.init k (fun c ->
+        let r0 = c * runs / k and r1 = (c + 1) * runs / k in
+        let lo = starts.(r0) in
+        let hi = if r1 = runs then n - 1 else starts.(r1) - 1 in
+        (lo, hi))
+  end
 
 let verify t =
   match t.faults with

@@ -31,6 +31,35 @@ val get : t -> int -> Transaction.t
     page), or an injected crash. *)
 val iter_scan : t -> Io_stats.t -> (Transaction.t -> unit) -> unit
 
+(** {2 Chunked scans}
+
+    A chunked scan decomposes one logical pass into page-aligned ranges so
+    several domains can consume disjoint chunks of the same scan.  The
+    protocol is: {!begin_scan} once (it charges exactly the one scan that
+    {!iter_scan} would and, with faults installed, performs the {e same}
+    page/checksum walk in the same order, drawing the same injector
+    decisions — so errors and fault statistics are independent of how many
+    domains later consume the tuples), then {!iter_range} over the ranges
+    from {!scan_chunks} in any order and from any domain. *)
+
+(** [scan_chunks t ~max_chunks] partitions the scan order into at most
+    [max_chunks] contiguous ranges [(lo, hi)] (inclusive transaction
+    indices), each boundary snapped to a page boundary so no page is split
+    across chunks.  The ranges are disjoint, in ascending order, and cover
+    every transaction; the empty database yields [[]]. *)
+val scan_chunks : t -> max_chunks:int -> (int * int) list
+
+(** [begin_scan t stats] charges one full scan to [stats] and, with faults
+    installed, runs the complete page/checksum validation walk (raising
+    like {!iter_scan} would) without delivering any tuples. *)
+val begin_scan : t -> Io_stats.t -> unit
+
+(** [iter_range t ~lo ~hi f] delivers transactions [lo..hi] (inclusive) to
+    [f], raw: no I/O charge, no fault consultation — validation already
+    happened in {!begin_scan}.  Safe to call concurrently from several
+    domains on disjoint ranges. *)
+val iter_range : t -> lo:int -> hi:int -> (Transaction.t -> unit) -> unit
+
 (** {2 Fault injection}
 
     The store carries per-page checksums computed at {!create}.  Installing

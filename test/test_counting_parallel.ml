@@ -1,0 +1,221 @@
+(* The parallel counting engine: count_shared under domains>1 must be
+   indistinguishable from the sequential pass — same counts, same ccc and
+   I/O charges, same fault behaviour — whether helpers are spawned or
+   borrowed from a pool.  CFQ_TEST_DOMAINS adds an extra width to the
+   property grid (CI runs the suite with CFQ_TEST_DOMAINS=3). *)
+
+open Cfq_itembase
+open Cfq_txdb
+open Cfq_mining
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let domain_grid =
+  let base = [ 1; 2; 3; 7 ] in
+  match Sys.getenv_opt "CFQ_TEST_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some d when d >= 1 && not (List.mem d base) -> base @ [ d ]
+      | _ -> base)
+  | None -> base
+
+(* a page model small enough that a 20-60 tx database spans many pages, so
+   scan_chunks has real page boundaries to align to *)
+let tiny_pages = Page_model.make ~page_size_bytes:64 ()
+
+let db_of_lists txs =
+  Tx_db.create ~page_model:tiny_pages
+    (Array.of_list (List.map Itemset.of_list txs))
+
+let families_of (cands_s, cands_t) =
+  [ (Counters.create (), cands_s); (Counters.create (), cands_t) ]
+
+let run_shared ?par db families =
+  let io = Io_stats.create () in
+  let counts = Counting.count_shared ?par db io families in
+  (counts, Io_stats.scans io, Io_stats.pages_read io)
+
+(* property input: a database plus an S family and a T family *)
+let gen_input =
+  QCheck2.Gen.(
+    let* n = Helpers.gen_universe_size in
+    let* txs = Helpers.gen_db_lists n in
+    let* cs = list_size (int_range 0 8) (Helpers.gen_itemset n) in
+    let* ct = list_size (int_range 0 8) (Helpers.gen_itemset n) in
+    return (n, txs, cs, ct))
+
+let print_input (n, txs, cs, ct) =
+  Printf.sprintf "n=%d txs=%d s_cands=%d t_cands=%d" n (List.length txs)
+    (List.length cs) (List.length ct)
+
+let cand_arrays (cs, ct) =
+  ( Array.of_list (List.sort_uniq Itemset.compare cs),
+    Array.of_list (List.sort_uniq Itemset.compare ct) )
+
+let prop_parallel_equals_sequential pool (_, txs, cs, ct) =
+  let db = db_of_lists txs in
+  let cands = cand_arrays (cs, ct) in
+  let seq = run_shared db (families_of cands) in
+  List.for_all
+    (fun domains ->
+      let par = { Counting.domains; pool } in
+      run_shared ~par db (families_of cands) = seq)
+    domain_grid
+
+let empty_families_skip_the_scan () =
+  let db = db_of_lists [ [ 0; 1 ]; [ 1; 2 ]; [ 0 ] ] in
+  let io = Io_stats.create () in
+  let counts =
+    Counting.count_shared db io [ (Counters.create (), [||]); (Counters.create (), [||]) ]
+  in
+  Alcotest.(check (list (array int))) "all counts empty" [ [||]; [||] ] counts;
+  Alcotest.(check int) "no scan charged" 0 (Io_stats.scans io);
+  Alcotest.(check int) "no pages charged" 0 (Io_stats.pages_read io);
+  (* the parallel path takes the same fast path *)
+  let counts =
+    Counting.count_shared
+      ~par:{ Counting.domains = 4; pool = None }
+      db io
+      [ (Counters.create (), [||]) ]
+  in
+  Alcotest.(check (list (array int))) "parallel fast path" [ [||] ] counts;
+  Alcotest.(check int) "still no scan" 0 (Io_stats.scans io);
+  (* a non-empty family alongside an empty one still scans, once *)
+  let _ =
+    Counting.count_shared db io
+      [ (Counters.create (), [||]); (Counters.create (), [| Itemset.of_list [ 0 ] |]) ]
+  in
+  Alcotest.(check int) "one scan for the non-empty family" 1 (Io_stats.scans io)
+
+(* twin stores, twin injectors, same seed: the sequential and the parallel
+   engine must draw the same fault stream — same raised error, same
+   injector statistics, same I/O charges *)
+let fault_outcome fault_cfg ~par txs cands =
+  let db = db_of_lists txs in
+  let fl = Fault.create fault_cfg in
+  Tx_db.set_faults db (Some fl);
+  let io = Io_stats.create () in
+  let outcome =
+    match
+      Counting.count_shared ?par db io [ (Counters.create (), cands) ]
+    with
+    | counts -> Ok counts
+    | exception Cfq_error.Error e -> Error e
+  in
+  (outcome, Fault.stats fl, Io_stats.scans io, Io_stats.pages_read io)
+
+let parallel_scan_respects_the_fault_layer () =
+  let txs = List.init 40 (fun i -> [ i mod 5; 5 + (i mod 3); 8 ]) in
+  let cands = [| Itemset.of_list [ 8 ]; Itemset.of_list [ 0; 8 ] |] in
+  let check name cfg =
+    let seq = fault_outcome cfg ~par:None txs cands in
+    let par =
+      fault_outcome cfg ~par:(Some { Counting.domains = 3; pool = None }) txs cands
+    in
+    if seq <> par then
+      Alcotest.failf "%s: parallel fault behaviour diverged from sequential" name
+  in
+  (* deterministic transient error on the first page read *)
+  check "fail_first" { Fault.default_config with Fault.fail_first = 1 };
+  (* probabilistic transients across the page walk *)
+  check "transient_p"
+    { Fault.default_config with Fault.transient_p = 0.3; seed = 0xFEEDL };
+  (* bounded corruption caught by the checksums *)
+  check "corrupt_p"
+    { Fault.default_config with Fault.corrupt_p = 0.9; max_corrupt = 1; seed = 0xBADL };
+  (* injected crash on scan admission *)
+  check "crash_p" { Fault.default_config with Fault.crash_p = 1.0 };
+  (* and with no drawn faults at all, both engines count identically *)
+  check "quiet" { Fault.default_config with Fault.transient_p = 0.0 }
+
+let chunks_cover_the_scan () =
+  let txs = List.init 37 (fun i -> [ i mod 7; 7 + (i mod 4) ]) in
+  let db = db_of_lists txs in
+  List.iter
+    (fun max_chunks ->
+      let chunks = Tx_db.scan_chunks db ~max_chunks in
+      (* disjoint, ascending, covering *)
+      let expected = ref 0 in
+      List.iter
+        (fun (lo, hi) ->
+          Alcotest.(check int) "contiguous" !expected lo;
+          Alcotest.(check bool) "non-empty" true (hi >= lo);
+          (* no page split across a boundary *)
+          if lo > 0 then
+            Alcotest.(check bool) "page-aligned" true
+              (Tx_db.page_of_tx db (lo - 1) <> Tx_db.page_of_tx db lo);
+          expected := hi + 1)
+        chunks;
+      Alcotest.(check int) "covers every transaction" (Tx_db.size db) !expected;
+      Alcotest.(check bool) "bounded count" true (List.length chunks <= max 1 max_chunks))
+    [ 1; 2; 3; 5; 16; 1000 ];
+  Alcotest.(check (list (pair int int))) "empty db"
+    []
+    (Tx_db.scan_chunks (db_of_lists []) ~max_chunks:4)
+
+let exec_run_parallel_equals_sequential () =
+  let n = 8 in
+  let txs =
+    List.init 60 (fun i -> List.init (1 + (i mod 4)) (fun j -> (i + (3 * j)) mod n))
+  in
+  let db = db_of_lists txs in
+  let info = Helpers.small_info n in
+  let ctx = Cfq_core.Exec.context db info in
+  let q =
+    Cfq_core.Parser.parse
+      "{(S,T) | freq(S) >= 0.1 & freq(T) >= 0.1 & max(S.Price) <= min(T.Price)}"
+  in
+  let run ?par () =
+    let r = Cfq_core.Exec.run ~collect_pairs:true ?par ctx q in
+    ( Helpers.sorted_pairs
+        (List.map
+           (fun (s, t) -> (s.Frequent.set, t.Frequent.set))
+           r.Cfq_core.Exec.pairs),
+      Cfq_core.Exec.total_counted r,
+      Cfq_core.Exec.total_checks r,
+      Io_stats.scans r.Cfq_core.Exec.io )
+  in
+  let seq = run () in
+  List.iter
+    (fun domains ->
+      let par = run ~par:{ Counting.domains; pool = None } () in
+      if par <> seq then
+        Alcotest.failf "Exec.run at %d domains diverged from sequential" domains)
+    domain_grid
+
+let with_pool f =
+  let pool = Cfq_service.Pool.create ~domains:2 ~queue_capacity:8 () in
+  Fun.protect ~finally:(fun () -> Cfq_service.Pool.shutdown pool) (fun () -> f pool)
+
+let borrowed_helpers_from_a_shut_down_pool () =
+  (* borrowing from a dead or saturated pool must degrade to fewer
+     participants, never fail the count *)
+  let pool = Cfq_service.Pool.create ~domains:1 ~queue_capacity:1 () in
+  Cfq_service.Pool.shutdown pool;
+  let db = db_of_lists (List.init 20 (fun i -> [ i mod 4; 4 ])) in
+  let cands = [| Itemset.of_list [ 4 ] |] in
+  let io = Io_stats.create () in
+  let counts =
+    Counting.count_shared
+      ~par:{ Counting.domains = 4; pool = Some pool }
+      db io
+      [ (Counters.create (), cands) ]
+  in
+  Alcotest.(check (list (array int))) "counted by the caller alone" [ [| 20 |] ] counts;
+  Alcotest.(check int) "one scan" 1 (Io_stats.scans io)
+
+let suite =
+  [
+    Helpers.qtest ~count:60 "count_shared parallel equals sequential (spawned)"
+      gen_input print_input
+      (prop_parallel_equals_sequential None);
+    Helpers.qtest ~count:30 "count_shared parallel equals sequential (pool-borrowed)"
+      gen_input print_input
+      (fun input -> with_pool (fun pool -> prop_parallel_equals_sequential (Some pool) input));
+    unit "empty candidate families skip the scan" empty_families_skip_the_scan;
+    unit "parallel scan respects the fault layer" parallel_scan_respects_the_fault_layer;
+    unit "scan chunks are page-aligned and cover the scan" chunks_cover_the_scan;
+    unit "Exec.run parallel equals sequential" exec_run_parallel_equals_sequential;
+    unit "borrowing from a shut-down pool degrades gracefully"
+      borrowed_helpers_from_a_shut_down_pool;
+  ]

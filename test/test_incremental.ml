@@ -97,15 +97,19 @@ let suite =
         let io = Io_stats.create () in
         let seq = Counting.count_level db io (Counters.create ()) cands in
         let par =
-          Counting.count_level_parallel db io (Counters.create ()) cands ~domains:3
+          Counting.count_level
+            ~par:{ Counting.domains = 3; pool = None }
+            db io (Counters.create ()) cands
         in
         seq = par);
     unit "parallel counting charges one scan" (fun () ->
         let db = Helpers.db_of_lists [ [ 0; 1 ]; [ 1 ]; [ 0 ] ] in
         let io = Io_stats.create () in
         let _ =
-          Counting.count_level_parallel db io (Counters.create ())
-            [| Itemset.of_list [ 0 ] |] ~domains:4
+          Counting.count_level
+            ~par:{ Counting.domains = 4; pool = None }
+            db io (Counters.create ())
+            [| Itemset.of_list [ 0 ] |]
         in
         Alcotest.(check int) "one scan" 1 (Io_stats.scans io));
   ]

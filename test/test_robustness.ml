@@ -268,6 +268,92 @@ let pool_shutdown_semantics () =
   Alcotest.(check int) "run still yields inline" 7 r;
   Alcotest.(check bool) "fallback signalled" true !fell_back
 
+(* ------------------------------------------------------------------ *)
+(* fan_out: the work-sharing primitive under the parallel counting engine *)
+
+let fan_out_degrades_to_sequential () =
+  (* domains=1 never spawns or borrows: one accumulator, indices in order *)
+  let seen = ref [] in
+  let accs =
+    Pool.fan_out ~domains:1 ~n_tasks:5
+      ~init:(fun () -> ref 0)
+      ~work:(fun acc i ->
+        seen := i :: !seen;
+        acc := !acc + i)
+      ()
+  in
+  Alcotest.(check (list int)) "indices in order" [ 0; 1; 2; 3; 4 ] (List.rev !seen);
+  (match accs with
+  | [ acc ] -> Alcotest.(check int) "single accumulator" 10 !acc
+  | _ -> Alcotest.failf "expected 1 accumulator, got %d" (List.length accs))
+
+let fan_out_covers_every_task_once () =
+  let n_tasks = 1000 in
+  let accs =
+    Pool.fan_out ~domains:3 ~n_tasks
+      ~init:(fun () -> Array.make n_tasks 0)
+      ~work:(fun acc i -> acc.(i) <- acc.(i) + 1)
+      ()
+  in
+  Alcotest.(check bool) "at most 3 participants" true (List.length accs <= 3);
+  let total = Array.make n_tasks 0 in
+  List.iter (Array.iteri (fun i c -> total.(i) <- total.(i) + c)) accs;
+  Array.iteri
+    (fun i c -> if c <> 1 then Alcotest.failf "task %d ran %d times" i c)
+    total
+
+let fan_out_borrows_without_blocking_on_a_busy_pool () =
+  (* one worker, kept busy: helpers either never start or are withdrawn;
+     the caller still finishes all tasks and the pool stays usable *)
+  let pool = Pool.create ~domains:1 ~queue_capacity:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let release = Atomic.make false in
+  let blocker =
+    match Pool.submit pool (fun () ->
+        while not (Atomic.get release) do Domain.cpu_relax () done;
+        42)
+    with
+    | Some p -> p
+    | None -> Alcotest.fail "blocker refused"
+  in
+  while Pool.queue_depth pool > 0 do Domain.cpu_relax () done;
+  let accs =
+    Pool.fan_out ~pool ~domains:4 ~n_tasks:100
+      ~init:(fun () -> ref 0)
+      ~work:(fun acc i -> acc := !acc + i)
+      ()
+  in
+  let total = List.fold_left (fun s acc -> s + !acc) 0 accs in
+  Alcotest.(check int) "all tasks counted" (100 * 99 / 2) total;
+  Atomic.set release true;
+  Alcotest.(check int) "blocker unaffected" 42 (Pool.await blocker);
+  (* withdrawn helpers are skipped (not run) once the worker drains them;
+     the pool then serves new work as usual *)
+  while Pool.queue_depth pool > 0 do Domain.cpu_relax () done;
+  match Pool.submit pool (fun () -> 7) with
+  | Some p -> Alcotest.(check int) "pool usable after fan_out" 7 (Pool.await p)
+  | None -> Alcotest.fail "pool refused after fan_out"
+
+exception Boom
+
+let fan_out_propagates_failure () =
+  (match
+     Pool.fan_out ~domains:3 ~n_tasks:50
+       ~init:(fun () -> ())
+       ~work:(fun () i -> if i = 17 then raise Boom)
+       ()
+   with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom -> ());
+  (* spawned helpers must all be joined even on failure: a fresh fan_out
+     right after still works *)
+  let accs =
+    Pool.fan_out ~domains:3 ~n_tasks:10 ~init:(fun () -> ref 0)
+      ~work:(fun acc _ -> incr acc) ()
+  in
+  Alcotest.(check int) "clean after failure" 10
+    (List.fold_left (fun s acc -> s + !acc) 0 accs)
+
 let service_outlives_its_pool () =
   let db, info, ctx = mk_ctx () in
   let config =
@@ -379,6 +465,14 @@ let suite =
     Alcotest.test_case "pool: queue-full falls back inline" `Quick
       pool_queue_full_falls_back_inline;
     Alcotest.test_case "pool: shutdown semantics" `Quick pool_shutdown_semantics;
+    Alcotest.test_case "fan_out: domains=1 degrades to sequential" `Quick
+      fan_out_degrades_to_sequential;
+    Alcotest.test_case "fan_out: every task runs exactly once" `Quick
+      fan_out_covers_every_task_once;
+    Alcotest.test_case "fan_out: borrows without blocking on a busy pool" `Quick
+      fan_out_borrows_without_blocking_on_a_busy_pool;
+    Alcotest.test_case "fan_out: propagates the first failure" `Quick
+      fan_out_propagates_failure;
     Alcotest.test_case "service outlives its pool" `Quick service_outlives_its_pool;
     Helpers.qtest ~count:40 "crash-consistency: caches never poisoned" gen_crash
       print_crash prop_crash_consistency;
