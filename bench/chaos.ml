@@ -194,4 +194,46 @@ let run (scale : Workloads.scale) =
   end;
   Printf.printf
     "\nOK: all %d queries answered under faults; every answer equals the fault-free run\n"
-    total
+    total;
+
+  (* every field below is a deterministic counter, so the file (like the
+     stdout report CI diffs) is byte-identical across runs *)
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        "  \"bench\": \"chaos\",";
+        Printf.sprintf "  \"queries\": %d," total;
+        Printf.sprintf "  \"transactions\": %d," (Cfq_txdb.Tx_db.size db);
+        "  \"calm\": {";
+        Printf.sprintf "    \"transient\": %d," cs.Cfq_txdb.Fault.transient;
+        Printf.sprintf "    \"spikes\": %d" cs.Cfq_txdb.Fault.spikes;
+        "  },";
+        "  \"storm\": {";
+        Printf.sprintf "    \"transient\": %d," ss.Cfq_txdb.Fault.transient;
+        Printf.sprintf "    \"crashes\": %d," ss.Cfq_txdb.Fault.crashes;
+        Printf.sprintf "    \"tampered\": %d," ss.Cfq_txdb.Fault.tampered;
+        Printf.sprintf "    \"checksum_failures\": %d" ss.Cfq_txdb.Fault.checksum_failures;
+        "  },";
+        "  \"service\": {";
+        Printf.sprintf "    \"retries\": %d," m.Metrics.retries;
+        Printf.sprintf "    \"degraded\": %d," m.Metrics.degraded;
+        Printf.sprintf "    \"breaker_trips\": %d," m.Metrics.breaker_trips;
+        Printf.sprintf "    \"shed\": %d," m.Metrics.shed;
+        Printf.sprintf "    \"failures\": %d," m.Metrics.failures;
+        Printf.sprintf "    \"deadline_expired\": %d," m.Metrics.deadline_expired;
+        Printf.sprintf "    \"answer_hits\": %d," m.Metrics.answer_hits;
+        Printf.sprintf "    \"subsumption_hits\": %d," m.Metrics.subsumption_hits;
+        Printf.sprintf "    \"sides_mined\": %d" m.Metrics.sides_mined;
+        "  },";
+        Printf.sprintf "  \"aborted\": %d," !aborted;
+        Printf.sprintf "  \"degraded\": %d," !degraded;
+        Printf.sprintf "  \"mismatches\": %d" !mismatches;
+        "}";
+      ]
+  in
+  let oc = open_out "BENCH_chaos.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_chaos.json"

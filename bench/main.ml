@@ -6,7 +6,8 @@
            dune exec bench/main.exe -- micro   (microbenchmarks only)
            dune exec bench/main.exe -- fig8a   (one experiment)
            dune exec bench/main.exe -- session (service cache vs cold replay)
-           dune exec bench/main.exe -- chaos   (session under injected faults) *)
+           dune exec bench/main.exe -- chaos   (session under injected faults)
+           dune exec bench/main.exe -- store   (persistent backend: buffer pool) *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -30,8 +31,9 @@ let () =
   | [ "counting" ] -> Counting_bench.run (scale ())
   | [ "session" ] -> Session.run (scale ())
   | [ "chaos" ] -> Chaos.run (scale ())
+  | [ "store" ] -> Store_bench.run (scale ())
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [micro|fig8a|tab71_levels|tab71_ranges|fig8b|tab72_ranges|tab73_jmax|ablation|miners|cap_1var|maintenance|parallel|counting|session|chaos]";
+         [micro|fig8a|tab71_levels|tab71_ranges|fig8b|tab72_ranges|tab73_jmax|ablation|miners|cap_1var|maintenance|parallel|counting|session|chaos|store]";
       exit 2

@@ -157,4 +157,37 @@ let run (scale : Workloads.scale) =
   Printf.printf
     "\nOK: identical answers; warm service counted %.1fx fewer sets (%d vs %d)\n"
     (float_of_int cold_counted /. float_of_int (max 1 m.Metrics.support_counted))
-    m.Metrics.support_counted cold_counted
+    m.Metrics.support_counted cold_counted;
+
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        "  \"bench\": \"session\",";
+        Printf.sprintf "  \"queries\": %d," (List.length queries);
+        Printf.sprintf "  \"transactions\": %d," (Cfq_txdb.Tx_db.size db);
+        "  \"cold\": {";
+        Printf.sprintf "    \"seconds\": %.6f," cold_seconds;
+        Printf.sprintf "    \"support_counted\": %d," cold_counted;
+        Printf.sprintf "    \"constraint_checks\": %d," cold_checks;
+        Printf.sprintf "    \"scans\": %d" cold_scans;
+        "  },";
+        "  \"warm\": {";
+        Printf.sprintf "    \"seconds\": %.6f," warm_seconds;
+        Printf.sprintf "    \"support_counted\": %d," m.Metrics.support_counted;
+        Printf.sprintf "    \"constraint_checks\": %d," m.Metrics.constraint_checks;
+        Printf.sprintf "    \"scans\": %d," m.Metrics.scans;
+        Printf.sprintf "    \"answer_hits\": %d," m.Metrics.answer_hits;
+        Printf.sprintf "    \"subsumption_hits\": %d," m.Metrics.subsumption_hits;
+        Printf.sprintf "    \"sides_mined\": %d" m.Metrics.sides_mined;
+        "  },";
+        Printf.sprintf "  \"counted_ratio\": %.3f"
+          (float_of_int cold_counted /. float_of_int (max 1 m.Metrics.support_counted));
+        "}";
+      ]
+  in
+  let oc = open_out "BENCH_session.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_session.json"

@@ -1,0 +1,196 @@
+(* Store bench: physical I/O of the persistent backend.
+
+   Builds the harness database into an on-disk store, then measures (a)
+   cold vs. warm full scans through the buffer pool at a cache that holds
+   the whole database, (b) a cache-pressure sweep shrinking the pool down
+   to one frame — every configuration must deliver the same tuples, and
+   any pool smaller than the database must evict — and (c) a full
+   [Exec.run] of a 2-var query on the disk backend, asserting answers and
+   ccc counters identical to the in-memory backend.  Writes the rows to
+   BENCH_store.json like the other benches. *)
+
+open Cfq_itembase
+open Cfq_quest
+open Cfq_core
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let scan_total db =
+  let io = Cfq_txdb.Io_stats.create () in
+  let n = ref 0 and items = ref 0 in
+  Cfq_txdb.Tx_db.iter_scan db io (fun tx ->
+      incr n;
+      items := !items + Cfq_txdb.Transaction.cardinal tx);
+  (!n, !items)
+
+type sweep_row = {
+  w_cache : int;
+  w_cold : float;
+  w_warm : float;
+  w_misses : int;
+  w_evictions : int;
+}
+
+let sorted_pairs l =
+  List.sort
+    (fun (a1, b1) (a2, b2) ->
+      match Itemset.compare a1 a2 with 0 -> Itemset.compare b1 b2 | c -> c)
+    (List.map
+       (fun (s, t) -> (s.Cfq_mining.Frequent.set, t.Cfq_mining.Frequent.set))
+       l)
+
+let run (scale : Workloads.scale) =
+  let mem = Workloads.quest_db scale in
+  let path = Filename.temp_file "cfq_bench_store" ".cfqdb" in
+  let (), build_s = time (fun () -> Cfq_store.Store.save_db path mem) in
+  let pages = Cfq_txdb.Tx_db.pages mem in
+  Printf.printf "store bench: %d transactions, %d pages (built in %.3fs)\n%!"
+    (Cfq_txdb.Tx_db.size mem) pages build_s;
+
+  let mem_total, mem_scan_s = time (fun () -> scan_total mem) in
+
+  (* ---- cold vs. warm at a pool that holds the whole database ---- *)
+  let store = Cfq_store.Store.open_ ~cache_pages:(pages + 1) path in
+  let disk = Cfq_store.Store.db store in
+  let cold_total, cold_s = time (fun () -> scan_total disk) in
+  let warm_total, warm_s = time (fun () -> scan_total disk) in
+  let io = Cfq_store.Store.io store in
+  if cold_total <> mem_total || warm_total <> mem_total then begin
+    print_endline "FAIL: disk scans delivered different tuples than memory";
+    exit 1
+  end;
+  Printf.printf
+    "full cache (%d pages): cold %.4fs, warm %.4fs, memory %.4fs (pool: %d \
+     hits, %d misses)\n%!"
+    (pages + 1) cold_s warm_s mem_scan_s
+    (Cfq_txdb.Io_stats.pool_hits io)
+    (Cfq_txdb.Io_stats.pool_misses io);
+  if Cfq_txdb.Io_stats.pool_misses io > pages then begin
+    print_endline "FAIL: warm scan re-read pages despite a full-size cache";
+    exit 1
+  end;
+  Cfq_store.Store.close store;
+
+  (* ---- cache-pressure sweep ---- *)
+  let caps =
+    List.sort_uniq compare [ 1; max 1 (pages / 16); max 1 (pages / 4); pages ]
+    |> List.rev
+  in
+  let sweep =
+    List.map
+      (fun cache ->
+        let store = Cfq_store.Store.open_ ~cache_pages:cache path in
+        let disk = Cfq_store.Store.db store in
+        let total, cold = time (fun () -> scan_total disk) in
+        let _, warm = time (fun () -> scan_total disk) in
+        let io = Cfq_store.Store.io store in
+        let misses = Cfq_txdb.Io_stats.pool_misses io in
+        let evictions = Cfq_txdb.Io_stats.pool_evictions io in
+        if total <> mem_total then begin
+          Printf.printf "FAIL: scan at cache=%d delivered different tuples\n" cache;
+          exit 1
+        end;
+        if cache < pages && evictions = 0 then begin
+          Printf.printf "FAIL: cache=%d < %d pages but nothing was evicted\n"
+            cache pages;
+          exit 1
+        end;
+        Cfq_store.Store.close store;
+        { w_cache = cache; w_cold = cold; w_warm = warm; w_misses = misses;
+          w_evictions = evictions })
+      caps
+  in
+  let tbl =
+    Cfq_report.Table.create
+      [ "cache(pages)"; "cold(s)"; "warm(s)"; "misses"; "evictions" ]
+  in
+  List.iter
+    (fun r ->
+      Cfq_report.Table.add_row tbl
+        [
+          string_of_int r.w_cache;
+          Cfq_report.Table.fcell r.w_cold;
+          Cfq_report.Table.fcell r.w_warm;
+          string_of_int r.w_misses;
+          string_of_int r.w_evictions;
+        ])
+    sweep;
+  print_newline ();
+  Cfq_report.Table.print tbl;
+
+  (* ---- a full query: answers and counters must match memory ---- *)
+  let rng = Splitmix.create ~seed:(Int64.add scale.Workloads.seed 7L) in
+  let n = scale.Workloads.n_items in
+  let prices = Item_gen.uniform_prices rng ~n ~lo:0. ~hi:1000. in
+  let types = Array.init n (fun _ -> float_of_int (Splitmix.int rng 20)) in
+  let info = Item_gen.item_info ~prices ~types () in
+  let query_text =
+    "{(S,T) | freq(S) >= 0.005 & freq(T) >= 0.005 & S.Price >= 300 & T.Price <= 700 \
+     & S.Type = T.Type}"
+  in
+  let q = Parser.parse query_text in
+  let run_on db = Exec.run ~collect_pairs:true (Exec.context db info) q in
+  let mem_r, mem_q_s = time (fun () -> run_on mem) in
+  let store = Cfq_store.Store.open_ ~cache_pages:(max 1 (pages / 4)) path in
+  let disk_r, disk_q_s = time (fun () -> run_on (Cfq_store.Store.db store)) in
+  let pool_evictions = Cfq_txdb.Io_stats.pool_evictions (Cfq_store.Store.io store) in
+  Cfq_store.Store.close store;
+  if
+    sorted_pairs mem_r.Exec.pairs <> sorted_pairs disk_r.Exec.pairs
+    || Exec.total_counted mem_r <> Exec.total_counted disk_r
+    || Exec.total_checks mem_r <> Exec.total_checks disk_r
+    || Cfq_txdb.Io_stats.pages_read mem_r.Exec.io
+       <> Cfq_txdb.Io_stats.pages_read disk_r.Exec.io
+  then begin
+    print_endline "FAIL: Exec.run on the disk backend diverged from memory";
+    exit 1
+  end;
+  Printf.printf
+    "\nExec.run at cache=%d: %.3fs on disk vs %.3fs in memory (%d pairs, %d \
+     pool evictions); answers and counters identical\n"
+    (max 1 (pages / 4)) disk_q_s mem_q_s
+    (List.length disk_r.Exec.pairs)
+    pool_evictions;
+
+  (* ---- machine-readable record ---- *)
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        "  \"bench\": \"store\",";
+        Printf.sprintf "  \"transactions\": %d," (Cfq_txdb.Tx_db.size mem);
+        Printf.sprintf "  \"pages\": %d," pages;
+        Printf.sprintf "  \"build_seconds\": %.6f," build_s;
+        Printf.sprintf "  \"memory_scan_seconds\": %.6f," mem_scan_s;
+        Printf.sprintf "  \"cold_scan_seconds\": %.6f," cold_s;
+        Printf.sprintf "  \"warm_scan_seconds\": %.6f," warm_s;
+        "  \"sweep\": [";
+        String.concat ",\n"
+          (List.map
+             (fun r ->
+               Printf.sprintf
+                 "      {\"cache_pages\": %d, \"cold_seconds\": %.6f, \
+                  \"warm_seconds\": %.6f, \"misses\": %d, \"evictions\": %d}"
+                 r.w_cache r.w_cold r.w_warm r.w_misses r.w_evictions)
+             sweep);
+        "  ],";
+        "  \"exec_run\": {";
+        Printf.sprintf "    \"query\": %S," query_text;
+        Printf.sprintf "    \"pairs\": %d," (List.length disk_r.Exec.pairs);
+        Printf.sprintf "    \"disk_seconds\": %.6f," disk_q_s;
+        Printf.sprintf "    \"memory_seconds\": %.6f" mem_q_s;
+        "  }";
+        "}";
+      ]
+  in
+  let oc = open_out "BENCH_store.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_store.json";
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ path; path ^ ".wal" ]

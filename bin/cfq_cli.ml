@@ -350,6 +350,179 @@ let serve_cmd verbose tx items types seed data iteminfo domains mine_domains cac
       Cfq_service.Service.shutdown service;
       result
 
+(* ------------------------------------------------------------------ *)
+(* persistent store *)
+
+let store_path_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "store" ] ~docv:"PATH"
+        ~doc:"Store file (the sealed segment; the ingestion log lives at $(i,PATH).wal \
+              and the itemInfo table at $(i,PATH).info.csv).")
+
+let cache_pages_arg =
+  Arg.(
+    value & opt int 1024
+    & info [ "cache-pages" ] ~docv:"N"
+        ~doc:"Buffer-pool capacity in pages; below the database size the pool \
+              evicts under pressure.")
+
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:"Before serving, run every query of the batch on both the on-disk \
+              and an in-memory backend and require identical answers and \
+              counters.")
+
+let store_info store_path universe_size =
+  let info_path = store_path ^ ".info.csv" in
+  if Sys.file_exists info_path then
+    Cfq_data.Item_csv.read info_path ~universe_size
+  else Cfq_itembase.Item_info.create ~universe_size
+
+let store_build_cmd verbose tx items types seed data iteminfo store_path =
+  setup_logs verbose;
+  match load_or_generate ~tx ~items ~types ~seed ~data ~iteminfo with
+  | Error e -> Error e
+  | Ok (db, info) ->
+      Cfq_store.Store.save_db store_path db;
+      Cfq_data.Item_csv.write (store_path ^ ".info.csv") info;
+      let store = Cfq_store.Store.open_ store_path in
+      Printf.printf "store: %s\ntransactions: %d\npages (4K): %d\nitem universe: %d\n"
+        store_path (Cfq_store.Store.size store)
+        (Cfq_store.Store.pages store)
+        (Cfq_store.Store.universe_size store);
+      Cfq_store.Store.close store;
+      Ok ()
+
+(* replay the batch on the store and on an in-memory copy: answers, ccc
+   counters and page charges must be identical *)
+let verify_backends store info file =
+  match Cfq_service.Batch.load file with
+  | Error msg -> Error (`Msg msg)
+  | Ok lines -> (
+      let disk_ctx = Exec.context (Cfq_store.Store.db store) info in
+      let seg = Cfq_store.Segment.open_ (Cfq_store.Store.path store) in
+      let sets =
+        Fun.protect
+          ~finally:(fun () -> Cfq_store.Segment.close seg)
+          (fun () -> Cfq_store.Segment.read_all seg)
+      in
+      let mem_ctx = Exec.context (Cfq_txdb.Tx_db.create sets) info in
+      let norm r =
+        List.sort compare
+          (List.map
+             (fun (s, t) ->
+               ( Cfq_itembase.Itemset.to_list s.Cfq_mining.Frequent.set,
+                 Cfq_itembase.Itemset.to_list t.Cfq_mining.Frequent.set ))
+             r.Exec.pairs)
+      in
+      let total = List.length lines in
+      let rec go = function
+        | [] ->
+            Printf.printf "verify: %d/%d queries identical on both backends\n\n"
+              total total;
+            Ok ()
+        | (ln, text) :: rest -> (
+            match Parser.parse_result text with
+            | Error msg -> Error (`Msg (Printf.sprintf "verify: line %d: %s" ln msg))
+            | Ok q -> (
+                let run ctx = Exec.run_result ~collect_pairs:true ctx q in
+                match (run disk_ctx, run mem_ctx) with
+                | Ok rd, Ok rm
+                  when norm rd = norm rm
+                       && Exec.total_counted rd = Exec.total_counted rm
+                       && Exec.total_checks rd = Exec.total_checks rm ->
+                    go rest
+                | Ok _, Ok _ ->
+                    Error
+                      (`Msg
+                         (Printf.sprintf
+                            "verify: line %d: backends disagree on %S" ln text))
+                | Error e, _ | _, Error e ->
+                    Error (`Msg (Cfq_txdb.Cfq_error.to_string e))))
+      in
+      go lines)
+
+let store_serve_cmd verbose store_path cache_pages domains mine_domains cache_mb
+    deadline repeat fault_transient fault_corrupt fault_spike fault_seed retries
+    breaker_threshold verify file =
+  setup_logs verbose;
+  match Cfq_store.Store.open_ ~cache_pages store_path with
+  | exception Cfq_store.Segment.Bad_segment msg -> Error (`Msg msg)
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (`Msg (store_path ^ ": " ^ Unix.error_message e))
+  | store ->
+      let finish result =
+        let io = Cfq_store.Store.io store in
+        Printf.printf
+          "buffer pool: %d hits, %d misses, %d evictions (cache %d of %d pages)\n"
+          (Cfq_txdb.Io_stats.pool_hits io)
+          (Cfq_txdb.Io_stats.pool_misses io)
+          (Cfq_txdb.Io_stats.pool_evictions io)
+          (Cfq_store.Store.cache_pages store)
+          (Cfq_store.Store.pages store);
+        Cfq_store.Store.close store;
+        result
+      in
+      let db = Cfq_store.Store.db store in
+      let info = store_info store_path (max 1 (Cfq_store.Store.universe_size store)) in
+      let r = Cfq_store.Store.last_recovery store in
+      Printf.printf "store: %s (%d transactions, %d pages, cache %d pages)\n"
+        store_path (Cfq_store.Store.size store)
+        (Cfq_store.Store.pages store) cache_pages;
+      if r.Cfq_store.Store.replayed > 0 || r.Cfq_store.Store.truncated_bytes > 0 then
+        Printf.printf "recovery: replayed %d WAL records, dropped %d torn bytes\n"
+          r.Cfq_store.Store.replayed r.Cfq_store.Store.truncated_bytes;
+      print_newline ();
+      let verified = if verify then verify_backends store info file else Ok () in
+      (match verified with
+      | Error e -> finish (Error e)
+      | Ok () ->
+          let fault_config =
+            {
+              Cfq_txdb.Fault.default_config with
+              Cfq_txdb.Fault.transient_p = fault_transient;
+              corrupt_p = fault_corrupt;
+              spike_p = fault_spike;
+              seed = Int64.of_int fault_seed;
+            }
+          in
+          if Cfq_txdb.Fault.is_active fault_config then begin
+            Cfq_txdb.Tx_db.set_faults db (Some (Cfq_txdb.Fault.create fault_config));
+            Printf.printf
+              "fault injection: transient-p=%g corrupt-p=%g spike-p=%g seed=%d\n\n"
+              fault_transient fault_corrupt fault_spike fault_seed
+          end;
+          let config =
+            {
+              Cfq_service.Service.default_config with
+              Cfq_service.Service.domains;
+              mine_domains;
+              cache_budget = cache_mb * 1024 * 1024;
+              default_deadline = deadline;
+              retries;
+              breaker_threshold;
+            }
+          in
+          let service = Cfq_service.Service.create ~config (Exec.context db info) in
+          let rec passes n =
+            if n > repeat then Ok ()
+            else begin
+              if repeat > 1 then Printf.printf "=== pass %d/%d ===\n" n repeat;
+              match Cfq_service.Batch.run_file service file with
+              | Error msg -> Error (`Msg msg)
+              | Ok report ->
+                  print_endline report;
+                  passes (n + 1)
+            end
+          in
+          let result = passes 1 in
+          Cfq_service.Service.shutdown service;
+          finish result)
+
 let repl_cmd () =
   let session = Cfq_shell.Shell.create () in
   print_endline "cfq interactive shell; 'help' lists commands, 'quit' leaves.";
@@ -460,6 +633,44 @@ let serve_cmd_info =
       "Execute a batch file of CFQs through the concurrent caching query service \
        and print per-query outcomes plus cache metrics."
 
+let store_build_t =
+  Term.(
+    term_result
+      (const store_build_cmd $ verbose_arg $ tx_arg $ items_arg $ types_arg
+     $ seed_arg $ data_arg $ iteminfo_arg $ store_path_arg))
+
+let store_serve_t =
+  Term.(
+    term_result
+      (const store_serve_cmd $ verbose_arg $ store_path_arg $ cache_pages_arg
+     $ domains_arg
+     $ mine_domains_arg ~default:0
+         ~default_doc:
+           "Default 0 = inherit $(b,--domains); helpers are borrowed idle \
+            workers, never extra domains."
+     $ cache_mb_arg $ deadline_arg $ repeat_arg $ fault_transient_arg
+     $ fault_corrupt_arg $ fault_spike_arg $ fault_seed_arg $ retries_arg
+     $ breaker_threshold_arg $ verify_arg $ batch_file_arg))
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Build and serve persistent on-disk transaction stores.")
+    [
+      Cmd.v
+        (Cmd.info "build"
+           ~doc:
+             "Write a database (generated, or loaded with $(b,--data)) to a \
+              sealed on-disk store plus its itemInfo CSV.")
+        store_build_t;
+      Cmd.v
+        (Cmd.info "serve"
+           ~doc:
+             "Serve a batch of CFQs from an on-disk store through the caching \
+              query service, decoding pages through a bounded buffer pool.")
+        store_serve_t;
+    ]
+
 let main =
   Cmd.group
     (Cmd.info "cfq" ~version:"1.0.0"
@@ -472,6 +683,7 @@ let main =
       Cmd.v rules_cmd_info rules_t;
       Cmd.v repl_cmd_info repl_t;
       Cmd.v serve_cmd_info serve_t;
+      store_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -37,7 +37,9 @@ let pattern_table rng p =
   let corruptions = Array.make p.n_patterns 0. in
   let prev = ref [||] in
   for i = 0 to p.n_patterns - 1 do
-    let len = max 1 (Dist.poisson rng ~mean:(p.avg_pattern_len -. 1.) + 1) in
+    (* clamped to the universe: a longer pattern could never collect enough
+       distinct items below *)
+    let len = min p.n_items (max 1 (Dist.poisson rng ~mean:(p.avg_pattern_len -. 1.) + 1)) in
     (* fraction of items inherited from the previous pattern, exponentially
        distributed around the correlation level (AS'94, Section 4) *)
     let inherit_frac =
@@ -83,7 +85,9 @@ let generate_itemsets rng p =
   (* a pattern put back because it did not fit is carried to the next tx *)
   let carried = ref None in
   for t = 0 to p.n_transactions - 1 do
-    let target = max 1 (Dist.poisson rng ~mean:p.avg_tx_len) in
+    (* clamped to the universe: [acc] holds distinct items, so a larger
+       target could never be reached *)
+    let target = min p.n_items (max 1 (Dist.poisson rng ~mean:p.avg_tx_len)) in
     let acc = Hashtbl.create (2 * target) in
     let add_pattern idx =
       (* corrupt: repeatedly drop a random item while a uniform draw exceeds
@@ -105,7 +109,11 @@ let generate_itemsets rng p =
       Array.iter (fun e -> Hashtbl.replace acc e ()) !items
     in
     let continue = ref true in
+    (* over a small universe the patterns can stop contributing new items
+       while still "fitting"; the attempt bound keeps the loop finite *)
+    let attempts = ref 0 in
     while !continue do
+      incr attempts;
       let idx =
         match !carried with
         | Some i ->
@@ -120,7 +128,8 @@ let generate_itemsets rng p =
         if Splitmix.bool rng then add_pattern idx else carried := Some idx;
         continue := false
       end;
-      if Hashtbl.length acc >= target then continue := false
+      if Hashtbl.length acc >= target || !attempts > 8 * (target + 1) then
+        continue := false
     done;
     if Hashtbl.length acc = 0 then Hashtbl.replace acc (Splitmix.int rng p.n_items) ();
     out.(t) <- Itemset.of_list (Hashtbl.fold (fun e () l -> e :: l) acc [])

@@ -11,6 +11,7 @@ type t = {
   mutable last : Exec.result option;
   mutable last_rules : Cfq_rules.Rule.t list;
   mutable service : Cfq_service.Service.t option;
+  mutable store : Cfq_store.Store.t option;
 }
 
 type response = {
@@ -27,6 +28,7 @@ let create ?ctx () =
     last = None;
     last_rules = [];
     service = None;
+    store = None;
   }
 
 let par_of t = { Cfq_mining.Counting.domains = max 1 t.mine_domains; pool = None }
@@ -39,6 +41,15 @@ let drop_service t =
   | Some s ->
       Cfq_service.Service.shutdown s;
       t.service <- None
+
+(* a persistent store backs the current ctx's database: close it only
+   after the session has moved to a different context *)
+let drop_store t =
+  match t.store with
+  | None -> ()
+  | Some s ->
+      (try Cfq_store.Store.close s with _ -> ());
+      t.store <- None
 
 let service_for t ctx =
   match t.service with
@@ -57,6 +68,9 @@ let help_text =
       "commands:";
       "  load <tx.fimi> [<items.csv>]   attach a database (and itemInfo table)";
       "  gen <n_tx> <n_items> [seed]    generate a synthetic Quest database";
+      "  open <store> [<cache_pages>]   attach a persistent store (buffer-pooled)";
+      "  save <store>                   write the attached database to a store";
+      "  ingest <store> <tx.fimi>       append transactions to a store and seal";
       "  set strategy <name>            apriori+ | cap | optimized | sequential | fm";
       "  set minconf <float>            rule confidence threshold";
       "  set domains <n>                counting domains per scan (1 = sequential)";
@@ -124,6 +138,7 @@ let do_load t path info_path =
           t.ctx <- Some (Exec.context db info);
           t.last <- None;
           drop_service t;
+          drop_store t;
           say "loaded %d transactions over %d items" (Tx_db.size db) universe_size)
 
 let do_gen t n_tx n_items seed =
@@ -135,8 +150,98 @@ let do_gen t n_tx n_items seed =
   t.ctx <- Some (Exec.context db (Item_gen.item_info ~prices ~types ()));
   t.last <- None;
   drop_service t;
+  drop_store t;
   say "generated %d transactions over %d items (avg length %.1f; Price, Type attributes)"
     (Tx_db.size db) n_items (Tx_db.avg_tx_len db)
+
+let info_csv_path store_path = store_path ^ ".info.csv"
+
+let do_open t path cache_pages =
+  match Cfq_store.Store.open_ ?cache_pages path with
+  | exception Cfq_store.Segment.Bad_segment msg -> say "open failed: %s" msg
+  | exception Unix.Unix_error (e, _, _) ->
+      say "open failed: %s: %s" path (Unix.error_message e)
+  | exception Sys_error msg -> say "open failed: %s" msg
+  | store -> (
+      let universe_size = max 1 (Cfq_store.Store.universe_size store) in
+      let info_path = info_csv_path path in
+      let info_result =
+        if not (Sys.file_exists info_path) then Ok (Item_info.create ~universe_size)
+        else
+          match Cfq_data.Item_csv.read info_path ~universe_size with
+          | info -> Ok info
+          | exception Cfq_data.Item_csv.Bad_format msg -> Error msg
+          | exception Sys_error msg -> Error msg
+      in
+      match info_result with
+      | Error msg ->
+          Cfq_store.Store.close store;
+          say "open failed: %s" msg
+      | Ok info ->
+          t.ctx <- Some (Exec.context (Cfq_store.Store.db store) info);
+          t.last <- None;
+          drop_service t;
+          drop_store t;
+          t.store <- Some store;
+          let r = Cfq_store.Store.last_recovery store in
+          say "opened %s: %d transactions, %d pages, cache %d pages%s" path
+            (Cfq_store.Store.size store) (Cfq_store.Store.pages store)
+            (Cfq_store.Store.cache_pages store)
+            (if r.Cfq_store.Store.replayed > 0 || r.Cfq_store.Store.truncated_bytes > 0
+             then
+               Printf.sprintf " (recovered %d WAL records, dropped %d torn bytes)"
+                 r.Cfq_store.Store.replayed r.Cfq_store.Store.truncated_bytes
+             else ""))
+
+let do_save ctx path =
+  match
+    Cfq_store.Store.save_db path ctx.Exec.db;
+    Cfq_data.Item_csv.write (info_csv_path path) ctx.Exec.s_info
+  with
+  | () ->
+      say "wrote %d transactions to %s (+ %s)" (Tx_db.size ctx.Exec.db) path
+        (info_csv_path path)
+  | exception Unix.Unix_error (e, _, _) ->
+      say "save failed: %s: %s" path (Unix.error_message e)
+  | exception Sys_error msg -> say "save failed: %s" msg
+
+let do_ingest t store_path fimi_path =
+  match Cfq_data.Fimi.read fimi_path with
+  | exception Cfq_data.Fimi.Bad_format msg -> say "ingest failed: %s" msg
+  | exception Sys_error msg -> say "ingest failed: %s" msg
+  | src -> (
+      let ingest store =
+        for i = 0 to Tx_db.size src - 1 do
+          Cfq_store.Store.append_tx store (Tx_db.get src i).Transaction.items
+        done;
+        ignore (Cfq_store.Store.seal store)
+      in
+      match t.store with
+      | Some store when Cfq_store.Store.path store = store_path ->
+          (* ingesting into the attached store: seal replaces the db
+             handle, so rebuild the execution context around the new one *)
+          ingest store;
+          (match t.ctx with
+          | Some ctx ->
+              t.ctx <- Some (Exec.context (Cfq_store.Store.db store) ctx.Exec.s_info)
+          | None -> ());
+          t.last <- None;
+          drop_service t;
+          say "ingested %d transactions into %s (now %d total)" (Tx_db.size src)
+            store_path
+            (Cfq_store.Store.size store)
+      | _ -> (
+          match Cfq_store.Store.open_ store_path with
+          | exception Cfq_store.Segment.Bad_segment msg -> say "ingest failed: %s" msg
+          | exception Unix.Unix_error (e, _, _) ->
+              say "ingest failed: %s: %s" store_path (Unix.error_message e)
+          | exception Sys_error msg -> say "ingest failed: %s" msg
+          | store ->
+              ingest store;
+              let total = Cfq_store.Store.size store in
+              Cfq_store.Store.close store;
+              say "ingested %d transactions into %s (now %d total)" (Tx_db.size src)
+                store_path total))
 
 let do_run t ctx q =
   match
@@ -222,16 +327,28 @@ let do_rules t ctx q =
     (if shown = [] then "" else "\n")
     (String.concat "\n" shown)
 
-let do_stats ctx =
+let do_stats t ctx =
   let db = ctx.Exec.db in
   let attrs =
     Item_info.attrs ctx.Exec.s_info
     |> List.map (fun a -> a.Attr.name)
     |> String.concat ", "
   in
-  say "transactions: %d\navg length: %.2f\npages (4K): %d\nattributes: %s"
+  let store_line =
+    match t.store with
+    | None -> ""
+    | Some s ->
+        let io = Cfq_store.Store.io s in
+        Printf.sprintf "\nstore: %s (cache %d pages; pool hits %d, misses %d, evictions %d)"
+          (Cfq_store.Store.path s)
+          (Cfq_store.Store.cache_pages s)
+          (Io_stats.pool_hits io) (Io_stats.pool_misses io)
+          (Io_stats.pool_evictions io)
+  in
+  say "transactions: %d\navg length: %.2f\npages (4K): %d\nattributes: %s%s"
     (Tx_db.size db) (Tx_db.avg_tx_len db) (Tx_db.pages db)
     (if attrs = "" then "(none)" else attrs)
+    store_line
 
 let split_words line =
   String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
@@ -341,5 +458,21 @@ let eval t line =
           say "%s"
             (Cfq_report.Table.render
                (Cfq_service.Service.metrics_table (service_for t ctx))))
-  | "stats" -> with_ctx t do_stats
+  | "open" -> (
+      match split_words rest with
+      | [ path ] -> do_open t path None
+      | [ path; n ] -> (
+          match int_of_string_opt n with
+          | Some c when c >= 1 -> do_open t path (Some c)
+          | Some _ | None -> say "cache_pages must be an integer >= 1")
+      | _ -> say "usage: open <store.cfqdb> [<cache_pages>]")
+  | "save" -> (
+      match split_words rest with
+      | [ path ] -> with_ctx t (fun ctx -> do_save ctx path)
+      | _ -> say "usage: save <store.cfqdb>")
+  | "ingest" -> (
+      match split_words rest with
+      | [ store_path; fimi_path ] -> do_ingest t store_path fimi_path
+      | _ -> say "usage: ingest <store.cfqdb> <tx.fimi>")
+  | "stats" -> with_ctx t (do_stats t)
   | other -> say "unknown command %S; try 'help'" other

@@ -1,0 +1,129 @@
+open Cfq_txdb
+
+type frame = {
+  mutable page : int;  (* -1 = empty *)
+  mutable pins : int;
+  mutable referenced : bool;
+  buf : bytes;
+}
+
+type t = {
+  fd : Unix.file_descr;
+  page_size : int;
+  n_pages : int;
+  data_off : int;
+  crcs : int array;
+  frames : frame array;
+  slot_of : (int, int) Hashtbl.t;  (* page -> frame index *)
+  mutable hand : int;
+  stats : Io_stats.t;
+  mutex : Mutex.t;
+}
+
+let create ~fd ~page_size ~n_pages ~data_off ~crcs ~capacity ~stats () =
+  let capacity = max 1 capacity in
+  {
+    fd;
+    page_size;
+    n_pages;
+    data_off;
+    crcs;
+    frames =
+      Array.init capacity (fun _ ->
+          { page = -1; pins = 0; referenced = false; buf = Bytes.create page_size });
+    slot_of = Hashtbl.create (2 * capacity);
+    hand = 0;
+    stats;
+    mutex = Mutex.create ();
+  }
+
+let capacity t = Array.length t.frames
+let stats t = t.stats
+
+let resident t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.slot_of in
+  Mutex.unlock t.mutex;
+  n
+
+(* physical read of [page] into [buf]; caller holds the mutex (the single
+   fd's seek+read must not interleave) *)
+let read_page_into t page buf =
+  if page < 0 || page >= t.n_pages then invalid_arg "Buffer_pool.with_page";
+  ignore (Unix.lseek t.fd (t.data_off + (page * t.page_size)) Unix.SEEK_SET);
+  let off = ref 0 in
+  while !off < t.page_size do
+    let r = Unix.read t.fd buf !off (t.page_size - !off) in
+    if r = 0 then
+      Cfq_error.raise_error (Cfq_error.Corrupt_page { page })
+    else off := !off + r
+  done;
+  if Crc32.bytes buf <> t.crcs.(page) then
+    Cfq_error.raise_error (Cfq_error.Corrupt_page { page })
+
+(* clock sweep for an evictable frame: skip pinned frames, give referenced
+   frames a second chance.  [None] when every frame is pinned. *)
+let find_victim t =
+  let n = Array.length t.frames in
+  let rec go steps =
+    if steps > 2 * n then None
+    else begin
+      let slot = t.hand in
+      let f = t.frames.(slot) in
+      t.hand <- (t.hand + 1) mod n;
+      if f.pins > 0 then go (steps + 1)
+      else if f.referenced then begin
+        f.referenced <- false;
+        go (steps + 1)
+      end
+      else Some slot
+    end
+  in
+  go 0
+
+let unpin t fr =
+  Mutex.lock t.mutex;
+  fr.pins <- fr.pins - 1;
+  Mutex.unlock t.mutex
+
+let with_page t page f =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.slot_of page with
+  | Some slot ->
+      let fr = t.frames.(slot) in
+      Io_stats.record_pool_hit t.stats;
+      fr.referenced <- true;
+      fr.pins <- fr.pins + 1;
+      Mutex.unlock t.mutex;
+      Fun.protect ~finally:(fun () -> unpin t fr) (fun () -> f fr.buf)
+  | None -> (
+      Io_stats.record_pool_miss t.stats;
+      match find_victim t with
+      | Some slot -> (
+          let fr = t.frames.(slot) in
+          if fr.page >= 0 then begin
+            Hashtbl.remove t.slot_of fr.page;
+            Io_stats.record_pool_eviction t.stats;
+            fr.page <- -1
+          end;
+          match read_page_into t page fr.buf with
+          | () ->
+              fr.page <- page;
+              fr.referenced <- true;
+              fr.pins <- fr.pins + 1;
+              Hashtbl.replace t.slot_of page slot;
+              Mutex.unlock t.mutex;
+              Fun.protect ~finally:(fun () -> unpin t fr) (fun () -> f fr.buf)
+          | exception e ->
+              Mutex.unlock t.mutex;
+              raise e)
+      | None ->
+          (* every frame pinned by concurrent readers: serve this read from
+             a transient buffer instead of blocking the scan *)
+          let buf = Bytes.create t.page_size in
+          (match read_page_into t page buf with
+          | () -> Mutex.unlock t.mutex
+          | exception e ->
+              Mutex.unlock t.mutex;
+              raise e);
+          f buf)

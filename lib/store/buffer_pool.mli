@@ -1,0 +1,47 @@
+(** A bounded buffer pool over a segment's data region.
+
+    Holds up to [capacity] page frames.  Replacement is the clock (second
+    chance) algorithm: a hit sets the frame's reference bit; the hand
+    clears reference bits until it finds an unreferenced, unpinned frame
+    to evict.  Frames are pinned for the duration of {!with_page}, so
+    concurrent [scan_chunks] readers in other domains can never have a
+    page they are decoding evicted under them; if every frame is pinned,
+    the read bypasses the pool through a transient buffer rather than
+    blocking (counted as a miss, no insertion).
+
+    Every physical page load verifies the page's raw CRC-32 against the
+    footer value and raises [Cfq_error.Error (Corrupt_page _)] on
+    mismatch.  Hits, misses and evictions are recorded into the
+    {!Cfq_txdb.Io_stats} given at creation.
+
+    Thread safety: frame lookup, load and replacement run under one
+    mutex; the caller's [f] runs outside it (on a pinned frame). *)
+
+open Cfq_txdb
+
+type t
+
+(** [create ~fd ~page_size ~n_pages ~data_off ~crcs ~capacity ~stats ()]
+    serves pages [0 .. n_pages - 1], page [p] living at file offset
+    [data_off + p * page_size] of [fd].  [capacity] is clamped to at
+    least 1. *)
+val create :
+  fd:Unix.file_descr ->
+  page_size:int ->
+  n_pages:int ->
+  data_off:int ->
+  crcs:int array ->
+  capacity:int ->
+  stats:Io_stats.t ->
+  unit ->
+  t
+
+(** [with_page t page f] runs [f] on the page's frame bytes, pinned.  [f]
+    must not retain or mutate the buffer. *)
+val with_page : t -> int -> (bytes -> 'a) -> 'a
+
+val capacity : t -> int
+val stats : t -> Io_stats.t
+
+(** Frames currently holding a page (for tests and reports). *)
+val resident : t -> int

@@ -1,0 +1,19 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let sub b off len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then invalid_arg "Crc32.sub";
+  let tbl = Lazy.force table in
+  let c = ref 0xFFFFFFFF in
+  for i = off to off + len - 1 do
+    c := tbl.((!c lxor Char.code (Bytes.get b i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF land 0xFFFFFFFF
+
+let bytes b = sub b 0 (Bytes.length b)

@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, the zlib polynomial) over byte buffers.
+
+    Guards the physical layer of the store: raw data pages, the segment
+    header and footer, and every WAL record carry one.  Unlike the logical
+    {!Cfq_txdb.Tx_db.Checksum} (which covers decoded transactions and
+    feeds the fault machinery), a CRC mismatch here means the bytes on
+    disk are not the bytes that were written — a torn write or real
+    corruption. *)
+
+(** [sub b off len] is the CRC-32 of [len] bytes of [b] from [off]. *)
+val sub : bytes -> int -> int -> int
+
+(** [bytes b] is [sub b 0 (Bytes.length b)]. *)
+val bytes : bytes -> int

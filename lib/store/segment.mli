@@ -1,0 +1,55 @@
+(** The sealed on-disk segment: [header page | data pages | footer].
+
+    {v
+    page 0            header: magic "CFQSEG01", version, page geometry
+                      (page_size / tid_bytes / item_bytes), n_txs, n_pages,
+                      universe_size, header CRC-32; zero-padded to one page
+    pages 1..n        data region, packed per Page_codec (= Page_model)
+    footer            per-tx item counts (u32 each), per-page raw CRC-32
+                      (u32), per-page logical Tx_db checksum (u64),
+                      footer CRC-32
+    v}
+
+    The footer index makes opening cheap: the layout (offsets, page_of) is
+    replayed from the item counts without touching the data region, raw
+    CRCs let the buffer pool verify every physical page read, and the
+    logical checksums are exactly the values {!Cfq_txdb.Tx_db} would have
+    computed in memory — so fault injection and [Tx_db.verify] behave
+    identically on either backend.
+
+    Writes go through a temp file + atomic rename, so a crash mid-seal
+    leaves the previous segment intact. *)
+
+open Cfq_itembase
+open Cfq_txdb
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;  (** read-only, positioned by the buffer pool *)
+  pm : Page_model.t;
+  layout : Page_codec.layout;
+  crcs : int array;  (** raw CRC-32 per data page *)
+  sums : int array;  (** logical {!Tx_db.Checksum} per data page *)
+  universe : int;  (** item-universe size: 1 + max item, 0 when empty *)
+}
+
+exception Bad_segment of string
+(** Raised by {!open_} with a ["<path>: <reason>"] message. *)
+
+(** [write ?page_model path txs] builds and atomically replaces the
+    segment at [path]. *)
+val write : ?page_model:Page_model.t -> string -> Itemset.t array -> unit
+
+(** [open_ path] validates the header and footer CRCs and returns a
+    handle.  Data pages are {e not} read here — the buffer pool verifies
+    them lazily, page by page. *)
+val open_ : string -> t
+
+val close : t -> unit
+
+(** File offset of data page 0 (= one page). *)
+val data_off : t -> int
+
+(** [read_all t] decodes every transaction sequentially, bypassing any
+    pool (used to fold the WAL into a new segment and by [--verify]). *)
+val read_all : t -> Itemset.t array

@@ -1,0 +1,164 @@
+open Cfq_itembase
+open Cfq_txdb
+
+type recovery = {
+  replayed : int;
+  truncated_bytes : int;
+}
+
+type t = {
+  path : string;
+  cache_pages : int;
+  io : Io_stats.t;
+  mutable seg : Segment.t;
+  mutable pool : Buffer_pool.t;
+  mutable db : Tx_db.t;
+  wal : Wal.t;
+  recovery : recovery;
+}
+
+let wal_path path = path ^ ".wal"
+
+(* ------------------------------------------------------------------ *)
+(* the Tx_db view: decode transactions on demand through the pool *)
+
+let make_db seg pool =
+  let l = seg.Segment.layout in
+  let pm = seg.Segment.pm in
+  let ps = pm.Page_model.page_size_bytes in
+  let n = Array.length l.Page_codec.sizes in
+  let read_tx tid =
+    let off = l.Page_codec.offsets.(tid) in
+    let len = Page_codec.tx_bytes l tid in
+    let first = off / ps and last = (off + len - 1) / ps in
+    if first = last then
+      Buffer_pool.with_page pool first (fun buf ->
+          Page_codec.decode_tx l ~tid buf ~at:(off mod ps))
+    else begin
+      (* oversized transaction spanning dedicated pages: gather *)
+      let tmp = Bytes.create len in
+      for p = first to last do
+        let page_lo = p * ps in
+        let lo = max off page_lo and hi = min (off + len) (page_lo + ps) in
+        Buffer_pool.with_page pool p (fun buf ->
+            Bytes.blit buf (lo - page_lo) tmp (lo - off) (hi - lo))
+      done;
+      Page_codec.decode_tx l ~tid tmp ~at:0
+    end
+  in
+  let iter ~lo ~hi f =
+    for k = lo to hi do
+      f (read_tx k)
+    done
+  in
+  let avg_tx_len =
+    if n = 0 then 0.
+    else
+      float_of_int (Array.fold_left ( + ) 0 l.Page_codec.sizes) /. float_of_int n
+  in
+  Tx_db.of_backend ~page_model:pm ~pages:l.Page_codec.pages
+    ~page_of:l.Page_codec.page_of ~checksums:seg.Segment.sums ~avg_tx_len ~iter
+    ~get:read_tx ()
+
+let attach ~path ~cache_pages ~io seg =
+  let pool =
+    Buffer_pool.create ~fd:seg.Segment.fd
+      ~page_size:seg.Segment.pm.Page_model.page_size_bytes
+      ~n_pages:seg.Segment.layout.Page_codec.pages ~data_off:(Segment.data_off seg)
+      ~crcs:seg.Segment.crcs ~capacity:cache_pages ~stats:io ()
+  in
+  ignore path;
+  (pool, make_db seg pool)
+
+(* ------------------------------------------------------------------ *)
+
+let build = Segment.write
+
+let save_db ?page_model path db =
+  let n = Tx_db.size db in
+  let txs = Array.make n Itemset.empty in
+  Tx_db.iter_range db ~lo:0 ~hi:(n - 1) (fun tx ->
+      txs.(tx.Transaction.tid) <- tx.Transaction.items);
+  Segment.write ?page_model path txs
+
+(* fold [extra] WAL records into the segment at [path] via atomic rewrite *)
+let fold_into_segment path (extra : int array list) =
+  let seg = Segment.open_ path in
+  let existing =
+    Fun.protect ~finally:(fun () -> Segment.close seg) (fun () -> Segment.read_all seg)
+  in
+  let pm = seg.Segment.pm in
+  let all =
+    Array.append existing
+      (Array.of_list (List.map (fun items -> Itemset.of_array items) extra))
+  in
+  Segment.write ~page_model:pm path all;
+  Array.length all
+
+let open_ ?(cache_pages = 1024) ?group_commit path =
+  (* recovery: truncate the WAL's torn tail, seal the valid records *)
+  let wp = wal_path path in
+  let s = Wal.scan wp in
+  Wal.truncate_torn wp s;
+  if s.Wal.records <> [] then begin
+    ignore (fold_into_segment path s.Wal.records);
+    Wal.reset wp
+  end;
+  let seg = Segment.open_ path in
+  let io = Io_stats.create () in
+  let cache_pages = max 1 cache_pages in
+  let pool, db = attach ~path ~cache_pages ~io seg in
+  {
+    path;
+    cache_pages;
+    io;
+    seg;
+    pool;
+    db;
+    wal = Wal.open_append ?group_commit wp;
+    recovery =
+      { replayed = List.length s.Wal.records; truncated_bytes = s.Wal.torn_bytes };
+  }
+
+let create ?page_model ?cache_pages ?group_commit path =
+  Segment.write ?page_model path [||];
+  Wal.reset (wal_path path);
+  open_ ?cache_pages ?group_commit path
+
+let db t = t.db
+let append_tx t items = Wal.append t.wal (Itemset.to_array items)
+let flush t = Wal.flush t.wal
+
+let seal t =
+  Wal.flush t.wal;
+  let s = Wal.scan (wal_path t.path) in
+  let sealed =
+    if s.Wal.records = [] then 0
+    else begin
+      Segment.close t.seg;
+      let n = fold_into_segment t.path s.Wal.records in
+      Wal.reset (wal_path t.path);
+      let seg = Segment.open_ t.path in
+      let pool, db = attach ~path:t.path ~cache_pages:t.cache_pages ~io:t.io seg in
+      t.seg <- seg;
+      t.pool <- pool;
+      t.db <- db;
+      ignore n;
+      List.length s.Wal.records
+    end
+  in
+  sealed
+
+let close t =
+  Wal.close t.wal;
+  Segment.close t.seg
+
+let size t = Tx_db.size t.db
+let pages t = Tx_db.pages t.db
+let page_model t = t.seg.Segment.pm
+let universe_size t = t.seg.Segment.universe
+let io t = t.io
+let last_recovery t = t.recovery
+let wal_counters t = (Wal.appended t.wal, Wal.fsyncs t.wal)
+let cache_pages t = t.cache_pages
+let path t = t.path

@@ -1,0 +1,91 @@
+(** The persistent transaction store: sealed segment + ingestion WAL +
+    buffer pool, surfaced as a {!Cfq_txdb.Tx_db.t}.
+
+    A store at [PATH] is two files: the sealed segment [PATH] (see
+    {!Segment}) and the append-only log [PATH.wal] (see {!Wal}).
+    {!open_} runs recovery first — the WAL's torn tail (an interrupted
+    group commit) is truncated, its valid records are folded into a fresh
+    segment (temp file + atomic rename), and the log is emptied — so the
+    visible database is always a fully sealed, checksummed segment.
+
+    {!db} is the seam: a [Tx_db.t] whose tuples are decoded on demand
+    from 4 KB pages fetched through the bounded {!Buffer_pool}.  [Exec],
+    [Counting.count_shared]'s chunked parallel scans, fault injection and
+    [Tx_db.verify] all run unchanged against it, with identical answers,
+    ccc counters and logical page charges as the in-memory backend; the
+    pool's physical hit/miss/eviction counts accumulate in {!io}. *)
+
+open Cfq_itembase
+open Cfq_txdb
+
+type t
+
+type recovery = {
+  replayed : int;  (** WAL records folded into the segment on open *)
+  truncated_bytes : int;  (** torn tail bytes discarded *)
+}
+
+(** [create ?page_model path] makes a new empty store (overwriting any
+    existing segment at [path]) and opens it. *)
+val create :
+  ?page_model:Page_model.t -> ?cache_pages:int -> ?group_commit:int -> string -> t
+
+(** [open_ ?cache_pages path] recovers and opens an existing store.
+    [cache_pages] bounds the buffer pool (default 1024 frames; clamped to
+    at least 1).  Raises {!Segment.Bad_segment} on a damaged segment.
+
+    [group_commit] batches WAL appends per fsync (default 64). *)
+val open_ : ?cache_pages:int -> ?group_commit:int -> string -> t
+
+(** [build ?page_model path txs] writes a sealed store in one shot
+    (no WAL involved), without opening it. *)
+val build : ?page_model:Page_model.t -> string -> Itemset.t array -> unit
+
+(** [save_db path db] is {!build} over the transactions of an existing
+    database (either backend); attribute tables are not stored — keep
+    them next to the store (the CLI writes [PATH.info.csv]). *)
+val save_db : ?page_model:Page_model.t -> string -> Tx_db.t -> unit
+
+(** The current database view (sealed transactions only).  The handle is
+    replaced by {!seal}: re-fetch it afterwards; handles obtained before
+    a seal must not be used again. *)
+val db : t -> Tx_db.t
+
+(** {2 Ingestion} *)
+
+(** [append_tx t items] appends one transaction to the WAL (group-commit
+    batched).  It becomes visible in {!db} after the next {!seal} (or
+    recovery on reopen). *)
+val append_tx : t -> Itemset.t -> unit
+
+(** Force the WAL's buffered group to disk (one fsync). *)
+val flush : t -> unit
+
+(** Fold all WAL records into the segment (atomic rewrite), empty the
+    WAL, and reopen the database view.  Returns the number of
+    transactions sealed in. *)
+val seal : t -> int
+
+val close : t -> unit
+
+(** {2 Introspection} *)
+
+val size : t -> int
+val pages : t -> int
+val page_model : t -> Page_model.t
+
+(** Item-universe size recorded in the segment header. *)
+val universe_size : t -> int
+
+(** Physical I/O of this store's buffer pool: pool hits / misses /
+    evictions ({!Io_stats.pool_hits} etc.; misses = real page reads). *)
+val io : t -> Io_stats.t
+
+(** What recovery did at {!open_} time. *)
+val last_recovery : t -> recovery
+
+(** WAL group-commit counters: (records appended, fsyncs issued). *)
+val wal_counters : t -> int * int
+
+val cache_pages : t -> int
+val path : t -> string

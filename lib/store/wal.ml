@@ -1,0 +1,114 @@
+type t = {
+  fd : Unix.file_descr;
+  group_commit : int;
+  buf : Buffer.t;
+  mutable buffered : int;  (* records in [buf], not yet written *)
+  mutable appended : int;
+  mutable fsyncs : int;
+}
+
+let add_u32 b v =
+  let tmp = Bytes.create 4 in
+  Bytes.set_int32_le tmp 0 (Int32.of_int v);
+  Buffer.add_bytes b tmp
+
+let open_append ?(group_commit = 64) path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  {
+    fd;
+    group_commit = max 1 group_commit;
+    buf = Buffer.create 4096;
+    buffered = 0;
+    appended = 0;
+    fsyncs = 0;
+  }
+
+let write_all fd b off len =
+  let off = ref off and len = ref len in
+  while !len > 0 do
+    let w = Unix.write fd b !off !len in
+    off := !off + w;
+    len := !len - w
+  done
+
+let flush t =
+  if t.buffered > 0 then begin
+    let b = Buffer.to_bytes t.buf in
+    write_all t.fd b 0 (Bytes.length b);
+    Unix.fsync t.fd;
+    t.fsyncs <- t.fsyncs + 1;
+    Buffer.clear t.buf;
+    t.buffered <- 0
+  end
+
+let append t items =
+  let n = Array.length items in
+  let payload = Bytes.create (4 + (4 * n)) in
+  Bytes.set_int32_le payload 0 (Int32.of_int n);
+  Array.iteri
+    (fun k it -> Bytes.set_int32_le payload (4 + (4 * k)) (Int32.of_int it))
+    items;
+  Buffer.add_bytes t.buf payload;
+  add_u32 t.buf (Crc32.bytes payload);
+  t.buffered <- t.buffered + 1;
+  t.appended <- t.appended + 1;
+  if t.buffered >= t.group_commit then flush t
+
+let close t =
+  flush t;
+  Unix.close t.fd
+
+let appended t = t.appended
+let fsyncs t = t.fsyncs
+
+(* ------------------------------------------------------------------ *)
+
+type scan = {
+  records : int array list;
+  good_bytes : int;
+  torn_bytes : int;
+}
+
+let read_file path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let size = (Unix.fstat fd).Unix.st_size in
+      let b = Bytes.create size in
+      let off = ref 0 in
+      while !off < size do
+        let r = Unix.read fd b !off (size - !off) in
+        if r = 0 then failwith "Wal.scan: short read"
+        else off := !off + r
+      done;
+      b)
+
+let scan path =
+  if not (Sys.file_exists path) then { records = []; good_bytes = 0; torn_bytes = 0 }
+  else begin
+    let b = read_file path in
+    let size = Bytes.length b in
+    let records = ref [] and off = ref 0 and stop = ref false in
+    while not !stop && !off + 8 <= size do
+      let n = Int32.to_int (Bytes.get_int32_le b !off) in
+      let rec_len = 4 + (4 * n) + 4 in
+      if n < 0 || !off + rec_len > size then stop := true
+      else begin
+        let crc = Int32.to_int (Bytes.get_int32_le b (!off + rec_len - 4)) land 0xFFFFFFFF in
+        if Crc32.sub b !off (rec_len - 4) <> crc then stop := true
+        else begin
+          let items =
+            Array.init n (fun k ->
+                Int32.to_int (Bytes.get_int32_le b (!off + 4 + (4 * k))))
+          in
+          records := items :: !records;
+          off := !off + rec_len
+        end
+      end
+    done;
+    { records = List.rev !records; good_bytes = !off; torn_bytes = size - !off }
+  end
+
+let truncate_torn path s = if s.torn_bytes > 0 then Unix.truncate path s.good_bytes
+let reset path = if Sys.file_exists path then Unix.truncate path 0

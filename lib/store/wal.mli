@@ -1,0 +1,57 @@
+(** The append-only ingestion log.
+
+    New transactions are appended here first and folded into a sealed
+    segment later ({!Store.seal}), so ingestion is one sequential write
+    stream and a crash can only ever lose or tear the {e tail} of the log
+    — never a sealed page.
+
+    Record format, little-endian:
+    [[n_items : u32][item : u32]*n][crc32 : u32] where the CRC covers the
+    length and item bytes.  Recovery ({!scan}) walks records from the
+    start and stops at the first incomplete or CRC-mismatching record;
+    everything before it is replayed, the torn tail is truncated.
+
+    Writes are batched (group commit): appends buffer in memory and one
+    [write]+[fsync] persists the whole group when it reaches
+    [group_commit] records, on {!flush}, or on {!close}. *)
+
+type t
+
+(** [open_append ?group_commit path] opens (creating if missing) the log
+    for appending.  [group_commit] defaults to 64 records. *)
+val open_append : ?group_commit:int -> string -> t
+
+(** [append t items] buffers one transaction ([items] strictly
+    increasing); flushes automatically when the group is full. *)
+val append : t -> int array -> unit
+
+(** Persist all buffered records with a single fsync. *)
+val flush : t -> unit
+
+val close : t -> unit
+
+(** Records appended (buffered or written) since [open_append]. *)
+val appended : t -> int
+
+(** fsyncs issued — the group-commit batching factor is
+    [appended / fsyncs]. *)
+val fsyncs : t -> int
+
+(** {2 Recovery} *)
+
+type scan = {
+  records : int array list;  (** the valid prefix, in append order *)
+  good_bytes : int;  (** bytes holding that prefix *)
+  torn_bytes : int;  (** trailing bytes after the last valid record *)
+}
+
+(** [scan path] reads the log (missing file = empty log) and splits it
+    into the valid prefix and the torn tail.  Read-only. *)
+val scan : string -> scan
+
+(** [truncate_torn path s] cuts the file back to [s.good_bytes] (no-op
+    when nothing is torn). *)
+val truncate_torn : string -> scan -> unit
+
+(** [reset path] empties the log (after its records were sealed). *)
+val reset : string -> unit

@@ -2,28 +2,55 @@ type t = {
   mutable scans : int;
   mutable pages_read : int;
   mutable tuples_read : int;
+  mutable pool_hits : int;
+  mutable pool_misses : int;
+  mutable pool_evictions : int;
 }
 
-let create () = { scans = 0; pages_read = 0; tuples_read = 0 }
+let create () =
+  {
+    scans = 0;
+    pages_read = 0;
+    tuples_read = 0;
+    pool_hits = 0;
+    pool_misses = 0;
+    pool_evictions = 0;
+  }
 
 let reset t =
   t.scans <- 0;
   t.pages_read <- 0;
-  t.tuples_read <- 0
+  t.tuples_read <- 0;
+  t.pool_hits <- 0;
+  t.pool_misses <- 0;
+  t.pool_evictions <- 0
 
 let record_scan t ~pages ~tuples =
   t.scans <- t.scans + 1;
   t.pages_read <- t.pages_read + pages;
   t.tuples_read <- t.tuples_read + tuples
 
+let record_pool_hit t = t.pool_hits <- t.pool_hits + 1
+let record_pool_miss t = t.pool_misses <- t.pool_misses + 1
+let record_pool_eviction t = t.pool_evictions <- t.pool_evictions + 1
+
 let scans t = t.scans
 let pages_read t = t.pages_read
 let tuples_read t = t.tuples_read
+let pool_hits t = t.pool_hits
+let pool_misses t = t.pool_misses
+let pool_evictions t = t.pool_evictions
 
 let add dst src =
   dst.scans <- dst.scans + src.scans;
   dst.pages_read <- dst.pages_read + src.pages_read;
-  dst.tuples_read <- dst.tuples_read + src.tuples_read
+  dst.tuples_read <- dst.tuples_read + src.tuples_read;
+  dst.pool_hits <- dst.pool_hits + src.pool_hits;
+  dst.pool_misses <- dst.pool_misses + src.pool_misses;
+  dst.pool_evictions <- dst.pool_evictions + src.pool_evictions
 
 let pp ppf t =
-  Format.fprintf ppf "scans=%d pages=%d tuples=%d" t.scans t.pages_read t.tuples_read
+  Format.fprintf ppf "scans=%d pages=%d tuples=%d" t.scans t.pages_read t.tuples_read;
+  if t.pool_hits <> 0 || t.pool_misses <> 0 || t.pool_evictions <> 0 then
+    Format.fprintf ppf " hits=%d misses=%d evictions=%d" t.pool_hits t.pool_misses
+      t.pool_evictions

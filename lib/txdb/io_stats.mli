@@ -2,7 +2,13 @@
 
     Every full scan of the database records the number of pages it touched;
     mining strategies that share a scan between the [S] and [T] lattices
-    (dovetailing, Section 5.2 of the paper) therefore pay for it once. *)
+    (dovetailing, Section 5.2 of the paper) therefore pay for it once.
+
+    The disk-backed store ([Cfq_store]) additionally records its buffer
+    pool's physical page traffic here: {!pool_hits} / {!pool_misses} /
+    {!pool_evictions}.  For the in-memory backend these stay zero, so
+    logical page charges remain comparable across backends while the real
+    read counts are visible for the disk backend. *)
 
 type t
 
@@ -11,9 +17,21 @@ val reset : t -> unit
 
 val record_scan : t -> pages:int -> tuples:int -> unit
 
+(** Buffer-pool traffic (disk backend only). *)
+
+val record_pool_hit : t -> unit
+val record_pool_miss : t -> unit
+val record_pool_eviction : t -> unit
+
 val scans : t -> int
 val pages_read : t -> int
 val tuples_read : t -> int
+val pool_hits : t -> int
+
+(** Physical page reads from disk. *)
+val pool_misses : t -> int
+
+val pool_evictions : t -> int
 
 (** [add dst src] accumulates [src] into [dst]. *)
 val add : t -> t -> unit

@@ -1,7 +1,39 @@
 open Cfq_itembase
 
+(* ------------------------------------------------------------------ *)
+(* per-page checksums: a cheap rolling hash over (tid, items), fixed at
+   load time and re-derivable from the resident data, so a scan can detect
+   a page whose stored checksum no longer matches what it reads.  Exposed
+   so an external backend (Cfq_store) can persist checksums this module's
+   fault machinery will accept. *)
+
+module Checksum = struct
+  let seed = 0x2545F491
+
+  let add_tx h (tx : Transaction.t) =
+    let h = ref ((h * 31) + tx.Transaction.tid + 1) in
+    Itemset.iter (fun i -> h := (!h * 131) + i + 1) tx.Transaction.items;
+    !h land max_int
+end
+
+(* The tuple source: either the resident array, or an external paged
+   backend (closures provided by Cfq_store reading through its buffer
+   pool).  Everything page-shaped — page_of, page count, checksums, the
+   fault walk, chunking — lives in [t] itself, so both backends share one
+   and the same scan/fault/verify machinery. *)
+type ext = {
+  ext_iter : lo:int -> hi:int -> (Transaction.t -> unit) -> unit;
+  ext_get : int -> Transaction.t;
+  ext_avg_len : float;
+}
+
+type data =
+  | Mem of Transaction.t array
+  | Ext of ext
+
 type t = {
-  txs : Transaction.t array;
+  data : data;
+  n : int;
   page_model : Page_model.t;
   pages : int;
   page_of : int array;  (* tx index -> (first) page holding it *)
@@ -9,24 +41,12 @@ type t = {
   mutable faults : Fault.t option;
 }
 
-(* ------------------------------------------------------------------ *)
-(* per-page checksums: a cheap rolling hash over (tid, items), fixed at
-   load time and re-derivable from the resident data, so a scan can detect
-   a page whose stored checksum no longer matches what it reads *)
-
-let checksum_seed = 0x2545F491
-
-let checksum_tx h (tx : Transaction.t) =
-  let h = ref ((h * 31) + tx.Transaction.tid + 1) in
-  Itemset.iter (fun i -> h := (!h * 131) + i + 1) tx.Transaction.items;
-  !h land max_int
-
 let compute_checksums ~pages ~page_of txs =
-  let sums = Array.make (max 0 pages) checksum_seed in
+  let sums = Array.make (max 0 pages) Checksum.seed in
   Array.iteri
     (fun i tx ->
       let p = page_of.(i) in
-      sums.(p) <- checksum_tx sums.(p) tx)
+      sums.(p) <- Checksum.add_tx sums.(p) tx)
     txs;
   sums
 
@@ -35,7 +55,8 @@ let create ?(page_model = Page_model.default) itemsets =
   let sizes = Array.map Itemset.cardinal itemsets in
   let page_of, pages = Page_model.assign page_model sizes in
   {
-    txs;
+    data = Mem txs;
+    n = Array.length txs;
     page_model;
     pages;
     page_of;
@@ -43,7 +64,21 @@ let create ?(page_model = Page_model.default) itemsets =
     faults = None;
   }
 
-let size t = Array.length t.txs
+let of_backend ?(page_model = Page_model.default) ~pages ~page_of ~checksums
+    ~avg_tx_len ~iter ~get () =
+  if Array.length checksums <> pages then
+    invalid_arg "Tx_db.of_backend: one checksum per page required";
+  {
+    data = Ext { ext_iter = iter; ext_get = get; ext_avg_len = avg_tx_len };
+    n = Array.length page_of;
+    page_model;
+    pages;
+    page_of;
+    checksums;
+    faults = None;
+  }
+
+let size t = t.n
 let pages t = t.pages
 let page_model t = t.page_model
 
@@ -55,7 +90,16 @@ let get t tid =
   (match t.faults with
   | None -> ()
   | Some fl -> Fault.on_get fl ~page:t.page_of.(tid));
-  t.txs.(tid)
+  match t.data with Mem txs -> txs.(tid) | Ext e -> e.ext_get tid
+
+(* deliver transactions [lo..hi] from whichever backend holds them *)
+let iter_extent t ~lo ~hi f =
+  match t.data with
+  | Mem txs ->
+      for k = lo to hi do
+        f txs.(k)
+      done
+  | Ext e -> if hi >= lo then e.ext_iter ~lo ~hi f
 
 (* stored checksum of [page] as the read layer sees it: a tampered page
    reads back a flipped checksum, so verification fails *)
@@ -63,10 +107,8 @@ let stored_checksum t fl page =
   if Fault.tampered fl ~page then t.checksums.(page) lxor 1 else t.checksums.(page)
 
 let verify_extent t fl ~page ~lo ~hi =
-  let h = ref checksum_seed in
-  for k = lo to hi do
-    h := checksum_tx !h t.txs.(k)
-  done;
+  let h = ref Checksum.seed in
+  iter_extent t ~lo ~hi (fun tx -> h := Checksum.add_tx !h tx);
   if stored_checksum t fl page <> !h then begin
     Fault.note_checksum_failure fl;
     Cfq_error.raise_error (Cfq_error.Corrupt_page { page })
@@ -79,7 +121,7 @@ let verify_extent t fl ~page ~lo ~hi =
    whether the tuples are consumed inline or by parallel workers later. *)
 let fault_page_walk t fl deliver =
   Fault.on_scan fl;
-  let n = Array.length t.txs in
+  let n = t.n in
   let i = ref 0 in
   while !i < n do
     let page = t.page_of.(!i) in
@@ -94,30 +136,27 @@ let fault_page_walk t fl deliver =
   done
 
 let iter_scan t stats f =
-  Io_stats.record_scan stats ~pages:t.pages ~tuples:(Array.length t.txs);
+  Io_stats.record_scan stats ~pages:t.pages ~tuples:t.n;
   match t.faults with
-  | None -> Array.iter f t.txs
+  | None -> (
+      match t.data with
+      | Mem txs -> Array.iter f txs
+      | Ext e -> if t.n > 0 then e.ext_iter ~lo:0 ~hi:(t.n - 1) f)
   | Some fl ->
       (* deliver page by page: consult the injector and verify the page's
          checksum before any of its tuples reach [f] *)
-      fault_page_walk t fl (fun ~lo ~hi ->
-          for k = lo to hi do
-            f t.txs.(k)
-          done)
+      fault_page_walk t fl (fun ~lo ~hi -> iter_extent t ~lo ~hi f)
 
 let begin_scan t stats =
-  Io_stats.record_scan stats ~pages:t.pages ~tuples:(Array.length t.txs);
+  Io_stats.record_scan stats ~pages:t.pages ~tuples:t.n;
   match t.faults with
   | None -> ()
   | Some fl -> fault_page_walk t fl (fun ~lo:_ ~hi:_ -> ())
 
-let iter_range t ~lo ~hi f =
-  for k = lo to hi do
-    f t.txs.(k)
-  done
+let iter_range t ~lo ~hi f = iter_extent t ~lo ~hi f
 
 let scan_chunks t ~max_chunks =
-  let n = Array.length t.txs in
+  let n = t.n in
   if n = 0 then []
   else begin
     (* page run starts in tx order; chunk boundaries only ever sit on them,
@@ -147,7 +186,7 @@ let verify t =
   match t.faults with
   | None -> Ok ()
   | Some fl -> (
-      let n = Array.length t.txs in
+      let n = t.n in
       let check () =
         let i = ref 0 in
         while !i < n do
@@ -166,7 +205,7 @@ let verify t =
 
 let absolute_support t frac =
   if frac < 0. || frac > 1. then invalid_arg "Tx_db.absolute_support";
-  max 1 (int_of_float (ceil (frac *. float_of_int (Array.length t.txs))))
+  max 1 (int_of_float (ceil (frac *. float_of_int t.n)))
 
 let support t stats s =
   let n = ref 0 in
@@ -180,8 +219,12 @@ let item_frequencies t stats ~universe_size =
   freq
 
 let avg_tx_len t =
-  let n = Array.length t.txs in
-  if n = 0 then 0.
+  if t.n = 0 then 0.
   else
-    let total = Array.fold_left (fun acc tx -> acc + Transaction.cardinal tx) 0 t.txs in
-    float_of_int total /. float_of_int n
+    match t.data with
+    | Mem txs ->
+        let total =
+          Array.fold_left (fun acc tx -> acc + Transaction.cardinal tx) 0 txs
+        in
+        float_of_int total /. float_of_int t.n
+    | Ext e -> e.ext_avg_len

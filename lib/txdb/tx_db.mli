@@ -1,8 +1,16 @@
 (** The transaction database [trans(TID, Itemset)].
 
-    An immutable, in-memory store of transactions with a {!Page_model}
-    attached for I/O cost accounting.  Scans go through {!iter_scan} so that
-    every pass over the data is charged to the given {!Io_stats}. *)
+    An immutable store of transactions with a {!Page_model} attached for
+    I/O cost accounting.  Scans go through {!iter_scan} so that every pass
+    over the data is charged to the given {!Io_stats}.
+
+    Two backends share this one API: the resident in-memory array built by
+    {!create}, and an external paged backend plugged in through
+    {!of_backend} (the disk store [Cfq_store], which reads 4 KB pages
+    through a bounded buffer pool).  Page geometry, per-page checksums,
+    chunked scans and the fault machinery are common to both, so answers,
+    ccc counters and injected fault sequences are identical across
+    backends. *)
 
 open Cfq_itembase
 
@@ -11,6 +19,36 @@ type t
 (** [create ?page_model txs] stores the given itemsets as transactions with
     TIDs [0, 1, ...]. *)
 val create : ?page_model:Page_model.t -> Itemset.t array -> t
+
+(** The logical per-page checksum: a rolling hash over the (tid, items) of
+    the transactions resident on the page, starting from [seed].  An
+    external backend persists exactly these values so that the fault
+    machinery (tamper detection, {!verify}) behaves identically on either
+    backend. *)
+module Checksum : sig
+  val seed : int
+  val add_tx : int -> Transaction.t -> int
+end
+
+(** [of_backend ~pages ~page_of ~checksums ~avg_tx_len ~iter ~get ()] is a
+    database whose tuples live in an external paged store.  [page_of] maps
+    each transaction index to its (first) page under the same packing as
+    {!Page_model.assign}; [checksums] holds one {!Checksum} value per page;
+    [iter ~lo ~hi f] must deliver transactions [lo..hi] (inclusive, with
+    correct TIDs) and be safe to call concurrently from several domains on
+    disjoint ranges; [get] is a point read.  The backend is responsible for
+    its own physical integrity (e.g. CRCs on raw pages) and may raise
+    [Cfq_error.Error (Corrupt_page _)] from [iter]/[get]. *)
+val of_backend :
+  ?page_model:Page_model.t ->
+  pages:int ->
+  page_of:int array ->
+  checksums:int array ->
+  avg_tx_len:float ->
+  iter:(lo:int -> hi:int -> (Transaction.t -> unit) -> unit) ->
+  get:(int -> Transaction.t) ->
+  unit ->
+  t
 
 val size : t -> int
 

@@ -28,7 +28,38 @@ let itemset_of_mask n mask =
 let all_subsets n =
   List.init ((1 lsl n) - 1) (fun m -> itemset_of_mask n (m + 1))
 
-let db_of_lists txs = Tx_db.create (Array.of_list (List.map Itemset.of_list txs))
+(* With CFQ_TEST_STORE=1 every helper-built database is routed through a
+   real on-disk store (build + reopen with a tiny buffer pool), so the
+   whole suite exercises the persistent backend.  Each store is closed and
+   its files removed by a finalizer on the returned database; an
+   occasional [full_major] keeps the open-fd count bounded. *)
+let store_backed =
+  match Sys.getenv_opt "CFQ_TEST_STORE" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let live_stores = ref 0
+
+let db_of_sets sets =
+  if not store_backed then Tx_db.create sets
+  else begin
+    if !live_stores > 128 then Gc.full_major ();
+    let path = Filename.temp_file "cfq_test_store" ".cfqdb" in
+    Cfq_store.Store.build path sets;
+    let store = Cfq_store.Store.open_ ~cache_pages:4 path in
+    incr live_stores;
+    let db = Cfq_store.Store.db store in
+    Gc.finalise
+      (fun _db ->
+        decr live_stores;
+        (try Cfq_store.Store.close store with _ -> ());
+        (try Sys.remove path with _ -> ());
+        try Sys.remove (path ^ ".wal") with _ -> ())
+      db;
+    db
+  end
+
+let db_of_lists txs = db_of_sets (Array.of_list (List.map Itemset.of_list txs))
 
 let support_of db s =
   let io = Io_stats.create () in

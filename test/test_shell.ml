@@ -113,4 +113,51 @@ let suite =
     unit "unknown commands point at help" (fun () ->
         let t = Shell.create () in
         Alcotest.(check bool) "hint" true (contains (out t "frobnicate") "help"));
+    unit "save / open round-trips through a persistent store" (fun () ->
+        let t = session_with_db () in
+        let q = "run freq(S) >= 0.3 & freq(T) >= 0.3" in
+        let before = out t q in
+        let path = Filename.temp_file "cfq_shell_store" ".cfqdb" in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter
+              (fun p -> try Sys.remove p with Sys_error _ -> ())
+              [ path; path ^ ".wal"; path ^ ".info.csv" ])
+          (fun () ->
+            Alcotest.(check bool) "saved" true (contains (out t ("save " ^ path)) "wrote");
+            let t2 = Shell.create () in
+            Alcotest.(check bool) "opened" true
+              (contains (out t2 ("open " ^ path ^ " 2")) "6 transactions");
+            (* identical answers from the disk backend *)
+            Alcotest.(check string) "same run output" before (out t2 q);
+            Alcotest.(check bool) "stats show the pool" true
+              (contains (out t2 "stats") "store:");
+            let _ = Shell.eval t2 "quit" in
+            ()));
+    unit "open rejects a non-store file" (fun () ->
+        let t = Shell.create () in
+        let tmp = Filename.temp_file "cfq_shell_bad" ".cfqdb" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+          (fun () ->
+            Out_channel.with_open_text tmp (fun oc -> output_string oc "not a segment");
+            Alcotest.(check bool) "refused" true
+              (contains (out t ("open " ^ tmp)) "open failed")));
+    unit "ingest appends and seals" (fun () ->
+        let t = Shell.create () in
+        let path = Filename.temp_file "cfq_shell_ing" ".cfqdb" in
+        let fimi = Filename.temp_file "cfq_shell_ing" ".fimi" in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter
+              (fun p -> try Sys.remove p with Sys_error _ -> ())
+              [ path; path ^ ".wal"; fimi ])
+          (fun () ->
+            Out_channel.with_open_text fimi (fun oc -> output_string oc "0 1 2\n1 3\n");
+            let _ = out t "gen 10 5" in
+            Alcotest.(check bool) "saved" true (contains (out t ("save " ^ path)) "wrote");
+            Alcotest.(check bool) "ingested" true
+              (contains (out t ("ingest " ^ path ^ " " ^ fimi)) "now 12 total");
+            Alcotest.(check bool) "reopen sees them" true
+              (contains (out t ("open " ^ path)) "12 transactions")));
   ]

@@ -1,0 +1,357 @@
+(* The persistent store: page-codec round-trips (qcheck), torn-tail WAL
+   recovery, buffer-pool eviction/pinning, fault injection on the disk
+   backend, and end-to-end backend equivalence of answers and counters. *)
+
+open Cfq_itembase
+open Cfq_txdb
+open Cfq_store
+
+let unit name f = Alcotest.test_case name `Quick f
+
+let tmp () = Filename.temp_file "cfq_store_test" ".cfqdb"
+
+(* a tiny page: 14 items fill it exactly (8 + 14*4 = 64), 15+ are oversized *)
+let small_pm = Page_model.make ~page_size_bytes:64 ()
+
+let sets_of_lists ls = Array.of_list (List.map Itemset.of_list ls)
+
+let db_pair ?page_model lists =
+  let sets = sets_of_lists lists in
+  let path = tmp () in
+  Store.build ?page_model path sets;
+  let store = Store.open_ ~cache_pages:2 path in
+  (Tx_db.create ?page_model sets, store)
+
+let all_txs db =
+  List.init (Tx_db.size db) (fun i ->
+      let tx = Tx_db.get db i in
+      (tx.Transaction.tid, Itemset.to_list tx.Transaction.items))
+
+(* an injector with no active failure modes still drives the checksum
+   verification walk, so [verify] really recomputes page checksums *)
+let verify_checksums db =
+  Tx_db.set_faults db (Some (Fault.create Fault.default_config));
+  let r = Tx_db.verify db in
+  Tx_db.set_faults db None;
+  r
+
+let check_equivalent ?page_model lists =
+  let mem, store = db_pair ?page_model lists in
+  let disk = Store.db store in
+  Alcotest.(check int) "size" (Tx_db.size mem) (Tx_db.size disk);
+  Alcotest.(check int) "pages" (Tx_db.pages mem) (Tx_db.pages disk);
+  for i = 0 to Tx_db.size mem - 1 do
+    Alcotest.(check int) "page_of" (Tx_db.page_of_tx mem i) (Tx_db.page_of_tx disk i)
+  done;
+  Alcotest.(check (list (pair int (list int)))) "transactions" (all_txs mem)
+    (all_txs disk);
+  Alcotest.(check (float 1e-9)) "avg_tx_len" (Tx_db.avg_tx_len mem)
+    (Tx_db.avg_tx_len disk);
+  (match verify_checksums disk with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "verify: %s" (Cfq_error.to_string e));
+  Store.close store
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: encode -> decode is identity, including empty itemsets,
+   max-width pages (a tx exactly filling a page) and oversized txs *)
+
+let gen_store_db =
+  QCheck2.Gen.(
+    let tx =
+      oneof
+        [
+          return [];  (* empty itemset *)
+          list_size (int_range 1 10) (int_range 0 99);
+          (* exactly page-filling under small_pm: 14 distinct items *)
+          return (List.init 14 (fun i -> i * 3));
+          (* oversized: spans dedicated pages *)
+          list_size (int_range 20 40) (int_range 0 99);
+        ]
+    in
+    list_size (int_range 0 30) tx)
+
+let qcheck_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"store round-trip = identity (small pages)" ~count:60
+       ~print:(fun ls ->
+         String.concat ";"
+           (List.map (fun l -> Itemset.to_string (Itemset.of_list l)) ls))
+       gen_store_db
+       (fun lists ->
+         let sets = sets_of_lists lists in
+         let path = tmp () in
+         Store.build ~page_model:small_pm path sets;
+         let store = Store.open_ ~cache_pages:3 path in
+         let disk = Store.db store in
+         let mem = Tx_db.create ~page_model:small_pm sets in
+         let ok =
+           all_txs mem = all_txs disk
+           && Tx_db.pages mem = Tx_db.pages disk
+           && verify_checksums disk = Ok ()
+         in
+         Store.close store;
+         Sys.remove path;
+         ok))
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    unit "round-trip, default page model" (fun () ->
+        check_equivalent [ [ 0; 1; 2 ]; [ 1; 2 ]; []; [ 2 ]; [ 0; 1; 2; 3 ] ]);
+    unit "round-trip, multi-page and oversized" (fun () ->
+        check_equivalent ~page_model:small_pm
+          [
+            List.init 14 (fun i -> i);  (* max-width page *)
+            [ 3; 5 ];
+            List.init 30 (fun i -> 2 * i);  (* oversized: 128 bytes *)
+            [];
+            List.init 7 (fun i -> i + 50);
+            [ 9 ];
+          ]);
+    qcheck_roundtrip;
+    unit "empty store" (fun () ->
+        let path = tmp () in
+        let store = Store.create path in
+        Alcotest.(check int) "size" 0 (Store.size store);
+        Alcotest.(check int) "pages" 0 (Store.pages store);
+        Alcotest.(check (list (pair int (list int)))) "txs" [] (all_txs (Store.db store));
+        Store.close store);
+    unit "append + seal makes transactions durable" (fun () ->
+        let path = tmp () in
+        let store = Store.create ~page_model:small_pm path in
+        Store.append_tx store (Itemset.of_list [ 1; 2; 3 ]);
+        Store.append_tx store Itemset.empty;
+        Store.append_tx store (Itemset.of_list [ 7 ]);
+        Alcotest.(check int) "not yet visible" 0 (Store.size store);
+        Alcotest.(check int) "sealed" 3 (Store.seal store);
+        Alcotest.(check int) "visible" 3 (Store.size store);
+        Alcotest.(check (list (pair int (list int)))) "content"
+          [ (0, [ 1; 2; 3 ]); (1, []); (2, [ 7 ]) ]
+          (all_txs (Store.db store));
+        Store.close store;
+        (* reopen: still there, nothing to recover *)
+        let store = Store.open_ path in
+        Alcotest.(check int) "after reopen" 3 (Store.size store);
+        Alcotest.(check int) "replayed" 0 (Store.last_recovery store).Store.replayed;
+        Store.close store);
+    unit "recovery replays unsealed WAL records" (fun () ->
+        let path = tmp () in
+        let store = Store.create ~page_model:small_pm path in
+        Store.append_tx store (Itemset.of_list [ 1; 2 ]);
+        Store.append_tx store (Itemset.of_list [ 4 ]);
+        Store.flush store;
+        (* no seal: simulate a crash by just dropping the handle's state *)
+        Store.close store;
+        let store = Store.open_ path in
+        Alcotest.(check int) "replayed" 2 (Store.last_recovery store).Store.replayed;
+        Alcotest.(check int) "size" 2 (Store.size store);
+        Alcotest.(check (list (pair int (list int)))) "content"
+          [ (0, [ 1; 2 ]); (1, [ 4 ]) ]
+          (all_txs (Store.db store));
+        Store.close store);
+    unit "recovery truncates a torn WAL tail" (fun () ->
+        let path = tmp () in
+        let store = Store.create ~page_model:small_pm path in
+        Store.append_tx store (Itemset.of_list [ 1; 2 ]);
+        Store.append_tx store (Itemset.of_list [ 4; 5 ]);
+        Store.append_tx store (Itemset.of_list [ 6; 7; 8 ]);
+        Store.close store;
+        (* tear mid-record: chop the last 3 bytes of the log *)
+        let wal = path ^ ".wal" in
+        let size = (Unix.stat wal).Unix.st_size in
+        Unix.truncate wal (size - 3);
+        let store = Store.open_ path in
+        let r = Store.last_recovery store in
+        Alcotest.(check int) "replayed" 2 r.Store.replayed;
+        Alcotest.(check bool) "truncated" true (r.Store.truncated_bytes > 0);
+        Alcotest.(check (list (pair int (list int)))) "prefix survives"
+          [ (0, [ 1; 2 ]); (1, [ 4; 5 ]) ]
+          (all_txs (Store.db store));
+        (match verify_checksums (Store.db store) with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "verify: %s" (Cfq_error.to_string e));
+        Store.close store);
+    unit "recovery drops a CRC-corrupt WAL record" (fun () ->
+        let path = tmp () in
+        let store = Store.create ~page_model:small_pm path in
+        Store.append_tx store (Itemset.of_list [ 1 ]);
+        Store.append_tx store (Itemset.of_list [ 2 ]);
+        Store.close store;
+        (* flip one payload byte of the last record *)
+        let wal = path ^ ".wal" in
+        let size = (Unix.stat wal).Unix.st_size in
+        let fd = Unix.openfile wal [ Unix.O_WRONLY ] 0 in
+        ignore (Unix.lseek fd (size - 5) Unix.SEEK_SET);
+        ignore (Unix.write fd (Bytes.of_string "\xFF") 0 1);
+        Unix.close fd;
+        let store = Store.open_ path in
+        Alcotest.(check int) "replayed" 1 (Store.last_recovery store).Store.replayed;
+        Alcotest.(check bool) "torn bytes counted" true
+          ((Store.last_recovery store).Store.truncated_bytes > 0);
+        Store.close store);
+    unit "group commit batches fsyncs" (fun () ->
+        let path = tmp () in
+        let store = Store.create ~page_model:small_pm ~group_commit:8 path in
+        for i = 0 to 19 do
+          Store.append_tx store (Itemset.of_list [ i ])
+        done;
+        Store.flush store;
+        let appended, fsyncs = Store.wal_counters store in
+        Alcotest.(check int) "appended" 20 appended;
+        Alcotest.(check int) "fsyncs: 2 full groups + 1 flush" 3 fsyncs;
+        Store.close store);
+    unit "buffer pool: clock eviction and hit accounting" (fun () ->
+        let path = tmp () in
+        (* 6 txs of 14 items: one full page each *)
+        Store.build ~page_model:small_pm path
+          (Array.init 6 (fun t -> Itemset.of_list (List.init 14 (fun i -> (14 * t) + i))));
+        let store = Store.open_ ~cache_pages:2 path in
+        let db = Store.db store in
+        Alcotest.(check int) "pages" 6 (Tx_db.pages db);
+        let io = Io_stats.create () in
+        let n = ref 0 in
+        Tx_db.iter_scan db io (fun _ -> incr n);
+        Alcotest.(check int) "cold scan tuples" 6 !n;
+        Alcotest.(check int) "cold misses = pages" 6 (Io_stats.pool_misses (Store.io store));
+        Alcotest.(check bool) "evictions under pressure" true
+          (Io_stats.pool_evictions (Store.io store) > 0);
+        Tx_db.iter_scan db io (fun _ -> ());
+        Alcotest.(check bool) "second scan still misses (cache < pages)" true
+          (Io_stats.pool_misses (Store.io store) > 6);
+        Store.close store;
+        (* a pool large enough: second scan is all hits *)
+        let store = Store.open_ ~cache_pages:8 path in
+        let db = Store.db store in
+        Tx_db.iter_scan db io (fun _ -> ());
+        let cold_misses = Io_stats.pool_misses (Store.io store) in
+        Tx_db.iter_scan db io (fun _ -> ());
+        Alcotest.(check int) "warm scan adds no misses" cold_misses
+          (Io_stats.pool_misses (Store.io store));
+        Alcotest.(check bool) "warm hits" true (Io_stats.pool_hits (Store.io store) >= 6);
+        Store.close store);
+    unit "buffer pool: pinned frames survive, bypass serves readers" (fun () ->
+        let path = tmp () in
+        Store.build ~page_model:small_pm path
+          (Array.init 4 (fun t -> Itemset.of_list (List.init 14 (fun i -> (14 * t) + i))));
+        let seg = Segment.open_ path in
+        let stats = Io_stats.create () in
+        let pool =
+          Buffer_pool.create ~fd:seg.Segment.fd ~page_size:64
+            ~n_pages:seg.Segment.layout.Page_codec.pages
+            ~data_off:(Segment.data_off seg) ~crcs:seg.Segment.crcs ~capacity:1
+            ~stats ()
+        in
+        let snap b = Bytes.to_string b in
+        let p0 = ref "" and p1 = ref "" and p0_again = ref "" in
+        Buffer_pool.with_page pool 0 (fun b0 ->
+            p0 := snap b0;
+            (* the only frame is pinned: this read must bypass, not evict *)
+            Buffer_pool.with_page pool 1 (fun b1 -> p1 := snap b1);
+            p0_again := snap b0);
+        Alcotest.(check bool) "pinned page intact" true (!p0 = !p0_again);
+        Alcotest.(check bool) "pages differ" true (!p0 <> !p1);
+        Alcotest.(check int) "no eviction of a pinned frame" 0
+          (Io_stats.pool_evictions stats);
+        Alcotest.(check int) "both reads were misses" 2 (Io_stats.pool_misses stats);
+        Alcotest.(check int) "page 0 stayed resident" 1 (Buffer_pool.resident pool);
+        (* after unpin the frame is reusable *)
+        Buffer_pool.with_page pool 1 (fun _ -> ());
+        Alcotest.(check int) "now evicted" 1 (Io_stats.pool_evictions stats);
+        Segment.close seg);
+    unit "physical corruption is caught by the page CRC" (fun () ->
+        let path = tmp () in
+        Store.build ~page_model:small_pm path
+          (Array.init 3 (fun t -> Itemset.of_list (List.init 14 (fun i -> (14 * t) + i))));
+        (* flip a byte inside data page 1 (file offset: header page + page) *)
+        let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+        ignore (Unix.lseek fd (64 + 64 + 10) Unix.SEEK_SET);
+        ignore (Unix.write fd (Bytes.of_string "\xA5") 0 1);
+        Unix.close fd;
+        let store = Store.open_ ~cache_pages:2 path in
+        let db = Store.db store in
+        let io = Io_stats.create () in
+        (match Tx_db.iter_scan db io (fun _ -> ()) with
+        | () -> Alcotest.fail "corrupt page went undetected"
+        | exception Cfq_error.Error (Cfq_error.Corrupt_page { page }) ->
+            Alcotest.(check int) "page" 1 page);
+        Store.close store);
+    unit "a damaged segment header is rejected" (fun () ->
+        let path = tmp () in
+        Store.build path [| Itemset.of_list [ 1 ] |];
+        let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+        ignore (Unix.write fd (Bytes.of_string "XXXX") 0 4);
+        Unix.close fd;
+        (match Store.open_ path with
+        | _ -> Alcotest.fail "bad magic accepted"
+        | exception Segment.Bad_segment _ -> ()));
+    unit "fault injection behaves identically on the disk backend" (fun () ->
+        let lists =
+          List.init 32 (fun i -> [ i mod 5; (i + 1) mod 5; (i + 2) mod 5 ])
+        in
+        let mem, store = db_pair ~page_model:small_pm lists in
+        let disk = Store.db store in
+        let config =
+          { Fault.default_config with Fault.fail_first = 1; corrupt_p = 0.4; max_corrupt = 1 }
+        in
+        let replay db =
+          Tx_db.set_faults db (Some (Fault.create config));
+          let out = ref [] in
+          for _ = 1 to 6 do
+            let io = Io_stats.create () in
+            let n = ref 0 in
+            (match Tx_db.iter_scan db io (fun _ -> incr n) with
+            | () -> out := Printf.sprintf "ok:%d" !n :: !out
+            | exception Cfq_error.Error e -> out := Cfq_error.to_string e :: !out)
+          done;
+          let v =
+            match Tx_db.verify db with
+            | Ok () -> "verify-ok"
+            | Error e -> Cfq_error.to_string e
+          in
+          Tx_db.set_faults db None;
+          List.rev (v :: !out)
+        in
+        Alcotest.(check (list string)) "same fault replay" (replay mem) (replay disk);
+        Store.close store);
+    unit "chunked parallel scan from two domains" (fun () ->
+        let lists = List.init 40 (fun i -> List.init ((i mod 6) + 1) (fun j -> i + j)) in
+        let mem, store = db_pair ~page_model:small_pm lists in
+        let disk = Store.db store in
+        let total db =
+          let io = Io_stats.create () in
+          Tx_db.begin_scan db io;
+          match Tx_db.scan_chunks db ~max_chunks:2 with
+          | [ (lo1, hi1); (lo2, hi2) ] ->
+              let count lo hi () =
+                let n = ref 0 in
+                Tx_db.iter_range db ~lo ~hi (fun tx ->
+                    n := !n + Transaction.cardinal tx);
+                !n
+              in
+              let d = Domain.spawn (count lo2 hi2) in
+              let a = count lo1 hi1 () in
+              a + Domain.join d
+          | chunks ->
+              List.fold_left
+                (fun acc (lo, hi) ->
+                  let n = ref 0 in
+                  Tx_db.iter_range db ~lo ~hi (fun tx ->
+                      n := !n + Transaction.cardinal tx);
+                  acc + !n)
+                0 chunks
+        in
+        Alcotest.(check int) "item totals agree" (total mem) (total disk);
+        Store.close store);
+    unit "save_db round-trips an existing database" (fun () ->
+        let sets = sets_of_lists [ [ 1; 2 ]; [ 0 ]; [ 2; 3; 4 ] ] in
+        let mem = Tx_db.create sets in
+        let path = tmp () in
+        Store.save_db path mem;
+        let store = Store.open_ path in
+        Alcotest.(check (list (pair int (list int)))) "content" (all_txs mem)
+          (all_txs (Store.db store));
+        Alcotest.(check int) "universe" 5 (Store.universe_size store);
+        Store.close store);
+  ]
