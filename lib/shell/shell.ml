@@ -210,6 +210,9 @@ let do_ingest t store_path fimi_path =
   | exception Cfq_data.Fimi.Bad_format msg -> say "ingest failed: %s" msg
   | exception Sys_error msg -> say "ingest failed: %s" msg
   | src -> (
+      (* appends are group-commit buffered: a crash mid-loop may lose
+         the last partial group, but nothing is acknowledged until the
+         seal below, which flushes and folds everything durably *)
       let ingest store =
         for i = 0 to Tx_db.size src - 1 do
           Cfq_store.Store.append_tx store (Tx_db.get src i).Transaction.items
@@ -218,15 +221,17 @@ let do_ingest t store_path fimi_path =
       in
       match t.store with
       | Some store when Cfq_store.Store.path store = store_path ->
-          (* ingesting into the attached store: seal replaces the db
-             handle, so rebuild the execution context around the new one *)
+          (* ingesting into the attached store: quiesce the service
+             FIRST (its workers may be mid-scan on the current db
+             handle), then seal — which replaces the db handle — and
+             rebuild the execution context around the new one *)
+          drop_service t;
           ingest store;
           (match t.ctx with
           | Some ctx ->
               t.ctx <- Some (Exec.context (Cfq_store.Store.db store) ctx.Exec.s_info)
           | None -> ());
           t.last <- None;
-          drop_service t;
           say "ingested %d transactions into %s (now %d total)" (Tx_db.size src)
             store_path
             (Cfq_store.Store.size store)

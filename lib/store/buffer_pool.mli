@@ -14,19 +14,32 @@
     mismatch.  Hits, misses and evictions are recorded into the
     {!Cfq_txdb.Io_stats} given at creation.
 
-    Thread safety: frame lookup, load and replacement run under one
-    mutex; the caller's [f] runs outside it (on a pinned frame). *)
+    Thread safety: only the frame-table bookkeeping (lookup, victim
+    choice, pin counts) runs under the pool mutex.  A miss claims its
+    frame in a {e loading} state, then performs the disk read and CRC
+    verification with the mutex released, on a private file descriptor —
+    so misses from different domains read in parallel, and hits never
+    wait behind a disk read.  Concurrent requests for a page being
+    loaded wait for that one load rather than re-reading.  The caller's
+    [f] runs outside the mutex on a pinned frame.
+
+    Read fds are opened on demand (one at {!create}, growing with
+    concurrent misses up to a small cap); each lazily opened fd is
+    verified by (device, inode) to still name the segment the pool was
+    built for, so a pool serving a segment that was since atomically
+    replaced keeps reading its original (old, still-valid) file. *)
 
 open Cfq_txdb
 
 type t
 
-(** [create ~fd ~page_size ~n_pages ~data_off ~crcs ~capacity ~stats ()]
+(** [create ~path ~page_size ~n_pages ~data_off ~crcs ~capacity ~stats ()]
     serves pages [0 .. n_pages - 1], page [p] living at file offset
-    [data_off + p * page_size] of [fd].  [capacity] is clamped to at
-    least 1. *)
+    [data_off + p * page_size] of the file at [path] (as it exists now —
+    see the identity check above).  [capacity] is clamped to at least
+    1. *)
 val create :
-  fd:Unix.file_descr ->
+  path:string ->
   page_size:int ->
   n_pages:int ->
   data_off:int ->
@@ -39,6 +52,11 @@ val create :
 (** [with_page t page f] runs [f] on the page's frame bytes, pinned.  [f]
     must not retain or mutate the buffer. *)
 val with_page : t -> int -> (bytes -> 'a) -> 'a
+
+(** Close the pool's file descriptors.  Idempotent.  Callers must have
+    quiesced readers first; a later {!with_page} miss fails with
+    [Invalid_argument] rather than reading through a dead fd. *)
+val close : t -> unit
 
 val capacity : t -> int
 val stats : t -> Io_stats.t

@@ -2,7 +2,7 @@ open Cfq_itembase
 open Cfq_txdb
 
 let magic = "CFQSEG01"
-let version = 1
+let version = 2
 
 (* header field offsets, all inside page 0 *)
 let h_version = 8
@@ -12,8 +12,9 @@ let h_item_bytes = 20
 let h_n_txs = 24
 let h_n_pages = 32
 let h_universe = 40
-let h_crc = 48
-let header_bytes = 52
+let h_generation = 48
+let h_crc = 56
+let header_bytes = 60
 
 type t = {
   path : string;
@@ -23,6 +24,7 @@ type t = {
   crcs : int array;
   sums : int array;
   universe : int;
+  generation : int;
 }
 
 exception Bad_segment of string
@@ -53,9 +55,19 @@ let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
 let set_u64 b off v = Bytes.set_int64_le b off (Int64.of_int v)
 let get_u64 b off = Int64.to_int (Bytes.get_int64_le b off)
 
+(* fsync the directory holding [path] so a rename into it survives a
+   crash; best-effort where directories cannot be opened or fsynced *)
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
 (* ------------------------------------------------------------------ *)
 
-let write ?(page_model = Page_model.default) path itemsets =
+let write ?(page_model = Page_model.default) ?(generation = 0) path itemsets =
   Page_codec.check_model page_model;
   let ps = page_model.Page_model.page_size_bytes in
   if ps < header_bytes then
@@ -88,6 +100,7 @@ let write ?(page_model = Page_model.default) path itemsets =
   set_u64 header h_n_txs n;
   set_u64 header h_n_pages l.Page_codec.pages;
   set_u64 header h_universe !universe;
+  set_u64 header h_generation generation;
   set_u32 header h_crc (Crc32.sub header 0 h_crc);
   (* footer: sizes, raw crcs, logical sums, crc *)
   let footer = Bytes.create ((4 * n) + (4 * l.Page_codec.pages) + (8 * l.Page_codec.pages) + 4) in
@@ -108,7 +121,10 @@ let write ?(page_model = Page_model.default) path itemsets =
       write_all fd data 0 (Bytes.length data);
       write_all fd footer 0 (Bytes.length footer);
       Unix.fsync fd);
-  Unix.rename tmp path
+  Unix.rename tmp path;
+  (* make the rename itself durable: recovery's idempotence argument
+     needs the new segment on disk before the WAL is reset after it *)
+  fsync_dir path
 
 (* ------------------------------------------------------------------ *)
 
@@ -148,7 +164,16 @@ let open_ path =
     if layout.Page_codec.pages <> n_pages then
       bad path "footer page count %d contradicts layout %d" n_pages
         layout.Page_codec.pages;
-    { path; fd; pm; layout; crcs; sums; universe = get_u64 head h_universe }
+    {
+      path;
+      fd;
+      pm;
+      layout;
+      crcs;
+      sums;
+      universe = get_u64 head h_universe;
+      generation = get_u64 head h_generation;
+    }
   with
   | seg -> seg
   | exception e ->

@@ -3,7 +3,8 @@
     {v
     page 0            header: magic "CFQSEG01", version, page geometry
                       (page_size / tid_bytes / item_bytes), n_txs, n_pages,
-                      universe_size, header CRC-32; zero-padded to one page
+                      universe_size, generation, header CRC-32;
+                      zero-padded to one page
     pages 1..n        data region, packed per Page_codec (= Page_model)
     footer            per-tx item counts (u32 each), per-page raw CRC-32
                       (u32), per-page logical Tx_db checksum (u64),
@@ -17,8 +18,14 @@
     computed in memory — so fault injection and [Tx_db.verify] behave
     identically on either backend.
 
-    Writes go through a temp file + atomic rename, so a crash mid-seal
-    leaves the previous segment intact. *)
+    Writes go through a temp file + atomic rename followed by a parent
+    directory fsync, so a crash mid-seal leaves the previous segment
+    intact and a completed {!write} is durable when it returns.
+
+    The [generation] counter makes WAL replay idempotent: every fold of
+    WAL records into a segment bumps it, and the WAL header names the
+    generation it applies to ({!Wal.scan}), so records already folded
+    into a newer segment are never replayed twice. *)
 
 open Cfq_itembase
 open Cfq_txdb
@@ -31,14 +38,17 @@ type t = {
   crcs : int array;  (** raw CRC-32 per data page *)
   sums : int array;  (** logical {!Tx_db.Checksum} per data page *)
   universe : int;  (** item-universe size: 1 + max item, 0 when empty *)
+  generation : int;  (** bumped on every WAL fold; pairs with the WAL header *)
 }
 
 exception Bad_segment of string
 (** Raised by {!open_} with a ["<path>: <reason>"] message. *)
 
-(** [write ?page_model path txs] builds and atomically replaces the
-    segment at [path]. *)
-val write : ?page_model:Page_model.t -> string -> Itemset.t array -> unit
+(** [write ?page_model ?generation path txs] builds and atomically
+    replaces the segment at [path] ([generation] defaults to 0); durable
+    (file and directory fsynced) when it returns. *)
+val write :
+  ?page_model:Page_model.t -> ?generation:int -> string -> Itemset.t array -> unit
 
 (** [open_ path] validates the header and footer CRCs and returns a
     handle.  Data pages are {e not} read here — the buffer pool verifies

@@ -13,6 +13,10 @@ type t = {
   mutable seg : Segment.t;
   mutable pool : Buffer_pool.t;
   mutable db : Tx_db.t;
+  (* segments superseded by a seal: their pool fds stay open until
+     [close] so db handles obtained before the seal keep reading their
+     (old, still-valid) snapshot instead of hitting a closed fd *)
+  mutable stale : (Buffer_pool.t * Segment.t) list;
   wal : Wal.t;
   recovery : recovery;
 }
@@ -60,54 +64,71 @@ let make_db seg pool =
     ~page_of:l.Page_codec.page_of ~checksums:seg.Segment.sums ~avg_tx_len ~iter
     ~get:read_tx ()
 
-let attach ~path ~cache_pages ~io seg =
+let attach ~cache_pages ~io seg =
   let pool =
-    Buffer_pool.create ~fd:seg.Segment.fd
+    Buffer_pool.create ~path:seg.Segment.path
       ~page_size:seg.Segment.pm.Page_model.page_size_bytes
       ~n_pages:seg.Segment.layout.Page_codec.pages ~data_off:(Segment.data_off seg)
       ~crcs:seg.Segment.crcs ~capacity:cache_pages ~stats:io ()
   in
-  ignore path;
   (pool, make_db seg pool)
 
 (* ------------------------------------------------------------------ *)
 
-let build = Segment.write
+(* also reset the WAL: a leftover log from an earlier store at this path
+   must not be replayed into the freshly built segment *)
+let build ?page_model path txs =
+  Segment.write ?page_model ~generation:0 path txs;
+  Wal.reset (wal_path path) ~generation:0
 
 let save_db ?page_model path db =
   let n = Tx_db.size db in
   let txs = Array.make n Itemset.empty in
   Tx_db.iter_range db ~lo:0 ~hi:(n - 1) (fun tx ->
       txs.(tx.Transaction.tid) <- tx.Transaction.items);
-  Segment.write ?page_model path txs
+  build ?page_model path txs
 
-(* fold [extra] WAL records into the segment at [path] via atomic rewrite *)
-let fold_into_segment path (extra : int array list) =
-  let seg = Segment.open_ path in
-  let existing =
-    Fun.protect ~finally:(fun () -> Segment.close seg) (fun () -> Segment.read_all seg)
-  in
-  let pm = seg.Segment.pm in
+(* fold [extra] WAL records into a next-generation segment at [path]
+   (atomic rewrite, durable on return).  [seg] stays open — the caller
+   decides when its readers have drained.  Returns the new generation. *)
+let fold_into_segment seg path (extra : int array list) =
+  let existing = Segment.read_all seg in
+  let next = seg.Segment.generation + 1 in
   let all =
     Array.append existing
       (Array.of_list (List.map (fun items -> Itemset.of_array items) extra))
   in
-  Segment.write ~page_model:pm path all;
-  Array.length all
+  Segment.write ~page_model:seg.Segment.pm ~generation:next path all;
+  next
 
 let open_ ?(cache_pages = 1024) ?group_commit path =
-  (* recovery: truncate the WAL's torn tail, seal the valid records *)
+  (* recovery.  The WAL header names the segment generation its records
+     apply to; anything else (older generation, missing/torn header) is
+     a leftover from before a durably completed fold and is discarded —
+     never replayed a second time.  A matching WAL has its torn tail
+     truncated and its valid records folded into a generation+1 segment
+     (rename + dir fsync) BEFORE the WAL is reset, so a crash anywhere
+     in between re-runs this same recovery without duplicating. *)
   let wp = wal_path path in
+  let seg0 = Segment.open_ path in
   let s = Wal.scan wp in
-  Wal.truncate_torn wp s;
-  if s.Wal.records <> [] then begin
-    ignore (fold_into_segment path s.Wal.records);
-    Wal.reset wp
-  end;
-  let seg = Segment.open_ path in
+  let current = s.Wal.generation = Some seg0.Segment.generation in
+  let seg =
+    if current && s.Wal.records <> [] then begin
+      let next = fold_into_segment seg0 path s.Wal.records in
+      Segment.close seg0;
+      Wal.reset wp ~generation:next;
+      Segment.open_ path
+    end
+    else begin
+      if current then Wal.truncate_torn wp s
+      else Wal.reset wp ~generation:seg0.Segment.generation;
+      seg0
+    end
+  in
   let io = Io_stats.create () in
   let cache_pages = max 1 cache_pages in
-  let pool, db = attach ~path ~cache_pages ~io seg in
+  let pool, db = attach ~cache_pages ~io seg in
   {
     path;
     cache_pages;
@@ -115,14 +136,17 @@ let open_ ?(cache_pages = 1024) ?group_commit path =
     seg;
     pool;
     db;
+    stale = [];
     wal = Wal.open_append ?group_commit wp;
     recovery =
-      { replayed = List.length s.Wal.records; truncated_bytes = s.Wal.torn_bytes };
+      (if current then
+         { replayed = List.length s.Wal.records; truncated_bytes = s.Wal.torn_bytes }
+       else { replayed = 0; truncated_bytes = 0 });
   }
 
 let create ?page_model ?cache_pages ?group_commit path =
-  Segment.write ?page_model path [||];
-  Wal.reset (wal_path path);
+  Segment.write ?page_model ~generation:0 path [||];
+  Wal.reset (wal_path path) ~generation:0;
   open_ ?cache_pages ?group_commit path
 
 let db t = t.db
@@ -132,25 +156,31 @@ let flush t = Wal.flush t.wal
 let seal t =
   Wal.flush t.wal;
   let s = Wal.scan (wal_path t.path) in
-  let sealed =
-    if s.Wal.records = [] then 0
-    else begin
-      Segment.close t.seg;
-      let n = fold_into_segment t.path s.Wal.records in
-      Wal.reset (wal_path t.path);
-      let seg = Segment.open_ t.path in
-      let pool, db = attach ~path:t.path ~cache_pages:t.cache_pages ~io:t.io seg in
-      t.seg <- seg;
-      t.pool <- pool;
-      t.db <- db;
-      ignore n;
-      List.length s.Wal.records
-    end
-  in
-  sealed
+  if s.Wal.records = [] || s.Wal.generation <> Some t.seg.Segment.generation then 0
+  else begin
+    let old_seg = t.seg and old_pool = t.pool in
+    let next = fold_into_segment old_seg t.path s.Wal.records in
+    Wal.reset (wal_path t.path) ~generation:next;
+    let seg = Segment.open_ t.path in
+    let pool, db = attach ~cache_pages:t.cache_pages ~io:t.io seg in
+    t.seg <- seg;
+    t.pool <- pool;
+    t.db <- db;
+    (* keep the superseded segment readable until [close]: db handles
+       handed out before this seal may still be mid-scan on it *)
+    t.stale <- (old_pool, old_seg) :: t.stale;
+    List.length s.Wal.records
+  end
 
 let close t =
   Wal.close t.wal;
+  List.iter
+    (fun (pool, seg) ->
+      Buffer_pool.close pool;
+      Segment.close seg)
+    t.stale;
+  t.stale <- [];
+  Buffer_pool.close t.pool;
   Segment.close t.seg
 
 let size t = Tx_db.size t.db

@@ -5,8 +5,14 @@
     {!Segment}) and the append-only log [PATH.wal] (see {!Wal}).
     {!open_} runs recovery first — the WAL's torn tail (an interrupted
     group commit) is truncated, its valid records are folded into a fresh
-    segment (temp file + atomic rename), and the log is emptied — so the
-    visible database is always a fully sealed, checksummed segment.
+    segment (temp file + atomic rename + directory fsync), and the log is
+    emptied — so the visible database is always a fully sealed,
+    checksummed segment.  Recovery is idempotent: the WAL header carries
+    the segment generation its records apply to, the fold bumps that
+    generation durably {e before} the WAL is reset, and a WAL whose
+    generation doesn't match the live segment is discarded as already
+    applied — a crash at any point during recovery or {!seal} never
+    duplicates a committed transaction.
 
     {!db} is the seam: a [Tx_db.t] whose tuples are decoded on demand
     from 4 KB pages fetched through the bounded {!Buffer_pool}.  [Exec],
@@ -47,23 +53,35 @@ val build : ?page_model:Page_model.t -> string -> Itemset.t array -> unit
 val save_db : ?page_model:Page_model.t -> string -> Tx_db.t -> unit
 
 (** The current database view (sealed transactions only).  The handle is
-    replaced by {!seal}: re-fetch it afterwards; handles obtained before
-    a seal must not be used again. *)
+    replaced by {!seal}: re-fetch it afterwards to see the new records.
+    A handle obtained before a seal stays readable — it serves the
+    pre-seal snapshot through the superseded segment, whose descriptors
+    are kept open until {!close} — so in-flight scans survive a
+    concurrent seal. *)
 val db : t -> Tx_db.t
 
 (** {2 Ingestion} *)
 
 (** [append_tx t items] appends one transaction to the WAL (group-commit
     batched).  It becomes visible in {!db} after the next {!seal} (or
-    recovery on reopen). *)
+    recovery on reopen).
+
+    Durability window: the record is buffered in user space until the
+    group reaches [group_commit] records (then written + fsynced), so a
+    crash can lose up to [group_commit - 1] of the most recent appends.
+    Call {!flush} (or {!seal}, which flushes first) at every point where
+    that bound matters. *)
 val append_tx : t -> Itemset.t -> unit
 
-(** Force the WAL's buffered group to disk (one fsync). *)
+(** Force the WAL's buffered group to disk (one fsync).  After [flush]
+    returns, every append so far survives a crash. *)
 val flush : t -> unit
 
-(** Fold all WAL records into the segment (atomic rewrite), empty the
-    WAL, and reopen the database view.  Returns the number of
-    transactions sealed in. *)
+(** Fold all WAL records into a next-generation segment (atomic rewrite,
+    durable before the WAL is reset — crash-idempotent), and reopen the
+    database view.  The superseded segment stays open for pre-seal {!db}
+    handles until {!close}.  Returns the number of transactions sealed
+    in. *)
 val seal : t -> int
 
 val close : t -> unit

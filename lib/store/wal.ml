@@ -1,3 +1,9 @@
+(* header: magic, the segment generation these records apply to, CRC *)
+let magic = "CFQWAL01"
+let h_generation = 8
+let h_crc = 16
+let header_bytes = 20
+
 type t = {
   fd : Unix.file_descr;
   group_commit : int;
@@ -64,6 +70,7 @@ let fsyncs t = t.fsyncs
 (* ------------------------------------------------------------------ *)
 
 type scan = {
+  generation : int option;
   records : int array list;
   good_bytes : int;
   torn_bytes : int;
@@ -84,12 +91,29 @@ let read_file path =
       done;
       b)
 
+let header_generation b =
+  let size = Bytes.length b in
+  if
+    size >= header_bytes
+    && Bytes.sub_string b 0 8 = magic
+    && Crc32.sub b 0 h_crc
+       = Int32.to_int (Bytes.get_int32_le b h_crc) land 0xFFFFFFFF
+  then Some (Int64.to_int (Bytes.get_int64_le b h_generation))
+  else None
+
 let scan path =
-  if not (Sys.file_exists path) then { records = []; good_bytes = 0; torn_bytes = 0 }
+  if not (Sys.file_exists path) then
+    { generation = None; records = []; good_bytes = 0; torn_bytes = 0 }
   else begin
     let b = read_file path in
     let size = Bytes.length b in
-    let records = ref [] and off = ref 0 and stop = ref false in
+    match header_generation b with
+    | None ->
+        (* missing or torn header: the file was mid-reset — nothing in it
+           can be trusted, and nothing in it was ever acknowledged *)
+        { generation = None; records = []; good_bytes = 0; torn_bytes = size }
+    | Some generation ->
+    let records = ref [] and off = ref header_bytes and stop = ref false in
     while not !stop && !off + 8 <= size do
       let n = Int32.to_int (Bytes.get_int32_le b !off) in
       let rec_len = 4 + (4 * n) + 4 in
@@ -107,8 +131,36 @@ let scan path =
         end
       end
     done;
-    { records = List.rev !records; good_bytes = !off; torn_bytes = size - !off }
+    {
+      generation = Some generation;
+      records = List.rev !records;
+      good_bytes = !off;
+      torn_bytes = size - !off;
+    }
   end
 
-let truncate_torn path s = if s.torn_bytes > 0 then Unix.truncate path s.good_bytes
-let reset path = if Sys.file_exists path then Unix.truncate path 0
+let fsync_path path =
+  match Unix.openfile path [ Unix.O_WRONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let truncate_torn path s =
+  if s.torn_bytes > 0 then begin
+    Unix.truncate path s.good_bytes;
+    fsync_path path
+  end
+
+let reset path ~generation =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let b = Bytes.create header_bytes in
+      Bytes.blit_string magic 0 b 0 8;
+      Bytes.set_int64_le b h_generation (Int64.of_int generation);
+      Bytes.set_int32_le b h_crc (Int32.of_int (Crc32.sub b 0 h_crc));
+      write_all fd b 0 header_bytes;
+      Unix.fsync fd)

@@ -5,6 +5,15 @@
     stream and a crash can only ever lose or tear the {e tail} of the log
     — never a sealed page.
 
+    The file opens with a 20-byte header — magic ["CFQWAL01"], the
+    {!Segment.t.generation} its records apply to (u64 LE) and a CRC-32 —
+    written by {!reset}.  Replay only ever happens when the header's
+    generation matches the live segment's, which makes recovery
+    idempotent: folding records into a segment bumps the segment
+    generation first (durably, rename + directory fsync) and resets the
+    WAL second, so a crash between the two leaves a stale-generation WAL
+    that is discarded rather than replayed twice.
+
     Record format, little-endian:
     [[n_items : u32][item : u32]*n][crc32 : u32] where the CRC covers the
     length and item bytes.  Recovery ({!scan}) walks records from the
@@ -13,7 +22,10 @@
 
     Writes are batched (group commit): appends buffer in memory and one
     [write]+[fsync] persists the whole group when it reaches
-    [group_commit] records, on {!flush}, or on {!close}. *)
+    [group_commit] records, on {!flush}, or on {!close}.  Until one of
+    those happens, up to [group_commit - 1] appended records live only in
+    user space — a crash loses them; callers that need a bound must call
+    {!flush}. *)
 
 type t
 
@@ -40,8 +52,11 @@ val fsyncs : t -> int
 (** {2 Recovery} *)
 
 type scan = {
+  generation : int option;
+      (** header generation; [None] when the file is missing or its
+          header is absent/torn (then nothing in it is trusted) *)
   records : int array list;  (** the valid prefix, in append order *)
-  good_bytes : int;  (** bytes holding that prefix *)
+  good_bytes : int;  (** header + bytes holding that prefix *)
   torn_bytes : int;  (** trailing bytes after the last valid record *)
 }
 
@@ -49,9 +64,11 @@ type scan = {
     into the valid prefix and the torn tail.  Read-only. *)
 val scan : string -> scan
 
-(** [truncate_torn path s] cuts the file back to [s.good_bytes] (no-op
-    when nothing is torn). *)
+(** [truncate_torn path s] cuts the file back to [s.good_bytes] and
+    fsyncs it (no-op when nothing is torn). *)
 val truncate_torn : string -> scan -> unit
 
-(** [reset path] empties the log (after its records were sealed). *)
-val reset : string -> unit
+(** [reset path ~generation] empties the log down to a fresh header
+    stamped with [generation] (the segment its future records will apply
+    to) and fsyncs it.  Called after the records were durably sealed. *)
+val reset : string -> generation:int -> unit

@@ -191,6 +191,73 @@ let suite =
         Alcotest.(check bool) "torn bytes counted" true
           ((Store.last_recovery store).Store.truncated_bytes > 0);
         Store.close store);
+    unit "recovery is idempotent: a stale-generation WAL is not replayed" (fun () ->
+        (* simulate the worst crash window: the fold's rename became
+           durable but the WAL reset did not.  After recovery we put the
+           pre-recovery WAL bytes back verbatim; its header generation
+           now trails the segment's, so reopening must NOT duplicate. *)
+        let path = tmp () in
+        let store = Store.create ~page_model:small_pm path in
+        Store.append_tx store (Itemset.of_list [ 1; 2 ]);
+        Store.append_tx store (Itemset.of_list [ 4 ]);
+        Store.flush store;
+        Store.close store;
+        let wal = path ^ ".wal" in
+        let old_wal =
+          let ic = open_in_bin wal in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        let store = Store.open_ path in
+        Alcotest.(check int) "first recovery replays" 2
+          (Store.last_recovery store).Store.replayed;
+        Store.close store;
+        let oc = open_out_bin wal in
+        output_string oc old_wal;
+        close_out oc;
+        let store = Store.open_ path in
+        Alcotest.(check int) "second recovery replays nothing" 0
+          (Store.last_recovery store).Store.replayed;
+        Alcotest.(check int) "no duplicated transactions" 2 (Store.size store);
+        Alcotest.(check (list (pair int (list int)))) "content intact"
+          [ (0, [ 1; 2 ]); (1, [ 4 ]) ]
+          (all_txs (Store.db store));
+        Store.close store);
+    unit "seal bumps the segment generation and re-stamps the WAL" (fun () ->
+        let path = tmp () in
+        let store = Store.create ~page_model:small_pm path in
+        Store.append_tx store (Itemset.of_list [ 1 ]);
+        ignore (Store.seal store);
+        Store.append_tx store (Itemset.of_list [ 2 ]);
+        ignore (Store.seal store);
+        Store.close store;
+        let seg = Segment.open_ path in
+        Alcotest.(check int) "two seals = generation 2" 2 seg.Segment.generation;
+        Segment.close seg;
+        let s = Wal.scan (path ^ ".wal") in
+        Alcotest.(check (option int)) "WAL stamped with the live generation"
+          (Some 2) s.Wal.generation;
+        Alcotest.(check int) "WAL emptied" 0 (List.length s.Wal.records));
+    unit "a db handle from before a seal stays readable" (fun () ->
+        let path = tmp () in
+        let store = Store.create ~page_model:small_pm path in
+        Store.append_tx store (Itemset.of_list [ 1; 2 ]);
+        ignore (Store.seal store);
+        let before = Store.db store in
+        (* warm nothing: force the pre-seal pool to do a physical read
+           strictly AFTER the seal has replaced segment and pool *)
+        Store.append_tx store (Itemset.of_list [ 7; 8 ]);
+        ignore (Store.seal store);
+        Alcotest.(check (list (pair int (list int)))) "old snapshot served"
+          [ (0, [ 1; 2 ]) ]
+          (List.init (Tx_db.size before) (fun i ->
+               let tx = Tx_db.get before i in
+               (tx.Transaction.tid, Itemset.to_list tx.Transaction.items)));
+        Alcotest.(check (list (pair int (list int)))) "new handle sees the seal"
+          [ (0, [ 1; 2 ]); (1, [ 7; 8 ]) ]
+          (all_txs (Store.db store));
+        Store.close store);
     unit "group commit batches fsyncs" (fun () ->
         let path = tmp () in
         let store = Store.create ~page_model:small_pm ~group_commit:8 path in
@@ -238,7 +305,7 @@ let suite =
         let seg = Segment.open_ path in
         let stats = Io_stats.create () in
         let pool =
-          Buffer_pool.create ~fd:seg.Segment.fd ~page_size:64
+          Buffer_pool.create ~path ~page_size:64
             ~n_pages:seg.Segment.layout.Page_codec.pages
             ~data_off:(Segment.data_off seg) ~crcs:seg.Segment.crcs ~capacity:1
             ~stats ()
@@ -259,6 +326,7 @@ let suite =
         (* after unpin the frame is reusable *)
         Buffer_pool.with_page pool 1 (fun _ -> ());
         Alcotest.(check int) "now evicted" 1 (Io_stats.pool_evictions stats);
+        Buffer_pool.close pool;
         Segment.close seg);
     unit "physical corruption is caught by the page CRC" (fun () ->
         let path = tmp () in
