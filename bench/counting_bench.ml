@@ -96,6 +96,61 @@ let run (scale : Workloads.scale) =
   let level2_rows = rows_of ~repeats:3 level2_run in
   print_rows "heavy level-2 counting pass" level2_rows;
 
+  (* ---- (a') kernel comparison on the same level-2 pass ----
+     trie vs direct2 vs vertical (cold = build + answer, warm = answer
+     from already-materialised bitmaps) vs auto, all sequential so the
+     comparison isolates the kernel.  Every kernel's counts are checked
+     against the trie reference before its timing is reported. *)
+  let count_with session =
+    Counting.count_level ?session db io (Counters.create ()) cands
+  in
+  let check_kernel name counts =
+    if counts <> !reference then begin
+      Printf.printf "FAIL: %s kernel counts differ from the trie reference\n" name;
+      exit 1
+    end
+  in
+  let session_of kernel =
+    Counting.create_session ~plan:(Counting.plan_of_kernel kernel) ()
+  in
+  let trie_s = time_best ~repeats:3 (fun () -> check_kernel "trie" (count_with None)) in
+  let kernel_row name time =
+    (name, time, trie_s /. time)
+  in
+  let fresh_session_time kernel name =
+    time_best ~repeats:3 (fun () ->
+        check_kernel name (count_with (Some (session_of kernel))))
+  in
+  let direct2_s = fresh_session_time Counting.Direct2 "direct2" in
+  let vertical_cold_s = fresh_session_time Counting.Vertical "vertical-cold" in
+  let warm_session = session_of Counting.Vertical in
+  check_kernel "vertical-warm(prime)" (count_with (Some warm_session));
+  let vertical_warm_s =
+    time_best ~repeats:3 (fun () ->
+        check_kernel "vertical-warm" (count_with (Some warm_session)))
+  in
+  let auto_s = fresh_session_time Counting.Auto "auto" in
+  let kernel_rows =
+    [
+      kernel_row "trie" trie_s;
+      kernel_row "direct2" direct2_s;
+      kernel_row "vertical-cold" vertical_cold_s;
+      kernel_row "vertical-warm" vertical_warm_s;
+      kernel_row "auto" auto_s;
+    ]
+  in
+  let tbl = Table.create [ "kernel"; "wall(s)"; "vs trie" ] in
+  List.iter
+    (fun (name, s, sp) ->
+      Table.add_row tbl [ name; Table.fcell s; Table.speedup_cell sp ])
+    kernel_rows;
+  Printf.printf "\nlevel-2 kernel comparison (sequential)\n";
+  Table.print tbl;
+  if direct2_s > trie_s /. 2. then
+    Printf.eprintf
+      "warning: direct2 below the 2x target on this pass (%.4fs vs trie %.4fs)\n%!"
+      direct2_s trie_s;
+
   (* ---- (b) a full Exec.run of a 2-var query ---- *)
   let rng = Splitmix.create ~seed:(Int64.add scale.Workloads.seed 7L) in
   let n = scale.Workloads.n_items in
@@ -137,13 +192,68 @@ let run (scale : Workloads.scale) =
   print_rows (Printf.sprintf "full Exec.run: %s" query_text) exec_rows;
   Printf.printf "\nanswers and counters identical across all domain counts\n";
 
+  (* ---- (b') auto vs the best fixed kernel on the same exec workload ---- *)
+  let exec_with kernel =
+    let r = Exec.run ~collect_pairs:true ?kernel ctx q in
+    if sorted_pairs r.Exec.pairs <> !ref_pairs
+       || Exec.total_counted r <> !ref_counted
+    then begin
+      Printf.printf "FAIL: Exec.run with kernel %s diverged from the trie answer\n"
+        (match kernel with
+        | Some k -> Counting.kernel_name k
+        | None -> "none");
+      exit 1
+    end
+  in
+  let time_kernel k = time_best ~repeats:2 (fun () -> exec_with (Some k)) in
+  let fixed =
+    List.map
+      (fun k -> (Counting.kernel_name k, time_kernel k))
+      [ Counting.Trie; Counting.Direct2; Counting.Vertical ]
+  in
+  let auto_exec_s = time_kernel Counting.Auto in
+  let best_name, best_s =
+    List.fold_left
+      (fun (bn, bs) (n2, s2) -> if s2 < bs then (n2, s2) else (bn, bs))
+      (List.hd fixed) (List.tl fixed)
+  in
+  let auto_ratio = auto_exec_s /. best_s in
+  let tbl = Table.create [ "kernel"; "wall(s)"; "vs best fixed" ] in
+  List.iter
+    (fun (n2, s2) -> Table.add_row tbl [ n2; Table.fcell s2; Table.speedup_cell (best_s /. s2) ])
+    (fixed @ [ ("auto", auto_exec_s) ]);
+  Printf.printf "\nexec kernel comparison (best fixed: %s)\n" best_name;
+  Table.print tbl;
+  if auto_ratio > 1.1 then
+    Printf.eprintf
+      "warning: auto is %.2fx the best fixed kernel (%s), above the 1.1x target\n%!"
+      auto_ratio best_name;
+
   (* ---- machine-readable record ---- *)
+  let cores = Domain.recommended_domain_count () in
+  let max_domains = List.fold_left max 1 domain_grid in
+  let speedup_valid = max_domains <= cores in
+  if not speedup_valid then
+    Printf.eprintf
+      "warning: domain grid up to %d on a %d-core machine — speedups are \
+       oversubscribed and not meaningful\n%!"
+      max_domains cores;
+  let kernel_json =
+    String.concat ",\n"
+      (List.map
+         (fun (name, s, sp) ->
+           Printf.sprintf
+             "      {\"kernel\": %S, \"seconds\": %.6f, \"speedup_vs_trie\": %.3f}"
+             name s sp)
+         kernel_rows)
+  in
   let json =
     String.concat "\n"
       [
         "{";
         "  \"bench\": \"counting\",";
-        Printf.sprintf "  \"cores\": %d," (Domain.recommended_domain_count ());
+        Printf.sprintf "  \"cores\": %d," cores;
+        Printf.sprintf "  \"speedup_valid\": %b," speedup_valid;
         Printf.sprintf "  \"transactions\": %d," (Cfq_txdb.Tx_db.size db);
         Printf.sprintf "  \"level2\": {";
         Printf.sprintf "    \"candidates\": %d," (Array.length cands);
@@ -151,11 +261,22 @@ let run (scale : Workloads.scale) =
         json_rows level2_rows;
         "    ]";
         "  },";
+        "  \"kernels\": {";
+        "    \"rows\": [";
+        kernel_json;
+        "    ]";
+        "  },";
         "  \"exec_run\": {";
         Printf.sprintf "    \"query\": %S," query_text;
         "    \"rows\": [";
         json_rows exec_rows;
         "    ]";
+        "  },";
+        "  \"auto_vs_best\": {";
+        Printf.sprintf "    \"best_fixed\": %S," best_name;
+        Printf.sprintf "    \"best_seconds\": %.6f," best_s;
+        Printf.sprintf "    \"auto_seconds\": %.6f," auto_exec_s;
+        Printf.sprintf "    \"auto_ratio\": %.3f" auto_ratio;
         "  }";
         "}";
       ]

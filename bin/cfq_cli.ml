@@ -67,6 +67,17 @@ let pairs_arg =
     value & opt int 0
     & info [ "pairs" ] ~docv:"N" ~doc:"Print the first N answer pairs.")
 
+let kernel_arg =
+  Arg.(
+    value
+    & opt (enum Cfq_mining.Counting.all_kernels) Cfq_mining.Counting.Trie
+    & info [ "kernel" ] ~docv:"KERNEL"
+        ~doc:
+          "Support-counting kernel: $(b,trie) (the default scan-per-level \
+           path), $(b,direct2) (direct level-2 count arrays), $(b,vertical) \
+           (tid-bitmap switchover) or $(b,auto) (adaptive cost model with \
+           shrinking projections).  Answers are identical for every kernel.")
+
 let mine_domains_arg ~default_doc ~default =
   Arg.(
     value & opt int default
@@ -136,8 +147,8 @@ let load_or_generate ~tx ~items ~types ~seed ~data ~iteminfo =
               | exception Cfq_data.Item_csv.Bad_format msg -> Error (`Msg msg)
               | info -> Ok (db, info))))
 
-let run_cmd verbose tx items types seed strategy mine_domains n_pairs data iteminfo
-    pairs_out text =
+let run_cmd verbose tx items types seed strategy mine_domains kernel n_pairs data
+    iteminfo pairs_out text =
   setup_logs verbose;
   match parse_query text with
   | Error e -> Error e
@@ -162,7 +173,10 @@ let run_cmd verbose tx items types seed strategy mine_domains n_pairs data itemi
         else max 1 mine_domains
       in
       let par = { Cfq_mining.Counting.domains = mine_domains; pool = None } in
-      let r = Exec.run ~strategy ~collect_pairs:collect ~par ctx q in
+      let kernel =
+        if kernel = Cfq_mining.Counting.Trie then None else Some kernel
+      in
+      let r = Exec.run ~strategy ~collect_pairs:collect ~par ?kernel ctx q in
       print_endline (Explain.result_to_string r);
       if n_pairs > 0 then begin
         Printf.printf "\nfirst %d pairs:\n" n_pairs;
@@ -297,9 +311,9 @@ let batch_file_arg =
     & pos 0 (some file) None
     & info [] ~docv:"FILE" ~doc:"Batch file: one CFQ per line; '#' comments.")
 
-let serve_cmd verbose tx items types seed data iteminfo domains mine_domains cache_mb
-    deadline repeat fault_transient fault_corrupt fault_spike fault_seed retries
-    breaker_threshold file =
+let serve_cmd verbose tx items types seed data iteminfo domains mine_domains kernel
+    cache_mb deadline repeat fault_transient fault_corrupt fault_spike fault_seed
+    retries breaker_threshold file =
   setup_logs verbose;
   match load_or_generate ~tx ~items ~types ~seed ~data ~iteminfo with
   | Error e -> Error e
@@ -330,6 +344,7 @@ let serve_cmd verbose tx items types seed data iteminfo domains mine_domains cac
           default_deadline = deadline;
           retries;
           breaker_threshold;
+          kernel;
         }
       in
       let service = Cfq_service.Service.create ~config (Exec.context db info) in
@@ -446,9 +461,9 @@ let verify_backends store info file =
       in
       go lines)
 
-let store_serve_cmd verbose store_path cache_pages domains mine_domains cache_mb
-    deadline repeat fault_transient fault_corrupt fault_spike fault_seed retries
-    breaker_threshold verify file =
+let store_serve_cmd verbose store_path cache_pages domains mine_domains kernel
+    cache_mb deadline repeat fault_transient fault_corrupt fault_spike fault_seed
+    retries breaker_threshold verify file =
   setup_logs verbose;
   match Cfq_store.Store.open_ ~cache_pages store_path with
   | exception Cfq_store.Segment.Bad_segment msg -> Error (`Msg msg)
@@ -505,6 +520,7 @@ let store_serve_cmd verbose store_path cache_pages domains mine_domains cache_mb
               default_deadline = deadline;
               retries;
               breaker_threshold;
+              kernel;
             }
           in
           let service = Cfq_service.Service.create ~config (Exec.context db info) in
@@ -564,7 +580,7 @@ let run_t =
      $ strategy_arg
      $ mine_domains_arg ~default:0
          ~default_doc:"Default 0 = all recommended domains of the machine."
-     $ pairs_arg $ data_arg $ iteminfo_arg $ pairs_out_arg $ query_arg))
+     $ kernel_arg $ pairs_arg $ data_arg $ iteminfo_arg $ pairs_out_arg $ query_arg))
 
 let explain_t = Term.(term_result (const explain_cmd $ query_arg))
 
@@ -623,7 +639,7 @@ let serve_t =
          ~default_doc:
            "Default 0 = inherit $(b,--domains); helpers are borrowed idle \
             workers, never extra domains."
-     $ cache_mb_arg $ deadline_arg $ repeat_arg $ fault_transient_arg
+     $ kernel_arg $ cache_mb_arg $ deadline_arg $ repeat_arg $ fault_transient_arg
      $ fault_corrupt_arg $ fault_spike_arg $ fault_seed_arg $ retries_arg
      $ breaker_threshold_arg $ batch_file_arg))
 
@@ -648,7 +664,7 @@ let store_serve_t =
          ~default_doc:
            "Default 0 = inherit $(b,--domains); helpers are borrowed idle \
             workers, never extra domains."
-     $ cache_mb_arg $ deadline_arg $ repeat_arg $ fault_transient_arg
+     $ kernel_arg $ cache_mb_arg $ deadline_arg $ repeat_arg $ fault_transient_arg
      $ fault_corrupt_arg $ fault_spike_arg $ fault_seed_arg $ retries_arg
      $ breaker_threshold_arg $ verify_arg $ batch_file_arg))
 

@@ -67,11 +67,21 @@ val total_counted : result -> int
     [par.Counting.domains] domains — borrowed from [par.Counting.pool]
     when given (the serving case), otherwise from a private pool created
     for this run.  Answers, ccc counters, and I/O charges are identical to
-    the sequential execution for every [domains] value. *)
+    the sequential execution for every [domains] value.
+
+    [kernel] selects the support-counting kernel (see {!Counting.kernel});
+    omitted means the legacy trie path, [Auto] the adaptive cost model.
+    Answers, frequent collections, and ccc counters are byte-identical for
+    every kernel; only the documented logical page charges differ (the
+    chosen kernels per pass appear in [levels] and a summary note).  When
+    faults are installed every pass is pinned to the trie.  The default
+    stays the trie path because its scan-per-level I/O profile is the
+    paper's cost model. *)
 val run :
   ?strategy:Plan.strategy ->
   ?collect_pairs:bool ->
   ?par:Counting.par ->
+  ?kernel:Counting.kernel ->
   ctx ->
   Query.t ->
   result
@@ -85,6 +95,7 @@ val run_result :
   ?strategy:Plan.strategy ->
   ?collect_pairs:bool ->
   ?par:Counting.par ->
+  ?kernel:Counting.kernel ->
   ctx ->
   Query.t ->
   (result, Cfq_error.t) Stdlib.result

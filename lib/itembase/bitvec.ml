@@ -29,9 +29,20 @@ let mem t i =
   let w = i / bits_per_word and b = i mod bits_per_word in
   t.words.(w) land (1 lsl b) <> 0
 
+(* SWAR popcount.  The masks are built by shifting 32-bit halves so every
+   literal fits OCaml's 63-bit immediates; the final byte-sum multiply only
+   needs the top byte, and with <= 62 set bits it never overflows into the
+   missing 64th bit. *)
+let m1 = 0x55555555 lor (0x55555555 lsl 32)
+let m2 = 0x33333333 lor (0x33333333 lsl 32)
+let m4 = 0x0f0f0f0f lor (0x0f0f0f0f lsl 32)
+let h01 = 0x01010101 lor (0x01010101 lsl 32)
+
 let popcount x =
-  let rec loop acc x = if x = 0 then acc else loop (acc + 1) (x land (x - 1)) in
-  loop 0 x
+  let x = x - ((x lsr 1) land m1) in
+  let x = (x land m2) + ((x lsr 2) land m2) in
+  let x = (x + (x lsr 4)) land m4 in
+  (x * h01) lsr 56
 
 let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
 let is_empty t = Array.for_all (fun w -> w = 0) t.words
@@ -70,6 +81,17 @@ let inter_cardinal a b =
   !acc
 
 let copy t = { t with words = Array.copy t.words }
+
+let blit ~src ~dst =
+  same_universe src dst;
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
+let inter_inplace dst src =
+  same_universe dst src;
+  let dw = dst.words and sw = src.words in
+  for i = 0 to Array.length dw - 1 do
+    Array.unsafe_set dw i (Array.unsafe_get dw i land Array.unsafe_get sw i)
+  done
 
 let iter f t =
   for i = 0 to t.universe_size - 1 do

@@ -10,8 +10,19 @@ type outcome = {
   stats : Level_stats.t;
 }
 
-(** [mine db info io ~minsup] computes all frequent itemsets. *)
-val mine : Tx_db.t -> Item_info.t -> Io_stats.t -> ?max_level:int -> minsup:int -> unit -> outcome
+(** [mine db info io ~minsup] computes all frequent itemsets.  [par] and
+    [session] parallelise / pick counting kernels for every pass (see
+    {!Counting}); the outcome is identical either way. *)
+val mine :
+  Tx_db.t ->
+  Item_info.t ->
+  Io_stats.t ->
+  ?max_level:int ->
+  ?par:Counting.par ->
+  ?session:Counting.session ->
+  minsup:int ->
+  unit ->
+  outcome
 
 (** [mine_brute db io ~minsup ~universe_size] is the exponential reference
     implementation over the item universe — only for tests on tiny

@@ -159,7 +159,7 @@ let next_candidates t =
     end
   end
 
-let absorb t counts =
+let absorb ?(kernel = "trie") ?counted t counts =
   let cands = t.pending in
   if Array.length counts <> Array.length cands then
     invalid_arg "Cap.absorb: counts misaligned with candidates";
@@ -176,8 +176,9 @@ let absorb t counts =
     {
       Level_stats.level = t.level;
       candidates = Array.length cands;
-      counted = Array.length cands;
+      counted = (match counted with Some c -> c | None -> Array.length cands);
       frequent = Array.length entries;
+      kernel;
     };
   if t.level = 1 then
     t.freq_items <-
@@ -198,13 +199,16 @@ let absorb t counts =
 
 let result t = Frequent.of_levels (List.rev t.levels_rev)
 
-let run ?par t io =
+let run ?par ?session t io =
   let rec loop () =
     match next_candidates t with
     | None -> ()
     | Some cands ->
-        let counts = Counting.count_level ?par t.db io t.counters cands in
-        let (_ : Frequent.entry array) = absorb t counts in
+        let counts = Counting.count_level ?par ?session t.db io t.counters cands in
+        let kernel =
+          match session with Some s -> Counting.last_kernel s | None -> "trie"
+        in
+        let (_ : Frequent.entry array) = absorb ~kernel t counts in
         loop ()
   in
   loop ();

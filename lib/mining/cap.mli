@@ -58,14 +58,18 @@ val add_constraints : nonneg:bool -> t -> One_var.t list -> unit
 val next_candidates : t -> Itemset.t array option
 
 (** [absorb t counts] consumes supports aligned with the candidates from
-    the preceding [next_candidates] and returns the new frequent level. *)
-val absorb : t -> int array -> Frequent.entry array
+    the preceding [next_candidates] and returns the new frequent level.
+    [kernel] (default ["trie"]) and [counted] (default the candidate count)
+    annotate the {!Level_stats} row with the counting kernel that produced
+    the supports and how many candidates actually reached it. *)
+val absorb : ?kernel:string -> ?counted:int -> t -> int array -> Frequent.entry array
 
 (** [run t io] drives the state machine to exhaustion with one scan per
     level, returning all counted frequent sets.  [par] parallelises every
-    counting pass (see {!Counting.par}); answers and counters are identical
-    to the sequential run. *)
-val run : ?par:Counting.par -> t -> Io_stats.t -> Frequent.t
+    counting pass (see {!Counting.par}); [session] attaches an adaptive
+    kernel session (see {!Counting.session}).  Answers and counters are
+    identical to the sequential trie run in either case. *)
+val run : ?par:Counting.par -> ?session:Counting.session -> t -> Io_stats.t -> Frequent.t
 
 (** Results accumulated so far. *)
 val result : t -> Frequent.t

@@ -7,19 +7,124 @@ type par = {
 
 let sequential = { domains = 1; pool = None }
 
-let count_shared ?(par = sequential) db io families =
-  let tries =
-    List.map
-      (fun (counters, cands) ->
-        Counters.add_support_counted counters (Array.length cands);
-        Trie.build cands)
-      families
-  in
-  let n_cands = List.fold_left (fun acc t -> acc + Trie.n_candidates t) 0 tries in
-  if n_cands = 0 then
-    (* nothing to count anywhere: skip the scan and charge no I/O *)
-    List.map Trie.counts tries
-  else if max 1 par.domains = 1 then begin
+(* ------------------------------------------------------------------ *)
+(* Kernel plans                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type kernel = Auto | Trie | Direct2 | Vertical
+
+let kernel_name = function
+  | Auto -> "auto"
+  | Trie -> "trie"
+  | Direct2 -> "direct2"
+  | Vertical -> "vertical"
+
+let all_kernels =
+  [ ("auto", Auto); ("trie", Trie); ("direct2", Direct2); ("vertical", Vertical) ]
+
+let kernel_of_string s = List.assoc_opt s all_kernels
+
+type plan = {
+  kernel : kernel;
+  budget_words : int;
+  projection : bool;
+  vertical_min_card : int;
+  direct2_max_sparsity : int;
+}
+
+let default_plan =
+  {
+    kernel = Auto;
+    budget_words = 1 lsl 22;
+    projection = true;
+    vertical_min_card = 3;
+    direct2_max_sparsity = 16;
+  }
+
+let plan_of_kernel k = { default_plan with kernel = k; projection = k = Auto }
+
+let direct2_admissible plan ~n_cands ~n_cells =
+  n_cells <= plan.budget_words && n_cells <= plan.direct2_max_sparsity * max 1 n_cands
+
+let vertical_admissible plan ~n_live_items ~n_rows ~min_card =
+  min_card >= plan.vertical_min_card
+  && Tid_bitmaps.words_needed ~n_items:n_live_items ~n_rows <= plan.budget_words
+
+let projection_admissible plan ~est_words =
+  plan.projection && est_words <= plan.budget_words
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type pass_counts = {
+  trie_passes : int;
+  direct2_passes : int;
+  vertical_passes : int;
+  projected_scans : int;
+  bitmap_builds : int;
+}
+
+type session = {
+  plan : plan;
+  mutable bound_db : Tx_db.t option;
+  mutable bitmaps : Tid_bitmaps.t option;
+  mutable proj : Projection.t option;
+  mutable last_fams : string list;
+  mutable n_trie : int;
+  mutable n_direct2 : int;
+  mutable n_vertical : int;
+  mutable n_projected : int;
+  mutable n_builds : int;
+}
+
+let create_session ?(plan = default_plan) () =
+  {
+    plan;
+    bound_db = None;
+    bitmaps = None;
+    proj = None;
+    last_fams = [];
+    n_trie = 0;
+    n_direct2 = 0;
+    n_vertical = 0;
+    n_projected = 0;
+    n_builds = 0;
+  }
+
+let session_plan s = s.plan
+let last_kernels s = s.last_fams
+
+let last_kernel s =
+  match
+    List.sort_uniq compare (List.filter (fun l -> l <> "") s.last_fams)
+  with
+  | [] -> "trie"
+  | ls -> String.concat "+" ls
+
+let pass_counts s =
+  {
+    trie_passes = s.n_trie;
+    direct2_passes = s.n_direct2;
+    vertical_passes = s.n_vertical;
+    projected_scans = s.n_projected;
+    bitmap_builds = s.n_builds;
+  }
+
+let describe s =
+  Printf.sprintf "trie=%d direct2=%d vertical=%d projected-scans=%d bitmap-builds=%d"
+    s.n_trie s.n_direct2 s.n_vertical s.n_projected s.n_builds
+
+(* ------------------------------------------------------------------ *)
+(* The legacy trie pass — also the fault-pinned and forced-trie path    *)
+(* ------------------------------------------------------------------ *)
+
+(* ccc support-counted is charged by [count_shared] before dispatch, so the
+   pass bodies below never touch the counters: the charge is per candidate
+   and kernel-independent by construction. *)
+let trie_count ~par db io cands_list =
+  let tries = List.map Trie.build cands_list in
+  if max 1 par.domains = 1 then begin
     Tx_db.iter_scan db io (fun tx ->
         let items = Cfq_itembase.Itemset.unsafe_to_array tx.Transaction.items in
         List.iter (fun trie -> Trie.count_tx trie items) tries);
@@ -59,7 +164,392 @@ let count_shared ?(par = sequential) db io families =
     List.map Trie.counts tries
   end
 
-let count_level ?par db io counters cands =
-  match count_shared ?par db io [ (counters, cands) ] with
+(* ------------------------------------------------------------------ *)
+(* Scan substrates: the database or the current projection              *)
+(* ------------------------------------------------------------------ *)
+
+type substrate = S_db | S_proj of Projection.t
+
+let substrate_rows db = function
+  | S_db -> Tx_db.size db
+  | S_proj p -> Projection.tuples p
+
+(* Sequential substrate walk; charges exactly one scan. *)
+let iter_sub db io substrate f =
+  match substrate with
+  | S_db ->
+      Tx_db.iter_scan db io (fun tx ->
+          f (Cfq_itembase.Itemset.unsafe_to_array tx.Transaction.items))
+  | S_proj p ->
+      Projection.charge_scan p io;
+      let n = Projection.tuples p in
+      if n > 0 then Projection.iter_range p ~lo:0 ~hi:(n - 1) f
+
+(* Charge one scan and return the parallel chunk list. *)
+let chunks_sub db io substrate ~max_chunks =
+  match substrate with
+  | S_db ->
+      Tx_db.begin_scan db io;
+      Tx_db.scan_chunks db ~max_chunks
+  | S_proj p ->
+      Projection.charge_scan p io;
+      Projection.chunks p ~max_chunks
+
+(* Raw range walk over an already-charged substrate. *)
+let iter_range_sub db substrate ~lo ~hi f =
+  match substrate with
+  | S_db ->
+      Tx_db.iter_range db ~lo ~hi (fun tx ->
+          f (Cfq_itembase.Itemset.unsafe_to_array tx.Transaction.items))
+  | S_proj p -> Projection.iter_range p ~lo ~hi f
+
+(* ------------------------------------------------------------------ *)
+(* Mixed trie/direct2 scan passes, with fused projection building       *)
+(* ------------------------------------------------------------------ *)
+
+type f_rep = R_trie of Trie.t | R_d2 of Direct2.t
+
+let rep_label = function R_trie _ -> "trie" | R_d2 _ -> "direct2"
+
+let acc_of = function
+  | R_trie t -> Array.make (Trie.n_candidates t) 0
+  | R_d2 d -> Direct2.init_cells d
+
+let count_into rep acc scr items =
+  match rep with
+  | R_trie t -> Trie.count_tx_into t acc items
+  | R_d2 d -> Direct2.count_tx_into d acc scr items
+
+let extract rep acc =
+  match rep with R_trie _ -> acc | R_d2 d -> Direct2.extract d acc
+
+(* Keep a transaction's live items iff at least [min_len] survive. *)
+let project_tx live_mask min_len items =
+  let n = Array.length items and nm = Array.length live_mask in
+  let cnt = ref 0 in
+  for j = 0 to n - 1 do
+    let it = Array.unsafe_get items j in
+    if it < nm && Array.unsafe_get live_mask it then incr cnt
+  done;
+  if !cnt < min_len then None
+  else begin
+    let out = Array.make !cnt 0 in
+    let w = ref 0 in
+    for j = 0 to n - 1 do
+      let it = Array.unsafe_get items j in
+      if it < nm && Array.unsafe_get live_mask it then begin
+        Array.unsafe_set out !w it;
+        incr w
+      end
+    done;
+    Some out
+  end
+
+(* One charged pass over [substrate] counting every family with its chosen
+   representation, optionally building the next projection in the same
+   walk.  [proj_spec = Some (live_mask, min_len)] describes the projection
+   to fuse in.  Returns the per-family counts (candidate order) and the
+   projected transactions (scan order — deterministic for every [domains]:
+   chunk slots are concatenated in chunk order, so the result is the same
+   sequence the sequential walk produces). *)
+let scan_count ~par db io substrate fams ~proj_spec =
+  let domains = max 1 par.domains in
+  if domains = 1 then begin
+    let accs = List.map (fun (_, rep) -> acc_of rep) fams in
+    let scr = Direct2.scratch () in
+    let pbuf = ref [] in
+    iter_sub db io substrate (fun items ->
+        List.iter2 (fun (_, rep) acc -> count_into rep acc scr items) fams accs;
+        match proj_spec with
+        | Some (mask, min_len) -> (
+            match project_tx mask min_len items with
+            | Some arr -> pbuf := arr :: !pbuf
+            | None -> ())
+        | None -> ());
+    let counts = List.map2 (fun (_, rep) acc -> extract rep acc) fams accs in
+    let proj =
+      match proj_spec with
+      | Some _ -> Some (Array.of_list (List.rev !pbuf))
+      | None -> None
+    in
+    (counts, proj)
+  end
+  else begin
+    let chunks = Array.of_list (chunks_sub db io substrate ~max_chunks:(4 * domains)) in
+    let n_chunks = Array.length chunks in
+    let slots = Array.make n_chunks [||] in
+    let accs =
+      Cfq_exec_pool.Pool.fan_out ?pool:par.pool ~domains ~n_tasks:n_chunks
+        ~init:(fun () ->
+          (List.map (fun (_, rep) -> acc_of rep) fams, Direct2.scratch ()))
+        ~work:(fun (locals, scr) c ->
+          let lo, hi = chunks.(c) in
+          let pbuf = ref [] in
+          iter_range_sub db substrate ~lo ~hi (fun items ->
+              List.iter2
+                (fun (_, rep) acc -> count_into rep acc scr items)
+                fams locals;
+              match proj_spec with
+              | Some (mask, min_len) -> (
+                  match project_tx mask min_len items with
+                  | Some arr -> pbuf := arr :: !pbuf
+                  | None -> ())
+              | None -> ());
+          (* distinct slot per task: no write races, deterministic order *)
+          if proj_spec <> None then slots.(c) <- Array.of_list (List.rev !pbuf))
+        ()
+    in
+    let totals = List.map (fun (_, rep) -> acc_of rep) fams in
+    List.iter
+      (fun (locals, _) ->
+        List.iter2
+          (fun total local -> Array.iteri (fun i v -> total.(i) <- total.(i) + v) local)
+          totals locals)
+      accs;
+    let counts = List.map2 (fun (_, rep) total -> extract rep total) fams totals in
+    let proj =
+      match proj_spec with
+      | Some _ -> Some (Array.concat (Array.to_list slots))
+      | None -> None
+    in
+    (counts, proj)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bitmap building                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Word-aligned row ranges: concurrent [set_row] calls then touch disjoint
+   words of every bitvector, so the parallel build is race-free. *)
+let word_ranges rows max_chunks =
+  let bpw = Cfq_itembase.Bitvec.bits_per_word in
+  let words = (rows + bpw - 1) / bpw in
+  if words = 0 then []
+  else begin
+    let k = max 1 (min max_chunks words) in
+    let per = words / k and rem = words mod k in
+    let out = ref [] and wlo = ref 0 in
+    for c = 0 to k - 1 do
+      let len = per + if c < rem then 1 else 0 in
+      if len > 0 then begin
+        let lo = !wlo * bpw and hi = min rows ((!wlo + len) * bpw) - 1 in
+        out := (lo, hi) :: !out
+      end;
+      wlo := !wlo + len
+    done;
+    List.rev !out
+  end
+
+let build_bitmaps ~par db io substrate live ~valid_min_card =
+  let rows = substrate_rows db substrate in
+  let bm = Tid_bitmaps.create ~n_rows:rows ~valid_min_card live in
+  let domains = max 1 par.domains in
+  if domains = 1 || rows = 0 then begin
+    let row = ref 0 in
+    iter_sub db io substrate (fun items ->
+        Tid_bitmaps.set_row bm ~row:!row items;
+        incr row)
+  end
+  else begin
+    (match substrate with
+    | S_db -> Tx_db.begin_scan db io
+    | S_proj p -> Projection.charge_scan p io);
+    let ranges = Array.of_list (word_ranges rows (4 * domains)) in
+    ignore
+      (Cfq_exec_pool.Pool.fan_out ?pool:par.pool ~domains
+         ~n_tasks:(Array.length ranges)
+         ~init:(fun () -> ())
+         ~work:(fun () c ->
+           let lo, hi = ranges.(c) in
+           let row = ref lo in
+           iter_range_sub db substrate ~lo ~hi (fun items ->
+               Tid_bitmaps.set_row bm ~row:!row items;
+               incr row))
+         ()
+        : unit list)
+  end;
+  bm
+
+(* ------------------------------------------------------------------ *)
+(* The adaptive pass                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let adaptive s ~par db io families =
+  (* a session follows one run over one database; rebinding resets the
+     materialised state *)
+  (match s.bound_db with
+  | Some d when d == db -> ()
+  | _ ->
+      s.bound_db <- Some db;
+      s.bitmaps <- None;
+      s.proj <- None);
+  let cands_list = List.map snd families in
+  let min_card = ref max_int and max_item = ref (-1) in
+  List.iter
+    (Array.iter (fun c ->
+         let k = Cfq_itembase.Itemset.cardinal c in
+         if k < !min_card then min_card := k;
+         match Cfq_itembase.Itemset.max_item c with
+         | Some i when i > !max_item -> max_item := i
+         | _ -> ()))
+    cands_list;
+  let min_card = !min_card in
+  if min_card < 1 then begin
+    (* an empty-set candidate: only the trie path handles cardinality 0 *)
+    s.n_trie <- s.n_trie + 1;
+    s.last_fams <- List.map (fun _ -> "trie") families;
+    trie_count ~par db io cands_list
+  end
+  else begin
+    let plan = s.plan in
+    let live_mask = Array.make (!max_item + 1) false in
+    List.iter
+      (Array.iter (Cfq_itembase.Itemset.iter (fun i -> live_mask.(i) <- true)))
+      cands_list;
+    let n_live = Array.fold_left (fun a b -> if b then a + 1 else a) 0 live_mask in
+    let live = Array.make n_live 0 in
+    let w = ref 0 in
+    Array.iteri
+      (fun i b ->
+        if b then begin
+          live.(!w) <- i;
+          incr w
+        end)
+      live_mask;
+    let answer_from bm =
+      s.n_vertical <- s.n_vertical + 1;
+      s.last_fams <- List.map (fun _ -> "vertical") families;
+      List.map
+        (fun cands ->
+          if Array.length cands = 0 then [||] else Tid_bitmaps.supports bm cands)
+        cands_list
+    in
+    match s.bitmaps with
+    | Some bm
+      when Tid_bitmaps.valid_min_card bm <= min_card && Tid_bitmaps.covers bm live
+      ->
+        (* zero-I/O pass: every level answered from the materialised bitmaps *)
+        answer_from bm
+    | _ -> (
+        let substrate =
+          match s.proj with
+          | Some p when Projection.covers p ~items:live ~min_card -> S_proj p
+          | _ -> S_db
+        in
+        let rows = substrate_rows db substrate in
+        let want_vertical =
+          match plan.kernel with
+          | Vertical -> true
+          | Auto ->
+              vertical_admissible plan ~n_live_items:n_live ~n_rows:rows ~min_card
+          | Trie | Direct2 -> false
+        in
+        if want_vertical then begin
+          let valid_min_card =
+            match substrate with S_db -> 1 | S_proj p -> Projection.min_len p
+          in
+          let bm = build_bitmaps ~par db io substrate live ~valid_min_card in
+          (match substrate with
+          | S_proj _ -> s.n_projected <- s.n_projected + 1
+          | S_db -> ());
+          s.bitmaps <- Some bm;
+          s.proj <- None;
+          s.n_builds <- s.n_builds + 1;
+          answer_from bm
+        end
+        else begin
+          let reps =
+            List.map
+              (fun cands ->
+                let d2 =
+                  match plan.kernel with
+                  | Direct2 | Auto -> (
+                      match Direct2.shape cands with
+                      | Some d
+                        when direct2_admissible plan
+                               ~n_cands:(Array.length cands)
+                               ~n_cells:(Direct2.n_cells d) ->
+                          Some d
+                      | _ -> None)
+                  | Trie | Vertical -> None
+                in
+                match d2 with Some d -> R_d2 d | None -> R_trie (Trie.build cands))
+              cands_list
+          in
+          let proj_spec =
+            if (not plan.projection) || min_card < 2 then None
+            else begin
+              let allowed =
+                match substrate with
+                | S_proj _ ->
+                    (* reprojection only shrinks: live is a subset of the
+                       projection's live items (coverage held), so it always
+                       fits if the current one does *)
+                    true
+                | S_db ->
+                    let est =
+                      Tx_db.size db
+                      + int_of_float
+                          (float_of_int (Tx_db.size db) *. Tx_db.avg_tx_len db)
+                    in
+                    projection_admissible plan ~est_words:est
+              in
+              if allowed then Some (live_mask, min_card + 1) else None
+            end
+          in
+          let counts, new_proj =
+            scan_count ~par db io substrate
+              (List.combine cands_list reps)
+              ~proj_spec
+          in
+          (match new_proj with
+          | Some txs ->
+              s.proj <-
+                Some
+                  (Projection.make ~page_model:(Tx_db.page_model db)
+                     ~universe_size:(Array.length live_mask)
+                     ~live ~min_len:(min_card + 1) txs)
+          | None -> ());
+          (match substrate with
+          | S_proj _ -> s.n_projected <- s.n_projected + 1
+          | S_db -> ());
+          let labels = List.map rep_label reps in
+          s.last_fams <- labels;
+          if List.mem "direct2" labels then s.n_direct2 <- s.n_direct2 + 1;
+          if List.mem "trie" labels then s.n_trie <- s.n_trie + 1;
+          counts
+        end)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let count_shared ?(par = sequential) ?session db io families =
+  (* the ccc charge: one support-counted tick per candidate, before kernel
+     dispatch, so it is identical for every kernel *)
+  List.iter
+    (fun (counters, cands) ->
+      Counters.add_support_counted counters (Array.length cands))
+    families;
+  let n_cands =
+    List.fold_left (fun acc (_, cands) -> acc + Array.length cands) 0 families
+  in
+  if n_cands = 0 then
+    (* nothing to count anywhere: skip the scan and charge no I/O *)
+    List.map (fun (_, cands) -> Array.make (Array.length cands) 0) families
+  else
+    match session with
+    | None -> trie_count ~par db io (List.map snd families)
+    | Some s when s.plan.kernel = Trie || Tx_db.faults db <> None ->
+        (* forced trie, or faults installed: the paper's page/fault walk
+           must be preserved exactly, so the adaptive substrates are out *)
+        s.n_trie <- s.n_trie + 1;
+        s.last_fams <- List.map (fun _ -> "trie") families;
+        trie_count ~par db io (List.map snd families)
+    | Some s -> adaptive s ~par db io families
+
+let count_level ?par ?session db io counters cands =
+  match count_shared ?par ?session db io [ (counters, cands) ] with
   | [ counts ] -> counts
   | _ -> assert false

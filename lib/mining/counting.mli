@@ -5,12 +5,40 @@
     [T] lattice — are counted in a {e single} scan, so the I/O cost of the
     pass is shared between them.
 
+    {2 Adaptive kernels}
+
+    A pass does not have to walk a trie.  With a {!session} attached, each
+    pass picks a counting kernel per family from a small cost model over
+    the candidate geometry (see doc/COUNTING.md):
+
+    {ul
+    {- {e trie} — the general flat-array trie walk, any cardinality;}
+    {- {e direct2} — {!Direct2}: a triangular count array over the ranks of
+       the level-2 candidates' items, no trie;}
+    {- {e vertical} — {!Tid_bitmaps}: word-packed per-item tid bitvectors
+       materialised by one charged scan, after which every deeper pass is a
+       popcount intersection with {e zero} further I/O;}
+    {- {e projection} — {!Projection}: an in-memory store shrunk to the
+       live items and long-enough transactions, scanned (and charged) in
+       place of the database.}}
+
+    Contract: the counts, and therefore every frequent-set collection and
+    answer downstream, are byte-identical to the trie path for every
+    kernel, domain count and backend.  The ccc support-counted charge is
+    per candidate and kernel-independent.  Logical page charges may
+    legitimately differ — a projection scan charges its reduced footprint,
+    a bitmap build charges one scan and bitmap-answered passes charge
+    nothing — and only in those documented ways.  When faults are
+    installed on the database, every pass is pinned to the trie kernel so
+    the page/fault walk of the paper's I/O model is preserved exactly.
+
     Every pass can run multi-core via {!par}: the coordinator charges and
     validates one logical scan, then page-aligned chunks fan out to a fixed
     set of domains (see {!Cfq_exec_pool.Pool.fan_out}), each counting into
-    private per-family arrays merged deterministically at the end.  The
-    answers, ccc counters, I/O charges, and fault behaviour are identical
-    to the sequential pass for every [domains] value. *)
+    private per-family accumulators merged deterministically at the end
+    (word-aligned row ranges for bitmap builds).  The answers, ccc
+    counters, I/O charges, and fault behaviour are identical to the
+    sequential pass for every [domains] value. *)
 
 open Cfq_itembase
 open Cfq_txdb
@@ -28,16 +56,97 @@ type par = {
 (** [{ domains = 1; pool = None }] — the default. *)
 val sequential : par
 
-(** [count_level db io counters cands] counts all candidates in one scan and
+(** {2 Kernel plans and sessions} *)
+
+type kernel =
+  | Auto  (** cost-model choice per pass, plus shrinking projections *)
+  | Trie  (** always the trie — the paper-faithful legacy path *)
+  | Direct2  (** direct level-2 arrays where applicable, trie elsewhere *)
+  | Vertical  (** switch to tid bitmaps at the first opportunity *)
+
+val kernel_name : kernel -> string
+val kernel_of_string : string -> kernel option
+
+(** All kernels a CLI/shell can offer, with their names. *)
+val all_kernels : (string * kernel) list
+
+type plan = {
+  kernel : kernel;
+  budget_words : int;
+      (** memory budget, in words, for any auxiliary structure (direct2
+          cells, bitmaps, projections) *)
+  projection : bool;  (** allow shrinking transaction projections *)
+  vertical_min_card : int;
+      (** [Auto] switches to bitmaps once every candidate of the pass has
+          at least this cardinality (default 3) *)
+  direct2_max_sparsity : int;
+      (** admit direct2 only when cells <= sparsity * candidates *)
+}
+
+(** [Auto], 4M words, projections on, switchover at cardinality 3,
+    sparsity 16. *)
+val default_plan : plan
+
+(** [plan_of_kernel k] is {!default_plan} pinned to [k]; fixed kernels get
+    [projection = false] so their I/O profile isolates the kernel itself
+    ([Auto] keeps projections on). *)
+val plan_of_kernel : kernel -> plan
+
+(** Pure planner predicates (unit-tested cutoffs). *)
+
+val direct2_admissible : plan -> n_cands:int -> n_cells:int -> bool
+val vertical_admissible : plan -> n_live_items:int -> n_rows:int -> min_card:int -> bool
+val projection_admissible : plan -> est_words:int -> bool
+
+(** A session carries the adaptive state of one mining run over one
+    database: the materialised bitmaps, the current projection, and the
+    per-kernel pass counters.  Sessions are not thread-safe; use one per
+    run. *)
+type session
+
+val create_session : ?plan:plan -> unit -> session
+val session_plan : session -> plan
+
+(** Kernel labels of the families of the most recent pass (aligned with
+    the [families] argument), e.g. ["direct2"; "trie"]. *)
+val last_kernels : session -> string list
+
+(** Combined label of the most recent pass ("trie" before any pass). *)
+val last_kernel : session -> string
+
+type pass_counts = {
+  trie_passes : int;
+  direct2_passes : int;
+  vertical_passes : int;
+  projected_scans : int;  (** scans answered from a projection *)
+  bitmap_builds : int;
+}
+
+val pass_counts : session -> pass_counts
+
+(** One-line summary of {!pass_counts} for notes and reports. *)
+val describe : session -> string
+
+(** {2 Counting passes} *)
+
+(** [count_level db io counters cands] counts all candidates in one pass and
     charges [Array.length cands] to the support-counted ccc counter. *)
 val count_level :
-  ?par:par -> Tx_db.t -> Io_stats.t -> Counters.t -> Itemset.t array -> int array
+  ?par:par ->
+  ?session:session ->
+  Tx_db.t ->
+  Io_stats.t ->
+  Counters.t ->
+  Itemset.t array ->
+  int array
 
-(** [count_shared db io families] counts each family in the same scan;
+(** [count_shared db io families] counts each family in the same pass;
     each family carries its own ccc counters.  When every family is empty
-    the scan is skipped entirely and no I/O is charged. *)
+    the pass is skipped entirely and no I/O is charged.  Without a
+    [session] this is exactly the trie path. *)
 val count_shared :
   ?par:par ->
+  ?session:session ->
   Tx_db.t ->
   Io_stats.t ->
   (Counters.t * Itemset.t array) list ->

@@ -5,6 +5,7 @@ type outcome = {
   frequent : Frequent.t;
   c2_plain : int;
   c2_filtered : int;
+  stats : Level_stats.t;
 }
 
 let bucket_of ~n_buckets i j = ((i * 92821) + j) mod n_buckets
@@ -29,6 +30,15 @@ let mine db io ~minsup ~universe_size ~n_buckets =
     if item_counts.(i) >= minsup then l1 := i :: !l1
   done;
   let l1 = Array.of_list !l1 in
+  let stats = Level_stats.create () in
+  Level_stats.record stats
+    {
+      Level_stats.level = 1;
+      candidates = universe_size;
+      counted = universe_size;
+      frequent = Array.length l1;
+      kernel = "dhp-fused";
+    };
   let levels = ref [] in
   let push entries =
     let entries = Array.of_list entries in
@@ -68,6 +78,16 @@ let mine db io ~minsup ~universe_size ~n_buckets =
     !out
   in
   let lk = ref (entries c2 counts) in
+  (* the row records the bucket filter's effect: [candidates] is what plain
+     Apriori would count, [counted] what actually reached the pass *)
+  Level_stats.record stats
+    {
+      Level_stats.level = 2;
+      candidates = !c2_plain;
+      counted = c2_filtered;
+      frequent = List.length !lk;
+      kernel = "dhp-bucket";
+    };
   push !lk;
   (* levels >= 3: plain Apriori *)
   let continue = ref true in
@@ -80,7 +100,20 @@ let mine db io ~minsup ~universe_size ~n_buckets =
     else begin
       let counts = count cands in
       lk := entries cands counts;
+      Level_stats.record stats
+        {
+          Level_stats.level = Itemset.cardinal cands.(0);
+          candidates = Array.length cands;
+          counted = Array.length cands;
+          frequent = List.length !lk;
+          kernel = "trie";
+        };
       if !lk = [] then continue := false else push !lk
     end
   done;
-  { frequent = Frequent.of_levels (List.rev !levels); c2_plain = !c2_plain; c2_filtered }
+  {
+    frequent = Frequent.of_levels (List.rev !levels);
+    c2_plain = !c2_plain;
+    c2_filtered;
+    stats;
+  }

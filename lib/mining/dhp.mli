@@ -13,6 +13,10 @@ type outcome = {
   frequent : Frequent.t;
   c2_plain : int;  (** level-2 candidates Apriori would have counted *)
   c2_filtered : int;  (** ... and how many survive the hash filter *)
+  stats : Level_stats.t;
+      (** per-level rows; the level-2 row has [candidates = c2_plain] and
+          [counted = c2_filtered], making the bucket filter's effect visible
+          to reports and the kernel cost model *)
 }
 
 (** [mine db io ~minsup ~universe_size ~n_buckets] — exact result, one scan

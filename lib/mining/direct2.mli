@@ -1,0 +1,45 @@
+(** Direct level-2 counting — the array-based C2 kernel of classical
+    Apriori implementations.
+
+    A family whose candidates are all 2-sets does not need a trie: rank the
+    items that occur in any candidate, and count {e every} pair of ranked
+    items of each transaction blindly into a triangular array of cells.
+    Increments into a flat [int array] are far cheaper than trie walks, and
+    the candidate supports are read off the candidates' own cells at the
+    end — cells that correspond to non-candidate pairs are simply ignored,
+    so the result is byte-identical to the trie path.
+
+    The cell array is the per-participant accumulator of a parallel pass:
+    participants count into private cell arrays, which merge by element-wise
+    addition. *)
+
+open Cfq_itembase
+
+type t
+
+(** [shape cands] is the kernel layout when every candidate is a 2-set
+    ([None] otherwise, or when [cands] is empty).  O(candidates). *)
+val shape : Itemset.t array -> t option
+
+(** Number of triangular cells — the memory cost (in words) of one
+    accumulator. *)
+val n_cells : t -> int
+
+(** Number of distinct ranked items. *)
+val n_ranks : t -> int
+
+(** A fresh all-zero accumulator. *)
+val init_cells : t -> int array
+
+(** Per-participant scratch (rank buffer); grows on demand. *)
+type scratch
+
+val scratch : unit -> scratch
+
+(** [count_tx_into t cells scratch items] increments the cells of every
+    ranked pair of [items] (a strictly increasing raw transaction array). *)
+val count_tx_into : t -> int array -> scratch -> int array -> unit
+
+(** [extract t cells] reads the candidate supports off the cells, in
+    candidate order. *)
+val extract : t -> int array -> int array

@@ -9,7 +9,7 @@ let items_of_level entries =
          | None -> invalid_arg "Dovetail: empty set at level 1")
        entries)
 
-let run ?par io ~s ~t ?(after_l1 = fun ~l1_s:_ ~l1_t:_ -> ())
+let run ?par ?session io ~s ~t ?(after_l1 = fun ~l1_s:_ ~l1_t:_ -> ())
     ?(on_s_level = fun _ _ -> ()) ?(on_t_level = fun _ _ -> ()) () =
   if Cap.db s != Cap.db t then
     invalid_arg "Dovetail.run: the two lattices must share one database";
@@ -49,19 +49,30 @@ let run ?par io ~s ~t ?(after_l1 = fun ~l1_s:_ ~l1_t:_ -> ())
             ]
         in
         let counts =
-          Counting.count_shared ?par db io
+          Counting.count_shared ?par ?session db io
             (List.map (fun (_, counters, c) -> (counters, c)) families)
         in
+        (* per-family kernel labels: a shared pass may count one side with
+           direct2 and the other with the trie *)
+        let kernels =
+          match session with
+          | Some sess ->
+              let ks = Counting.last_kernels sess in
+              if List.length ks = List.length families then ks
+              else List.map (fun _ -> "trie") families
+          | None -> List.map (fun _ -> "trie") families
+        in
         List.iter2
-          (fun (side, _, _) counts ->
+          (fun (side, _, _) (kernel, counts) ->
             match side with
             | `S ->
-                let entries = Cap.absorb s counts in
+                let entries = Cap.absorb ~kernel s counts in
                 on_s_level (Cap.level s) entries
             | `T ->
-                let entries = Cap.absorb t counts in
+                let entries = Cap.absorb ~kernel t counts in
                 on_t_level (Cap.level t) entries)
-          families counts;
+          families
+          (List.combine kernels counts);
         maybe_fire_l1 ();
         step ()
   in

@@ -19,9 +19,13 @@ open Cfq_txdb
 
 (** [run io ~s ~t ()] drives both lattices to exhaustion and returns both
     frequent collections.  [par] parallelises every shared counting pass
-    (see {!Counting.par}); answers and counters are unchanged. *)
+    (see {!Counting.par}); [session] attaches an adaptive kernel session
+    shared by both sides — the projection and bitmaps are built once and
+    serve the dovetailed S/T families together.  Answers and counters are
+    unchanged in either case. *)
 val run :
   ?par:Counting.par ->
+  ?session:Counting.session ->
   Io_stats.t ->
   s:Cap.t ->
   t:Cap.t ->

@@ -3,6 +3,7 @@ type row = {
   candidates : int;
   counted : int;
   frequent : int;
+  kernel : string;
 }
 
 type t = { mutable rows : row list (* reverse order *) }
@@ -19,6 +20,6 @@ let frequent_at t k =
 let pp ppf t =
   List.iter
     (fun r ->
-      Format.fprintf ppf "L%d: cand=%d counted=%d freq=%d@." r.level r.candidates
-        r.counted r.frequent)
+      Format.fprintf ppf "L%d: cand=%d counted=%d freq=%d kernel=%s@." r.level
+        r.candidates r.counted r.frequent r.kernel)
     (rows t)

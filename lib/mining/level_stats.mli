@@ -5,8 +5,13 @@
 type row = {
   level : int;
   candidates : int;  (** sets generated for this level *)
-  counted : int;  (** sets actually counted for support *)
+  counted : int;
+      (** sets actually counted for support (fewer than [candidates] when a
+          prefilter, e.g. the DHP hash buckets, discarded some first) *)
   frequent : int;  (** sets found frequent *)
+  kernel : string;
+      (** counting kernel that produced the supports of this level
+          ("trie", "direct2", "vertical", "dhp-hash", ...) *)
 }
 
 type t

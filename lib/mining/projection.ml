@@ -1,0 +1,49 @@
+open Cfq_txdb
+
+type t = {
+  txs : int array array;
+  live : bool array;  (* sized universe_size; items beyond are dead *)
+  min_len : int;
+  pages : int;
+  words : int;
+}
+
+let make ~page_model ~universe_size ~live ~min_len txs =
+  let live_mask = Array.make universe_size false in
+  Array.iter (fun i -> if i < universe_size then live_mask.(i) <- true) live;
+  let sizes = Array.map Array.length txs in
+  let pages = Page_model.pages_for page_model sizes in
+  let words = Array.fold_left (fun acc s -> acc + s + 1) 0 sizes in
+  { txs; live = live_mask; min_len; pages; words }
+
+let tuples t = Array.length t.txs
+let pages t = t.pages
+let min_len t = t.min_len
+let words t = t.words
+
+let covers t ~items ~min_card =
+  min_card >= t.min_len
+  && Array.for_all (fun i -> i < Array.length t.live && t.live.(i)) items
+
+let charge_scan t io = Io_stats.record_scan io ~pages:t.pages ~tuples:(tuples t)
+
+let iter_range t ~lo ~hi f =
+  for i = lo to hi do
+    f t.txs.(i)
+  done
+
+let chunks t ~max_chunks =
+  let n = tuples t in
+  if n = 0 then []
+  else begin
+    let k = max 1 (min max_chunks n) in
+    let out = ref [] in
+    let per = n / k and rem = n mod k in
+    let lo = ref 0 in
+    for c = 0 to k - 1 do
+      let len = per + if c < rem then 1 else 0 in
+      if len > 0 then out := (!lo, !lo + len - 1) :: !out;
+      lo := !lo + len
+    done;
+    List.rev !out
+  end

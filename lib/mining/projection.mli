@@ -1,0 +1,58 @@
+(** Shrinking in-memory transaction projections (AprioriTid, Agrawal &
+    Srikant VLDB'94, in spirit).
+
+    After a counting pass over candidates of cardinality [k], only the
+    items occurring in some candidate can occur in any {e future} candidate
+    (levelwise generation is monotone), and only transactions holding at
+    least [k+1] of them can support a level-[k+1] candidate.  A projection
+    is the database restricted accordingly: later passes scan it instead of
+    the store, and are charged its (smaller) page footprint — the explicit
+    I/O saving documented in doc/COUNTING.md.
+
+    Projections chain: each round's projection is built {e during} the
+    counting scan of the previous substrate, so shrinking costs no extra
+    pass.  Supports over a projection with [min_len = m] are exact for
+    every candidate of cardinality >= [m] whose items are all [live]. *)
+
+open Cfq_txdb
+
+type t
+
+(** [make ~page_model ~universe_size ~live ~min_len txs] — [txs] are the
+    projected transactions (strictly increasing item arrays, original scan
+    order); [live] the items kept.  The page charge of one scan is computed
+    from [page_model] over the projected sizes. *)
+val make :
+  page_model:Page_model.t ->
+  universe_size:int ->
+  live:int array ->
+  min_len:int ->
+  int array array ->
+  t
+
+val tuples : t -> int
+
+(** Pages one scan of the projection is charged. *)
+val pages : t -> int
+
+val min_len : t -> int
+
+(** Total item slots stored — the memory estimate (in words). *)
+val words : t -> int
+
+(** [covers t ~items ~min_card] — supports over [t] are exact for
+    candidates over [items] of cardinality >= [min_card]. *)
+val covers : t -> items:int array -> min_card:int -> bool
+
+(** [charge_scan t io] records one scan of the projection (its reduced page
+    footprint) to [io]. *)
+val charge_scan : t -> Io_stats.t -> unit
+
+(** [iter_range t ~lo ~hi f] delivers the projected transactions with
+    positions [lo..hi] (inclusive), raw — no charge.  Safe concurrently on
+    disjoint ranges. *)
+val iter_range : t -> lo:int -> hi:int -> (int array -> unit) -> unit
+
+(** [chunks t ~max_chunks] partitions [0 .. tuples-1] into at most
+    [max_chunks] contiguous inclusive ranges. *)
+val chunks : t -> max_chunks:int -> (int * int) list

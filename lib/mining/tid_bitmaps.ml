@@ -1,0 +1,60 @@
+open Cfq_itembase
+
+type t = {
+  vecs : Bitvec.t option array;  (* indexed by item; None = not live *)
+  n_rows : int;
+  valid_min_card : int;
+}
+
+let words_per_row n_rows = (n_rows + Bitvec.bits_per_word - 1) / Bitvec.bits_per_word
+
+let words_needed ~n_items ~n_rows = n_items * words_per_row n_rows
+
+let create ~n_rows ~valid_min_card items =
+  let max_item = Array.fold_left max (-1) items in
+  let vecs = Array.make (max_item + 1) None in
+  Array.iter (fun i -> vecs.(i) <- Some (Bitvec.create ~universe_size:n_rows)) items;
+  { vecs; n_rows; valid_min_card }
+
+let set_row t ~row items =
+  let n_vecs = Array.length t.vecs in
+  Array.iter
+    (fun item ->
+      if item < n_vecs then
+        match Array.unsafe_get t.vecs item with
+        | Some v -> Bitvec.add v row
+        | None -> ())
+    items
+
+let n_rows t = t.n_rows
+let valid_min_card t = t.valid_min_card
+
+let vec t item =
+  if item < Array.length t.vecs then t.vecs.(item) else None
+
+let covers t items = Array.for_all (fun i -> vec t i <> None) items
+
+type scratch = Bitvec.t
+
+let scratch t = Bitvec.create ~universe_size:t.n_rows
+
+let get_vec t item =
+  match vec t item with
+  | Some v -> v
+  | None -> invalid_arg "Tid_bitmaps.support_into: item has no bitmap"
+
+let support_into t scratch s =
+  match Itemset.cardinal s with
+  | 0 -> t.n_rows
+  | 1 -> Bitvec.cardinal (get_vec t (Itemset.get s 0))
+  | 2 -> Bitvec.inter_cardinal (get_vec t (Itemset.get s 0)) (get_vec t (Itemset.get s 1))
+  | k ->
+      Bitvec.blit ~src:(get_vec t (Itemset.get s 0)) ~dst:scratch;
+      for i = 1 to k - 1 do
+        Bitvec.inter_inplace scratch (get_vec t (Itemset.get s i))
+      done;
+      Bitvec.cardinal scratch
+
+let supports t cands =
+  let scr = scratch t in
+  Array.map (support_into t scr) cands

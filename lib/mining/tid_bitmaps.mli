@@ -1,0 +1,56 @@
+(** Word-packed vertical bitmaps — the switchover substrate of the adaptive
+    counting layer.
+
+    One charged scan materialises, for every live item, a bit vector over
+    the scanned rows ({!Vertical}'s tid-list layout, word-packed); the
+    support of any candidate over those items is then a popcount
+    intersection, with {e zero} further database I/O.  The build scan is
+    charged to [Io_stats] exactly like the trie scan it replaces; levels
+    answered from the bitmaps charge nothing, which is the whole point —
+    see doc/COUNTING.md for the I/O-accounting contract.
+
+    Bitmaps may be built from a {!Projection} instead of the database: rows
+    dropped by a projection with [min_len = m] cannot contain any candidate
+    of cardinality >= m, so supports stay exact for every candidate of
+    cardinality >= [valid_min_card]. *)
+
+open Cfq_itembase
+
+type t
+
+(** [words_needed ~n_items ~n_rows] is the memory footprint (in words) of
+    bitmaps for [n_items] live items over [n_rows] rows — the planner's
+    budget check. *)
+val words_needed : n_items:int -> n_rows:int -> int
+
+(** [create ~n_rows ~valid_min_card items] allocates empty bitmaps for the
+    given live items.  Fill with {!set_row} and freeze implicitly; rows are
+    whatever the build scan iterates (tids, or projection positions). *)
+val create : n_rows:int -> valid_min_card:int -> int array -> t
+
+(** [set_row t ~row items] sets bit [row] of every live item of [items] (a
+    raw transaction array; unranked items are ignored).  Safe to call
+    concurrently for rows in word-aligned disjoint ranges (see
+    {!Cfq_itembase.Bitvec.bits_per_word}). *)
+val set_row : t -> row:int -> int array -> unit
+
+val n_rows : t -> int
+
+(** Smallest candidate cardinality the bitmaps answer exactly (1 when built
+    from the full database). *)
+val valid_min_card : t -> int
+
+(** [covers t items] — every item has a bitmap. *)
+val covers : t -> int array -> bool
+
+(** Per-call scratch for multi-way intersections. *)
+type scratch
+
+val scratch : t -> scratch
+
+(** [support_into t scratch s] is the exact support of [s] (cardinality
+    >= [valid_min_card]; raises [Invalid_argument] on an uncovered item). *)
+val support_into : t -> scratch -> Itemset.t -> int
+
+(** [supports t cands] batches {!support_into} with one shared scratch. *)
+val supports : t -> Itemset.t array -> int array

@@ -54,7 +54,45 @@ let support t s =
   | None -> t.n_transactions
   | Some tids -> Array.length tids
 
-let supports t cands = Array.map (support t) cands
+type scratch = int array
+
+let scratch t = Array.make (max 1 t.n_transactions) 0
+
+(* Intersect the first [alen] entries of [a] with [b] into [out]; [out] may
+   alias [a] (the write index never overtakes the read index). *)
+let intersect_into a alen b out =
+  let nb = Array.length b in
+  let rec loop ia ib w =
+    if ia >= alen || ib >= nb then w
+    else
+      let x = a.(ia) and y = b.(ib) in
+      if x < y then loop (ia + 1) ib w
+      else if y < x then loop ia (ib + 1) w
+      else begin
+        out.(w) <- x;
+        loop (ia + 1) (ib + 1) (w + 1)
+      end
+  in
+  loop 0 0 0
+
+let support_into t buf s =
+  let lists =
+    Itemset.fold
+      (fun acc i ->
+        (if i >= 0 && i < Array.length t.tid_lists then t.tid_lists.(i) else [||]) :: acc)
+      [] s
+  in
+  match List.sort (fun a b -> compare (Array.length a) (Array.length b)) lists with
+  | [] -> t.n_transactions
+  | [ only ] -> Array.length only
+  | shortest :: rest ->
+      let len = Array.length shortest in
+      Array.blit shortest 0 buf 0 len;
+      List.fold_left (fun alen l -> intersect_into buf alen l buf) len rest
+
+let supports t cands =
+  let buf = scratch t in
+  Array.map (support_into t buf) cands
 
 let mine t ~minsup =
   let n = Array.length t.tid_lists in

@@ -27,7 +27,18 @@ val tids : t -> Item.t -> int array
     [n_transactions]. *)
 val support : t -> Itemset.t -> int
 
-(** [supports t cands] batches {!support}. *)
+(** Caller-owned intersection buffer (sized to the database), so batched
+    probes allocate nothing per candidate. *)
+type scratch
+
+val scratch : t -> scratch
+
+(** [support_into t scratch s] is {!support} computed in-place in [scratch]
+    — the multi-way intersection ping-pongs inside the one buffer. *)
+val support_into : t -> scratch -> Itemset.t -> int
+
+(** [supports t cands] batches {!support_into} with a single scratch buffer
+    shared across the whole batch. *)
 val supports : t -> Itemset.t array -> int array
 
 (** [mine t ~minsup] runs a depth-first Eclat over the tid lists and

@@ -22,6 +22,11 @@ type snapshot = {
   fault_transient : int;
   fault_corrupt : int;
   fault_crash : int;
+  kernel_trie_passes : int;
+  kernel_direct2_passes : int;
+  kernel_vertical_passes : int;
+  kernel_projected_scans : int;
+  kernel_bitmap_builds : int;
   answer_entries : int;
   answer_bytes : int;
   side_entries : int;
@@ -53,6 +58,11 @@ type t = {
   mutable fault_transient : int;
   mutable fault_corrupt : int;
   mutable fault_crash : int;
+  mutable kernel_trie_passes : int;
+  mutable kernel_direct2_passes : int;
+  mutable kernel_vertical_passes : int;
+  mutable kernel_projected_scans : int;
+  mutable kernel_bitmap_builds : int;
 }
 
 let create () =
@@ -80,6 +90,11 @@ let create () =
     fault_transient = 0;
     fault_corrupt = 0;
     fault_crash = 0;
+    kernel_trie_passes = 0;
+    kernel_direct2_passes = 0;
+    kernel_vertical_passes = 0;
+    kernel_projected_scans = 0;
+    kernel_bitmap_builds = 0;
   }
 
 let reset t =
@@ -105,7 +120,12 @@ let reset t =
   t.inline_runs <- 0;
   t.fault_transient <- 0;
   t.fault_corrupt <- 0;
-  t.fault_crash <- 0
+  t.fault_crash <- 0;
+  t.kernel_trie_passes <- 0;
+  t.kernel_direct2_passes <- 0;
+  t.kernel_vertical_passes <- 0;
+  t.kernel_projected_scans <- 0;
+  t.kernel_bitmap_builds <- 0
 
 let record_query t ~latency ~support_counted ~constraint_checks ~scans ~pages_read =
   t.queries <- t.queries + 1;
@@ -137,6 +157,13 @@ let record_fault t (e : Cfq_txdb.Cfq_error.t) =
   | Query_crash _ -> t.fault_crash <- t.fault_crash + 1
   | Deadline | Overload -> ()
 
+let record_kernel_passes t ~trie ~direct2 ~vertical ~projected_scans ~bitmap_builds =
+  t.kernel_trie_passes <- t.kernel_trie_passes + trie;
+  t.kernel_direct2_passes <- t.kernel_direct2_passes + direct2;
+  t.kernel_vertical_passes <- t.kernel_vertical_passes + vertical;
+  t.kernel_projected_scans <- t.kernel_projected_scans + projected_scans;
+  t.kernel_bitmap_builds <- t.kernel_bitmap_builds + bitmap_builds
+
 let observe_queue_depth t d =
   if d > t.queue_high_water then t.queue_high_water <- d
 
@@ -166,6 +193,11 @@ let snapshot t ~answer_entries ~answer_bytes ~side_entries ~side_bytes ~eviction
     fault_transient = t.fault_transient;
     fault_corrupt = t.fault_corrupt;
     fault_crash = t.fault_crash;
+    kernel_trie_passes = t.kernel_trie_passes;
+    kernel_direct2_passes = t.kernel_direct2_passes;
+    kernel_vertical_passes = t.kernel_vertical_passes;
+    kernel_projected_scans = t.kernel_projected_scans;
+    kernel_bitmap_builds = t.kernel_bitmap_builds;
     answer_entries;
     answer_bytes;
     side_entries;
@@ -203,6 +235,11 @@ let table (s : snapshot) =
   int "faults: transient io" s.fault_transient;
   int "faults: corrupt page" s.fault_corrupt;
   int "faults: query crash" s.fault_crash;
+  int "kernel passes: trie" s.kernel_trie_passes;
+  int "kernel passes: direct2" s.kernel_direct2_passes;
+  int "kernel passes: vertical" s.kernel_vertical_passes;
+  int "kernel projected scans" s.kernel_projected_scans;
+  int "kernel bitmap builds" s.kernel_bitmap_builds;
   int "answer cache entries" s.answer_entries;
   row "answer cache bytes" (Printf.sprintf "%d" s.answer_bytes);
   int "side cache entries" s.side_entries;

@@ -31,6 +31,11 @@ type snapshot = {
   fault_transient : int;  (** [Transient_io] faults that reached the service *)
   fault_corrupt : int;  (** [Corrupt_page] faults that reached the service *)
   fault_crash : int;  (** [Query_crash] faults that reached the service *)
+  kernel_trie_passes : int;  (** counting passes per kernel, over cold mines *)
+  kernel_direct2_passes : int;
+  kernel_vertical_passes : int;
+  kernel_projected_scans : int;  (** passes answered from a projection *)
+  kernel_bitmap_builds : int;
   answer_entries : int;
   answer_bytes : int;
   side_entries : int;
@@ -67,6 +72,17 @@ val record_inline_run : t -> unit
     transients).  [Deadline]/[Overload] are counted by their own
     dedicated counters, not here. *)
 val record_fault : t -> Cfq_txdb.Cfq_error.t -> unit
+
+(** Accumulate one cold mine's adaptive-kernel pass counts (see
+    {!Cfq_mining.Counting.pass_counts}). *)
+val record_kernel_passes :
+  t ->
+  trie:int ->
+  direct2:int ->
+  vertical:int ->
+  projected_scans:int ->
+  bitmap_builds:int ->
+  unit
 
 val observe_queue_depth : t -> int -> unit
 

@@ -20,6 +20,7 @@ type config = {
   breaker_cooldown : int;
   degrade : bool;
   jitter_seed : int64;
+  kernel : Counting.kernel;
 }
 
 let default_config =
@@ -35,6 +36,7 @@ let default_config =
     breaker_cooldown = 8;
     degrade = true;
     jitter_seed = 0x0DDB1A5EL;
+    kernel = Counting.Trie;
   }
 
 type served_from =
@@ -254,31 +256,55 @@ let filter_valid spec freq checks =
 
 (* drive the CAP state machine one level at a time so the deadline is
    honoured between scans *)
-let mine_side ~deadline ~par (ctx : Exec.ctx) spec io =
+let mine_side ~deadline ~par ~kernel (ctx : Exec.ctx) spec io =
   let bundle = Bundle.compile ~nonneg:ctx.Exec.nonneg spec.sp_info spec.sp_constraints in
   let state =
     Cap.create ctx.Exec.db spec.sp_info ?max_level:spec.sp_max_level
       ~minsup:spec.sp_minsup bundle
+  in
+  (* one adaptive session per cold mine: its projection and bitmaps live
+     exactly as long as this side's levelwise run *)
+  let session =
+    if kernel = Counting.Trie then None
+    else Some (Counting.create_session ~plan:(Counting.plan_of_kernel kernel) ())
   in
   let rec loop () =
     check_deadline deadline;
     match Cap.next_candidates state with
     | None -> ()
     | Some cands ->
-        let counts = Counting.count_level ~par ctx.Exec.db io (Cap.counters state) cands in
-        let (_ : Frequent.entry array) = Cap.absorb state counts in
+        let counts =
+          Counting.count_level ~par ?session ctx.Exec.db io (Cap.counters state) cands
+        in
+        let pass_kernel =
+          match session with Some s -> Counting.last_kernel s | None -> "trie"
+        in
+        let (_ : Frequent.entry array) = Cap.absorb ~kernel:pass_kernel state counts in
         loop ()
   in
   loop ();
-  (Cap.result state, Cap.counters state)
+  (Cap.result state, Cap.counters state, session)
 
 let resolve_side t ~deadline spec io counters checks =
   check_deadline deadline;
   match find_subsuming t spec with
   | Some entry -> (filter_valid spec entry.se_frequent checks, true)
   | None ->
-      let freq, side_counters = mine_side ~deadline ~par:t.mine_par t.service_ctx spec io in
+      let freq, side_counters, session =
+        mine_side ~deadline ~par:t.mine_par ~kernel:t.service_config.kernel
+          t.service_ctx spec io
+      in
       Counters.merge counters side_counters;
+      (match session with
+      | Some s ->
+          let pc = Counting.pass_counts s in
+          locked t (fun () ->
+              Metrics.record_kernel_passes t.service_metrics
+                ~trie:pc.Counting.trie_passes ~direct2:pc.Counting.direct2_passes
+                ~vertical:pc.Counting.vertical_passes
+                ~projected_scans:pc.Counting.projected_scans
+                ~bitmap_builds:pc.Counting.bitmap_builds)
+      | None -> ());
       let entry =
         {
           se_info_id = Fingerprint.info_id spec.sp_info;

@@ -77,6 +77,11 @@ type config = {
   breaker_cooldown : int;  (** admissions shed while open before a probe *)
   degrade : bool;  (** serve failed queries from entailed cached answers *)
   jitter_seed : int64;  (** seed of the deterministic backoff jitter *)
+  kernel : Cfq_mining.Counting.kernel;
+      (** support-counting kernel for cold side mining (default [Trie], the
+          paper-faithful scan-per-level path; see
+          {!Cfq_mining.Counting.kernel}).  Answers are identical for every
+          kernel; the per-kernel pass counts appear in {!Metrics}. *)
 }
 
 (** 2 domains (mining inherits them), queue 1024, 64 MiB budget, no

@@ -8,6 +8,7 @@ type t = {
   mutable strategy : Plan.strategy;
   mutable min_conf : float;
   mutable mine_domains : int;
+  mutable kernel : Cfq_mining.Counting.kernel;
   mutable last : Exec.result option;
   mutable last_rules : Cfq_rules.Rule.t list;
   mutable service : Cfq_service.Service.t option;
@@ -25,6 +26,7 @@ let create ?ctx () =
     strategy = Plan.Optimized;
     min_conf = 0.5;
     mine_domains = 1;
+    kernel = Cfq_mining.Counting.Trie;
     last = None;
     last_rules = [];
     service = None;
@@ -32,6 +34,10 @@ let create ?ctx () =
   }
 
 let par_of t = { Cfq_mining.Counting.domains = max 1 t.mine_domains; pool = None }
+
+(* the trie default stays the plain legacy path (no session, no note) *)
+let kernel_of t =
+  if t.kernel = Cfq_mining.Counting.Trie then None else Some t.kernel
 
 (* the serving layer is bound to one database: (re)create it lazily and
    retire it when the session attaches a different context *)
@@ -56,7 +62,11 @@ let service_for t ctx =
   | Some s when Cfq_service.Service.ctx s == ctx -> s
   | _ ->
       drop_service t;
-      let s = Cfq_service.Service.create ctx in
+      let s =
+        Cfq_service.Service.create
+          ~config:{ Cfq_service.Service.default_config with kernel = t.kernel }
+          ctx
+      in
       t.service <- Some s;
       s
 
@@ -74,6 +84,7 @@ let help_text =
       "  set strategy <name>            apriori+ | cap | optimized | sequential | fm";
       "  set minconf <float>            rule confidence threshold";
       "  set domains <n>                counting domains per scan (1 = sequential)";
+      "  set kernel <name>              counting kernel: auto | trie | direct2 | vertical";
       "  set fault <p> [<cp> [<seed>]]  inject faults: transient-p, corrupt-p, seed";
       "  set fault off                  remove fault injection";
       "  explain <query>                show the optimizer's plan, run nothing";
@@ -250,7 +261,8 @@ let do_ingest t store_path fimi_path =
 
 let do_run t ctx q =
   match
-    Exec.run_result ~strategy:t.strategy ~collect_pairs:true ~par:(par_of t) ctx q
+    Exec.run_result ~strategy:t.strategy ~collect_pairs:true ~par:(par_of t)
+      ?kernel:(kernel_of t) ctx q
   with
   | Ok r ->
       t.last <- Some r;
@@ -407,10 +419,24 @@ let eval t line =
               if d = 1 then say "counting set to sequential"
               else say "counting fans out over %d domains per scan" d
           | Some _ | None -> say "domains must be an integer >= 1")
+      | [ "kernel"; name ] -> (
+          match Cfq_mining.Counting.kernel_of_string name with
+          | Some k ->
+              if k <> t.kernel then begin
+                t.kernel <- k;
+                (* the service bakes the kernel into its config: retire it so
+                   the next 'serve' picks the new one up *)
+                drop_service t
+              end;
+              say "counting kernel set to %s" (Cfq_mining.Counting.kernel_name k)
+          | None ->
+              say "unknown kernel %S; one of: %s" name
+                (String.concat ", "
+                   (List.map fst Cfq_mining.Counting.all_kernels)))
       | _ ->
           say
             "usage: set strategy <name> | set minconf <float> | set domains <n> | \
-             set fault ...")
+             set kernel <name> | set fault ...")
   | "explain" ->
       with_ctx t (fun ctx ->
           parse_query t ctx rest (fun (t, q) ->
