@@ -1,0 +1,193 @@
+(* Shard bench: count-distribution mining over partitioned stores.
+
+   Builds the harness database into sharded on-disk stores at a sweep of
+   shard counts, runs the same 2-var query against every configuration,
+   and asserts that answers, ccc counters and logical page charges are
+   identical to the single in-memory backend — the count-distribution
+   merge is exact, not approximate.  Per-shard counters must reconcile:
+   shard transaction/page totals sum to the global figures, and the
+   per-shard I/O sinks sum to the query's logical reads.  Writes the rows
+   to BENCH_shard.json like the other benches. *)
+
+open Cfq_itembase
+open Cfq_quest
+open Cfq_core
+module Tx_db = Cfq_txdb.Tx_db
+module Io_stats = Cfq_txdb.Io_stats
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let sorted_pairs l =
+  List.sort
+    (fun (a1, b1) (a2, b2) ->
+      match Itemset.compare a1 a2 with 0 -> Itemset.compare b1 b2 | c -> c)
+    (List.map
+       (fun (s, t) -> (s.Cfq_mining.Frequent.set, t.Cfq_mining.Frequent.set))
+       l)
+
+type row = {
+  r_shards : int;
+  r_build_s : float;
+  r_query_s : float;
+  r_shard_pages : int list;
+  r_pages_read : int;
+  r_pool_misses : int;
+}
+
+let run (scale : Workloads.scale) =
+  let mem = Workloads.quest_db scale in
+  let n_tx = Tx_db.size mem in
+  let pages = Tx_db.pages mem in
+  let sets =
+    Array.init n_tx (fun i -> (Tx_db.get mem i).Cfq_txdb.Transaction.items)
+  in
+  let rng = Splitmix.create ~seed:(Int64.add scale.Workloads.seed 11L) in
+  let n = scale.Workloads.n_items in
+  let prices = Item_gen.uniform_prices rng ~n ~lo:0. ~hi:1000. in
+  let types = Array.init n (fun _ -> float_of_int (Splitmix.int rng 20)) in
+  let info = Item_gen.item_info ~prices ~types () in
+  let query_text =
+    "{(S,T) | freq(S) >= 0.005 & freq(T) >= 0.005 & S.Price >= 300 & T.Price <= 700 \
+     & S.Type = T.Type}"
+  in
+  let q = Parser.parse query_text in
+  let run_on db = Exec.run ~collect_pairs:true (Exec.context db info) q in
+  Printf.printf "shard bench: %d transactions, %d pages\n%!" n_tx pages;
+  let mem_r, mem_q_s = time (fun () -> run_on mem) in
+  let baseline = sorted_pairs mem_r.Exec.pairs in
+
+  let bench_one shards =
+    let path = Filename.temp_file "cfq_bench_shard" ".cfqdb" in
+    Sys.remove path;
+    let (), build_s =
+      time (fun () -> Cfq_shard.Sharded.build ~shards path sets)
+    in
+    let sh =
+      Cfq_shard.Sharded.open_ ~cache_pages:(max 1 (pages / max 1 shards)) path
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Cfq_shard.Sharded.close sh;
+        Cfq_shard.Sharded.remove_files path)
+      (fun () ->
+        let db = Cfq_shard.Sharded.db sh in
+        let r, q_s = time (fun () -> run_on db) in
+        if sorted_pairs r.Exec.pairs <> baseline then begin
+          Printf.printf "FAIL: shards=%d returned different answers\n" shards;
+          exit 1
+        end;
+        if
+          Exec.total_counted r <> Exec.total_counted mem_r
+          || Exec.total_checks r <> Exec.total_checks mem_r
+        then begin
+          Printf.printf "FAIL: shards=%d diverged on ccc counters\n" shards;
+          exit 1
+        end;
+        if
+          Io_stats.pages_read r.Exec.io <> Io_stats.pages_read mem_r.Exec.io
+        then begin
+          Printf.printf
+            "FAIL: shards=%d charged %d pages, memory charged %d\n" shards
+            (Io_stats.pages_read r.Exec.io)
+            (Io_stats.pages_read mem_r.Exec.io);
+          exit 1
+        end;
+        (* per-shard counters must reconcile with the global figures *)
+        let stores = Cfq_shard.Sharded.stores sh in
+        let shard_pages =
+          Array.to_list (Array.map Cfq_store.Store.pages stores)
+        in
+        let sum f = Array.fold_left (fun a st -> a + f st) 0 stores in
+        if sum Cfq_store.Store.size <> n_tx || sum Cfq_store.Store.pages <> pages
+        then begin
+          Printf.printf "FAIL: shards=%d totals do not sum to the global db\n"
+            shards;
+          exit 1
+        end;
+        let shard_reads =
+          Array.fold_left
+            (fun a io -> a + Io_stats.pages_read io)
+            0 (Tx_db.shard_io db)
+        in
+        (* a single shard is counted directly on the composite — the
+           distributed path (and its per-shard sinks) only engages past 1 *)
+        if shards > 1 && shard_reads <> Io_stats.pages_read r.Exec.io then begin
+          Printf.printf
+            "FAIL: shards=%d per-shard sinks read %d pages, query charged %d\n"
+            shards shard_reads
+            (Io_stats.pages_read r.Exec.io);
+          exit 1
+        end;
+        let pool_misses =
+          Array.fold_left
+            (fun a st -> a + Io_stats.pool_misses (Cfq_store.Store.io st))
+            0 stores
+        in
+        {
+          r_shards = shards;
+          r_build_s = build_s;
+          r_query_s = q_s;
+          r_shard_pages = shard_pages;
+          r_pages_read = Io_stats.pages_read r.Exec.io;
+          r_pool_misses = pool_misses;
+        })
+  in
+  let rows = List.map bench_one [ 1; 2; 4; 8 ] in
+
+  let tbl =
+    Cfq_report.Table.create
+      [ "shards"; "build(s)"; "query(s)"; "pages/shard"; "pages read"; "misses" ]
+  in
+  List.iter
+    (fun r ->
+      Cfq_report.Table.add_row tbl
+        [
+          string_of_int r.r_shards;
+          Cfq_report.Table.fcell r.r_build_s;
+          Cfq_report.Table.fcell r.r_query_s;
+          String.concat "+" (List.map string_of_int r.r_shard_pages);
+          string_of_int r.r_pages_read;
+          string_of_int r.r_pool_misses;
+        ])
+    rows;
+  print_newline ();
+  Cfq_report.Table.print tbl;
+  Printf.printf
+    "\nall shard counts returned identical answers, ccc counters and page \
+     charges (memory query: %.3fs)\n"
+    mem_q_s;
+
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        "  \"bench\": \"shard\",";
+        Printf.sprintf "  \"transactions\": %d," n_tx;
+        Printf.sprintf "  \"pages\": %d," pages;
+        Printf.sprintf "  \"query\": %S," query_text;
+        Printf.sprintf "  \"memory_query_seconds\": %.6f," mem_q_s;
+        Printf.sprintf "  \"answers\": %d," (List.length baseline);
+        "  \"sweep\": [";
+        String.concat ",\n"
+          (List.map
+             (fun r ->
+               Printf.sprintf
+                 "      {\"shards\": %d, \"build_seconds\": %.6f, \
+                  \"query_seconds\": %.6f, \"shard_pages\": [%s], \
+                  \"pages_read\": %d, \"pool_misses\": %d}"
+                 r.r_shards r.r_build_s r.r_query_s
+                 (String.concat ", " (List.map string_of_int r.r_shard_pages))
+                 r.r_pages_read r.r_pool_misses)
+             rows);
+        "  ]";
+        "}";
+      ]
+  in
+  let oc = open_out "BENCH_shard.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_shard.json"

@@ -381,7 +381,27 @@ let cache_pages_arg =
     value & opt int 1024
     & info [ "cache-pages" ] ~docv:"N"
         ~doc:"Buffer-pool capacity in pages; below the database size the pool \
-              evicts under pressure.")
+              evicts under pressure.  For a sharded store this bounds $(i,each) \
+              shard's pool.")
+
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:"Partition the store into N shards under one manifest; mining \
+              distributes each counting pass over the shards and merges the \
+              partial supports (answers are identical to a single store).  On \
+              $(b,serve), N > 1 against a plain segment splits it into a \
+              sharded twin at $(i,PATH).sharded first.")
+
+let fault_shard_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-shard" ] ~docv:"K"
+        ~doc:"Pin the fault injector to shard K of a sharded store: only that \
+              shard's slice of each scan is faulted, and only its breaker \
+              should trip.")
 
 let verify_arg =
   Arg.(
@@ -397,33 +417,59 @@ let store_info store_path universe_size =
     Cfq_data.Item_csv.read info_path ~universe_size
   else Cfq_itembase.Item_info.create ~universe_size
 
-let store_build_cmd verbose tx items types seed data iteminfo store_path =
+let store_build_cmd verbose tx items types seed data iteminfo store_path shards =
   setup_logs verbose;
   match load_or_generate ~tx ~items ~types ~seed ~data ~iteminfo with
   | Error e -> Error e
   | Ok (db, info) ->
-      Cfq_store.Store.save_db store_path db;
       Cfq_data.Item_csv.write (store_path ^ ".info.csv") info;
-      let store = Cfq_store.Store.open_ store_path in
-      Printf.printf "store: %s\ntransactions: %d\npages (4K): %d\nitem universe: %d\n"
-        store_path (Cfq_store.Store.size store)
-        (Cfq_store.Store.pages store)
-        (Cfq_store.Store.universe_size store);
-      Cfq_store.Store.close store;
+      if shards > 1 then begin
+        let sets =
+          Array.init (Cfq_txdb.Tx_db.size db) (fun i ->
+              (Cfq_txdb.Tx_db.get db i).Cfq_txdb.Transaction.items)
+        in
+        Cfq_shard.Sharded.build ~shards store_path sets;
+        let sh = Cfq_shard.Sharded.open_ store_path in
+        let m = Cfq_shard.Sharded.manifest sh in
+        Printf.printf
+          "store: %s (sharded)\nshards: %d (%s partition)\ntransactions: %d\n\
+           pages (4K): %d\nitem universe: %d\n"
+          store_path
+          (Cfq_shard.Sharded.shard_count sh)
+          (Cfq_shard.Manifest.partition_name m.Cfq_shard.Manifest.partition)
+          (Cfq_shard.Sharded.size sh)
+          (Cfq_shard.Sharded.pages sh)
+          (Cfq_shard.Sharded.universe_size sh);
+        Array.iteri
+          (fun k st ->
+            Printf.printf "shard %d: %s (%d transactions, %d pages)\n" k
+              (Cfq_store.Store.path st) (Cfq_store.Store.size st)
+              (Cfq_store.Store.pages st))
+          (Cfq_shard.Sharded.stores sh);
+        Cfq_shard.Sharded.close sh
+      end
+      else begin
+        Cfq_store.Store.save_db store_path db;
+        let store = Cfq_store.Store.open_ store_path in
+        Printf.printf "store: %s\ntransactions: %d\npages (4K): %d\nitem universe: %d\n"
+          store_path (Cfq_store.Store.size store)
+          (Cfq_store.Store.pages store)
+          (Cfq_store.Store.universe_size store);
+        Cfq_store.Store.close store
+      end;
       Ok ()
 
-(* replay the batch on the store and on an in-memory copy: answers, ccc
-   counters and page charges must be identical *)
-let verify_backends store info file =
+(* replay the batch on the (possibly sharded) store and on a plain
+   in-memory copy of the same transactions: answers and ccc counters
+   must be identical *)
+let verify_backends db info file =
   match Cfq_service.Batch.load file with
   | Error msg -> Error (`Msg msg)
   | Ok lines -> (
-      let disk_ctx = Exec.context (Cfq_store.Store.db store) info in
-      let seg = Cfq_store.Segment.open_ (Cfq_store.Store.path store) in
+      let disk_ctx = Exec.context db info in
       let sets =
-        Fun.protect
-          ~finally:(fun () -> Cfq_store.Segment.close seg)
-          (fun () -> Cfq_store.Segment.read_all seg)
+        Array.init (Cfq_txdb.Tx_db.size db) (fun i ->
+            (Cfq_txdb.Tx_db.get db i).Cfq_txdb.Transaction.items)
       in
       let mem_ctx = Exec.context (Cfq_txdb.Tx_db.create sets) info in
       let norm r =
@@ -461,38 +507,116 @@ let verify_backends store info file =
       in
       go lines)
 
-let store_serve_cmd verbose store_path cache_pages domains mine_domains kernel
-    cache_mb deadline repeat fault_transient fault_corrupt fault_spike fault_seed
-    retries breaker_threshold verify file =
-  setup_logs verbose;
-  match Cfq_store.Store.open_ ~cache_pages store_path with
-  | exception Cfq_store.Segment.Bad_segment msg -> Error (`Msg msg)
-  | exception Unix.Unix_error (e, _, _) ->
+(* the serve path runs against either a plain store or a sharded one;
+   the manifest magic at the path decides, --shards N splits a plain
+   segment into a sharded twin first *)
+type serve_backend =
+  | Plain of Cfq_store.Store.t
+  | Sharded of Cfq_shard.Sharded.t
+
+let open_backend store_path cache_pages shards =
+  try
+    if Cfq_shard.Manifest.is_manifest store_path then
+      Ok (store_path, Sharded (Cfq_shard.Sharded.open_ ~cache_pages store_path))
+    else if shards > 1 then begin
+      let mpath = store_path ^ ".sharded" in
+      if not (Cfq_shard.Manifest.is_manifest mpath) then
+        Cfq_shard.Sharded.build_from_segment ~shards ~src:store_path mpath;
+      Ok (mpath, Sharded (Cfq_shard.Sharded.open_ ~cache_pages mpath))
+    end
+    else Ok (store_path, Plain (Cfq_store.Store.open_ ~cache_pages store_path))
+  with
+  | Cfq_store.Segment.Bad_segment msg -> Error (`Msg msg)
+  | Cfq_shard.Manifest.Bad_manifest msg -> Error (`Msg msg)
+  | Unix.Unix_error (e, _, _) ->
       Error (`Msg (store_path ^ ": " ^ Unix.error_message e))
-  | store ->
+  | Sys_error msg -> Error (`Msg msg)
+
+let backend_db = function
+  | Plain store -> Cfq_store.Store.db store
+  | Sharded sh -> Cfq_shard.Sharded.db sh
+
+let backend_recovery_lines = function
+  | Plain store ->
+      let r = Cfq_store.Store.last_recovery store in
+      if r.Cfq_store.Store.replayed > 0 || r.Cfq_store.Store.truncated_bytes > 0
+      then
+        Printf.printf "recovery: replayed %d WAL records, dropped %d torn bytes\n"
+          r.Cfq_store.Store.replayed r.Cfq_store.Store.truncated_bytes
+  | Sharded sh ->
+      Array.iteri
+        (fun k st ->
+          let r = Cfq_store.Store.last_recovery st in
+          if r.Cfq_store.Store.replayed > 0 || r.Cfq_store.Store.truncated_bytes > 0
+          then
+            Printf.printf
+              "recovery: shard %d replayed %d WAL records, dropped %d torn bytes\n"
+              k r.Cfq_store.Store.replayed r.Cfq_store.Store.truncated_bytes)
+        (Cfq_shard.Sharded.stores sh)
+
+let store_serve_cmd verbose store_path cache_pages shards fault_shard domains
+    mine_domains kernel cache_mb deadline repeat fault_transient fault_corrupt
+    fault_spike fault_seed retries breaker_threshold verify file =
+  setup_logs verbose;
+  match open_backend store_path cache_pages shards with
+  | Error e -> Error e
+  | Ok (opened_path, backend) ->
       let finish result =
-        let io = Cfq_store.Store.io store in
-        Printf.printf
-          "buffer pool: %d hits, %d misses, %d evictions (cache %d of %d pages)\n"
-          (Cfq_txdb.Io_stats.pool_hits io)
-          (Cfq_txdb.Io_stats.pool_misses io)
-          (Cfq_txdb.Io_stats.pool_evictions io)
-          (Cfq_store.Store.cache_pages store)
-          (Cfq_store.Store.pages store);
-        Cfq_store.Store.close store;
+        (match backend with
+        | Plain store ->
+            let io = Cfq_store.Store.io store in
+            Printf.printf
+              "buffer pool: %d hits, %d misses, %d evictions (cache %d of %d pages)\n"
+              (Cfq_txdb.Io_stats.pool_hits io)
+              (Cfq_txdb.Io_stats.pool_misses io)
+              (Cfq_txdb.Io_stats.pool_evictions io)
+              (Cfq_store.Store.cache_pages store)
+              (Cfq_store.Store.pages store);
+            Cfq_store.Store.close store
+        | Sharded sh ->
+            let ios = Cfq_txdb.Tx_db.shard_io (Cfq_shard.Sharded.db sh) in
+            Array.iteri
+              (fun k st ->
+                let io = Cfq_store.Store.io st in
+                Printf.printf
+                  "shard %d: %d scans, %d pages read; pool %d hits, %d misses, \
+                   %d evictions (cache %d of %d pages)\n"
+                  k
+                  (Cfq_txdb.Io_stats.scans ios.(k))
+                  (Cfq_txdb.Io_stats.pages_read ios.(k))
+                  (Cfq_txdb.Io_stats.pool_hits io)
+                  (Cfq_txdb.Io_stats.pool_misses io)
+                  (Cfq_txdb.Io_stats.pool_evictions io)
+                  (Cfq_store.Store.cache_pages st)
+                  (Cfq_store.Store.pages st))
+              (Cfq_shard.Sharded.stores sh);
+            Cfq_shard.Sharded.close sh);
         result
       in
-      let db = Cfq_store.Store.db store in
-      let info = store_info store_path (max 1 (Cfq_store.Store.universe_size store)) in
-      let r = Cfq_store.Store.last_recovery store in
-      Printf.printf "store: %s (%d transactions, %d pages, cache %d pages)\n"
-        store_path (Cfq_store.Store.size store)
-        (Cfq_store.Store.pages store) cache_pages;
-      if r.Cfq_store.Store.replayed > 0 || r.Cfq_store.Store.truncated_bytes > 0 then
-        Printf.printf "recovery: replayed %d WAL records, dropped %d torn bytes\n"
-          r.Cfq_store.Store.replayed r.Cfq_store.Store.truncated_bytes;
+      let db = backend_db backend in
+      let universe =
+        match backend with
+        | Plain store -> Cfq_store.Store.universe_size store
+        | Sharded sh -> Cfq_shard.Sharded.universe_size sh
+      in
+      let info = store_info store_path (max 1 universe) in
+      (match backend with
+      | Plain store ->
+          Printf.printf "store: %s (%d transactions, %d pages, cache %d pages)\n"
+            opened_path (Cfq_store.Store.size store)
+            (Cfq_store.Store.pages store) cache_pages
+      | Sharded sh ->
+          let m = Cfq_shard.Sharded.manifest sh in
+          Printf.printf
+            "sharded store: %s (%d shards, %s partition, %d transactions, %d \
+             pages, cache %d pages/shard)\n"
+            opened_path
+            (Cfq_shard.Sharded.shard_count sh)
+            (Cfq_shard.Manifest.partition_name m.Cfq_shard.Manifest.partition)
+            (Cfq_shard.Sharded.size sh) (Cfq_shard.Sharded.pages sh) cache_pages);
+      backend_recovery_lines backend;
       print_newline ();
-      let verified = if verify then verify_backends store info file else Ok () in
+      let verified = if verify then verify_backends db info file else Ok () in
       (match verified with
       | Error e -> finish (Error e)
       | Ok () ->
@@ -505,12 +629,30 @@ let store_serve_cmd verbose store_path cache_pages domains mine_domains kernel
               seed = Int64.of_int fault_seed;
             }
           in
+          let fault_error = ref None in
           if Cfq_txdb.Fault.is_active fault_config then begin
-            Cfq_txdb.Tx_db.set_faults db (Some (Cfq_txdb.Fault.create fault_config));
-            Printf.printf
-              "fault injection: transient-p=%g corrupt-p=%g spike-p=%g seed=%d\n\n"
-              fault_transient fault_corrupt fault_spike fault_seed
-          end;
+            let injector = Some (Cfq_txdb.Fault.create fault_config) in
+            (match (fault_shard, backend) with
+            | None, _ -> Cfq_txdb.Tx_db.set_faults db injector
+            | Some k, Sharded sh -> (
+                match Cfq_shard.Sharded.set_shard_fault sh ~shard:k injector with
+                | () -> ()
+                | exception Invalid_argument msg -> fault_error := Some msg)
+            | Some _, Plain _ ->
+                fault_error := Some "--fault-shard requires a sharded store");
+            if !fault_error = None then
+              Printf.printf
+                "fault injection%s: transient-p=%g corrupt-p=%g spike-p=%g seed=%d\n\n"
+                (match fault_shard with
+                | Some k -> Printf.sprintf " (shard %d)" k
+                | None -> "")
+                fault_transient fault_corrupt fault_spike fault_seed
+          end
+          else if fault_shard <> None then
+            fault_error := Some "--fault-shard needs an active fault probability";
+          match !fault_error with
+          | Some msg -> finish (Error (`Msg msg))
+          | None ->
           let config =
             {
               Cfq_service.Service.default_config with
@@ -653,13 +795,13 @@ let store_build_t =
   Term.(
     term_result
       (const store_build_cmd $ verbose_arg $ tx_arg $ items_arg $ types_arg
-     $ seed_arg $ data_arg $ iteminfo_arg $ store_path_arg))
+     $ seed_arg $ data_arg $ iteminfo_arg $ store_path_arg $ shards_arg))
 
 let store_serve_t =
   Term.(
     term_result
       (const store_serve_cmd $ verbose_arg $ store_path_arg $ cache_pages_arg
-     $ domains_arg
+     $ shards_arg $ fault_shard_arg $ domains_arg
      $ mine_domains_arg ~default:0
          ~default_doc:
            "Default 0 = inherit $(b,--domains); helpers are borrowed idle \

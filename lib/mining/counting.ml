@@ -76,6 +76,10 @@ type session = {
   mutable n_vertical : int;
   mutable n_projected : int;
   mutable n_builds : int;
+  (* one sub-session per shard when counting over a sharded composite:
+     each shard keeps its own materialised bitmaps/projection, sized to
+     its slice of the data *)
+  mutable shard_sessions : session array;
 }
 
 let create_session ?(plan = default_plan) () =
@@ -90,6 +94,7 @@ let create_session ?(plan = default_plan) () =
     n_vertical = 0;
     n_projected = 0;
     n_builds = 0;
+    shard_sessions = [||];
   }
 
 let session_plan s = s.plan
@@ -102,18 +107,33 @@ let last_kernel s =
   | [] -> "trie"
   | ls -> String.concat "+" ls
 
+(* pass counts aggregate the session's own passes plus every shard
+   sub-session's: a distributed level runs one pass per shard, and the
+   totals make that visible rather than hiding it *)
 let pass_counts s =
-  {
-    trie_passes = s.n_trie;
-    direct2_passes = s.n_direct2;
-    vertical_passes = s.n_vertical;
-    projected_scans = s.n_projected;
-    bitmap_builds = s.n_builds;
-  }
+  Array.fold_left
+    (fun acc sk ->
+      {
+        trie_passes = acc.trie_passes + sk.n_trie;
+        direct2_passes = acc.direct2_passes + sk.n_direct2;
+        vertical_passes = acc.vertical_passes + sk.n_vertical;
+        projected_scans = acc.projected_scans + sk.n_projected;
+        bitmap_builds = acc.bitmap_builds + sk.n_builds;
+      })
+    {
+      trie_passes = s.n_trie;
+      direct2_passes = s.n_direct2;
+      vertical_passes = s.n_vertical;
+      projected_scans = s.n_projected;
+      bitmap_builds = s.n_builds;
+    }
+    s.shard_sessions
 
 let describe s =
+  let c = pass_counts s in
   Printf.sprintf "trie=%d direct2=%d vertical=%d projected-scans=%d bitmap-builds=%d"
-    s.n_trie s.n_direct2 s.n_vertical s.n_projected s.n_builds
+    c.trie_passes c.direct2_passes c.vertical_passes c.projected_scans
+    c.bitmap_builds
 
 (* ------------------------------------------------------------------ *)
 (* The legacy trie pass — also the fault-pinned and forced-trie path    *)
@@ -522,6 +542,156 @@ let adaptive s ~par db io families =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Count distribution over sharded composites                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Candidate supports are additive over a partition of the transactions,
+   so each shard counts every candidate against its own slice and the
+   coordinator's elementwise sum is the exact global support — the classic
+   count-distribution scheme.  The caller is charged one logical composite
+   scan per pass (same as the sequential path on the same composite); each
+   shard's local I/O lands in its [Tx_db.shard_io] sink. *)
+
+let shard_session s k n =
+  if Array.length s.shard_sessions <> n then
+    s.shard_sessions <- Array.init n (fun _ -> create_session ~plan:s.plan ());
+  s.shard_sessions.(k)
+
+(* Mirror of [adaptive]'s zero-I/O branch, evaluated over every shard
+   sub-session: when each shard would answer the pass from materialised
+   bitmaps covering the live items, no shard touches its pages and the
+   composite scan charge is skipped — exactly as the unsharded session
+   skips it. *)
+let all_bitmap_covered s subs families =
+  let ns = Array.length subs in
+  Array.length s.shard_sessions = ns
+  && begin
+       let cands_list = List.map snd families in
+       let min_card = ref max_int and max_item = ref (-1) in
+       List.iter
+         (Array.iter (fun c ->
+              let k = Cfq_itembase.Itemset.cardinal c in
+              if k < !min_card then min_card := k;
+              match Cfq_itembase.Itemset.max_item c with
+              | Some i when i > !max_item -> max_item := i
+              | _ -> ()))
+         cands_list;
+       !min_card >= 1
+       && begin
+            let live_mask = Array.make (!max_item + 1) false in
+            List.iter
+              (Array.iter
+                 (Cfq_itembase.Itemset.iter (fun i -> live_mask.(i) <- true)))
+              cands_list;
+            let live = ref [] in
+            Array.iteri (fun i b -> if b then live := i :: !live) live_mask;
+            let live = Array.of_list (List.rev !live) in
+            Array.for_all
+              (fun sk ->
+                match sk.bitmaps with
+                | Some bm ->
+                    Tid_bitmaps.valid_min_card bm <= !min_card
+                    && Tid_bitmaps.covers bm live
+                | None -> false)
+              s.shard_sessions
+          end
+     end
+
+let distributed ~par ~session db subs io families =
+  let ns = Array.length subs in
+  let cands_list = List.map snd families in
+  let sub_faulted = Array.exists (fun sub -> Tx_db.faults sub <> None) subs in
+  let faulted = Tx_db.faults db <> None || sub_faulted in
+  let pinned_trie =
+    faulted
+    || match session with None -> true | Some s -> s.plan.kernel = Trie
+  in
+  (match session with
+  | Some s when pinned_trie ->
+      s.n_trie <- s.n_trie + 1;
+      s.last_fams <- List.map (fun _ -> "trie") families
+  | _ -> ());
+  let zero_io =
+    (not pinned_trie)
+    &&
+    match session with
+    | Some s -> all_bitmap_covered s subs families
+    | None -> false
+  in
+  (* one logical scan for the whole composite pass; with composite-level
+     faults installed this runs the full page/checksum walk, drawing the
+     same injector decisions as a sequential scan of the same composite *)
+  if not zero_io then Tx_db.begin_scan db io;
+  let sh_io = Tx_db.shard_io db in
+  let run_shard k =
+    let sub = subs.(k) in
+    try
+      if pinned_trie then trie_count ~par:sequential sub sh_io.(k) cands_list
+      else
+        let s = Option.get session in
+        adaptive (shard_session s k ns) ~par:sequential sub sh_io.(k) families
+    with Cfq_error.Error e ->
+      (* shard-local error pages -> composite coordinates *)
+      let base = Tx_db.shard_page_base db k in
+      let e =
+        match e with
+        | Cfq_error.Transient_io { page } ->
+            Cfq_error.Transient_io { page = page + base }
+        | Cfq_error.Corrupt_page { page } ->
+            Cfq_error.Corrupt_page { page = page + base }
+        | e -> e
+      in
+      Cfq_error.raise_error e
+  in
+  let per_shard = Array.make ns [] in
+  if faulted || max 1 par.domains = 1 then
+    (* sequential shard order: with injectors installed the first failing
+       shard must win deterministically *)
+    for k = 0 to ns - 1 do
+      per_shard.(k) <- run_shard k
+    done
+  else
+    ignore
+      (Cfq_exec_pool.Pool.fan_out ?pool:par.pool ~domains:par.domains
+         ~n_tasks:ns
+         ~init:(fun () -> ())
+         ~work:(fun () k -> per_shard.(k) <- run_shard k)
+         ()
+        : unit list);
+  (* labels of a distributed adaptive pass: per family, the union of the
+     shards' kernel choices (shards may legitimately diverge — a small
+     shard can go vertical while a big one still scans) *)
+  (match session with
+  | Some s when not pinned_trie ->
+      let label_of fi =
+        let labs =
+          Array.fold_left
+            (fun acc sk ->
+              match List.nth_opt sk.last_fams fi with
+              | Some l when l <> "" && not (List.mem l acc) -> l :: acc
+              | _ -> acc)
+            [] s.shard_sessions
+        in
+        match List.rev labs with
+        | [] -> "trie"
+        | [ l ] -> l
+        | ls -> String.concat "/" ls
+      in
+      s.last_fams <- List.mapi (fun fi _ -> label_of fi) families
+  | _ -> ());
+  (* merge: exact global supports are the per-shard partial sums *)
+  List.mapi
+    (fun fi (_, cands) ->
+      let total = Array.make (Array.length cands) 0 in
+      Array.iter
+        (fun counts ->
+          let c = List.nth counts fi in
+          Array.iteri (fun i v -> total.(i) <- total.(i) + v) c)
+        per_shard;
+      total)
+    families
+
+(* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -539,15 +709,19 @@ let count_shared ?(par = sequential) ?session db io families =
     (* nothing to count anywhere: skip the scan and charge no I/O *)
     List.map (fun (_, cands) -> Array.make (Array.length cands) 0) families
   else
-    match session with
-    | None -> trie_count ~par db io (List.map snd families)
-    | Some s when s.plan.kernel = Trie || Tx_db.faults db <> None ->
-        (* forced trie, or faults installed: the paper's page/fault walk
-           must be preserved exactly, so the adaptive substrates are out *)
-        s.n_trie <- s.n_trie + 1;
-        s.last_fams <- List.map (fun _ -> "trie") families;
-        trie_count ~par db io (List.map snd families)
-    | Some s -> adaptive s ~par db io families
+    match Tx_db.shards db with
+    | Some subs when Array.length subs > 1 ->
+        distributed ~par ~session db subs io families
+    | _ -> (
+        match session with
+        | None -> trie_count ~par db io (List.map snd families)
+        | Some s when s.plan.kernel = Trie || Tx_db.faults db <> None ->
+            (* forced trie, or faults installed: the paper's page/fault walk
+               must be preserved exactly, so the adaptive substrates are out *)
+            s.n_trie <- s.n_trie + 1;
+            s.last_fams <- List.map (fun _ -> "trie") families;
+            trie_count ~par db io (List.map snd families)
+        | Some s -> adaptive s ~par db io families)
 
 let count_level ?par ?session db io counters cands =
   match count_shared ?par ?session db io [ (counters, cands) ] with

@@ -38,7 +38,23 @@
     private per-family accumulators merged deterministically at the end
     (word-aligned row ranges for bitmap builds).  The answers, ccc
     counters, I/O charges, and fault behaviour are identical to the
-    sequential pass for every [domains] value. *)
+    sequential pass for every [domains] value.
+
+    {2 Count distribution}
+
+    Over a sharded composite ({!Tx_db.of_shards} with two or more shards)
+    each pass fans out per shard instead of per chunk: every shard counts
+    the full candidate set against its own slice (with its own kernel
+    choice, bitmaps and projections via a per-shard sub-session), and the
+    coordinator sums the partial supports — supports are additive over a
+    partition, so the totals are exact.  The caller is charged one logical
+    composite scan per pass (skipped only when {e every} shard answers
+    from covering bitmaps), each shard's local I/O lands in its
+    {!Tx_db.shard_io} sink, and {!pass_counts} aggregates the shard
+    sub-sessions.  With faults installed — on the composite or on any
+    shard — passes are pinned to the trie kernel and shards run in index
+    order, so the injector draw sequence is deterministic; shard-local
+    error pages are translated to composite coordinates. *)
 
 open Cfq_itembase
 open Cfq_txdb

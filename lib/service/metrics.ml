@@ -1,3 +1,14 @@
+type shard_row = {
+  shard : int;
+  shard_admissions : int;
+  shard_failures : int;
+  shard_trips : int;
+  shard_shed : int;
+  shard_breaker : string;
+  shard_scans : int;
+  shard_pages_read : int;
+}
+
 type snapshot = {
   queries : int;
   answer_hits : int;
@@ -32,6 +43,7 @@ type snapshot = {
   side_entries : int;
   side_bytes : int;
   evictions : int;
+  shards : shard_row list;
 }
 
 type t = {
@@ -167,8 +179,8 @@ let record_kernel_passes t ~trie ~direct2 ~vertical ~projected_scans ~bitmap_bui
 let observe_queue_depth t d =
   if d > t.queue_high_water then t.queue_high_water <- d
 
-let snapshot t ~answer_entries ~answer_bytes ~side_entries ~side_bytes ~evictions :
-    snapshot =
+let snapshot t ?(shards = []) ~answer_entries ~answer_bytes ~side_entries
+    ~side_bytes ~evictions () : snapshot =
   {
     queries = t.queries;
     answer_hits = t.answer_hits;
@@ -203,6 +215,7 @@ let snapshot t ~answer_entries ~answer_bytes ~side_entries ~side_bytes ~eviction
     side_entries;
     side_bytes;
     evictions;
+    shards;
   }
 
 let table (s : snapshot) =
@@ -245,6 +258,15 @@ let table (s : snapshot) =
   int "side cache entries" s.side_entries;
   row "side cache bytes" (Printf.sprintf "%d" s.side_bytes);
   int "evictions" s.evictions;
+  List.iter
+    (fun r ->
+      row
+        (Printf.sprintf "shard %d" r.shard)
+        (Printf.sprintf
+           "breaker=%s admissions=%d failures=%d trips=%d shed=%d scans=%d pages=%d"
+           r.shard_breaker r.shard_admissions r.shard_failures r.shard_trips
+           r.shard_shed r.shard_scans r.shard_pages_read))
+    s.shards;
   tbl
 
 let pp ppf (s : snapshot) =

@@ -7,6 +7,20 @@
 
 type t
 
+(** Per-shard breakdown of a sharded backend: admission/failure/breaker
+    counters from the service's shard health plus the shard's logical scan
+    traffic ({!Cfq_txdb.Tx_db.shard_io}). *)
+type shard_row = {
+  shard : int;
+  shard_admissions : int;  (** queries admitted to mining (fan over all shards) *)
+  shard_failures : int;  (** failures attributed to this shard's pages *)
+  shard_trips : int;  (** this shard's breaker Closed→Open transitions *)
+  shard_shed : int;  (** submissions shed while this shard's breaker was open *)
+  shard_breaker : string;  (** "closed" / "open" / "half-open" *)
+  shard_scans : int;
+  shard_pages_read : int;
+}
+
 type snapshot = {
   queries : int;  (** queries answered (including errors) *)
   answer_hits : int;  (** served verbatim from the answer cache *)
@@ -41,6 +55,7 @@ type snapshot = {
   side_entries : int;
   side_bytes : int;
   evictions : int;
+  shards : shard_row list;  (** one row per shard; [[]] unsharded *)
 }
 
 val create : unit -> t
@@ -87,14 +102,17 @@ val record_kernel_passes :
 val observe_queue_depth : t -> int -> unit
 
 (** [snapshot t ~answer_entries ... ~evictions] copies the counters,
-    attaching the current cache occupancy figures. *)
+    attaching the current cache occupancy figures and, for a sharded
+    backend, the per-shard rows the service computed at snapshot time. *)
 val snapshot :
   t ->
+  ?shards:shard_row list ->
   answer_entries:int ->
   answer_bytes:int ->
   side_entries:int ->
   side_bytes:int ->
   evictions:int ->
+  unit ->
   snapshot
 
 (** Render as a two-column report table. *)

@@ -94,6 +94,19 @@ type breaker_state =
   | Open of int
   | Half_open
 
+(* per-shard health of a sharded backend: failures whose error pages fall
+   in a shard's range charge that shard's breaker, so one faulty shard
+   degrades its own admissions to cache-only serving while the others keep
+   mining.  All fields are guarded by the service lock. *)
+type shard_health = {
+  mutable sh_breaker : breaker_state;
+  mutable sh_consec : int;
+  mutable sh_admissions : int;
+  mutable sh_failures : int;
+  mutable sh_trips : int;
+  mutable sh_shed : int;
+}
+
 type t = {
   service_ctx : Exec.ctx;
   service_config : config;
@@ -110,6 +123,7 @@ type t = {
   mutable breaker : breaker_state;
   mutable consec_failures : int;
   mutable consec_rejections : int;
+  shard_health : shard_health array;  (* one per shard; [||] unsharded *)
   jitter : Cfq_quest.Splitmix.t;  (* retry-backoff jitter; draw under lock *)
 }
 
@@ -136,6 +150,19 @@ let create ?(config = default_config) ctx =
     breaker = Closed;
     consec_failures = 0;
     consec_rejections = 0;
+    shard_health =
+      (match Tx_db.shards ctx.Exec.db with
+      | Some subs ->
+          Array.init (Array.length subs) (fun _ ->
+              {
+                sh_breaker = Closed;
+                sh_consec = 0;
+                sh_admissions = 0;
+                sh_failures = 0;
+                sh_trips = 0;
+                sh_shed = 0;
+              })
+      | None -> [||]);
     jitter = Cfq_quest.Splitmix.create ~seed:config.jitter_seed;
   }
 
@@ -525,6 +552,54 @@ let trip_locked t =
   Metrics.record_breaker_trip t.service_metrics;
   t.breaker <- Open (max 1 t.service_config.breaker_cooldown)
 
+(* call with [t.lock] held *)
+let trip_shard_locked t k =
+  let sh = t.shard_health.(k) in
+  sh.sh_trips <- sh.sh_trips + 1;
+  sh.sh_breaker <- Open (max 1 t.service_config.breaker_cooldown)
+
+(* attribute a failure to the shard owning its error page.  Only faults
+   installed on individual shards are attributable: with an injector on
+   the whole composite the failure is store-wide, so shard breakers stay
+   out of it and only the global breaker reacts. *)
+let shard_of_error t (e : Cfq_error.t) =
+  let db = t.service_ctx.Exec.db in
+  if Array.length t.shard_health = 0 || Tx_db.faults db <> None then None
+  else
+    match e with
+    | Cfq_error.Transient_io { page } | Cfq_error.Corrupt_page { page } -> (
+        match Tx_db.shard_of_page db page with
+        | k -> Some k
+        | exception Invalid_argument _ -> None)
+    | Cfq_error.Deadline | Cfq_error.Overload | Cfq_error.Query_crash _ -> None
+
+(* call with [t.lock] held *)
+let shard_note_failure_locked t e =
+  match shard_of_error t e with
+  | None -> ()
+  | Some k ->
+      let sh = t.shard_health.(k) in
+      sh.sh_failures <- sh.sh_failures + 1;
+      sh.sh_consec <- sh.sh_consec + 1;
+      if t.service_config.breaker_threshold > 0 then (
+        match sh.sh_breaker with
+        | Half_open -> trip_shard_locked t k
+        | Closed when sh.sh_consec >= t.service_config.breaker_threshold ->
+            trip_shard_locked t k
+        | Closed | Open _ -> ())
+
+(* a cold success proves every shard served its slice: close all shard
+   breakers.  Cache-served answers prove nothing about the shards and
+   leave them untouched. *)
+let shard_note_cold_success t =
+  if Array.length t.shard_health > 0 then
+    locked t (fun () ->
+        Array.iter
+          (fun sh ->
+            sh.sh_consec <- 0;
+            sh.sh_breaker <- Closed)
+          t.shard_health)
+
 (* settle the breaker on the raw (pre-degradation) outcome of an executed
    query: any success closes it (in particular a half-open probe), any
    failure while half-open reopens it, and [breaker_threshold] consecutive
@@ -556,7 +631,8 @@ let guarded t ~deadline q () =
   let fail e =
     locked t (fun () ->
         Metrics.record_fault t.service_metrics e;
-        Metrics.record_failure t.service_metrics);
+        Metrics.record_failure t.service_metrics;
+        shard_note_failure_locked t e);
     Error (Fault e)
   in
   let rec attempt n =
@@ -589,6 +665,9 @@ let guarded t ~deadline q () =
   in
   let raw = attempt 0 in
   breaker_note_outcome t ~ok:(match raw with Ok _ -> true | Error _ -> false);
+  (match raw with
+  | Ok a when a.served_from = Cold -> shard_note_cold_success t
+  | _ -> ());
   match raw with
   | Ok _ -> raw
   | Error (Fault _ | Deadline_exceeded) -> (
@@ -608,49 +687,89 @@ let absolute_deadline t deadline =
 (* admission decision under the breaker.  While open, queries that the
    caches can answer without touching the database are still served;
    everything else is shed, counting down to a half-open probe. *)
+(* with [t.lock] held: serve an admission arriving while some breaker is
+   open from the caches alone, or shed it *)
+let open_serve_locked t (q : Query.t) =
+  let rw = Rewrite.simplify q in
+  let q' = rw.Rewrite.query in
+  let key = Fingerprint.query_key t.service_ctx q' in
+  match Lru.find t.answers key with
+  | Some (_, a) ->
+      Metrics.record_answer_hit t.service_metrics;
+      Metrics.record_query t.service_metrics ~latency:0. ~support_counted:0
+        ~constraint_checks:0 ~scans:0 ~pages_read:0;
+      `Serve
+        {
+          a with
+          served_from = Answer_cache;
+          support_counted = 0;
+          constraint_checks = 0;
+          scans = 0;
+          pages_read = 0;
+          latency_seconds = 0.;
+        }
+  | None -> (
+      match degraded_lookup_locked t q' with
+      | Some a -> `Serve a
+      | None ->
+          Metrics.record_shed t.service_metrics;
+          `Shed)
+
 let breaker_admit t (q : Query.t) =
   if t.service_config.breaker_threshold <= 0 then `Admit
   else
     locked t (fun () ->
         match t.breaker with
         | Closed | Half_open -> `Admit
-        | Open n -> (
+        | Open n ->
             (* every admission while open counts toward the cooldown, served
                from cache or shed alike, so the breaker always half-opens
                after [breaker_cooldown] admissions *)
             t.breaker <- (if n <= 1 then Half_open else Open (n - 1));
-            let rw = Rewrite.simplify q in
-            let q' = rw.Rewrite.query in
-            let key = Fingerprint.query_key t.service_ctx q' in
-            match Lru.find t.answers key with
-            | Some (_, a) ->
-                Metrics.record_answer_hit t.service_metrics;
-                Metrics.record_query t.service_metrics ~latency:0. ~support_counted:0
-                  ~constraint_checks:0 ~scans:0 ~pages_read:0;
-                `Serve
-                  {
-                    a with
-                    served_from = Answer_cache;
-                    support_counted = 0;
-                    constraint_checks = 0;
-                    scans = 0;
-                    pages_read = 0;
-                    latency_seconds = 0.;
-                  }
-            | None -> (
-                match degraded_lookup_locked t q' with
-                | Some a -> `Serve a
-                | None ->
-                    Metrics.record_shed t.service_metrics;
-                    `Shed)))
+            open_serve_locked t q)
+
+(* per-shard admission gate: an admitted query fans over every shard, so
+   one open shard breaker degrades it to cache-only serving while that
+   shard cools down; a half-open shard admits the probe.  Runs after the
+   global gate, with the same admission-counted cooldown discipline. *)
+let shard_breaker_admit t (q : Query.t) =
+  if Array.length t.shard_health = 0 || t.service_config.breaker_threshold <= 0
+  then `Admit
+  else
+    locked t (fun () ->
+        let opened = ref None in
+        Array.iteri
+          (fun k sh ->
+            if !opened = None then
+              match sh.sh_breaker with
+              | Open n ->
+                  sh.sh_breaker <- (if n <= 1 then Half_open else Open (n - 1));
+                  opened := Some k
+              | Closed | Half_open -> ())
+          t.shard_health;
+        match !opened with
+        | None -> `Admit
+        | Some k -> (
+            match open_serve_locked t q with
+            | `Serve a -> `Serve a
+            | `Shed ->
+                t.shard_health.(k).sh_shed <- t.shard_health.(k).sh_shed + 1;
+                `Shed))
 
 let submit_abs t ~deadline q =
-  match breaker_admit t q with
+  match
+    match breaker_admit t q with
+    | `Admit -> shard_breaker_admit t q
+    | (`Serve _ | `Shed) as r -> r
+  with
   | `Serve a -> Ok (Immediate (Ok a))
   | `Shed -> Error Overloaded
   | `Admit -> (
       locked t (fun () ->
-          Metrics.observe_queue_depth t.service_metrics (Pool.queue_depth t.pool));
+          Metrics.observe_queue_depth t.service_metrics (Pool.queue_depth t.pool);
+          Array.iter
+            (fun sh -> sh.sh_admissions <- sh.sh_admissions + 1)
+            t.shard_health);
       match Pool.submit t.pool (guarded t ~deadline q) with
       | Some p ->
           locked t (fun () -> t.consec_rejections <- 0);
@@ -717,14 +836,42 @@ let run_many t ?deadline qs =
   done;
   List.map snd (List.sort (fun (i, _) (j, _) -> compare i j) !results)
 
+let breaker_name = function
+  | Closed -> "closed"
+  | Open _ -> "open"
+  | Half_open -> "half-open"
+
 let metrics t =
   locked t (fun () ->
-      Metrics.snapshot t.service_metrics
+      let shard_ios = Tx_db.shard_io t.service_ctx.Exec.db in
+      let shards =
+        Array.to_list
+          (Array.mapi
+             (fun k sh ->
+               let io =
+                 if k < Array.length shard_ios then Some shard_ios.(k) else None
+               in
+               {
+                 Metrics.shard = k;
+                 shard_admissions = sh.sh_admissions;
+                 shard_failures = sh.sh_failures;
+                 shard_trips = sh.sh_trips;
+                 shard_shed = sh.sh_shed;
+                 shard_breaker = breaker_name sh.sh_breaker;
+                 shard_scans =
+                   (match io with Some io -> Io_stats.scans io | None -> 0);
+                 shard_pages_read =
+                   (match io with Some io -> Io_stats.pages_read io | None -> 0);
+               })
+             t.shard_health)
+      in
+      Metrics.snapshot t.service_metrics ~shards
         ~answer_entries:(Lru.length t.answers)
         ~answer_bytes:(Lru.weight t.answers)
         ~side_entries:(Lru.length t.sides)
         ~side_bytes:(Lru.weight t.sides)
-        ~evictions:(Lru.evictions t.answers + Lru.evictions t.sides))
+        ~evictions:(Lru.evictions t.answers + Lru.evictions t.sides)
+        ())
 
 let metrics_table t = Metrics.table (metrics t)
 

@@ -1,0 +1,186 @@
+let magic = "CFQMAN01"
+let version = 1
+
+type partition = Tid_range | Hash
+
+let partition_name = function Tid_range -> "tid-range" | Hash -> "hash"
+
+let partition_of_string = function
+  | "tid-range" | "tid_range" | "range" -> Some Tid_range
+  | "hash" -> Some Hash
+  | _ -> None
+
+let partition_code = function Tid_range -> 0 | Hash -> 1
+
+let partition_of_code = function
+  | 0 -> Some Tid_range
+  | 1 -> Some Hash
+  | _ -> None
+
+type shard_entry = { s_txs : int; s_pages : int; s_generation : int }
+
+type t = {
+  generation : int;
+  partition : partition;
+  universe : int;
+  n_txs : int;
+  n_pages : int;
+  shards : shard_entry array;
+  checksums : int array;
+}
+
+exception Bad_manifest of string
+
+let bad path fmt =
+  Printf.ksprintf (fun m -> raise (Bad_manifest (path ^ ": " ^ m))) fmt
+
+(* fixed part offsets *)
+let h_version = 8
+let h_partition = 12
+let h_shards = 16
+let h_generation = 20
+let h_n_txs = 28
+let h_n_pages = 36
+let h_universe = 44
+let fixed_bytes = 52
+let entry_bytes = 24 (* 3 * u64 per shard *)
+
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+let set_u64 b off v = Bytes.set_int64_le b off (Int64.of_int v)
+let get_u64 b off = Int64.to_int (Bytes.get_int64_le b off)
+
+let encode m =
+  let ns = Array.length m.shards in
+  let total = fixed_bytes + (ns * entry_bytes) + (m.n_pages * 8) + 4 in
+  let b = Bytes.make total '\000' in
+  Bytes.blit_string magic 0 b 0 8;
+  set_u32 b h_version version;
+  set_u32 b h_partition (partition_code m.partition);
+  set_u32 b h_shards ns;
+  set_u64 b h_generation m.generation;
+  set_u64 b h_n_txs m.n_txs;
+  set_u64 b h_n_pages m.n_pages;
+  set_u64 b h_universe m.universe;
+  Array.iteri
+    (fun k e ->
+      let off = fixed_bytes + (k * entry_bytes) in
+      set_u64 b off e.s_txs;
+      set_u64 b (off + 8) e.s_pages;
+      set_u64 b (off + 16) e.s_generation)
+    m.shards;
+  let coff = fixed_bytes + (ns * entry_bytes) in
+  Array.iteri (fun p sum -> set_u64 b (coff + (p * 8)) sum) m.checksums;
+  set_u32 b (total - 4) (Cfq_store.Crc32.sub b 0 (total - 4));
+  b
+
+let write_all fd b =
+  let off = ref 0 and len = ref (Bytes.length b) in
+  while !len > 0 do
+    let w = Unix.write fd b !off !len in
+    off := !off + w;
+    len := !len - w
+  done
+
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let write path m =
+  if Array.length m.checksums <> m.n_pages then
+    invalid_arg "Manifest.write: one checksum per composite page required";
+  let b = encode m in
+  let tmp = path ^ ".tmp" in
+  (try
+     let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+     Fun.protect
+       ~finally:(fun () -> Unix.close fd)
+       (fun () ->
+         write_all fd b;
+         Unix.fsync fd)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Unix.rename tmp path;
+  fsync_dir path
+
+let read path =
+  let fd =
+    try Unix.openfile path [ Unix.O_RDONLY ] 0
+    with Unix.Unix_error (e, _, _) ->
+      raise (Bad_manifest (path ^ ": " ^ Unix.error_message e))
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let len = (Unix.fstat fd).Unix.st_size in
+      if len < fixed_bytes + 4 then bad path "truncated manifest";
+      let b = Bytes.make len '\000' in
+      let off = ref 0 in
+      while !off < len do
+        let r = Unix.read fd b !off (len - !off) in
+        if r = 0 then bad path "unexpected end of file";
+        off := !off + r
+      done;
+      if Bytes.sub_string b 0 8 <> magic then bad path "bad magic";
+      let v = get_u32 b h_version in
+      if v <> version then bad path "unsupported version %d" v;
+      let stored_crc = get_u32 b (len - 4) in
+      if Cfq_store.Crc32.sub b 0 (len - 4) <> stored_crc then
+        bad path "manifest CRC mismatch";
+      let partition =
+        match partition_of_code (get_u32 b h_partition) with
+        | Some p -> p
+        | None -> bad path "unknown partition kind"
+      in
+      let ns = get_u32 b h_shards in
+      let n_txs = get_u64 b h_n_txs in
+      let n_pages = get_u64 b h_n_pages in
+      if ns < 1 then bad path "no shards";
+      if len <> fixed_bytes + (ns * entry_bytes) + (n_pages * 8) + 4 then
+        bad path "manifest size does not match its shard/page counts";
+      let shards =
+        Array.init ns (fun k ->
+            let off = fixed_bytes + (k * entry_bytes) in
+            {
+              s_txs = get_u64 b off;
+              s_pages = get_u64 b (off + 8);
+              s_generation = get_u64 b (off + 16);
+            })
+      in
+      if Array.fold_left (fun a e -> a + e.s_txs) 0 shards <> n_txs then
+        bad path "shard transaction counts do not sum to the composite";
+      if Array.fold_left (fun a e -> a + e.s_pages) 0 shards <> n_pages then
+        bad path "shard page counts do not sum to the composite";
+      let coff = fixed_bytes + (ns * entry_bytes) in
+      let checksums = Array.init n_pages (fun p -> get_u64 b (coff + (p * 8))) in
+      {
+        generation = get_u64 b h_generation;
+        partition;
+        universe = get_u64 b h_universe;
+        n_txs;
+        n_pages;
+        shards;
+        checksums;
+      })
+
+let is_manifest path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> false
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let b = Bytes.make 8 '\000' in
+          let rec fill off =
+            if off >= 8 then true
+            else
+              match Unix.read fd b off (8 - off) with
+              | 0 -> false
+              | r -> fill (off + r)
+          in
+          fill 0 && Bytes.to_string b = magic)

@@ -1,0 +1,301 @@
+open Cfq_itembase
+open Cfq_txdb
+module Store = Cfq_store.Store
+
+type t = {
+  path : string;
+  cache_pages : int option;
+  group_commit : int option;
+  stores : Store.t array;
+  mutable db : Tx_db.t;
+  mutable manifest : Manifest.t;
+  mutable appended : int;  (* round-robin cursor for Hash routing *)
+}
+
+let shard_path path k = Printf.sprintf "%s.shard%d" path k
+
+(* ------------------------------------------------------------------ *)
+(* Partitioner                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* page-run starts of the global greedy packing: the only places a shard
+   boundary may sit, because the packer's free-space counter is spent
+   entering a run start — local re-packing from there reproduces the
+   global page geometry exactly *)
+let run_starts page_of n =
+  let starts = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    starts := !i :: !starts;
+    let page = page_of.(!i) in
+    let j = ref !i in
+    while !j < n && page_of.(!j) = page do
+      incr j
+    done;
+    i := !j
+  done;
+  Array.of_list (List.rev !starts)
+
+let tid_ranges ?(page_model = Page_model.default) sizes ~shards =
+  let n = Array.length sizes in
+  let shards = max 1 shards in
+  let page_of, _pages = Page_model.assign page_model sizes in
+  let starts = run_starts page_of n in
+  let runs = Array.length starts in
+  Array.init shards (fun k ->
+      let r0 = k * runs / shards and r1 = (k + 1) * runs / shards in
+      if r0 >= r1 then (0, -1) (* empty shard *)
+      else
+        let lo = starts.(r0) in
+        let hi = if r1 = runs then n - 1 else starts.(r1) - 1 in
+        (lo, hi))
+
+(* SplitMix64 finalizer: a stable scatter of the transaction index,
+   masked to a non-negative native int *)
+let mix64 z =
+  let z = Int64.of_int z in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.to_int (Int64.logand (Int64.logxor z (Int64.shift_right_logical z 31)) 0x3FFFFFFFFFFFFFFFL)
+
+let slices ?page_model ~partition sets ~shards =
+  let shards = max 1 shards in
+  match partition with
+  | Manifest.Tid_range ->
+      let sizes = Array.map Itemset.cardinal sets in
+      Array.map
+        (fun (lo, hi) ->
+          if hi < lo then [||] else Array.sub sets lo (hi - lo + 1))
+        (tid_ranges ?page_model sizes ~shards)
+  | Manifest.Hash ->
+      let bufs = Array.make shards [] in
+      Array.iteri
+        (fun i items ->
+          let k = mix64 i mod shards in
+          bufs.(k) <- items :: bufs.(k))
+        sets;
+      Array.map (fun l -> Array.of_list (List.rev l)) bufs
+
+(* ------------------------------------------------------------------ *)
+(* Manifest computation                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* composite checksums over global tids, walking the live shard databases
+   raw (page_of comes from the handles, no repacking) *)
+let manifest_of_stores ~partition ~generation stores =
+  let ns = Array.length stores in
+  let entries =
+    Array.map
+      (fun st ->
+        {
+          Manifest.s_txs = Store.size st;
+          s_pages = Store.pages st;
+          s_generation = Store.generation st;
+        })
+      stores
+  in
+  let n_txs = Array.fold_left (fun a e -> a + e.Manifest.s_txs) 0 entries in
+  let n_pages = Array.fold_left (fun a e -> a + e.Manifest.s_pages) 0 entries in
+  let universe =
+    Array.fold_left (fun a st -> max a (Store.universe_size st)) 0 stores
+  in
+  let sums = Array.make n_pages Tx_db.Checksum.seed in
+  let tbase = ref 0 and pbase = ref 0 in
+  for k = 0 to ns - 1 do
+    let sub = Store.db stores.(k) in
+    let n = Tx_db.size sub in
+    if n > 0 then
+      Tx_db.iter_range sub ~lo:0 ~hi:(n - 1) (fun tx ->
+          let p = !pbase + Tx_db.page_of_tx sub tx.Transaction.tid in
+          let g =
+            Transaction.make ~tid:(!tbase + tx.Transaction.tid)
+              ~items:tx.Transaction.items
+          in
+          sums.(p) <- Tx_db.Checksum.add_tx sums.(p) g);
+    tbase := !tbase + n;
+    pbase := !pbase + Tx_db.pages sub
+  done;
+  {
+    Manifest.generation;
+    partition;
+    universe;
+    n_txs;
+    n_pages;
+    shards = entries;
+    checksums = sums;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Build                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let remove_quiet p = try Sys.remove p with Sys_error _ -> ()
+
+let build ?page_model ?(partition = Manifest.Tid_range) ?on_shard_built
+    ~shards path sets =
+  let shards = max 1 shards in
+  let parts = slices ?page_model ~partition sets ~shards in
+  let created = ref [] in
+  try
+    Array.iteri
+      (fun k slice ->
+        let sp = shard_path path k in
+        Store.build ?page_model sp slice;
+        created := sp :: !created;
+        match on_shard_built with Some f -> f k | None -> ())
+      parts;
+    (* compute the composite view from freshly opened shards so the
+       manifest records exactly what open_ will see *)
+    let stores = Array.init shards (fun k -> Store.open_ ~cache_pages:1 (shard_path path k)) in
+    Fun.protect
+      ~finally:(fun () -> Array.iter (fun st -> try Store.close st with _ -> ()) stores)
+      (fun () ->
+        Manifest.write path (manifest_of_stores ~partition ~generation:0 stores))
+  with e ->
+    (* a failed build leaves no orphaned shard files: every store created
+       so far (segment + WAL) goes, and so does the manifest temp *)
+    List.iter
+      (fun sp ->
+        remove_quiet sp;
+        remove_quiet (sp ^ ".wal"))
+      !created;
+    remove_quiet (path ^ ".tmp");
+    raise e
+
+let build_from_segment ?(partition = Manifest.Tid_range) ~shards ~src path =
+  let seg = Cfq_store.Segment.open_ src in
+  let pm = seg.Cfq_store.Segment.pm in
+  let sets =
+    Fun.protect
+      ~finally:(fun () -> Cfq_store.Segment.close seg)
+      (fun () -> Cfq_store.Segment.read_all seg)
+  in
+  build ~page_model:pm ~partition ~shards path sets
+
+(* ------------------------------------------------------------------ *)
+(* Open / attach                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let attach stores m =
+  Tx_db.of_shards ~checksums:m.Manifest.checksums (Array.map Store.db stores)
+
+let manifest_matches m stores =
+  Array.length stores = Array.length m.Manifest.shards
+  && Array.for_all2
+       (fun e st ->
+         e.Manifest.s_txs = Store.size st
+         && e.Manifest.s_pages = Store.pages st
+         && e.Manifest.s_generation = Store.generation st)
+       m.Manifest.shards stores
+
+let open_ ?cache_pages ?group_commit path =
+  let m = Manifest.read path in
+  let ns = Array.length m.Manifest.shards in
+  let stores = Array.make ns None in
+  (try
+     for k = 0 to ns - 1 do
+       stores.(k) <-
+         Some (Store.open_ ?cache_pages ?group_commit (shard_path path k))
+     done
+   with e ->
+     Array.iter (function Some st -> (try Store.close st with _ -> ()) | None -> ()) stores;
+     raise e);
+  let stores = Array.map Option.get stores in
+  (* self-heal a stale manifest: per-shard recovery may have folded WAL
+     records, and a crash during seal can leave the manifest one
+     generation behind the shards *)
+  let m =
+    if manifest_matches m stores then m
+    else begin
+      let healed =
+        manifest_of_stores ~partition:m.Manifest.partition
+          ~generation:(m.Manifest.generation + 1) stores
+      in
+      Manifest.write path healed;
+      healed
+    end
+  in
+  {
+    path;
+    cache_pages;
+    group_commit;
+    stores;
+    db = attach stores m;
+    manifest = m;
+    appended = 0;
+  }
+
+let close t = Array.iter Store.close t.stores
+let db t = t.db
+let stores t = t.stores
+let manifest t = t.manifest
+let path t = t.path
+let shard_count t = Array.length t.stores
+let size t = Tx_db.size t.db
+let pages t = Tx_db.pages t.db
+
+let universe_size t =
+  Array.fold_left (fun a st -> max a (Store.universe_size st)) 0 t.stores
+
+(* ------------------------------------------------------------------ *)
+(* Ingestion                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let append_tx t items =
+  let ns = Array.length t.stores in
+  let k =
+    match t.manifest.Manifest.partition with
+    | Manifest.Tid_range -> ns - 1 (* largest global tids: order preserved *)
+    | Manifest.Hash -> t.appended mod ns
+  in
+  t.appended <- t.appended + 1;
+  Store.append_tx t.stores.(k) items
+
+let flush t = Array.iter Store.flush t.stores
+
+let seal t =
+  let sealed = Array.fold_left (fun acc st -> acc + Store.seal st) 0 t.stores in
+  if sealed > 0 then begin
+    let m =
+      manifest_of_stores ~partition:t.manifest.Manifest.partition
+        ~generation:(t.manifest.Manifest.generation + 1) t.stores
+    in
+    Manifest.write t.path m;
+    t.manifest <- m;
+    t.db <- attach t.stores m
+  end;
+  sealed
+
+(* ------------------------------------------------------------------ *)
+(* Faults, cleanup, in-memory twin                                     *)
+(* ------------------------------------------------------------------ *)
+
+let set_shard_fault t ~shard f =
+  match Tx_db.shards t.db with
+  | Some subs when shard >= 0 && shard < Array.length subs ->
+      Tx_db.set_faults subs.(shard) f
+  | _ -> invalid_arg "Sharded.set_shard_fault: no such shard"
+
+let remove_files path =
+  let ns =
+    match Manifest.read path with
+    | m -> Array.length m.Manifest.shards
+    | exception _ ->
+        (* manifest unreadable: probe for shard files *)
+        let k = ref 0 in
+        while Sys.file_exists (shard_path path !k) do
+          incr k
+        done;
+        !k
+  in
+  for k = 0 to ns - 1 do
+    remove_quiet (shard_path path k);
+    remove_quiet (shard_path path k ^ ".wal")
+  done;
+  remove_quiet (path ^ ".tmp");
+  remove_quiet path
+
+let mem_db ?page_model ?(partition = Manifest.Tid_range) ~shards sets =
+  let parts = slices ?page_model ~partition sets ~shards in
+  let subs = Array.map (fun slice -> Tx_db.create ?page_model slice) parts in
+  Tx_db.of_shards ?page_model subs

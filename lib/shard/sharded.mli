@@ -1,0 +1,136 @@
+(** A partitioned transaction store: N {!Cfq_store.Store}s under one
+    {!Manifest}, surfaced as a single sharded {!Cfq_txdb.Tx_db.t}
+    composite over which [Counting.count_shared] runs count-distribution
+    mining (each shard counts its slice, the coordinator sums).
+
+    Layout on disk for a sharded store at [PATH]:
+    [PATH] is the manifest; shard [k] is a complete ordinary store at
+    [PATH.shard<k>] (segment + WAL), so every shard enjoys the store's own
+    recovery, buffer pool and fault machinery unchanged.
+
+    {2 Partitioning}
+
+    [Tid_range] (the default) splits the batch into contiguous slices
+    whose boundaries sit on page boundaries of the {e global} greedy
+    packing.  The packer restarts cleanly at a page boundary, so each
+    shard's local packing reproduces exactly its slice of the global page
+    geometry — the composite's pages, [page_of], checksums and logical
+    I/O charges are byte-identical to the unsharded store over the same
+    batch.  [Hash] scatters transactions by a stable mix of their index;
+    answers (supports are additive) are identical, but tid order and page
+    geometry differ from the unsharded store. *)
+
+open Cfq_itembase
+open Cfq_txdb
+
+type t
+
+(** [shard_path path k] is the store path of shard [k]. *)
+val shard_path : string -> int -> string
+
+(** {2 Partitioner} *)
+
+(** [tid_ranges ?page_model sizes ~shards] splits [0, Array.length sizes)
+    into [shards] contiguous (possibly empty) [(lo, hi)] ranges, in order,
+    each boundary snapped to a page-run start of the global packing.
+    Balanced by page runs, like [Tx_db.scan_chunks]. *)
+val tid_ranges :
+  ?page_model:Page_model.t -> int array -> shards:int -> (int * int) array
+
+(** [slices ?page_model ~partition sets ~shards] materialises the
+    per-shard transaction slices in shard order. *)
+val slices :
+  ?page_model:Page_model.t ->
+  partition:Manifest.partition ->
+  Itemset.t array ->
+  shards:int ->
+  Itemset.t array array
+
+(** {2 Building and opening} *)
+
+(** [build ?page_model ?partition ?on_shard_built ~shards path sets]
+    writes the shard stores and then the manifest (atomic temp+rename
+    each).  [on_shard_built k] runs after shard [k]'s store is durable —
+    the deterministic fault-injection seam for crash tests.  On {e any}
+    failure every shard file created so far (segment and WAL) is removed
+    along with the manifest temp, so a failed build leaves no orphans. *)
+val build :
+  ?page_model:Page_model.t ->
+  ?partition:Manifest.partition ->
+  ?on_shard_built:(int -> unit) ->
+  shards:int ->
+  string ->
+  Itemset.t array ->
+  unit
+
+(** [build_from_segment ?partition ~shards ~src path] partitions an
+    existing plain store's segment at [src] into a sharded store at
+    [path] (same page model). *)
+val build_from_segment :
+  ?partition:Manifest.partition -> shards:int -> src:string -> string -> unit
+
+(** [open_ ?cache_pages ?group_commit path] opens every shard (running
+    each store's recovery) and attaches the composite.  [cache_pages]
+    bounds {e each} shard's buffer pool.  If the manifest disagrees with
+    the live shards — a crash between shard seals and the manifest
+    rewrite, or recovery that folded WAL records — the manifest is
+    rebuilt from the shards (one raw scan) and rewritten with a bumped
+    generation before the composite is attached. *)
+val open_ : ?cache_pages:int -> ?group_commit:int -> string -> t
+
+val close : t -> unit
+
+(** The composite database: global tids in shard order, sharded so
+    [Counting.count_shared] distributes passes ({!Cfq_txdb.Tx_db.shards}
+    is [Some _]).  Re-fetch after {!seal}. *)
+val db : t -> Tx_db.t
+
+val stores : t -> Cfq_store.Store.t array
+val manifest : t -> Manifest.t
+
+(** {2 Ingestion} *)
+
+(** [append_tx t items] appends to one shard's WAL: the last shard under
+    [Tid_range] (preserving global tid order), round-robin under [Hash].
+    Visible in {!db} after {!seal}. *)
+val append_tx : t -> Itemset.t -> unit
+
+(** Flush every shard's WAL group to disk. *)
+val flush : t -> unit
+
+(** Seal every shard with pending WAL records, rewrite the manifest
+    (bumped generation, recomputed composite checksums) and re-attach the
+    composite.  Returns the total transactions sealed in. *)
+val seal : t -> int
+
+(** {2 Introspection and fault injection} *)
+
+val path : t -> string
+val shard_count : t -> int
+val size : t -> int
+val pages : t -> int
+val universe_size : t -> int
+
+(** [set_shard_fault t ~shard f] installs (or clears) a fault injector on
+    one shard's database: that shard's slice of every composite scan runs
+    the full page/checksum walk against it, and raised error pages are in
+    composite coordinates so the service can attribute them. *)
+val set_shard_fault : t -> shard:int -> Fault.t option -> unit
+
+(** [remove_files path] best-effort removes a sharded store's files
+    (manifest, temp, shard segments and WALs) — test cleanup. *)
+val remove_files : string -> unit
+
+(** {2 In-memory sharded composites}
+
+    [mem_db ?page_model ?partition ~shards sets] is the storeless twin:
+    the same partitioning over in-memory [Tx_db.create] shards, composed
+    with {!Cfq_txdb.Tx_db.of_shards}.  Under [Tid_range] the composite is
+    I/O-identical to [Tx_db.create sets].  This is the [CFQ_TEST_SHARDS]
+    test route. *)
+val mem_db :
+  ?page_model:Page_model.t ->
+  ?partition:Manifest.partition ->
+  shards:int ->
+  Itemset.t array ->
+  Tx_db.t

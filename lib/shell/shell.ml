@@ -13,6 +13,7 @@ type t = {
   mutable last_rules : Cfq_rules.Rule.t list;
   mutable service : Cfq_service.Service.t option;
   mutable store : Cfq_store.Store.t option;
+  mutable shard : Cfq_shard.Sharded.t option;
 }
 
 type response = {
@@ -31,6 +32,7 @@ let create ?ctx () =
     last_rules = [];
     service = None;
     store = None;
+    shard = None;
   }
 
 let par_of t = { Cfq_mining.Counting.domains = max 1 t.mine_domains; pool = None }
@@ -51,11 +53,16 @@ let drop_service t =
 (* a persistent store backs the current ctx's database: close it only
    after the session has moved to a different context *)
 let drop_store t =
-  match t.store with
+  (match t.store with
   | None -> ()
   | Some s ->
       (try Cfq_store.Store.close s with _ -> ());
-      t.store <- None
+      t.store <- None);
+  match t.shard with
+  | None -> ()
+  | Some s ->
+      (try Cfq_shard.Sharded.close s with _ -> ());
+      t.shard <- None
 
 let service_for t ctx =
   match t.service with
@@ -78,15 +85,20 @@ let help_text =
       "commands:";
       "  load <tx.fimi> [<items.csv>]   attach a database (and itemInfo table)";
       "  gen <n_tx> <n_items> [seed]    generate a synthetic Quest database";
-      "  open <store> [<cache_pages>]   attach a persistent store (buffer-pooled)";
+      "  open <store> [<cache_pages>] [shards=N]";
+      "                                 attach a persistent store (buffer-pooled);";
+      "                                 a manifest opens sharded, shards=N splits a";
+      "                                 plain segment into a sharded twin first";
       "  save <store>                   write the attached database to a store";
       "  ingest <store> <tx.fimi>       append transactions to a store and seal";
       "  set strategy <name>            apriori+ | cap | optimized | sequential | fm";
       "  set minconf <float>            rule confidence threshold";
       "  set domains <n>                counting domains per scan (1 = sequential)";
       "  set kernel <name>              counting kernel: auto | trie | direct2 | vertical";
-      "  set fault <p> [<cp> [<seed>]]  inject faults: transient-p, corrupt-p, seed";
-      "  set fault off                  remove fault injection";
+      "  set fault <p> [<cp> [<seed>]] [shard=K]";
+      "                                 inject faults: transient-p, corrupt-p, seed;";
+      "                                 shard=K pins the injector to one shard";
+      "  set fault off [shard=K]        remove fault injection";
       "  explain <query>                show the optimizer's plan, run nothing";
       "  advise <query>                 probe the data, recommend a strategy";
       "  run <query>                    execute and summarise";
@@ -167,6 +179,45 @@ let do_gen t n_tx n_items seed =
 
 let info_csv_path store_path = store_path ^ ".info.csv"
 
+(* attach an already-built sharded store: the manifest lives at [mpath],
+   the itemInfo table beside it or beside the original plain segment the
+   shards were split from *)
+let do_open_sharded t mpath cache_pages ~info_candidates =
+  match Cfq_shard.Sharded.open_ ?cache_pages mpath with
+  | exception Cfq_shard.Manifest.Bad_manifest msg -> say "open failed: %s" msg
+  | exception Cfq_store.Segment.Bad_segment msg -> say "open failed: %s" msg
+  | exception Unix.Unix_error (e, _, _) ->
+      say "open failed: %s: %s" mpath (Unix.error_message e)
+  | exception Sys_error msg -> say "open failed: %s" msg
+  | sh -> (
+      let universe_size = max 1 (Cfq_shard.Sharded.universe_size sh) in
+      let info_result =
+        match List.find_opt Sys.file_exists info_candidates with
+        | None -> Ok (Item_info.create ~universe_size)
+        | Some p -> (
+            match Cfq_data.Item_csv.read p ~universe_size with
+            | info -> Ok info
+            | exception Cfq_data.Item_csv.Bad_format msg -> Error msg
+            | exception Sys_error msg -> Error msg)
+      in
+      match info_result with
+      | Error msg ->
+          Cfq_shard.Sharded.close sh;
+          say "open failed: %s" msg
+      | Ok info ->
+          t.ctx <- Some (Exec.context (Cfq_shard.Sharded.db sh) info);
+          t.last <- None;
+          drop_service t;
+          drop_store t;
+          t.shard <- Some sh;
+          let m = Cfq_shard.Sharded.manifest sh in
+          say "opened %s: %d shards (%s), %d transactions, %d pages, generation %d"
+            mpath
+            (Cfq_shard.Sharded.shard_count sh)
+            (Cfq_shard.Manifest.partition_name m.Cfq_shard.Manifest.partition)
+            (Cfq_shard.Sharded.size sh) (Cfq_shard.Sharded.pages sh)
+            m.Cfq_shard.Manifest.generation)
+
 let do_open t path cache_pages =
   match Cfq_store.Store.open_ ?cache_pages path with
   | exception Cfq_store.Segment.Bad_segment msg -> say "open failed: %s" msg
@@ -203,6 +254,29 @@ let do_open t path cache_pages =
                Printf.sprintf " (recovered %d WAL records, dropped %d torn bytes)"
                  r.Cfq_store.Store.replayed r.Cfq_store.Store.truncated_bytes
              else ""))
+
+(* 'open' front door: a manifest at [path] opens sharded as-is; a plain
+   segment with [shards=N] (N>1) is split once into a sharded twin at
+   [path.sharded] (reused on later opens); otherwise the plain store *)
+let do_open_any t path cache_pages shards =
+  if Cfq_shard.Manifest.is_manifest path then
+    do_open_sharded t path cache_pages ~info_candidates:[ info_csv_path path ]
+  else if shards > 1 then begin
+    let mpath = path ^ ".sharded" in
+    match
+      if not (Cfq_shard.Manifest.is_manifest mpath) then
+        Cfq_shard.Sharded.build_from_segment ~shards ~src:path mpath
+    with
+    | exception Cfq_store.Segment.Bad_segment msg -> say "open failed: %s" msg
+    | exception Cfq_shard.Manifest.Bad_manifest msg -> say "open failed: %s" msg
+    | exception Unix.Unix_error (e, _, _) ->
+        say "open failed: %s: %s" path (Unix.error_message e)
+    | exception Sys_error msg -> say "open failed: %s" msg
+    | () ->
+        do_open_sharded t mpath cache_pages
+          ~info_candidates:[ info_csv_path mpath; info_csv_path path ]
+  end
+  else do_open t path cache_pages
 
 let do_save ctx path =
   match
@@ -270,7 +344,31 @@ let do_run t ctx q =
   | Error e -> say "run failed: %s" (Cfq_error.to_string e)
 
 let do_set_fault ctx args =
-  let db = ctx.Exec.db in
+  let composite = ctx.Exec.db in
+  (* a trailing shard=K pins the injector to one shard of a sharded
+     composite: only that shard's slice of each scan runs faulted *)
+  let shard_args, args =
+    List.partition (String.starts_with ~prefix:"shard=") args
+  in
+  let target =
+    match shard_args with
+    | [] -> Ok (composite, "")
+    | [ s ] -> (
+        let v = String.sub s 6 (String.length s - 6) in
+        match (int_of_string_opt v, Tx_db.shards composite) with
+        | None, _ -> Error "shard= wants an integer"
+        | Some _, None -> Error "the attached database is not sharded"
+        | Some k, Some subs when k >= 0 && k < Array.length subs ->
+            Ok (subs.(k), Printf.sprintf " (shard %d)" k)
+        | Some k, Some subs ->
+            Error
+              (Printf.sprintf "shard %d out of range (store has %d shards)" k
+                 (Array.length subs)))
+    | _ -> Error "at most one shard=K"
+  in
+  match target with
+  | Error msg -> say "set fault: %s" msg
+  | Ok (db, where) -> (
   match args with
   | [ "off" ] ->
       let report =
@@ -285,19 +383,19 @@ let do_set_fault ctx args =
               s.Fault.checksum_failures
       in
       Tx_db.set_faults db None;
-      say "%s" report
+      say "%s%s" report where
   | _ -> (
       match List.map float_of_string_opt args with
       | [ Some p ] when p >= 0. && p <= 1. ->
           Tx_db.set_faults db
             (Some (Fault.create { Fault.default_config with Fault.transient_p = p }));
-          say "fault injection on: transient-p=%g" p
+          say "fault injection on%s: transient-p=%g" where p
       | [ Some p; Some cp ] when p >= 0. && p <= 1. && cp >= 0. && cp <= 1. ->
           Tx_db.set_faults db
             (Some
                (Fault.create
                   { Fault.default_config with Fault.transient_p = p; corrupt_p = cp }));
-          say "fault injection on: transient-p=%g corrupt-p=%g" p cp
+          say "fault injection on%s: transient-p=%g corrupt-p=%g" where p cp
       | [ Some p; Some cp; Some seed ] when p >= 0. && p <= 1. && cp >= 0. && cp <= 1. ->
           Tx_db.set_faults db
             (Some
@@ -308,8 +406,12 @@ let do_set_fault ctx args =
                     corrupt_p = cp;
                     seed = Int64.of_float seed;
                   }));
-          say "fault injection on: transient-p=%g corrupt-p=%g seed=%.0f" p cp seed
-      | _ -> say "usage: set fault <transient-p> [<corrupt-p> [<seed>]] | set fault off")
+          say "fault injection on%s: transient-p=%g corrupt-p=%g seed=%.0f" where p cp
+            seed
+      | _ ->
+          say
+            "usage: set fault <transient-p> [<corrupt-p> [<seed>]] [shard=K] | set \
+             fault off [shard=K]"))
 
 let do_pairs t n =
   match t.last with
@@ -362,10 +464,33 @@ let do_stats t ctx =
           (Io_stats.pool_hits io) (Io_stats.pool_misses io)
           (Io_stats.pool_evictions io)
   in
-  say "transactions: %d\navg length: %.2f\npages (4K): %d\nattributes: %s%s"
-    (Tx_db.size db) (Tx_db.avg_tx_len db) (Tx_db.pages db)
+  let manifest_line =
+    match t.shard with
+    | None -> ""
+    | Some sh ->
+        let m = Cfq_shard.Sharded.manifest sh in
+        Printf.sprintf "\nsharded store: %s (%s partition, generation %d)"
+          (Cfq_shard.Sharded.path sh)
+          (Cfq_shard.Manifest.partition_name m.Cfq_shard.Manifest.partition)
+          m.Cfq_shard.Manifest.generation
+  in
+  let shard_lines =
+    match Tx_db.shards db with
+    | None -> ""
+    | Some subs ->
+        let ios = Tx_db.shard_io db in
+        String.concat ""
+          (List.init (Array.length subs) (fun k ->
+               Printf.sprintf
+                 "\nshard %d: %d transactions, %d pages, %d scans, %d pages read"
+                 k (Tx_db.size subs.(k)) (Tx_db.pages subs.(k))
+                 (Io_stats.scans ios.(k))
+                 (Io_stats.pages_read ios.(k))))
+  in
+  say "transactions: %d\navg length: %.2f\npages (4K): %d\nchunk runs: %d\nattributes: %s%s%s%s"
+    (Tx_db.size db) (Tx_db.avg_tx_len db) (Tx_db.pages db) (Tx_db.chunk_runs db)
     (if attrs = "" then "(none)" else attrs)
-    store_line
+    store_line manifest_line shard_lines
 
 let split_words line =
   String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
@@ -490,13 +615,28 @@ let eval t line =
             (Cfq_report.Table.render
                (Cfq_service.Service.metrics_table (service_for t ctx))))
   | "open" -> (
+      let usage () = say "usage: open <store.cfqdb> [<cache_pages>] [shards=N]" in
       match split_words rest with
-      | [ path ] -> do_open t path None
-      | [ path; n ] -> (
-          match int_of_string_opt n with
-          | Some c when c >= 1 -> do_open t path (Some c)
-          | Some _ | None -> say "cache_pages must be an integer >= 1")
-      | _ -> say "usage: open <store.cfqdb> [<cache_pages>]")
+      | path :: opts -> (
+          let parse (acc, err) w =
+            match acc with
+            | cache, _ when String.starts_with ~prefix:"shards=" w -> (
+                let v = String.sub w 7 (String.length w - 7) in
+                match int_of_string_opt v with
+                | Some n when n >= 1 -> ((cache, n), err)
+                | Some _ | None -> (acc, Some "shards must be an integer >= 1"))
+            | None, shards -> (
+                match int_of_string_opt w with
+                | Some c when c >= 1 -> ((Some c, shards), err)
+                | Some _ | None -> (acc, Some "cache_pages must be an integer >= 1"))
+            | Some _, _ -> (acc, Some "too many arguments")
+          in
+          match List.fold_left parse ((None, 1), None) opts with
+          | _, Some msg ->
+              let u = usage () in
+              say "%s\n%s" msg u.output
+          | (cache_pages, shards), None -> do_open_any t path cache_pages shards)
+      | [] -> usage ())
   | "save" -> (
       match split_words rest with
       | [ path ] -> with_ctx t (fun ctx -> do_save ctx path)

@@ -187,6 +187,7 @@ let size t = Tx_db.size t.db
 let pages t = Tx_db.pages t.db
 let page_model t = t.seg.Segment.pm
 let universe_size t = t.seg.Segment.universe
+let generation t = t.seg.Segment.generation
 let io t = t.io
 let last_recovery t = t.recovery
 let wal_counters t = (Wal.appended t.wal, Wal.fsyncs t.wal)

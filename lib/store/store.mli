@@ -95,6 +95,11 @@ val page_model : t -> Page_model.t
 (** Item-universe size recorded in the segment header. *)
 val universe_size : t -> int
 
+(** Generation of the live sealed segment (bumped by every seal and
+    WAL-folding recovery).  A sharded manifest records it per shard to
+    detect a crash between shard seals and the manifest rewrite. *)
+val generation : t -> int
+
 (** Physical I/O of this store's buffer pool: pool hits / misses /
     evictions ({!Io_stats.pool_hits} etc.; misses = real page reads). *)
 val io : t -> Io_stats.t

@@ -39,6 +39,19 @@ type t = {
   page_of : int array;  (* tx index -> (first) page holding it *)
   checksums : int array;  (* per page, over the resident transactions *)
   mutable faults : Fault.t option;
+  shard_meta : shard_meta option;
+  mutable run_starts : int array option;  (* memoised scan_chunks geometry *)
+}
+
+(* A sharded composite: the sub-databases in tid order plus the prefix-sum
+   offset tables translating between global and shard-local coordinates.
+   [sh_io] carries one stats sink per shard so distributed counting can
+   attribute its logical I/O per shard. *)
+and shard_meta = {
+  subs : t array;
+  tx_base : int array;  (* length n_shards + 1; tx_base.(k) = first global tid of shard k *)
+  pg_base : int array;  (* length n_shards + 1; pg_base.(k) = first global page of shard k *)
+  sh_io : Io_stats.t array;
 }
 
 let compute_checksums ~pages ~page_of txs =
@@ -62,6 +75,8 @@ let create ?(page_model = Page_model.default) itemsets =
     page_of;
     checksums = compute_checksums ~pages ~page_of txs;
     faults = None;
+    shard_meta = None;
+    run_starts = None;
   }
 
 let of_backend ?(page_model = Page_model.default) ~pages ~page_of ~checksums
@@ -76,6 +91,8 @@ let of_backend ?(page_model = Page_model.default) ~pages ~page_of ~checksums
     page_of;
     checksums;
     faults = None;
+    shard_meta = None;
+    run_starts = None;
   }
 
 let size t = t.n
@@ -155,24 +172,38 @@ let begin_scan t stats =
 
 let iter_range t ~lo ~hi f = iter_extent t ~lo ~hi f
 
+(* Page run starts in tx order; chunk boundaries only ever sit on them, so
+   no page is split across chunks.  The geometry is fixed for the life of a
+   handle (a seal opens a fresh handle on the new generation), so it is
+   computed once and memoised.  A concurrent double-compute is benign: both
+   writers store identical arrays. *)
+let run_starts t =
+  match t.run_starts with
+  | Some s -> s
+  | None ->
+      let n = t.n in
+      let starts = ref [] in
+      let i = ref 0 in
+      while !i < n do
+        starts := !i :: !starts;
+        let page = t.page_of.(!i) in
+        let j = ref !i in
+        while !j < n && t.page_of.(!j) = page do
+          incr j
+        done;
+        i := !j
+      done;
+      let arr = Array.of_list (List.rev !starts) in
+      t.run_starts <- Some arr;
+      arr
+
+let chunk_runs t = Array.length (run_starts t)
+
 let scan_chunks t ~max_chunks =
   let n = t.n in
   if n = 0 then []
   else begin
-    (* page run starts in tx order; chunk boundaries only ever sit on them,
-       so no page is split across chunks *)
-    let starts = ref [] in
-    let i = ref 0 in
-    while !i < n do
-      starts := !i :: !starts;
-      let page = t.page_of.(!i) in
-      let j = ref !i in
-      while !j < n && t.page_of.(!j) = page do
-        incr j
-      done;
-      i := !j
-    done;
-    let starts = Array.of_list (List.rev !starts) in
+    let starts = run_starts t in
     let runs = Array.length starts in
     let k = max 1 (min max_chunks runs) in
     List.init k (fun c ->
@@ -228,3 +259,168 @@ let avg_tx_len t =
         in
         float_of_int total /. float_of_int t.n
     | Ext e -> e.ext_avg_len
+
+(* ------------------------------------------------------------------ *)
+(* Sharded composites                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The ranged variant of [fault_page_walk]: validate and deliver the pages
+   of [lo..hi] against a shard's own injector.  Callers pass page-aligned
+   ranges (every composite route point — full scans, chunk boundaries,
+   shard boundaries — sits on a page boundary), so each extent covers its
+   whole page and the checksum comparison is exact. *)
+let ranged_fault_walk t fl ~lo ~hi deliver =
+  Fault.on_scan fl;
+  let i = ref lo in
+  while !i <= hi do
+    let page = t.page_of.(!i) in
+    Fault.on_page fl ~page;
+    let j = ref !i in
+    while !j <= hi && t.page_of.(!j) = page do
+      incr j
+    done;
+    verify_extent t fl ~page ~lo:!i ~hi:(!j - 1);
+    deliver ~lo:!i ~hi:(!j - 1);
+    i := !j
+  done
+
+(* largest k with base.(k) <= x; empty shards (base.(k) = base.(k+1)) are
+   skipped because the search prefers the rightmost qualifying index *)
+let locate base x =
+  let ns = Array.length base - 1 in
+  let lo = ref 0 and hi = ref (ns - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if base.(mid) <= x then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let globalize_error pg_base k = function
+  | Cfq_error.Transient_io { page } ->
+      Cfq_error.Transient_io { page = page + pg_base.(k) }
+  | Cfq_error.Corrupt_page { page } ->
+      Cfq_error.Corrupt_page { page = page + pg_base.(k) }
+  | e -> e
+
+let of_shards ?page_model ?checksums subs =
+  let ns = Array.length subs in
+  if ns = 0 then invalid_arg "Tx_db.of_shards: at least one shard required";
+  let page_model =
+    match page_model with Some pm -> pm | None -> subs.(0).page_model
+  in
+  let tx_base = Array.make (ns + 1) 0 and pg_base = Array.make (ns + 1) 0 in
+  for k = 0 to ns - 1 do
+    tx_base.(k + 1) <- tx_base.(k) + subs.(k).n;
+    pg_base.(k + 1) <- pg_base.(k) + subs.(k).pages
+  done;
+  let n = tx_base.(ns) and pages = pg_base.(ns) in
+  let page_of = Array.make n 0 in
+  for k = 0 to ns - 1 do
+    let sub = subs.(k) in
+    for i = 0 to sub.n - 1 do
+      page_of.(tx_base.(k) + i) <- pg_base.(k) + sub.page_of.(i)
+    done
+  done;
+  (* shards store their transactions under local tids; the composite view
+     re-tids on the way out so global tids are [0, n) in shard order *)
+  let retid base tx =
+    if base = 0 then tx
+    else Transaction.make ~tid:(base + tx.Transaction.tid) ~items:tx.Transaction.items
+  in
+  let iter ~lo ~hi f =
+    let k0 = locate tx_base lo and k1 = locate tx_base hi in
+    for k = k0 to k1 do
+      let sub = subs.(k) in
+      let base = tx_base.(k) in
+      let llo = max 0 (lo - base) and lhi = min (sub.n - 1) (hi - base) in
+      if lhi >= llo then begin
+        let deliver tx = f (retid base tx) in
+        match sub.faults with
+        | None -> iter_extent sub ~lo:llo ~hi:lhi deliver
+        | Some fl -> (
+            (* a shard with its own injector validates its slice of the
+               composite scan; raised pages are translated to composite
+               coordinates so callers can attribute the failure *)
+            try
+              ranged_fault_walk sub fl ~lo:llo ~hi:lhi (fun ~lo ~hi ->
+                  iter_extent sub ~lo ~hi deliver)
+            with Cfq_error.Error e ->
+              Cfq_error.raise_error (globalize_error pg_base k e))
+      end
+    done
+  in
+  let get_tx tid =
+    let k = locate tx_base tid in
+    let base = tx_base.(k) in
+    match get subs.(k) (tid - base) with
+    | tx -> retid base tx
+    | exception Cfq_error.Error e ->
+        Cfq_error.raise_error (globalize_error pg_base k e)
+  in
+  let avg =
+    if n = 0 then 0.
+    else
+      Array.fold_left
+        (fun acc sub -> acc +. (avg_tx_len sub *. float_of_int sub.n))
+        0. subs
+      /. float_of_int n
+  in
+  let checksums =
+    match checksums with
+    | Some c ->
+        if Array.length c <> pages then
+          invalid_arg "Tx_db.of_shards: one checksum per composite page required";
+        c
+    | None ->
+        (* recompute over global tids with one raw walk; shard checksums
+           cover local tids and cannot be reused *)
+        let sums = Array.make pages Checksum.seed in
+        Array.iteri
+          (fun k sub ->
+            let base = tx_base.(k) in
+            if sub.n > 0 then
+              iter_extent sub ~lo:0 ~hi:(sub.n - 1) (fun tx ->
+                  let g = base + tx.Transaction.tid in
+                  let p = page_of.(g) in
+                  sums.(p) <- Checksum.add_tx sums.(p) (retid base tx)))
+          subs;
+        sums
+  in
+  {
+    data = Ext { ext_iter = iter; ext_get = get_tx; ext_avg_len = avg };
+    n;
+    page_model;
+    pages;
+    page_of;
+    checksums;
+    faults = None;
+    shard_meta =
+      Some
+        {
+          subs;
+          tx_base;
+          pg_base;
+          sh_io = Array.init ns (fun _ -> Io_stats.create ());
+        };
+    run_starts = None;
+  }
+
+let shard_meta_exn t =
+  match t.shard_meta with
+  | Some m -> m
+  | None -> invalid_arg "Tx_db: not a sharded composite"
+
+let shards t =
+  match t.shard_meta with Some m -> Some m.subs | None -> None
+
+let shard_io t =
+  match t.shard_meta with Some m -> m.sh_io | None -> [||]
+
+let shard_of_page t page =
+  let m = shard_meta_exn t in
+  if page < 0 || page >= t.pages then
+    invalid_arg "Tx_db.shard_of_page: page out of range";
+  locate m.pg_base page
+
+let shard_page_base t k = (shard_meta_exn t).pg_base.(k)
+let shard_tx_base t k = (shard_meta_exn t).tx_base.(k)

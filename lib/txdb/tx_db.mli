@@ -50,6 +50,41 @@ val of_backend :
   unit ->
   t
 
+(** {2 Sharded composites}
+
+    [of_shards subs] is one logical database spanning the given shards in
+    tid order: global tids are the concatenation of the shards' local tids
+    and global pages the concatenation of their pages.  Scans and point
+    reads route to the owning shard and re-tid transactions on the way
+    out.  A shard with its own fault injector validates its slice of every
+    composite scan (same page/checksum walk as a local scan) and raised
+    error pages are translated to composite coordinates, so callers can
+    attribute a failure to a shard with {!shard_of_page}.
+
+    [checksums] are the composite's per-page checksums over {e global}
+    tids; when omitted they are recomputed with one raw walk (shard-local
+    checksums cover local tids and cannot be reused).  Install faults
+    either on the composite or on individual shards — combining both makes
+    the injectors draw independently, which is rarely what a test wants. *)
+
+val of_shards : ?page_model:Page_model.t -> ?checksums:int array -> t array -> t
+
+(** The sub-databases of a composite, in tid order ([None] otherwise). *)
+val shards : t -> t array option
+
+(** One {!Io_stats} sink per shard of a composite (distributed counting
+    charges each shard's local I/O here); [[||]] for ordinary databases. *)
+val shard_io : t -> Io_stats.t array
+
+(** [shard_of_page t page] is the shard owning composite page [page].
+    Raises [Invalid_argument] on an ordinary database. *)
+val shard_of_page : t -> int -> int
+
+(** First composite page / tid of shard [k].  Raise on ordinary DBs. *)
+val shard_page_base : t -> int -> int
+
+val shard_tx_base : t -> int -> int
+
 val size : t -> int
 
 (** Number of pages a full sequential scan touches. *)
@@ -86,6 +121,12 @@ val iter_scan : t -> Io_stats.t -> (Transaction.t -> unit) -> unit
     across chunks.  The ranges are disjoint, in ascending order, and cover
     every transaction; the empty database yields [[]]. *)
 val scan_chunks : t -> max_chunks:int -> (int * int) list
+
+(** Number of page runs {!scan_chunks} partitions — the upper bound on
+    useful chunks.  The run geometry is fixed for the life of a handle (a
+    seal opens a new handle), so it is computed once and memoised; this
+    accessor exposes it for shard sizing and [stats] reporting. *)
+val chunk_runs : t -> int
 
 (** [begin_scan t stats] charges one full scan to [stats] and, with faults
     installed, runs the complete page/checksum validation walk (raising
