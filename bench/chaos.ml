@@ -16,6 +16,17 @@
    immutable and cached pairs carry absolute supports), with the circuit
    breaker tripping on the consecutive failures.
 
+   Phase C is a replica kill: the same transactions are written to two
+   on-disk sharded stores — one unreplicated, one with two replicas per
+   shard — and replica 0 of {e every} shard of the replicated store is
+   permanently faulted.  The replica layer must fail every read over to
+   the healthy siblings: all answers equal the fault-free reference with
+   zero degraded answers and zero breaker trips, and the ccc counters and
+   logical page charges equal the unreplicated run's.  Afterwards a data
+   page of one replica is rotted on disk and the scrubber must quarantine
+   it, rebuild it from its sibling, and leave every replica
+   checksum-clean.
+
    The whole run is deterministic: one worker domain, sequential
    submission, fixed fault seeds, and no wall-clock-dependent output, so
    two invocations print byte-identical reports (CI diffs them). *)
@@ -66,6 +77,29 @@ let storm_queries () =
          & S.Type = T.Type}"
         (305. +. (10. *. float_of_int k))
         (690. -. (20. *. float_of_int k)))
+
+(* phase C: every read of the preferred replica fails — the pure
+   replica-kill, no corruption, no crashes *)
+let kill_faults =
+  { Cfq_txdb.Fault.default_config with Cfq_txdb.Fault.seed = 0x5EFA11L; transient_p = 1.0 }
+
+(* the full injector configuration, so a replay can reconstruct each
+   phase's fault stream exactly *)
+let fault_config_json indent (c : Cfq_txdb.Fault.config) =
+  let f = Printf.sprintf in
+  String.concat "\n"
+    (List.map
+       (fun s -> indent ^ s)
+       [
+         f "\"seed\": %Ld," c.Cfq_txdb.Fault.seed;
+         f "\"transient_p\": %g," c.Cfq_txdb.Fault.transient_p;
+         f "\"fail_first\": %d," c.Cfq_txdb.Fault.fail_first;
+         f "\"spike_p\": %g," c.Cfq_txdb.Fault.spike_p;
+         f "\"spike_seconds\": %g," c.Cfq_txdb.Fault.spike_seconds;
+         f "\"corrupt_p\": %g," c.Cfq_txdb.Fault.corrupt_p;
+         f "\"max_corrupt\": %d," c.Cfq_txdb.Fault.max_corrupt;
+         f "\"crash_p\": %g" c.Cfq_txdb.Fault.crash_p;
+       ])
 
 let pct n total = 100. *. float_of_int n /. float_of_int (max 1 total)
 
@@ -192,6 +226,122 @@ let run (scale : Workloads.scale) =
       m.Metrics.retries m.Metrics.degraded m.Metrics.breaker_trips;
     exit 1
   end;
+
+  (* ---- phase C: replica kill ---- *)
+  let sets =
+    Array.init (Cfq_txdb.Tx_db.size db) (fun i ->
+        (Cfq_txdb.Tx_db.get db i).Cfq_txdb.Transaction.items)
+  in
+  let base = Filename.temp_file "cfq_chaos" ".cfqdb" in
+  let path_r1 = base ^ ".r1" and path_r2 = base ^ ".r2" in
+  Cfq_shard.Sharded.build ~shards:3 ~replicas:1 path_r1 sets;
+  Cfq_shard.Sharded.build ~shards:3 ~replicas:2 path_r2 sets;
+  let serve_store path ~kill =
+    let sh = Cfq_shard.Sharded.open_ path in
+    if kill then
+      (* permanently fault the preferred replica of EVERY shard *)
+      for k = 0 to Cfq_shard.Sharded.shard_count sh - 1 do
+        Cfq_shard.Sharded.set_replica_fault sh ~shard:k ~replica:0
+          (Some (Cfq_txdb.Fault.create kill_faults))
+      done;
+    let svc =
+      Service.create ~config (Exec.context (Cfq_shard.Sharded.db sh) info)
+    in
+    let served = List.map (fun q -> Service.run svc q) storm in
+    let m = Service.metrics svc in
+    Service.shutdown svc;
+    (sh, served, m)
+  in
+  let sh1, served1, m1 = serve_store path_r1 ~kill:false in
+  Cfq_shard.Sharded.close sh1;
+  let sh2, served2, m2 = serve_store path_r2 ~kill:true in
+  let kill_aborted = ref 0
+  and kill_degraded = ref 0
+  and kill_mismatches = ref 0 in
+  List.iter
+    (fun (expected, r) ->
+      match r with
+      | Error e ->
+          incr kill_aborted;
+          Printf.printf "replica-kill ABORTED: %s\n" (Service.error_to_string e)
+      | Ok a ->
+          if a.Service.served_from = Service.Degraded then incr kill_degraded;
+          if sorted_pairs a.Service.pairs <> expected then incr kill_mismatches)
+    (List.combine storm_ref served2);
+  (* the unreplicated twin is the baseline for answers AND charges *)
+  List.iter
+    (fun (expected, r) ->
+      match r with
+      | Ok a when sorted_pairs a.Service.pairs = expected -> ()
+      | _ -> incr kill_mismatches)
+    (List.combine storm_ref served1);
+  let ccc_equal =
+    m1.Metrics.support_counted = m2.Metrics.support_counted
+    && m1.Metrics.constraint_checks = m2.Metrics.constraint_checks
+    && m1.Metrics.scans = m2.Metrics.scans
+    && m1.Metrics.pages_read = m2.Metrics.pages_read
+  in
+  Printf.printf
+    "phase C (replica kill): failovers=%d degraded=%d breaker_trips=%d \
+     failures=%d mismatches=%d ccc+pages identical to unreplicated=%b\n"
+    m2.Metrics.failovers !kill_degraded m2.Metrics.breaker_trips
+    m2.Metrics.failures !kill_mismatches ccc_equal;
+
+  (* clear the injectors, rot a data page of one replica on disk, and let
+     the scrubber quarantine + rebuild it from its sibling *)
+  for k = 0 to Cfq_shard.Sharded.shard_count sh2 - 1 do
+    Cfq_shard.Sharded.set_replica_fault sh2 ~shard:k ~replica:0 None
+  done;
+  let victim = Cfq_shard.Replica.replica_path path_r2 ~shard:0 ~replica:0 in
+  let fd = Unix.openfile victim [ Unix.O_RDWR ] 0 in
+  let ps =
+    (Cfq_store.Store.page_model (Cfq_shard.Sharded.stores sh2).(0))
+      .Cfq_txdb.Page_model.page_size_bytes
+  in
+  ignore (Unix.lseek fd (ps + 3) Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x40));
+  ignore (Unix.lseek fd (ps + 3) Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd;
+  let scrub = Cfq_shard.Scrub.run sh2 in
+  let clean =
+    Cfq_shard.Scrub.healthy_report (Cfq_shard.Scrub.health_report sh2)
+  in
+  Cfq_shard.Sharded.close sh2;
+  Cfq_shard.Sharded.remove_files path_r1;
+  Cfq_shard.Sharded.remove_files path_r2;
+  (try Sys.remove base with Sys_error _ -> ());
+  Printf.printf
+    "phase C scrub: faults_found=%d repairs=%d repair_failures=%d \
+     checksum_clean=%b\n"
+    scrub.Cfq_shard.Scrub.faults_found scrub.Cfq_shard.Scrub.repairs
+    scrub.Cfq_shard.Scrub.repair_failures clean;
+
+  if
+    !kill_aborted > 0 || !kill_mismatches > 0 || !kill_degraded > 0
+    || m2.Metrics.breaker_trips > 0
+    || m2.Metrics.failures > 0
+    || (not ccc_equal)
+    || m2.Metrics.failovers = 0
+  then begin
+    Printf.printf
+      "\nFAIL: replica kill was not transparent (aborted=%d mismatches=%d \
+       degraded=%d trips=%d failures=%d ccc_equal=%b failovers=%d)\n"
+      !kill_aborted !kill_mismatches !kill_degraded m2.Metrics.breaker_trips
+      m2.Metrics.failures ccc_equal m2.Metrics.failovers;
+    exit 1
+  end;
+  if scrub.Cfq_shard.Scrub.repairs <> 1 || scrub.Cfq_shard.Scrub.repair_failures > 0 || not clean
+  then begin
+    Printf.printf
+      "\nFAIL: scrub did not repair the rotted replica (repairs=%d failures=%d clean=%b)\n"
+      scrub.Cfq_shard.Scrub.repairs scrub.Cfq_shard.Scrub.repair_failures clean;
+    exit 1
+  end;
+
+  let total = total + (2 * List.length storm) in
   Printf.printf
     "\nOK: all %d queries answered under faults; every answer equals the fault-free run\n"
     total;
@@ -207,13 +357,37 @@ let run (scale : Workloads.scale) =
         Printf.sprintf "  \"transactions\": %d," (Cfq_txdb.Tx_db.size db);
         "  \"calm\": {";
         Printf.sprintf "    \"transient\": %d," cs.Cfq_txdb.Fault.transient;
-        Printf.sprintf "    \"spikes\": %d" cs.Cfq_txdb.Fault.spikes;
+        Printf.sprintf "    \"spikes\": %d," cs.Cfq_txdb.Fault.spikes;
+        "    \"config\": {";
+        fault_config_json "      " calm_faults;
+        "    }";
         "  },";
         "  \"storm\": {";
         Printf.sprintf "    \"transient\": %d," ss.Cfq_txdb.Fault.transient;
         Printf.sprintf "    \"crashes\": %d," ss.Cfq_txdb.Fault.crashes;
         Printf.sprintf "    \"tampered\": %d," ss.Cfq_txdb.Fault.tampered;
-        Printf.sprintf "    \"checksum_failures\": %d" ss.Cfq_txdb.Fault.checksum_failures;
+        Printf.sprintf "    \"checksum_failures\": %d," ss.Cfq_txdb.Fault.checksum_failures;
+        "    \"config\": {";
+        fault_config_json "      " storm_faults;
+        "    }";
+        "  },";
+        "  \"replica_kill\": {";
+        Printf.sprintf "    \"queries\": %d," (List.length storm);
+        "    \"shards\": 3,";
+        "    \"replicas\": 2,";
+        Printf.sprintf "    \"failovers\": %d," m2.Metrics.failovers;
+        Printf.sprintf "    \"degraded\": %d," !kill_degraded;
+        Printf.sprintf "    \"breaker_trips\": %d," m2.Metrics.breaker_trips;
+        Printf.sprintf "    \"failures\": %d," m2.Metrics.failures;
+        Printf.sprintf "    \"mismatches\": %d," !kill_mismatches;
+        Printf.sprintf "    \"ccc_and_pages_identical\": %b," ccc_equal;
+        Printf.sprintf "    \"scrub_faults_found\": %d," scrub.Cfq_shard.Scrub.faults_found;
+        Printf.sprintf "    \"scrub_repairs\": %d," scrub.Cfq_shard.Scrub.repairs;
+        Printf.sprintf "    \"scrub_repair_failures\": %d," scrub.Cfq_shard.Scrub.repair_failures;
+        Printf.sprintf "    \"checksum_clean\": %b," clean;
+        "    \"config\": {";
+        fault_config_json "      " kill_faults;
+        "    }";
         "  },";
         "  \"service\": {";
         Printf.sprintf "    \"retries\": %d," m.Metrics.retries;

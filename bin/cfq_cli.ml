@@ -394,6 +394,17 @@ let shards_arg =
               $(b,serve), N > 1 against a plain segment splits it into a \
               sharded twin at $(i,PATH).sharded first.")
 
+let replicas_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "replicas" ] ~docv:"R"
+        ~doc:"Keep R physical replicas of every shard under the manifest \
+              (replica 0 at $(i,PATH.shardK), siblings at \
+              $(i,PATH.shardK.rJ)).  Reads are served by one replica and fail \
+              over to a healthy sibling on I/O faults; ingestion mirrors to \
+              all of them with a write quorum.  R > 1 implies a sharded \
+              store.")
+
 let fault_shard_arg =
   Arg.(
     value
@@ -402,6 +413,15 @@ let fault_shard_arg =
         ~doc:"Pin the fault injector to shard K of a sharded store: only that \
               shard's slice of each scan is faulted, and only its breaker \
               should trip.")
+
+let fault_replica_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-replica" ] ~docv:"K:J"
+        ~doc:"Pin the fault injector to replica J of shard K: its sibling \
+              replicas stay clean, so reads fail over around the faulted one \
+              and answers are unchanged.")
 
 let verify_arg =
   Arg.(
@@ -417,26 +437,29 @@ let store_info store_path universe_size =
     Cfq_data.Item_csv.read info_path ~universe_size
   else Cfq_itembase.Item_info.create ~universe_size
 
-let store_build_cmd verbose tx items types seed data iteminfo store_path shards =
+let store_build_cmd verbose tx items types seed data iteminfo store_path shards
+    replicas =
   setup_logs verbose;
   match load_or_generate ~tx ~items ~types ~seed ~data ~iteminfo with
   | Error e -> Error e
   | Ok (db, info) ->
       Cfq_data.Item_csv.write (store_path ^ ".info.csv") info;
-      if shards > 1 then begin
+      if shards > 1 || replicas > 1 then begin
         let sets =
           Array.init (Cfq_txdb.Tx_db.size db) (fun i ->
               (Cfq_txdb.Tx_db.get db i).Cfq_txdb.Transaction.items)
         in
-        Cfq_shard.Sharded.build ~shards store_path sets;
+        Cfq_shard.Sharded.build ~shards ~replicas store_path sets;
         let sh = Cfq_shard.Sharded.open_ store_path in
         let m = Cfq_shard.Sharded.manifest sh in
         Printf.printf
-          "store: %s (sharded)\nshards: %d (%s partition)\ntransactions: %d\n\
+          "store: %s (sharded)\nshards: %d (%s partition)%s\ntransactions: %d\n\
            pages (4K): %d\nitem universe: %d\n"
           store_path
           (Cfq_shard.Sharded.shard_count sh)
           (Cfq_shard.Manifest.partition_name m.Cfq_shard.Manifest.partition)
+          (if replicas > 1 then Printf.sprintf "\nreplicas: %d per shard" replicas
+           else "")
           (Cfq_shard.Sharded.size sh)
           (Cfq_shard.Sharded.pages sh)
           (Cfq_shard.Sharded.universe_size sh);
@@ -514,14 +537,15 @@ type serve_backend =
   | Plain of Cfq_store.Store.t
   | Sharded of Cfq_shard.Sharded.t
 
-let open_backend store_path cache_pages shards =
+let open_backend ?(replicas = 1) store_path cache_pages shards =
   try
     if Cfq_shard.Manifest.is_manifest store_path then
       Ok (store_path, Sharded (Cfq_shard.Sharded.open_ ~cache_pages store_path))
-    else if shards > 1 then begin
+    else if shards > 1 || replicas > 1 then begin
       let mpath = store_path ^ ".sharded" in
       if not (Cfq_shard.Manifest.is_manifest mpath) then
-        Cfq_shard.Sharded.build_from_segment ~shards ~src:store_path mpath;
+        Cfq_shard.Sharded.build_from_segment ~replicas ~shards ~src:store_path
+          mpath;
       Ok (mpath, Sharded (Cfq_shard.Sharded.open_ ~cache_pages mpath))
     end
     else Ok (store_path, Plain (Cfq_store.Store.open_ ~cache_pages store_path))
@@ -554,11 +578,12 @@ let backend_recovery_lines = function
               k r.Cfq_store.Store.replayed r.Cfq_store.Store.truncated_bytes)
         (Cfq_shard.Sharded.stores sh)
 
-let store_serve_cmd verbose store_path cache_pages shards fault_shard domains
-    mine_domains kernel cache_mb deadline repeat fault_transient fault_corrupt
-    fault_spike fault_seed retries breaker_threshold verify file =
+let store_serve_cmd verbose store_path cache_pages shards replicas fault_shard
+    fault_replica domains mine_domains kernel cache_mb deadline repeat
+    fault_transient fault_corrupt fault_spike fault_seed retries
+    breaker_threshold verify file =
   setup_logs verbose;
-  match open_backend store_path cache_pages shards with
+  match open_backend ~replicas store_path cache_pages shards with
   | Error e -> Error e
   | Ok (opened_path, backend) ->
       let finish result =
@@ -590,6 +615,9 @@ let store_serve_cmd verbose store_path cache_pages shards fault_shard domains
                   (Cfq_store.Store.cache_pages st)
                   (Cfq_store.Store.pages st))
               (Cfq_shard.Sharded.stores sh);
+            if Cfq_shard.Sharded.replicas sh > 1 then
+              Printf.printf "replica failovers: %d\n"
+                (Cfq_shard.Sharded.failovers sh);
             Cfq_shard.Sharded.close sh);
         result
       in
@@ -629,27 +657,61 @@ let store_serve_cmd verbose store_path cache_pages shards fault_shard domains
               seed = Int64.of_int fault_seed;
             }
           in
+          let fault_replica_target =
+            match fault_replica with
+            | None -> Ok None
+            | Some s -> (
+                match String.index_opt s ':' with
+                | Some i -> (
+                    let k = String.sub s 0 i in
+                    let j = String.sub s (i + 1) (String.length s - i - 1) in
+                    match (int_of_string_opt k, int_of_string_opt j) with
+                    | Some k, Some j -> Ok (Some (k, j))
+                    | _ -> Error "--fault-replica wants K:J (two integers)")
+                | None -> Error "--fault-replica wants K:J (two integers)")
+          in
           let fault_error = ref None in
-          if Cfq_txdb.Fault.is_active fault_config then begin
-            let injector = Some (Cfq_txdb.Fault.create fault_config) in
-            (match (fault_shard, backend) with
-            | None, _ -> Cfq_txdb.Tx_db.set_faults db injector
-            | Some k, Sharded sh -> (
-                match Cfq_shard.Sharded.set_shard_fault sh ~shard:k injector with
-                | () -> ()
-                | exception Invalid_argument msg -> fault_error := Some msg)
-            | Some _, Plain _ ->
-                fault_error := Some "--fault-shard requires a sharded store");
-            if !fault_error = None then
-              Printf.printf
-                "fault injection%s: transient-p=%g corrupt-p=%g spike-p=%g seed=%d\n\n"
-                (match fault_shard with
-                | Some k -> Printf.sprintf " (shard %d)" k
-                | None -> "")
-                fault_transient fault_corrupt fault_spike fault_seed
-          end
-          else if fault_shard <> None then
-            fault_error := Some "--fault-shard needs an active fault probability";
+          (match fault_replica_target with
+          | Error msg -> fault_error := Some msg
+          | Ok fault_replica ->
+              if Cfq_txdb.Fault.is_active fault_config then begin
+                let injector = Some (Cfq_txdb.Fault.create fault_config) in
+                (match (fault_shard, fault_replica, backend) with
+                | Some _, Some _, _ ->
+                    fault_error :=
+                      Some "--fault-shard and --fault-replica: choose one"
+                | None, None, _ -> Cfq_txdb.Tx_db.set_faults db injector
+                | Some k, None, Sharded sh -> (
+                    match Cfq_shard.Sharded.set_shard_fault sh ~shard:k injector with
+                    | () -> ()
+                    | exception Invalid_argument msg -> fault_error := Some msg)
+                | None, Some (k, j), Sharded sh -> (
+                    match
+                      Cfq_shard.Sharded.set_replica_fault sh ~shard:k ~replica:j
+                        injector
+                    with
+                    | () -> ()
+                    | exception Invalid_argument msg -> fault_error := Some msg)
+                | Some _, None, Plain _ ->
+                    fault_error := Some "--fault-shard requires a sharded store"
+                | None, Some _, Plain _ ->
+                    fault_error := Some "--fault-replica requires a sharded store");
+                if !fault_error = None then
+                  Printf.printf
+                    "fault injection%s: transient-p=%g corrupt-p=%g spike-p=%g \
+                     seed=%d\n\n"
+                    (match (fault_shard, fault_replica) with
+                    | Some k, _ -> Printf.sprintf " (shard %d)" k
+                    | _, Some (k, j) ->
+                        Printf.sprintf " (shard %d, replica %d)" k j
+                    | None, None -> "")
+                    fault_transient fault_corrupt fault_spike fault_seed
+              end
+              else if fault_shard <> None then
+                fault_error := Some "--fault-shard needs an active fault probability"
+              else if fault_replica <> None then
+                fault_error :=
+                  Some "--fault-replica needs an active fault probability");
           match !fault_error with
           | Some msg -> finish (Error (`Msg msg))
           | None ->
@@ -680,6 +742,86 @@ let store_serve_cmd verbose store_path cache_pages shards fault_shard domains
           let result = passes 1 in
           Cfq_service.Service.shutdown service;
           finish result)
+
+(* re-read every page of every replica fresh from disk and report health;
+   with --repair, quarantined/stale replicas are rebuilt from healthy
+   siblings (sharded stores only) *)
+let store_verify_cmd verbose store_path cache_pages repair =
+  setup_logs verbose;
+  match open_backend store_path cache_pages 1 with
+  | Error e -> Error e
+  | Ok (opened_path, backend) -> (
+      let pp_faults faults =
+        String.concat ", "
+          (List.map
+             (fun f ->
+               Printf.sprintf "%d/%s" f.Cfq_store.Store.pf_page
+                 (Cfq_store.Store.page_fault_kind_name f.Cfq_store.Store.pf_kind))
+             faults)
+      in
+      match backend with
+      | Plain store ->
+          let faults = Cfq_store.Store.verify_pages store in
+          let n = Cfq_store.Store.pages store in
+          Cfq_store.Store.close store;
+          if faults = [] then begin
+            Printf.printf "%s: all %d pages verified\n" opened_path n;
+            Ok ()
+          end
+          else
+            Error
+              (`Msg
+                 (Printf.sprintf "%s: %d bad pages: %s" opened_path
+                    (List.length faults) (pp_faults faults)))
+      | Sharded sh ->
+          let finish r =
+            Cfq_shard.Sharded.close sh;
+            r
+          in
+          if repair then begin
+            let report = Cfq_shard.Scrub.run sh in
+            List.iter
+              (fun r ->
+                Printf.printf "shard %d replica %d: %s -> %s\n"
+                  r.Cfq_shard.Scrub.rr_shard r.Cfq_shard.Scrub.rr_replica
+                  (Cfq_shard.Scrub.outcome_name r.Cfq_shard.Scrub.rr_outcome)
+                  (Cfq_shard.Manifest.health_name r.Cfq_shard.Scrub.rr_health))
+              report.Cfq_shard.Scrub.rows;
+            Printf.printf
+              "scrubbed %d pages: %d faults, %d replicas repaired, %d repair \
+               failures\n"
+              report.Cfq_shard.Scrub.scrubbed_pages
+              report.Cfq_shard.Scrub.faults_found report.Cfq_shard.Scrub.repairs
+              report.Cfq_shard.Scrub.repair_failures;
+            finish
+              (if report.Cfq_shard.Scrub.repair_failures = 0 then Ok ()
+               else Error (`Msg "scrub left unrepaired replicas"))
+          end
+          else begin
+            let rows = Cfq_shard.Scrub.health_report sh in
+            List.iter
+              (fun r ->
+                Printf.printf "shard %d replica %d: %s (generation %d)%s\n"
+                  r.Cfq_shard.Scrub.hr_shard r.Cfq_shard.Scrub.hr_replica
+                  (Cfq_shard.Manifest.health_name r.Cfq_shard.Scrub.hr_health)
+                  r.Cfq_shard.Scrub.hr_generation
+                  (match r.Cfq_shard.Scrub.hr_faults with
+                  | [] -> ""
+                  | faults ->
+                      Printf.sprintf " -- %d bad pages: %s" (List.length faults)
+                        (pp_faults faults)))
+              rows;
+            finish
+              (if Cfq_shard.Scrub.healthy_report rows then begin
+                 print_endline "all replicas healthy, every page verified";
+                 Ok ()
+               end
+               else
+                 Error
+                   (`Msg
+                      "verification failed; run 'store verify --repair' to \
+                       quarantine and rebuild"))
+          end)
 
 let repl_cmd () =
   let session = Cfq_shell.Shell.create () in
@@ -795,13 +937,28 @@ let store_build_t =
   Term.(
     term_result
       (const store_build_cmd $ verbose_arg $ tx_arg $ items_arg $ types_arg
-     $ seed_arg $ data_arg $ iteminfo_arg $ store_path_arg $ shards_arg))
+     $ seed_arg $ data_arg $ iteminfo_arg $ store_path_arg $ shards_arg
+     $ replicas_arg))
+
+let repair_arg =
+  Arg.(
+    value & flag
+    & info [ "repair" ]
+        ~doc:"After verification, rebuild every stale or quarantined replica \
+              from a healthy sibling and re-admit it (sharded stores only).")
+
+let store_verify_t =
+  Term.(
+    term_result
+      (const store_verify_cmd $ verbose_arg $ store_path_arg $ cache_pages_arg
+     $ repair_arg))
 
 let store_serve_t =
   Term.(
     term_result
       (const store_serve_cmd $ verbose_arg $ store_path_arg $ cache_pages_arg
-     $ shards_arg $ fault_shard_arg $ domains_arg
+     $ shards_arg $ replicas_arg $ fault_shard_arg $ fault_replica_arg
+     $ domains_arg
      $ mine_domains_arg ~default:0
          ~default_doc:
            "Default 0 = inherit $(b,--domains); helpers are borrowed idle \
@@ -827,6 +984,13 @@ let store_cmd =
              "Serve a batch of CFQs from an on-disk store through the caching \
               query service, decoding pages through a bounded buffer pool.")
         store_serve_t;
+      Cmd.v
+        (Cmd.info "verify"
+           ~doc:
+             "Re-read every page of a store fresh from disk, check CRCs and \
+              logical checksums, and print a per-replica health report; \
+              $(b,--repair) rebuilds bad replicas from healthy siblings.")
+        store_verify_t;
     ]
 
 let main =

@@ -600,8 +600,11 @@ let all_bitmap_covered s subs families =
 let distributed ~par ~session db subs io families =
   let ns = Array.length subs in
   let cands_list = List.map snd families in
-  let sub_faulted = Array.exists (fun sub -> Tx_db.faults sub <> None) subs in
-  let faulted = Tx_db.faults db <> None || sub_faulted in
+  (* [backend_faulted] also sees a replica-level injector hidden behind a
+     shard's failover view, so replica faults pin the pass to the same
+     deterministic sequential order as shard or composite faults *)
+  let sub_faulted = Array.exists Tx_db.backend_faulted subs in
+  let faulted = Tx_db.backend_faulted db || sub_faulted in
   let pinned_trie =
     faulted
     || match session with None -> true | Some s -> s.plan.kernel = Trie

@@ -7,6 +7,7 @@ type shard_row = {
   shard_breaker : string;
   shard_scans : int;
   shard_pages_read : int;
+  shard_failovers : int;
 }
 
 type snapshot = {
@@ -43,6 +44,7 @@ type snapshot = {
   side_entries : int;
   side_bytes : int;
   evictions : int;
+  failovers : int;
   shards : shard_row list;
 }
 
@@ -179,8 +181,8 @@ let record_kernel_passes t ~trie ~direct2 ~vertical ~projected_scans ~bitmap_bui
 let observe_queue_depth t d =
   if d > t.queue_high_water then t.queue_high_water <- d
 
-let snapshot t ?(shards = []) ~answer_entries ~answer_bytes ~side_entries
-    ~side_bytes ~evictions () : snapshot =
+let snapshot t ?(shards = []) ?(failovers = 0) ~answer_entries ~answer_bytes
+    ~side_entries ~side_bytes ~evictions () : snapshot =
   {
     queries = t.queries;
     answer_hits = t.answer_hits;
@@ -215,6 +217,7 @@ let snapshot t ?(shards = []) ~answer_entries ~answer_bytes ~side_entries
     side_entries;
     side_bytes;
     evictions;
+    failovers;
     shards;
   }
 
@@ -258,14 +261,15 @@ let table (s : snapshot) =
   int "side cache entries" s.side_entries;
   row "side cache bytes" (Printf.sprintf "%d" s.side_bytes);
   int "evictions" s.evictions;
+  int "replica failovers" s.failovers;
   List.iter
     (fun r ->
       row
         (Printf.sprintf "shard %d" r.shard)
         (Printf.sprintf
-           "breaker=%s admissions=%d failures=%d trips=%d shed=%d scans=%d pages=%d"
+           "breaker=%s admissions=%d failures=%d trips=%d shed=%d scans=%d pages=%d failovers=%d"
            r.shard_breaker r.shard_admissions r.shard_failures r.shard_trips
-           r.shard_shed r.shard_scans r.shard_pages_read))
+           r.shard_shed r.shard_scans r.shard_pages_read r.shard_failovers))
     s.shards;
   tbl
 

@@ -19,6 +19,7 @@ type shard_row = {
   shard_breaker : string;  (** "closed" / "open" / "half-open" *)
   shard_scans : int;
   shard_pages_read : int;
+  shard_failovers : int;  (** reads a sibling replica had to serve *)
 }
 
 type snapshot = {
@@ -55,6 +56,7 @@ type snapshot = {
   side_entries : int;
   side_bytes : int;
   evictions : int;
+  failovers : int;  (** replica failovers, summed over shards *)
   shards : shard_row list;  (** one row per shard; [[]] unsharded *)
 }
 
@@ -107,6 +109,7 @@ val observe_queue_depth : t -> int -> unit
 val snapshot :
   t ->
   ?shards:shard_row list ->
+  ?failovers:int ->
   answer_entries:int ->
   answer_bytes:int ->
   side_entries:int ->

@@ -124,7 +124,6 @@ type t = {
   mutable consec_failures : int;
   mutable consec_rejections : int;
   shard_health : shard_health array;  (* one per shard; [||] unsharded *)
-  jitter : Cfq_quest.Splitmix.t;  (* retry-backoff jitter; draw under lock *)
 }
 
 type ticket =
@@ -163,7 +162,6 @@ let create ?(config = default_config) ctx =
                 sh_shed = 0;
               })
       | None -> [||]);
-    jitter = Cfq_quest.Splitmix.create ~seed:config.jitter_seed;
   }
 
 let ctx t = t.service_ctx
@@ -623,8 +621,18 @@ let breaker_note_outcome t ~ok =
 (* ------------------------------------------------------------------ *)
 (* retries and the guarded query wrapper *)
 
-let retry_delay t attempt =
-  let jitter = locked t (fun () -> Cfq_quest.Splitmix.float t.jitter) in
+(* The jitter is a pure function of (jitter_seed, query, attempt): a fresh
+   SplitMix stream keyed by their mix, rather than draws from one shared
+   stream whose order would depend on domain scheduling — so a fault-twin
+   run sees identical backoff delays at any worker count. *)
+let retry_delay t q attempt =
+  let key =
+    Int64.logxor t.service_config.jitter_seed
+      (Int64.add
+         (Int64.mul (Int64.of_int (Hashtbl.hash q)) 0x9E3779B97F4A7C15L)
+         (Int64.of_int attempt))
+  in
+  let jitter = Cfq_quest.Splitmix.float (Cfq_quest.Splitmix.create ~seed:key) in
   t.service_config.backoff_base *. (2. ** float_of_int attempt) *. (0.5 +. jitter)
 
 let guarded t ~deadline q () =
@@ -647,7 +655,7 @@ let guarded t ~deadline q () =
         Error Deadline_exceeded
     | exception Cfq_error.Error e ->
         if Cfq_error.is_transient e && n < t.service_config.retries then begin
-          let delay = retry_delay t n in
+          let delay = retry_delay t q n in
           let in_budget =
             match deadline with
             | Some d -> Unix.gettimeofday () +. delay < d
@@ -862,10 +870,15 @@ let metrics t =
                    (match io with Some io -> Io_stats.scans io | None -> 0);
                  shard_pages_read =
                    (match io with Some io -> Io_stats.pages_read io | None -> 0);
+                 shard_failovers =
+                   (match io with Some io -> Io_stats.failovers io | None -> 0);
                })
              t.shard_health)
       in
-      Metrics.snapshot t.service_metrics ~shards
+      let failovers =
+        Array.fold_left (fun a io -> a + Io_stats.failovers io) 0 shard_ios
+      in
+      Metrics.snapshot t.service_metrics ~shards ~failovers
         ~answer_entries:(Lru.length t.answers)
         ~answer_bytes:(Lru.weight t.answers)
         ~side_entries:(Lru.length t.sides)

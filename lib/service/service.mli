@@ -159,6 +159,14 @@ val run_many : t -> ?deadline:float -> Query.t list -> (answer, error) result li
 val metrics : t -> Metrics.snapshot
 val metrics_table : t -> Cfq_report.Table.t
 
+(** [retry_delay t q attempt] is the backoff slept before retry [attempt]
+    of [q]: [backoff_base · 2ᵃ · (0.5 + j)] where the jitter [j ∈ [0,1)]
+    is a pure function of ([config.jitter_seed], [q], [attempt]) — no
+    shared random stream, so the delay schedule is identical across runs,
+    domain counts, and retry interleavings.  Exposed for determinism
+    tests. *)
+val retry_delay : t -> Query.t -> int -> float
+
 (** Drop both caches (metrics keep accumulating). *)
 val cache_clear : t -> unit
 

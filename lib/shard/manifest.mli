@@ -3,11 +3,16 @@
 
     {v
     magic "CFQMAN01" | version | partition kind | shard count |
-    generation | composite n_txs / n_pages / universe |
-    per shard: n_txs, n_pages, segment generation |
+    generation | composite n_txs / n_pages / universe | replica count |
+    per shard: n_txs, n_pages, segment generation,
+               per replica: generation, health state |
     composite per-page logical checksums (global tids) |
     CRC-32 over everything above
     v}
+
+    Version 2 adds the replica count and the per-replica
+    (generation, health) pairs; version-1 manifests are still read, as a
+    single-replica store with every replica healthy.
 
     The per-shard generations pair with the shards' segment headers
     ({!Cfq_store.Segment}): a crash between shard seals and the manifest
@@ -25,10 +30,25 @@ type partition = Tid_range | Hash
 val partition_name : partition -> string
 val partition_of_string : string -> partition option
 
+(** Replica health as recorded in the manifest.  [Stale] — missed a
+    quorum write (its data lags the shard); [Quarantined] — the scrubber
+    found a page whose CRC or logical checksum fails.  Neither serves
+    reads until anti-entropy repair rebuilds it from a healthy sibling
+    and re-admits it [Healthy]. *)
+type health = Healthy | Stale | Quarantined
+
+val health_name : health -> string
+
+type replica_entry = {
+  r_generation : int;  (** that replica's segment generation *)
+  r_health : health;
+}
+
 type shard_entry = {
   s_txs : int;
   s_pages : int;
   s_generation : int;  (** segment generation recorded at manifest write *)
+  s_replicas : replica_entry array;  (** one per replica, replica 0 first *)
 }
 
 type t = {
@@ -37,6 +57,7 @@ type t = {
   universe : int;
   n_txs : int;  (** composite transaction count (sum over shards) *)
   n_pages : int;  (** composite page count (sum over shards) *)
+  replicas : int;  (** physical replicas per shard (>= 1) *)
   shards : shard_entry array;
   checksums : int array;  (** one per composite page, over global tids *)
 }

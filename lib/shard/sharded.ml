@@ -6,7 +6,7 @@ type t = {
   path : string;
   cache_pages : int option;
   group_commit : int option;
-  stores : Store.t array;
+  groups : Replica.t array;
   mutable db : Tx_db.t;
   mutable manifest : Manifest.t;
   mutable appended : int;  (* round-robin cursor for Hash routing *)
@@ -82,8 +82,45 @@ let slices ?page_model ~partition sets ~shards =
 
 (* composite checksums over global tids, walking the live shard databases
    raw (page_of comes from the handles, no repacking) *)
-let manifest_of_stores ~partition ~generation stores =
-  let ns = Array.length stores in
+let composite_checksums ~n_pages stores =
+  let sums = Array.make n_pages Tx_db.Checksum.seed in
+  let tbase = ref 0 and pbase = ref 0 in
+  Array.iter
+    (fun st ->
+      let sub = Store.db st in
+      let n = Tx_db.size sub in
+      if n > 0 then
+        Tx_db.iter_range sub ~lo:0 ~hi:(n - 1) (fun tx ->
+            let p = !pbase + Tx_db.page_of_tx sub tx.Transaction.tid in
+            let g =
+              Transaction.make ~tid:(!tbase + tx.Transaction.tid)
+                ~items:tx.Transaction.items
+            in
+            sums.(p) <- Tx_db.Checksum.add_tx sums.(p) g);
+      tbase := !tbase + n;
+      pbase := !pbase + Tx_db.pages sub)
+    stores;
+  sums
+
+let manifest_of_entries ~partition ~generation ~replicas entries stores =
+  let n_txs = Array.fold_left (fun a e -> a + e.Manifest.s_txs) 0 entries in
+  let n_pages = Array.fold_left (fun a e -> a + e.Manifest.s_pages) 0 entries in
+  let universe =
+    Array.fold_left (fun a st -> max a (Store.universe_size st)) 0 stores
+  in
+  {
+    Manifest.generation;
+    partition;
+    universe;
+    n_txs;
+    n_pages;
+    replicas;
+    shards = entries;
+    checksums = composite_checksums ~n_pages stores;
+  }
+
+(* a fresh build: every replica healthy at its store's generation *)
+let manifest_of_stores ~partition ~generation ~replicas stores =
   let entries =
     Array.map
       (fun st ->
@@ -91,39 +128,22 @@ let manifest_of_stores ~partition ~generation stores =
           Manifest.s_txs = Store.size st;
           s_pages = Store.pages st;
           s_generation = Store.generation st;
+          s_replicas =
+            Array.make replicas
+              {
+                Manifest.r_generation = Store.generation st;
+                r_health = Manifest.Healthy;
+              };
         })
       stores
   in
-  let n_txs = Array.fold_left (fun a e -> a + e.Manifest.s_txs) 0 entries in
-  let n_pages = Array.fold_left (fun a e -> a + e.Manifest.s_pages) 0 entries in
-  let universe =
-    Array.fold_left (fun a st -> max a (Store.universe_size st)) 0 stores
-  in
-  let sums = Array.make n_pages Tx_db.Checksum.seed in
-  let tbase = ref 0 and pbase = ref 0 in
-  for k = 0 to ns - 1 do
-    let sub = Store.db stores.(k) in
-    let n = Tx_db.size sub in
-    if n > 0 then
-      Tx_db.iter_range sub ~lo:0 ~hi:(n - 1) (fun tx ->
-          let p = !pbase + Tx_db.page_of_tx sub tx.Transaction.tid in
-          let g =
-            Transaction.make ~tid:(!tbase + tx.Transaction.tid)
-              ~items:tx.Transaction.items
-          in
-          sums.(p) <- Tx_db.Checksum.add_tx sums.(p) g);
-    tbase := !tbase + n;
-    pbase := !pbase + Tx_db.pages sub
-  done;
-  {
-    Manifest.generation;
-    partition;
-    universe;
-    n_txs;
-    n_pages;
-    shards = entries;
-    checksums = sums;
-  }
+  manifest_of_entries ~partition ~generation ~replicas entries stores
+
+(* a live store: per-replica generation and health come from the groups *)
+let manifest_of_groups ~partition ~generation ~replicas groups =
+  let entries = Array.map Replica.entry groups in
+  let stores = Array.map Replica.preferred_store groups in
+  manifest_of_entries ~partition ~generation ~replicas entries stores
 
 (* ------------------------------------------------------------------ *)
 (* Build                                                               *)
@@ -131,17 +151,17 @@ let manifest_of_stores ~partition ~generation stores =
 
 let remove_quiet p = try Sys.remove p with Sys_error _ -> ()
 
-let build ?page_model ?(partition = Manifest.Tid_range) ?on_shard_built
-    ~shards path sets =
+let build ?page_model ?(partition = Manifest.Tid_range) ?(replicas = 1)
+    ?on_shard_built ~shards path sets =
   let shards = max 1 shards in
+  let replicas = max 1 replicas in
   let parts = slices ?page_model ~partition sets ~shards in
   let created = ref [] in
   try
     Array.iteri
       (fun k slice ->
-        let sp = shard_path path k in
-        Store.build ?page_model sp slice;
-        created := sp :: !created;
+        let paths = Replica.build ?page_model ~replicas ~shard:k path slice in
+        created := List.rev_append paths !created;
         match on_shard_built with Some f -> f k | None -> ())
       parts;
     (* compute the composite view from freshly opened shards so the
@@ -150,10 +170,11 @@ let build ?page_model ?(partition = Manifest.Tid_range) ?on_shard_built
     Fun.protect
       ~finally:(fun () -> Array.iter (fun st -> try Store.close st with _ -> ()) stores)
       (fun () ->
-        Manifest.write path (manifest_of_stores ~partition ~generation:0 stores))
+        Manifest.write path
+          (manifest_of_stores ~partition ~generation:0 ~replicas stores))
   with e ->
-    (* a failed build leaves no orphaned shard files: every store created
-       so far (segment + WAL) goes, and so does the manifest temp *)
+    (* a failed build leaves no orphaned shard files: every replica store
+       created so far (segment + WAL) goes, and so does the manifest temp *)
     List.iter
       (fun sp ->
         remove_quiet sp;
@@ -162,7 +183,8 @@ let build ?page_model ?(partition = Manifest.Tid_range) ?on_shard_built
     remove_quiet (path ^ ".tmp");
     raise e
 
-let build_from_segment ?(partition = Manifest.Tid_range) ~shards ~src path =
+let build_from_segment ?(partition = Manifest.Tid_range) ?replicas ~shards ~src
+    path =
   let seg = Cfq_store.Segment.open_ src in
   let pm = seg.Cfq_store.Segment.pm in
   let sets =
@@ -170,46 +192,57 @@ let build_from_segment ?(partition = Manifest.Tid_range) ~shards ~src path =
       ~finally:(fun () -> Cfq_store.Segment.close seg)
       (fun () -> Cfq_store.Segment.read_all seg)
   in
-  build ~page_model:pm ~partition ~shards path sets
+  build ~page_model:pm ~partition ?replicas ~shards path sets
 
 (* ------------------------------------------------------------------ *)
 (* Open / attach                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let attach stores m =
-  Tx_db.of_shards ~checksums:m.Manifest.checksums (Array.map Store.db stores)
+let attach groups m =
+  Tx_db.of_shards ~checksums:m.Manifest.checksums
+    ~io:(Array.map Replica.io groups)
+    (Array.map Replica.db groups)
 
-let manifest_matches m stores =
-  Array.length stores = Array.length m.Manifest.shards
+(* the manifest matches iff every shard entry — sizes, generations and the
+   per-replica (generation, health) pairs — agrees with the live groups *)
+let manifest_matches m groups =
+  Array.length groups = Array.length m.Manifest.shards
   && Array.for_all2
-       (fun e st ->
-         e.Manifest.s_txs = Store.size st
-         && e.Manifest.s_pages = Store.pages st
-         && e.Manifest.s_generation = Store.generation st)
-       m.Manifest.shards stores
+       (fun e g -> e = Replica.entry g)
+       m.Manifest.shards groups
 
 let open_ ?cache_pages ?group_commit path =
   let m = Manifest.read path in
   let ns = Array.length m.Manifest.shards in
-  let stores = Array.make ns None in
+  let groups = Array.make ns None in
   (try
      for k = 0 to ns - 1 do
-       stores.(k) <-
-         Some (Store.open_ ?cache_pages ?group_commit (shard_path path k))
+       let health =
+         Array.map
+           (fun r -> r.Manifest.r_health)
+           m.Manifest.shards.(k).Manifest.s_replicas
+       in
+       groups.(k) <-
+         Some
+           (Replica.open_group ?cache_pages ?group_commit ~health
+              ~replicas:m.Manifest.replicas ~shard:k path)
      done
    with e ->
-     Array.iter (function Some st -> (try Store.close st with _ -> ()) | None -> ()) stores;
+     Array.iter
+       (function Some g -> (try Replica.close g with _ -> ()) | None -> ())
+       groups;
      raise e);
-  let stores = Array.map Option.get stores in
+  let groups = Array.map Option.get groups in
   (* self-heal a stale manifest: per-shard recovery may have folded WAL
-     records, and a crash during seal can leave the manifest one
-     generation behind the shards *)
+     records, a crash during seal can leave the manifest one generation
+     behind the shards, and open_group demotes laggard replicas to stale *)
   let m =
-    if manifest_matches m stores then m
+    if manifest_matches m groups then m
     else begin
       let healed =
-        manifest_of_stores ~partition:m.Manifest.partition
-          ~generation:(m.Manifest.generation + 1) stores
+        manifest_of_groups ~partition:m.Manifest.partition
+          ~generation:(m.Manifest.generation + 1)
+          ~replicas:m.Manifest.replicas groups
       in
       Manifest.write path healed;
       healed
@@ -219,51 +252,63 @@ let open_ ?cache_pages ?group_commit path =
     path;
     cache_pages;
     group_commit;
-    stores;
-    db = attach stores m;
+    groups;
+    db = attach groups m;
     manifest = m;
     appended = 0;
   }
 
-let close t = Array.iter Store.close t.stores
+let close t = Array.iter Replica.close t.groups
 let db t = t.db
-let stores t = t.stores
+let groups t = t.groups
+let stores t = Array.map Replica.preferred_store t.groups
 let manifest t = t.manifest
 let path t = t.path
-let shard_count t = Array.length t.stores
+let shard_count t = Array.length t.groups
+let replicas t = t.manifest.Manifest.replicas
 let size t = Tx_db.size t.db
 let pages t = Tx_db.pages t.db
 
 let universe_size t =
-  Array.fold_left (fun a st -> max a (Store.universe_size st)) 0 t.stores
+  Array.fold_left
+    (fun a g -> max a (Store.universe_size (Replica.preferred_store g)))
+    0 t.groups
+
+let failovers t =
+  Array.fold_left (fun a g -> a + Replica.failovers g) 0 t.groups
 
 (* ------------------------------------------------------------------ *)
 (* Ingestion                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let append_tx t items =
-  let ns = Array.length t.stores in
+  let ns = Array.length t.groups in
   let k =
     match t.manifest.Manifest.partition with
     | Manifest.Tid_range -> ns - 1 (* largest global tids: order preserved *)
     | Manifest.Hash -> t.appended mod ns
   in
   t.appended <- t.appended + 1;
-  Store.append_tx t.stores.(k) items
+  Replica.append_tx t.groups.(k) items
 
-let flush t = Array.iter Store.flush t.stores
+let flush t = Array.iter Replica.flush t.groups
+
+(* rewrite the manifest from the live groups (bumped generation) and
+   re-attach the composite — after a seal, or after scrub changed
+   replica health *)
+let sync_manifest t =
+  let m =
+    manifest_of_groups ~partition:t.manifest.Manifest.partition
+      ~generation:(t.manifest.Manifest.generation + 1)
+      ~replicas:t.manifest.Manifest.replicas t.groups
+  in
+  Manifest.write t.path m;
+  t.manifest <- m;
+  t.db <- attach t.groups m
 
 let seal t =
-  let sealed = Array.fold_left (fun acc st -> acc + Store.seal st) 0 t.stores in
-  if sealed > 0 then begin
-    let m =
-      manifest_of_stores ~partition:t.manifest.Manifest.partition
-        ~generation:(t.manifest.Manifest.generation + 1) t.stores
-    in
-    Manifest.write t.path m;
-    t.manifest <- m;
-    t.db <- attach t.stores m
-  end;
+  let sealed = Array.fold_left (fun acc g -> acc + Replica.seal g) 0 t.groups in
+  if sealed > 0 then sync_manifest t;
   sealed
 
 (* ------------------------------------------------------------------ *)
@@ -276,21 +321,41 @@ let set_shard_fault t ~shard f =
       Tx_db.set_faults subs.(shard) f
   | _ -> invalid_arg "Sharded.set_shard_fault: no such shard"
 
+let set_replica_fault t ~shard ~replica f =
+  if shard < 0 || shard >= Array.length t.groups then
+    invalid_arg "Sharded.set_replica_fault: no such shard";
+  Replica.set_fault t.groups.(shard) ~replica f
+
+let set_replica_write_fault t ~shard ~replica v =
+  if shard < 0 || shard >= Array.length t.groups then
+    invalid_arg "Sharded.set_replica_write_fault: no such shard";
+  Replica.set_write_fault t.groups.(shard) ~replica v
+
 let remove_files path =
-  let ns =
+  let ns, nr =
     match Manifest.read path with
-    | m -> Array.length m.Manifest.shards
+    | m -> (Array.length m.Manifest.shards, m.Manifest.replicas)
     | exception _ ->
         (* manifest unreadable: probe for shard files *)
         let k = ref 0 in
         while Sys.file_exists (shard_path path !k) do
           incr k
         done;
-        !k
+        (!k, 1)
   in
   for k = 0 to ns - 1 do
-    remove_quiet (shard_path path k);
-    remove_quiet (shard_path path k ^ ".wal")
+    (* remove every replica file that exists, even beyond the recorded
+       count (a crashed re-replication may have left extras) *)
+    let j = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let p = Replica.replica_path path ~shard:k ~replica:!j in
+      let found = Sys.file_exists p || Sys.file_exists (p ^ ".wal") in
+      remove_quiet p;
+      remove_quiet (p ^ ".wal");
+      incr j;
+      continue := found || !j < nr
+    done
   done;
   remove_quiet (path ^ ".tmp");
   remove_quiet path

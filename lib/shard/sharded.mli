@@ -8,6 +8,13 @@
     [PATH.shard<k>] (segment + WAL), so every shard enjoys the store's own
     recovery, buffer pool and fault machinery unchanged.
 
+    With [replicas = R > 1] each shard is a {!Replica} group: R physical
+    stores with byte-identical page geometry (replica 0 at the legacy
+    [PATH.shard<k>], siblings at [PATH.shard<k>.r<j>]).  Reads fail over
+    between replicas on typed faults without changing answers, ccc or
+    logical page charges; writes mirror under a majority quorum; the
+    {!Scrub} pass verifies, quarantines and repairs replicas.
+
     {2 Partitioning}
 
     [Tid_range] (the default) splits the batch into contiguous slices
@@ -57,6 +64,7 @@ val slices :
 val build :
   ?page_model:Page_model.t ->
   ?partition:Manifest.partition ->
+  ?replicas:int ->
   ?on_shard_built:(int -> unit) ->
   shards:int ->
   string ->
@@ -67,7 +75,12 @@ val build :
     existing plain store's segment at [src] into a sharded store at
     [path] (same page model). *)
 val build_from_segment :
-  ?partition:Manifest.partition -> shards:int -> src:string -> string -> unit
+  ?partition:Manifest.partition ->
+  ?replicas:int ->
+  shards:int ->
+  src:string ->
+  string ->
+  unit
 
 (** [open_ ?cache_pages ?group_commit path] opens every shard (running
     each store's recovery) and attaches the composite.  [cache_pages]
@@ -85,7 +98,13 @@ val close : t -> unit
     is [Some _]).  Re-fetch after {!seal}. *)
 val db : t -> Tx_db.t
 
+(** The preferred replica store of each shard (single-replica stores:
+    the shard store itself). *)
 val stores : t -> Cfq_store.Store.t array
+
+(** The replica group behind each shard. *)
+val groups : t -> Replica.t array
+
 val manifest : t -> Manifest.t
 
 (** {2 Ingestion} *)
@@ -107,15 +126,38 @@ val seal : t -> int
 
 val path : t -> string
 val shard_count : t -> int
+
+(** Physical replicas per shard, from the manifest ([1] = unreplicated). *)
+val replicas : t -> int
+
 val size : t -> int
 val pages : t -> int
 val universe_size : t -> int
+
+(** Total replica failovers across all shards since open. *)
+val failovers : t -> int
+
+(** Rewrite the manifest from the live groups (bumped generation,
+    recomputed composite checksums) and re-attach the composite — how
+    {!Scrub} persists health transitions.  {!seal} calls this when it
+    sealed anything. *)
+val sync_manifest : t -> unit
 
 (** [set_shard_fault t ~shard f] installs (or clears) a fault injector on
     one shard's database: that shard's slice of every composite scan runs
     the full page/checksum walk against it, and raised error pages are in
     composite coordinates so the service can attribute them. *)
 val set_shard_fault : t -> shard:int -> Fault.t option -> unit
+
+(** [set_replica_fault t ~shard ~replica f] installs (or clears) an
+    injector on one {e replica}'s database.  Unlike a shard fault, the
+    failover layer sits above it: reads that hit the fault retry on a
+    healthy sibling invisibly, so answers stay exact while
+    {!failovers} counts the rescues. *)
+val set_replica_fault : t -> shard:int -> replica:int -> Fault.t option -> unit
+
+(** Make mirrored writes to one replica fail (marking it stale). *)
+val set_replica_write_fault : t -> shard:int -> replica:int -> bool -> unit
 
 (** [remove_files path] best-effort removes a sharded store's files
     (manifest, temp, shard segments and WALs) — test cleanup. *)

@@ -14,6 +14,7 @@ type t = {
   mutable service : Cfq_service.Service.t option;
   mutable store : Cfq_store.Store.t option;
   mutable shard : Cfq_shard.Sharded.t option;
+  mutable replicas : int;
 }
 
 type response = {
@@ -33,6 +34,7 @@ let create ?ctx () =
     service = None;
     store = None;
     shard = None;
+    replicas = 1;
   }
 
 let par_of t = { Cfq_mining.Counting.domains = max 1 t.mine_domains; pool = None }
@@ -91,14 +93,21 @@ let help_text =
       "                                 plain segment into a sharded twin first";
       "  save <store>                   write the attached database to a store";
       "  ingest <store> <tx.fimi>       append transactions to a store and seal";
+      "  verify                         re-read the attached store from disk and";
+      "                                 report per-replica page health";
+      "  scrub                          verify + quarantine bad replicas, rebuild";
+      "                                 them from healthy siblings, re-admit";
       "  set strategy <name>            apriori+ | cap | optimized | sequential | fm";
       "  set minconf <float>            rule confidence threshold";
       "  set domains <n>                counting domains per scan (1 = sequential)";
       "  set kernel <name>              counting kernel: auto | trie | direct2 | vertical";
-      "  set fault <p> [<cp> [<seed>]] [shard=K]";
+      "  set replicas <r>               replicas per shard for the next sharded split";
+      "  set fault <p> [<cp> [<seed>]] [shard=K [replica=J]]";
       "                                 inject faults: transient-p, corrupt-p, seed;";
-      "                                 shard=K pins the injector to one shard";
-      "  set fault off [shard=K]        remove fault injection";
+      "                                 shard=K pins the injector to one shard,";
+      "                                 replica=J to one physical replica of it";
+      "  set fault off [shard=K [replica=J]]";
+      "                                 remove fault injection";
       "  explain <query>                show the optimizer's plan, run nothing";
       "  advise <query>                 probe the data, recommend a strategy";
       "  run <query>                    execute and summarise";
@@ -211,10 +220,12 @@ let do_open_sharded t mpath cache_pages ~info_candidates =
           drop_store t;
           t.shard <- Some sh;
           let m = Cfq_shard.Sharded.manifest sh in
-          say "opened %s: %d shards (%s), %d transactions, %d pages, generation %d"
+          let r = Cfq_shard.Sharded.replicas sh in
+          say "opened %s: %d shards (%s)%s, %d transactions, %d pages, generation %d"
             mpath
             (Cfq_shard.Sharded.shard_count sh)
             (Cfq_shard.Manifest.partition_name m.Cfq_shard.Manifest.partition)
+            (if r > 1 then Printf.sprintf " x %d replicas" r else "")
             (Cfq_shard.Sharded.size sh) (Cfq_shard.Sharded.pages sh)
             m.Cfq_shard.Manifest.generation)
 
@@ -265,7 +276,8 @@ let do_open_any t path cache_pages shards =
     let mpath = path ^ ".sharded" in
     match
       if not (Cfq_shard.Manifest.is_manifest mpath) then
-        Cfq_shard.Sharded.build_from_segment ~shards ~src:path mpath
+        Cfq_shard.Sharded.build_from_segment ~replicas:t.replicas ~shards ~src:path
+          mpath
     with
     | exception Cfq_store.Segment.Bad_segment msg -> say "open failed: %s" msg
     | exception Cfq_shard.Manifest.Bad_manifest msg -> say "open failed: %s" msg
@@ -343,75 +355,112 @@ let do_run t ctx q =
       say "%s" (Explain.result_to_string r)
   | Error e -> say "run failed: %s" (Cfq_error.to_string e)
 
-let do_set_fault ctx args =
-  let composite = ctx.Exec.db in
-  (* a trailing shard=K pins the injector to one shard of a sharded
-     composite: only that shard's slice of each scan runs faulted *)
-  let shard_args, args =
-    List.partition (String.starts_with ~prefix:"shard=") args
-  in
-  let target =
-    match shard_args with
-    | [] -> Ok (composite, "")
-    | [ s ] -> (
-        let v = String.sub s 6 (String.length s - 6) in
-        match (int_of_string_opt v, Tx_db.shards composite) with
-        | None, _ -> Error "shard= wants an integer"
-        | Some _, None -> Error "the attached database is not sharded"
-        | Some k, Some subs when k >= 0 && k < Array.length subs ->
-            Ok (subs.(k), Printf.sprintf " (shard %d)" k)
-        | Some k, Some subs ->
-            Error
-              (Printf.sprintf "shard %d out of range (store has %d shards)" k
-                 (Array.length subs)))
-    | _ -> Error "at most one shard=K"
-  in
-  match target with
-  | Error msg -> say "set fault: %s" msg
-  | Ok (db, where) -> (
+let fault_usage =
+  "usage: set fault <transient-p> [<corrupt-p> [<seed>]] [shard=K [replica=J]] | \
+   set fault off [shard=K [replica=J]]"
+
+(* the probability/seed words of 'set fault', shared by every target:
+   Ok (None, _) = off, Ok (Some config, description) = inject *)
+let parse_fault_spec args =
   match args with
-  | [ "off" ] ->
-      let report =
-        match Tx_db.faults db with
-        | None -> "fault injection was not enabled"
-        | Some fl ->
-            let s = Fault.stats fl in
-            Format.asprintf
-              "fault injection off (injected: %d transient, %d spikes, %d crashes, %d \
-               tampered, %d checksum failures)"
-              s.Fault.transient s.Fault.spikes s.Fault.crashes s.Fault.tampered
-              s.Fault.checksum_failures
-      in
-      Tx_db.set_faults db None;
-      say "%s%s" report where
+  | [ "off" ] -> Ok (None, "off")
   | _ -> (
       match List.map float_of_string_opt args with
       | [ Some p ] when p >= 0. && p <= 1. ->
-          Tx_db.set_faults db
-            (Some (Fault.create { Fault.default_config with Fault.transient_p = p }));
-          say "fault injection on%s: transient-p=%g" where p
+          Ok
+            ( Some { Fault.default_config with Fault.transient_p = p },
+              Printf.sprintf "on: transient-p=%g" p )
       | [ Some p; Some cp ] when p >= 0. && p <= 1. && cp >= 0. && cp <= 1. ->
-          Tx_db.set_faults db
-            (Some
-               (Fault.create
-                  { Fault.default_config with Fault.transient_p = p; corrupt_p = cp }));
-          say "fault injection on%s: transient-p=%g corrupt-p=%g" where p cp
+          Ok
+            ( Some { Fault.default_config with Fault.transient_p = p; corrupt_p = cp },
+              Printf.sprintf "on: transient-p=%g corrupt-p=%g" p cp )
       | [ Some p; Some cp; Some seed ] when p >= 0. && p <= 1. && cp >= 0. && cp <= 1. ->
-          Tx_db.set_faults db
-            (Some
-               (Fault.create
-                  {
-                    Fault.default_config with
-                    Fault.transient_p = p;
-                    corrupt_p = cp;
-                    seed = Int64.of_float seed;
-                  }));
-          say "fault injection on%s: transient-p=%g corrupt-p=%g seed=%.0f" where p cp
-            seed
-      | _ ->
-          say
-            "usage: set fault <transient-p> [<corrupt-p> [<seed>]] [shard=K] | set \
-             fault off [shard=K]"))
+          Ok
+            ( Some
+                {
+                  Fault.default_config with
+                  Fault.transient_p = p;
+                  corrupt_p = cp;
+                  seed = Int64.of_float seed;
+                },
+              Printf.sprintf "on: transient-p=%g corrupt-p=%g seed=%.0f" p cp seed )
+      | _ -> Error fault_usage)
+
+let injector_report db =
+  match Tx_db.faults db with
+  | None -> "fault injection was not enabled"
+  | Some fl ->
+      let s = Fault.stats fl in
+      Format.asprintf
+        "fault injection off (injected: %d transient, %d spikes, %d crashes, %d \
+         tampered, %d checksum failures)"
+        s.Fault.transient s.Fault.spikes s.Fault.crashes s.Fault.tampered
+        s.Fault.checksum_failures
+
+let do_set_fault t ctx args =
+  let composite = ctx.Exec.db in
+  (* shard=K pins the injector to one shard of a sharded composite;
+     replica=J narrows it further to one physical replica of that shard
+     (the sibling replicas stay clean, so reads fail over around it) *)
+  let tagged prefix words = List.partition (String.starts_with ~prefix) words in
+  let shard_args, args = tagged "shard=" args in
+  let replica_args, args = tagged "replica=" args in
+  let int_of prefix s =
+    let n = String.length prefix in
+    int_of_string_opt (String.sub s n (String.length s - n))
+  in
+  match parse_fault_spec args with
+  | Error msg -> say "%s" msg
+  | Ok (spec, desc) -> (
+      match (shard_args, replica_args) with
+      | _ :: _ :: _, _ | _, _ :: _ :: _ ->
+          say "set fault: at most one shard=K and one replica=J"
+      | [], _ :: _ -> say "set fault: replica=J needs shard=K"
+      | [ s ], [ r ] -> (
+          match (int_of "shard=" s, int_of "replica=" r, t.shard) with
+          | None, _, _ | _, None, _ -> say "set fault: shard= and replica= want integers"
+          | _, _, None -> say "set fault: the attached store is not sharded"
+          | Some k, Some j, Some sh ->
+              let n_shards = Cfq_shard.Sharded.shard_count sh in
+              let n_replicas = Cfq_shard.Sharded.replicas sh in
+              if k < 0 || k >= n_shards then
+                say "set fault: shard %d out of range (store has %d shards)" k n_shards
+              else if j < 0 || j >= n_replicas then
+                say "set fault: replica %d out of range (store has %d replicas)" j
+                  n_replicas
+              else begin
+                Cfq_shard.Sharded.set_replica_fault sh ~shard:k ~replica:j
+                  (Option.map Fault.create spec);
+                say "fault injection %s (shard %d, replica %d)" desc k j
+              end)
+      | [ s ], [] -> (
+          match (int_of "shard=" s, Tx_db.shards composite) with
+          | None, _ -> say "set fault: shard= wants an integer"
+          | Some _, None -> say "set fault: the attached database is not sharded"
+          | Some k, Some subs when k >= 0 && k < Array.length subs ->
+              let db = subs.(k) in
+              if spec = None then begin
+                let report = injector_report db in
+                Tx_db.set_faults db None;
+                say "%s (shard %d)" report k
+              end
+              else begin
+                Tx_db.set_faults db (Option.map Fault.create spec);
+                say "fault injection %s (shard %d)" desc k
+              end
+          | Some k, Some subs ->
+              say "set fault: shard %d out of range (store has %d shards)" k
+                (Array.length subs))
+      | [], [] ->
+          if spec = None then begin
+            let report = injector_report composite in
+            Tx_db.set_faults composite None;
+            say "%s" report
+          end
+          else begin
+            Tx_db.set_faults composite (Option.map Fault.create spec);
+            say "fault injection %s" desc
+          end)
 
 let do_pairs t n =
   match t.last with
@@ -446,6 +495,83 @@ let do_rules t ctx q =
     (if shown = [] then "" else "\n")
     (String.concat "\n" shown)
 
+(* one line per physical replica: health, generation, page faults *)
+let render_health_rows rows =
+  String.concat "\n"
+    (List.map
+       (fun r ->
+         Printf.sprintf "  shard %d replica %d: %s (generation %d)%s"
+           r.Cfq_shard.Scrub.hr_shard r.Cfq_shard.Scrub.hr_replica
+           (Cfq_shard.Manifest.health_name r.Cfq_shard.Scrub.hr_health)
+           r.Cfq_shard.Scrub.hr_generation
+           (match r.Cfq_shard.Scrub.hr_faults with
+           | [] -> ""
+           | faults ->
+               Printf.sprintf " -- %d bad pages: %s" (List.length faults)
+                 (String.concat ", "
+                    (List.map
+                       (fun f ->
+                         Printf.sprintf "%d/%s" f.Cfq_store.Store.pf_page
+                           (Cfq_store.Store.page_fault_kind_name
+                              f.Cfq_store.Store.pf_kind))
+                       faults))))
+       rows)
+
+let do_verify t =
+  match (t.shard, t.store) with
+  | Some sh, _ ->
+      let rows = Cfq_shard.Scrub.health_report sh in
+      say "%s\n%s"
+        (if Cfq_shard.Scrub.healthy_report rows then
+           "all replicas healthy, every page verified"
+         else "VERIFICATION FAILED -- run 'scrub' to quarantine and repair")
+        (render_health_rows rows)
+  | None, Some store -> (
+      match Cfq_store.Store.verify_pages store with
+      | [] -> say "all %d pages verified" (Cfq_store.Store.pages store)
+      | faults ->
+          say "VERIFICATION FAILED -- %d bad pages: %s" (List.length faults)
+            (String.concat ", "
+               (List.map
+                  (fun f ->
+                    Printf.sprintf "%d/%s" f.Cfq_store.Store.pf_page
+                      (Cfq_store.Store.page_fault_kind_name f.Cfq_store.Store.pf_kind))
+                  faults)))
+  | None, None -> say "no persistent store attached; use 'open' first"
+
+let do_scrub t =
+  match t.shard with
+  | None -> say "scrub wants an attached sharded store; use 'open' first"
+  | Some sh ->
+      (* the scrubber may seal and repair, replacing db handles: quiesce
+         the service and rebuild the execution context afterwards *)
+      drop_service t;
+      let report = Cfq_shard.Scrub.run sh in
+      (match t.ctx with
+      | Some ctx ->
+          t.ctx <- Some (Exec.context (Cfq_shard.Sharded.db sh) ctx.Exec.s_info)
+      | None -> ());
+      t.last <- None;
+      let rows =
+        List.filter
+          (fun r -> r.Cfq_shard.Scrub.rr_outcome <> Cfq_shard.Scrub.Clean)
+          report.Cfq_shard.Scrub.rows
+      in
+      say "scrubbed %d pages: %d faults, %d replicas repaired, %d repair failures%s"
+        report.Cfq_shard.Scrub.scrubbed_pages report.Cfq_shard.Scrub.faults_found
+        report.Cfq_shard.Scrub.repairs report.Cfq_shard.Scrub.repair_failures
+        (if rows = [] then ""
+         else
+           "\n"
+           ^ String.concat "\n"
+               (List.map
+                  (fun r ->
+                    Printf.sprintf "  shard %d replica %d: %s -> %s"
+                      r.Cfq_shard.Scrub.rr_shard r.Cfq_shard.Scrub.rr_replica
+                      (Cfq_shard.Scrub.outcome_name r.Cfq_shard.Scrub.rr_outcome)
+                      (Cfq_shard.Manifest.health_name r.Cfq_shard.Scrub.rr_health))
+                  rows))
+
 let do_stats t ctx =
   let db = ctx.Exec.db in
   let attrs =
@@ -479,13 +605,33 @@ let do_stats t ctx =
     | None -> ""
     | Some subs ->
         let ios = Tx_db.shard_io db in
+        let replica_lines k =
+          match t.shard with
+          | None -> ""
+          | Some sh ->
+              let g = (Cfq_shard.Sharded.groups sh).(k) in
+              if Cfq_shard.Replica.replica_count g <= 1 then ""
+              else
+                String.concat ""
+                  (List.init (Cfq_shard.Replica.replica_count g) (fun j ->
+                       Printf.sprintf
+                         "\n  replica %d: %s%s, %d read errors, %d write errors" j
+                         (Cfq_shard.Manifest.health_name
+                            (Cfq_shard.Replica.health g ~replica:j))
+                         (if j = Cfq_shard.Replica.preferred g then " (preferred)"
+                          else "")
+                         (Cfq_shard.Replica.read_errors g ~replica:j)
+                         (Cfq_shard.Replica.write_errors g ~replica:j)))
+                ^ Printf.sprintf "\n  failovers: %d" (Cfq_shard.Replica.failovers g)
+        in
         String.concat ""
           (List.init (Array.length subs) (fun k ->
                Printf.sprintf
-                 "\nshard %d: %d transactions, %d pages, %d scans, %d pages read"
+                 "\nshard %d: %d transactions, %d pages, %d scans, %d pages read%s"
                  k (Tx_db.size subs.(k)) (Tx_db.pages subs.(k))
                  (Io_stats.scans ios.(k))
-                 (Io_stats.pages_read ios.(k))))
+                 (Io_stats.pages_read ios.(k))
+                 (replica_lines k)))
   in
   say "transactions: %d\navg length: %.2f\npages (4K): %d\nchunk runs: %d\nattributes: %s%s%s%s"
     (Tx_db.size db) (Tx_db.avg_tx_len db) (Tx_db.pages db) (Tx_db.chunk_runs db)
@@ -536,7 +682,18 @@ let eval t line =
               t.min_conf <- f;
               say "minimum confidence set to %.2f" f
           | Some _ | None -> say "minconf must be a float in [0, 1]")
-      | "fault" :: args -> with_ctx t (fun ctx -> do_set_fault ctx args)
+      | "fault" :: args -> with_ctx t (fun ctx -> do_set_fault t ctx args)
+      | [ "replicas"; r ] -> (
+          match int_of_string_opt r with
+          | Some n when n >= 1 ->
+              t.replicas <- n;
+              if n = 1 then say "replication off (1 replica per shard)"
+              else
+                say
+                  "next sharded split keeps %d replicas per shard (mirrored \
+                   ingestion, read failover)"
+                  n
+          | Some _ | None -> say "replicas must be an integer >= 1")
       | [ "domains"; n ] -> (
           match int_of_string_opt n with
           | Some d when d >= 1 ->
@@ -561,7 +718,7 @@ let eval t line =
       | _ ->
           say
             "usage: set strategy <name> | set minconf <float> | set domains <n> | \
-             set kernel <name> | set fault ...")
+             set kernel <name> | set replicas <r> | set fault ...")
   | "explain" ->
       with_ctx t (fun ctx ->
           parse_query t ctx rest (fun (t, q) ->
@@ -645,5 +802,7 @@ let eval t line =
       match split_words rest with
       | [ store_path; fimi_path ] -> do_ingest t store_path fimi_path
       | _ -> say "usage: ingest <store.cfqdb> <tx.fimi>")
+  | "verify" -> do_verify t
+  | "scrub" -> do_scrub t
   | "stats" -> with_ctx t (do_stats t)
   | other -> say "unknown command %S; try 'help'" other

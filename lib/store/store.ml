@@ -183,6 +183,85 @@ let close t =
   Buffer_pool.close t.pool;
   Segment.close t.seg
 
+(* ------------------------------------------------------------------ *)
+(* page-level export / verify seam: positioned reads on the segment's own
+   fd, deliberately bypassing the buffer pool — cached frames would mask
+   on-disk rot.  Not safe to interleave with [seal] on the same handle
+   (both reposition the segment fd); the scrubber runs between seals. *)
+
+type page_fault_kind = Bad_crc | Bad_checksum
+type page_fault = { pf_page : int; pf_kind : page_fault_kind }
+
+let page_fault_kind_name = function
+  | Bad_crc -> "bad-crc"
+  | Bad_checksum -> "bad-checksum"
+
+let pread_exact t ~off buf len =
+  ignore (Unix.lseek t.seg.Segment.fd off Unix.SEEK_SET);
+  let o = ref 0 in
+  while !o < len do
+    let r = Unix.read t.seg.Segment.fd buf !o (len - !o) in
+    if r = 0 then
+      Cfq_error.raise_error
+        (Cfq_error.Corrupt_page
+           { page = (off - Segment.data_off t.seg) / t.seg.Segment.pm.Page_model.page_size_bytes });
+    o := !o + r
+  done
+
+(* raw bytes of data page [p], fresh from disk (no CRC check) *)
+let read_page t p =
+  let ps = t.seg.Segment.pm.Page_model.page_size_bytes in
+  if p < 0 || p >= t.seg.Segment.layout.Page_codec.pages then
+    invalid_arg "Store.read_page";
+  let buf = Bytes.create ps in
+  pread_exact t ~off:(Segment.data_off t.seg + (p * ps)) buf ps;
+  buf
+
+let verify_pages ?(throttle = fun ~page:_ -> ()) t =
+  let seg = t.seg in
+  let l = seg.Segment.layout in
+  let ps = seg.Segment.pm.Page_model.page_size_bytes in
+  let n = Array.length l.Page_codec.sizes in
+  let n_pages = l.Page_codec.pages in
+  let faults = ref [] in
+  let crc_bad = Array.make (max 1 n_pages) false in
+  let buf = Bytes.create ps in
+  (* pass 1: raw CRC of every data page *)
+  for p = 0 to n_pages - 1 do
+    throttle ~page:p;
+    (match pread_exact t ~off:(Segment.data_off seg + (p * ps)) buf ps with
+    | () ->
+        if Crc32.bytes buf <> seg.Segment.crcs.(p) then crc_bad.(p) <- true
+    | exception Cfq_error.Error _ -> crc_bad.(p) <- true);
+    if crc_bad.(p) then faults := { pf_page = p; pf_kind = Bad_crc } :: !faults
+  done;
+  (* pass 2: logical checksums — decode each page run's transactions from
+     their byte extents and replay the rolling hash the scan layer checks.
+     A page already condemned by its CRC is not re-reported here. *)
+  let i = ref 0 in
+  while !i < n do
+    let page = l.Page_codec.page_of.(!i) in
+    let h = ref Tx_db.Checksum.seed in
+    let ok = ref true in
+    let j = ref !i in
+    while !j < n && l.Page_codec.page_of.(!j) = page do
+      let off = l.Page_codec.offsets.(!j) in
+      let len = Page_codec.tx_bytes l !j in
+      let tmp = Bytes.create len in
+      (try
+         pread_exact t ~off:(Segment.data_off seg + off) tmp len;
+         h := Tx_db.Checksum.add_tx !h (Page_codec.decode_tx l ~tid:!j tmp ~at:0)
+       with Cfq_error.Error _ -> ok := false);
+      incr j
+    done;
+    if (not crc_bad.(page)) && ((not !ok) || !h <> seg.Segment.sums.(page)) then
+      faults := { pf_page = page; pf_kind = Bad_checksum } :: !faults;
+    i := !j
+  done;
+  List.sort compare (List.rev !faults)
+
+let read_all t = Segment.read_all t.seg
+
 let size t = Tx_db.size t.db
 let pages t = Tx_db.pages t.db
 let page_model t = t.seg.Segment.pm

@@ -112,3 +112,35 @@ val wal_counters : t -> int * int
 
 val cache_pages : t -> int
 val path : t -> string
+
+(** {2 Page-level export / verify seam}
+
+    Positioned reads on the segment's own descriptor, deliberately
+    bypassing the buffer pool (cached frames would mask on-disk rot).
+    This is the seam the shard scrubber ({!Cfq_shard.Scrub}) builds on.
+    Not safe to interleave with {!seal} on the same handle — both
+    reposition the segment fd; run scrubs between seals. *)
+
+type page_fault_kind =
+  | Bad_crc  (** raw page bytes fail their CRC-32 *)
+  | Bad_checksum  (** decoded transactions fail the logical page checksum *)
+
+type page_fault = { pf_page : int; pf_kind : page_fault_kind }
+
+val page_fault_kind_name : page_fault_kind -> string
+
+(** [verify_pages ?throttle t] re-reads every data page fresh from disk and
+    checks (1) the raw CRC-32 against the segment footer and (2) the
+    logical {!Cfq_txdb.Tx_db.Checksum} of each page's decoded transactions.
+    Returns the faults found in page order ([[]] = clean).  [throttle
+    ~page] runs before each page read in pass 1 — the scrubber's I/O
+    throttle hook. *)
+val verify_pages : ?throttle:(page:int -> unit) -> t -> page_fault list
+
+(** [read_page t p] is the raw bytes of data page [p], fresh from disk
+    (no CRC check) — the export half of the seam. *)
+val read_page : t -> int -> bytes
+
+(** All sealed transactions, decoded from one raw segment read (bypassing
+    the pool) — what anti-entropy repair copies from a healthy replica. *)
+val read_all : t -> Itemset.t array

@@ -5,6 +5,7 @@ type t = {
   mutable pool_hits : int;
   mutable pool_misses : int;
   mutable pool_evictions : int;
+  mutable failovers : int;
 }
 
 let create () =
@@ -15,6 +16,7 @@ let create () =
     pool_hits = 0;
     pool_misses = 0;
     pool_evictions = 0;
+    failovers = 0;
   }
 
 let reset t =
@@ -23,7 +25,8 @@ let reset t =
   t.tuples_read <- 0;
   t.pool_hits <- 0;
   t.pool_misses <- 0;
-  t.pool_evictions <- 0
+  t.pool_evictions <- 0;
+  t.failovers <- 0
 
 let record_scan t ~pages ~tuples =
   t.scans <- t.scans + 1;
@@ -33,6 +36,7 @@ let record_scan t ~pages ~tuples =
 let record_pool_hit t = t.pool_hits <- t.pool_hits + 1
 let record_pool_miss t = t.pool_misses <- t.pool_misses + 1
 let record_pool_eviction t = t.pool_evictions <- t.pool_evictions + 1
+let record_failover t = t.failovers <- t.failovers + 1
 
 let scans t = t.scans
 let pages_read t = t.pages_read
@@ -40,6 +44,7 @@ let tuples_read t = t.tuples_read
 let pool_hits t = t.pool_hits
 let pool_misses t = t.pool_misses
 let pool_evictions t = t.pool_evictions
+let failovers t = t.failovers
 
 let add dst src =
   dst.scans <- dst.scans + src.scans;
@@ -47,7 +52,8 @@ let add dst src =
   dst.tuples_read <- dst.tuples_read + src.tuples_read;
   dst.pool_hits <- dst.pool_hits + src.pool_hits;
   dst.pool_misses <- dst.pool_misses + src.pool_misses;
-  dst.pool_evictions <- dst.pool_evictions + src.pool_evictions
+  dst.pool_evictions <- dst.pool_evictions + src.pool_evictions;
+  dst.failovers <- dst.failovers + src.failovers
 
 let pp ppf t =
   Format.fprintf ppf "scans=%d pages=%d tuples=%d" t.scans t.pages_read t.tuples_read;

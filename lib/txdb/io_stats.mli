@@ -23,6 +23,10 @@ val record_pool_hit : t -> unit
 val record_pool_miss : t -> unit
 val record_pool_eviction : t -> unit
 
+(** Replica failovers: a read that a preferred replica failed and a
+    healthy sibling served (replicated sharded stores only). *)
+val record_failover : t -> unit
+
 val scans : t -> int
 val pages_read : t -> int
 val tuples_read : t -> int
@@ -32,6 +36,7 @@ val pool_hits : t -> int
 val pool_misses : t -> int
 
 val pool_evictions : t -> int
+val failovers : t -> int
 
 (** [add dst src] accumulates [src] into [dst]. *)
 val add : t -> t -> unit

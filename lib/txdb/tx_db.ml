@@ -39,6 +39,11 @@ type t = {
   page_of : int array;  (* tx index -> (first) page holding it *)
   checksums : int array;  (* per page, over the resident transactions *)
   mutable faults : Fault.t option;
+  (* an external backend's own fault probe: a replicated store reports
+     whether any of its replicas carries an injector, so callers that pin
+     faulted scans to a deterministic order (count_shared) see turbulence
+     the composite's [faults] field cannot *)
+  mutable backend_faults : unit -> bool;
   shard_meta : shard_meta option;
   mutable run_starts : int array option;  (* memoised scan_chunks geometry *)
 }
@@ -75,6 +80,7 @@ let create ?(page_model = Page_model.default) itemsets =
     page_of;
     checksums = compute_checksums ~pages ~page_of txs;
     faults = None;
+    backend_faults = (fun () -> false);
     shard_meta = None;
     run_starts = None;
   }
@@ -91,6 +97,7 @@ let of_backend ?(page_model = Page_model.default) ~pages ~page_of ~checksums
     page_of;
     checksums;
     faults = None;
+    backend_faults = (fun () -> false);
     shard_meta = None;
     run_starts = None;
   }
@@ -101,7 +108,13 @@ let page_model t = t.page_model
 
 let set_faults t faults = t.faults <- faults
 let faults t = t.faults
+let set_backend_faults t probe = t.backend_faults <- probe
+let backend_faulted t = t.faults <> None || t.backend_faults ()
 let page_of_tx t tid = t.page_of.(tid)
+
+(* shared, not copied: callers treat these as read-only *)
+let page_table t = t.page_of
+let checksum_table t = t.checksums
 
 let get t tid =
   (match t.faults with
@@ -171,6 +184,37 @@ let begin_scan t stats =
   | Some fl -> fault_page_walk t fl (fun ~lo:_ ~hi:_ -> ())
 
 let iter_range t ~lo ~hi f = iter_extent t ~lo ~hi f
+
+(* [iter_range_checked] is [iter_range] that honours an installed injector:
+   the slice is delivered page by page, each page consulted against the
+   injector and checksum-verified before its tuples escape — the walk a
+   replica runs so a failover layer above it sees typed faults instead of
+   silently wrong tuples.  Checksums compare exactly only over complete
+   pages; a resume point mid-page (a sibling taking over after a physical
+   read failed partway through a page) delivers the partial extents
+   unverified rather than comparing a partial hash against a whole-page
+   checksum. *)
+let iter_range_checked t ~lo ~hi f =
+  if hi >= lo then
+    match t.faults with
+    | None -> iter_extent t ~lo ~hi f
+    | Some fl ->
+        Fault.on_scan fl;
+        let i = ref lo in
+        while !i <= hi do
+          let page = t.page_of.(!i) in
+          Fault.on_page fl ~page;
+          let j = ref !i in
+          while !j <= hi && t.page_of.(!j) = page do
+            incr j
+          done;
+          let page_initial = !i = 0 || t.page_of.(!i - 1) <> page in
+          let page_final = !j >= t.n || t.page_of.(!j) <> page in
+          if page_initial && page_final then
+            verify_extent t fl ~page ~lo:!i ~hi:(!j - 1);
+          iter_extent t ~lo:!i ~hi:(!j - 1) f;
+          i := !j
+        done
 
 (* Page run starts in tx order; chunk boundaries only ever sit on them, so
    no page is split across chunks.  The geometry is fixed for the life of a
@@ -302,7 +346,7 @@ let globalize_error pg_base k = function
       Cfq_error.Corrupt_page { page = page + pg_base.(k) }
   | e -> e
 
-let of_shards ?page_model ?checksums subs =
+let of_shards ?page_model ?checksums ?io subs =
   let ns = Array.length subs in
   if ns = 0 then invalid_arg "Tx_db.of_shards: at least one shard required";
   let page_model =
@@ -336,7 +380,13 @@ let of_shards ?page_model ?checksums subs =
       if lhi >= llo then begin
         let deliver tx = f (retid base tx) in
         match sub.faults with
-        | None -> iter_extent sub ~lo:llo ~hi:lhi deliver
+        | None -> (
+            (* an external backend (a store's buffer pool, a replica group
+               that exhausted its siblings) may raise typed errors of its
+               own: translate their pages to composite coordinates too *)
+            try iter_extent sub ~lo:llo ~hi:lhi deliver
+            with Cfq_error.Error e ->
+              Cfq_error.raise_error (globalize_error pg_base k e))
         | Some fl -> (
             (* a shard with its own injector validates its slice of the
                composite scan; raised pages are translated to composite
@@ -394,13 +444,20 @@ let of_shards ?page_model ?checksums subs =
     page_of;
     checksums;
     faults = None;
+    backend_faults = (fun () -> false);
     shard_meta =
       Some
         {
           subs;
           tx_base;
           pg_base;
-          sh_io = Array.init ns (fun _ -> Io_stats.create ());
+          sh_io =
+            (match io with
+            | Some arr ->
+                if Array.length arr <> ns then
+                  invalid_arg "Tx_db.of_shards: one io sink per shard required";
+                arr
+            | None -> Array.init ns (fun _ -> Io_stats.create ()));
         };
     run_starts = None;
   }

@@ -67,7 +67,15 @@ val of_backend :
     either on the composite or on individual shards — combining both makes
     the injectors draw independently, which is rarely what a test wants. *)
 
-val of_shards : ?page_model:Page_model.t -> ?checksums:int array -> t array -> t
+(** [io] supplies the composite's per-shard {!Io_stats} sinks instead of
+    fresh ones — how a replicated store shares one sink per shard between
+    distributed counting and its own failover accounting. *)
+val of_shards :
+  ?page_model:Page_model.t ->
+  ?checksums:int array ->
+  ?io:Io_stats.t array ->
+  t array ->
+  t
 
 (** The sub-databases of a composite, in tid order ([None] otherwise). *)
 val shards : t -> t array option
@@ -139,6 +147,17 @@ val begin_scan : t -> Io_stats.t -> unit
     domains on disjoint ranges. *)
 val iter_range : t -> lo:int -> hi:int -> (Transaction.t -> unit) -> unit
 
+(** [iter_range_checked t ~lo ~hi f] delivers transactions [lo..hi] with no
+    I/O charge but {e with} fault validation when an injector is installed:
+    the slice is walked page by page, each page consulted against the
+    injector and checksum-verified before its tuples reach [f] — exactly
+    the walk a shard's slice of a composite scan runs.  This is the read a
+    replica serves so the failover layer above it sees typed faults.
+    Checksum comparison is skipped for a partial page at either end of the
+    range (a mid-page resume after a physical fault); complete pages are
+    always verified. *)
+val iter_range_checked : t -> lo:int -> hi:int -> (Transaction.t -> unit) -> unit
+
 (** {2 Fault injection}
 
     The store carries per-page checksums computed at {!create}.  Installing
@@ -147,6 +166,23 @@ val iter_range : t -> lo:int -> hi:int -> (Transaction.t -> unit) -> unit
 
 val set_faults : t -> Fault.t option -> unit
 val faults : t -> Fault.t option
+
+(** [set_backend_faults t probe] registers an external backend's own fault
+    probe: a replicated store reports whether {e any} of its replicas
+    carries an injector.  Callers that pin faulted scans to a
+    deterministic order ([Counting.count_shared]) consult
+    {!backend_faulted}, which is [faults t <> None || probe ()]. *)
+val set_backend_faults : t -> (unit -> bool) -> unit
+
+val backend_faulted : t -> bool
+
+(** The page table ([tid -> first page]) and per-page checksum table of
+    this database, {e shared, not copied} — read-only for callers.  A
+    replica group uses them to build a failover view with identical page
+    geometry. *)
+val page_table : t -> int array
+
+val checksum_table : t -> int array
 
 (** Page holding transaction [tid] (its first page if it spans several). *)
 val page_of_tx : t -> int -> int

@@ -52,28 +52,41 @@ let test_shards =
       | _ -> 1)
   | None -> 1
 
+(* With CFQ_TEST_REPLICAS=R (R > 1) the sharded on-disk route (both
+   CFQ_TEST_STORE=1 and CFQ_TEST_SHARDS=N set) builds R replicas per
+   shard.  Failover packs identical page geometry, so answers, ccc and
+   logical I/O stay byte-identical to the single-replica route. *)
+let test_replicas =
+  match Sys.getenv_opt "CFQ_TEST_REPLICAS" with
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n > 1 -> n
+      | _ -> 1)
+  | None -> 1
+
 let live_stores = ref 0
 
 let db_of_sets sets =
   if test_shards > 1 then
     if not store_backed then Cfq_shard.Sharded.mem_db ~shards:test_shards sets
     else begin
-      if !live_stores * test_shards > 128 then Gc.full_major ();
+      if !live_stores * test_shards * test_replicas > 128 then Gc.full_major ();
       let path = Filename.temp_file "cfq_test_shard" ".cfqdb" in
-      Cfq_shard.Sharded.build ~shards:test_shards path sets;
+      Cfq_shard.Sharded.build ~shards:test_shards ~replicas:test_replicas path
+        sets;
       let sh = Cfq_shard.Sharded.open_ ~cache_pages:4 path in
       incr live_stores;
       let db = Cfq_shard.Sharded.db sh in
-      (* capture the shard stores, not [sh]: Sharded.t holds the composite
+      (* capture the shard groups, not [sh]: Sharded.t holds the composite
          db, and a finaliser that (indirectly) holds its value never runs,
-         which would leak every shard fd for the rest of the suite *)
-      let stores = Cfq_shard.Sharded.stores sh in
+         which would leak every replica fd for the rest of the suite *)
+      let groups = Cfq_shard.Sharded.groups sh in
       Gc.finalise
         (fun _db ->
           decr live_stores;
           Array.iter
-            (fun st -> try Cfq_store.Store.close st with _ -> ())
-            stores;
+            (fun g -> try Cfq_shard.Replica.close g with _ -> ())
+            groups;
           try Cfq_shard.Sharded.remove_files path with _ -> ())
         db;
       db

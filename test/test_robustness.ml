@@ -453,6 +453,44 @@ let prop_crash_consistency ((n, db), q1, extra, bump, seed) =
      post-recovery answers *)
   ok1 && under_faults && check_one "q2 recovered" q2 && check_one "q1 recovered" q1
 
+(* ------------------------------------------------------------------ *)
+(* retry backoff jitter is a pure function of (seed, query, attempt) *)
+
+let backoff_jitter_is_deterministic () =
+  let _, _, ctx = mk_ctx () in
+  let config = { base_config with Service.backoff_base = 0.01 } in
+  with_service ~config ctx @@ fun s1 ->
+  with_service ~config ctx @@ fun s2 ->
+  let delays svc q = List.init 4 (Service.retry_delay svc q) in
+  (* two services with the same config agree on every delay *)
+  Alcotest.(check (list (float 0.)))
+    "same config, same schedule" (delays s1 q_broad) (delays s2 q_broad);
+  (* draw order is irrelevant: interleaving other queries' draws does not
+     shift the schedule (a shared random stream would fail this) *)
+  let before = Service.retry_delay s1 q_broad 2 in
+  List.iter (fun a -> ignore (Service.retry_delay s1 q_narrow a)) [ 0; 1; 2; 3 ];
+  Alcotest.(check (float 0.))
+    "order-independent" before
+    (Service.retry_delay s1 q_broad 2);
+  (* delays stay inside the documented envelope base·2ᵃ·[0.5, 1.5) *)
+  List.iteri
+    (fun a d ->
+      let lo = 0.01 *. (2. ** float_of_int a) *. 0.5 in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d in envelope" a)
+        true
+        (d >= lo && d < 3. *. lo))
+    (delays s1 q_broad);
+  (* distinct queries and a distinct seed give distinct jitter *)
+  Alcotest.(check bool)
+    "query-dependent" true
+    (Service.retry_delay s1 q_broad 0 <> Service.retry_delay s1 q_narrow 0);
+  let reseeded = { config with Service.jitter_seed = 0x5151_5151L } in
+  with_service ~config:reseeded ctx @@ fun s3 ->
+  Alcotest.(check bool)
+    "seed-dependent" true
+    (Service.retry_delay s1 q_broad 0 <> Service.retry_delay s3 q_broad 0)
+
 let suite =
   [
     Alcotest.test_case "transient fault is retried" `Quick transient_fault_is_retried;
@@ -474,6 +512,8 @@ let suite =
     Alcotest.test_case "fan_out: propagates the first failure" `Quick
       fan_out_propagates_failure;
     Alcotest.test_case "service outlives its pool" `Quick service_outlives_its_pool;
+    Alcotest.test_case "backoff jitter is deterministic" `Quick
+      backoff_jitter_is_deterministic;
     Helpers.qtest ~count:40 "crash-consistency: caches never poisoned" gen_crash
       print_crash prop_crash_consistency;
   ]

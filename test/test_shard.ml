@@ -52,10 +52,29 @@ let manifest_roundtrip () =
       universe = 10;
       n_txs = 7;
       n_pages = 2;
+      replicas = 2;
       shards =
         [|
-          { Manifest.s_txs = 4; s_pages = 1; s_generation = 2 };
-          { Manifest.s_txs = 3; s_pages = 1; s_generation = 5 };
+          {
+            Manifest.s_txs = 4;
+            s_pages = 1;
+            s_generation = 2;
+            s_replicas =
+              [|
+                { Manifest.r_generation = 2; r_health = Manifest.Healthy };
+                { Manifest.r_generation = 1; r_health = Manifest.Stale };
+              |];
+          };
+          {
+            Manifest.s_txs = 3;
+            s_pages = 1;
+            s_generation = 5;
+            s_replicas =
+              [|
+                { Manifest.r_generation = 5; r_health = Manifest.Healthy };
+                { Manifest.r_generation = 5; r_health = Manifest.Quarantined };
+              |];
+          };
         |];
       checksums = [| 0xCAFE; 0xBEEF |];
     }
@@ -503,6 +522,307 @@ let disk_matches_memory () =
     (mem = disk)
 
 (* ------------------------------------------------------------------ *)
+(* replication: failover identity, mirrored quorum writes, scrub/repair *)
+
+let permanent_fault () =
+  Some (Fault.create { Fault.default_config with Fault.transient_p = 1.0 })
+
+let run_signature db info q =
+  let r = Exec.run ~collect_pairs:true (Exec.context db info) q in
+  (signature r, (Io_stats.scans r.Exec.io, Io_stats.pages_read r.Exec.io))
+
+(* a permanently faulted replica is invisible: answers, ccc and logical
+   page charges stay byte-identical to the unreplicated store, served by
+   failover to the healthy sibling *)
+let replica_failover_identity () =
+  let path = tmp_path "replica_id" and ref_path = tmp_path "replica_ref" in
+  let sets = sets_of_lists fixed_lists in
+  let info = Helpers.small_info 9 in
+  let q = Query.make ~s_minsup:0.1 ~t_minsup:0.1 () in
+  Fun.protect ~finally:(fun () ->
+      Sharded.remove_files path;
+      Sharded.remove_files ref_path)
+  @@ fun () ->
+  Sharded.build ~page_model:small_pm ~shards:3 ref_path sets;
+  Sharded.build ~page_model:small_pm ~shards:3 ~replicas:2 path sets;
+  let reference =
+    let sh = Sharded.open_ ~cache_pages:4 ref_path in
+    Fun.protect ~finally:(fun () -> Sharded.close sh) @@ fun () ->
+    run_signature (Sharded.db sh) info q
+  in
+  let sh = Sharded.open_ ~cache_pages:4 path in
+  Fun.protect ~finally:(fun () -> Sharded.close sh) @@ fun () ->
+  Alcotest.(check int) "two replicas recorded" 2 (Sharded.replicas sh);
+  Alcotest.(check bool) "replicated healthy run identical" true
+    (run_signature (Sharded.db sh) info q = reference);
+  (* permanently fault each shard's preferred replica in turn *)
+  for k = 0 to 2 do
+    Sharded.set_replica_fault sh ~shard:k ~replica:0 (permanent_fault ());
+    Alcotest.(check bool)
+      (Printf.sprintf "faulted shard %d replica 0: identical" k)
+      true
+      (run_signature (Sharded.db sh) info q = reference);
+    Sharded.set_replica_fault sh ~shard:k ~replica:0 None
+  done;
+  Alcotest.(check bool) "failovers counted" true (Sharded.failovers sh > 0)
+
+let nth_health g j = Replica.health g ~replica:j
+
+(* mirrored writes: a write-faulted replica goes stale, the quorum keeps
+   accepting; losing the quorum raises; repair re-admits the laggard *)
+let mirrored_quorum_and_repair () =
+  let path = tmp_path "quorum" in
+  let sets = sets_of_lists fixed_lists in
+  Fun.protect ~finally:(fun () -> Sharded.remove_files path) @@ fun () ->
+  Sharded.build ~page_model:small_pm ~shards:2 ~replicas:3 path sets;
+  let sh = Sharded.open_ ~cache_pages:4 path in
+  Fun.protect ~finally:(fun () -> Sharded.close sh) @@ fun () ->
+  let last = Sharded.shard_count sh - 1 in
+  let g = (Sharded.groups sh).(last) in
+  (* replica 2 starts dropping writes: 2/3 is still a quorum *)
+  Sharded.set_replica_write_fault sh ~shard:last ~replica:2 true;
+  Sharded.append_tx sh (Itemset.of_list [ 1; 2; 8 ]);
+  Alcotest.(check int) "sealed under quorum" 1 (Sharded.seal sh);
+  Alcotest.(check bool) "laggard went stale" true
+    (nth_health g 2 = Manifest.Stale);
+  Alcotest.(check bool) "manifest records the stale replica" true
+    ((Sharded.manifest sh).Manifest.shards.(last).Manifest.s_replicas.(2)
+       .Manifest.r_health = Manifest.Stale);
+  (* replica 1 drops writes too: 1/3 accepting loses the quorum *)
+  Sharded.set_replica_write_fault sh ~shard:last ~replica:1 true;
+  (match Sharded.append_tx sh (Itemset.of_list [ 5 ]) with
+  | () -> Alcotest.fail "append below quorum was supposed to fail"
+  | exception Cfq_error.Error (Cfq_error.Transient_io _) -> ());
+  Sharded.set_replica_write_fault sh ~shard:last ~replica:1 false;
+  Sharded.set_replica_write_fault sh ~shard:last ~replica:2 false;
+  (* anti-entropy: both laggards rebuilt from the healthy survivor *)
+  let report = Scrub.run sh in
+  Alcotest.(check int) "two replicas repaired" 2 report.Scrub.repairs;
+  Alcotest.(check int) "no repair failures" 0 report.Scrub.repair_failures;
+  for j = 0 to 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "replica %d healthy after repair" j)
+      true
+      (nth_health g j = Manifest.Healthy)
+  done;
+  Alcotest.(check bool) "health report clean" true
+    (Scrub.healthy_report (Scrub.health_report sh));
+  (* every replica now byte-agrees: scrub with nothing to do *)
+  let report = Scrub.run sh in
+  Alcotest.(check int) "second scrub repairs nothing" 0 report.Scrub.repairs;
+  Alcotest.(check int) "second scrub finds nothing" 0 report.Scrub.faults_found
+
+(* on-disk rot on one replica: queries fail over silently; the scrubber
+   finds the bad page, quarantines, rebuilds and re-admits the replica *)
+let scrub_repairs_disk_rot () =
+  let path = tmp_path "rot" in
+  let sets = sets_of_lists fixed_lists in
+  let info = Helpers.small_info 9 in
+  let q = Query.make ~s_minsup:0.1 ~t_minsup:0.1 () in
+  Fun.protect ~finally:(fun () -> Sharded.remove_files path) @@ fun () ->
+  Sharded.build ~page_model:small_pm ~shards:3 ~replicas:2 path sets;
+  let reference =
+    let sh = Sharded.open_ ~cache_pages:4 path in
+    Fun.protect ~finally:(fun () -> Sharded.close sh) @@ fun () ->
+    run_signature (Sharded.db sh) info q
+  in
+  (* rot a byte in shard 0, replica 0's first data page (pages are 64 B) *)
+  let victim = Replica.replica_path path ~shard:0 ~replica:0 in
+  let fd = Unix.openfile victim [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd (64 + 7) Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "\xFF") 0 1);
+  Unix.close fd;
+  let sh = Sharded.open_ ~cache_pages:4 path in
+  Fun.protect ~finally:(fun () -> Sharded.close sh) @@ fun () ->
+  Alcotest.(check bool) "rotten replica: answers identical via failover" true
+    (run_signature (Sharded.db sh) info q = reference);
+  Alcotest.(check bool) "failover happened" true (Sharded.failovers sh > 0);
+  let report = Scrub.run ~throttle_pages:4 ~throttle_sleep:0.0001 sh in
+  Alcotest.(check bool) "scrub found the bad page" true
+    (report.Scrub.faults_found >= 1);
+  Alcotest.(check int) "scrub repaired the replica" 1 report.Scrub.repairs;
+  Alcotest.(check int) "no repair failures" 0 report.Scrub.repair_failures;
+  Alcotest.(check bool) "health report clean after repair" true
+    (Scrub.healthy_report (Scrub.health_report sh));
+  Alcotest.(check bool) "repaired store: answers identical" true
+    (run_signature (Sharded.db sh) info q = reference);
+  (* a reopen agrees with the repaired manifest: no further healing *)
+  let gen = (Sharded.manifest sh).Manifest.generation in
+  let sh2 = Sharded.open_ path in
+  let gen2 = (Sharded.manifest sh2).Manifest.generation in
+  Sharded.close sh2;
+  Alcotest.(check int) "reopen does not re-heal" gen gen2
+
+(* the service never sees a failed-over read: no breaker trips, no
+   degraded answers, failovers surfaced in the metrics *)
+let failover_is_invisible_to_breakers () =
+  let path = tmp_path "svc_failover" in
+  let sets = sets_of_lists fixed_lists in
+  let info = Helpers.small_info 9 in
+  Fun.protect ~finally:(fun () -> Sharded.remove_files path) @@ fun () ->
+  Sharded.build ~page_model:small_pm ~shards:3 ~replicas:2 path sets;
+  let sh = Sharded.open_ ~cache_pages:4 path in
+  Fun.protect ~finally:(fun () -> Sharded.close sh) @@ fun () ->
+  Sharded.set_replica_fault sh ~shard:1 ~replica:0 (permanent_fault ());
+  let config =
+    {
+      Service.default_config with
+      Service.domains = 1;
+      retries = 0;
+      breaker_threshold = 1;
+      breaker_cooldown = 1;
+      degrade = true;
+    }
+  in
+  let service = Service.create ~config (Exec.context (Sharded.db sh) info) in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  List.iter
+    (fun (s, t) ->
+      match Service.run service (Query.make ~s_minsup:s ~t_minsup:t ()) with
+      | Ok _ -> ()
+      | Error e ->
+          Alcotest.failf "query under failover: %s" (Service.error_to_string e))
+    [ (0.1, 0.1); (0.15, 0.2); (0.25, 0.1) ];
+  let m = Service.metrics service in
+  Alcotest.(check int) "no breaker trips" 0 m.Metrics.breaker_trips;
+  Alcotest.(check int) "no degraded answers" 0 m.Metrics.degraded;
+  Alcotest.(check int) "no failures" 0 m.Metrics.failures;
+  Alcotest.(check int) "no faults reached the service" 0
+    (m.Metrics.fault_transient + m.Metrics.fault_corrupt + m.Metrics.fault_crash);
+  Alcotest.(check bool) "failovers surfaced in metrics" true
+    (m.Metrics.failovers > 0);
+  List.iter
+    (fun (row : Metrics.shard_row) ->
+      Alcotest.(check string)
+        (Printf.sprintf "shard %d breaker closed" row.Metrics.shard)
+        "closed" row.Metrics.shard_breaker)
+    m.Metrics.shards;
+  (* shard 1's sink carries the failovers *)
+  Alcotest.(check bool) "failovers attributed to shard 1" true
+    ((List.nth m.Metrics.shards 1).Metrics.shard_failovers > 0)
+
+(* exhausting every replica surfaces one typed, shard-attributed error *)
+let all_replicas_down_is_a_shard_fault () =
+  let path = tmp_path "all_down" in
+  let sets = sets_of_lists fixed_lists in
+  Fun.protect ~finally:(fun () -> Sharded.remove_files path) @@ fun () ->
+  Sharded.build ~page_model:small_pm ~shards:3 ~replicas:2 path sets;
+  let sh = Sharded.open_ ~cache_pages:4 path in
+  Fun.protect ~finally:(fun () -> Sharded.close sh) @@ fun () ->
+  Sharded.set_replica_fault sh ~shard:1 ~replica:0 (permanent_fault ());
+  Sharded.set_replica_fault sh ~shard:1 ~replica:1 (permanent_fault ());
+  let db = Sharded.db sh in
+  let io = Io_stats.create () in
+  match Tx_db.iter_scan db io (fun _ -> ()) with
+  | () -> Alcotest.fail "scan with every replica down was supposed to fail"
+  | exception Cfq_error.Error (Cfq_error.Transient_io { page }) ->
+      Alcotest.(check int) "error page attributed to shard 1" 1
+        (Tx_db.shard_of_page db page)
+
+(* version-1 manifests (no replica section) read as single-replica *)
+let manifest_v1_reads_as_single_replica () =
+  let path = tmp_path "man_v1" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  (* hand-encode the v1 layout: 52-byte fixed part, 24-byte entries *)
+  let ns = 2 and n_pages = 2 in
+  let total = 52 + (ns * 24) + (n_pages * 8) + 4 in
+  let b = Bytes.make total '\000' in
+  Bytes.blit_string "CFQMAN01" 0 b 0 8;
+  Bytes.set_int32_le b 8 1l; (* version *)
+  Bytes.set_int32_le b 12 0l; (* tid-range *)
+  Bytes.set_int32_le b 16 (Int32.of_int ns);
+  Bytes.set_int64_le b 20 7L; (* generation *)
+  Bytes.set_int64_le b 28 9L; (* n_txs *)
+  Bytes.set_int64_le b 36 (Int64.of_int n_pages);
+  Bytes.set_int64_le b 44 5L; (* universe *)
+  List.iteri
+    (fun k (txs, pages, gen) ->
+      let off = 52 + (k * 24) in
+      Bytes.set_int64_le b off (Int64.of_int txs);
+      Bytes.set_int64_le b (off + 8) (Int64.of_int pages);
+      Bytes.set_int64_le b (off + 16) (Int64.of_int gen))
+    [ (4, 1, 7); (5, 1, 7) ];
+  Bytes.set_int64_le b (52 + (ns * 24)) 0xAAL;
+  Bytes.set_int64_le b (52 + (ns * 24) + 8) 0xBBL;
+  Bytes.set_int32_le b (total - 4)
+    (Int32.of_int (Cfq_store.Crc32.sub b 0 (total - 4)));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc;
+  let m = Manifest.read path in
+  Alcotest.(check int) "single replica" 1 m.Manifest.replicas;
+  Alcotest.(check int) "two shards" 2 (Array.length m.Manifest.shards);
+  Array.iter
+    (fun e ->
+      Alcotest.(check int) "one replica entry" 1
+        (Array.length e.Manifest.s_replicas);
+      Alcotest.(check bool) "healthy" true
+        (e.Manifest.s_replicas.(0).Manifest.r_health = Manifest.Healthy);
+      Alcotest.(check int) "replica generation mirrors the shard's"
+        e.Manifest.s_generation
+        e.Manifest.s_replicas.(0).Manifest.r_generation)
+    m.Manifest.shards
+
+(* fuzz: arbitrary bit-flips and truncations of the manifest must read
+   back fine (untouched) or raise Bad_manifest — nothing else *)
+let qcheck_manifest_fuzz =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"manifest fuzz: flips/truncations fail typed"
+       ~count:80
+       ~print:(fun (off, flip) -> Printf.sprintf "off=%d flip=%b" off flip)
+       QCheck2.Gen.(pair (int_bound 4095) bool)
+       (fun (off, flip) ->
+         let path =
+           Filename.temp_file "cfq_manifest_fuzz" ".cfqdb"
+         in
+         let m =
+           {
+             Manifest.generation = 1;
+             partition = Manifest.Tid_range;
+             universe = 9;
+             n_txs = 6;
+             n_pages = 2;
+             replicas = 2;
+             shards =
+               [|
+                 {
+                   Manifest.s_txs = 6;
+                   s_pages = 2;
+                   s_generation = 1;
+                   s_replicas =
+                     Array.make 2
+                       { Manifest.r_generation = 1; r_health = Manifest.Healthy };
+                 };
+               |];
+             checksums = [| 123; 456 |];
+           }
+         in
+         Manifest.write path m;
+         let size = (Unix.stat path).Unix.st_size in
+         if flip then begin
+           let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+           let pos = off mod size in
+           let buf = Bytes.create 1 in
+           ignore (Unix.lseek fd pos Unix.SEEK_SET);
+           ignore (Unix.read fd buf 0 1);
+           Bytes.set buf 0 (Char.chr (Char.code (Bytes.get buf 0) lxor 0x10));
+           ignore (Unix.lseek fd pos Unix.SEEK_SET);
+           ignore (Unix.write fd buf 0 1);
+           Unix.close fd
+         end
+         else Unix.truncate path (off mod size);
+         (* the CRC covers every payload byte and any truncation breaks
+            the size arithmetic: both mutations must be rejected typed *)
+         let ok =
+           match Manifest.read path with
+           | _ -> false
+           | exception Manifest.Bad_manifest _ -> true
+         in
+         Sys.remove path;
+         ok))
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
   [
@@ -520,4 +840,11 @@ let suite =
     unit "open self-heals a stale manifest" open_self_heals_a_stale_manifest;
     unit "sharded ingestion round-trip" sharded_ingestion_roundtrip;
     unit "disk sharded = memory sharded" disk_matches_memory;
+    unit "replica failover keeps answers byte-identical" replica_failover_identity;
+    unit "mirrored writes: quorum, stale laggards, repair" mirrored_quorum_and_repair;
+    unit "scrub quarantines and repairs on-disk rot" scrub_repairs_disk_rot;
+    unit "service: failover trips no breakers" failover_is_invisible_to_breakers;
+    unit "all replicas down = typed shard fault" all_replicas_down_is_a_shard_fault;
+    unit "v1 manifest reads as single-replica" manifest_v1_reads_as_single_replica;
+    qcheck_manifest_fuzz;
   ]

@@ -160,4 +160,62 @@ let suite =
               (contains (out t ("ingest " ^ path ^ " " ^ fimi)) "now 12 total");
             Alcotest.(check bool) "reopen sees them" true
               (contains (out t ("open " ^ path)) "12 transactions")));
+    unit "replicated shards: verify, failover, scrub repair" (fun () ->
+        let t = session_with_db () in
+        let q = "run freq(S) >= 0.3 & freq(T) >= 0.3" in
+        let path = Filename.temp_file "cfq_shell_rep" ".cfqdb" in
+        let m = path ^ ".sharded" in
+        let shard_files =
+          List.concat_map
+            (fun s -> [ s; s ^ ".wal" ])
+            [ m ^ ".shard0"; m ^ ".shard0.r1"; m ^ ".shard1"; m ^ ".shard1.r1" ]
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter
+              (fun p -> try Sys.remove p with Sys_error _ -> ())
+              ([ path; path ^ ".wal"; path ^ ".info.csv"; m ] @ shard_files))
+          (fun () ->
+            Alcotest.(check bool) "saved" true (contains (out t ("save " ^ path)) "wrote");
+            let t2 = Shell.create () in
+            Alcotest.(check bool) "replicas set" true
+              (contains (out t2 "set replicas 2") "2 replicas per shard");
+            Alcotest.(check bool) "opened replicated" true
+              (contains (out t2 ("open " ^ path ^ " shards=2")) "x 2 replicas");
+            let before = out t2 q in
+            Alcotest.(check bool) "verify clean" true
+              (contains (out t2 "verify") "all replicas healthy");
+            Alcotest.(check bool) "stats show replica health" true
+              (contains (out t2 "stats") "replica 1: healthy");
+            (* pin a permanent fault to one replica: reads fail over to its
+               sibling and the answer text is byte-identical *)
+            Alcotest.(check bool) "replica fault pinned" true
+              (contains (out t2 "set fault 1 0 7 shard=0 replica=0")
+                 "(shard 0, replica 0)");
+            Alcotest.(check string) "failover answers identically" before (out t2 q);
+            Alcotest.(check bool) "failover counted" true
+              (contains (out t2 "stats") "failovers: ");
+            Alcotest.(check bool) "fault cleared" true
+              (contains (out t2 "set fault off shard=0 replica=0")
+                 "(shard 0, replica 0)");
+            (* rot a data page of shard 1's first replica on disk *)
+            let victim = m ^ ".shard1" in
+            let fd = Unix.openfile victim [ Unix.O_RDWR ] 0 in
+            ignore (Unix.lseek fd 4101 Unix.SEEK_SET);
+            let b = Bytes.create 1 in
+            ignore (Unix.read fd b 0 1);
+            Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x20));
+            ignore (Unix.lseek fd 4101 Unix.SEEK_SET);
+            ignore (Unix.write fd b 0 1);
+            Unix.close fd;
+            Alcotest.(check bool) "verify flags the rot" true
+              (contains (out t2 "verify") "VERIFICATION FAILED");
+            Alcotest.(check bool) "scrub rebuilds the replica" true
+              (contains (out t2 "scrub") "1 replicas repaired");
+            Alcotest.(check bool) "verify clean after repair" true
+              (contains (out t2 "verify") "all replicas healthy");
+            Alcotest.(check string) "post-repair answers identically" before
+              (out t2 q);
+            let _ = Shell.eval t2 "quit" in
+            ()));
   ]
