@@ -410,7 +410,7 @@ let parallel scale =
     let t0 = Unix.gettimeofday () in
     let counts =
       Counting.count_level
-        ~par:{ Counting.domains; pool = None }
+        ~par:(Counting.par domains)
         db io (Counters.create ()) cands
     in
     ignore counts;

@@ -80,7 +80,7 @@ let run (scale : Workloads.scale) =
 
   (* the parallel counting engine must be byte-identical to sequential cold
      execution: same pairs, same ccc counters, same scan charges, per query *)
-  let par = { Cfq_mining.Counting.domains = 3; pool = None } in
+  let par = Cfq_mining.Counting.par ~min_rows_per_domain:1 3 in
   let par_mismatches = ref 0 in
   List.iteri
     (fun i (q, cold_r) ->

@@ -78,6 +78,15 @@ let kernel_arg =
            (tid-bitmap switchover) or $(b,auto) (adaptive cost model with \
            shrinking projections).  Answers are identical for every kernel.")
 
+let no_calibrate_arg =
+  Arg.(
+    value & flag
+    & info [ "no-calibrate" ]
+        ~doc:
+          "Freeze the Auto planner's cost model at its fixed priors instead \
+           of feeding measured pass timings back into it.  Only affects \
+           kernel selection timing, never answers.")
+
 let mine_domains_arg ~default_doc ~default =
   Arg.(
     value & opt int default
@@ -147,8 +156,8 @@ let load_or_generate ~tx ~items ~types ~seed ~data ~iteminfo =
               | exception Cfq_data.Item_csv.Bad_format msg -> Error (`Msg msg)
               | info -> Ok (db, info))))
 
-let run_cmd verbose tx items types seed strategy mine_domains kernel n_pairs data
-    iteminfo pairs_out text =
+let run_cmd verbose tx items types seed strategy mine_domains kernel
+    no_calibrate n_pairs data iteminfo pairs_out text =
   setup_logs verbose;
   match parse_query text with
   | Error e -> Error e
@@ -172,11 +181,14 @@ let run_cmd verbose tx items types seed strategy mine_domains kernel n_pairs dat
         if mine_domains = 0 then Domain.recommended_domain_count ()
         else max 1 mine_domains
       in
-      let par = { Cfq_mining.Counting.domains = mine_domains; pool = None } in
+      let par = Cfq_mining.Counting.par mine_domains in
       let kernel =
         if kernel = Cfq_mining.Counting.Trie then None else Some kernel
       in
-      let r = Exec.run ~strategy ~collect_pairs:collect ~par ?kernel ctx q in
+      let r =
+        Exec.run ~strategy ~collect_pairs:collect ~par ?kernel
+          ~calibrate:(not no_calibrate) ctx q
+      in
       print_endline (Explain.result_to_string r);
       if n_pairs > 0 then begin
         Printf.printf "\nfirst %d pairs:\n" n_pairs;
@@ -311,9 +323,9 @@ let batch_file_arg =
     & pos 0 (some file) None
     & info [] ~docv:"FILE" ~doc:"Batch file: one CFQ per line; '#' comments.")
 
-let serve_cmd verbose tx items types seed data iteminfo domains mine_domains kernel
-    cache_mb deadline repeat fault_transient fault_corrupt fault_spike fault_seed
-    retries breaker_threshold file =
+let serve_cmd verbose tx items types seed data iteminfo domains mine_domains
+    kernel no_calibrate cache_mb deadline repeat fault_transient fault_corrupt
+    fault_spike fault_seed retries breaker_threshold file =
   setup_logs verbose;
   match load_or_generate ~tx ~items ~types ~seed ~data ~iteminfo with
   | Error e -> Error e
@@ -345,6 +357,7 @@ let serve_cmd verbose tx items types seed data iteminfo domains mine_domains ker
           retries;
           breaker_threshold;
           kernel;
+          calibrate = not no_calibrate;
         }
       in
       let service = Cfq_service.Service.create ~config (Exec.context db info) in
@@ -579,8 +592,8 @@ let backend_recovery_lines = function
         (Cfq_shard.Sharded.stores sh)
 
 let store_serve_cmd verbose store_path cache_pages shards replicas fault_shard
-    fault_replica domains mine_domains kernel cache_mb deadline repeat
-    fault_transient fault_corrupt fault_spike fault_seed retries
+    fault_replica domains mine_domains kernel no_calibrate cache_mb deadline
+    repeat fault_transient fault_corrupt fault_spike fault_seed retries
     breaker_threshold verify file =
   setup_logs verbose;
   match open_backend ~replicas store_path cache_pages shards with
@@ -725,6 +738,7 @@ let store_serve_cmd verbose store_path cache_pages shards replicas fault_shard
               retries;
               breaker_threshold;
               kernel;
+              calibrate = not no_calibrate;
             }
           in
           let service = Cfq_service.Service.create ~config (Exec.context db info) in
@@ -864,7 +878,8 @@ let run_t =
      $ strategy_arg
      $ mine_domains_arg ~default:0
          ~default_doc:"Default 0 = all recommended domains of the machine."
-     $ kernel_arg $ pairs_arg $ data_arg $ iteminfo_arg $ pairs_out_arg $ query_arg))
+     $ kernel_arg $ no_calibrate_arg $ pairs_arg $ data_arg $ iteminfo_arg
+     $ pairs_out_arg $ query_arg))
 
 let explain_t = Term.(term_result (const explain_cmd $ query_arg))
 
@@ -923,7 +938,8 @@ let serve_t =
          ~default_doc:
            "Default 0 = inherit $(b,--domains); helpers are borrowed idle \
             workers, never extra domains."
-     $ kernel_arg $ cache_mb_arg $ deadline_arg $ repeat_arg $ fault_transient_arg
+     $ kernel_arg $ no_calibrate_arg $ cache_mb_arg $ deadline_arg $ repeat_arg
+     $ fault_transient_arg
      $ fault_corrupt_arg $ fault_spike_arg $ fault_seed_arg $ retries_arg
      $ breaker_threshold_arg $ batch_file_arg))
 
@@ -963,7 +979,8 @@ let store_serve_t =
          ~default_doc:
            "Default 0 = inherit $(b,--domains); helpers are borrowed idle \
             workers, never extra domains."
-     $ kernel_arg $ cache_mb_arg $ deadline_arg $ repeat_arg $ fault_transient_arg
+     $ kernel_arg $ no_calibrate_arg $ cache_mb_arg $ deadline_arg $ repeat_arg
+     $ fault_transient_arg
      $ fault_corrupt_arg $ fault_spike_arg $ fault_seed_arg $ retries_arg
      $ breaker_threshold_arg $ verify_arg $ batch_file_arg))
 

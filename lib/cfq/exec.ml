@@ -364,16 +364,17 @@ let resolve_par par =
   | None -> (None, fun () -> ())
   | Some p when p.Counting.domains <= 1 -> (None, fun () -> ())
   | Some ({ Counting.pool = Some _; _ } as p) -> (Some p, fun () -> ())
-  | Some { Counting.domains; pool = None } ->
+  | Some ({ Counting.pool = None; _ } as p) ->
+      let domains = p.Counting.domains in
       let pool =
         Cfq_exec_pool.Pool.create ~domains:(domains - 1)
           ~queue_capacity:(4 * domains) ()
       in
-      ( Some { Counting.domains; pool = Some pool },
+      ( Some { p with Counting.pool = Some pool },
         fun () -> Cfq_exec_pool.Pool.shutdown pool )
 
-let run ?(strategy = Plan.Optimized) ?(collect_pairs = false) ?par ?kernel ctx
-    (q : Query.t) =
+let run ?(strategy = Plan.Optimized) ?(collect_pairs = false) ?par ?kernel
+    ?calibration ?(calibrate = true) ctx (q : Query.t) =
   (* normalise the constraint conjunction first; provably empty queries never
      touch the database *)
   let rw = Rewrite.simplify q in
@@ -392,7 +393,11 @@ let run ?(strategy = Plan.Optimized) ?(collect_pairs = false) ?par ?kernel ctx
   (* one adaptive-kernel session per run: projections and bitmaps built for
      one pass serve the later passes of the same run and nothing else *)
   let session =
-    Option.map (fun k -> Counting.create_session ~plan:(Counting.plan_of_kernel k) ()) kernel
+    Option.map
+      (fun k ->
+        let plan = { (Counting.plan_of_kernel k) with Counting.calibrate } in
+        Counting.create_session ~plan ?calibration ())
+      kernel
   in
   let (s_freq, s_counters, s_levels), (t_freq, t_counters, t_levels) =
     Fun.protect ~finally:cleanup_pool (fun () ->
@@ -452,8 +457,9 @@ let run ?(strategy = Plan.Optimized) ?(collect_pairs = false) ?par ?kernel ctx
   }
   end
 
-let run_result ?strategy ?collect_pairs ?par ?kernel ctx q =
-  match run ?strategy ?collect_pairs ?par ?kernel ctx q with
+let run_result ?strategy ?collect_pairs ?par ?kernel ?calibration ?calibrate ctx
+    q =
+  match run ?strategy ?collect_pairs ?par ?kernel ?calibration ?calibrate ctx q with
   | r -> Ok r
   | exception Cfq_error.Error e -> Error e
   | exception Stack_overflow -> Error (Cfq_error.Query_crash "stack overflow")

@@ -76,12 +76,21 @@ val total_counted : result -> int
     chosen kernels per pass appear in [levels] and a summary note).  When
     faults are installed every pass is pinned to the trie.  The default
     stays the trie path because its scan-per-level I/O profile is the
-    paper's cost model. *)
+    paper's cost model.
+
+    [calibration] shares a measured per-kernel cost record across runs (a
+    service passes its own so early queries calibrate the planner for
+    later ones); absent, the run's session starts from the committed
+    machine-profile priors.  [calibrate] (default true) lets the run feed
+    its measured pass timings back into that record; with [false] the
+    record never moves and the Auto planner's decisions are reproducible. *)
 val run :
   ?strategy:Plan.strategy ->
   ?collect_pairs:bool ->
   ?par:Counting.par ->
   ?kernel:Counting.kernel ->
+  ?calibration:Counting.calibration ->
+  ?calibrate:bool ->
   ctx ->
   Query.t ->
   result
@@ -96,6 +105,8 @@ val run_result :
   ?collect_pairs:bool ->
   ?par:Counting.par ->
   ?kernel:Counting.kernel ->
+  ?calibration:Counting.calibration ->
+  ?calibrate:bool ->
   ctx ->
   Query.t ->
   (result, Cfq_error.t) Stdlib.result

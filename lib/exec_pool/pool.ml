@@ -176,7 +176,10 @@ type helper =
   | Borrowed of (unit promise * entry)
 
 let fan_out ?pool ~domains ~n_tasks ~init ~work () =
-  let domains = max 1 domains in
+  (* never stand up more participants than there are tasks: the surplus
+     would spawn (or occupy a pool worker), find the counter drained, and
+     contribute only an empty accumulator to the merge *)
+  let domains = max 1 (min domains n_tasks) in
   if domains = 1 || n_tasks <= 0 then begin
     (* degraded region: the caller does everything, nothing is spawned or
        borrowed — bit-for-bit the sequential path *)

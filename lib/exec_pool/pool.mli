@@ -64,8 +64,10 @@ val shutdown : t -> unit
     pool degrades smoothly towards the caller doing all the work; a full or
     shut-down pool likewise just means fewer participants, never an error.
 
-    With [domains <= 1] or [n_tasks = 0] nothing is spawned or borrowed and
-    the caller runs every task in index order — bit-for-bit the sequential
+    Participants are capped at [n_tasks]: a region never stands up a
+    helper that could only find the counter drained.  With [domains <= 1],
+    [n_tasks <= 1] or [n_tasks = 0] nothing is spawned or borrowed and the
+    caller runs every task in index order — bit-for-bit the sequential
     path.
 
     If any participant raises, the region is poisoned (others stop grabbing

@@ -3,9 +3,25 @@ open Cfq_txdb
 type par = {
   domains : int;
   pool : Cfq_exec_pool.Pool.t option;
+  min_rows_per_domain : int;
 }
 
-let sequential = { domains = 1; pool = None }
+let default_min_rows_per_domain = 2048
+
+let par ?pool ?(min_rows_per_domain = default_min_rows_per_domain) domains =
+  { domains = max 1 domains; pool; min_rows_per_domain = max 1 min_rows_per_domain }
+
+let sequential =
+  { domains = 1; pool = None; min_rows_per_domain = default_min_rows_per_domain }
+
+(* How many participants a region of [work_items] rows (or candidates) is
+   worth: fanning a few hundred rows over domains costs more in spawn and
+   merge than the rows themselves.  Equality with the sequential pass is
+   unaffected — parallel regions are bit-identical at every width. *)
+let eff_domains p ~work_items =
+  let d = max 1 p.domains in
+  if d = 1 || work_items <= 0 then 1
+  else min d (max 1 (work_items / p.min_rows_per_domain))
 
 (* ------------------------------------------------------------------ *)
 (* Kernel plans                                                        *)
@@ -30,6 +46,7 @@ type plan = {
   projection : bool;
   vertical_min_card : int;
   direct2_max_sparsity : int;
+  calibrate : bool;
 }
 
 let default_plan =
@@ -39,9 +56,69 @@ let default_plan =
     projection = true;
     vertical_min_card = 3;
     direct2_max_sparsity = 16;
+    calibrate = true;
   }
 
 let plan_of_kernel k = { default_plan with kernel = k; projection = k = Auto }
+
+(* ------------------------------------------------------------------ *)
+(* Calibration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Measured per-kernel unit costs, EMA-smoothed over the passes of a
+   session (or shared across the sessions of a service).  The defaults are
+   priors taken from the committed BENCH_counting.json of a commodity
+   x86-64 box; every observation halves their weight, so a few passes are
+   enough to re-anchor the record to the machine at hand.  Units:
+   seconds per item occurrence scanned (trie, direct2, bitmap build) and
+   seconds per candidate-word intersected (bitmap probes). *)
+type calibration = {
+  mutable samples : int;
+  mutable trie_cost : float;
+  mutable direct2_cost : float;
+  mutable build_cost : float;
+  mutable probe_cost : float;
+  mu : Mutex.t;
+}
+
+let create_calibration () =
+  {
+    samples = 0;
+    trie_cost = 6e-7;
+    direct2_cost = 5e-8;
+    build_cost = 5e-8;
+    probe_cost = 2.5e-9;
+    mu = Mutex.create ();
+  }
+
+let calibration_samples c = Mutex.protect c.mu (fun () -> c.samples)
+
+let describe_calibration c =
+  Mutex.protect c.mu (fun () ->
+      Printf.sprintf
+        "samples=%d trie=%.3gns/occ direct2=%.3gns/occ build=%.3gns/occ probe=%.3gns/cw"
+        c.samples (c.trie_cost *. 1e9) (c.direct2_cost *. 1e9)
+        (c.build_cost *. 1e9) (c.probe_cost *. 1e9))
+
+(* The defaults always serve as the prior: an observation moves the
+   coefficient halfway, never replaces it, so one noisy pass cannot wreck
+   the model.  Sub-microsecond timings are discarded as timer noise. *)
+let observe c get set ~seconds ~units =
+  if units > 0. && seconds > 1e-6 then
+    Mutex.protect c.mu (fun () ->
+        set ((0.5 *. get ()) +. (0.5 *. (seconds /. units)));
+        c.samples <- c.samples + 1)
+
+let observe_trie c = observe c (fun () -> c.trie_cost) (fun v -> c.trie_cost <- v)
+
+let observe_direct2 c =
+  observe c (fun () -> c.direct2_cost) (fun v -> c.direct2_cost <- v)
+
+let observe_build c =
+  observe c (fun () -> c.build_cost) (fun v -> c.build_cost <- v)
+
+let observe_probe c =
+  observe c (fun () -> c.probe_cost) (fun v -> c.probe_cost <- v)
 
 let direct2_admissible plan ~n_cands ~n_cells =
   n_cells <= plan.budget_words && n_cells <= plan.direct2_max_sparsity * max 1 n_cands
@@ -52,6 +129,28 @@ let vertical_admissible plan ~n_live_items ~n_rows ~min_card =
 
 let projection_admissible plan ~est_words =
   plan.projection && est_words <= plan.budget_words
+
+let words_per_row n_rows =
+  let b = Cfq_itembase.Bitvec.bits_per_word in
+  (n_rows + b - 1) / b
+
+(* Cold-build admission: standing up bitmaps with a charged scan only pays
+   when the estimated build + probe time undercuts the trie walk it
+   replaces (deeper passes then come free, so beating one pass is a
+   conservative bar).  This is the 0.73x fix: huge candidate sets over few
+   rows make the probes alone slower than the scan. *)
+let vertical_cold_admissible plan calib ~n_live_items ~n_rows ~min_card ~avg_len
+    ~n_cands =
+  vertical_admissible plan ~n_live_items ~n_rows ~min_card
+  && begin
+       let occ = float_of_int n_rows *. Float.max 1. avg_len in
+       let words = float_of_int (words_per_row n_rows) in
+       let inters = float_of_int (max 1 (min_card - 1)) in
+       let scan = occ *. calib.trie_cost in
+       let build = occ *. calib.build_cost in
+       let probe = float_of_int n_cands *. inters *. words *. calib.probe_cost in
+       build +. probe <= scan
+     end
 
 (* ------------------------------------------------------------------ *)
 (* Sessions                                                            *)
@@ -67,6 +166,7 @@ type pass_counts = {
 
 type session = {
   plan : plan;
+  calib : calibration;
   mutable bound_db : Tx_db.t option;
   mutable bitmaps : Tid_bitmaps.t option;
   mutable proj : Projection.t option;
@@ -82,9 +182,11 @@ type session = {
   mutable shard_sessions : session array;
 }
 
-let create_session ?(plan = default_plan) () =
+let create_session ?(plan = default_plan) ?calibration () =
   {
     plan;
+    calib =
+      (match calibration with Some c -> c | None -> create_calibration ());
     bound_db = None;
     bitmaps = None;
     proj = None;
@@ -98,6 +200,7 @@ let create_session ?(plan = default_plan) () =
   }
 
 let session_plan s = s.plan
+let session_calibration s = s.calib
 let last_kernels s = s.last_fams
 
 let last_kernel s =
@@ -144,14 +247,14 @@ let describe s =
    and kernel-independent by construction. *)
 let trie_count ~par db io cands_list =
   let tries = List.map Trie.build cands_list in
-  if max 1 par.domains = 1 then begin
+  let domains = eff_domains par ~work_items:(Tx_db.size db) in
+  if domains = 1 then begin
     Tx_db.iter_scan db io (fun tx ->
         let items = Cfq_itembase.Itemset.unsafe_to_array tx.Transaction.items in
         List.iter (fun trie -> Trie.count_tx trie items) tries);
     List.map Trie.counts tries
   end
   else begin
-    let domains = par.domains in
     (* one logical scan: the coordinator validates every page here — same
        fault/checksum walk, same injector draw order as [iter_scan] — then
        the chunks fan out to participants counting into private arrays *)
@@ -273,7 +376,7 @@ let project_tx live_mask min_len items =
    chunk slots are concatenated in chunk order, so the result is the same
    sequence the sequential walk produces). *)
 let scan_count ~par db io substrate fams ~proj_spec =
-  let domains = max 1 par.domains in
+  let domains = eff_domains par ~work_items:(substrate_rows db substrate) in
   if domains = 1 then begin
     let accs = List.map (fun (_, rep) -> acc_of rep) fams in
     let scr = Direct2.scratch () in
@@ -363,7 +466,7 @@ let word_ranges rows max_chunks =
 let build_bitmaps ~par db io substrate live ~valid_min_card =
   let rows = substrate_rows db substrate in
   let bm = Tid_bitmaps.create ~n_rows:rows ~valid_min_card live in
-  let domains = max 1 par.domains in
+  let domains = eff_domains par ~work_items:rows in
   if domains = 1 || rows = 0 then begin
     let row = ref 0 in
     iter_sub db io substrate (fun items ->
@@ -389,6 +492,65 @@ let build_bitmaps ~par db io substrate live ~valid_min_card =
         : unit list)
   end;
   bm
+
+(* Fused build: the rows were just materialised in memory by the prior
+   pass's charged scan (the projection buffer), so standing the bitmaps up
+   from them costs no further I/O — the vertical analogue of projection
+   chaining.  Word-aligned ranges keep the parallel fill race-free. *)
+let bitmaps_of_txs ~par txs live ~valid_min_card =
+  let rows = Array.length txs in
+  let bm = Tid_bitmaps.create ~n_rows:rows ~valid_min_card live in
+  let domains = eff_domains par ~work_items:rows in
+  if domains = 1 || rows = 0 then
+    Array.iteri (fun row items -> Tid_bitmaps.set_row bm ~row items) txs
+  else begin
+    let ranges = Array.of_list (word_ranges rows (4 * domains)) in
+    ignore
+      (Cfq_exec_pool.Pool.fan_out ?pool:par.pool ~domains
+         ~n_tasks:(Array.length ranges)
+         ~init:(fun () -> ())
+         ~work:(fun () c ->
+           let lo, hi = ranges.(c) in
+           for row = lo to hi do
+             Tid_bitmaps.set_row bm ~row txs.(row)
+           done)
+         ()
+        : unit list)
+  end;
+  bm
+
+(* Zero-I/O probes, fanned over candidate ranges.  Each participant owns a
+   private scratch bitvector and writes disjoint slots of [out], so the
+   supports are identical to the sequential batch at any width. *)
+let supports_par ~par bm cands =
+  let n = Array.length cands in
+  if n = 0 then [||]
+  else begin
+    let domains = eff_domains par ~work_items:n in
+    if domains = 1 then Tid_bitmaps.supports bm cands
+    else begin
+      let out = Array.make n 0 in
+      let n_tasks = min n (4 * domains) in
+      let per = n / n_tasks and rem = n mod n_tasks in
+      let ranges =
+        Array.init n_tasks (fun c ->
+            let lo = (c * per) + min c rem in
+            let hi = lo + per + (if c < rem then 1 else 0) - 1 in
+            (lo, hi))
+      in
+      ignore
+        (Cfq_exec_pool.Pool.fan_out ?pool:par.pool ~domains ~n_tasks
+           ~init:(fun () -> Tid_bitmaps.scratch bm)
+           ~work:(fun scr c ->
+             let lo, hi = ranges.(c) in
+             for i = lo to hi do
+               out.(i) <- Tid_bitmaps.support_into bm scr cands.(i)
+             done)
+           ()
+          : Tid_bitmaps.scratch list);
+      out
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* The adaptive pass                                                   *)
@@ -436,13 +598,27 @@ let adaptive s ~par db io families =
           incr w
         end)
       live_mask;
+    let n_cands_total =
+      List.fold_left (fun a c -> a + Array.length c) 0 cands_list
+    in
     let answer_from bm =
       s.n_vertical <- s.n_vertical + 1;
       s.last_fams <- List.map (fun _ -> "vertical") families;
-      List.map
-        (fun cands ->
-          if Array.length cands = 0 then [||] else Tid_bitmaps.supports bm cands)
-        cands_list
+      let t0 = if s.plan.calibrate then Unix.gettimeofday () else 0. in
+      let out =
+        List.map
+          (fun cands ->
+            if Array.length cands = 0 then [||] else supports_par ~par bm cands)
+          cands_list
+      in
+      if s.plan.calibrate then
+        observe_probe s.calib
+          ~seconds:(Unix.gettimeofday () -. t0)
+          ~units:
+            (float_of_int n_cands_total
+            *. float_of_int (max 1 (min_card - 1))
+            *. float_of_int (words_per_row (Tid_bitmaps.n_rows bm)));
+      out
     in
     match s.bitmaps with
     | Some bm
@@ -457,18 +633,27 @@ let adaptive s ~par db io families =
           | _ -> S_db
         in
         let rows = substrate_rows db substrate in
+        let avg_len = Float.max 1. (Tx_db.avg_tx_len db) in
         let want_vertical =
           match plan.kernel with
           | Vertical -> true
           | Auto ->
-              vertical_admissible plan ~n_live_items:n_live ~n_rows:rows ~min_card
+              (* cold build: a charged scan stands the bitmaps up, so it
+                 must beat the trie walk it displaces on measured costs *)
+              vertical_cold_admissible plan s.calib ~n_live_items:n_live
+                ~n_rows:rows ~min_card ~avg_len ~n_cands:n_cands_total
           | Trie | Direct2 -> false
         in
         if want_vertical then begin
           let valid_min_card =
             match substrate with S_db -> 1 | S_proj p -> Projection.min_len p
           in
+          let t0 = if plan.calibrate then Unix.gettimeofday () else 0. in
           let bm = build_bitmaps ~par db io substrate live ~valid_min_card in
+          if plan.calibrate then
+            observe_build s.calib
+              ~seconds:(Unix.gettimeofday () -. t0)
+              ~units:(float_of_int rows *. avg_len);
           (match substrate with
           | S_proj _ -> s.n_projected <- s.n_projected + 1
           | S_db -> ());
@@ -517,18 +702,63 @@ let adaptive s ~par db io families =
               if allowed then Some (live_mask, min_card + 1) else None
             end
           in
+          let t0 = if plan.calibrate then Unix.gettimeofday () else 0. in
           let counts, new_proj =
             scan_count ~par db io substrate
               (List.combine cands_list reps)
               ~proj_spec
           in
+          (if plan.calibrate then
+             let seconds = Unix.gettimeofday () -. t0 in
+             let units = float_of_int rows *. avg_len in
+             match List.sort_uniq compare (List.map rep_label reps) with
+             | [ "trie" ] -> observe_trie s.calib ~seconds ~units
+             | [ "direct2" ] -> observe_direct2 s.calib ~seconds ~units
+             | _ -> ());
           (match new_proj with
           | Some txs ->
-              s.proj <-
-                Some
-                  (Projection.make ~page_model:(Tx_db.page_model db)
-                     ~universe_size:(Array.length live_mask)
-                     ~live ~min_len:(min_card + 1) txs)
+              (* amortized vertical switch: the projected rows are already
+                 in memory, so if the next level admits bitmaps we build
+                 them here, free of I/O, instead of re-scanning the
+                 projection on the next pass — the build piggybacks on the
+                 scan we just charged.  Probes must still beat the
+                 projected trie walk they replace (current candidate count
+                 as a conservative proxy for the next level's). *)
+              let next_card = min_card + 1 in
+              let n_rows' = Array.length txs in
+              let occ' =
+                Array.fold_left (fun a t -> a + Array.length t) 0 txs
+              in
+              let fused =
+                plan.kernel = Auto
+                && vertical_admissible plan ~n_live_items:n_live
+                     ~n_rows:n_rows' ~min_card:next_card
+                && float_of_int occ' *. s.calib.build_cost
+                   +. float_of_int n_cands_total
+                      *. float_of_int (max 1 (next_card - 1))
+                      *. float_of_int (words_per_row n_rows')
+                      *. s.calib.probe_cost
+                   <= float_of_int occ' *. s.calib.trie_cost
+              in
+              if fused then begin
+                let t0 = if plan.calibrate then Unix.gettimeofday () else 0. in
+                let bm =
+                  bitmaps_of_txs ~par txs live ~valid_min_card:next_card
+                in
+                if plan.calibrate then
+                  observe_build s.calib
+                    ~seconds:(Unix.gettimeofday () -. t0)
+                    ~units:(float_of_int occ');
+                s.bitmaps <- Some bm;
+                s.proj <- None;
+                s.n_builds <- s.n_builds + 1
+              end
+              else
+                s.proj <-
+                  Some
+                    (Projection.make ~page_model:(Tx_db.page_model db)
+                       ~universe_size:(Array.length live_mask)
+                       ~live ~min_len:(min_card + 1) txs)
           | None -> ());
           (match substrate with
           | S_proj _ -> s.n_projected <- s.n_projected + 1

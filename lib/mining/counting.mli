@@ -63,13 +63,29 @@ open Cfq_txdb
     path, bit for bit.  With [domains > 1], up to [domains - 1] helpers are
     either fresh domains ([pool = None]) or borrowed idle workers of
     [pool] — the nested case where the query already runs on a service
-    worker and must not oversubscribe the machine. *)
+    worker and must not oversubscribe the machine.
+
+    [min_rows_per_domain] is the work floor of a parallel region: a pass
+    over fewer than [min_rows_per_domain] rows (or candidates) per
+    participant runs with fewer participants, down to sequential — fanning
+    a few hundred rows out costs more than the rows.  Results are
+    bit-identical at every effective width; tests that want the parallel
+    merge exercised on tiny databases pass [~min_rows_per_domain:1]. *)
 type par = {
   domains : int;
   pool : Cfq_exec_pool.Pool.t option;
+  min_rows_per_domain : int;
 }
 
-(** [{ domains = 1; pool = None }] — the default. *)
+(** [par domains] with [pool = None] and the default work floor
+    ({!default_min_rows_per_domain}). *)
+val par : ?pool:Cfq_exec_pool.Pool.t -> ?min_rows_per_domain:int -> int -> par
+
+(** 2048 rows per participant. *)
+val default_min_rows_per_domain : int
+
+(** [{ domains = 1; pool = None; min_rows_per_domain = 2048 }] — the
+    default. *)
 val sequential : par
 
 (** {2 Kernel plans and sessions} *)
@@ -97,10 +113,14 @@ type plan = {
           at least this cardinality (default 3) *)
   direct2_max_sparsity : int;
       (** admit direct2 only when cells <= sparsity * candidates *)
+  calibrate : bool;
+      (** feed measured pass timings back into the session's
+          {!calibration} record; off, the record keeps its machine-profile
+          priors and every planning decision is deterministic *)
 }
 
 (** [Auto], 4M words, projections on, switchover at cardinality 3,
-    sparsity 16. *)
+    sparsity 16, calibration on. *)
 val default_plan : plan
 
 (** [plan_of_kernel k] is {!default_plan} pinned to [k]; fixed kernels get
@@ -108,11 +128,48 @@ val default_plan : plan
     ([Auto] keeps projections on). *)
 val plan_of_kernel : kernel -> plan
 
+(** {2 Calibration}
+
+    Measured per-kernel unit costs — seconds per item occurrence scanned
+    (trie, direct2, bitmap build) and seconds per candidate-word
+    intersected (probes) — EMA-smoothed over a session's passes, with the
+    committed bench machine profile as the prior.  The Auto planner's
+    admission cutoffs read the record; with [plan.calibrate = false] it
+    never moves, so plans are reproducible.  A record may be shared across
+    the sessions of a service (updates are mutex-guarded); shard
+    sub-sessions always keep private records, since shards fan out in
+    parallel. *)
+
+type calibration
+
+val create_calibration : unit -> calibration
+
+(** Observations folded in so far (0 = priors only). *)
+val calibration_samples : calibration -> int
+
+(** One-line [samples=... trie=...ns/occ ...] summary for notes. *)
+val describe_calibration : calibration -> string
+
 (** Pure planner predicates (unit-tested cutoffs). *)
 
 val direct2_admissible : plan -> n_cands:int -> n_cells:int -> bool
 val vertical_admissible : plan -> n_live_items:int -> n_rows:int -> min_card:int -> bool
 val projection_admissible : plan -> est_words:int -> bool
+
+(** [vertical_cold_admissible] gates the {e charged} bitmap build: on top
+    of {!vertical_admissible}, the estimated build-plus-probe time (from
+    the calibration record) must not exceed the trie walk it displaces —
+    the guard against standing bitmaps up when huge candidate sets over
+    few rows make the probes alone slower than the scan. *)
+val vertical_cold_admissible :
+  plan ->
+  calibration ->
+  n_live_items:int ->
+  n_rows:int ->
+  min_card:int ->
+  avg_len:float ->
+  n_cands:int ->
+  bool
 
 (** A session carries the adaptive state of one mining run over one
     database: the materialised bitmaps, the current projection, and the
@@ -120,8 +177,13 @@ val projection_admissible : plan -> est_words:int -> bool
     run. *)
 type session
 
-val create_session : ?plan:plan -> unit -> session
+(** [create_session ?plan ?calibration ()] — [calibration] lets a service
+    share one measured-cost record across many sessions; absent, the
+    session gets a fresh record seeded with the priors. *)
+val create_session : ?plan:plan -> ?calibration:calibration -> unit -> session
+
 val session_plan : session -> plan
+val session_calibration : session -> calibration
 
 (** Kernel labels of the families of the most recent pass (aligned with
     the [families] argument), e.g. ["direct2"; "trie"]. *)

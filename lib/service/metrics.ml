@@ -39,6 +39,7 @@ type snapshot = {
   kernel_vertical_passes : int;
   kernel_projected_scans : int;
   kernel_bitmap_builds : int;
+  calibration_samples : int;
   answer_entries : int;
   answer_bytes : int;
   side_entries : int;
@@ -77,6 +78,7 @@ type t = {
   mutable kernel_vertical_passes : int;
   mutable kernel_projected_scans : int;
   mutable kernel_bitmap_builds : int;
+  mutable calibration_samples : int;
 }
 
 let create () =
@@ -109,6 +111,7 @@ let create () =
     kernel_vertical_passes = 0;
     kernel_projected_scans = 0;
     kernel_bitmap_builds = 0;
+    calibration_samples = 0;
   }
 
 let reset t =
@@ -139,7 +142,8 @@ let reset t =
   t.kernel_direct2_passes <- 0;
   t.kernel_vertical_passes <- 0;
   t.kernel_projected_scans <- 0;
-  t.kernel_bitmap_builds <- 0
+  t.kernel_bitmap_builds <- 0;
+  t.calibration_samples <- 0
 
 let record_query t ~latency ~support_counted ~constraint_checks ~scans ~pages_read =
   t.queries <- t.queries + 1;
@@ -178,6 +182,10 @@ let record_kernel_passes t ~trie ~direct2 ~vertical ~projected_scans ~bitmap_bui
   t.kernel_projected_scans <- t.kernel_projected_scans + projected_scans;
   t.kernel_bitmap_builds <- t.kernel_bitmap_builds + bitmap_builds
 
+(* a gauge, not a counter: the caller reports the shared record's current
+   observation count *)
+let observe_calibration_samples t samples = t.calibration_samples <- samples
+
 let observe_queue_depth t d =
   if d > t.queue_high_water then t.queue_high_water <- d
 
@@ -212,6 +220,7 @@ let snapshot t ?(shards = []) ?(failovers = 0) ~answer_entries ~answer_bytes
     kernel_vertical_passes = t.kernel_vertical_passes;
     kernel_projected_scans = t.kernel_projected_scans;
     kernel_bitmap_builds = t.kernel_bitmap_builds;
+    calibration_samples = t.calibration_samples;
     answer_entries;
     answer_bytes;
     side_entries;
@@ -256,6 +265,7 @@ let table (s : snapshot) =
   int "kernel passes: vertical" s.kernel_vertical_passes;
   int "kernel projected scans" s.kernel_projected_scans;
   int "kernel bitmap builds" s.kernel_bitmap_builds;
+  int "calibration samples" s.calibration_samples;
   int "answer cache entries" s.answer_entries;
   row "answer cache bytes" (Printf.sprintf "%d" s.answer_bytes);
   int "side cache entries" s.side_entries;

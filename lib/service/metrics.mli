@@ -51,6 +51,8 @@ type snapshot = {
   kernel_vertical_passes : int;
   kernel_projected_scans : int;  (** passes answered from a projection *)
   kernel_bitmap_builds : int;
+  calibration_samples : int;
+      (** observations in the service's shared calibration record *)
   answer_entries : int;
   answer_bytes : int;
   side_entries : int;
@@ -89,6 +91,10 @@ val record_inline_run : t -> unit
     transients).  [Deadline]/[Overload] are counted by their own
     dedicated counters, not here. *)
 val record_fault : t -> Cfq_txdb.Cfq_error.t -> unit
+
+(** Set the calibration-samples gauge to the shared record's current
+    observation count. *)
+val observe_calibration_samples : t -> int -> unit
 
 (** Accumulate one cold mine's adaptive-kernel pass counts (see
     {!Cfq_mining.Counting.pass_counts}). *)

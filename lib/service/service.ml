@@ -21,6 +21,7 @@ type config = {
   degrade : bool;
   jitter_seed : int64;
   kernel : Counting.kernel;
+  calibrate : bool;
 }
 
 let default_config =
@@ -37,6 +38,7 @@ let default_config =
     degrade = true;
     jitter_seed = 0x0DDB1A5EL;
     kernel = Counting.Trie;
+    calibrate = true;
   }
 
 type served_from =
@@ -114,6 +116,10 @@ type t = {
   mine_par : Counting.par;
       (* intra-query counting parallelism: helpers are borrowed from [pool],
          never spawned, so the service as a whole never oversubscribes *)
+  calibration : Counting.calibration;
+      (* one measured-cost record for the whole service: the first cold
+         mines calibrate the Auto planner for every later query (updates
+         are mutex-guarded inside the record) *)
   lock : Mutex.t;
   answers : (Query.t * answer) Lru.t;
       (* the (simplified) query is kept alongside its answer so degraded
@@ -141,7 +147,8 @@ let create ?(config = default_config) ctx =
     service_ctx = ctx;
     service_config = config;
     pool;
-    mine_par = { Counting.domains = mine_domains; pool = Some pool };
+    mine_par = Counting.par ~pool mine_domains;
+    calibration = Counting.create_calibration ();
     lock = Mutex.create ();
     answers = Lru.create ~budget:(budget / 4);
     sides = Lru.create ~budget:(budget - (budget / 4));
@@ -281,17 +288,24 @@ let filter_valid spec freq checks =
 
 (* drive the CAP state machine one level at a time so the deadline is
    honoured between scans *)
-let mine_side ~deadline ~par ~kernel (ctx : Exec.ctx) spec io =
+let mine_side ~deadline ~par ~kernel ~calibrate ~calibration (ctx : Exec.ctx)
+    spec io =
   let bundle = Bundle.compile ~nonneg:ctx.Exec.nonneg spec.sp_info spec.sp_constraints in
   let state =
     Cap.create ctx.Exec.db spec.sp_info ?max_level:spec.sp_max_level
       ~minsup:spec.sp_minsup bundle
   in
   (* one adaptive session per cold mine: its projection and bitmaps live
-     exactly as long as this side's levelwise run *)
+     exactly as long as this side's levelwise run — but the calibration
+     record is the service's, so measured throughput carries across
+     queries *)
   let session =
     if kernel = Counting.Trie then None
-    else Some (Counting.create_session ~plan:(Counting.plan_of_kernel kernel) ())
+    else
+      let plan =
+        { (Counting.plan_of_kernel kernel) with Counting.calibrate }
+      in
+      Some (Counting.create_session ~plan ~calibration ())
   in
   let rec loop () =
     check_deadline deadline;
@@ -317,6 +331,7 @@ let resolve_side t ~deadline spec io counters checks =
   | None ->
       let freq, side_counters, session =
         mine_side ~deadline ~par:t.mine_par ~kernel:t.service_config.kernel
+          ~calibrate:t.service_config.calibrate ~calibration:t.calibration
           t.service_ctx spec io
       in
       Counters.merge counters side_counters;
@@ -328,7 +343,9 @@ let resolve_side t ~deadline spec io counters checks =
                 ~trie:pc.Counting.trie_passes ~direct2:pc.Counting.direct2_passes
                 ~vertical:pc.Counting.vertical_passes
                 ~projected_scans:pc.Counting.projected_scans
-                ~bitmap_builds:pc.Counting.bitmap_builds)
+                ~bitmap_builds:pc.Counting.bitmap_builds;
+              Metrics.observe_calibration_samples t.service_metrics
+                (Counting.calibration_samples t.calibration))
       | None -> ());
       let entry =
         {

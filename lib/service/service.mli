@@ -82,11 +82,17 @@ type config = {
           paper-faithful scan-per-level path; see
           {!Cfq_mining.Counting.kernel}).  Answers are identical for every
           kernel; the per-kernel pass counts appear in {!Metrics}. *)
+  calibrate : bool;
+      (** feed measured pass timings into the service's shared
+          {!Cfq_mining.Counting.calibration} record, so the first cold
+          mines tune the Auto planner for every later query (default
+          [true]; irrelevant for the [Trie] kernel, which runs without a
+          session) *)
 }
 
 (** 2 domains (mining inherits them), queue 1024, 64 MiB budget, no
     deadline; 2 retries from a 2 ms base, breaker at 5 failures with an
-    8-admission cooldown, degradation on. *)
+    8-admission cooldown, degradation on, calibration on. *)
 val default_config : config
 
 type served_from =

@@ -9,6 +9,7 @@ type t = {
   mutable min_conf : float;
   mutable mine_domains : int;
   mutable kernel : Cfq_mining.Counting.kernel;
+  mutable calibrate : bool;
   mutable last : Exec.result option;
   mutable last_rules : Cfq_rules.Rule.t list;
   mutable service : Cfq_service.Service.t option;
@@ -29,6 +30,7 @@ let create ?ctx () =
     min_conf = 0.5;
     mine_domains = 1;
     kernel = Cfq_mining.Counting.Trie;
+    calibrate = true;
     last = None;
     last_rules = [];
     service = None;
@@ -37,7 +39,7 @@ let create ?ctx () =
     replicas = 1;
   }
 
-let par_of t = { Cfq_mining.Counting.domains = max 1 t.mine_domains; pool = None }
+let par_of t = Cfq_mining.Counting.par (max 1 t.mine_domains)
 
 (* the trie default stays the plain legacy path (no session, no note) *)
 let kernel_of t =
@@ -73,7 +75,12 @@ let service_for t ctx =
       drop_service t;
       let s =
         Cfq_service.Service.create
-          ~config:{ Cfq_service.Service.default_config with kernel = t.kernel }
+          ~config:
+            {
+              Cfq_service.Service.default_config with
+              kernel = t.kernel;
+              calibrate = t.calibrate;
+            }
           ctx
       in
       t.service <- Some s;
@@ -101,6 +108,8 @@ let help_text =
       "  set minconf <float>            rule confidence threshold";
       "  set domains <n>                counting domains per scan (1 = sequential)";
       "  set kernel <name>              counting kernel: auto | trie | direct2 | vertical";
+      "  set calibrate <on|off>         feed measured pass timings into the Auto";
+      "                                 planner's cost model (on; off = fixed priors)";
       "  set replicas <r>               replicas per shard for the next sharded split";
       "  set fault <p> [<cp> [<seed>]] [shard=K [replica=J]]";
       "                                 inject faults: transient-p, corrupt-p, seed;";
@@ -348,7 +357,7 @@ let do_ingest t store_path fimi_path =
 let do_run t ctx q =
   match
     Exec.run_result ~strategy:t.strategy ~collect_pairs:true ~par:(par_of t)
-      ?kernel:(kernel_of t) ctx q
+      ?kernel:(kernel_of t) ~calibrate:t.calibrate ctx q
   with
   | Ok r ->
       t.last <- Some r;
@@ -701,6 +710,21 @@ let eval t line =
               if d = 1 then say "counting set to sequential"
               else say "counting fans out over %d domains per scan" d
           | Some _ | None -> say "domains must be an integer >= 1")
+      | [ "calibrate"; v ] -> (
+          match v with
+          | "on" | "true" | "1" ->
+              if not t.calibrate then begin
+                t.calibrate <- true;
+                drop_service t
+              end;
+              say "calibration on: measured throughput tunes the Auto planner"
+          | "off" | "false" | "0" ->
+              if t.calibrate then begin
+                t.calibrate <- false;
+                drop_service t
+              end;
+              say "calibration off: the cost model keeps its fixed priors"
+          | _ -> say "usage: set calibrate <on|off>")
       | [ "kernel"; name ] -> (
           match Cfq_mining.Counting.kernel_of_string name with
           | Some k ->
@@ -718,7 +742,8 @@ let eval t line =
       | _ ->
           say
             "usage: set strategy <name> | set minconf <float> | set domains <n> | \
-             set kernel <name> | set replicas <r> | set fault ...")
+             set kernel <name> | set calibrate <on|off> | set replicas <r> | \
+             set fault ...")
   | "explain" ->
       with_ctx t (fun ctx ->
           parse_query t ctx rest (fun (t, q) ->

@@ -58,7 +58,7 @@ let prop_parallel_equals_sequential pool (_, txs, cs, ct) =
   let seq = run_shared db (families_of cands) in
   List.for_all
     (fun domains ->
-      let par = { Counting.domains; pool } in
+      let par = Counting.par ?pool ~min_rows_per_domain:1 domains in
       run_shared ~par db (families_of cands) = seq)
     domain_grid
 
@@ -74,7 +74,7 @@ let empty_families_skip_the_scan () =
   (* the parallel path takes the same fast path *)
   let counts =
     Counting.count_shared
-      ~par:{ Counting.domains = 4; pool = None }
+      ~par:(Counting.par ~min_rows_per_domain:1 4)
       db io
       [ (Counters.create (), [||]) ]
   in
@@ -110,7 +110,7 @@ let parallel_scan_respects_the_fault_layer () =
   let check name cfg =
     let seq = fault_outcome cfg ~par:None txs cands in
     let par =
-      fault_outcome cfg ~par:(Some { Counting.domains = 3; pool = None }) txs cands
+      fault_outcome cfg ~par:(Some (Counting.par ~min_rows_per_domain:1 3)) txs cands
     in
     if seq <> par then
       Alcotest.failf "%s: parallel fault behaviour diverged from sequential" name
@@ -178,10 +178,92 @@ let exec_run_parallel_equals_sequential () =
   let seq = run () in
   List.iter
     (fun domains ->
-      let par = run ~par:{ Counting.domains; pool = None } () in
+      let par = run ~par:(Counting.par ~min_rows_per_domain:1 domains) () in
       if par <> seq then
         Alcotest.failf "Exec.run at %d domains diverged from sequential" domains)
     domain_grid
+
+(* ------------------------------------------------------------------ *)
+(* Fused grid: every kernel x every domain count mines identically      *)
+(* ------------------------------------------------------------------ *)
+
+(* The tentpole contract in one property: for each kernel (with a frozen
+   calibration record, so Auto's plans are reproducible), the full mine is
+   bit-identical — frequent sets, supports, ccc, logical scans AND page
+   charges — at every domain count.  Page charges may differ between
+   kernels (documented), never between domain counts of the same kernel. *)
+let gen_grid =
+  QCheck2.Gen.(
+    let* n, db = Helpers.gen_db in
+    let* minsup = int_range 2 8 in
+    return (n, db, minsup))
+
+let print_grid (n, db, minsup) =
+  Printf.sprintf "minsup=%d %s" minsup (Helpers.print_db (n, db))
+
+let frozen_session kernel =
+  Counting.create_session
+    ~plan:{ (Counting.plan_of_kernel kernel) with Counting.calibrate = false }
+    ()
+
+let mine_fingerprint ~kernel ~domains db n ~minsup =
+  let info = Helpers.small_info n in
+  let io = Io_stats.create () in
+  let par = Counting.par ~min_rows_per_domain:1 domains in
+  let out =
+    Apriori.mine db info io ~par ~session:(frozen_session kernel) ~minsup ()
+  in
+  ( List.map
+      (fun e -> (Itemset.to_string e.Frequent.set, e.Frequent.support))
+      (Frequent.to_list out.Apriori.frequent),
+    Counters.support_counted out.Apriori.counters,
+    Counters.candidates_generated out.Apriori.counters,
+    Io_stats.scans io,
+    Io_stats.pages_read io )
+
+let prop_fused_kernel_domain_grid (n, db, minsup) =
+  List.for_all
+    (fun (_, kernel) ->
+      let base = mine_fingerprint ~kernel ~domains:1 db n ~minsup in
+      List.for_all
+        (fun domains -> mine_fingerprint ~kernel ~domains db n ~minsup = base)
+        domain_grid)
+    Counting.all_kernels
+
+(* The default work floor only narrows the fan-out; it never changes the
+   result.  On a tiny database [par 4] runs effectively sequential while
+   [~min_rows_per_domain:1] forces the full fan-out — both must match the
+   sequential run exactly, including I/O charges. *)
+let default_work_floor_is_result_identical () =
+  let n = 8 in
+  let txs =
+    List.init 60 (fun i -> List.init (1 + (i mod 4)) (fun j -> (i + (3 * j)) mod n))
+  in
+  let db = db_of_lists txs in
+  let info = Helpers.small_info n in
+  let ctx = Cfq_core.Exec.context db info in
+  let q =
+    Cfq_core.Parser.parse
+      "{(S,T) | freq(S) >= 0.1 & freq(T) >= 0.1 & max(S.Price) <= min(T.Price)}"
+  in
+  let run ?par () =
+    let r = Cfq_core.Exec.run ~collect_pairs:true ?par ctx q in
+    ( Helpers.sorted_pairs
+        (List.map
+           (fun (s, t) -> (s.Frequent.set, t.Frequent.set))
+           r.Cfq_core.Exec.pairs),
+      Cfq_core.Exec.total_counted r,
+      Cfq_core.Exec.total_checks r,
+      Io_stats.scans r.Cfq_core.Exec.io,
+      Io_stats.pages_read r.Cfq_core.Exec.io )
+  in
+  let seq = run () in
+  let floored = run ~par:(Counting.par 4) () in
+  let forced = run ~par:(Counting.par ~min_rows_per_domain:1 4) () in
+  if floored <> seq then
+    Alcotest.fail "default work floor diverged from sequential";
+  if forced <> seq then
+    Alcotest.fail "forced fan-out diverged from sequential"
 
 let with_pool f =
   let pool = Cfq_service.Pool.create ~domains:2 ~queue_capacity:8 () in
@@ -197,7 +279,7 @@ let borrowed_helpers_from_a_shut_down_pool () =
   let io = Io_stats.create () in
   let counts =
     Counting.count_shared
-      ~par:{ Counting.domains = 4; pool = Some pool }
+      ~par:(Counting.par ~pool ~min_rows_per_domain:1 4)
       db io
       [ (Counters.create (), cands) ]
   in
@@ -215,7 +297,10 @@ let suite =
     unit "empty candidate families skip the scan" empty_families_skip_the_scan;
     unit "parallel scan respects the fault layer" parallel_scan_respects_the_fault_layer;
     unit "scan chunks are page-aligned and cover the scan" chunks_cover_the_scan;
+    Helpers.qtest ~count:30 "fused grid: every kernel x domain count mines identically"
+      gen_grid print_grid prop_fused_kernel_domain_grid;
     unit "Exec.run parallel equals sequential" exec_run_parallel_equals_sequential;
+    unit "default work floor is result-identical" default_work_floor_is_result_identical;
     unit "borrowing from a shut-down pool degrades gracefully"
       borrowed_helpers_from_a_shut_down_pool;
   ]

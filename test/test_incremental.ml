@@ -98,7 +98,7 @@ let suite =
         let seq = Counting.count_level db io (Counters.create ()) cands in
         let par =
           Counting.count_level
-            ~par:{ Counting.domains = 3; pool = None }
+            ~par:(Counting.par ~min_rows_per_domain:1 3)
             db io (Counters.create ()) cands
         in
         seq = par);
@@ -107,7 +107,7 @@ let suite =
         let io = Io_stats.create () in
         let _ =
           Counting.count_level
-            ~par:{ Counting.domains = 4; pool = None }
+            ~par:(Counting.par ~min_rows_per_domain:1 4)
             db io (Counters.create ())
             [| Itemset.of_list [ 0 ] |]
         in

@@ -42,7 +42,7 @@ let print_mine (n, db, minsup) =
 let mine_with ?session ?(domains = 1) db n ~minsup =
   let info = Helpers.small_info n in
   let io = Io_stats.create () in
-  let par = { Counting.domains; pool = None } in
+  let par = Counting.par ~min_rows_per_domain:1 domains in
   let out = Apriori.mine db info io ~par ?session ~minsup () in
   (out, io)
 
@@ -108,7 +108,7 @@ let prop_exec_kernel_grid (q, (n, db)) =
         (fun domains ->
           let r =
             Exec.run ~collect_pairs:true
-              ~par:{ Counting.domains; pool = None }
+              ~par:(Counting.par ~min_rows_per_domain:1 domains)
               ~kernel ctx q
           in
           pairs_equal base_answer (answer_of r)
@@ -184,6 +184,66 @@ let test_vertical_cutoffs () =
     (Counting.vertical_admissible p ~n_live_items:1000 ~n_rows:100_000
        ~min_card:5)
 
+(* a dense database where every level up to 4 is populated *)
+let dense_db () =
+  Helpers.db_of_lists
+    (List.init 24 (fun i ->
+         if i mod 3 = 0 then [ 0; 1; 2; 3; 4 ]
+         else if i mod 3 = 1 then [ 0; 1; 2; 3 ]
+         else [ 1; 2; 3; 4; 5 ]))
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* Cold-build admission (the 0.73x fix): the charged bitmap build must
+   beat the trie walk it displaces on the calibrated cost model.  The
+   reject case is shaped like the committed bench workload — a huge
+   level-2 candidate set over a few thousand rows, where the probes alone
+   are slower than the scan — and passes the plain [vertical_admissible]
+   cutoffs, so the rejection is the cold-cost model's alone. *)
+let test_vertical_cold_cutoff () =
+  let calib = Counting.create_calibration () in
+  Alcotest.(check bool)
+    "few candidates over a small db admit" true
+    (Counting.vertical_cold_admissible plan calib ~n_live_items:6 ~n_rows:24
+       ~min_card:3 ~avg_len:4.5 ~n_cands:20);
+  Alcotest.(check bool)
+    "bench-shaped workload passes the budget cutoffs" true
+    (Counting.vertical_admissible plan ~n_live_items:64 ~n_rows:4096
+       ~min_card:3);
+  Alcotest.(check bool)
+    "but the cold-cost model rejects it" false
+    (Counting.vertical_cold_admissible plan calib ~n_live_items:64
+       ~n_rows:4096 ~min_card:3 ~avg_len:8.0 ~n_cands:200_000);
+  Alcotest.(check bool)
+    "below the switchover card still rejected" false
+    (Counting.vertical_cold_admissible plan calib ~n_live_items:6 ~n_rows:24
+       ~min_card:2 ~avg_len:4.5 ~n_cands:20)
+
+let test_calibration_record () =
+  let c = Counting.create_calibration () in
+  Alcotest.(check int) "fresh record holds the priors" 0
+    (Counting.calibration_samples c);
+  let described = Counting.describe_calibration c in
+  Alcotest.(check bool)
+    "describe mentions the sample count" true
+    (contains described "samples=0");
+  let s =
+    Counting.create_session
+      ~plan:{ Counting.default_plan with Counting.calibrate = false }
+      ~calibration:c ()
+  in
+  Alcotest.(check bool)
+    "session shares the given record" true
+    (Counting.session_calibration s == c);
+  (* with calibrate=false the record never moves, even across a full mine *)
+  let db = dense_db () in
+  let _ = mine_with ~session:s db 6 ~minsup:4 in
+  Alcotest.(check int) "calibrate=false leaves the record untouched" 0
+    (Counting.calibration_samples c)
+
 let test_projection_cutoffs () =
   Alcotest.(check bool)
     "fits" true
@@ -256,14 +316,6 @@ let prop_projection_never_charges_more (n, db, minsup) =
 (* Session bookkeeping: the kernels actually engage                     *)
 (* ------------------------------------------------------------------ *)
 
-(* a dense database where every level up to 4 is populated *)
-let dense_db () =
-  Helpers.db_of_lists
-    (List.init 24 (fun i ->
-         if i mod 3 = 0 then [ 0; 1; 2; 3; 4 ]
-         else if i mod 3 = 1 then [ 0; 1; 2; 3 ]
-         else [ 1; 2; 3; 4; 5 ]))
-
 let test_vertical_engages () =
   let db = dense_db () in
   let s = session_of Counting.Vertical in
@@ -300,6 +352,32 @@ let test_auto_projects () =
   Alcotest.(check bool)
     "describe mentions passes" true
     (String.length (Counting.describe s) > 0)
+
+(* Fused build: on a dense database Auto stands the bitmaps up from the
+   projection rows already in memory — no charged build scan — so the whole
+   mine charges strictly fewer scans than the per-level trie walk, while
+   the frequent sets stay identical (prop_mine_kernel_grid).  The fused
+   path must engage under calibrate=false too (priors only). *)
+let test_auto_fused_build_saves_scans () =
+  let db = dense_db () in
+  let s =
+    Counting.create_session
+      ~plan:{ Counting.default_plan with Counting.calibrate = false }
+      ()
+  in
+  let _, io_base = mine_with db 6 ~minsup:4 in
+  let _, io_auto = mine_with ~session:s db 6 ~minsup:4 in
+  let pc = Counting.pass_counts s in
+  Alcotest.(check bool) "bitmaps were built" true (pc.Counting.bitmap_builds >= 1);
+  Alcotest.(check bool)
+    "deep passes answered from bitmaps" true
+    (pc.Counting.vertical_passes >= 1);
+  Alcotest.(check bool)
+    "strictly fewer scans than the trie walk" true
+    (Io_stats.scans io_auto < Io_stats.scans io_base);
+  Alcotest.(check bool)
+    "and no more pages" true
+    (Io_stats.pages_read io_auto <= Io_stats.pages_read io_base)
 
 let test_kernel_names_roundtrip () =
   List.iter
@@ -373,12 +451,15 @@ let suite =
       gen_mine print_mine prop_projection_never_charges_more;
     unit "direct2 budget and sparsity cutoffs" test_direct2_cutoffs;
     unit "vertical switchover cutoffs" test_vertical_cutoffs;
+    unit "cold bitmap builds gated by measured costs" test_vertical_cold_cutoff;
+    unit "calibration record sharing and freezing" test_calibration_record;
     unit "projection budget cutoff" test_projection_cutoffs;
     unit "fixed kernels disable projections" test_fixed_kernels_disable_projection;
     unit "projection shrinkage semantics" test_projection_shrinkage;
     unit "vertical kernel engages and answers from bitmaps" test_vertical_engages;
     unit "direct2 kernel engages on level 2" test_direct2_engages;
     unit "auto session reports adaptive activity" test_auto_projects;
+    unit "auto fused bitmap build saves whole scans" test_auto_fused_build_saves_scans;
     unit "kernel names round-trip" test_kernel_names_roundtrip;
     unit "vertical scratch reuse matches single probes" test_vertical_scratch_reuse;
     unit "dhp bucket filter visible in level rows" test_dhp_rows;

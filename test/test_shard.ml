@@ -222,7 +222,7 @@ let qcheck_count_distribution =
       let info = Helpers.small_info n in
       let run db kernel domains =
         let ctx = Exec.context db info in
-        let par = { Counting.domains; pool = None } in
+        let par = Counting.par ~min_rows_per_domain:1 domains in
         match Exec.run_result ~collect_pairs:true ~par ?kernel ctx q with
         | Ok r ->
             let io =
@@ -302,7 +302,7 @@ let shard_pinned_mining_twin () =
     let db = Sharded.mem_db ~page_model:small_pm ~shards:3 sets in
     let subs = Option.get (Tx_db.shards db) in
     Tx_db.set_faults subs.(2) (Some (Fault.create config));
-    let par = { Counting.domains = 3; pool = None } in
+    let par = Counting.par ~min_rows_per_domain:1 3 in
     match
       Exec.run_result ~collect_pairs:true ~par ~kernel:Counting.Auto
         (Exec.context db info) q
