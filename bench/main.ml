@@ -8,7 +8,8 @@
            dune exec bench/main.exe -- session (service cache vs cold replay)
            dune exec bench/main.exe -- chaos   (session under injected faults)
            dune exec bench/main.exe -- store   (persistent backend: buffer pool)
-           dune exec bench/main.exe -- shard   (sharded stores: count distribution) *)
+           dune exec bench/main.exe -- shard   (sharded stores: count distribution)
+           dune exec bench/main.exe -- live    (ingest-query interleave across seals) *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -34,8 +35,9 @@ let () =
   | [ "chaos" ] -> Chaos.run (scale ())
   | [ "store" ] -> Store_bench.run (scale ())
   | [ "shard" ] -> Shard_bench.run (scale ())
+  | [ "live" ] -> Live.run (scale ())
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [micro|fig8a|tab71_levels|tab71_ranges|fig8b|tab72_ranges|tab73_jmax|ablation|miners|cap_1var|maintenance|parallel|counting|session|chaos|store|shard]";
+         [micro|fig8a|tab71_levels|tab71_ranges|fig8b|tab72_ranges|tab73_jmax|ablation|miners|cap_1var|maintenance|parallel|counting|session|chaos|store|shard|live]";
       exit 2

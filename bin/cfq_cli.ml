@@ -323,9 +323,98 @@ let batch_file_arg =
     & pos 0 (some file) None
     & info [] ~docv:"FILE" ~doc:"Batch file: one CFQ per line; '#' comments.")
 
+let live_arg =
+  Arg.(
+    value & flag
+    & info [ "live" ]
+        ~doc:
+          "Keep the answer cache live across seals: attach the backend as an \
+           ingestion source so sealed appends are folded into cached answers \
+           by incremental maintenance instead of cold-starting (see \
+           doc/LIVE.md).")
+
+let ingest_arg =
+  Arg.(
+    value & opt_all file []
+    & info [ "ingest" ] ~docv:"FILE"
+        ~doc:
+          "FIMI file of transactions appended and sealed between replay \
+           passes — one seal per file, in the order given (repeatable).  \
+           Implies $(b,--live); the pass count grows past $(b,--repeat) if \
+           needed so the batch replays once per epoch.")
+
+(* replay the batch [repeat] times; between passes, consume the next
+   [--ingest] file (append every transaction, then seal + maintain) so the
+   following pass exercises the promoted cache at the new epoch. *)
+let run_live_passes service ~repeat ~ingest file =
+  let total = max repeat (List.length ingest + 1) in
+  let live = Cfq_service.Service.live_source service <> None in
+  let pending = ref ingest in
+  let seal_next () =
+    match !pending with
+    | [] -> Ok ()
+    | path :: rest -> (
+        pending := rest;
+        match Cfq_data.Fimi.read path with
+        | exception Cfq_data.Fimi.Bad_format msg -> Error (`Msg msg)
+        | src ->
+            for i = 0 to Cfq_txdb.Tx_db.size src - 1 do
+              Cfq_service.Service.ingest service
+                (Cfq_txdb.Tx_db.get src i).Cfq_txdb.Transaction.items
+            done;
+            Printf.printf "=== ingest %s: %d transactions ===\n" path
+              (Cfq_txdb.Tx_db.size src);
+            (match Cfq_service.Service.seal_live service with
+            | None ->
+                print_endline "nothing to seal: the file holds no transactions\n"
+            | Some lv ->
+                let {
+                  Cfq_service.Service.lv_epoch;
+                  lv_sealed;
+                  lv_sides_promoted;
+                  lv_sides_evicted;
+                  lv_answers_promoted;
+                  lv_answers_evicted;
+                  lv_recounted;
+                  lv_old_scans;
+                  lv_scans;
+                  lv_pages_read;
+                } =
+                  lv
+                in
+                Printf.printf
+                  "epoch %d: sealed %d transactions; %d sides + %d answers \
+                   promoted, %d + %d evicted; %d candidates recounted (%d \
+                   old-db scans, %d maintenance scans, %d pages)\n\n"
+                  lv_epoch lv_sealed lv_sides_promoted lv_answers_promoted
+                  lv_sides_evicted lv_answers_evicted lv_recounted lv_old_scans
+                  lv_scans lv_pages_read);
+            Ok ())
+  in
+  let rec passes n =
+    if n > total then Ok ()
+    else begin
+      if total > 1 then
+        if live then
+          Printf.printf "=== pass %d/%d (epoch %d) ===\n" n total
+            (Cfq_service.Service.epoch service)
+        else Printf.printf "=== pass %d/%d ===\n" n total;
+      match Cfq_service.Batch.run_file service file with
+      | Error msg -> Error (`Msg msg)
+      | Ok report -> (
+          print_endline report;
+          if n = total then Ok ()
+          else
+            match seal_next () with
+            | Error e -> Error e
+            | Ok () -> passes (n + 1))
+    end
+  in
+  passes 1
+
 let serve_cmd verbose tx items types seed data iteminfo domains mine_domains
     kernel no_calibrate cache_mb deadline repeat fault_transient fault_corrupt
-    fault_spike fault_seed retries breaker_threshold file =
+    fault_spike fault_seed retries breaker_threshold live ingest file =
   setup_logs verbose;
   match load_or_generate ~tx ~items ~types ~seed ~data ~iteminfo with
   | Error e -> Error e
@@ -361,20 +450,14 @@ let serve_cmd verbose tx items types seed data iteminfo domains mine_domains
         }
       in
       let service = Cfq_service.Service.create ~config (Exec.context db info) in
-      let rec passes n =
-        if n > repeat then Ok ()
-        else begin
-          if repeat > 1 then Printf.printf "=== pass %d/%d ===\n" n repeat;
-          match Cfq_service.Batch.run_file service file with
-          | Error msg ->
-              Cfq_service.Service.shutdown service;
-              Error (`Msg msg)
-          | Ok report ->
-              print_endline report;
-              passes (n + 1)
-        end
-      in
-      let result = passes 1 in
+      if live || ingest <> [] then begin
+        let sets =
+          Array.init (Cfq_txdb.Tx_db.size db) (fun i ->
+              (Cfq_txdb.Tx_db.get db i).Cfq_txdb.Transaction.items)
+        in
+        Cfq_service.Service.attach_source service (Cfq_live.Source.of_mem sets)
+      end;
+      let result = run_live_passes service ~repeat ~ingest file in
       Cfq_service.Service.shutdown service;
       result
 
@@ -594,7 +677,7 @@ let backend_recovery_lines = function
 let store_serve_cmd verbose store_path cache_pages shards replicas fault_shard
     fault_replica domains mine_domains kernel no_calibrate cache_mb deadline
     repeat fault_transient fault_corrupt fault_spike fault_seed retries
-    breaker_threshold verify file =
+    breaker_threshold live ingest verify file =
   setup_logs verbose;
   match open_backend ~replicas store_path cache_pages shards with
   | Error e -> Error e
@@ -742,18 +825,12 @@ let store_serve_cmd verbose store_path cache_pages shards replicas fault_shard
             }
           in
           let service = Cfq_service.Service.create ~config (Exec.context db info) in
-          let rec passes n =
-            if n > repeat then Ok ()
-            else begin
-              if repeat > 1 then Printf.printf "=== pass %d/%d ===\n" n repeat;
-              match Cfq_service.Batch.run_file service file with
-              | Error msg -> Error (`Msg msg)
-              | Ok report ->
-                  print_endline report;
-                  passes (n + 1)
-            end
-          in
-          let result = passes 1 in
+          if live || ingest <> [] then
+            Cfq_service.Service.attach_source service
+              (match backend with
+              | Plain store -> Cfq_live.Source.of_store store
+              | Sharded sh -> Cfq_live.Source.of_sharded sh);
+          let result = run_live_passes service ~repeat ~ingest file in
           Cfq_service.Service.shutdown service;
           finish result)
 
@@ -941,7 +1018,7 @@ let serve_t =
      $ kernel_arg $ no_calibrate_arg $ cache_mb_arg $ deadline_arg $ repeat_arg
      $ fault_transient_arg
      $ fault_corrupt_arg $ fault_spike_arg $ fault_seed_arg $ retries_arg
-     $ breaker_threshold_arg $ batch_file_arg))
+     $ breaker_threshold_arg $ live_arg $ ingest_arg $ batch_file_arg))
 
 let serve_cmd_info =
   Cmd.info "serve"
@@ -982,7 +1059,8 @@ let store_serve_t =
      $ kernel_arg $ no_calibrate_arg $ cache_mb_arg $ deadline_arg $ repeat_arg
      $ fault_transient_arg
      $ fault_corrupt_arg $ fault_spike_arg $ fault_seed_arg $ retries_arg
-     $ breaker_threshold_arg $ verify_arg $ batch_file_arg))
+     $ breaker_threshold_arg $ live_arg $ ingest_arg $ verify_arg
+     $ batch_file_arg))
 
 let store_cmd =
   Cmd.group

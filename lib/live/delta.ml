@@ -1,0 +1,37 @@
+open Cfq_txdb
+
+type t = {
+  epoch : int;
+  base_txs : int;
+  delta_txs : int;
+  ranges : (int * int) list;
+  delta_pages : int;
+  twin : Tx_db.t;
+}
+
+let extract ~epoch ~base_txs ~ranges db io =
+  let txs = ref [] and count = ref 0 in
+  List.iter
+    (fun (lo, hi) ->
+      Tx_db.iter_range_checked db ~lo ~hi (fun tx ->
+          incr count;
+          txs := tx.Transaction.items :: !txs))
+    ranges;
+  let pages =
+    List.fold_left
+      (fun acc (lo, hi) ->
+        acc + (Tx_db.page_of_tx db hi - Tx_db.page_of_tx db lo + 1))
+      0 ranges
+  in
+  Io_stats.record_scan io ~pages ~tuples:!count;
+  let arr = Array.of_list (List.rev !txs) in
+  {
+    epoch;
+    base_txs;
+    delta_txs = Array.length arr;
+    ranges;
+    delta_pages = pages;
+    twin = Tx_db.create ~page_model:(Tx_db.page_model db) arr;
+  }
+
+let union_txs t = t.base_txs + t.delta_txs

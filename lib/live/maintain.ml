@@ -1,0 +1,33 @@
+open Cfq_mining
+
+type stats = {
+  recounted : int;
+  old_scans : int;
+}
+
+(* The collection was mined at absolute threshold [m] over [base] rows, so
+   it answers every fraction f with ceil(f·base) >= m, i.e. f > (m-1)/base.
+   For those f over the union, ceil(f·union) > (m-1)·union/base, hence
+   >= floor((m-1)·union/base) + 1 — promoting to that threshold keeps every
+   previously answerable fraction answerable.  It is >= m (union >= base),
+   so the FUP seeding threshold stays positive. *)
+let promoted_minsup ~old_minsup ~base_txs ~union_txs =
+  if base_txs = 0 then max 1 old_minsup
+  else max old_minsup (((old_minsup - 1) * union_txs / base_txs) + 1)
+
+let promote ?stats:lstats ~old_db ~(delta : Delta.t) io ~old_minsup ~max_level
+    ~universe_size freq =
+  let m' =
+    promoted_minsup ~old_minsup ~base_txs:delta.Delta.base_txs
+      ~union_txs:(Delta.union_txs delta)
+  in
+  let outcome =
+    Incremental.update_abs ?max_level ?stats:lstats ~old_db ~old_frequent:freq
+      ~delta:delta.Delta.twin io ~old_minsup ~union_minsup:m' ~universe_size ()
+  in
+  ( outcome.Incremental.frequent,
+    m',
+    {
+      recounted = outcome.Incremental.counted_against_old;
+      old_scans = outcome.Incremental.old_scans;
+    } )

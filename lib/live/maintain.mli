@@ -1,0 +1,44 @@
+(** Promote one cached frequent collection across a seal's delta.
+
+    The FUP pass ({!Cfq_mining.Incremental.update_abs}): every set of the
+    old collection is delta-counted against the resident twin (its union
+    support can only move by the delta); candidates that were not in the
+    old collection are seeded by mining the delta at the slack threshold
+    and counted against the old database only when that seeding found any
+    — at most one old-database scan per entry, usually zero. *)
+
+open Cfq_txdb
+open Cfq_mining
+
+type stats = {
+  recounted : int;  (** candidates counted against the old database *)
+  old_scans : int;  (** old-database scans this promotion cost (0 or 1) *)
+}
+
+(** [promoted_minsup ~old_minsup ~base_txs ~union_txs] is the lowest
+    integer threshold the promoted collection must be exact at so that it
+    still answers {e every} relative support fraction the old entry could
+    answer: [floor((old_minsup-1)·union/base) + 1], clamped to at least
+    [old_minsup]. *)
+val promoted_minsup : old_minsup:int -> base_txs:int -> union_txs:int -> int
+
+(** [promote ~old_db ~delta io ~old_minsup ~max_level ~universe_size freq]
+    is [(freq', minsup', stats)]: the collection promoted to the union
+    database, exact at the new absolute threshold [minsup'] (for every set
+    within [max_level] satisfying whatever constraints [freq] was mined
+    under — extra unconstrained sets seeded from the delta are harmless,
+    the service re-filters on serve).  All scans are charged to [io]:
+    delta passes against the resident twin, plus at most one [old_db]
+    scan.  [?stats] forwards to {!Cfq_mining.Incremental.update_abs}'s
+    per-level rows, so a seal's maintenance cost is observable at
+    {!Cfq_mining.Level_stats} granularity. *)
+val promote :
+  ?stats:Level_stats.t ->
+  old_db:Tx_db.t ->
+  delta:Delta.t ->
+  Io_stats.t ->
+  old_minsup:int ->
+  max_level:int option ->
+  universe_size:int ->
+  Frequent.t ->
+  Frequent.t * int * stats

@@ -1,0 +1,104 @@
+open Cfq_itembase
+open Cfq_txdb
+
+type backend =
+  | Mem of {
+      mutable mem_sets : Itemset.t array;
+      mutable mem_db : Tx_db.t;
+      mutable mem_pending : Itemset.t list;  (* newest first *)
+      mem_rebuild : Itemset.t array -> Tx_db.t;
+    }
+  | Store of Cfq_store.Store.t
+  | Sharded of Cfq_shard.Sharded.t
+
+type t = {
+  backend : backend;
+  mutable epoch : int;
+  mutable pending : int;
+}
+
+let of_mem ?rebuild sets =
+  let rebuild =
+    match rebuild with Some f -> f | None -> fun sets -> Tx_db.create sets
+  in
+  {
+    backend =
+      Mem
+        { mem_sets = sets; mem_db = rebuild sets; mem_pending = []; mem_rebuild = rebuild };
+    epoch = 0;
+    pending = 0;
+  }
+
+let of_store s = { backend = Store s; epoch = 0; pending = 0 }
+let of_sharded s = { backend = Sharded s; epoch = 0; pending = 0 }
+
+let db t =
+  match t.backend with
+  | Mem m -> m.mem_db
+  | Store s -> Cfq_store.Store.db s
+  | Sharded s -> Cfq_shard.Sharded.db s
+
+let epoch t = t.epoch
+let pending t = t.pending
+let size t = Tx_db.size (db t)
+
+let backend_name t =
+  match t.backend with Mem _ -> "mem" | Store _ -> "store" | Sharded _ -> "sharded"
+
+let append_tx t items =
+  (match t.backend with
+  | Mem m -> m.mem_pending <- items :: m.mem_pending
+  | Store s -> Cfq_store.Store.append_tx s items
+  | Sharded s -> Cfq_shard.Sharded.append_tx s items);
+  t.pending <- t.pending + 1
+
+let flush t =
+  match t.backend with
+  | Mem _ -> ()
+  | Store s -> Cfq_store.Store.flush s
+  | Sharded s -> Cfq_shard.Sharded.flush s
+
+let seal t io =
+  let sealed, ranges =
+    match t.backend with
+    | Mem m ->
+        let k = List.length m.mem_pending in
+        if k = 0 then (0, [])
+        else begin
+          let base = Array.length m.mem_sets in
+          m.mem_sets <-
+            Array.append m.mem_sets (Array.of_list (List.rev m.mem_pending));
+          m.mem_pending <- [];
+          m.mem_db <- m.mem_rebuild m.mem_sets;
+          (k, [ (base, base + k - 1) ])
+        end
+    | Store s -> (
+        let k = Cfq_store.Store.seal s in
+        if k = 0 then (0, [])
+        else
+          match Cfq_store.Store.last_seal s with
+          | Some si ->
+              ( k,
+                [
+                  ( si.Cfq_store.Store.si_base_txs,
+                    si.Cfq_store.Store.si_base_txs
+                    + si.Cfq_store.Store.si_sealed_txs
+                    - 1 );
+                ] )
+          | None -> (k, []))
+    | Sharded s -> (
+        let k = Cfq_shard.Sharded.seal s in
+        if k = 0 then (0, [])
+        else
+          match Cfq_shard.Sharded.last_seal s with
+          | Some si -> (k, si.Cfq_shard.Sharded.si_delta_ranges)
+          | None -> (k, []))
+  in
+  if sealed = 0 || ranges = [] then None
+  else begin
+    t.pending <- 0;
+    t.epoch <- t.epoch + 1;
+    let ndb = db t in
+    let base = Tx_db.size ndb - sealed in
+    Some (Delta.extract ~epoch:t.epoch ~base_txs:base ~ranges ndb io)
+  end

@@ -1,0 +1,51 @@
+(** A unified ingestion handle over every backend the service can sit on:
+    the in-memory array, a plain {!Cfq_store.Store}, or a
+    sharded/replicated {!Cfq_shard.Sharded} store.
+
+    The source owns the append → flush → seal lifecycle and mints a
+    monotone {e epoch} at each successful seal — the generation tag the
+    service stamps on every cache entry ({!Cfq_service.Service}).  After a
+    seal, {!db} is the new (larger) database and {!seal}'s returned
+    {!Delta.t} pins down exactly the appended transactions, so a
+    maintenance pass can promote cached collections by counting only the
+    delta.
+
+    The [Mem] variant rebuilds its database from the accumulated sets on
+    seal (optionally through a custom [rebuild], e.g.
+    [Sharded.mem_db ~shards] for the storeless sharded test matrix), which
+    lets the maintenance-equals-cold-remine property run identically on
+    all five CI backend matrices. *)
+
+open Cfq_itembase
+open Cfq_txdb
+
+type t
+
+(** [of_mem ?rebuild sets] — storeless source; [rebuild] constructs the
+    database view from the full set array (default [Tx_db.create]). *)
+val of_mem : ?rebuild:(Itemset.t array -> Tx_db.t) -> Itemset.t array -> t
+
+val of_store : Cfq_store.Store.t -> t
+val of_sharded : Cfq_shard.Sharded.t -> t
+
+(** The current sealed database view.  Replaced by {!seal}; a handle
+    fetched before a seal keeps serving the pre-seal snapshot (the store
+    keeps superseded segments open), which is what lets maintenance count
+    seeded candidates against the {e old} database. *)
+val db : t -> Tx_db.t
+
+(** Epoch of the current database: 0 at creation, +1 per successful seal. *)
+val epoch : t -> int
+
+(** Transactions appended through this handle since the last seal. *)
+val pending : t -> int
+
+val size : t -> int
+val backend_name : t -> string
+val append_tx : t -> Itemset.t -> unit
+val flush : t -> unit
+
+(** [seal t io] flushes and seals the pending appends.  [None] when
+    nothing was pending; otherwise the new epoch's {!Delta.t}, whose
+    extraction scan (delta pages only) is charged to [io]. *)
+val seal : t -> Io_stats.t -> Delta.t option

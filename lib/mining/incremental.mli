@@ -21,6 +21,37 @@ type outcome = {
   counted_against_old : int;  (** candidate sets counted against [DB] *)
 }
 
+(** [update_abs ~old_db ~old_frequent ~delta io ~old_minsup ~union_minsup
+    ~universe_size ()] is the integer-threshold core used by live cache
+    maintenance ([Cfq_live]).  [old_frequent] must contain every set of
+    interest whose support in [old_db] is at least [old_minsup] (a
+    constraint-pruned collection is fine: sets it omits are either
+    old-infrequent — reseeded from the delta — or fail constraints the
+    caller re-checks anyway), with exact supports.  Requires
+    [old_minsup <= union_minsup]; raises [Invalid_argument] otherwise.
+    The result is exact at [union_minsup] over [old_db ∪ delta] for every
+    set the input collection could answer.  [?max_level] caps the
+    cardinality of candidates seeded from the delta, matching a
+    level-capped input collection.  All scans — the delta pass, the delta
+    seed mining, and the at-most-one old-database candidate count — are
+    charged to [io].  With [?stats], one {!Level_stats} row is recorded
+    per level touched: [candidates]/[counted] are the old sets delta-passed
+    plus the seeded newcomers of that level, [frequent] the union winners,
+    and the kernel tag is ["fup-old"] when the level paid the old-database
+    count and ["fup-delta"] when the delta alone decided it. *)
+val update_abs :
+  ?max_level:int ->
+  ?stats:Level_stats.t ->
+  old_db:Tx_db.t ->
+  old_frequent:Frequent.t ->
+  delta:Tx_db.t ->
+  Io_stats.t ->
+  old_minsup:int ->
+  union_minsup:int ->
+  universe_size:int ->
+  unit ->
+  outcome
+
 (** [update ~old_db ~old_frequent ~delta io ~minsup_frac ~universe_size]
     where [old_frequent] must be the exact frequent collection of [old_db]
     at relative threshold [minsup_frac].  The result is exact for

@@ -40,6 +40,16 @@ type snapshot = {
   kernel_projected_scans : int;
   kernel_bitmap_builds : int;
   calibration_samples : int;
+  live_epoch : int;
+  seals : int;
+  sides_promoted : int;
+  sides_evicted : int;
+  answers_promoted : int;
+  answers_evicted : int;
+  maint_recounted : int;
+  maint_old_scans : int;
+  maint_scans : int;
+  maint_pages_read : int;
   answer_entries : int;
   answer_bytes : int;
   side_entries : int;
@@ -79,6 +89,16 @@ type t = {
   mutable kernel_projected_scans : int;
   mutable kernel_bitmap_builds : int;
   mutable calibration_samples : int;
+  mutable live_epoch : int;
+  mutable seals : int;
+  mutable sides_promoted : int;
+  mutable sides_evicted : int;
+  mutable answers_promoted : int;
+  mutable answers_evicted : int;
+  mutable maint_recounted : int;
+  mutable maint_old_scans : int;
+  mutable maint_scans : int;
+  mutable maint_pages_read : int;
 }
 
 let create () =
@@ -112,6 +132,16 @@ let create () =
     kernel_projected_scans = 0;
     kernel_bitmap_builds = 0;
     calibration_samples = 0;
+    live_epoch = 0;
+    seals = 0;
+    sides_promoted = 0;
+    sides_evicted = 0;
+    answers_promoted = 0;
+    answers_evicted = 0;
+    maint_recounted = 0;
+    maint_old_scans = 0;
+    maint_scans = 0;
+    maint_pages_read = 0;
   }
 
 let reset t =
@@ -143,7 +173,17 @@ let reset t =
   t.kernel_vertical_passes <- 0;
   t.kernel_projected_scans <- 0;
   t.kernel_bitmap_builds <- 0;
-  t.calibration_samples <- 0
+  t.calibration_samples <- 0;
+  t.live_epoch <- 0;
+  t.seals <- 0;
+  t.sides_promoted <- 0;
+  t.sides_evicted <- 0;
+  t.answers_promoted <- 0;
+  t.answers_evicted <- 0;
+  t.maint_recounted <- 0;
+  t.maint_old_scans <- 0;
+  t.maint_scans <- 0;
+  t.maint_pages_read <- 0
 
 let record_query t ~latency ~support_counted ~constraint_checks ~scans ~pages_read =
   t.queries <- t.queries + 1;
@@ -186,6 +226,23 @@ let record_kernel_passes t ~trie ~direct2 ~vertical ~projected_scans ~bitmap_bui
    observation count *)
 let observe_calibration_samples t samples = t.calibration_samples <- samples
 
+(* one seal's maintenance pass: the epoch is a gauge, everything else
+   accumulates so the warm-across-seals cost stays visible in aggregate *)
+let record_seal t ~epoch =
+  t.seals <- t.seals + 1;
+  t.live_epoch <- epoch
+
+let record_maintenance t ~sides_promoted ~sides_evicted ~answers_promoted
+    ~answers_evicted ~recounted ~old_scans ~scans ~pages_read =
+  t.sides_promoted <- t.sides_promoted + sides_promoted;
+  t.sides_evicted <- t.sides_evicted + sides_evicted;
+  t.answers_promoted <- t.answers_promoted + answers_promoted;
+  t.answers_evicted <- t.answers_evicted + answers_evicted;
+  t.maint_recounted <- t.maint_recounted + recounted;
+  t.maint_old_scans <- t.maint_old_scans + old_scans;
+  t.maint_scans <- t.maint_scans + scans;
+  t.maint_pages_read <- t.maint_pages_read + pages_read
+
 let observe_queue_depth t d =
   if d > t.queue_high_water then t.queue_high_water <- d
 
@@ -221,6 +278,16 @@ let snapshot t ?(shards = []) ?(failovers = 0) ~answer_entries ~answer_bytes
     kernel_projected_scans = t.kernel_projected_scans;
     kernel_bitmap_builds = t.kernel_bitmap_builds;
     calibration_samples = t.calibration_samples;
+    live_epoch = t.live_epoch;
+    seals = t.seals;
+    sides_promoted = t.sides_promoted;
+    sides_evicted = t.sides_evicted;
+    answers_promoted = t.answers_promoted;
+    answers_evicted = t.answers_evicted;
+    maint_recounted = t.maint_recounted;
+    maint_old_scans = t.maint_old_scans;
+    maint_scans = t.maint_scans;
+    maint_pages_read = t.maint_pages_read;
     answer_entries;
     answer_bytes;
     side_entries;
@@ -266,6 +333,16 @@ let table (s : snapshot) =
   int "kernel projected scans" s.kernel_projected_scans;
   int "kernel bitmap builds" s.kernel_bitmap_builds;
   int "calibration samples" s.calibration_samples;
+  int "live epoch" s.live_epoch;
+  int "seals maintained" s.seals;
+  int "live: sides promoted" s.sides_promoted;
+  int "live: sides evicted" s.sides_evicted;
+  int "live: answers promoted" s.answers_promoted;
+  int "live: answers evicted" s.answers_evicted;
+  int "live: counted against old" s.maint_recounted;
+  int "live: old-db scans" s.maint_old_scans;
+  int "live: maintenance scans" s.maint_scans;
+  int "live: maintenance pages" s.maint_pages_read;
   int "answer cache entries" s.answer_entries;
   row "answer cache bytes" (Printf.sprintf "%d" s.answer_bytes);
   int "side cache entries" s.side_entries;

@@ -53,6 +53,20 @@ type snapshot = {
   kernel_bitmap_builds : int;
   calibration_samples : int;
       (** observations in the service's shared calibration record *)
+  live_epoch : int;  (** current epoch (0 = never sealed); a gauge *)
+  seals : int;  (** seals whose maintenance this service ran *)
+  sides_promoted : int;  (** side collections promoted across a seal *)
+  sides_evicted : int;  (** side entries dropped by maintenance *)
+  answers_promoted : int;  (** cached answers re-derived at the new epoch *)
+  answers_evicted : int;  (** cached answers dropped by maintenance *)
+  maint_recounted : int;
+      (** seeded candidates counted against the old database
+          ([Incremental.outcome.counted_against_old], summed) *)
+  maint_old_scans : int;
+      (** old-database scans maintenance paid
+          ([Incremental.outcome.old_scans], summed) *)
+  maint_scans : int;  (** all maintenance scans (delta twin + old db) *)
+  maint_pages_read : int;  (** pages those scans charged *)
   answer_entries : int;
   answer_bytes : int;
   side_entries : int;
@@ -95,6 +109,23 @@ val record_fault : t -> Cfq_txdb.Cfq_error.t -> unit
 (** Set the calibration-samples gauge to the shared record's current
     observation count. *)
 val observe_calibration_samples : t -> int -> unit
+
+(** One seal happened: bump the seal count and set the epoch gauge. *)
+val record_seal : t -> epoch:int -> unit
+
+(** Accumulate one maintenance pass's outcome (promoted / evicted entry
+    counts, FUP old-database cost, and the pass's I/O charges). *)
+val record_maintenance :
+  t ->
+  sides_promoted:int ->
+  sides_evicted:int ->
+  answers_promoted:int ->
+  answers_evicted:int ->
+  recounted:int ->
+  old_scans:int ->
+  scans:int ->
+  pages_read:int ->
+  unit
 
 (** Accumulate one cold mine's adaptive-kernel pass counts (see
     {!Cfq_mining.Counting.pass_counts}). *)

@@ -81,6 +81,8 @@ let error_to_string = function
 
 (* one side's cached frequent collection, as mined *)
 type side_entry = {
+  se_epoch : int;  (* database generation the supports are exact for *)
+  se_info : Item_info.t;  (* shared, immutable; needed to re-key on promotion *)
   se_info_id : int;
   se_minsup : int;  (* absolute support it was mined at *)
   se_max_level : int option;
@@ -110,7 +112,16 @@ type shard_health = {
 }
 
 type t = {
-  service_ctx : Exec.ctx;
+  mutable service_ctx : Exec.ctx;
+      (* swapped (under [lock]) by [seal_live]: queries capture it together
+         with [epoch] at admission and run against that snapshot — a store
+         handle obtained before a seal stays readable *)
+  mutable epoch : int;
+      (* monotone database generation, minted by [seal_live]; every cache
+         entry is stamped with the epoch its supports are exact for, and
+         every lookup path checks the stamp, so a seal can never serve
+         stale supports *)
+  mutable live_source : Cfq_live.Source.t option;
   service_config : config;
   pool : Pool.t;
   mine_par : Counting.par;
@@ -121,9 +132,10 @@ type t = {
          mines calibrate the Auto planner for every later query (updates
          are mutex-guarded inside the record) *)
   lock : Mutex.t;
-  answers : (Query.t * answer) Lru.t;
-      (* the (simplified) query is kept alongside its answer so degraded
-         serving can test whether a cached answer covers a new query *)
+  answers : (int * Query.t * answer) Lru.t;
+      (* the epoch and (simplified) query are kept alongside each answer so
+         degraded serving can test whether a cached answer covers a new
+         query — and reject it when it predates the current epoch *)
   sides : side_entry Lru.t;
   service_metrics : Metrics.t;
   mutable breaker : breaker_state;
@@ -145,6 +157,8 @@ let create ?(config = default_config) ctx =
   in
   {
     service_ctx = ctx;
+    epoch = 0;
+    live_source = None;
     service_config = config;
     pool;
     mine_par = Counting.par ~pool mine_domains;
@@ -173,6 +187,7 @@ let create ?(config = default_config) ctx =
 
 let ctx t = t.service_ctx
 let config t = t.service_config
+let epoch t = t.epoch
 
 let locked t f =
   Mutex.lock t.lock;
@@ -231,10 +246,14 @@ let side_spec_of (ctx : Exec.ctx) (q : Query.t) = function
         sp_constraints = q.Query.t_constraints;
       }
 
-(* cached [entry] answers [spec]: same attribute table, mined at least as
-   deep and at most as high a threshold, under an entailed constraint set *)
-let entry_answers entry spec =
-  entry.se_info_id = Fingerprint.info_id spec.sp_info
+(* cached [entry] answers [spec]: current epoch (its supports are exact for
+   the live database), same attribute table, mined at least as deep and at
+   most as high a threshold, under an entailed constraint set.  Side keys
+   carry no database identity — without the epoch check a post-seal lookup
+   would happily serve pre-seal supports. *)
+let entry_answers ~epoch entry spec =
+  entry.se_epoch = epoch
+  && entry.se_info_id = Fingerprint.info_id spec.sp_info
   && entry.se_minsup <= spec.sp_minsup
   && (match entry.se_max_level with
      | None -> true
@@ -244,20 +263,21 @@ let entry_answers entry spec =
          | None -> false))
   && Entail.subsumes ~cached:entry.se_constraints ~requested:spec.sp_constraints
 
-let find_subsuming t spec =
+(* call with [t.lock] held *)
+let covering_entry_locked t ~epoch spec =
+  Lru.fold
+    (fun best ~key ~value ->
+      if not (entry_answers ~epoch value spec) then best
+      else
+        match best with
+        | Some (_, b) when Frequent.n_sets b.se_frequent <= Frequent.n_sets value.se_frequent
+          -> best
+        | _ -> Some (key, value))
+    None t.sides
+
+let find_subsuming t ~epoch spec =
   locked t (fun () ->
-      let best =
-        Lru.fold
-          (fun best ~key ~value ->
-            if not (entry_answers value spec) then best
-            else
-              match best with
-              | Some (_, b) when Frequent.n_sets b.se_frequent <= Frequent.n_sets value.se_frequent
-                -> best
-              | _ -> Some (key, value))
-          None t.sides
-      in
-      match best with
+      match covering_entry_locked t ~epoch spec with
       | None -> None
       | Some (key, entry) ->
           ignore (Lru.find t.sides key : side_entry option) (* bump recency *);
@@ -324,15 +344,15 @@ let mine_side ~deadline ~par ~kernel ~calibrate ~calibration (ctx : Exec.ctx)
   loop ();
   (Cap.result state, Cap.counters state, session)
 
-let resolve_side t ~deadline spec io counters checks =
+let resolve_side t ~deadline ~ctx ~epoch spec io counters checks =
   check_deadline deadline;
-  match find_subsuming t spec with
+  match find_subsuming t ~epoch spec with
   | Some entry -> (filter_valid spec entry.se_frequent checks, true)
   | None ->
       let freq, side_counters, session =
         mine_side ~deadline ~par:t.mine_par ~kernel:t.service_config.kernel
-          ~calibrate:t.service_config.calibrate ~calibration:t.calibration
-          t.service_ctx spec io
+          ~calibrate:t.service_config.calibrate ~calibration:t.calibration ctx
+          spec io
       in
       Counters.merge counters side_counters;
       (match session with
@@ -349,6 +369,8 @@ let resolve_side t ~deadline spec io counters checks =
       | None -> ());
       let entry =
         {
+          se_epoch = epoch;
+          se_info = spec.sp_info;
           se_info_id = Fingerprint.info_id spec.sp_info;
           se_minsup = spec.sp_minsup;
           se_max_level = spec.sp_max_level;
@@ -362,7 +384,10 @@ let resolve_side t ~deadline spec io counters checks =
       in
       locked t (fun () ->
           Metrics.record_side_mined t.service_metrics;
-          ignore (Lru.insert t.sides key ~weight:(frequent_weight freq) entry : bool));
+          (* a seal may have raced this mine: supports counted against the
+             pre-seal snapshot must not enter the cache at the new epoch *)
+          if t.epoch = epoch then
+            ignore (Lru.insert t.sides key ~weight:(frequent_weight freq) entry : bool));
       (filter_valid spec freq checks, false)
 
 (* ------------------------------------------------------------------ *)
@@ -370,17 +395,18 @@ let resolve_side t ~deadline spec io counters checks =
 
 let execute t ~deadline (q : Query.t) =
   let t0 = Unix.gettimeofday () in
-  let ctx = t.service_ctx in
+  (* one consistent snapshot: the ctx and the epoch its supports belong to *)
+  let ctx, epoch = locked t (fun () -> (t.service_ctx, t.epoch)) in
   let rw = Rewrite.simplify q in
   let q = rw.Rewrite.query in
   let key = Fingerprint.query_key ctx q in
   let cached =
     locked t (fun () ->
         match Lru.find t.answers key with
-        | Some (_, a) ->
+        | Some (e, _, a) when e = epoch ->
             Metrics.record_answer_hit t.service_metrics;
             Some a
-        | None ->
+        | Some _ | None ->
             Metrics.record_answer_miss t.service_metrics;
             None)
   in
@@ -418,10 +444,12 @@ let execute t ~deadline (q : Query.t) =
           }
         else begin
           let valid_s, s_cached =
-            resolve_side t ~deadline (side_spec_of ctx q `S) io counters checks
+            resolve_side t ~deadline ~ctx ~epoch (side_spec_of ctx q `S) io
+              counters checks
           in
           let valid_t, t_cached =
-            resolve_side t ~deadline (side_spec_of ctx q `T) io counters checks
+            resolve_side t ~deadline ~ctx ~epoch (side_spec_of ctx q `T) io
+              counters checks
           in
           check_deadline deadline;
           let collected = ref [] in
@@ -448,7 +476,11 @@ let execute t ~deadline (q : Query.t) =
       let latency = Unix.gettimeofday () -. t0 in
       let answer = { answer with latency_seconds = latency } in
       locked t (fun () ->
-          ignore (Lru.insert t.answers key ~weight:(answer_weight answer) (q, answer) : bool);
+          if t.epoch = epoch then
+            ignore
+              (Lru.insert t.answers key ~weight:(answer_weight answer)
+                 (epoch, q, answer)
+                : bool);
           Metrics.record_query t.service_metrics ~latency
             ~support_counted:answer.support_counted
             ~constraint_checks:answer.constraint_checks ~scans:answer.scans
@@ -539,21 +571,25 @@ let degraded_lookup_locked t (q : Query.t) =
     let q = rw.Rewrite.query in
     if rw.Rewrite.s_unsat || rw.Rewrite.t_unsat then None
     else begin
-      (* MRU-first: the first covering answer is the most recent one *)
+      (* MRU-first: the first covering answer is the most recent one.
+         Degraded serving folds over answer *values*, not keys, so the
+         epoch stamp is the only thing keeping pre-seal supports out *)
       let hit =
         Lru.fold
-          (fun best ~key ~value:(cached_q, a) ->
+          (fun best ~key ~value:(e, cached_q, a) ->
             match best with
             | Some _ -> best
             | None ->
-                if answer_covers t.service_ctx ~cached_q ~requested:q then Some (key, a)
+                if e = t.epoch && answer_covers t.service_ctx ~cached_q ~requested:q
+                then Some (key, a)
                 else None)
           None t.answers
       in
       match hit with
       | None -> None
       | Some (key, a) ->
-          ignore (Lru.find t.answers key : (Query.t * answer) option) (* bump recency *);
+          ignore (Lru.find t.answers key : (int * Query.t * answer) option)
+          (* bump recency *);
           Metrics.record_degraded t.service_metrics;
           Some (filter_answer t.service_ctx q a)
     end
@@ -719,7 +755,7 @@ let open_serve_locked t (q : Query.t) =
   let q' = rw.Rewrite.query in
   let key = Fingerprint.query_key t.service_ctx q' in
   match Lru.find t.answers key with
-  | Some (_, a) ->
+  | Some (e, _, a) when e = t.epoch ->
       Metrics.record_answer_hit t.service_metrics;
       Metrics.record_query t.service_metrics ~latency:0. ~support_counted:0
         ~constraint_checks:0 ~scans:0 ~pages_read:0;
@@ -733,7 +769,7 @@ let open_serve_locked t (q : Query.t) =
           pages_read = 0;
           latency_seconds = 0.;
         }
-  | None -> (
+  | Some _ | None -> (
       match degraded_lookup_locked t q' with
       | Some a -> `Serve a
       | None ->
@@ -913,3 +949,209 @@ let cache_clear t =
 let cache_drop_sides t = locked t (fun () -> Lru.clear t.sides)
 
 let shutdown t = Pool.shutdown t.pool
+
+(* ------------------------------------------------------------------ *)
+(* live ingestion: epoch-tagged incremental maintenance across seals *)
+
+type live = {
+  lv_epoch : int;
+  lv_sealed : int;
+  lv_sides_promoted : int;
+  lv_sides_evicted : int;
+  lv_answers_promoted : int;
+  lv_answers_evicted : int;
+  lv_recounted : int;
+  lv_old_scans : int;
+  lv_scans : int;
+  lv_pages_read : int;
+}
+
+let attach_source t src =
+  locked t (fun () ->
+      t.live_source <- Some src;
+      t.epoch <- Cfq_live.Source.epoch src)
+
+let live_source t = t.live_source
+
+let ingest t items =
+  match t.live_source with
+  | Some src -> Cfq_live.Source.append_tx src items
+  | None -> invalid_arg "Service.ingest: no live source attached"
+
+(* the maintenance pass for one seal.  Promotions count only the resident
+   delta twin (plus at most one old-database scan per entry, for seeded
+   candidates); cached answers are then re-derived from the promoted
+   collections — the same filter + pair formation the subsumption path
+   runs, no scans at all.  Inserts are guarded by the epoch: if another
+   seal raced us, our results are stale and the final purge removes them. *)
+let maintain t ~old_ctx ~new_ctx ~new_epoch ~(delta : Cfq_live.Delta.t) ~maint_io
+    ~stale_sides ~stale_answers () =
+  let sides_promoted = ref 0 and sides_evicted = ref 0 in
+  let answers_promoted = ref 0 and answers_evicted = ref 0 in
+  let recounted = ref 0 and old_scans = ref 0 in
+  (* one Level_stats per seal: every promotion's FUP rows land here, so the
+     pass's per-level cost is observable alongside the Metrics counters *)
+  let lstats = Level_stats.create () in
+  let universe =
+    max
+      (Item_info.universe_size old_ctx.Exec.s_info)
+      (Item_info.universe_size old_ctx.Exec.t_info)
+  in
+  List.iter
+    (fun (key, e) ->
+      if e.se_epoch < new_epoch then begin
+        match
+          Cfq_live.Maintain.promote ~stats:lstats ~old_db:old_ctx.Exec.db ~delta
+            maint_io ~old_minsup:e.se_minsup ~max_level:e.se_max_level
+            ~universe_size:universe e.se_frequent
+        with
+        | exception _ ->
+            (* a faulted promotion leaves the entry stale; the purge below
+               removes it, so the cache still lands on a consistent epoch *)
+            incr sides_evicted
+        | freq', m', pstats ->
+            recounted := !recounted + pstats.Cfq_live.Maintain.recounted;
+            old_scans := !old_scans + pstats.Cfq_live.Maintain.old_scans;
+            let e' =
+              { e with se_epoch = new_epoch; se_minsup = m'; se_frequent = freq' }
+            in
+            let key' =
+              Fingerprint.side_key ~info:e.se_info ~minsup_abs:m'
+                ~max_level:e.se_max_level e.se_constraints
+            in
+            locked t (fun () ->
+                if t.epoch = new_epoch then begin
+                  (* the old binding may have been re-keyed over by another
+                     promotion landing on this key (its threshold moved onto
+                     ours): remove only while it is still stale *)
+                  (match Lru.find t.sides key with
+                  | Some cur when cur.se_epoch < new_epoch ->
+                      Lru.remove t.sides key
+                  | Some _ | None -> ());
+                  if Lru.insert t.sides key' ~weight:(frequent_weight freq') e'
+                  then incr sides_promoted
+                  else incr sides_evicted
+                end)
+      end)
+    stale_sides;
+  List.iter
+    (fun (old_key, (e, q, (a : answer))) ->
+      if e < new_epoch then begin
+        let checks = ref 0 in
+        let covering =
+          locked t (fun () ->
+              if t.epoch <> new_epoch then None
+              else
+                let spec_s = side_spec_of new_ctx q `S in
+                let spec_t = side_spec_of new_ctx q `T in
+                match
+                  ( covering_entry_locked t ~epoch:new_epoch spec_s,
+                    covering_entry_locked t ~epoch:new_epoch spec_t )
+                with
+                | Some (_, es), Some (_, et) -> Some (spec_s, spec_t, es, et)
+                | _ -> None)
+        in
+        match covering with
+        | None ->
+            locked t (fun () -> Lru.remove t.answers old_key);
+            incr answers_evicted
+        | Some (spec_s, spec_t, es, et) ->
+            let valid_s = filter_valid spec_s es.se_frequent checks in
+            let valid_t = filter_valid spec_t et.se_frequent checks in
+            let collected = ref [] in
+            let pair_stats =
+              Pairs.form ~s_info:new_ctx.Exec.s_info ~t_info:new_ctx.Exec.t_info
+                ~valid_s ~valid_t ~two_var:q.Query.two_var
+                ~on_pair:(fun es et -> collected := (es, et) :: !collected)
+                ()
+            in
+            let a' =
+              {
+                a with
+                pairs = List.rev !collected;
+                n_pairs = pair_stats.Pairs.n_pairs;
+              }
+            in
+            let key' = Fingerprint.query_key new_ctx q in
+            locked t (fun () ->
+                Lru.remove t.answers old_key;
+                if
+                  t.epoch = new_epoch
+                  && Lru.insert t.answers key' ~weight:(answer_weight a')
+                       (new_epoch, q, a')
+                then incr answers_promoted
+                else incr answers_evicted)
+      end)
+    stale_answers;
+  (* whatever is still stale — faulted promotions, budget-refused inserts,
+     raced seals — goes now: every surviving entry is at the live epoch *)
+  locked t (fun () ->
+      let side_keys =
+        Lru.fold
+          (fun acc ~key ~value ->
+            if value.se_epoch < t.epoch then key :: acc else acc)
+          [] t.sides
+      in
+      List.iter (Lru.remove t.sides) side_keys;
+      let answer_keys =
+        Lru.fold
+          (fun acc ~key ~value:(e, _, _) -> if e < t.epoch then key :: acc else acc)
+          [] t.answers
+      in
+      List.iter (Lru.remove t.answers) answer_keys;
+      Metrics.record_maintenance t.service_metrics ~sides_promoted:!sides_promoted
+        ~sides_evicted:!sides_evicted ~answers_promoted:!answers_promoted
+        ~answers_evicted:!answers_evicted ~recounted:!recounted
+        ~old_scans:!old_scans ~scans:(Io_stats.scans maint_io)
+        ~pages_read:(Io_stats.pages_read maint_io));
+  Log.debug (fun m ->
+      m "epoch %d: %d+%d sides, %d+%d answers promoted+evicted (%d pages)@ %a"
+        new_epoch !sides_promoted !sides_evicted !answers_promoted
+        !answers_evicted
+        (Io_stats.pages_read maint_io)
+        Level_stats.pp lstats);
+  {
+    lv_epoch = new_epoch;
+    lv_sealed = delta.Cfq_live.Delta.delta_txs;
+    lv_sides_promoted = !sides_promoted;
+    lv_sides_evicted = !sides_evicted;
+    lv_answers_promoted = !answers_promoted;
+    lv_answers_evicted = !answers_evicted;
+    lv_recounted = !recounted;
+    lv_old_scans = !old_scans;
+    lv_scans = Io_stats.scans maint_io;
+    lv_pages_read = Io_stats.pages_read maint_io;
+  }
+
+let seal_live t =
+  match t.live_source with
+  | None -> invalid_arg "Service.seal_live: no live source attached"
+  | Some src -> (
+      let maint_io = Io_stats.create () in
+      let old_ctx = locked t (fun () -> t.service_ctx) in
+      match Cfq_live.Source.seal src maint_io with
+      | None -> None
+      | Some delta ->
+          let new_epoch = Cfq_live.Source.epoch src in
+          let new_ctx = { old_ctx with Exec.db = Cfq_live.Source.db src } in
+          let stale_sides, stale_answers =
+            locked t (fun () ->
+                (* swap first: queries admitted from here on run against the
+                   new database (cold until promotion catches up — correct,
+                   just unwarmed), while in-flight queries finish against
+                   the still-readable pre-seal snapshot they captured *)
+                t.service_ctx <- new_ctx;
+                t.epoch <- new_epoch;
+                Metrics.record_seal t.service_metrics ~epoch:new_epoch;
+                (* fold is MRU-first; consing flips to LRU-first, so
+                   re-insertions preserve the recency order *)
+                ( Lru.fold (fun acc ~key ~value -> (key, value) :: acc) [] t.sides,
+                  Lru.fold (fun acc ~key ~value -> (key, value) :: acc) [] t.answers
+                ))
+          in
+          (* the pass runs on a worker domain (bounded admission: the pool's
+             queue), inline in the caller when the queue is full *)
+          Some
+            (Pool.run t.pool
+               (maintain t ~old_ctx ~new_ctx ~new_epoch ~delta ~maint_io
+                  ~stale_sides ~stale_answers)))

@@ -165,6 +165,59 @@ val run_many : t -> ?deadline:float -> Query.t list -> (answer, error) result li
 val metrics : t -> Metrics.snapshot
 val metrics_table : t -> Cfq_report.Table.t
 
+(** {2 Live ingestion}
+
+    With a {!Cfq_live.Source} attached the service stays {e live} across
+    seals instead of cold-starting.  Every cache entry carries the
+    {e epoch} (monotone database generation, minted per seal) its supports
+    are exact for, and every lookup path — answer cache, subsumption,
+    degraded serving, breaker-open cache serving — checks the stamp.
+    {!seal_live} seals the pending appends and runs a maintenance pass on
+    the worker pool: each cached side collection is promoted by the FUP
+    rule (delta-count against a resident twin of just the appended
+    transactions; candidates the delta seeds are counted against the old,
+    still-readable pre-seal snapshot — at most one old scan per entry),
+    and cached answers are re-derived from the promoted collections with
+    pure filtering and pair formation.  Promoted entries answer exactly
+    what a cold remine would; entries a fault or budget refusal leaves
+    behind are purged, so the caches always land on one consistent
+    epoch. *)
+
+(** Attach the ingestion source this service serves (its database view
+    must be the ctx's database).  Resets the service epoch to the
+    source's. *)
+val attach_source : t -> Cfq_live.Source.t -> unit
+
+val live_source : t -> Cfq_live.Source.t option
+
+(** Current epoch: 0 at creation, +1 per {!seal_live} that sealed
+    anything. *)
+val epoch : t -> int
+
+(** Append one transaction through the attached source (visible after the
+    next {!seal_live}).  Raises [Invalid_argument] with no source. *)
+val ingest : t -> Cfq_itembase.Itemset.t -> unit
+
+(** One seal's maintenance outcome. *)
+type live = {
+  lv_epoch : int;  (** the epoch this seal minted *)
+  lv_sealed : int;  (** transactions folded in *)
+  lv_sides_promoted : int;
+  lv_sides_evicted : int;
+  lv_answers_promoted : int;
+  lv_answers_evicted : int;
+  lv_recounted : int;  (** seeded candidates counted against the old db *)
+  lv_old_scans : int;  (** full old-database scans the pass paid *)
+  lv_scans : int;  (** all maintenance scans (mostly delta-twin passes) *)
+  lv_pages_read : int;  (** pages charged — delta-sized, not database-sized *)
+}
+
+(** [seal_live t] seals pending appends and maintains the caches across
+    the new epoch (see above).  [None] when nothing was pending — the
+    epoch does not move.  Raises [Invalid_argument] with no source
+    attached. *)
+val seal_live : t -> live option
+
 (** [retry_delay t q attempt] is the backoff slept before retry [attempt]
     of [q]: [backoff_base · 2ᵃ · (0.5 + j)] where the jitter [j ∈ [0,1)]
     is a pure function of ([config.jitter_seed], [q], [attempt]) — no

@@ -2,6 +2,13 @@ open Cfq_itembase
 open Cfq_txdb
 module Store = Cfq_store.Store
 
+type seal_info = {
+  si_generation : int;
+  si_base_txs : int;
+  si_sealed_txs : int;
+  si_delta_ranges : (int * int) list;
+}
+
 type t = {
   path : string;
   cache_pages : int option;
@@ -10,6 +17,7 @@ type t = {
   mutable db : Tx_db.t;
   mutable manifest : Manifest.t;
   mutable appended : int;  (* round-robin cursor for Hash routing *)
+  mutable last_seal : seal_info option;
 }
 
 let shard_path path k = Printf.sprintf "%s.shard%d" path k
@@ -256,6 +264,7 @@ let open_ ?cache_pages ?group_commit path =
     db = attach groups m;
     manifest = m;
     appended = 0;
+    last_seal = None;
   }
 
 let close t = Array.iter Replica.close t.groups
@@ -307,9 +316,36 @@ let sync_manifest t =
   t.db <- attach t.groups m
 
 let seal t =
-  let sealed = Array.fold_left (fun acc g -> acc + Replica.seal g) 0 t.groups in
-  if sealed > 0 then sync_manifest t;
+  let bases = Array.map (fun g -> Store.size (Replica.preferred_store g)) t.groups in
+  let sealed_per = Array.map Replica.seal t.groups in
+  let sealed = Array.fold_left ( + ) 0 sealed_per in
+  if sealed > 0 then begin
+    sync_manifest t;
+    (* global delta ranges of the post-seal composite: each shard's new
+       records sit at its tail, offset by the post-seal sizes of the
+       shards before it.  Tid_range routing yields one trailing range;
+       Hash routing one tail range per shard that got appends. *)
+    let ranges = ref [] and off = ref 0 in
+    Array.iteri
+      (fun i g ->
+        let n = Store.size (Replica.preferred_store g) in
+        if sealed_per.(i) > 0 then
+          ranges :=
+            (!off + bases.(i), !off + bases.(i) + sealed_per.(i) - 1) :: !ranges;
+        off := !off + n)
+      t.groups;
+    t.last_seal <-
+      Some
+        {
+          si_generation = t.manifest.Manifest.generation;
+          si_base_txs = Array.fold_left ( + ) 0 bases;
+          si_sealed_txs = sealed;
+          si_delta_ranges = List.rev !ranges;
+        }
+  end;
   sealed
+
+let last_seal t = t.last_seal
 
 (* ------------------------------------------------------------------ *)
 (* Faults, cleanup, in-memory twin                                     *)

@@ -122,6 +122,21 @@ val flush : t -> unit
     composite.  Returns the total transactions sealed in. *)
 val seal : t -> int
 
+(** What the most recent successful {!seal} on this handle folded in.
+    [si_delta_ranges] are the newly sealed transactions as inclusive
+    [(lo, hi)] tid ranges of the {e post-seal composite} {!db} — one
+    trailing range under [Tid_range] routing (appends go to the last
+    shard), up to one tail range per shard under [Hash].  Live cache
+    maintenance ({!Cfq_live}) reads these to scan only the delta. *)
+type seal_info = {
+  si_generation : int;  (** manifest generation after the seal *)
+  si_base_txs : int;  (** composite size before the seal *)
+  si_sealed_txs : int;
+  si_delta_ranges : (int * int) list;
+}
+
+val last_seal : t -> seal_info option
+
 (** {2 Introspection and fault injection} *)
 
 val path : t -> string

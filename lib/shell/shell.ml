@@ -16,6 +16,7 @@ type t = {
   mutable store : Cfq_store.Store.t option;
   mutable shard : Cfq_shard.Sharded.t option;
   mutable replicas : int;
+  mutable last_live : Cfq_service.Service.live option;
 }
 
 type response = {
@@ -37,6 +38,7 @@ let create ?ctx () =
     store = None;
     shard = None;
     replicas = 1;
+    last_live = None;
   }
 
 let par_of t = Cfq_mining.Counting.par (max 1 t.mine_domains)
@@ -99,7 +101,11 @@ let help_text =
       "                                 a manifest opens sharded, shards=N splits a";
       "                                 plain segment into a sharded twin first";
       "  save <store>                   write the attached database to a store";
-      "  ingest <store> <tx.fimi>       append transactions to a store and seal";
+      "  ingest <store> <tx.fimi>       append transactions to a store and seal;";
+      "                                 a running service over that store is kept";
+      "                                 live (caches promoted, not cold-started)";
+      "  live                           live-ingestion status: epoch, pending";
+      "                                 appends, last seal's maintenance summary";
       "  verify                         re-read the attached store from disk and";
       "                                 report per-replica page health";
       "  scrub                          verify + quarantine bad replicas, rebuild";
@@ -326,21 +332,62 @@ let do_ingest t store_path fimi_path =
         ignore (Cfq_store.Store.seal store)
       in
       match t.store with
-      | Some store when Cfq_store.Store.path store = store_path ->
-          (* ingesting into the attached store: quiesce the service
-             FIRST (its workers may be mid-scan on the current db
-             handle), then seal — which replaces the db handle — and
-             rebuild the execution context around the new one *)
-          drop_service t;
-          ingest store;
-          (match t.ctx with
-          | Some ctx ->
-              t.ctx <- Some (Exec.context (Cfq_store.Store.db store) ctx.Exec.s_info)
-          | None -> ());
-          t.last <- None;
-          say "ingested %d transactions into %s (now %d total)" (Tx_db.size src)
-            store_path
-            (Cfq_store.Store.size store)
+      | Some store when Cfq_store.Store.path store = store_path -> (
+          let live_service =
+            match (t.service, t.ctx) with
+            | Some s, Some c when Cfq_service.Service.ctx s == c -> Some s
+            | _ -> None
+          in
+          match live_service with
+          | Some service -> (
+              (* the service stays up across the seal: appends go through
+                 its live source, and the seal's maintenance pass promotes
+                 the warm caches to the new epoch instead of dropping them
+                 (in-flight queries finish on the still-readable pre-seal
+                 snapshot) *)
+              (match Cfq_service.Service.live_source service with
+              | Some _ -> ()
+              | None ->
+                  Cfq_service.Service.attach_source service
+                    (Cfq_live.Source.of_store store));
+              for i = 0 to Tx_db.size src - 1 do
+                Cfq_service.Service.ingest service (Tx_db.get src i).Transaction.items
+              done;
+              match Cfq_service.Service.seal_live service with
+              | None -> say "nothing to ingest: %s holds no transactions" fimi_path
+              | Some lv ->
+                  t.last_live <- Some lv;
+                  t.ctx <- Some (Cfq_service.Service.ctx service);
+                  t.last <- None;
+                  say
+                    "ingested %d transactions into %s (now %d total)@\n\
+                     epoch %d: %d sides + %d answers promoted, %d + %d \
+                     evicted; %d candidates recounted (%d old-db scans), %d \
+                     maintenance pages"
+                    (Tx_db.size src) store_path
+                    (Cfq_store.Store.size store)
+                    lv.Cfq_service.Service.lv_epoch
+                    lv.Cfq_service.Service.lv_sides_promoted
+                    lv.Cfq_service.Service.lv_answers_promoted
+                    lv.Cfq_service.Service.lv_sides_evicted
+                    lv.Cfq_service.Service.lv_answers_evicted
+                    lv.Cfq_service.Service.lv_recounted
+                    lv.Cfq_service.Service.lv_old_scans
+                    lv.Cfq_service.Service.lv_pages_read)
+          | None ->
+              (* no service over this store: retire any stale one, seal, and
+                 rebuild the context around the replaced db handle *)
+              drop_service t;
+              ingest store;
+              (match t.ctx with
+              | Some ctx ->
+                  t.ctx <-
+                    Some (Exec.context (Cfq_store.Store.db store) ctx.Exec.s_info)
+              | None -> ());
+              t.last <- None;
+              say "ingested %d transactions into %s (now %d total)"
+                (Tx_db.size src) store_path
+                (Cfq_store.Store.size store))
       | _ -> (
           match Cfq_store.Store.open_ store_path with
           | exception Cfq_store.Segment.Bad_segment msg -> say "ingest failed: %s" msg
@@ -353,6 +400,42 @@ let do_ingest t store_path fimi_path =
               Cfq_store.Store.close store;
               say "ingested %d transactions into %s (now %d total)" (Tx_db.size src)
                 store_path total))
+
+let do_live t =
+  match t.service with
+  | None ->
+      say
+        "no service running; 'serve <queries.txt>' starts one, and 'ingest' \
+         into the attached store keeps it live across seals"
+  | Some s ->
+      let source_line =
+        match Cfq_service.Service.live_source s with
+        | None -> "no ingestion source attached (the first 'ingest' attaches one)"
+        | Some src ->
+            Printf.sprintf "source: %s, %d transactions sealed, %d pending"
+              (Cfq_live.Source.backend_name src)
+              (Cfq_live.Source.size src)
+              (Cfq_live.Source.pending src)
+      in
+      let seal_line =
+        match t.last_live with
+        | None -> "no seal maintained yet"
+        | Some lv ->
+            Printf.sprintf
+              "last seal (epoch %d): %d txs folded; %d sides + %d answers \
+               promoted, %d + %d evicted; %d candidates recounted (%d old-db \
+               scans), %d scans / %d pages of maintenance I/O"
+              lv.Cfq_service.Service.lv_epoch lv.Cfq_service.Service.lv_sealed
+              lv.Cfq_service.Service.lv_sides_promoted
+              lv.Cfq_service.Service.lv_answers_promoted
+              lv.Cfq_service.Service.lv_sides_evicted
+              lv.Cfq_service.Service.lv_answers_evicted
+              lv.Cfq_service.Service.lv_recounted
+              lv.Cfq_service.Service.lv_old_scans
+              lv.Cfq_service.Service.lv_scans
+              lv.Cfq_service.Service.lv_pages_read
+      in
+      say "epoch %d@\n%s@\n%s" (Cfq_service.Service.epoch s) source_line seal_line
 
 let do_run t ctx q =
   match
@@ -829,5 +912,6 @@ let eval t line =
       | _ -> say "usage: ingest <store.cfqdb> <tx.fimi>")
   | "verify" -> do_verify t
   | "scrub" -> do_scrub t
+  | "live" -> do_live t
   | "stats" -> with_ctx t (do_stats t)
   | other -> say "unknown command %S; try 'help'" other

@@ -6,6 +6,12 @@ type recovery = {
   truncated_bytes : int;
 }
 
+type seal_info = {
+  si_generation : int;
+  si_base_txs : int;
+  si_sealed_txs : int;
+}
+
 type t = {
   path : string;
   cache_pages : int;
@@ -17,6 +23,7 @@ type t = {
      [close] so db handles obtained before the seal keep reading their
      (old, still-valid) snapshot instead of hitting a closed fd *)
   mutable stale : (Buffer_pool.t * Segment.t) list;
+  mutable last_seal : seal_info option;
   wal : Wal.t;
   recovery : recovery;
 }
@@ -137,6 +144,7 @@ let open_ ?(cache_pages = 1024) ?group_commit path =
     pool;
     db;
     stale = [];
+    last_seal = None;
     wal = Wal.open_append ?group_commit wp;
     recovery =
       (if current then
@@ -150,6 +158,7 @@ let create ?page_model ?cache_pages ?group_commit path =
   open_ ?cache_pages ?group_commit path
 
 let db t = t.db
+let view t = make_db t.seg t.pool
 let append_tx t items = Wal.append t.wal (Itemset.to_array items)
 let flush t = Wal.flush t.wal
 
@@ -159,6 +168,7 @@ let seal t =
   if s.Wal.records = [] || s.Wal.generation <> Some t.seg.Segment.generation then 0
   else begin
     let old_seg = t.seg and old_pool = t.pool in
+    let base_txs = Tx_db.size t.db in
     let next = fold_into_segment old_seg t.path s.Wal.records in
     Wal.reset (wal_path t.path) ~generation:next;
     let seg = Segment.open_ t.path in
@@ -169,7 +179,10 @@ let seal t =
     (* keep the superseded segment readable until [close]: db handles
        handed out before this seal may still be mid-scan on it *)
     t.stale <- (old_pool, old_seg) :: t.stale;
-    List.length s.Wal.records
+    let sealed = List.length s.Wal.records in
+    t.last_seal <-
+      Some { si_generation = next; si_base_txs = base_txs; si_sealed_txs = sealed };
+    sealed
   end
 
 let close t =
@@ -269,6 +282,7 @@ let universe_size t = t.seg.Segment.universe
 let generation t = t.seg.Segment.generation
 let io t = t.io
 let last_recovery t = t.recovery
+let last_seal t = t.last_seal
 let wal_counters t = (Wal.appended t.wal, Wal.fsyncs t.wal)
 let cache_pages t = t.cache_pages
 let path t = t.path

@@ -60,6 +60,14 @@ val save_db : ?page_model:Page_model.t -> string -> Tx_db.t -> unit
     concurrent seal. *)
 val db : t -> Tx_db.t
 
+(** [view t] is a fresh [Tx_db] view over the current segment — same
+    pool, same charges as {!db}, but a new handle that [t] does {e not}
+    retain.  Use it when a [Gc.finalise] closing [t] must be attached to
+    the database value: a finaliser on {!db}'s handle whose closure
+    holds [t] never runs ([t.db] is that very value), leaking the
+    store's descriptors. *)
+val view : t -> Tx_db.t
+
 (** {2 Ingestion} *)
 
 (** [append_tx t items] appends one transaction to the WAL (group-commit
@@ -83,6 +91,22 @@ val flush : t -> unit
     handles until {!close}.  Returns the number of transactions sealed
     in. *)
 val seal : t -> int
+
+(** What the most recent successful {!seal} on this handle folded in:
+    the new segment generation, the transaction count visible before the
+    seal, and the number of records sealed — the delta occupies tids
+    [[si_base_txs, si_base_txs + si_sealed_txs)] of the post-seal {!db}
+    (the segment packer is prefix-stable, so pre-seal tids keep their
+    pages).  [None] until a seal with records has happened on this
+    handle; live cache maintenance ({!Cfq_live}) reads it to charge
+    delta-only I/O. *)
+type seal_info = {
+  si_generation : int;
+  si_base_txs : int;
+  si_sealed_txs : int;
+}
+
+val last_seal : t -> seal_info option
 
 val close : t -> unit
 

@@ -64,6 +64,24 @@ let test_replicas =
       | _ -> 1)
   | None -> 1
 
+(* With CFQ_TEST_LIVE=1 every store-backed helper database (either
+   persistent route) is built in two halves: the first half at build
+   time, the second appended through the WAL and sealed — so the whole
+   suite runs against databases that went through a live seal.  The
+   segment packer appends the delta after the prefix it would have
+   packed anyway, so page geometry (hence answers, ccc and logical I/O)
+   is byte-identical to the one-shot build.  Memory routes are
+   unchanged: they have no seal. *)
+let live_reseal =
+  match Sys.getenv_opt "CFQ_TEST_LIVE" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let split_for_reseal sets =
+  let n = Array.length sets in
+  let cut = n / 2 in
+  (Array.sub sets 0 cut, Array.sub sets cut (n - cut))
+
 let live_stores = ref 0
 
 let db_of_sets sets =
@@ -72,9 +90,16 @@ let db_of_sets sets =
     else begin
       if !live_stores * test_shards * test_replicas > 128 then Gc.full_major ();
       let path = Filename.temp_file "cfq_test_shard" ".cfqdb" in
+      let base, delta =
+        if live_reseal then split_for_reseal sets else (sets, [||])
+      in
       Cfq_shard.Sharded.build ~shards:test_shards ~replicas:test_replicas path
-        sets;
+        base;
       let sh = Cfq_shard.Sharded.open_ ~cache_pages:4 path in
+      if Array.length delta > 0 then begin
+        Array.iter (Cfq_shard.Sharded.append_tx sh) delta;
+        ignore (Cfq_shard.Sharded.seal sh : int)
+      end;
       incr live_stores;
       let db = Cfq_shard.Sharded.db sh in
       (* capture the shard groups, not [sh]: Sharded.t holds the composite
@@ -95,10 +120,22 @@ let db_of_sets sets =
   else begin
     if !live_stores > 128 then Gc.full_major ();
     let path = Filename.temp_file "cfq_test_store" ".cfqdb" in
-    Cfq_store.Store.build path sets;
+    let base, delta =
+      if live_reseal then split_for_reseal sets else (sets, [||])
+    in
+    Cfq_store.Store.build path base;
     let store = Cfq_store.Store.open_ ~cache_pages:4 path in
+    if Array.length delta > 0 then begin
+      Array.iter (Cfq_store.Store.append_tx store) delta;
+      ignore (Cfq_store.Store.seal store : int)
+    end;
     incr live_stores;
-    let db = Cfq_store.Store.db store in
+    (* a fresh view, not [Store.db]: the store retains [db]'s handle, so
+       a finaliser whose closure holds [store] would keep its own value
+       reachable and never run, leaking every fd for the rest of the
+       suite (fatal under CFQ_TEST_LIVE, where the superseded pre-seal
+       segment doubles each store's descriptors) *)
+    let db = Cfq_store.Store.view store in
     Gc.finalise
       (fun _db ->
         decr live_stores;

@@ -1,0 +1,406 @@
+(* The live ingestion subsystem: FUP promotion math, delta extraction
+   accounting, and the headline property — a service maintained across
+   k ∈ {1,2,3} seals answers exactly like a cold remine of the grown
+   database, on every backend matrix.  Fault injection during a
+   maintenance pass must leave the caches on one consistent epoch. *)
+
+open Cfq_itembase
+open Cfq_txdb
+open Cfq_mining
+open Cfq_core
+open Cfq_service
+
+let expect_ok = function
+  | Ok a -> a
+  | Error e -> Alcotest.failf "service error: %s" (Service.error_to_string e)
+
+let pair_str answer_pairs =
+  let entries =
+    List.sort
+      (fun ((a1 : Frequent.entry), (b1 : Frequent.entry)) (a2, b2) ->
+        match Itemset.compare a1.Frequent.set a2.Frequent.set with
+        | 0 -> Itemset.compare b1.Frequent.set b2.Frequent.set
+        | c -> c)
+      answer_pairs
+  in
+  String.concat "; "
+    (List.map
+       (fun ((s : Frequent.entry), (t : Frequent.entry)) ->
+         Printf.sprintf "%s@%d,%s@%d"
+           (Itemset.to_string s.Frequent.set)
+           s.Frequent.support
+           (Itemset.to_string t.Frequent.set)
+           t.Frequent.support)
+       entries)
+
+(* ------------------------------------------------------------------ *)
+(* Maintain.promoted_minsup: coverage math *)
+
+let promoted_minsup_units () =
+  Alcotest.(check int) "empty base clamps to old" 3
+    (Cfq_live.Maintain.promoted_minsup ~old_minsup:3 ~base_txs:0 ~union_txs:9);
+  Alcotest.(check int) "no growth keeps the threshold" 3
+    (Cfq_live.Maintain.promoted_minsup ~old_minsup:3 ~base_txs:10 ~union_txs:10);
+  Alcotest.(check int) "50% growth scales the slack" 4
+    (Cfq_live.Maintain.promoted_minsup ~old_minsup:3 ~base_txs:10 ~union_txs:15);
+  Alcotest.(check int) "minsup 1 never moves" 1
+    (Cfq_live.Maintain.promoted_minsup ~old_minsup:1 ~base_txs:4 ~union_txs:400)
+
+(* every relative fraction the old entry answered (ceil(f·base) >= m) must
+   still be answered by the promoted threshold (ceil(f·union) >= m') *)
+let promoted_minsup_covers () =
+  let ceil_frac f n = max 1 (int_of_float (Float.ceil (f *. float_of_int n))) in
+  for base = 1 to 20 do
+    for growth = 0 to 15 do
+      let union = base + growth in
+      for m = 1 to base do
+        let m' =
+          Cfq_live.Maintain.promoted_minsup ~old_minsup:m ~base_txs:base
+            ~union_txs:union
+        in
+        for pct = 1 to 100 do
+          let f = float_of_int pct /. 100. in
+          if ceil_frac f base >= m && ceil_frac f union < m' then
+            Alcotest.failf
+              "coverage lost: base=%d union=%d m=%d m'=%d f=%.2f" base union m
+              m' f
+        done
+      done
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Incremental.update_abs against a direct mine of the union *)
+
+let frequent_str freq =
+  String.concat "; "
+    (List.map
+       (fun (e : Frequent.entry) ->
+         Printf.sprintf "%s@%d" (Itemset.to_string e.Frequent.set) e.Frequent.support)
+       (List.sort
+          (fun (a : Frequent.entry) b -> Itemset.compare a.Frequent.set b.Frequent.set)
+          (Frequent.to_list freq)))
+
+let gen_update =
+  QCheck2.Gen.(
+    let* n = int_range 3 6 in
+    let* txs = list_size (int_range 12 40) (Helpers.gen_tx n) in
+    let* cut_pct = int_range 20 80 in
+    let* old_m = int_range 1 4 in
+    let* slack = int_range 0 3 in
+    return (n, txs, cut_pct, old_m, slack))
+
+let print_update (n, txs, cut_pct, old_m, slack) =
+  Printf.sprintf "n=%d cut=%d%% old_m=%d slack=%d txs=%s" n cut_pct old_m slack
+    (String.concat "|" (List.map (fun t -> String.concat "," (List.map string_of_int t)) txs))
+
+let update_abs_equals_union_mine =
+  Helpers.qtest ~count:120 "live: update_abs equals mining the union" gen_update
+    print_update (fun (n, txs, cut_pct, old_m, slack) ->
+      let sets = Array.of_list (List.map Itemset.of_list txs) in
+      let cut = max 1 (Array.length sets * cut_pct / 100) in
+      let cut = min cut (Array.length sets - 1) in
+      let old_db = Tx_db.create (Array.sub sets 0 cut) in
+      let delta = Tx_db.create (Array.sub sets cut (Array.length sets - cut)) in
+      let union_db = Tx_db.create sets in
+      let io = Io_stats.create () in
+      let old_frequent =
+        Vertical.mine (Vertical.build old_db io ~universe_size:n) ~minsup:old_m
+      in
+      let union_m = old_m + slack in
+      let lstats = Level_stats.create () in
+      let out =
+        Incremental.update_abs ~stats:lstats ~old_db ~old_frequent ~delta io
+          ~old_minsup:old_m ~union_minsup:union_m ~universe_size:n ()
+      in
+      let reference =
+        Vertical.mine (Vertical.build union_db io ~universe_size:n) ~minsup:union_m
+      in
+      if out.Incremental.old_scans > 1 then
+        QCheck2.Test.fail_reportf "FUP paid %d old scans" out.Incremental.old_scans;
+      if out.Incremental.old_scans = 0 && out.Incremental.counted_against_old > 0
+      then QCheck2.Test.fail_reportf "counted against old without a scan";
+      if Level_stats.rows lstats = [] && Frequent.to_list old_frequent <> [] then
+        QCheck2.Test.fail_reportf "no Level_stats rows surfaced";
+      let got = frequent_str out.Incremental.frequent in
+      let want = frequent_str reference in
+      if got <> want then
+        QCheck2.Test.fail_reportf "incremental mismatch:\n got %s\nwant %s" got
+          want;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Source / Delta accounting *)
+
+let source_seal_accounting () =
+  let base = Array.init 8 (fun i -> Itemset.of_list [ i mod 3 ]) in
+  let src = Cfq_live.Source.of_mem base in
+  Alcotest.(check int) "epoch starts at 0" 0 (Cfq_live.Source.epoch src);
+  let io = Io_stats.create () in
+  Alcotest.(check bool) "nothing pending, no seal" true
+    (Cfq_live.Source.seal src io = None);
+  for _ = 1 to 5 do
+    Cfq_live.Source.append_tx src (Itemset.of_list [ 0; 1 ])
+  done;
+  Alcotest.(check int) "pending counted" 5 (Cfq_live.Source.pending src);
+  let d =
+    match Cfq_live.Source.seal src io with
+    | Some d -> d
+    | None -> Alcotest.fail "seal with pending returned None"
+  in
+  Alcotest.(check int) "epoch minted" 1 d.Cfq_live.Delta.epoch;
+  Alcotest.(check int) "source epoch follows" 1 (Cfq_live.Source.epoch src);
+  Alcotest.(check int) "base recorded" 8 d.Cfq_live.Delta.base_txs;
+  Alcotest.(check int) "delta size" 5 d.Cfq_live.Delta.delta_txs;
+  Alcotest.(check int) "union" 13 (Cfq_live.Delta.union_txs d);
+  Alcotest.(check int) "twin holds the delta" 5
+    (Tx_db.size d.Cfq_live.Delta.twin);
+  Alcotest.(check int) "database grew" 13
+    (Tx_db.size (Cfq_live.Source.db src));
+  Alcotest.(check bool) "extraction charged a scan" true (Io_stats.scans io >= 1);
+  Alcotest.(check bool) "extraction charged delta pages" true
+    (Io_stats.pages_read io >= d.Cfq_live.Delta.delta_pages);
+  (* the delta pages are a strict subset of the grown database's pages *)
+  Alcotest.(check bool) "delta-sized, not database-sized" true
+    (d.Cfq_live.Delta.delta_pages
+    <= Tx_db.pages (Cfq_live.Source.db src));
+  Alcotest.(check int) "pending reset" 0 (Cfq_live.Source.pending src)
+
+(* ------------------------------------------------------------------ *)
+(* the headline property: k seals of maintenance == cold remine *)
+
+(* a live Source over the matrix the suite runs under, plus its cleanup *)
+let make_source base =
+  if Helpers.test_shards > 1 && Helpers.store_backed then begin
+    let path = Filename.temp_file "cfq_live_shard" ".cfqdb" in
+    Cfq_shard.Sharded.build ~shards:Helpers.test_shards
+      ~replicas:Helpers.test_replicas path base;
+    let sh = Cfq_shard.Sharded.open_ ~cache_pages:4 path in
+    ( Cfq_live.Source.of_sharded sh,
+      fun () ->
+        (try Cfq_shard.Sharded.close sh with _ -> ());
+        (try Cfq_shard.Sharded.remove_files path with _ -> ()) )
+  end
+  else if Helpers.test_shards > 1 then
+    ( Cfq_live.Source.of_mem
+        ~rebuild:(Cfq_shard.Sharded.mem_db ~shards:Helpers.test_shards)
+        base,
+      fun () -> () )
+  else if Helpers.store_backed then begin
+    let path = Filename.temp_file "cfq_live_store" ".cfqdb" in
+    Cfq_store.Store.build path base;
+    let store = Cfq_store.Store.open_ ~cache_pages:4 path in
+    ( Cfq_live.Source.of_store store,
+      fun () ->
+        (try Cfq_store.Store.close store with _ -> ());
+        (try Sys.remove path with _ -> ());
+        try Sys.remove (path ^ ".wal") with _ -> () )
+  end
+  else (Cfq_live.Source.of_mem base, fun () -> ())
+
+let gen_live =
+  QCheck2.Gen.(
+    let* n = int_range 4 6 in
+    let* txs = list_size (int_range 24 48) (Helpers.gen_tx n) in
+    let* k = int_range 1 3 in
+    let* q1 = Helpers.gen_query in
+    let* q2 = Helpers.gen_query in
+    return (n, txs, k, q1, q2))
+
+let print_live (n, txs, k, q1, q2) =
+  Printf.sprintf "n=%d k=%d #txs=%d q1=%s q2=%s" n k (List.length txs)
+    (Query.to_string q1) (Query.to_string q2)
+
+let maintenance_equals_cold_remine =
+  Helpers.qtest ~count:35 "live: k seals of maintenance equal a cold remine"
+    gen_live print_live (fun (n, txs, k, q1, q2) ->
+      let sets = Array.of_list (List.map Itemset.of_list txs) in
+      let total = Array.length sets in
+      let base_len = total / 2 in
+      let base = Array.sub sets 0 base_len in
+      let rest = total - base_len in
+      let chunk i =
+        (* k roughly equal delta batches covering sets[base_len, total) *)
+        let lo = base_len + (rest * i / k) and hi = base_len + (rest * (i + 1) / k) in
+        Array.sub sets lo (hi - lo)
+      in
+      let info = Helpers.small_info n in
+      let src, cleanup = make_source base in
+      let service =
+        Service.create
+          ~config:{ Service.default_config with domains = 1 }
+          (Cfq_core.Exec.context (Cfq_live.Source.db src) info)
+      in
+      Fun.protect ~finally:(fun () ->
+          Service.shutdown service;
+          cleanup ())
+      @@ fun () ->
+      Service.attach_source service src;
+      let queries = [ q1; q2 ] in
+      (* warm the caches at epoch 0 *)
+      List.iter (fun q -> ignore (expect_ok (Service.run service q) : Service.answer)) queries;
+      let ok = ref true in
+      for i = 0 to k - 1 do
+        let delta = chunk i in
+        Array.iter (Service.ingest service) delta;
+        (match Service.seal_live service with
+        | Some live ->
+            if live.Service.lv_epoch <> Cfq_live.Source.epoch src then begin
+              QCheck2.Test.fail_reportf "seal %d minted epoch %d, source at %d" i
+                live.Service.lv_epoch (Cfq_live.Source.epoch src)
+            end
+        | None ->
+            if Array.length delta > 0 then
+              QCheck2.Test.fail_reportf "seal %d ignored %d pending" i
+                (Array.length delta));
+        (* cold reference: a fresh service-free execution over the grown
+           prefix, same backend matrix *)
+        let prefix = Array.sub sets 0 (base_len + (rest * (i + 1) / k)) in
+        let cold_ctx = Cfq_core.Exec.context (Helpers.db_of_sets prefix) info in
+        List.iter
+          (fun q ->
+            let warm = expect_ok (Service.run service q) in
+            let cold = Cfq_core.Exec.run ~collect_pairs:true cold_ctx q in
+            let got = pair_str warm.Service.pairs in
+            let want = pair_str cold.Cfq_core.Exec.pairs in
+            if got <> want then begin
+              ok := false;
+              QCheck2.Test.fail_reportf
+                "seal %d: warm answer diverged\n got %s\nwant %s" i got want
+            end;
+            (* the maintained cache answers without a full remine.  An
+               unsatisfiable query is nominally "cold" (nothing was ever
+               mined for it, so nothing was promoted) but pays no scans
+               either — the scan charge is the real criterion *)
+            if Array.length delta > 0 && warm.Service.scans > 0 then begin
+              ok := false;
+              QCheck2.Test.fail_reportf
+                "seal %d: promoted query paid %d scans (%s)" i
+                warm.Service.scans
+                (Service.served_from_name warm.Service.served_from)
+            end)
+          queries
+      done;
+      let m = Service.metrics service in
+      if k > 0 && m.Metrics.seals = 0 then
+        QCheck2.Test.fail_reportf "metrics recorded no seals";
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* fault injection during maintenance: promote-or-evict, never stale *)
+
+let fault_during_maintenance () =
+  (* base makes {0},{1},{0,1} frequent; the delta batch makes {2} frequent
+     inside the increment, so promotion must count it against the old
+     database — which the injector fails deterministically *)
+  let base = Array.init 12 (fun _ -> Itemset.of_list [ 0; 1 ]) in
+  let info = Helpers.small_info 4 in
+  let src = Cfq_live.Source.of_mem base in
+  let old_db = Cfq_live.Source.db src in
+  let service =
+    Service.create
+      ~config:{ Service.default_config with domains = 1 }
+      (Cfq_core.Exec.context old_db info)
+  in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  Service.attach_source service src;
+  let q = Query.make ~s_minsup:0.5 ~t_minsup:0.5 () in
+  let r1 = expect_ok (Service.run service q) in
+  Alcotest.(check string) "warmed cold" "cold"
+    (Service.served_from_name r1.Service.served_from);
+  (* fail every read of the pre-seal snapshot from here on *)
+  Tx_db.set_faults old_db
+    (Some
+       (Fault.create { Fault.default_config with Fault.fail_first = max_int }));
+  for _ = 1 to 6 do
+    Service.ingest service (Itemset.of_list [ 2 ])
+  done;
+  let live =
+    match Service.seal_live service with
+    | Some live -> live
+    | None -> Alcotest.fail "seal with pending returned None"
+  in
+  Alcotest.(check int) "epoch minted" 1 live.Service.lv_epoch;
+  Alcotest.(check int) "service follows" 1 (Service.epoch service);
+  Alcotest.(check bool) "faulted promotion evicted the side" true
+    (live.Service.lv_sides_evicted >= 1);
+  Alcotest.(check int) "nothing promoted" 0 live.Service.lv_sides_promoted;
+  Alcotest.(check bool) "uncovered answer evicted too" true
+    (live.Service.lv_answers_evicted >= 1);
+  let m = Service.metrics service in
+  Alcotest.(check int) "no stale side entries survive" 0 m.Metrics.side_entries;
+  Alcotest.(check int) "no stale answers survive" 0 m.Metrics.answer_entries;
+  Alcotest.(check int) "epoch gauge" 1 m.Metrics.live_epoch;
+  (* the service is unharmed: the same query re-mines against the grown
+     database (the new snapshot carries no injector) and matches a cold
+     reference exactly *)
+  let union_sets =
+    Array.append base (Array.init 6 (fun _ -> Itemset.of_list [ 2 ]))
+  in
+  let cold_ctx = Cfq_core.Exec.context (Tx_db.create union_sets) info in
+  let r2 = expect_ok (Service.run service q) in
+  Alcotest.(check string) "purged entry goes cold" "cold"
+    (Service.served_from_name r2.Service.served_from);
+  let cold = Cfq_core.Exec.run ~collect_pairs:true cold_ctx q in
+  Alcotest.(check string) "answer matches cold remine"
+    (pair_str cold.Cfq_core.Exec.pairs)
+    (pair_str r2.Service.pairs)
+
+(* a clean (fault-free) seal promotes in place: warm hits, delta-only cost *)
+let clean_seal_promotes () =
+  let base = Array.init 16 (fun i -> Itemset.of_list [ i mod 2; 2 ]) in
+  let info = Helpers.small_info 4 in
+  let src = Cfq_live.Source.of_mem base in
+  let service =
+    Service.create
+      ~config:{ Service.default_config with domains = 1 }
+      (Cfq_core.Exec.context (Cfq_live.Source.db src) info)
+  in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  Service.attach_source service src;
+  let q = Query.make ~s_minsup:0.4 ~t_minsup:0.4 () in
+  ignore (expect_ok (Service.run service q) : Service.answer);
+  for _ = 1 to 4 do
+    Service.ingest service (Itemset.of_list [ 0; 2 ])
+  done;
+  let live =
+    match Service.seal_live service with
+    | Some live -> live
+    | None -> Alcotest.fail "seal with pending returned None"
+  in
+  Alcotest.(check int) "sealed the batch" 4 live.Service.lv_sealed;
+  Alcotest.(check bool) "sides promoted" true (live.Service.lv_sides_promoted >= 1);
+  Alcotest.(check bool) "answer promoted" true
+    (live.Service.lv_answers_promoted >= 1);
+  Alcotest.(check int) "no evictions" 0
+    (live.Service.lv_sides_evicted + live.Service.lv_answers_evicted);
+  let r2 = expect_ok (Service.run service q) in
+  Alcotest.(check string) "promoted answer serves verbatim" "answer-cache"
+    (Service.served_from_name r2.Service.served_from);
+  let cold_ctx =
+    Cfq_core.Exec.context
+      (Tx_db.create
+         (Array.append base (Array.init 4 (fun _ -> Itemset.of_list [ 0; 2 ]))))
+      info
+  in
+  let cold = Cfq_core.Exec.run ~collect_pairs:true cold_ctx q in
+  Alcotest.(check string) "and byte-identically"
+    (pair_str cold.Cfq_core.Exec.pairs)
+    (pair_str r2.Service.pairs);
+  (* maintenance cost is delta-sized: the pass never paid a full scan of
+     the grown database per cached entry beyond the bounded FUP old scan *)
+  Alcotest.(check bool) "maintenance charged pages" true (live.Service.lv_pages_read >= 1);
+  Alcotest.(check bool) "bounded old scans" true
+    (live.Service.lv_old_scans <= live.Service.lv_sides_promoted)
+
+let suite =
+  [
+    Alcotest.test_case "promoted_minsup units" `Quick promoted_minsup_units;
+    Alcotest.test_case "promoted_minsup covers all fractions" `Quick
+      promoted_minsup_covers;
+    update_abs_equals_union_mine;
+    Alcotest.test_case "source seal accounting" `Quick source_seal_accounting;
+    maintenance_equals_cold_remine;
+    Alcotest.test_case "fault during maintenance" `Quick fault_during_maintenance;
+    Alcotest.test_case "clean seal promotes in place" `Quick clean_seal_promotes;
+  ]

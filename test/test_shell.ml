@@ -160,6 +160,36 @@ let suite =
               (contains (out t ("ingest " ^ path ^ " " ^ fimi)) "now 12 total");
             Alcotest.(check bool) "reopen sees them" true
               (contains (out t ("open " ^ path)) "12 transactions")));
+    unit "live ingest maintains the running service" (fun () ->
+        let t = Shell.create () in
+        let path = Filename.temp_file "cfq_shell_live" ".cfqdb" in
+        let fimi = Filename.temp_file "cfq_shell_live" ".fimi" in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter
+              (fun p -> try Sys.remove p with Sys_error _ -> ())
+              [ path; path ^ ".wal"; path ^ ".info.csv"; fimi ])
+          (fun () ->
+            Out_channel.with_open_text fimi (fun oc ->
+                output_string oc "0 1\n0 1\n2 3\n");
+            let _ = out t "gen 10 5" in
+            let _ = out t ("save " ^ path) in
+            Alcotest.(check bool) "opened" true
+              (contains (out t ("open " ^ path)) "10 transactions");
+            Alcotest.(check bool) "live before any service" true
+              (contains (out t "live") "no service");
+            (* cachestats spins the service up over the attached store *)
+            let _ = out t "cachestats" in
+            let o = out t ("ingest " ^ path ^ " " ^ fimi) in
+            Alcotest.(check bool) "appended" true (contains o "now 13 total");
+            Alcotest.(check bool) "epoch reported" true (contains o "epoch 1");
+            Alcotest.(check bool) "live shows the seal" true
+              (contains (out t "live") "epoch 1");
+            (* the service survived the seal and its gauge moved *)
+            let stats = out t "cachestats" in
+            Alcotest.(check bool) "epoch gauge" true (contains stats "live epoch");
+            Alcotest.(check bool) "stats still served" true
+              (contains (out t "stats") "transactions: 13")));
     unit "replicated shards: verify, failover, scrub repair" (fun () ->
         let t = session_with_db () in
         let q = "run freq(S) >= 0.3 & freq(T) >= 0.3" in
