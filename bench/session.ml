@@ -159,6 +159,220 @@ let run (scale : Workloads.scale) =
     (float_of_int cold_counted /. float_of_int (max 1 m.Metrics.support_counted))
     m.Metrics.support_counted cold_counted;
 
+  (* --- condensed answer cache: fixed-budget hit-rate comparison ---
+
+     A correlated workload where condensation bites: planted patterns on
+     items 0..39 (prices >= 300) with noise confined to items 40..79
+     (prices <= 250), so every subset of a pattern has exactly the
+     pattern's support — a handful of closed sets stand in for the whole
+     collection.  A price-floor constraint keeps mining on the pattern
+     items and the collections downward closed.  Both services replay the
+     same two-pass script (pass 2 re-issues pass 1) under one cache budget
+     fixed between the condensed and raw space needs: the condensed cache
+     retains everything, the raw cache must evict, and the warm hit rates
+     diverge while the answers stay identical. *)
+  let cond_rng = Splitmix.create ~seed:(Int64.add scale.Workloads.seed 23L) in
+  let pattern_of lo len prob =
+    Planted.pattern ~partial_prob:0. ~prob
+      (Itemset.of_list (List.init len (fun i -> lo + i)))
+  in
+  let corr_db =
+    Planted.generate cond_rng ~n_transactions:2000 ~universe:(40, 80)
+      ~noise_len:4.
+      [ pattern_of 0 5 0.5; pattern_of 6 5 0.45; pattern_of 12 5 0.4 ]
+  in
+  let corr_prices =
+    Array.init 80 (fun i ->
+        if i < 40 then 300. +. (2. *. float_of_int i)
+        else 100. +. (2. *. float_of_int (i - 40)))
+  in
+  let corr_types = Array.init 80 (fun i -> float_of_int (i mod 4)) in
+  let corr_info = Item_gen.item_info ~prices:corr_prices ~types:corr_types () in
+  let corr_ctx = Exec.context corr_db corr_info in
+  let corr_queries =
+    List.concat_map
+      (fun minsup ->
+        List.map
+          (fun lo ->
+            Parser.parse
+              (Printf.sprintf
+                 "{(S,T) | freq(S) >= %g & freq(T) >= %g & S.Price >= %g & \
+                  T.Price >= %g & S.Type = T.Type}"
+                 minsup minsup lo lo))
+          [ 300.; 308.; 316.; 324. ])
+      [ 0.3; 0.33 ]
+  in
+  let exact_pairs a =
+    List.map
+      (fun (s, t) ->
+        ( s.Cfq_mining.Frequent.set,
+          s.Cfq_mining.Frequent.support,
+          t.Cfq_mining.Frequent.set,
+          t.Cfq_mining.Frequent.support ))
+      a.Service.pairs
+  in
+  (* probe both representations under an unconstrained budget to measure
+     the space each needs for the full pass-1 working set *)
+  let probe condense =
+    let service =
+      Service.create
+        ~config:
+          {
+            Service.default_config with
+            domains = 1;
+            cache_budget = 1 lsl 28;
+            condense;
+          }
+        corr_ctx
+    in
+    let answers =
+      List.map (fun q -> Service.run service q |> Result.get_ok) corr_queries
+    in
+    let m = Service.metrics service in
+    Service.shutdown service;
+    (m, answers)
+  in
+  let m_raw_probe, probe_raw_answers = probe false in
+  let m_cond_probe, probe_cond_answers = probe true in
+  List.iteri
+    (fun i (ar, ac) ->
+      if exact_pairs ar <> exact_pairs ac then begin
+        Printf.printf "FAIL: condensed probe diverged on correlated query %d\n" i;
+        exit 1
+      end)
+    (List.combine probe_raw_answers probe_cond_answers);
+  let raw_need = m_raw_probe.Metrics.side_bytes + m_raw_probe.Metrics.answer_bytes in
+  let cond_need =
+    m_cond_probe.Metrics.side_bytes + m_cond_probe.Metrics.answer_bytes
+  in
+  (* the budget splits 3/4 sides : 1/4 answers; fix it so the condensed
+     working set fits each sub-budget and the raw one overflows at least
+     one of them *)
+  let fits_at need_sides need_answers =
+    max ((need_sides * 4 / 3) + 1) ((need_answers * 4) + 1)
+  in
+  let b_low =
+    fits_at m_cond_probe.Metrics.side_bytes m_cond_probe.Metrics.answer_bytes
+  in
+  let b_high =
+    fits_at m_raw_probe.Metrics.side_bytes m_raw_probe.Metrics.answer_bytes
+  in
+  if b_low >= b_high then begin
+    Printf.printf
+      "FAIL: condensation saved nothing on the correlated workload (fit points \
+       %d >= %d)\n"
+      b_low b_high;
+    exit 1
+  end;
+  (* the smallest budget the condensed working set fits: the condensed
+     cache retains everything, the raw cache is maximally pressured *)
+  let budget = b_low in
+  let replay condense =
+    let service =
+      Service.create
+        ~config:
+          { Service.default_config with domains = 1; cache_budget = budget; condense }
+        corr_ctx
+    in
+    let pass () =
+      List.map (fun q -> Service.run service q |> Result.get_ok) corr_queries
+    in
+    let a1 = pass () in
+    let hits_before = (Service.metrics service).Metrics.answer_hits in
+    let a2 = pass () in
+    let m = Service.metrics service in
+    Service.shutdown service;
+    let warm =
+      List.length
+        (List.filter (fun a -> a.Service.served_from <> Service.Cold) a2)
+    in
+    (m, a1 @ a2, m.Metrics.answer_hits - hits_before, warm)
+  in
+  let m_raw, raw_answers, raw_hits, raw_warm = replay false in
+  let m_cond, cond_answers, cond_hits, cond_warm = replay true in
+  List.iteri
+    (fun i (ar, ac) ->
+      if exact_pairs ar <> exact_pairs ac then begin
+        Printf.printf "FAIL: condensed replay diverged on correlated query %d\n" i;
+        exit 1
+      end)
+    (List.combine raw_answers cond_answers);
+  let n_corr = List.length corr_queries in
+  let ratio =
+    float_of_int m_cond.Metrics.cond_raw_bytes
+    /. float_of_int (max 1 m_cond.Metrics.cond_bytes)
+  in
+  let ctbl = Cfq_report.Table.create [ "metric"; "raw"; "condensed" ] in
+  let crow name a b = Cfq_report.Table.add_row ctbl [ name; a; b ] in
+  crow "working set (probe bytes)" (string_of_int raw_need) (string_of_int cond_need);
+  crow "cache budget (fixed)" (string_of_int budget) (string_of_int budget);
+  crow
+    (Printf.sprintf "pass-2 answer hits (of %d)" n_corr)
+    (string_of_int raw_hits) (string_of_int cond_hits);
+  crow
+    (Printf.sprintf "pass-2 warm serves (of %d)" n_corr)
+    (string_of_int raw_warm) (string_of_int cond_warm);
+  crow "evictions" (string_of_int m_raw.Metrics.evictions)
+    (string_of_int m_cond.Metrics.evictions);
+  crow "reconstructions" (string_of_int m_raw.Metrics.reconstructions)
+    (string_of_int m_cond.Metrics.reconstructions);
+  crow "condensation ratio" "-" (Printf.sprintf "%.2f" ratio);
+  print_newline ();
+  Printf.printf "condensed cache at a fixed %d-byte budget (%d-query script, 2 passes):\n"
+    budget n_corr;
+  Cfq_report.Table.print ctbl;
+  if cond_hits <= raw_hits then begin
+    Printf.printf
+      "\nFAIL: condensed cache hit %d of %d pass-2 queries, raw hit %d — expected \
+       strictly more\n"
+      cond_hits n_corr raw_hits;
+    exit 1
+  end;
+  Printf.printf
+    "\nOK: identical answers; condensed cache hit %d/%d warm re-issues vs raw's %d \
+     (%.2fx less cache space)\n"
+    cond_hits n_corr raw_hits ratio;
+
+  (* hit rate vs budget: the same two-pass replay at a sweep of budgets
+     bracketing both working sets *)
+  let stbl = Cfq_report.Table.create [ "budget"; "raw hits"; "condensed hits" ] in
+  List.iter
+    (fun (label, b) ->
+      let sweep_replay condense =
+        let service =
+          Service.create
+            ~config:
+              { Service.default_config with domains = 1; cache_budget = b; condense }
+            corr_ctx
+        in
+        let pass () =
+          List.iter
+            (fun q -> ignore (Service.run service q |> Result.get_ok : Service.answer))
+            corr_queries
+        in
+        pass ();
+        let before = (Service.metrics service).Metrics.answer_hits in
+        pass ();
+        let hits = (Service.metrics service).Metrics.answer_hits - before in
+        Service.shutdown service;
+        hits
+      in
+      Cfq_report.Table.add_row stbl
+        [
+          Printf.sprintf "%d (%s)" b label;
+          Printf.sprintf "%d/%d" (sweep_replay false) n_corr;
+          Printf.sprintf "%d/%d" (sweep_replay true) n_corr;
+        ])
+    [
+      ("1/2 condensed fit", b_low / 2);
+      ("condensed fit", b_low);
+      ("2x condensed fit", 2 * b_low);
+      ("raw fit", b_high);
+    ];
+  print_newline ();
+  print_endline "pass-2 answer-cache hits vs budget:";
+  Cfq_report.Table.print stbl;
+
   let json =
     String.concat "\n"
       [
@@ -181,8 +395,21 @@ let run (scale : Workloads.scale) =
         Printf.sprintf "    \"subsumption_hits\": %d," m.Metrics.subsumption_hits;
         Printf.sprintf "    \"sides_mined\": %d" m.Metrics.sides_mined;
         "  },";
-        Printf.sprintf "  \"counted_ratio\": %.3f"
+        Printf.sprintf "  \"counted_ratio\": %.3f,"
           (float_of_int cold_counted /. float_of_int (max 1 m.Metrics.support_counted));
+        "  \"condensed\": {";
+        Printf.sprintf "    \"queries\": %d," n_corr;
+        Printf.sprintf "    \"budget\": %d," budget;
+        Printf.sprintf "    \"raw_need_bytes\": %d," raw_need;
+        Printf.sprintf "    \"condensed_need_bytes\": %d," cond_need;
+        Printf.sprintf "    \"raw_hits\": %d," raw_hits;
+        Printf.sprintf "    \"condensed_hits\": %d," cond_hits;
+        Printf.sprintf "    \"raw_warm\": %d," raw_warm;
+        Printf.sprintf "    \"condensed_warm\": %d," cond_warm;
+        Printf.sprintf "    \"reconstructions\": %d," m_cond.Metrics.reconstructions;
+        Printf.sprintf "    \"ratio\": %.3f," ratio;
+        "    \"identical\": true";
+        "  }";
         "}";
       ]
   in

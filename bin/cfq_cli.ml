@@ -87,6 +87,17 @@ let no_calibrate_arg =
            of feeding measured pass timings back into it.  Only affects \
            kernel selection timing, never answers.")
 
+let condense_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "condense" ] ~docv:"BOOL"
+        ~doc:
+          "Store the service's cached side collections closed-set condensed \
+           and its cached answers index-packed, so more distinct queries fit \
+           the same cache budget (see $(b,doc/CONDENSED.md)).  Answers are \
+           byte-identical either way; the condensation ratio is printed at \
+           shutdown.")
+
 let mine_domains_arg ~default_doc ~default =
   Arg.(
     value & opt int default
@@ -412,9 +423,24 @@ let run_live_passes service ~repeat ~ingest file =
   in
   passes 1
 
+(* the shutdown line the condense knob promises: how many raw-equivalent
+   bytes the cache stream condensed down to, and what lookups paid back *)
+let print_condensation service =
+  let m = Cfq_service.Service.metrics service in
+  let raw = m.Cfq_service.Metrics.cond_raw_bytes in
+  let stored = m.Cfq_service.Metrics.cond_bytes in
+  if raw > 0 then
+    Printf.printf
+      "condensation: %d raw -> %d stored bytes (ratio %.2f), %d \
+       reconstructions\n"
+      raw stored
+      (float_of_int raw /. float_of_int (max 1 stored))
+      m.Cfq_service.Metrics.reconstructions
+
 let serve_cmd verbose tx items types seed data iteminfo domains mine_domains
-    kernel no_calibrate cache_mb deadline repeat fault_transient fault_corrupt
-    fault_spike fault_seed retries breaker_threshold live ingest file =
+    kernel no_calibrate condense cache_mb deadline repeat fault_transient
+    fault_corrupt fault_spike fault_seed retries breaker_threshold live ingest
+    file =
   setup_logs verbose;
   match load_or_generate ~tx ~items ~types ~seed ~data ~iteminfo with
   | Error e -> Error e
@@ -447,6 +473,7 @@ let serve_cmd verbose tx items types seed data iteminfo domains mine_domains
           breaker_threshold;
           kernel;
           calibrate = not no_calibrate;
+          condense;
         }
       in
       let service = Cfq_service.Service.create ~config (Exec.context db info) in
@@ -458,6 +485,7 @@ let serve_cmd verbose tx items types seed data iteminfo domains mine_domains
         Cfq_service.Service.attach_source service (Cfq_live.Source.of_mem sets)
       end;
       let result = run_live_passes service ~repeat ~ingest file in
+      print_condensation service;
       Cfq_service.Service.shutdown service;
       result
 
@@ -675,7 +703,8 @@ let backend_recovery_lines = function
         (Cfq_shard.Sharded.stores sh)
 
 let store_serve_cmd verbose store_path cache_pages shards replicas fault_shard
-    fault_replica domains mine_domains kernel no_calibrate cache_mb deadline
+    fault_replica domains mine_domains kernel no_calibrate condense cache_mb
+    deadline
     repeat fault_transient fault_corrupt fault_spike fault_seed retries
     breaker_threshold live ingest verify file =
   setup_logs verbose;
@@ -822,6 +851,7 @@ let store_serve_cmd verbose store_path cache_pages shards replicas fault_shard
               breaker_threshold;
               kernel;
               calibrate = not no_calibrate;
+              condense;
             }
           in
           let service = Cfq_service.Service.create ~config (Exec.context db info) in
@@ -831,6 +861,7 @@ let store_serve_cmd verbose store_path cache_pages shards replicas fault_shard
               | Plain store -> Cfq_live.Source.of_store store
               | Sharded sh -> Cfq_live.Source.of_sharded sh);
           let result = run_live_passes service ~repeat ~ingest file in
+          print_condensation service;
           Cfq_service.Service.shutdown service;
           finish result)
 
@@ -1015,7 +1046,8 @@ let serve_t =
          ~default_doc:
            "Default 0 = inherit $(b,--domains); helpers are borrowed idle \
             workers, never extra domains."
-     $ kernel_arg $ no_calibrate_arg $ cache_mb_arg $ deadline_arg $ repeat_arg
+     $ kernel_arg $ no_calibrate_arg $ condense_arg $ cache_mb_arg
+     $ deadline_arg $ repeat_arg
      $ fault_transient_arg
      $ fault_corrupt_arg $ fault_spike_arg $ fault_seed_arg $ retries_arg
      $ breaker_threshold_arg $ live_arg $ ingest_arg $ batch_file_arg))
@@ -1056,7 +1088,8 @@ let store_serve_t =
          ~default_doc:
            "Default 0 = inherit $(b,--domains); helpers are borrowed idle \
             workers, never extra domains."
-     $ kernel_arg $ no_calibrate_arg $ cache_mb_arg $ deadline_arg $ repeat_arg
+     $ kernel_arg $ no_calibrate_arg $ condense_arg $ cache_mb_arg
+     $ deadline_arg $ repeat_arg
      $ fault_transient_arg
      $ fault_corrupt_arg $ fault_spike_arg $ fault_seed_arg $ retries_arg
      $ breaker_threshold_arg $ live_arg $ ingest_arg $ verify_arg

@@ -1,0 +1,112 @@
+(** Condensed (closed-itemset) representation of a frequent collection.
+
+    A {!Frequent.t} stores every frequent set with its support; at cache
+    scale the memory budget — not compute — caps how many collections stay
+    warm.  This module stores only the {e closed} sets (no proper superset
+    of equal support) and reconstructs everything else on demand:
+
+    - the support of any member is the {e maximum support over its stored
+      closed supersets} (exact: every member has a closed superset of equal
+      support, and anti-monotonicity bounds all others below it);
+    - membership is the existence of a stored superset (exact for
+      downward-closed collections: every member lies under a maximal
+      member, and maximal sets are closed).
+
+    Condensation is {e lossless by construction}: {!of_frequent} condenses
+    only when it can prove the round-trip is the identity — the collection
+    must be downward closed (all delete-one subsets present, with
+    anti-monotone supports) and level-sorted, which is what the CAP engine
+    and the FUP promotion path emit.  Anything else (e.g. a collection
+    pruned by a non-anti-monotone succinct constraint) is kept raw, so
+    {!to_frequent} is {e always} [of_frequent |> to_frequent == identity]
+    — order, supports and membership included.
+
+    The dense correlated workloads where the cache budget hurts are
+    exactly the ones that condense well: equal-support subset families
+    collapse to one closed representative (cf. the closed-itemset global
+    constraint, arXiv 1604.04894).  The {!maximal} projection (no frequent
+    proper superset at all) drops supports of non-maximal sets and is the
+    minimal wire format for shipping large answers (cf. maximal-itemset
+    compression, arXiv 2203.11208). *)
+
+open Cfq_itembase
+
+(** {1 Cache byte model}
+
+    The approximate byte weights the service cache charges; kept here so
+    raw and condensed forms are priced by one model. *)
+
+val itemset_weight : Itemset.t -> int
+val entry_weight : Frequent.entry -> int
+
+(** [frequent_weight f] is the raw collection's weight: a 128-byte base
+    plus {!entry_weight} per entry. *)
+val frequent_weight : Frequent.t -> int
+
+(** {1 Condensed collections} *)
+
+type t
+
+(** [raw f] stores [f] uncondensed ([bytes = raw_bytes =
+    frequent_weight f]); {!to_frequent} returns [f] itself. *)
+val raw : Frequent.t -> t
+
+(** [of_frequent ?force f] condenses [f] to its closed sets when the
+    round-trip is provably the identity {e and} the condensed form is
+    strictly smaller; otherwise falls back to [raw f].  [~force:true]
+    (used by the [CFQ_TEST_CONDENSE] matrix) condenses whenever lossless,
+    even when not smaller. *)
+val of_frequent : ?force:bool -> Frequent.t -> t
+
+(** Reconstruct the full collection.  Exactly the [f] given to
+    {!of_frequent}: same levels, same per-level order, same supports.
+    Cost: one pass enumerating the subsets of each closed set. *)
+val to_frequent : t -> Frequent.t
+
+(** [true] when the closed form is stored (a {!to_frequent} will pay a
+    reconstruction). *)
+val is_condensed : t -> bool
+
+(** Sets in the {e represented} collection (not the stored closed ones). *)
+val n_sets : t -> int
+
+(** Stored closed sets ([= n_sets] when raw). *)
+val n_closed : t -> int
+
+val max_level : t -> int
+
+(** Weight of the raw representation (what the cache would have charged
+    before condensation). *)
+val raw_bytes : t -> int
+
+(** Weight as stored — the cache charge. *)
+val bytes : t -> int
+
+(** {1 On-demand reconstruction} *)
+
+(** [support t s] is the support [s] would have in {!to_frequent}, without
+    reconstructing: the max support over stored closed supersets. *)
+val support : t -> Itemset.t -> int option
+
+val mem : t -> Itemset.t -> bool
+
+(** The closed entries, level by level. *)
+val closed_entries : t -> Frequent.entry list
+
+(** The maximal entries (no proper superset in the collection) — the
+    minimal generating family: the collection is exactly the non-empty
+    subsets of these. *)
+val maximal : t -> Frequent.entry list
+
+(** {1 Wire format}
+
+    A maximal-only projection serialized as varint-packed bytes: per entry
+    its support, cardinality and delta-encoded item gaps.  Minimal for
+    shipping large answers; supports of non-maximal subsets are {e not}
+    recoverable from the wire form (membership is). *)
+
+val encode_maximal : t -> string
+
+(** Decodes what {!encode_maximal} wrote.  Raises [Invalid_argument] on a
+    malformed buffer. *)
+val decode_maximal : string -> Frequent.entry list

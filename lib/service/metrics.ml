@@ -50,6 +50,10 @@ type snapshot = {
   maint_old_scans : int;
   maint_scans : int;
   maint_pages_read : int;
+  cond_raw_bytes : int;
+  cond_bytes : int;
+  cond_inserts : int;
+  reconstructions : int;
   answer_entries : int;
   answer_bytes : int;
   side_entries : int;
@@ -99,6 +103,10 @@ type t = {
   mutable maint_old_scans : int;
   mutable maint_scans : int;
   mutable maint_pages_read : int;
+  mutable cond_raw_bytes : int;
+  mutable cond_bytes : int;
+  mutable cond_inserts : int;
+  mutable reconstructions : int;
 }
 
 let create () =
@@ -142,6 +150,10 @@ let create () =
     maint_old_scans = 0;
     maint_scans = 0;
     maint_pages_read = 0;
+    cond_raw_bytes = 0;
+    cond_bytes = 0;
+    cond_inserts = 0;
+    reconstructions = 0;
   }
 
 let reset t =
@@ -183,7 +195,11 @@ let reset t =
   t.maint_recounted <- 0;
   t.maint_old_scans <- 0;
   t.maint_scans <- 0;
-  t.maint_pages_read <- 0
+  t.maint_pages_read <- 0;
+  t.cond_raw_bytes <- 0;
+  t.cond_bytes <- 0;
+  t.cond_inserts <- 0;
+  t.reconstructions <- 0
 
 let record_query t ~latency ~support_counted ~constraint_checks ~scans ~pages_read =
   t.queries <- t.queries + 1;
@@ -243,6 +259,16 @@ let record_maintenance t ~sides_promoted ~sides_evicted ~answers_promoted
   t.maint_scans <- t.maint_scans + scans;
   t.maint_pages_read <- t.maint_pages_read + pages_read
 
+(* every cache insert passes through here: raw-equivalent vs stored bytes
+   accumulate whether or not condensation fired, so the ratio reflects the
+   whole insert stream *)
+let record_condensed t ~raw ~stored ~condensed =
+  t.cond_raw_bytes <- t.cond_raw_bytes + raw;
+  t.cond_bytes <- t.cond_bytes + stored;
+  if condensed then t.cond_inserts <- t.cond_inserts + 1
+
+let record_reconstruction t = t.reconstructions <- t.reconstructions + 1
+
 let observe_queue_depth t d =
   if d > t.queue_high_water then t.queue_high_water <- d
 
@@ -288,6 +314,10 @@ let snapshot t ?(shards = []) ?(failovers = 0) ~answer_entries ~answer_bytes
     maint_old_scans = t.maint_old_scans;
     maint_scans = t.maint_scans;
     maint_pages_read = t.maint_pages_read;
+    cond_raw_bytes = t.cond_raw_bytes;
+    cond_bytes = t.cond_bytes;
+    cond_inserts = t.cond_inserts;
+    reconstructions = t.reconstructions;
     answer_entries;
     answer_bytes;
     side_entries;
@@ -343,6 +373,15 @@ let table (s : snapshot) =
   int "live: old-db scans" s.maint_old_scans;
   int "live: maintenance scans" s.maint_scans;
   int "live: maintenance pages" s.maint_pages_read;
+  int "condensed inserts" s.cond_inserts;
+  row "cache raw bytes (inserted)" (Printf.sprintf "%d" s.cond_raw_bytes);
+  row "cache condensed bytes (inserted)" (Printf.sprintf "%d" s.cond_bytes);
+  row "condensation ratio"
+    (if s.cond_bytes = 0 then "-"
+     else
+       Printf.sprintf "%.2f"
+         (float_of_int s.cond_raw_bytes /. float_of_int s.cond_bytes));
+  int "reconstructions" s.reconstructions;
   int "answer cache entries" s.answer_entries;
   row "answer cache bytes" (Printf.sprintf "%d" s.answer_bytes);
   int "side cache entries" s.side_entries;

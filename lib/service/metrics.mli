@@ -67,6 +67,14 @@ type snapshot = {
           ([Incremental.outcome.old_scans], summed) *)
   maint_scans : int;  (** all maintenance scans (delta twin + old db) *)
   maint_pages_read : int;  (** pages those scans charged *)
+  cond_raw_bytes : int;
+      (** raw-equivalent bytes of every cache insert (sides + answers),
+          condensed or not *)
+  cond_bytes : int;  (** bytes those inserts actually charged the cache *)
+  cond_inserts : int;  (** inserts stored in condensed / packed form *)
+  reconstructions : int;
+      (** lazy rebuilds paid on lookup (side collection reconstructions +
+          packed-answer unpacks) *)
   answer_entries : int;
   answer_bytes : int;
   side_entries : int;
@@ -137,6 +145,14 @@ val record_kernel_passes :
   projected_scans:int ->
   bitmap_builds:int ->
   unit
+
+(** One cache insert passed through the condensation layer: [raw] is the
+    weight the raw form would have charged, [stored] what was charged,
+    [condensed] whether the closed/packed form was used. *)
+val record_condensed : t -> raw:int -> stored:int -> condensed:bool -> unit
+
+(** A lookup had to rebuild a raw value from its condensed form. *)
+val record_reconstruction : t -> unit
 
 val observe_queue_depth : t -> int -> unit
 

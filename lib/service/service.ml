@@ -22,6 +22,7 @@ type config = {
   jitter_seed : int64;
   kernel : Counting.kernel;
   calibrate : bool;
+  condense : bool;
 }
 
 let default_config =
@@ -39,6 +40,7 @@ let default_config =
     jitter_seed = 0x0DDB1A5EL;
     kernel = Counting.Trie;
     calibrate = true;
+    condense = true;
   }
 
 type served_from =
@@ -79,7 +81,12 @@ let error_to_string = function
   | Fault e -> "fault: " ^ Cfq_error.to_string e
   | Failed msg -> "failed: " ^ msg
 
-(* one side's cached frequent collection, as mined *)
+(* one side's cached frequent collection, as mined.  The collection is
+   stored condensed (closed sets only, [Condensed.t]) when the condense
+   knob is on and the round-trip is provably lossless; lookups rebuild the
+   raw collection on demand.  The cache charges the memoized [se_weight],
+   so a condensed entry makes room for more distinct fingerprints under
+   the same budget. *)
 type side_entry = {
   se_epoch : int;  (* database generation the supports are exact for *)
   se_info : Item_info.t;  (* shared, immutable; needed to re-key on promotion *)
@@ -87,7 +94,30 @@ type side_entry = {
   se_minsup : int;  (* absolute support it was mined at *)
   se_max_level : int option;
   se_constraints : One_var.t list;  (* normalised 1-var conjunction it was mined under *)
-  se_frequent : Frequent.t;
+  se_cond : Condensed.t;
+  se_weight : int;  (* memoized cache charge: [Condensed.bytes se_cond] *)
+}
+
+(* a cached answer.  With condensation on, the pair list — a near
+   cross-product of the two sides — is stored as deduplicated per-side
+   entry arrays plus two indices per pair, rebuilt on lookup. *)
+type packed_pairs = {
+  pk_s : Frequent.entry array;
+  pk_t : Frequent.entry array;
+  pk_idx : int array;  (* pair i is (pk_s.(idx.(2i)), pk_t.(idx.(2i+1))) *)
+}
+
+type stored_pairs =
+  | Raw_pairs of (Frequent.entry * Frequent.entry) list
+  | Packed_pairs of packed_pairs
+
+type cached_answer = {
+  ca_epoch : int;
+      (* the epoch the supports are exact for; checked on every lookup *)
+  ca_query : Query.t;  (* simplified query, for degraded covering tests *)
+  ca_answer : answer;  (* template with [pairs = []]; pairs live in ca_pairs *)
+  ca_pairs : stored_pairs;
+  ca_weight : int;  (* memoized cache charge *)
 }
 
 (* circuit breaker: [Open n] sheds the next [n] admissions, then half-opens;
@@ -132,7 +162,7 @@ type t = {
          mines calibrate the Auto planner for every later query (updates
          are mutex-guarded inside the record) *)
   lock : Mutex.t;
-  answers : (int * Query.t * answer) Lru.t;
+  answers : cached_answer Lru.t;
       (* the epoch and (simplified) query are kept alongside each answer so
          degraded serving can test whether a cached answer covers a new
          query — and reject it when it predates the current epoch *)
@@ -200,16 +230,118 @@ let locked t f =
       raise e
 
 (* ------------------------------------------------------------------ *)
-(* weights (approximate bytes, for the cache budget) *)
+(* weights (approximate bytes, for the cache budget).  The collection byte
+   model lives in [Condensed] so raw and condensed forms are priced by one
+   scale; weights are computed once per insert and memoized on the entry. *)
 
-let itemset_weight s = 24 + (8 * Itemset.cardinal s)
-let entry_weight (e : Frequent.entry) = 32 + itemset_weight e.Frequent.set
+let entry_weight = Condensed.entry_weight
 
-let frequent_weight freq =
-  Frequent.fold (fun acc e -> acc + entry_weight e) 128 freq
-
-let answer_weight a =
+let raw_answer_weight (a : answer) =
   List.fold_left (fun acc (s, p) -> acc + 16 + entry_weight s + entry_weight p) 256 a.pairs
+
+let packed_weight pk =
+  let sum = Array.fold_left (fun acc e -> acc + entry_weight e) in
+  256 + sum 0 pk.pk_s + sum 0 pk.pk_t + (8 * Array.length pk.pk_idx)
+
+(* ------------------------------------------------------------------ *)
+(* condensation: the cache's storage format *)
+
+(* CFQ_TEST_CONDENSE=1 routes every cached collection and answer through
+   condensation even when the closed form is not smaller — the test
+   matrices use it to put the whole suite on the condensed paths *)
+let force_condense =
+  match Sys.getenv_opt "CFQ_TEST_CONDENSE" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let condense_on t = t.service_config.condense || force_condense
+
+(* condense a freshly mined or promoted collection for caching; every side
+   insert is priced through here so the ratio metrics see the full
+   stream *)
+let condense_frequent t freq =
+  let cond =
+    if condense_on t then Condensed.of_frequent ~force:force_condense freq
+    else Condensed.raw freq
+  in
+  locked t (fun () ->
+      Metrics.record_condensed t.service_metrics
+        ~raw:(Condensed.raw_bytes cond) ~stored:(Condensed.bytes cond)
+        ~condensed:(Condensed.is_condensed cond));
+  cond
+
+(* rebuild a side's raw collection — one reconstruction paid when the
+   closed form is stored.  Never call with [t.lock] held. *)
+let side_frequent t entry =
+  if Condensed.is_condensed entry.se_cond then
+    locked t (fun () -> Metrics.record_reconstruction t.service_metrics);
+  Condensed.to_frequent entry.se_cond
+
+let pack_answer t (a : answer) =
+  if not (condense_on t) then (Raw_pairs a.pairs, raw_answer_weight a)
+  else begin
+    (* within one answer a side's set determines its entry (all entries of
+       a side come from one collection), so sets key the dedup tables *)
+    let dedup proj =
+      let tbl = Itemset.Hashtbl.create 64 in
+      let entries = ref [] and n = ref 0 in
+      let idx (e : Frequent.entry) =
+        match Itemset.Hashtbl.find_opt tbl e.Frequent.set with
+        | Some i -> i
+        | None ->
+            let i = !n in
+            incr n;
+            Itemset.Hashtbl.add tbl e.Frequent.set i;
+            entries := e :: !entries;
+            i
+      in
+      let ids = List.map (fun p -> idx (proj p)) a.pairs in
+      (Array.of_list (List.rev !entries), ids)
+    in
+    let s_entries, s_ids = dedup fst in
+    let t_entries, t_ids = dedup snd in
+    let idx = Array.make (2 * List.length a.pairs) 0 in
+    List.iteri
+      (fun i (si, ti) ->
+        idx.(2 * i) <- si;
+        idx.((2 * i) + 1) <- ti)
+      (List.combine s_ids t_ids);
+    let pk = { pk_s = s_entries; pk_t = t_entries; pk_idx = idx } in
+    (Packed_pairs pk, packed_weight pk)
+  end
+
+let make_cached_answer t ~epoch q (a : answer) =
+  let ca_pairs, ca_weight = pack_answer t a in
+  {
+    ca_epoch = epoch;
+    ca_query = q;
+    ca_answer = { a with pairs = [] };
+    ca_pairs;
+    ca_weight;
+  }
+
+(* with [t.lock] held: price an answer insert for the ratio metrics.
+   [a] must still carry its pairs (the raw-equivalent weight needs them). *)
+let record_answer_condensed_locked t (a : answer) ca =
+  Metrics.record_condensed t.service_metrics ~raw:(raw_answer_weight a)
+    ~stored:ca.ca_weight
+    ~condensed:
+      (match ca.ca_pairs with Packed_pairs _ -> true | Raw_pairs _ -> false)
+
+(* with [t.lock] held: rebuild the pair list of a cached answer *)
+let unpack_answer_locked t ca =
+  match ca.ca_pairs with
+  | Raw_pairs pairs -> { ca.ca_answer with pairs }
+  | Packed_pairs pk ->
+      Metrics.record_reconstruction t.service_metrics;
+      let n = Array.length pk.pk_idx / 2 in
+      let pairs = ref [] in
+      for i = n - 1 downto 0 do
+        pairs :=
+          (pk.pk_s.(pk.pk_idx.(2 * i)), pk.pk_t.(pk.pk_idx.((2 * i) + 1)))
+          :: !pairs
+      done;
+      { ca.ca_answer with pairs = !pairs }
 
 (* ------------------------------------------------------------------ *)
 (* deadline handling *)
@@ -270,7 +402,7 @@ let covering_entry_locked t ~epoch spec =
       if not (entry_answers ~epoch value spec) then best
       else
         match best with
-        | Some (_, b) when Frequent.n_sets b.se_frequent <= Frequent.n_sets value.se_frequent
+        | Some (_, b) when Condensed.n_sets b.se_cond <= Condensed.n_sets value.se_cond
           -> best
         | _ -> Some (key, value))
     None t.sides
@@ -347,7 +479,7 @@ let mine_side ~deadline ~par ~kernel ~calibrate ~calibration (ctx : Exec.ctx)
 let resolve_side t ~deadline ~ctx ~epoch spec io counters checks =
   check_deadline deadline;
   match find_subsuming t ~epoch spec with
-  | Some entry -> (filter_valid spec entry.se_frequent checks, true)
+  | Some entry -> (filter_valid spec (side_frequent t entry) checks, true)
   | None ->
       let freq, side_counters, session =
         mine_side ~deadline ~par:t.mine_par ~kernel:t.service_config.kernel
@@ -367,6 +499,7 @@ let resolve_side t ~deadline ~ctx ~epoch spec io counters checks =
               Metrics.observe_calibration_samples t.service_metrics
                 (Counting.calibration_samples t.calibration))
       | None -> ());
+      let cond = condense_frequent t freq in
       let entry =
         {
           se_epoch = epoch;
@@ -375,7 +508,8 @@ let resolve_side t ~deadline ~ctx ~epoch spec io counters checks =
           se_minsup = spec.sp_minsup;
           se_max_level = spec.sp_max_level;
           se_constraints = spec.sp_constraints;
-          se_frequent = freq;
+          se_cond = cond;
+          se_weight = Condensed.bytes cond;
         }
       in
       let key =
@@ -387,7 +521,9 @@ let resolve_side t ~deadline ~ctx ~epoch spec io counters checks =
           (* a seal may have raced this mine: supports counted against the
              pre-seal snapshot must not enter the cache at the new epoch *)
           if t.epoch = epoch then
-            ignore (Lru.insert t.sides key ~weight:(frequent_weight freq) entry : bool));
+            ignore (Lru.insert t.sides key ~weight:entry.se_weight entry : bool));
+      (* filter the collection as mined: the cold path never pays a
+         reconstruction *)
       (filter_valid spec freq checks, false)
 
 (* ------------------------------------------------------------------ *)
@@ -403,9 +539,9 @@ let execute t ~deadline (q : Query.t) =
   let cached =
     locked t (fun () ->
         match Lru.find t.answers key with
-        | Some (e, _, a) when e = epoch ->
+        | Some ca when ca.ca_epoch = epoch ->
             Metrics.record_answer_hit t.service_metrics;
-            Some a
+            Some (unpack_answer_locked t ca)
         | Some _ | None ->
             Metrics.record_answer_miss t.service_metrics;
             None)
@@ -475,12 +611,12 @@ let execute t ~deadline (q : Query.t) =
       in
       let latency = Unix.gettimeofday () -. t0 in
       let answer = { answer with latency_seconds = latency } in
+      let ca = make_cached_answer t ~epoch q answer in
       locked t (fun () ->
-          if t.epoch = epoch then
-            ignore
-              (Lru.insert t.answers key ~weight:(answer_weight answer)
-                 (epoch, q, answer)
-                : bool);
+          if t.epoch = epoch then begin
+            record_answer_condensed_locked t answer ca;
+            ignore (Lru.insert t.answers key ~weight:ca.ca_weight ca : bool)
+          end;
           Metrics.record_query t.service_metrics ~latency
             ~support_counted:answer.support_counted
             ~constraint_checks:answer.constraint_checks ~scans:answer.scans
@@ -576,22 +712,25 @@ let degraded_lookup_locked t (q : Query.t) =
          epoch stamp is the only thing keeping pre-seal supports out *)
       let hit =
         Lru.fold
-          (fun best ~key ~value:(e, cached_q, a) ->
+          (fun best ~key ~value:ca ->
             match best with
             | Some _ -> best
             | None ->
-                if e = t.epoch && answer_covers t.service_ctx ~cached_q ~requested:q
-                then Some (key, a)
+                if
+                  ca.ca_epoch = t.epoch
+                  && answer_covers t.service_ctx ~cached_q:ca.ca_query
+                       ~requested:q
+                then Some (key, ca)
                 else None)
           None t.answers
       in
       match hit with
       | None -> None
-      | Some (key, a) ->
-          ignore (Lru.find t.answers key : (int * Query.t * answer) option)
+      | Some (key, ca) ->
+          ignore (Lru.find t.answers key : cached_answer option)
           (* bump recency *);
           Metrics.record_degraded t.service_metrics;
-          Some (filter_answer t.service_ctx q a)
+          Some (filter_answer t.service_ctx q (unpack_answer_locked t ca))
     end
   end
 
@@ -755,10 +894,11 @@ let open_serve_locked t (q : Query.t) =
   let q' = rw.Rewrite.query in
   let key = Fingerprint.query_key t.service_ctx q' in
   match Lru.find t.answers key with
-  | Some (e, _, a) when e = t.epoch ->
+  | Some ca when ca.ca_epoch = t.epoch ->
       Metrics.record_answer_hit t.service_metrics;
       Metrics.record_query t.service_metrics ~latency:0. ~support_counted:0
         ~constraint_checks:0 ~scans:0 ~pages_read:0;
+      let a = unpack_answer_locked t ca in
       `Serve
         {
           a with
@@ -1001,9 +1141,12 @@ let maintain t ~old_ctx ~new_ctx ~new_epoch ~(delta : Cfq_live.Delta.t) ~maint_i
     (fun (key, e) ->
       if e.se_epoch < new_epoch then begin
         match
+          (* a condensed entry is rebuilt first: FUP delta-counts the full
+             collection (reconstructed from its closed sets), and the
+             promoted result is re-closed below before re-insertion *)
           Cfq_live.Maintain.promote ~stats:lstats ~old_db:old_ctx.Exec.db ~delta
             maint_io ~old_minsup:e.se_minsup ~max_level:e.se_max_level
-            ~universe_size:universe e.se_frequent
+            ~universe_size:universe (side_frequent t e)
         with
         | exception _ ->
             (* a faulted promotion leaves the entry stale; the purge below
@@ -1012,8 +1155,15 @@ let maintain t ~old_ctx ~new_ctx ~new_epoch ~(delta : Cfq_live.Delta.t) ~maint_i
         | freq', m', pstats ->
             recounted := !recounted + pstats.Cfq_live.Maintain.recounted;
             old_scans := !old_scans + pstats.Cfq_live.Maintain.old_scans;
+            let cond' = condense_frequent t freq' in
             let e' =
-              { e with se_epoch = new_epoch; se_minsup = m'; se_frequent = freq' }
+              {
+                e with
+                se_epoch = new_epoch;
+                se_minsup = m';
+                se_cond = cond';
+                se_weight = Condensed.bytes cond';
+              }
             in
             let key' =
               Fingerprint.side_key ~info:e.se_info ~minsup_abs:m'
@@ -1028,15 +1178,16 @@ let maintain t ~old_ctx ~new_ctx ~new_epoch ~(delta : Cfq_live.Delta.t) ~maint_i
                   | Some cur when cur.se_epoch < new_epoch ->
                       Lru.remove t.sides key
                   | Some _ | None -> ());
-                  if Lru.insert t.sides key' ~weight:(frequent_weight freq') e'
-                  then incr sides_promoted
+                  if Lru.insert t.sides key' ~weight:e'.se_weight e' then
+                    incr sides_promoted
                   else incr sides_evicted
                 end)
       end)
     stale_sides;
   List.iter
-    (fun (old_key, (e, q, (a : answer))) ->
-      if e < new_epoch then begin
+    (fun (old_key, ca) ->
+      if ca.ca_epoch < new_epoch then begin
+        let q = ca.ca_query in
         let checks = ref 0 in
         let covering =
           locked t (fun () ->
@@ -1056,8 +1207,8 @@ let maintain t ~old_ctx ~new_ctx ~new_epoch ~(delta : Cfq_live.Delta.t) ~maint_i
             locked t (fun () -> Lru.remove t.answers old_key);
             incr answers_evicted
         | Some (spec_s, spec_t, es, et) ->
-            let valid_s = filter_valid spec_s es.se_frequent checks in
-            let valid_t = filter_valid spec_t et.se_frequent checks in
+            let valid_s = filter_valid spec_s (side_frequent t es) checks in
+            let valid_t = filter_valid spec_t (side_frequent t et) checks in
             let collected = ref [] in
             let pair_stats =
               Pairs.form ~s_info:new_ctx.Exec.s_info ~t_info:new_ctx.Exec.t_info
@@ -1067,18 +1218,20 @@ let maintain t ~old_ctx ~new_ctx ~new_epoch ~(delta : Cfq_live.Delta.t) ~maint_i
             in
             let a' =
               {
-                a with
+                ca.ca_answer with
                 pairs = List.rev !collected;
                 n_pairs = pair_stats.Pairs.n_pairs;
               }
             in
+            let ca' = make_cached_answer t ~epoch:new_epoch q a' in
             let key' = Fingerprint.query_key new_ctx q in
             locked t (fun () ->
                 Lru.remove t.answers old_key;
+                if t.epoch = new_epoch then
+                  record_answer_condensed_locked t a' ca';
                 if
                   t.epoch = new_epoch
-                  && Lru.insert t.answers key' ~weight:(answer_weight a')
-                       (new_epoch, q, a')
+                  && Lru.insert t.answers key' ~weight:ca'.ca_weight ca'
                 then incr answers_promoted
                 else incr answers_evicted)
       end)
@@ -1095,7 +1248,8 @@ let maintain t ~old_ctx ~new_ctx ~new_epoch ~(delta : Cfq_live.Delta.t) ~maint_i
       List.iter (Lru.remove t.sides) side_keys;
       let answer_keys =
         Lru.fold
-          (fun acc ~key ~value:(e, _, _) -> if e < t.epoch then key :: acc else acc)
+          (fun acc ~key ~value ->
+            if value.ca_epoch < t.epoch then key :: acc else acc)
           [] t.answers
       in
       List.iter (Lru.remove t.answers) answer_keys;

@@ -88,11 +88,21 @@ type config = {
           mines tune the Auto planner for every later query (default
           [true]; irrelevant for the [Trie] kernel, which runs without a
           session) *)
+  condense : bool;
+      (** store cached side collections closed-set condensed
+          ({!Cfq_mining.Condensed}) and cached answers index-packed,
+          charging the cache their condensed weight — more distinct
+          fingerprints fit one [cache_budget]; lookups rebuild the raw
+          form on demand (counted in {!Metrics}).  Condensation only fires
+          when provably lossless, so answers are byte-identical either way
+          (default [true]; [CFQ_TEST_CONDENSE=1] forces it everywhere,
+          see [doc/CONDENSED.md]) *)
 }
 
 (** 2 domains (mining inherits them), queue 1024, 64 MiB budget, no
     deadline; 2 retries from a 2 ms base, breaker at 5 failures with an
-    8-admission cooldown, degradation on, calibration on. *)
+    8-admission cooldown, degradation on, calibration on, condensation
+    on. *)
 val default_config : config
 
 type served_from =

@@ -10,6 +10,7 @@ type t = {
   mutable mine_domains : int;
   mutable kernel : Cfq_mining.Counting.kernel;
   mutable calibrate : bool;
+  mutable condense : bool;
   mutable last : Exec.result option;
   mutable last_rules : Cfq_rules.Rule.t list;
   mutable service : Cfq_service.Service.t option;
@@ -32,6 +33,7 @@ let create ?ctx () =
     mine_domains = 1;
     kernel = Cfq_mining.Counting.Trie;
     calibrate = true;
+    condense = true;
     last = None;
     last_rules = [];
     service = None;
@@ -82,6 +84,7 @@ let service_for t ctx =
               Cfq_service.Service.default_config with
               kernel = t.kernel;
               calibrate = t.calibrate;
+              condense = t.condense;
             }
           ctx
       in
@@ -116,6 +119,9 @@ let help_text =
       "  set kernel <name>              counting kernel: auto | trie | direct2 | vertical";
       "  set calibrate <on|off>         feed measured pass timings into the Auto";
       "                                 planner's cost model (on; off = fixed priors)";
+      "  set condense <on|off>          store the service's cached collections and";
+      "                                 answers closed-set condensed (on); answers";
+      "                                 are byte-identical either way";
       "  set replicas <r>               replicas per shard for the next sharded split";
       "  set fault <p> [<cp> [<seed>]] [shard=K [replica=J]]";
       "                                 inject faults: transient-p, corrupt-p, seed;";
@@ -808,6 +814,23 @@ let eval t line =
               end;
               say "calibration off: the cost model keeps its fixed priors"
           | _ -> say "usage: set calibrate <on|off>")
+      | [ "condense"; v ] -> (
+          match v with
+          | "on" | "true" | "1" ->
+              if not t.condense then begin
+                t.condense <- true;
+                drop_service t
+              end;
+              say
+                "condensation on: cached collections stored as closed sets, \
+                 answers index-packed"
+          | "off" | "false" | "0" ->
+              if t.condense then begin
+                t.condense <- false;
+                drop_service t
+              end;
+              say "condensation off: the cache stores raw collections"
+          | _ -> say "usage: set condense <on|off>")
       | [ "kernel"; name ] -> (
           match Cfq_mining.Counting.kernel_of_string name with
           | Some k ->
@@ -825,8 +848,8 @@ let eval t line =
       | _ ->
           say
             "usage: set strategy <name> | set minconf <float> | set domains <n> | \
-             set kernel <name> | set calibrate <on|off> | set replicas <r> | \
-             set fault ...")
+             set kernel <name> | set calibrate <on|off> | set condense <on|off> | \
+             set replicas <r> | set fault ...")
   | "explain" ->
       with_ctx t (fun ctx ->
           parse_query t ctx rest (fun (t, q) ->

@@ -393,6 +393,73 @@ let clean_seal_promotes () =
   Alcotest.(check bool) "bounded old scans" true
     (live.Service.lv_old_scans <= live.Service.lv_sides_promoted)
 
+(* condensation across seals: a condensed service maintained over k seals
+   answers byte-identically to a raw twin fed the same appends — the
+   promote/re-close path must be invisible at every epoch *)
+let condensed_twin_across_seals () =
+  let base =
+    Array.init 24 (fun i ->
+        if i mod 3 = 0 then Itemset.of_list [ 0; 1; 2 ] else Itemset.of_list [ i mod 4 ])
+  in
+  let info = Helpers.small_info 5 in
+  let mk condense =
+    let src = Cfq_live.Source.of_mem base in
+    let service =
+      Service.create
+        ~config:{ Service.default_config with domains = 1; condense }
+        (Cfq_core.Exec.context (Cfq_live.Source.db src) info)
+    in
+    Service.attach_source service src;
+    service
+  in
+  let raw = mk false and cond = mk true in
+  Fun.protect ~finally:(fun () ->
+      Service.shutdown raw;
+      Service.shutdown cond)
+  @@ fun () ->
+  let queries =
+    [
+      Query.make ~s_minsup:0.2 ~t_minsup:0.2 ();
+      Query.make ~s_minsup:0.3 ~t_minsup:0.25
+        ~s_constraints:[ Cfq_constr.One_var.Card_cmp (Cfq_constr.Cmp.Le, 2) ]
+        ();
+    ]
+  in
+  let check_twins label =
+    List.iteri
+      (fun i q ->
+        let ar = expect_ok (Service.run raw q) in
+        let ac = expect_ok (Service.run cond q) in
+        Alcotest.(check string)
+          (Printf.sprintf "%s query %d: twins agree" label i)
+          (pair_str ar.Service.pairs) (pair_str ac.Service.pairs))
+      queries
+  in
+  check_twins "epoch 0";
+  let deltas =
+    [ [ [ 0; 1; 2 ]; [ 0; 1; 2 ]; [ 3 ] ]; [ [ 0; 1; 2 ]; [ 1; 2 ]; [ 2 ] ] ]
+  in
+  List.iteri
+    (fun k delta ->
+      List.iter
+        (fun tx ->
+          let s = Itemset.of_list tx in
+          Service.ingest raw s;
+          Service.ingest cond s)
+        delta;
+      let seal service name =
+        match Service.seal_live service with
+        | Some live -> live.Service.lv_epoch
+        | None -> Alcotest.failf "%s: seal %d ignored pending appends" name k
+      in
+      let er = seal raw "raw" and ec = seal cond "condensed" in
+      Alcotest.(check int) (Printf.sprintf "seal %d: same epoch" k) er ec;
+      check_twins (Printf.sprintf "epoch %d" ec))
+    deltas;
+  let m = Service.metrics cond in
+  Alcotest.(check bool) "condensed twin reconstructed across seals" true
+    (m.Metrics.reconstructions > 0)
+
 let suite =
   [
     Alcotest.test_case "promoted_minsup units" `Quick promoted_minsup_units;
@@ -403,4 +470,5 @@ let suite =
     maintenance_equals_cold_remine;
     Alcotest.test_case "fault during maintenance" `Quick fault_during_maintenance;
     Alcotest.test_case "clean seal promotes in place" `Quick clean_seal_promotes;
+    Alcotest.test_case "condensed twin across seals" `Quick condensed_twin_across_seals;
   ]

@@ -61,6 +61,67 @@ let lru_fold_mru_first () =
   ignore (Lru.find c "a" : int option);
   Alcotest.(check (list string)) "after bump" [ "a"; "c"; "b" ] (keys ())
 
+(* qcheck: the budget invariant [Lru.weight <= budget] holds after every
+   operation of any insert/find/remove sequence, and the tracked weight is
+   exactly the sum of the live entries' weights *)
+
+type lru_op = Op_insert of int * int | Op_find of int | Op_remove of int
+
+let gen_lru_ops =
+  QCheck2.Gen.(
+    let* budget = int_range 0 64 in
+    let* ops =
+      list_size (int_range 1 60)
+        (oneof
+           [
+             (let* k = int_range 0 7 in
+              let* w = int_range 0 20 in
+              return (Op_insert (k, w)));
+             (let* k = int_range 0 7 in
+              return (Op_find k));
+             (let* k = int_range 0 7 in
+              return (Op_remove k));
+           ])
+    in
+    return (budget, ops))
+
+let print_lru_ops (budget, ops) =
+  Printf.sprintf "budget=%d [%s]" budget
+    (String.concat "; "
+       (List.map
+          (function
+            | Op_insert (k, w) -> Printf.sprintf "ins k%d w%d" k w
+            | Op_find k -> Printf.sprintf "find k%d" k
+            | Op_remove k -> Printf.sprintf "rm k%d" k)
+          ops))
+
+let prop_lru_budget_invariant (budget, ops) =
+  let c = Lru.create ~budget in
+  let model = Hashtbl.create 8 in
+  List.for_all
+    (fun op ->
+      (match op with
+      | Op_insert (k, w) ->
+          let key = string_of_int k in
+          Hashtbl.remove model key;
+          if Lru.insert c key ~weight:w w then Hashtbl.replace model key w
+      | Op_find k -> ignore (Lru.find c (string_of_int k) : int option)
+      | Op_remove k ->
+          let key = string_of_int k in
+          Lru.remove c key;
+          Hashtbl.remove model key);
+      (* evictions drop from the model whatever the cache dropped *)
+      Hashtbl.iter
+        (fun key _ -> if not (Lru.mem c key) then Hashtbl.remove model key)
+        (Hashtbl.copy model);
+      let live = Hashtbl.fold (fun _ w acc -> acc + w) model 0 in
+      if Lru.weight c > Lru.budget c then
+        QCheck2.Test.fail_reportf "over budget after %s: %d > %d"
+          (print_lru_ops (budget, [ op ]))
+          (Lru.weight c) (Lru.budget c);
+      Lru.weight c = live && Lru.length c = Hashtbl.length model)
+    ops
+
 (* ------------------------------------------------------------------ *)
 (* Entail *)
 
@@ -248,6 +309,66 @@ let service_eviction_at_budget () =
   Alcotest.(check bool) "answer cache within budget" true
     (m.Metrics.answer_bytes <= config.Service.cache_budget / 4)
 
+let service_condensed_matches_raw () =
+  (* twin services over one context, condensation on vs off: every answer
+     — cold, answer-cache hit, subsumed, under eviction pressure — must be
+     identical pair-for-pair, in order *)
+  let ctx = fixture () in
+  let mk condense =
+    Service.create
+      ~config:{ Service.default_config with domains = 1; cache_budget = 4096; condense }
+      ctx
+  in
+  let raw = mk false and cond = mk true in
+  Fun.protect ~finally:(fun () ->
+      Service.shutdown raw;
+      Service.shutdown cond)
+  @@ fun () ->
+  let tightened =
+    Query.make ~s_minsup:0.15 ~t_minsup:0.2
+      ~s_constraints:
+        [ One_var.Agg_cmp (Agg.Min, price, Cmp.Ge, 30.); One_var.Card_cmp (Cmp.Le, 3) ]
+      ~t_constraints:[ One_var.Agg_cmp (Agg.Max, price, Cmp.Le, 50.) ]
+      ~two_var:[ Two_var.Set2 (typ, Two_var.Intersect, typ) ]
+      ()
+  in
+  let sweep =
+    List.map
+      (fun minsup -> Query.make ~s_minsup:minsup ~t_minsup:minsup ~max_level:1 ())
+      [ 0.9; 0.5; 0.2; 0.1 ]
+  in
+  let queries =
+    [ broad_query; broad_query; tightened ] @ sweep @ [ broad_query; tightened ]
+  in
+  let exact_pairs a =
+    (* order-sensitive: condensation must not even permute the pairs *)
+    pairs_str
+      (List.map (fun (s, t) -> (s.Frequent.set, t.Frequent.set)) a.Service.pairs)
+  in
+  let supports a =
+    String.concat ";"
+      (List.map
+         (fun (s, t) -> Printf.sprintf "%d,%d" s.Frequent.support t.Frequent.support)
+         a.Service.pairs)
+  in
+  List.iteri
+    (fun i q ->
+      let ar = expect_ok (Service.run raw q) in
+      let ac = expect_ok (Service.run cond q) in
+      Alcotest.(check string)
+        (Printf.sprintf "query %d: identical pairs" i)
+        (exact_pairs ar) (exact_pairs ac);
+      Alcotest.(check string)
+        (Printf.sprintf "query %d: identical supports" i)
+        (supports ar) (supports ac))
+    queries;
+  let m = Service.metrics cond in
+  Alcotest.(check bool) "condensed twin priced its inserts" true
+    (m.Metrics.cond_raw_bytes > 0);
+  Alcotest.(check bool) "stored bytes never exceed raw" true
+    (m.Metrics.cond_bytes <= m.Metrics.cond_raw_bytes);
+  Alcotest.(check bool) "lookups reconstructed" true (m.Metrics.reconstructions > 0)
+
 (* ------------------------------------------------------------------ *)
 (* qcheck: a (possibly cache-served) refinement returns exactly the
    brute-force answer *)
@@ -317,6 +438,10 @@ let suite =
     Alcotest.test_case "service: subsumption reuse" `Quick service_subsumption_reuse;
     Alcotest.test_case "service: deadline is a clean error" `Quick service_deadline_clean_error;
     Alcotest.test_case "service: eviction at the memory budget" `Quick service_eviction_at_budget;
+    Alcotest.test_case "service: condensed cache answers match raw" `Quick
+      service_condensed_matches_raw;
+    Helpers.qtest ~count:200 "lru: weight stays within budget" gen_lru_ops print_lru_ops
+      prop_lru_budget_invariant;
     Helpers.qtest ~count:60 "service: refinement equals brute force" gen_refinement
       print_refinement prop_refinement;
   ]
